@@ -1,0 +1,108 @@
+"""Ablation A — index structure parameters and the rebuild period T (§4).
+
+Two design choices the paper leaves open are swept here:
+
+* **Decomposition granularity** — node capacity and maximum depth of the
+  region tree trade build cost (long function-lines replicate into every
+  crossed cell) against probe precision (deeper cells → fewer false
+  candidates).
+* **The rebuild period T** — "the index needs to be reconstructed every T
+  time units.  Choosing an appropriate value for T is an important
+  future-research question."  Small T means frequent rebuilds but short
+  segments (cheap, precise); large T amortises rebuilds over longer,
+  blurrier function-lines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.index import DynamicAttributeIndex
+from repro.workloads import random_attributes
+
+N = 2048
+
+
+def build(capacity: int, depth: int, horizon: float = 100.0):
+    index = DynamicAttributeIndex(
+        epoch=0,
+        horizon=horizon,
+        value_lo=-500,
+        value_hi=500,
+        structure="regiontree",
+        node_capacity=capacity,
+        max_depth=depth,
+    )
+    attrs = random_attributes(N, value_range=(-400, 400), speed_range=(-2, 2), seed=3)
+    start = time.perf_counter()
+    for object_id, attr in attrs:
+        index.insert(object_id, attr)
+    return index, time.perf_counter() - start
+
+
+def test_granularity_tradeoff(benchmark, record_table):
+    rows = []
+    for capacity, depth in ((8, 4), (8, 6), (8, 8), (32, 6), (128, 6)):
+        index, build_s = build(capacity, depth)
+        start = time.perf_counter()
+        hits = index.instantaneous_range(0, 5, at_time=50)
+        probe_s = time.perf_counter() - start
+        rows.append(
+            [
+                capacity,
+                depth,
+                round(build_s, 2),
+                index.last_nodes_visited,
+                round(probe_s * 1e6),
+                len(hits),
+            ]
+        )
+    record_table(
+        f"Ablation A1: region-tree granularity over {N} function-lines",
+        ["capacity", "max depth", "build s", "probe nodes", "probe us", "hits"],
+        rows,
+    )
+    # Deeper trees cost more to build (segment replication) ...
+    depth_rows = [r for r in rows if r[0] == 8]
+    assert depth_rows[0][2] <= depth_rows[-1][2]
+
+    benchmark(lambda: index.instantaneous_range(0, 5, at_time=50))
+
+
+def test_rebuild_period(record_table, benchmark):
+    """Total cost of running 400 ticks under different rebuild periods."""
+    rows = []
+    for period in (50, 100, 200, 400):
+        index, first_build = build(32, 6, horizon=float(period))
+        total_build = first_build
+        rebuilds = 0
+        probe_time = 0.0
+        probes = 0
+        for t in range(0, 400):
+            if t >= index.horizon:
+                start = time.perf_counter()
+                index.reconstruct(new_epoch=index.horizon)
+                total_build += time.perf_counter() - start
+                rebuilds += 1
+            if t % 10 == 0:
+                start = time.perf_counter()
+                index.instantaneous_range(0, 5, at_time=float(t))
+                probe_time += time.perf_counter() - start
+                probes += 1
+        rows.append(
+            [
+                period,
+                rebuilds,
+                round(total_build, 2),
+                round(probe_time * 1e6 / probes),
+            ]
+        )
+    record_table(
+        f"Ablation A2: rebuild period T over 400 ticks ({N} objects, "
+        "probe every 10 ticks)",
+        ["T", "rebuilds", "total build s", "avg probe us"],
+        rows,
+    )
+    # More rebuilds with smaller T, by construction.
+    assert [r[1] for r in rows] == [7, 3, 1, 0]
+    benchmark(lambda: None)

@@ -1,0 +1,81 @@
+"""E1 / Figure 1 — the three query types produce different answers.
+
+Reproduces the paper's only figure (the conceptual diagram of section 2.3)
+behaviourally, using the paper's own discriminating scenario: the
+speed-doubling query ``R`` with the update sequence 5t → 7t (at time 1) →
+10t (at time 2).  The expected shape: the instantaneous and continuous
+queries *never* retrieve ``o``; the persistent query retrieves it exactly
+from time 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ContinuousQuery,
+    InstantaneousQuery,
+    MostDatabase,
+    ObjectClass,
+    PersistentQuery,
+)
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.motion import LinearFunction
+
+R_QUERY = (
+    "RETRIEVE o FROM cars o WHERE [x := o.x_position.function]"
+    " EVENTUALLY o.x_position.function >= 2 * x"
+)
+
+
+def build_db() -> MostDatabase:
+    db = MostDatabase()
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    db.add_moving_object("cars", "o", Point(0, 0), Point(5, 0))
+    return db
+
+
+def run_scenario() -> list[list[object]]:
+    """One full run; returns the Figure-1 table rows."""
+    db = build_db()
+    query = parse_query(R_QUERY)
+    instantaneous = InstantaneousQuery(query, horizon=10)
+    continuous = ContinuousQuery(db, query, horizon=10)
+    persistent = PersistentQuery(db, query, horizon=10)
+
+    rows: list[list[object]] = []
+
+    def snap(time: int, event: str) -> None:
+        rows.append(
+            [
+                time,
+                event,
+                sorted(instantaneous.evaluate(db)),
+                sorted(continuous.current()),
+                sorted(persistent.current()),
+            ]
+        )
+
+    snap(0, "speed = 5")
+    db.clock.tick(1)
+    db.update_dynamic("o", "x_position", function=LinearFunction(7))
+    snap(1, "speed := 7")
+    db.clock.tick(1)
+    db.update_dynamic("o", "x_position", function=LinearFunction(10))
+    snap(2, "speed := 10")
+    return rows
+
+
+def test_fig1_query_types(benchmark, record_table):
+    rows = benchmark(run_scenario)
+    record_table(
+        "E1 (Figure 1): section 2.3 query R under the three query types",
+        ["t", "event", "instantaneous", "continuous", "persistent"],
+        rows,
+    )
+    # The paper's claim, exactly:
+    assert rows[0][2] == rows[1][2] == rows[2][2] == []   # instantaneous
+    assert rows[0][3] == rows[1][3] == rows[2][3] == []   # continuous
+    assert rows[0][4] == [] and rows[1][4] == []
+    assert rows[2][4] == [("o",)]                          # persistent at t=2

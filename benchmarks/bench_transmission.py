@@ -1,0 +1,106 @@
+"""E8 — immediate vs delayed vs periodic Answer(CQ) transmission (§5.2).
+
+"The choice between the immediate and delayed approaches depends on ...
+the probability that an update to Answer(CQ) can be propagated to M (i.e.
+that M is not disconnected) before the effects of the update need to be
+displayed [and] the frequency of updates to Answer(CQ)."
+
+We sweep disconnection load and client memory, reporting messages sent and
+display staleness per policy.  Expected shape: immediate minimises message
+count and is robust to later disconnection (everything already shipped);
+delayed needs the least memory but suffers when begin times fall inside
+offline windows; periodic interpolates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.distributed import (
+    DelayedPolicy,
+    ImmediatePolicy,
+    PeriodicPolicy,
+    simulate_transmission,
+)
+from repro.ftl.relations import AnswerTuple
+
+HORIZON = 120
+
+
+def make_answer(n: int, seed: int = 5) -> list[AnswerTuple]:
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        begin = rng.randint(0, HORIZON - 20)
+        out.append(AnswerTuple((f"m{i}",), begin, begin + rng.randint(4, 18)))
+    return out
+
+
+def make_offline(load: float, seed: int = 9) -> list[tuple[float, float]]:
+    rng = random.Random(seed)
+    windows = []
+    t = 0.0
+    while t < HORIZON:
+        if rng.random() < load:
+            width = rng.randint(3, 10)
+            windows.append((t, min(HORIZON, t + width)))
+            t += width
+        t += 5
+    return windows
+
+
+POLICIES = (
+    ("immediate", ImmediatePolicy),
+    ("delayed", DelayedPolicy),
+    ("periodic/10", lambda: PeriodicPolicy(period=10)),
+)
+
+
+def run(policy_factory, offline_load: float, memory: int | None):
+    return simulate_transmission(
+        policy_factory(),
+        make_answer(30),
+        horizon=HORIZON,
+        client_memory=memory,
+        disconnections=make_offline(offline_load),
+    )
+
+
+def test_transmission_policies(benchmark, record_table):
+    rows = []
+    for load in (0.0, 0.3, 0.7):
+        for memory in (None, 8, 3):
+            for name, factory in POLICIES:
+                report = run(factory, load, memory)
+                rows.append(
+                    [
+                        f"{load:.0%}",
+                        memory if memory is not None else "inf",
+                        name,
+                        report.messages,
+                        report.dropped_messages,
+                        report.staleness,
+                    ]
+                )
+    record_table(
+        "E8: Answer(CQ) transmission policies under disconnection and "
+        "memory limits (30 tuples, horizon 120)",
+        ["offline load", "B", "policy", "messages", "dropped", "staleness"],
+        rows,
+    )
+
+    # Shape checks: with no disconnection and no memory limit every policy
+    # is perfect, and immediate uses the fewest messages.
+    perfect = [r for r in rows if r[0] == "0%" and r[1] == "inf"]
+    assert all(r[5] == 0 for r in perfect)
+    immediate_msgs = [r[3] for r in perfect if r[2] == "immediate"][0]
+    delayed_msgs = [r[3] for r in perfect if r[2] == "delayed"][0]
+    assert immediate_msgs < delayed_msgs
+
+    # Under heavy disconnection, delayed accumulates more staleness than
+    # immediate (which shipped everything up front).
+    heavy = [r for r in rows if r[0] == "70%" and r[1] == "inf"]
+    stale = {r[2]: r[5] for r in heavy}
+    assert stale["immediate"] <= stale["delayed"]
+
+    benchmark(lambda: run(ImmediatePolicy, 0.3, 8))

@@ -1,0 +1,92 @@
+"""E6 — the Until join's worst case is |R1| x |R2| (appendix).
+
+"In the worst case, this algorithm may run in time proportional to the
+product of the sizes of R1 and R2 respectively."
+
+The worst case arises when the two operand relations share no variables:
+every pair of rows joins.  We build such relations with n rows each and
+time the join; expected shape: output rows = n^2 and time grows
+quadratically in n.  For contrast, the shared-variable case (a 1:1 join)
+stays linear.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import FutureHistory, MostDatabase, ObjectClass
+from repro.ftl.ast import Compare, Const, Attr, Inside, Until, Var
+from repro.ftl.context import EvalContext
+from repro.ftl.evaluator import IntervalEvaluator
+from repro.geometry import Point
+from repro.spatial import Polygon
+
+SIZES = (8, 16, 32, 64)
+
+
+def build_ctx(n: int) -> EvalContext:
+    db = MostDatabase()
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    db.define_region("P", Polygon.rectangle(-10_000, -10_000, 10_000, 10_000))
+    for i in range(n):
+        # Distinct positions; everyone is always inside the huge region P.
+        db.add_moving_object("cars", f"c{i}", Point(float(i), 0.0), Point(1, 0))
+    return EvalContext(
+        FutureHistory(db), horizon=30, bindings={"o": "cars", "n": "cars"}
+    )
+
+
+def disjoint_until(ctx: EvalContext):
+    """g1 over variable o, g2 over variable n: no shared variables."""
+    evaluator = IntervalEvaluator(ctx)
+    formula = Until(Inside(Var("o"), "P"), Inside(Var("n"), "P"))
+    return evaluator.evaluate(formula)
+
+
+def shared_until(ctx: EvalContext):
+    """Both operands over the same variable: 1:1 join."""
+    evaluator = IntervalEvaluator(ctx)
+    formula = Until(
+        Inside(Var("o"), "P"),
+        Compare(">=", Attr(Var("o"), "x_position"), Const(0)),
+    )
+    return evaluator.evaluate(formula)
+
+
+def test_until_join_worst_case(benchmark, record_table):
+    rows = []
+    for n in SIZES:
+        ctx = build_ctx(n)
+        start = time.perf_counter()
+        rel = disjoint_until(ctx)
+        t_disjoint = time.perf_counter() - start
+        assert len(rel) == n * n  # the product join
+
+        start = time.perf_counter()
+        rel_shared = shared_until(ctx)
+        t_shared = time.perf_counter() - start
+        assert len(rel_shared) == n
+
+        rows.append(
+            [
+                n,
+                n * n,
+                round(t_disjoint * 1e3, 2),
+                n,
+                round(t_shared * 1e3, 2),
+            ]
+        )
+    record_table(
+        "E6: Until join cost, disjoint-variable (worst case) vs shared-"
+        "variable operands",
+        ["|R1|=|R2|", "output (disjoint)", "disjoint ms", "output (shared)", "shared ms"],
+        rows,
+    )
+    # Quadratic vs linear: scaling n by 8 must scale the disjoint time by
+    # far more than the shared one.
+    growth_disjoint = rows[-1][2] / max(rows[0][2], 1e-6)
+    growth_shared = rows[-1][4] / max(rows[0][4], 1e-6)
+    assert growth_disjoint > growth_shared
+
+    ctx = build_ctx(24)
+    benchmark(lambda: disjoint_until(ctx))

@@ -1,0 +1,59 @@
+"""E2 — motion vectors cut update traffic (section 1).
+
+The paper's opening argument: storing the position forces an update per
+tick per object ("a serious performance and wireless-bandwidth
+overhead"), while storing the motion vector requires an update only when
+the vector changes.  We sweep the mean interval between vector changes
+and count the messages each representation needs over the same horizon.
+Expected shape: position-based traffic is constant at N x T; vector-based
+traffic scales with T / interval, so the ratio grows linearly with the
+change interval.
+"""
+
+from __future__ import annotations
+
+from repro.core import MostDatabase
+from repro.workloads import motion_update_process, random_fleet
+
+N_OBJECTS = 40
+HORIZON = 200
+
+
+def run_policy(change_interval: float) -> tuple[int, int]:
+    """Returns (position-update messages, vector-update messages)."""
+    db = MostDatabase()
+    ids = random_fleet(db, N_OBJECTS, seed=42)
+    probability = 1.0 / change_interval
+    vector_updates = sum(
+        1
+        for _ in motion_update_process(
+            db, ids, ticks=HORIZON, change_probability=probability, seed=7
+        )
+    )
+    position_updates = N_OBJECTS * HORIZON  # one fix per object per tick
+    return position_updates, vector_updates
+
+
+def test_update_bandwidth(benchmark, record_table):
+    rows = []
+    for interval in (2, 5, 20, 50, 100):
+        position_msgs, vector_msgs = run_policy(interval)
+        rows.append(
+            [
+                interval,
+                position_msgs,
+                vector_msgs,
+                round(position_msgs / max(1, vector_msgs), 1),
+            ]
+        )
+    benchmark(run_policy, 20)
+    record_table(
+        "E2: update messages, position-per-tick vs motion-vector "
+        f"(N={N_OBJECTS}, T={HORIZON})",
+        ["change interval", "position msgs", "vector msgs", "savings x"],
+        rows,
+    )
+    # Vector traffic must drop as vectors change less often; savings grow.
+    savings = [row[3] for row in rows]
+    assert savings == sorted(savings)
+    assert savings[-1] > 10

@@ -1,0 +1,53 @@
+"""Shared infrastructure for the experiment benches.
+
+Each bench measures one experiment from DESIGN.md's index (E1–E9) and
+registers a result table via the ``record_table`` fixture; the tables are
+printed in the terminal summary (visible even under output capture), so
+``pytest benchmarks/ --benchmark-only`` regenerates every series the paper
+implies in one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TABLES: list[tuple[str, list[str], list[list[object]]]] = []
+
+
+@pytest.fixture
+def record_table():
+    """Register an experiment result table for the terminal summary."""
+
+    def _record(title: str, headers: list[str], rows: list[list[object]]) -> None:
+        _TABLES.append((title, headers, rows))
+
+    return _record
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("EXPERIMENT RESULT TABLES (see DESIGN.md / EXPERIMENTS.md)")
+    write("=" * 78)
+    for title, headers, rows in _TABLES:
+        write("")
+        write(f"--- {title}")
+        cells = [headers] + [[_format_cell(c) for c in row] for row in rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(headers))
+        ]
+        for r, row in enumerate(cells):
+            line = "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            write("  " + line)
+            if r == 0:
+                write("  " + "  ".join("-" * w for w in widths))
+    write("")

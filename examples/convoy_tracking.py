@@ -1,0 +1,109 @@
+"""Distributed convoy tracking (section 5.3).
+
+Each vehicle hosts its own database object on its own mobile computer —
+"the distribution is such that each object resides in the computer on the
+moving vehicle it represents, but nowhere else."  The convoy leader asks
+three kinds of queries:
+
+* *self-referencing* — "will I reach the rally point in 30 ticks?"
+  (answered locally, zero messages);
+* *object query* — "which vehicles will reach the rally point in 30
+  ticks?", processed both ways the paper describes, with message costs
+  compared;
+* *relationship query* — "which vehicles stay within 8 miles of each
+  other for the next 20 ticks?", centralised at the leader.
+
+Run:  python examples/convoy_tracking.py
+"""
+
+from repro.distributed import (
+    QueryKind,
+    broadcast_object_query,
+    classify_query,
+    collect_object_query,
+    relationship_query,
+    self_referencing_query,
+)
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.spatial import Ball
+from repro.spatial.kinetic import when_dist_at_most
+from repro.temporal import Interval
+from repro.motion.moving import static_point
+from repro.workloads import convoy_scenario
+
+RALLY = Point(60.0, 0.0)
+
+
+def reaches_rally(node) -> bool:
+    now = node.network.clock.now
+    window = Interval(now, now + 30)
+    target = static_point(RALLY)
+    return bool(when_dist_at_most(node.mover, target, 10.0, window))
+
+
+def main() -> None:
+    world = convoy_scenario(n_vehicles=10, spacing=6, speed=2.5, straggler_every=3)
+    network, leader = world.network, world.leader
+
+    # -- Classification (section 5.3's taxonomy) ---------------------------
+    examples = {
+        "self-referencing": parse_query(
+            "RETRIEVE me FROM vehicles me WHERE EVENTUALLY WITHIN 30 INSIDE(me, RALLY)"
+        ),
+        "object": parse_query(
+            "RETRIEVE v FROM vehicles v WHERE EVENTUALLY WITHIN 30 INSIDE(v, RALLY)"
+        ),
+        "relationship": parse_query(
+            "RETRIEVE a, b FROM vehicles a, vehicles b WHERE ALWAYS FOR 20 DIST(a, b) <= 8"
+        ),
+    }
+    print("query classification:")
+    for label, query in examples.items():
+        kind = classify_query(query, issuer_var="me")
+        print(f"  {label:17s} -> {kind.value}")
+        assert kind == QueryKind(label)
+
+    # -- Self-referencing: zero messages -----------------------------------
+    network.stats.reset()
+    answer = self_referencing_query(leader, reaches_rally)
+    print(f"\nleader reaches the rally point: {answer} "
+          f"({network.stats.attempted} messages)")
+
+    # -- Object query: both strategies --------------------------------------
+    network.stats.reset()
+    via_collect = collect_object_query(leader, world.vehicles, reaches_rally)
+    collect_cost = (network.stats.attempted, network.stats.bytes_sent)
+
+    network.stats.reset()
+    via_broadcast = broadcast_object_query(leader, world.vehicles, reaches_rally)
+    broadcast_cost = (network.stats.attempted, network.stats.bytes_sent)
+
+    assert via_collect == via_broadcast
+    print(f"\nvehicles reaching the rally point: {sorted(via_broadcast)}")
+    print(f"  collect  : {collect_cost[0]:3d} msgs, {collect_cost[1]:4d} bytes")
+    print(f"  broadcast: {broadcast_cost[0]:3d} msgs, {broadcast_cost[1]:4d} bytes")
+
+    # -- Relationship query: centralise at the issuer ------------------------
+    def cohesive(snapshots):
+        now = network.clock.now
+        window = Interval(now, now + 20)
+        out = set()
+        for a in snapshots:
+            for b in snapshots:
+                if a["id"] >= b["id"]:
+                    continue
+                close = when_dist_at_most(a["mover"], b["mover"], 8.0, window)
+                if close.covers(Interval(window.start, window.end)):
+                    out.add(a["id"])
+                    out.add(b["id"])
+        return out
+
+    network.stats.reset()
+    cohesive_set = relationship_query(leader, world.vehicles, cohesive)
+    print(f"\ncohesive subgroup over next 20 ticks: {sorted(cohesive_set)}")
+    print(f"  centralised processing cost: {network.stats.attempted} object transfers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — a reproduction of *Modeling and Querying Moving Objects*
+(Sistla, Wolfson, Chamberlain, Dao; ICDE 1997).
+
+The package implements the paper end to end:
+
+* the **MOST data model** (:mod:`repro.core`): dynamic attributes,
+  database histories, and the three query types (instantaneous,
+  continuous, persistent);
+* **FTL**, the Future Temporal Logic query language (:mod:`repro.ftl`):
+  parser, the naive per-state reference semantics, and the appendix
+  interval-relation algorithm;
+* **dynamic-attribute indexing** (:mod:`repro.index`): function-line
+  plots in (time, value) space under a region tree or R-tree, plus the
+  3-D (x, y, t) variant for 2-D movement;
+* **MOST on top of a DBMS** (:mod:`repro.bridge` over :mod:`repro.dbms`,
+  a from-scratch relational engine with a mini-SQL dialect): the 2^k
+  query decomposition of section 5.1;
+* **mobile/distributed processing** (:mod:`repro.distributed`):
+  transmission policies for ``Answer(CQ)`` and the three distributed
+  query classes with their competing strategies.
+
+Quickstart::
+
+    from repro import MostDatabase, ObjectClass, InstantaneousQuery, parse_query
+    from repro.geometry import Point
+    from repro.spatial import Polygon
+
+    db = MostDatabase()
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    db.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+    db.add_moving_object("cars", "rww860", Point(-5, 5), Point(1, 0))
+
+    q = parse_query("RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 8 INSIDE(o, P)")
+    print(InstantaneousQuery(q, horizon=60).evaluate(db))
+"""
+
+from repro.core import (
+    Answer,
+    AnswerTuple,
+    ContinuousQuery,
+    DynamicAttribute,
+    InstantaneousQuery,
+    MostDatabase,
+    MostObject,
+    ObjectClass,
+    PersistentQuery,
+    TemporalTrigger,
+)
+from repro.errors import ReproError
+from repro.ftl import FtlQuery, parse_formula, parse_query
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MostDatabase",
+    "ObjectClass",
+    "MostObject",
+    "DynamicAttribute",
+    "InstantaneousQuery",
+    "ContinuousQuery",
+    "PersistentQuery",
+    "TemporalTrigger",
+    "Answer",
+    "AnswerTuple",
+    "FtlQuery",
+    "parse_query",
+    "parse_formula",
+    "ReproError",
+    "__version__",
+]

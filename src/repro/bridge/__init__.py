@@ -1,0 +1,36 @@
+"""MOST on top of an existing DBMS (section 5.1 of the paper).
+
+"We store each dynamic attribute A as three DBMS attributes A.value,
+A.updatetime, and A.function.  Any query posed to the DBMS is first
+examined (and possibly modified) by the MOST system, and so is the answer
+of the DBMS before it is returned to the user."
+
+* :mod:`repro.bridge.atoms` — discovery of dynamic attributes in a schema
+  and of the WHERE-clause atoms that reference them.
+* :mod:`repro.bridge.rewriter` — the 2^k decomposition
+  ``F = (F' ∧ p) ∨ (F'' ∧ ¬p)`` applied recursively over the dynamic
+  atoms.
+* :mod:`repro.bridge.adapter` — :class:`MostOnDbms`, the interception
+  layer: passthrough for purely static queries, sub-attribute fetching +
+  value computation for dynamic SELECT targets, decomposition +
+  post-filtering (or index joining) for dynamic WHERE atoms.
+"""
+
+from repro.bridge.atoms import dynamic_attributes_of, dynamic_atoms_in
+from repro.bridge.rewriter import decompose
+from repro.bridge.adapter import MostOnDbms
+from repro.bridge.temporal import (
+    BridgeContinuousQuery,
+    ClassSpec,
+    TemporalBridge,
+)
+
+__all__ = [
+    "dynamic_attributes_of",
+    "dynamic_atoms_in",
+    "decompose",
+    "MostOnDbms",
+    "BridgeContinuousQuery",
+    "ClassSpec",
+    "TemporalBridge",
+]

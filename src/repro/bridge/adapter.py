@@ -1,0 +1,373 @@
+"""``MostOnDbms`` — the interception layer of section 5.1.
+
+The MOST system sits between the user and the DBMS:
+
+* DDL helpers create tables storing each dynamic attribute as its three
+  sub-attribute columns (``A.value``, ``A.updatetime``, ``A.function``;
+  the function column stores the slope of a linear function, the paper's
+  simplifying assumption).
+* Queries with no dynamic references pass straight through.
+* Dynamic references in the SELECT list are answered by fetching the
+  sub-attributes and computing ``value + function * (now - updatetime)``.
+* Dynamic atoms in the WHERE clause trigger the 2^k decomposition; rows
+  of each variant are post-filtered by evaluating the atoms at query
+  time — or, when a :class:`~repro.index.DynamicAttributeIndex` is
+  registered for the attribute, by joining with the key set the index
+  reports as satisfying the atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bridge.atoms import (
+    DynamicColumns,
+    dynamic_atoms_in,
+    dynamic_attributes_of,
+    dynamic_refs_in,
+    strip_binding,
+)
+from repro.bridge.rewriter import Variant, decompose
+from repro.core.dynamic import DynamicAttribute
+from repro.dbms.database import Database
+from repro.dbms.expressions import ColumnRef, Comparison, Expr, Literal
+from repro.dbms.relation import Relation
+from repro.dbms.schema import Column, Schema
+from repro.dbms.sql.ast import Select, Statement
+from repro.dbms.sql.parser import parse_statement
+from repro.dbms.types import FLOAT
+from repro.errors import SqlError
+from repro.index.dynamicindex import DynamicAttributeIndex
+from repro.motion.functions import LinearFunction
+
+
+@dataclass
+class BridgeStats:
+    """Work counters for experiment E5."""
+
+    passthrough: int = 0
+    decomposed: int = 0
+    variants_issued: int = 0
+    rows_post_filtered: int = 0
+    index_filtered_atoms: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.passthrough = 0
+        self.decomposed = 0
+        self.variants_issued = 0
+        self.rows_post_filtered = 0
+        self.index_filtered_atoms = 0
+
+
+class MostOnDbms:
+    """The MOST software system built on top of an existing DBMS."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.stats = BridgeStats()
+        self._indexes: dict[tuple[str, str], DynamicAttributeIndex] = {}
+        self._sat_cache: dict[tuple, set[object]] = {}
+
+    # ------------------------------------------------------------------
+    # DDL / DML helpers
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        static_columns: list[Column],
+        dynamic_attributes: list[str],
+        key: str | None = None,
+    ) -> None:
+        """Create a table storing each dynamic attribute as three
+        sub-attribute columns."""
+        columns = list(static_columns)
+        for attr in dynamic_attributes:
+            columns.append(Column(f"{attr}.value", FLOAT))
+            columns.append(Column(f"{attr}.updatetime", FLOAT))
+            columns.append(Column(f"{attr}.function", FLOAT))
+        self.db.create_table(name, Schema(columns, key=key))
+
+    def insert(
+        self,
+        table: str,
+        static_values: dict[str, object],
+        dynamic_values: dict[str, DynamicAttribute] | None = None,
+    ) -> None:
+        """Insert a row, expanding dynamic attributes into sub-attributes."""
+        mapping = dict(static_values)
+        for attr, triple in (dynamic_values or {}).items():
+            mapping[f"{attr}.value"] = triple.value
+            mapping[f"{attr}.updatetime"] = triple.updatetime
+            mapping[f"{attr}.function"] = triple.speed
+        tbl = self.db.table(table)
+        row = tbl.schema.row_from_mapping(mapping)
+        tbl.insert(row)
+
+    def update_motion(
+        self, table: str, key: object, attr: str, triple: DynamicAttribute
+    ) -> None:
+        """Explicitly update one dynamic attribute of one row.
+
+        Routed through a regular UPDATE statement so the commit lands in
+        the update log (continuous queries over the bridge revalidate off
+        that log).
+        """
+        from repro.dbms.sql.ast import Update
+
+        tbl = self.db.table(table)
+        if tbl.schema.key is None:
+            raise SqlError(f"table {table!r} has no key")
+        stmt = Update(
+            table=table,
+            assignments=(
+                (f"{attr}.value", Literal(triple.value)),
+                (f"{attr}.updatetime", Literal(triple.updatetime)),
+                (f"{attr}.function", Literal(triple.speed)),
+            ),
+            where=Comparison("=", ColumnRef(tbl.schema.key), Literal(key)),
+        )
+        if self.db.execute(stmt) == 0:
+            raise SqlError(f"no row with key {key!r} in {table!r}")
+        index = self._indexes.get((table, attr))
+        if index is not None and key in index:
+            index.update(key, triple)
+
+    def register_index(
+        self, table: str, attr: str, index: DynamicAttributeIndex
+    ) -> None:
+        """Attach a dynamic-attribute index for the indexed evaluation
+        variant of section 5.1."""
+        self._indexes[(table, attr)] = index
+
+    # ------------------------------------------------------------------
+    # Query interception
+    # ------------------------------------------------------------------
+    def execute(self, sql: str | Statement) -> Relation | int:
+        """Run one statement through the MOST layer."""
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        if not isinstance(stmt, Select):
+            return self.db.execute(stmt)
+        return self._execute_select(stmt)
+
+    def query(self, sql: str | Statement) -> Relation:
+        """Run a SELECT through the MOST layer."""
+        result = self.execute(sql)
+        if not isinstance(result, Relation):
+            raise SqlError("query() requires a SELECT statement")
+        return result
+
+    # ------------------------------------------------------------------
+    def _execute_select(self, stmt: Select) -> Relation:
+        bindings = {ref.binding: ref.name for ref in stmt.tables}
+        table_dynamics = {
+            name: dynamic_attributes_of(self.db.table(name).schema)
+            for name in {ref.name for ref in stmt.tables}
+        }
+
+        where_refs = (
+            dynamic_refs_in(stmt.where, bindings, table_dynamics)
+            if stmt.where is not None
+            else set()
+        )
+        target_refs: set[tuple[str, str]] = set()
+        if stmt.targets is not None:
+            for t in stmt.targets:
+                target_refs |= dynamic_refs_in(t.expr, bindings, table_dynamics)
+
+        if not where_refs and not target_refs:
+            self.stats.passthrough += 1
+            return self.db.execute(stmt)  # type: ignore[return-value]
+
+        atoms = dynamic_atoms_in(stmt.where, bindings, table_dynamics)
+        variants = (
+            decompose(stmt.where, atoms)
+            if stmt.where is not None and atoms
+            else [Variant(where=stmt.where, polarities=())]  # type: ignore[arg-type]
+        )
+        if atoms:
+            self.stats.decomposed += 1
+
+        now = self.db.clock.now
+        envs: list[dict[str, object]] = []
+        for variant in variants:
+            self.stats.variants_issued += 1
+            rows = self._run_variant(stmt, variant.where)
+            for env in rows:
+                if self._check_polarities(
+                    env, variant.polarities, bindings, table_dynamics, now
+                ):
+                    envs.append(env)
+
+        return self._project(stmt, envs, bindings, table_dynamics, now)
+
+    def _run_variant(
+        self, stmt: Select, where: Expr | None
+    ) -> list[dict[str, object]]:
+        """Execute one static variant, returning qualified row envs.
+
+        The variant fetches every column of every FROM table (the paper
+        adds the sub-attributes and keys to the target list; fetching all
+        columns subsumes both with this in-memory engine)."""
+        from repro.dbms.planner import Planner
+
+        variant = Select(targets=None, tables=stmt.tables, where=where)
+        planner = Planner(
+            {name: self.db.table(name) for name in self.db.tables()},
+            self.db.stats,
+        )
+        plan, _targets = planner.plan(variant)
+        self.db.stats.statements += 1
+        return list(plan.rows())
+
+    # ------------------------------------------------------------------
+    def _current_value(
+        self,
+        env: dict[str, object],
+        binding: str,
+        columns: DynamicColumns,
+        now: float,
+    ) -> float | None:
+        value = env[f"{binding}.{columns.value}"]
+        updatetime = env[f"{binding}.{columns.updatetime}"]
+        slope = env[f"{binding}.{columns.function}"]
+        if value is None or updatetime is None or slope is None:
+            return None
+        return DynamicAttribute(
+            value=value, updatetime=updatetime, function=LinearFunction(slope)
+        ).value_at(now)
+
+    def _augment_env(
+        self,
+        env: dict[str, object],
+        bindings: dict[str, str],
+        table_dynamics: dict[str, dict[str, DynamicColumns]],
+        now: float,
+    ) -> dict[str, object]:
+        """Extend a row env with the computed current value of every
+        dynamic attribute, under its bare name."""
+        out = dict(env)
+        for binding, table in bindings.items():
+            for attr, columns in table_dynamics.get(table, {}).items():
+                out[f"{binding}.{attr}"] = self._current_value(
+                    env, binding, columns, now
+                )
+        return out
+
+    def _check_polarities(
+        self,
+        env: dict[str, object],
+        polarities: tuple[tuple[Expr, bool], ...],
+        bindings: dict[str, str],
+        table_dynamics: dict[str, dict[str, DynamicColumns]],
+        now: float,
+    ) -> bool:
+        if not polarities:
+            return True
+        augmented = self._augment_env(env, bindings, table_dynamics, now)
+        for atom, wanted in polarities:
+            verdict = self._atom_via_index(atom, env, bindings, table_dynamics, now)
+            if verdict is None:
+                self.stats.rows_post_filtered += 1
+                verdict = atom.eval(augmented) is True
+            if verdict != wanted:
+                return False
+        return True
+
+    def _atom_via_index(
+        self,
+        atom: Expr,
+        env: dict[str, object],
+        bindings: dict[str, str],
+        table_dynamics: dict[str, dict[str, DynamicColumns]],
+        now: float,
+    ) -> bool | None:
+        """Answer an atom through a registered index when it has the shape
+        ``A op literal`` on an indexed attribute; ``None`` = not indexable."""
+        if not isinstance(atom, Comparison):
+            return None
+        left, right, op = atom.left, atom.right, atom.op
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            return None
+        if op not in ("<", "<=", ">", ">="):
+            return None
+        if not isinstance(right.value, (int, float)) or isinstance(
+            right.value, bool
+        ):
+            return None
+        binding, bare = strip_binding(left.name, bindings)
+        candidates = [binding] if binding else list(bindings)
+        for b in candidates:
+            table = bindings[b]
+            if bare not in table_dynamics.get(table, {}):
+                continue
+            index = self._indexes.get((table, bare))
+            if index is None:
+                return None
+            tbl = self.db.table(table)
+            if tbl.schema.key is None:
+                return None
+            key = env[f"{b}.{tbl.schema.key}"]
+            bound = float(right.value)  # type: ignore[arg-type]
+            cache_key = (table, bare, op, bound, now)
+            hits = self._sat_cache.get(cache_key)
+            if hits is None:
+                hits = index.satisfying(op, bound, now)
+                if len(self._sat_cache) > 256:
+                    self._sat_cache.clear()
+                self._sat_cache[cache_key] = hits
+                self.stats.index_filtered_atoms += 1
+            return key in hits
+        return None
+
+    # ------------------------------------------------------------------
+    def _project(
+        self,
+        stmt: Select,
+        envs: list[dict[str, object]],
+        bindings: dict[str, str],
+        table_dynamics: dict[str, dict[str, DynamicColumns]],
+        now: float,
+    ) -> Relation:
+        from repro.dbms.executor import _infer_type
+
+        if stmt.targets is None:
+            # SELECT *: all stored columns, qualified when multi-table.
+            multi = len(stmt.tables) > 1
+            columns: list[Column] = []
+            keys: list[str] = []
+            for ref in stmt.tables:
+                tbl = self.db.table(ref.name)
+                for col in tbl.schema.columns:
+                    name = (
+                        f"{ref.binding}.{col.name}" if multi else col.name
+                    )
+                    columns.append(Column(name, col.type))
+                    keys.append(f"{ref.binding}.{col.name}")
+            rows = [tuple(env[k] for k in keys) for env in envs]
+            return Relation(Schema(columns), rows)
+
+        names = []
+        for t in stmt.targets:
+            if t.alias is not None:
+                names.append(t.alias)
+            elif isinstance(t.expr, ColumnRef):
+                names.append(t.expr.name)
+            else:
+                names.append(str(t.expr))
+        if len(set(names)) != len(names):
+            raise SqlError(f"duplicate output column names: {names}")
+        value_rows = []
+        for env in envs:
+            augmented = self._augment_env(env, bindings, table_dynamics, now)
+            value_rows.append(
+                tuple(t.expr.eval(augmented) for t in stmt.targets)
+            )
+        columns = [
+            Column(name, _infer_type([r[i] for r in value_rows]))
+            for i, name in enumerate(names)
+        ]
+        return Relation(Schema(columns), value_rows)

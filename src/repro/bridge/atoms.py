@@ -1,0 +1,101 @@
+"""Dynamic-attribute discovery in schemas and WHERE clauses.
+
+By the storage convention of section 5.1, a dynamic attribute ``A`` of a
+table appears as the three columns ``A.value``, ``A.updatetime`` and
+``A.function``; a bare reference to ``A`` in a query is a *dynamic
+reference* the MOST layer must resolve, while references to the
+sub-attribute columns go straight through to the DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.expressions import Expr
+from repro.dbms.schema import Schema
+
+SUB_ATTRIBUTES = ("value", "updatetime", "function")
+
+
+@dataclass(frozen=True)
+class DynamicColumns:
+    """The three storage columns of one dynamic attribute."""
+
+    attribute: str
+    value: str
+    updatetime: str
+    function: str
+
+
+def dynamic_attributes_of(schema: Schema) -> dict[str, DynamicColumns]:
+    """Dynamic attributes implied by a table schema.
+
+    ``A`` is dynamic iff all of ``A.value``, ``A.updatetime`` and
+    ``A.function`` are columns.
+    """
+    names = set(schema.names)
+    out: dict[str, DynamicColumns] = {}
+    for name in names:
+        if not name.endswith(".value"):
+            continue
+        attr = name[: -len(".value")]
+        if f"{attr}.updatetime" in names and f"{attr}.function" in names:
+            out[attr] = DynamicColumns(
+                attribute=attr,
+                value=f"{attr}.value",
+                updatetime=f"{attr}.updatetime",
+                function=f"{attr}.function",
+            )
+    return out
+
+
+def strip_binding(name: str, bindings: dict[str, str]) -> tuple[str | None, str]:
+    """Split a possibly-qualified reference into (binding, bare name)."""
+    head, _, rest = name.partition(".")
+    if head in bindings and rest:
+        return head, rest
+    return None, name
+
+
+def dynamic_refs_in(
+    expr: Expr,
+    bindings: dict[str, str],
+    table_dynamics: dict[str, dict[str, DynamicColumns]],
+) -> set[tuple[str, str]]:
+    """``(binding, attribute)`` pairs of bare dynamic references in an
+    expression tree.
+
+    ``bindings`` maps FROM bindings to table names; ``table_dynamics``
+    maps table names to their dynamic attributes.
+    """
+    out: set[tuple[str, str]] = set()
+    for name in expr.references():
+        binding, bare = strip_binding(name, bindings)
+        candidates = (
+            [binding]
+            if binding is not None
+            else list(bindings)
+        )
+        for b in candidates:
+            dynamics = table_dynamics.get(bindings[b], {})
+            if bare in dynamics:
+                out.add((b, bare))
+    return out
+
+
+def dynamic_atoms_in(
+    where: Expr | None,
+    bindings: dict[str, str],
+    table_dynamics: dict[str, dict[str, DynamicColumns]],
+) -> list[Expr]:
+    """The WHERE-clause atoms that reference a dynamic attribute, in
+    appearance order and deduplicated."""
+    if where is None:
+        return []
+    seen: list[Expr] = []
+    for atom in where.atoms():
+        if atom in seen:
+            continue
+        if dynamic_refs_in(atom, bindings, table_dynamics):
+            seen.append(atom)
+    return seen

@@ -1,0 +1,53 @@
+"""The 2^k decomposition of section 5.1.
+
+"The transformation is based on the following equivalence:
+``F = (F' ∧ p) ∨ (F'' ∧ ¬p)``, where ``F'`` is ``F`` with ``p`` replaced
+by true and ``F''`` is ``F`` with ``p`` replaced by false."  Applied
+recursively over the ``k`` dynamic atoms, this yields up to ``2^k``
+queries whose WHERE clauses are free of dynamic attributes; each carries
+the polarity assignment its rows must be checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.expressions import Expr, Literal
+
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One decomposed query: the static WHERE clause plus the polarity
+    each dynamic atom must evaluate to on the returned rows."""
+
+    where: Expr
+    polarities: tuple[tuple[Expr, bool], ...]
+
+
+def decompose(where: Expr, dynamic_atoms: list[Expr]) -> list[Variant]:
+    """All ``2^k`` static variants of ``where``.
+
+    The paper notes "if k is small this may not be a serious problem";
+    experiment E5 measures exactly how the cost grows with ``k``.
+    """
+    variants = [Variant(where=where, polarities=())]
+    for atom in dynamic_atoms:
+        next_variants: list[Variant] = []
+        for variant in variants:
+            next_variants.append(
+                Variant(
+                    where=variant.where.substitute(atom, TRUE),
+                    polarities=variant.polarities + ((atom, True),),
+                )
+            )
+            next_variants.append(
+                Variant(
+                    where=variant.where.substitute(atom, FALSE),
+                    polarities=variant.polarities + ((atom, False),),
+                )
+            )
+        variants = next_variants
+    return variants

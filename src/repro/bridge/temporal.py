@@ -1,0 +1,232 @@
+"""FTL queries on top of the DBMS (section 5.1, last paragraph).
+
+"Note that the procedure in the appendix given for processing FTL formulas
+can be modified to take advantage of the query processing capabilities of
+the DBMS ... corresponding to g we compute a relation G ... by using the
+decomposition method for non-temporal queries described above.  All the
+relations computed in this fashion are combined using the procedure in the
+appendix, according to the structure of the formula f."
+
+:class:`TemporalBridge` realises that pipeline: it retrieves the dynamic
+sub-attribute columns from the underlying DBMS (plain, non-temporal
+SELECTs), reconstructs the MOST view — objects whose dynamic attributes
+are the stored ``(value, updatetime, function)`` triples — and runs the
+appendix interval algorithm over it.  A fresh view is loaded per query, so
+answers always reflect the current DBMS contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bridge.adapter import MostOnDbms
+from repro.bridge.atoms import dynamic_attributes_of
+from repro.core.database import MostDatabase, Region
+from repro.core.dynamic import DynamicAttribute
+from repro.core.objects import ObjectClass
+from repro.core.queries import Answer, InstantaneousQuery
+from repro.errors import SchemaError, SqlError
+from repro.ftl.query import FtlQuery
+from repro.motion.functions import LinearFunction
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """How one DBMS table maps onto a MOST object class.
+
+    Attributes:
+        table: the DBMS table (created via
+            :meth:`~repro.bridge.MostOnDbms.create_table`).
+        position_attributes: names of the dynamic attributes that form the
+            spatial position, in axis order (length 0, 2 or 3).
+        scalar_attributes: further dynamic attributes (fuel, temperature).
+        static_columns: plain columns to expose as static attributes.
+    """
+
+    table: str
+    position_attributes: tuple[str, ...] = ()
+    scalar_attributes: tuple[str, ...] = ()
+    static_columns: tuple[str, ...] = ()
+
+
+class TemporalBridge:
+    """Answers FTL queries against tables of a :class:`MostOnDbms` layer."""
+
+    def __init__(
+        self,
+        layer: MostOnDbms,
+        classes: dict[str, ClassSpec],
+        regions: dict[str, Region] | None = None,
+    ) -> None:
+        self.layer = layer
+        self.classes = dict(classes)
+        self.regions = dict(regions or {})
+        for name, spec in self.classes.items():
+            self._validate(name, spec)
+
+    def _validate(self, class_name: str, spec: ClassSpec) -> None:
+        table = self.layer.db.table(spec.table)
+        if table.schema.key is None:
+            raise SchemaError(
+                f"table {spec.table!r} needs a key to serve as class "
+                f"{class_name!r}"
+            )
+        dynamics = dynamic_attributes_of(table.schema)
+        for attr in spec.position_attributes + spec.scalar_attributes:
+            if attr not in dynamics:
+                raise SchemaError(
+                    f"{attr!r} is not a dynamic attribute of {spec.table!r}"
+                )
+        if len(spec.position_attributes) not in (0, 2, 3):
+            raise SchemaError("position needs 0, 2 or 3 attributes")
+        for col in spec.static_columns:
+            table.schema.index_of(col)
+
+    # ------------------------------------------------------------------
+    def load_view(self) -> MostDatabase:
+        """Reconstruct the MOST view from the current DBMS contents.
+
+        One non-temporal SELECT per table fetches the sub-attribute
+        columns; the triples are reassembled into dynamic attributes.
+        """
+        view = MostDatabase(clock=self.layer.db.clock)
+        for name, region in self.regions.items():
+            view.define_region(name, region)
+        for class_name, spec in self.classes.items():
+            table = self.layer.db.table(spec.table)
+            dim = len(spec.position_attributes)
+            view.create_class(
+                ObjectClass(
+                    class_name,
+                    static_attributes=tuple(spec.static_columns),
+                    dynamic_attributes=tuple(spec.scalar_attributes),
+                    spatial_dimensions=dim,
+                )
+            )
+            cls = view.object_class(class_name)
+            rel = self.layer.db.query(f"SELECT * FROM {spec.table}")
+            schema = rel.schema
+            key_idx = schema.index_of(table.schema.key)
+            for row in rel:
+                dynamic: dict[str, DynamicAttribute] = {}
+                # Positions map onto the implicit x/y/z attributes.
+                for axis_name, attr in zip(
+                    cls.position_attributes, spec.position_attributes
+                ):
+                    dynamic[axis_name] = self._triple(schema, row, attr)
+                for attr in spec.scalar_attributes:
+                    dynamic[attr] = self._triple(schema, row, attr)
+                static = {
+                    col: row[schema.index_of(col)]
+                    for col in spec.static_columns
+                }
+                view.add_object(
+                    class_name, row[key_idx], static=static, dynamic=dynamic
+                )
+        return view
+
+    @staticmethod
+    def _triple(schema, row, attr: str) -> DynamicAttribute:
+        value = row[schema.index_of(f"{attr}.value")]
+        updatetime = row[schema.index_of(f"{attr}.updatetime")]
+        slope = row[schema.index_of(f"{attr}.function")]
+        if value is None or updatetime is None or slope is None:
+            raise SqlError(
+                f"row has NULL sub-attributes for dynamic attribute {attr!r}"
+            )
+        return DynamicAttribute(
+            value=value,
+            updatetime=updatetime,
+            function=LinearFunction(slope),
+        )
+
+    # ------------------------------------------------------------------
+    def answer(
+        self, query: FtlQuery, horizon: int, method: str = "interval"
+    ) -> Answer:
+        """The full interval answer of an FTL query over the DBMS data."""
+        unknown = set(query.bindings.values()) - set(self.classes)
+        if unknown:
+            raise SchemaError(
+                f"query ranges over unmapped classes {sorted(unknown)}"
+            )
+        view = self.load_view()
+        return InstantaneousQuery(query, horizon).answer(view, method=method)
+
+    def evaluate(
+        self, query: FtlQuery, horizon: int, method: str = "interval"
+    ) -> set[tuple]:
+        """Instantaneous answer at the current clock tick."""
+        return self.answer(query, horizon, method=method).at(
+            self.layer.db.clock.now
+        )
+
+    def continuous(
+        self, query: FtlQuery, horizon: int, method: str = "interval"
+    ) -> "BridgeContinuousQuery":
+        """Register a continuous query over the DBMS data."""
+        return BridgeContinuousQuery(self, query, horizon, method)
+
+
+class BridgeContinuousQuery:
+    """A continuous query maintained against DBMS updates.
+
+    Like :class:`~repro.core.queries.ContinuousQuery` but the data lives
+    in the relational substrate: the materialised ``Answer(CQ)`` is
+    recomputed lazily after any commit touching a mapped table.
+    """
+
+    def __init__(
+        self,
+        bridge: TemporalBridge,
+        query: FtlQuery,
+        horizon: int,
+        method: str = "interval",
+    ) -> None:
+        self.bridge = bridge
+        self.query = query
+        self.horizon = horizon
+        self.method = method
+        self.expires_at = bridge.layer.db.clock.now + horizon
+        self.evaluations = 0
+        self._dirty = False
+        self._cancelled = False
+        self._tables = {spec.table for spec in bridge.classes.values()}
+        self._answer = self._evaluate()
+        self._unsubscribe = bridge.layer.db.log.subscribe(self._on_commit)
+
+    def _evaluate(self) -> Answer:
+        self.evaluations += 1
+        remaining = max(
+            0, self.expires_at - self.bridge.layer.db.clock.now
+        )
+        return self.bridge.answer(self.query, remaining, method=self.method)
+
+    def _on_commit(self, record) -> None:
+        if not self._cancelled and record.table in self._tables:
+            self._dirty = True
+
+    def current(self) -> set[tuple]:
+        """The display at the current clock tick."""
+        if self._cancelled:
+            raise SqlError("query was cancelled")
+        now = self.bridge.layer.db.clock.now
+        if now > self.expires_at:
+            return set()
+        if self._dirty:
+            self._answer = self._evaluate()
+            self._dirty = False
+        return self._answer.at(now)
+
+    def answer_tuples(self):
+        """The current ``Answer(CQ)`` tuples."""
+        if self._dirty:
+            self._answer = self._evaluate()
+            self._dirty = False
+        return self._answer.tuples
+
+    def cancel(self) -> None:
+        """Stop maintaining the answer."""
+        if not self._cancelled:
+            self._unsubscribe()
+            self._cancelled = True

@@ -1,0 +1,57 @@
+"""The MOST data model — the paper's primary contribution.
+
+* :mod:`repro.core.dynamic` — dynamic attributes: the
+  ``(value, updatetime, function)`` triple of section 2.1.
+* :mod:`repro.core.objects` — object classes (spatial and plain) and
+  objects whose attributes may be static or dynamic.
+* :mod:`repro.core.database` — the MOST database: the global clock, the
+  object store, explicit updates, and the update log that drives
+  continuous-query revalidation and persistent-query replay.
+* :mod:`repro.core.history` — database histories (section 2.2): the
+  implied future history at a time point, and the recorded history that
+  persistent queries replay.
+* :mod:`repro.core.queries` — the three query types of section 2.3:
+  instantaneous, continuous (with the materialised ``Answer(CQ)``), and
+  persistent.
+* :mod:`repro.core.triggers` — temporal triggers: a continuous or
+  persistent query "coupled with an action" (section 2.3).
+"""
+
+from repro.core.dynamic import DynamicAttribute
+from repro.core.objects import (
+    X_POSITION,
+    Y_POSITION,
+    Z_POSITION,
+    MostObject,
+    ObjectClass,
+)
+from repro.core.database import MostDatabase, MostUpdate
+from repro.core.history import DatabaseState, FutureHistory, RecordedHistory
+from repro.core.queries import (
+    Answer,
+    AnswerTuple,
+    ContinuousQuery,
+    InstantaneousQuery,
+    PersistentQuery,
+)
+from repro.core.triggers import TemporalTrigger
+
+__all__ = [
+    "DynamicAttribute",
+    "ObjectClass",
+    "MostObject",
+    "X_POSITION",
+    "Y_POSITION",
+    "Z_POSITION",
+    "MostDatabase",
+    "MostUpdate",
+    "DatabaseState",
+    "FutureHistory",
+    "RecordedHistory",
+    "InstantaneousQuery",
+    "ContinuousQuery",
+    "PersistentQuery",
+    "Answer",
+    "AnswerTuple",
+    "TemporalTrigger",
+]

@@ -1,0 +1,112 @@
+"""Dynamic attributes (section 2.1 of the paper).
+
+A dynamic attribute ``A`` is represented by three sub-attributes —
+``A.value``, ``A.updatetime`` and ``A.function`` — where the function maps
+elapsed time to displacement and is 0 at 0.  "At time ``A.updatetime`` the
+value of ``A`` is ``A.value``, and until the next update of ``A`` the value
+of ``A`` at time ``A.updatetime + t0`` is given by
+``A.value + A.function(t0)``."
+
+Users can query the value *or any sub-attribute independently* (e.g. "the
+objects for which ``X.POSITION.function = 5*t``"), so the sub-attributes
+are first-class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MotionError
+from repro.motion.functions import LinearFunction, TimeFunction, ZERO_FUNCTION
+
+
+@dataclass(frozen=True)
+class DynamicAttribute:
+    """One dynamic attribute: the (value, updatetime, function) triple.
+
+    Immutable — an explicit update produces a new instance via
+    :meth:`updated`, which is what lets the recorded history keep old
+    versions for persistent queries.
+    """
+
+    value: float
+    updatetime: float = 0.0
+    function: TimeFunction = ZERO_FUNCTION
+
+    def __post_init__(self) -> None:
+        probe = self.function.value(0.0)
+        if probe != 0.0:
+            raise MotionError(
+                f"A.function must satisfy function(0) == 0, got {probe}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def static(cls, value: float) -> "DynamicAttribute":
+        """A degenerate dynamic attribute that never moves."""
+        return cls(value=value, updatetime=0.0, function=ZERO_FUNCTION)
+
+    @classmethod
+    def linear(
+        cls, value: float, speed: float, updatetime: float = 0.0
+    ) -> "DynamicAttribute":
+        """The motion-vector case: value changes at constant ``speed``."""
+        return cls(
+            value=value, updatetime=updatetime, function=LinearFunction(speed)
+        )
+
+    # ------------------------------------------------------------------
+    def value_at(self, t: float) -> float:
+        """The attribute's value at absolute time ``t``.
+
+        Defined for ``t >= updatetime`` (the implied future); earlier times
+        extrapolate backwards, which the recorded history never asks for.
+        """
+        return self.value + self.function.value(t - self.updatetime)
+
+    @property
+    def speed(self) -> float:
+        """Constant rate of change, when the function is linear."""
+        if not self.function.is_linear:
+            raise MotionError("speed undefined for a nonlinear function")
+        return self.function.value(1.0)
+
+    def updated(
+        self,
+        at_time: float,
+        value: float | None = None,
+        function: TimeFunction | None = None,
+    ) -> "DynamicAttribute":
+        """An explicit update at ``at_time``.
+
+        "An explicit update of a dynamic attribute may change its value
+        sub-attribute, or its function sub-attribute, or both": omitting
+        ``value`` keeps the value the old motion implies at ``at_time``;
+        omitting ``function`` keeps the old function.
+        """
+        if at_time < self.updatetime:
+            raise MotionError(
+                f"update at {at_time} precedes updatetime {self.updatetime}"
+            )
+        new_value = value if value is not None else self.value_at(at_time)
+        new_function = function if function is not None else self.function
+        return DynamicAttribute(
+            value=new_value, updatetime=at_time, function=new_function
+        )
+
+    def sub_attribute(self, name: str) -> object:
+        """Access a sub-attribute by its paper name:
+        ``value`` / ``updatetime`` / ``function``."""
+        if name == "value":
+            return self.value
+        if name == "updatetime":
+            return self.updatetime
+        if name == "function":
+            return self.function
+        raise MotionError(f"unknown sub-attribute {name!r}")
+
+    def __str__(self) -> str:
+        return (
+            f"(value={self.value:g}, updatetime={self.updatetime:g},"
+            f" function={self.function})"
+        )

@@ -1,0 +1,61 @@
+"""The relational DBMS substrate.
+
+Section 5.1 of the paper builds MOST "on top of an existing DBMS ... For
+simplicity our exposition will assume the relational model and SQL for the
+underlying DBMS."  This package *is* that underlying DBMS: a from-scratch,
+in-memory relational engine with
+
+* typed schemas and tables with optional primary keys,
+* a mini-SQL dialect (CREATE TABLE / INSERT / SELECT / UPDATE / DELETE,
+  multi-table FROM with WHERE joins),
+* a planner + iterator executor (sequential scan, index scan, filter,
+  project, nested-loop and hash joins),
+* hash and B+-tree secondary indexes,
+* an update log with subscriptions — the hook continuous queries use to
+  learn that ``Answer(CQ)`` must be revalidated (section 2.3) and the
+  record persistent queries replay (section 2.3's query ``R``).
+
+The MOST bridge (:mod:`repro.bridge`) drives this engine exactly the way
+the paper prescribes: dynamic attributes are stored as the three
+sub-attribute columns and queries are decomposed into static sub-queries.
+"""
+
+from repro.dbms.types import BOOL, FLOAT, INT, STRING, DataType
+from repro.dbms.schema import Column, Schema
+from repro.dbms.table import Table
+from repro.dbms.relation import Relation
+from repro.dbms.expressions import (
+    And,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Not,
+    Or,
+)
+from repro.dbms.database import Database
+from repro.dbms.updatelog import UpdateLog, UpdateRecord
+
+__all__ = [
+    "DataType",
+    "INT",
+    "FLOAT",
+    "STRING",
+    "BOOL",
+    "Column",
+    "Schema",
+    "Table",
+    "Relation",
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "BinOp",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Database",
+    "UpdateLog",
+    "UpdateRecord",
+]

@@ -1,0 +1,192 @@
+"""The DBMS facade: catalog + SQL entry point + update log.
+
+This is "the underlying DBMS" of section 5.1.  It knows nothing about
+dynamic attributes or temporal operators — the MOST layer
+(:mod:`repro.bridge`, :mod:`repro.core`) adds those on top, exactly as the
+paper prescribes.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.executor import ExecutionStats, project
+from repro.dbms.planner import Planner
+from repro.dbms.relation import Relation
+from repro.dbms.schema import Schema
+from repro.dbms.sql.ast import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    Statement,
+    Update,
+)
+from repro.dbms.sql.parser import parse_statement
+from repro.dbms.table import Table
+from repro.dbms.updatelog import UpdateLog, UpdateRecord
+from repro.errors import SqlError
+from repro.temporal import SimulationClock
+
+
+class Database:
+    """An in-memory relational database with a mini-SQL interface.
+
+    Args:
+        clock: the global time object (section 2) used to timestamp the
+            update log; a private clock is created when omitted.
+    """
+
+    def __init__(self, clock: SimulationClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimulationClock()
+        self.log = UpdateLog()
+        self.stats = ExecutionStats()
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Register a new table."""
+        if name in self._tables:
+            raise SqlError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SqlError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether the table exists."""
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        """All table names."""
+        return sorted(self._tables)
+
+    def create_index(self, table: str, column: str, kind: str = "btree") -> None:
+        """Create a secondary index."""
+        self.table(table).create_index(column, kind)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str | Statement) -> Relation | int:
+        """Run one statement.
+
+        Returns a :class:`Relation` for SELECT and the affected row count
+        for everything else.
+        """
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        self.stats.statements += 1
+        if isinstance(stmt, CreateTable):
+            self.create_table(
+                stmt.name, Schema(list(stmt.columns), key=stmt.key)
+            )
+            return 0
+        if isinstance(stmt, Insert):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, Select):
+            return self._execute_select(stmt)
+        if isinstance(stmt, Update):
+            return self._execute_update(stmt)
+        if isinstance(stmt, Delete):
+            return self._execute_delete(stmt)
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    def query(self, sql: str | Select) -> Relation:
+        """Run a statement that must be a SELECT."""
+        result = self.execute(sql)
+        if not isinstance(result, Relation):
+            raise SqlError("query() requires a SELECT statement")
+        return result
+
+    # ------------------------------------------------------------------
+    def _execute_select(self, stmt: Select) -> Relation:
+        planner = Planner(self._tables, self.stats)
+        plan, targets = planner.plan(stmt)
+        return project(plan, targets, self.stats)
+
+    def _execute_insert(self, stmt: Insert) -> int:
+        table = self.table(stmt.table)
+        count = 0
+        for values in stmt.rows:
+            if stmt.columns is not None:
+                if len(stmt.columns) != len(values):
+                    raise SqlError(
+                        f"INSERT arity mismatch: {len(stmt.columns)} columns,"
+                        f" {len(values)} values"
+                    )
+                row = table.schema.row_from_mapping(
+                    dict(zip(stmt.columns, values))
+                )
+            else:
+                row = table.schema.validate_row(values)
+            table.insert(row)
+            self._log("insert", table, old=None, new=row)
+            count += 1
+        return count
+
+    def _execute_update(self, stmt: Update) -> int:
+        table = self.table(stmt.table)
+        changes_exprs = dict(stmt.assignments)
+        affected: list[int] = []
+        for rowid, row in list(table.scan()):
+            env = {
+                f"{table.name}.{n}": v
+                for n, v in zip(table.schema.names, row)
+            }
+            if stmt.where is None or stmt.where.eval(env) is True:
+                affected.append(rowid)
+        for rowid in affected:
+            row = table.get(rowid)
+            env = {
+                f"{table.name}.{n}": v
+                for n, v in zip(table.schema.names, row)
+            }
+            changes = {
+                col: expr.eval(env) for col, expr in changes_exprs.items()
+            }
+            old, new = table.update_row(rowid, changes)
+            self._log("update", table, old=old, new=new)
+        return len(affected)
+
+    def _execute_delete(self, stmt: Delete) -> int:
+        table = self.table(stmt.table)
+        doomed: list[int] = []
+        for rowid, row in list(table.scan()):
+            env = {
+                f"{table.name}.{n}": v
+                for n, v in zip(table.schema.names, row)
+            }
+            if stmt.where is None or stmt.where.eval(env) is True:
+                doomed.append(rowid)
+        for rowid in doomed:
+            old = table.delete_row(rowid)
+            self._log("delete", table, old=old, new=None)
+        return len(doomed)
+
+    def _log(
+        self,
+        op: str,
+        table: Table,
+        old: tuple[object, ...] | None,
+        new: tuple[object, ...] | None,
+    ) -> None:
+        row = new if new is not None else old
+        key: object = None
+        if table.schema.key is not None and row is not None:
+            key = row[table.schema.key_index()]
+        self.log.append(
+            UpdateRecord(
+                time=self.clock.now,
+                table=table.name,
+                op=op,
+                key=key,
+                old=old,
+                new=new,
+            )
+        )

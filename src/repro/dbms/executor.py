@@ -1,0 +1,232 @@
+"""Physical operators: the iterator (Volcano-style) executor.
+
+Every operator yields *environments* — dicts mapping qualified column names
+(``binding.column``) to values — so expression evaluation and join
+composition stay uniform.  :class:`ExecutionStats` counts the work done,
+which the benchmark harness (experiment E5, the 2^k decomposition cost)
+reads directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dbms.expressions import Expr
+from repro.dbms.relation import Relation
+from repro.dbms.schema import Column, Schema
+from repro.dbms.table import Table
+from repro.dbms.types import BOOL, FLOAT, INT, STRING
+from repro.errors import SqlError
+
+Env = dict[str, object]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated across statements (reset explicitly)."""
+
+    rows_scanned: int = 0
+    index_lookups: int = 0
+    rows_output: int = 0
+    statements: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.rows_scanned = 0
+        self.index_lookups = 0
+        self.rows_output = 0
+        self.statements = 0
+
+
+class PlanNode:
+    """Base class of physical plan operators."""
+
+    def rows(self) -> Iterator[Env]:
+        """Yield result environments."""
+        raise NotImplementedError
+
+    def bindings(self) -> list[tuple[str, Table]]:
+        """``(binding, table)`` pairs visible in this subtree."""
+        raise NotImplementedError
+
+
+def _env_for(table: Table, binding: str, row: tuple[object, ...]) -> Env:
+    return {
+        f"{binding}.{name}": value
+        for name, value in zip(table.schema.names, row)
+    }
+
+
+@dataclass
+class SeqScan(PlanNode):
+    """Full scan of one table."""
+
+    table: Table
+    binding: str
+    stats: ExecutionStats
+
+    def rows(self) -> Iterator[Env]:
+        for _rowid, row in self.table.scan():
+            self.stats.rows_scanned += 1
+            yield _env_for(self.table, self.binding, row)
+
+    def bindings(self) -> list[tuple[str, Table]]:
+        return [(self.binding, self.table)]
+
+
+@dataclass
+class IndexEqScan(PlanNode):
+    """Exact-match index access on one column."""
+
+    table: Table
+    binding: str
+    column: str
+    value: object
+    stats: ExecutionStats
+
+    def rows(self) -> Iterator[Env]:
+        self.stats.index_lookups += 1
+        for rowid in self.table.index_lookup(self.column, self.value):
+            self.stats.rows_scanned += 1
+            yield _env_for(self.table, self.binding, self.table.get(rowid))
+
+    def bindings(self) -> list[tuple[str, Table]]:
+        return [(self.binding, self.table)]
+
+
+@dataclass
+class IndexRangeScan(PlanNode):
+    """B+-tree range access on one column (closed bounds, None = open)."""
+
+    table: Table
+    binding: str
+    column: str
+    lo: object | None
+    hi: object | None
+    stats: ExecutionStats
+
+    def rows(self) -> Iterator[Env]:
+        self.stats.index_lookups += 1
+        for rowid in self.table.index_range(self.column, self.lo, self.hi):
+            self.stats.rows_scanned += 1
+            yield _env_for(self.table, self.binding, self.table.get(rowid))
+
+    def bindings(self) -> list[tuple[str, Table]]:
+        return [(self.binding, self.table)]
+
+
+@dataclass
+class Filter(PlanNode):
+    """Keep environments on which the predicate evaluates to TRUE
+    (SQL semantics: NULL and FALSE both drop the row)."""
+
+    child: PlanNode
+    predicate: Expr
+
+    def rows(self) -> Iterator[Env]:
+        for env in self.child.rows():
+            if self.predicate.eval(env) is True:
+                yield env
+
+    def bindings(self) -> list[tuple[str, Table]]:
+        return self.child.bindings()
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """Cross product of two subtrees (predicates applied by Filter above)."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def rows(self) -> Iterator[Env]:
+        right_rows = list(self.right.rows())
+        for lenv in self.left.rows():
+            for renv in right_rows:
+                merged = dict(lenv)
+                merged.update(renv)
+                yield merged
+
+    def bindings(self) -> list[tuple[str, Table]]:
+        return self.left.bindings() + self.right.bindings()
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join: build a hash table on the right key, probe with the left."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: Expr
+    right_key: Expr
+
+    def rows(self) -> Iterator[Env]:
+        buckets: dict[object, list[Env]] = {}
+        for renv in self.right.rows():
+            key = self.right_key.eval(renv)
+            buckets.setdefault(key, []).append(renv)
+        for lenv in self.left.rows():
+            key = self.left_key.eval(lenv)
+            if key is None:
+                continue
+            for renv in buckets.get(key, ()):
+                merged = dict(lenv)
+                merged.update(renv)
+                yield merged
+
+    def bindings(self) -> list[tuple[str, Table]]:
+        return self.left.bindings() + self.right.bindings()
+
+
+def _infer_type(values: list[object]):
+    for v in values:
+        if isinstance(v, bool):
+            return BOOL
+        if isinstance(v, int):
+            return INT
+        if isinstance(v, float):
+            return FLOAT
+        if isinstance(v, str):
+            return STRING
+    return FLOAT
+
+
+def project(
+    plan: PlanNode,
+    targets: "list[tuple[Expr, str]] | None",
+    stats: ExecutionStats,
+) -> Relation:
+    """Materialise a plan into a :class:`Relation`.
+
+    ``targets`` maps output column names to expressions; ``None`` selects
+    every column of every bound table (``SELECT *``), qualified when more
+    than one table is in scope.
+    """
+    envs = list(plan.rows())
+    stats.rows_output += len(envs)
+
+    if targets is None:
+        bindings = plan.bindings()
+        multi = len(bindings) > 1
+        columns: list[Column] = []
+        keys: list[str] = []
+        for binding, table in bindings:
+            for col in table.schema.columns:
+                name = f"{binding}.{col.name}" if multi else col.name
+                columns.append(Column(name, col.type))
+                keys.append(f"{binding}.{col.name}")
+        schema = Schema(columns)
+        rows = [tuple(env[k] for k in keys) for env in envs]
+        return Relation(schema, rows)
+
+    names = [name for _expr, name in targets]
+    if len(set(names)) != len(names):
+        raise SqlError(f"duplicate output column names: {names}")
+    value_rows = [
+        tuple(expr.eval(env) for expr, _name in targets) for env in envs
+    ]
+    columns = []
+    for i, name in enumerate(names):
+        columns.append(Column(name, _infer_type([r[i] for r in value_rows])))
+    return Relation(Schema(columns), value_rows)

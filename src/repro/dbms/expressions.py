@@ -1,0 +1,287 @@
+"""Expression trees for WHERE clauses and projections.
+
+Besides evaluation, expressions support the structural surgery the MOST
+bridge needs for section 5.1's decomposition: enumerate the *atoms*
+(comparisons) of a boolean combination, test which reference dynamic
+attributes, and substitute an atom by TRUE/FALSE
+(``F = (F' ∧ p) ∨ (F'' ∧ ¬p)`` with ``F'``/``F''`` the two substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import SqlError
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def eval(self, env: dict[str, object]) -> object:
+        """Evaluate against a column-name → value environment."""
+        raise NotImplementedError
+
+    def references(self) -> set[str]:
+        """All column names mentioned in the subtree."""
+        return set()
+
+    def atoms(self) -> Iterator["Expr"]:
+        """The boolean atoms (non-AND/OR/NOT subtrees) of this tree."""
+        yield self
+
+    def substitute(self, target: "Expr", replacement: "Expr") -> "Expr":
+        """Structurally replace every occurrence of ``target``."""
+        if self == target:
+            return replacement
+        return self
+
+    # Python operator sugar for building trees in code.
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value."""
+
+    value: object
+
+    def eval(self, env: dict[str, object]) -> object:
+        return self.value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A reference to a column (possibly ``table.column`` qualified)."""
+
+    name: str
+
+    def eval(self, env: dict[str, object]) -> object:
+        if self.name in env:
+            return env[self.name]
+        # Allow unqualified references to qualified environments.
+        matches = [k for k in env if k.endswith("." + self.name)]
+        if len(matches) == 1:
+            return env[matches[0]]
+        if len(matches) > 1:
+            raise SqlError(f"ambiguous column reference {self.name!r}")
+        raise SqlError(f"unknown column {self.name!r}")
+
+    def references(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_ARITH: dict[str, Callable[[object, object], object]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+_COMPARE: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic: ``left op right`` with op in ``+ - * / %``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH:
+            raise SqlError(f"unknown arithmetic operator {self.op!r}")
+
+    def eval(self, env: dict[str, object]) -> object:
+        lhs = self.left.eval(env)
+        rhs = self.right.eval(env)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return _ARITH[self.op](lhs, rhs)
+        except ZeroDivisionError:
+            raise SqlError("division by zero") from None
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def substitute(self, target: Expr, replacement: Expr) -> Expr:
+        if self == target:
+            return replacement
+        return BinOp(
+            self.op,
+            self.left.substitute(target, replacement),
+            self.right.substitute(target, replacement),
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A boolean atom: ``left op right`` with op in ``= != < <= > >=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARE:
+            raise SqlError(f"unknown comparison operator {self.op!r}")
+
+    def eval(self, env: dict[str, object]) -> object:
+        lhs = self.left.eval(env)
+        rhs = self.right.eval(env)
+        if lhs is None or rhs is None:
+            return None  # SQL three-valued logic: NULL comparisons are NULL.
+        try:
+            return _COMPARE[self.op](lhs, rhs)
+        except TypeError as exc:
+            raise SqlError(
+                f"cannot compare {lhs!r} and {rhs!r} with {self.op}"
+            ) from exc
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def substitute(self, target: Expr, replacement: Expr) -> Expr:
+        if self == target:
+            return replacement
+        return Comparison(
+            self.op,
+            self.left.substitute(target, replacement),
+            self.right.substitute(target, replacement),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Boolean conjunction (NULL-aware)."""
+
+    left: Expr
+    right: Expr
+
+    def eval(self, env: dict[str, object]) -> object:
+        lhs = self.left.eval(env)
+        if lhs is False:
+            return False
+        rhs = self.right.eval(env)
+        if rhs is False:
+            return False
+        if lhs is None or rhs is None:
+            return None
+        return True
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def atoms(self) -> Iterator[Expr]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def substitute(self, target: Expr, replacement: Expr) -> Expr:
+        if self == target:
+            return replacement
+        return And(
+            self.left.substitute(target, replacement),
+            self.right.substitute(target, replacement),
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Boolean disjunction (NULL-aware)."""
+
+    left: Expr
+    right: Expr
+
+    def eval(self, env: dict[str, object]) -> object:
+        lhs = self.left.eval(env)
+        if lhs is True:
+            return True
+        rhs = self.right.eval(env)
+        if rhs is True:
+            return True
+        if lhs is None or rhs is None:
+            return None
+        return False
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def atoms(self) -> Iterator[Expr]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def substitute(self, target: Expr, replacement: Expr) -> Expr:
+        if self == target:
+            return replacement
+        return Or(
+            self.left.substitute(target, replacement),
+            self.right.substitute(target, replacement),
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Boolean negation (NULL-aware)."""
+
+    operand: Expr
+
+    def eval(self, env: dict[str, object]) -> object:
+        val = self.operand.eval(env)
+        if val is None:
+            return None
+        return not val
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+    def atoms(self) -> Iterator[Expr]:
+        yield from self.operand.atoms()
+
+    def substitute(self, target: Expr, replacement: Expr) -> Expr:
+        if self == target:
+            return replacement
+        return Not(self.operand.substitute(target, replacement))
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"

@@ -1,0 +1,13 @@
+"""Secondary index structures of the DBMS substrate.
+
+Two access methods: a hash index (exact match) and a B+-tree (exact match
+and range scans).  Section 4 of the paper requires "logarithmic (in the
+number of objects) access time" — the B+-tree provides it for 1-D keys,
+and the spatial structures in :mod:`repro.index` provide it for the
+(time, value) plane of dynamic attributes.
+"""
+
+from repro.dbms.indexes.btree import BPlusTree
+from repro.dbms.indexes.hashindex import HashIndex
+
+__all__ = ["BPlusTree", "HashIndex"]

@@ -1,0 +1,327 @@
+"""A B+-tree supporting duplicate keys, point and range lookups.
+
+Values live only in the leaves; leaves are chained left-to-right so range
+scans stream in key order.  Duplicates are handled by storing a list of
+values per key entry.  Deletion uses lazy underflow handling (borrow or
+merge), keeping the classic invariants:
+
+* every node except the root has at least ``ceil(order / 2) - 1`` keys;
+* all leaves sit at the same depth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import IndexError_
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: list[object] = []
+        self.children: list[_Node] = []  # internal nodes only
+        self.values: list[list[object]] = []  # leaves only
+        self.next_leaf: _Node | None = None  # leaves only
+
+
+class BPlusTree:
+    """An in-memory B+-tree index from orderable keys to value lists."""
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 4:
+            raise IndexError_("B+-tree order must be at least 4")
+        self._order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone leaf root)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: object) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = _upper_bound(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key: object) -> list[object]:
+        """All values stored under ``key`` (empty list when absent)."""
+        leaf = self._find_leaf(key)
+        idx = _lower_bound(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range(
+        self, lo: object | None, hi: object | None
+    ) -> Iterator[tuple[object, object]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi`` in key
+        order; ``None`` bounds are open."""
+        if lo is not None and hi is not None and hi < lo:
+            return
+        leaf = self._find_leaf(lo) if lo is not None else self._leftmost()
+        while leaf is not None:
+            for key, vals in zip(leaf.keys, leaf.values):
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key > hi:
+                    return
+                for v in vals:
+                    yield key, v
+            leaf = leaf.next_leaf
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        """All pairs in key order."""
+        return self.range(None, None)
+
+    def keys(self) -> list[object]:
+        """All distinct keys in order."""
+        out = []
+        leaf = self._leftmost()
+        while leaf is not None:
+            out.extend(leaf.keys)
+            leaf = leaf.next_leaf
+        return out
+
+    def _leftmost(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: object, value: object) -> None:
+        """Insert one ``(key, value)`` pair (duplicates allowed)."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(
+        self, node: _Node, key: object, value: object
+    ) -> tuple[object, _Node] | None:
+        if node.is_leaf:
+            idx = _lower_bound(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(value)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [value])
+            if len(node.keys) < self._order:
+                return None
+            return self._split_leaf(node)
+        idx = _upper_bound(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) < self._order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key: object, value: object) -> bool:
+        """Remove one ``(key, value)`` pair; returns whether it existed."""
+        removed = self._delete(self._root, key, value)
+        if removed:
+            self._size -= 1
+            if not self._root.is_leaf and len(self._root.children) == 1:
+                self._root = self._root.children[0]
+        return removed
+
+    def _min_keys(self) -> int:
+        return (self._order + 1) // 2 - 1
+
+    def _delete(self, node: _Node, key: object, value: object) -> bool:
+        if node.is_leaf:
+            idx = _lower_bound(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                return False
+            try:
+                node.values[idx].remove(value)
+            except ValueError:
+                return False
+            if not node.values[idx]:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+            return True
+        idx = _upper_bound(node.keys, key)
+        child = node.children[idx]
+        removed = self._delete(child, key, value)
+        if removed and _entry_count(child) < self._min_keys():
+            self._rebalance(node, idx)
+        return removed
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if left is not None and _entry_count(left) > self._min_keys():
+            self._borrow_from_left(parent, idx, left, child)
+            return
+        if right is not None and _entry_count(right) > self._min_keys():
+            self._borrow_from_right(parent, idx, child, right)
+            return
+        if left is not None:
+            self._merge(parent, idx - 1, left, child)
+        elif right is not None:
+            self._merge(parent, idx, child, right)
+
+    def _borrow_from_left(
+        self, parent: _Node, idx: int, left: _Node, child: _Node
+    ) -> None:
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Node, idx: int, child: _Node, right: _Node
+    ) -> None:
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(
+        self, parent: _Node, sep_idx: int, left: _Node, right: _Node
+    ) -> None:
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[sep_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(sep_idx)
+        parent.children.pop(sep_idx + 1)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises :class:`IndexError_`."""
+        depths = set()
+        self._check(self._root, None, None, 0, depths, is_root=True)
+        if len(depths) > 1:
+            raise IndexError_(f"leaves at different depths: {depths}")
+
+    def _check(
+        self,
+        node: _Node,
+        lo: object | None,
+        hi: object | None,
+        depth: int,
+        depths: set[int],
+        is_root: bool = False,
+    ) -> None:
+        keys = node.keys
+        if sorted(keys, key=_order_key) != keys:
+            raise IndexError_(f"unsorted keys {keys}")
+        for k in keys:
+            if lo is not None and k < lo:
+                raise IndexError_(f"key {k} below bound {lo}")
+            if hi is not None and k >= hi:
+                raise IndexError_(f"key {k} above bound {hi}")
+        if not is_root and _entry_count(node) < self._min_keys():
+            raise IndexError_("underfull node")
+        if node.is_leaf:
+            depths.add(depth)
+            if len(node.values) != len(node.keys):
+                raise IndexError_("leaf key/value length mismatch")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise IndexError_("internal fanout mismatch")
+        bounds = [lo] + list(keys) + [hi]
+        for i, child in enumerate(node.children):
+            self._check(child, bounds[i], bounds[i + 1], depth + 1, depths)
+
+
+def _entry_count(node: _Node) -> int:
+    return len(node.keys)
+
+
+def _order_key(k: object):
+    return k
+
+
+def _lower_bound(keys: Sequence[object], key: object) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _upper_bound(keys: Sequence[object], key: object) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,44 @@
+"""A hash index: exact-match lookups in expected O(1)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class HashIndex:
+    """Maps hashable keys to multisets of values (row ids)."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[object, list[object]] = defaultdict(list)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: object, value: object) -> None:
+        """Add one pair (duplicates allowed)."""
+        self._buckets[key].append(value)
+        self._size += 1
+
+    def delete(self, key: object, value: object) -> bool:
+        """Remove one pair; returns whether it existed."""
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return False
+        try:
+            bucket.remove(value)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._buckets[key]
+        self._size -= 1
+        return True
+
+    def search(self, key: object) -> list[object]:
+        """All values under ``key`` (empty when absent)."""
+        return list(self._buckets.get(key, ()))
+
+    def keys(self) -> Iterator[object]:
+        """Distinct keys, in arbitrary order."""
+        return iter(self._buckets)

@@ -1,0 +1,220 @@
+"""The query planner: SELECT AST → physical plan.
+
+Planning is deliberately classical and small:
+
+1. split the WHERE clause into AND-conjuncts;
+2. per table, pick an access path — index equality, index range, or
+   sequential scan — from any sargable conjunct (``col op literal`` on an
+   indexed column);
+3. join left-deep, upgrading to a hash join whenever a conjunct equates a
+   column of the accumulated left side with one of the next table;
+4. apply the remaining conjuncts in a final filter, then project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.expressions import And, ColumnRef, Comparison, Expr, Literal
+from repro.dbms.executor import (
+    ExecutionStats,
+    Filter,
+    HashJoin,
+    IndexEqScan,
+    IndexRangeScan,
+    NestedLoopJoin,
+    PlanNode,
+    SeqScan,
+)
+from repro.dbms.sql.ast import Select, TableRef
+from repro.dbms.table import Table
+from repro.errors import SqlError
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a WHERE clause into its top-level AND-conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    """Rebuild an expression from conjuncts (``None`` when empty)."""
+    if not conjuncts:
+        return None
+    out = conjuncts[0]
+    for c in conjuncts[1:]:
+        out = And(out, c)
+    return out
+
+
+@dataclass
+class _BoundTable:
+    ref: TableRef
+    table: Table
+
+
+class Planner:
+    """Plans SELECT statements against a catalog of tables."""
+
+    def __init__(
+        self, tables: dict[str, Table], stats: ExecutionStats
+    ) -> None:
+        self._tables = tables
+        self._stats = stats
+
+    def plan(self, select: Select) -> tuple[PlanNode, list[tuple[Expr, str]] | None]:
+        """Return ``(root plan, projection targets)``."""
+        bound = [self._bind(ref) for ref in select.tables]
+        bindings = [b.ref.binding for b in bound]
+        if len(set(bindings)) != len(bindings):
+            raise SqlError(f"duplicate table bindings {bindings}")
+
+        conjuncts = split_conjuncts(select.where)
+        remaining: list[Expr] = []
+        scans: dict[str, PlanNode] = {}
+
+        # Access-path selection per table.
+        for b in bound:
+            choice = None
+            for c in conjuncts:
+                info = self._sargable(c, b, bound)
+                if info is not None:
+                    choice = (c, info)
+                    break
+            if choice is not None:
+                used_conjunct, (column, op, value) = choice
+                scans[b.ref.binding] = self._index_scan(b, column, op, value)
+                conjuncts = [c for c in conjuncts if c is not used_conjunct]
+            else:
+                scans[b.ref.binding] = SeqScan(
+                    b.table, b.ref.binding, self._stats
+                )
+
+        # Left-deep joins with hash-join upgrades.
+        plan: PlanNode = scans[bound[0].ref.binding]
+        joined = {bound[0].ref.binding}
+        for b in bound[1:]:
+            right = scans[b.ref.binding]
+            equi = self._find_equi_conjunct(conjuncts, joined, b, plan)
+            if equi is not None:
+                conjunct, left_key, right_key = equi
+                plan = HashJoin(plan, right, left_key, right_key)
+                conjuncts = [c for c in conjuncts if c is not conjunct]
+            else:
+                plan = NestedLoopJoin(plan, right)
+            joined.add(b.ref.binding)
+
+        residual = conjoin(conjuncts)
+        if residual is not None:
+            plan = Filter(plan, residual)
+
+        if select.targets is None:
+            return plan, None
+        targets: list[tuple[Expr, str]] = []
+        for i, t in enumerate(select.targets):
+            name = t.alias
+            if name is None:
+                name = str(t.expr) if not isinstance(t.expr, ColumnRef) else t.expr.name
+            targets.append((t.expr, name))
+        return plan, targets
+
+    # ------------------------------------------------------------------
+    def _bind(self, ref: TableRef) -> _BoundTable:
+        table = self._tables.get(ref.name)
+        if table is None:
+            raise SqlError(f"unknown table {ref.name!r}")
+        return _BoundTable(ref, table)
+
+    def _resolve_column(self, name: str, b: _BoundTable) -> str | None:
+        """Map a reference to a column of ``b``'s table, or ``None``."""
+        prefix = b.ref.binding + "."
+        if name.startswith(prefix) and name[len(prefix):] in b.table.schema:
+            return name[len(prefix):]
+        if name in b.table.schema:
+            return name
+        return None
+
+    def _sargable(
+        self, conjunct: Expr, b: _BoundTable, bound: list[_BoundTable]
+    ) -> tuple[str, str, object] | None:
+        """``(column, op, literal)`` when the conjunct can drive an index
+        scan on ``b``'s table."""
+        if not isinstance(conjunct, Comparison):
+            return None
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            return None
+        column = self._resolve_column(left.name, b)
+        if column is None:
+            return None
+        # An unqualified name resolving in more than one bound table is
+        # ambiguous — leave it to the residual filter (which raises).
+        if "." not in left.name or not left.name.startswith(b.ref.binding + "."):
+            owners = sum(
+                1 for other in bound if self._resolve_column(left.name, other)
+            )
+            if owners > 1:
+                return None
+        entry = b.table.index_on(column)
+        if entry is None:
+            return None
+        kind, _index = entry
+        if op == "=":
+            return column, op, right.value
+        if kind == "btree" and op in ("<", "<=", ">", ">="):
+            return column, op, right.value
+        return None
+
+    def _index_scan(
+        self, b: _BoundTable, column: str, op: str, value: object
+    ) -> PlanNode:
+        binding = b.ref.binding
+        if op == "=":
+            return IndexEqScan(b.table, binding, column, value, self._stats)
+        lo = value if op in (">", ">=") else None
+        hi = value if op in ("<", "<=") else None
+        scan = IndexRangeScan(b.table, binding, column, lo, hi, self._stats)
+        if op in ("<", ">"):
+            # Closed-bound index ranges need a strictness filter on top.
+            return Filter(
+                scan,
+                Comparison(op, ColumnRef(f"{binding}.{column}"), Literal(value)),
+            )
+        return scan
+
+    def _find_equi_conjunct(
+        self,
+        conjuncts: list[Expr],
+        joined: set[str],
+        b: _BoundTable,
+        left_plan: PlanNode,
+    ) -> tuple[Expr, Expr, Expr] | None:
+        """A conjunct ``left_col = right_col`` bridging the joined set and
+        the incoming table ``b``."""
+        left_tables = dict(left_plan.bindings())
+        for c in conjuncts:
+            if not (isinstance(c, Comparison) and c.op == "="):
+                continue
+            if not (
+                isinstance(c.left, ColumnRef) and isinstance(c.right, ColumnRef)
+            ):
+                continue
+            sides = {}
+            for expr in (c.left, c.right):
+                if self._resolve_column(expr.name, b) is not None:
+                    sides.setdefault("right", expr)
+                else:
+                    for binding, table in left_tables.items():
+                        fake = _BoundTable(TableRef(table.name, binding), table)
+                        if self._resolve_column(expr.name, fake) is not None:
+                            sides.setdefault("left", expr)
+                            break
+            if "left" in sides and "right" in sides:
+                return c, sides["left"], sides["right"]
+        return None

@@ -1,0 +1,146 @@
+"""Schemas: ordered, typed column lists with an optional primary key."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.dbms.types import DataType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a :class:`~repro.dbms.types.DataType`."""
+
+    name: str
+    type: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").replace(
+            ".", "a"
+        ).isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.type}"
+
+
+class Schema:
+    """An ordered set of columns, optionally with a primary-key column.
+
+    Column names may contain dots — the convention the MOST bridge uses to
+    store dynamic sub-attributes (``pos_x.value``, ``pos_x.updatetime``,
+    ``pos_x.function``) as plain DBMS columns, per section 5.1.
+    """
+
+    __slots__ = ("_columns", "_index", "_key")
+
+    def __init__(
+        self, columns: Sequence[Column], key: str | None = None
+    ) -> None:
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(self._columns)}
+        if key is not None and key not in self._index:
+            raise SchemaError(f"key column {key!r} not in schema")
+        self._key = key
+
+    @classmethod
+    def of(cls, *specs: tuple[str, DataType], key: str | None = None) -> "Schema":
+        """Build from ``(name, type)`` pairs."""
+        return cls([Column(n, t) for n, t in specs], key=key)
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        """Ordered columns."""
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Ordered column names."""
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def key(self) -> str | None:
+        """Primary-key column name, if any."""
+        return self._key
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def index_of(self, name: str) -> int:
+        """Position of a column, raising on unknown names."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; have {list(self.names)}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """Column metadata by name."""
+        return self._columns[self.index_of(name)]
+
+    def key_index(self) -> int:
+        """Position of the primary key column."""
+        if self._key is None:
+            raise SchemaError("schema has no primary key")
+        return self._index[self._key]
+
+    # ------------------------------------------------------------------
+    def validate_row(self, values: Sequence[object]) -> tuple[object, ...]:
+        """Type-check and coerce a full row."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"row arity {len(values)} != schema arity {self.arity}"
+            )
+        return tuple(
+            c.type.validate(v) for c, v in zip(self._columns, values)
+        )
+
+    def row_from_mapping(self, mapping: dict[str, object]) -> tuple[object, ...]:
+        """Build a row from a name→value mapping (missing columns → NULL)."""
+        unknown = set(mapping) - set(self._index)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)}")
+        return self.validate_row(
+            [mapping.get(c.name) for c in self._columns]
+        )
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Sub-schema of the named columns, in the given order."""
+        return Schema([self.column(n) for n in names])
+
+    def concat(self, other: "Schema", prefix_self: str = "", prefix_other: str = "") -> "Schema":
+        """Schema of a join result; optional prefixes disambiguate."""
+        cols = [
+            Column(prefix_self + c.name, c.type) for c in self._columns
+        ] + [Column(prefix_other + c.name, c.type) for c in other._columns]
+        return Schema(cols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash((self._columns, self._key))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(str(c) for c in self._columns)
+        key = f", key={self._key!r}" if self._key else ""
+        return f"Schema({cols}{key})"

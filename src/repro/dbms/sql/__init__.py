@@ -1,0 +1,34 @@
+"""Mini-SQL front end: lexer, AST, and recursive-descent parser.
+
+The dialect covers what the paper's section 5.1 exposition needs from "the
+underlying nontemporal query language": CREATE TABLE, INSERT, SELECT with
+multi-table FROM + WHERE (joins), UPDATE, and DELETE.
+"""
+
+from repro.dbms.sql.ast import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    SelectTarget,
+    Statement,
+    TableRef,
+    Update,
+)
+from repro.dbms.sql.lexer import Token, tokenize
+from repro.dbms.sql.parser import parse_expression, parse_statement
+
+__all__ = [
+    "Statement",
+    "CreateTable",
+    "Insert",
+    "Select",
+    "SelectTarget",
+    "TableRef",
+    "Update",
+    "Delete",
+    "Token",
+    "tokenize",
+    "parse_statement",
+    "parse_expression",
+]

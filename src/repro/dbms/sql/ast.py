@@ -1,0 +1,80 @@
+"""Statement AST of the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.expressions import Expr
+from repro.dbms.schema import Column
+
+
+class Statement:
+    """Base class of all parsed statements."""
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """``CREATE TABLE name (col TYPE [PRIMARY KEY], ...)``."""
+
+    name: str
+    columns: tuple[Column, ...]
+    key: str | None = None
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO name [(cols)] VALUES (v, ...), (v, ...)``."""
+
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[object, ...], ...]
+
+
+@dataclass(frozen=True)
+class SelectTarget:
+    """One SELECT-list entry: an expression with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry: table name with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name rows of this table are qualified with."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """``SELECT targets FROM tables [WHERE expr]``.
+
+    ``targets`` is ``None`` for ``SELECT *``.
+    """
+
+    targets: tuple[SelectTarget, ...] | None
+    tables: tuple[TableRef, ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE table SET col = expr, ... [WHERE expr]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM table [WHERE expr]``."""
+
+    table: str
+    where: Expr | None = None

@@ -1,0 +1,98 @@
+"""Tokenizer for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlError
+
+KEYWORDS = {
+    "CREATE",
+    "TABLE",
+    "PRIMARY",
+    "KEY",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "TRUE",
+    "FALSE",
+    "NULL",
+}
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "*", "=", "<", ">", "+", "-", "/", "%", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is ``KEYWORD``, ``IDENT``, ``NUMBER``,
+    ``STRING``, ``SYMBOL`` or ``EOF``."""
+
+    kind: str
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a statement; raises :class:`SqlError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end == -1:
+                raise SqlError(f"unterminated string literal at {i}")
+            tokens.append(Token("STRING", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit belongs to an identifier
+                    # path, not this number.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                canonical = "!=" if sym == "<>" else sym
+                tokens.append(Token("SYMBOL", canonical, i))
+                i += len(sym)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

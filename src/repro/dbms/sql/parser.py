@@ -1,0 +1,327 @@
+"""Recursive-descent parser for the mini-SQL dialect.
+
+Operator precedence, loosest to tightest:
+``OR`` < ``AND`` < ``NOT`` < comparison < additive < multiplicative <
+unary minus < primary.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.expressions import (
+    And,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Not,
+    Or,
+)
+from repro.dbms.schema import Column
+from repro.dbms.sql.ast import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    SelectTarget,
+    Statement,
+    TableRef,
+    Update,
+)
+from repro.dbms.sql.lexer import Token, tokenize
+from repro.dbms.types import TYPES_BY_NAME
+from repro.errors import SqlError
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one SQL statement."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.statement()
+    parser.expect_eof()
+    return stmt
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (used in tests and by the bridge)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _match_keyword(self, *words: str) -> bool:
+        tok = self._peek()
+        if tok.kind == "KEYWORD" and tok.value in words:
+            self._advance()
+            return True
+        return False
+
+    def _match_symbol(self, *symbols: str) -> str | None:
+        tok = self._peek()
+        if tok.kind == "SYMBOL" and tok.value in symbols:
+            self._advance()
+            return tok.value
+        return None
+
+    def _expect_keyword(self, word: str) -> None:
+        tok = self._advance()
+        if tok.kind != "KEYWORD" or tok.value != word:
+            raise SqlError(f"expected {word}, got {tok.value!r} at {tok.pos}")
+
+    def _expect_symbol(self, symbol: str) -> None:
+        tok = self._advance()
+        if tok.kind != "SYMBOL" or tok.value != symbol:
+            raise SqlError(
+                f"expected {symbol!r}, got {tok.value!r} at {tok.pos}"
+            )
+
+    def _expect_ident(self) -> str:
+        tok = self._advance()
+        if tok.kind != "IDENT":
+            raise SqlError(f"expected identifier, got {tok.value!r} at {tok.pos}")
+        return tok.value
+
+    def expect_eof(self) -> None:
+        tok = self._peek()
+        if tok.kind != "EOF":
+            raise SqlError(f"unexpected trailing input {tok.value!r} at {tok.pos}")
+
+    def _dotted_name(self) -> str:
+        """IDENT (DOT IDENT)* joined with dots — covers both ``t.col``
+        qualification and dynamic sub-attribute names like
+        ``pos_x.value``."""
+        parts = [self._expect_ident()]
+        while self._match_symbol("."):
+            parts.append(self._expect_ident())
+        return ".".join(parts)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def statement(self) -> Statement:
+        tok = self._peek()
+        if tok.kind != "KEYWORD":
+            raise SqlError(f"expected a statement, got {tok.value!r}")
+        if tok.value == "CREATE":
+            return self._create_table()
+        if tok.value == "INSERT":
+            return self._insert()
+        if tok.value == "SELECT":
+            return self._select()
+        if tok.value == "UPDATE":
+            return self._update()
+        if tok.value == "DELETE":
+            return self._delete()
+        raise SqlError(f"unsupported statement {tok.value}")
+
+    def _create_table(self) -> CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        name = self._expect_ident()
+        self._expect_symbol("(")
+        columns: list[Column] = []
+        key: str | None = None
+        while True:
+            col_name = self._dotted_name()
+            type_tok = self._advance()
+            if type_tok.kind != "IDENT" or type_tok.value.upper() not in TYPES_BY_NAME:
+                raise SqlError(
+                    f"unknown column type {type_tok.value!r} at {type_tok.pos}"
+                )
+            columns.append(Column(col_name, TYPES_BY_NAME[type_tok.value.upper()]))
+            if self._match_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                if key is not None:
+                    raise SqlError("multiple PRIMARY KEY columns")
+                key = col_name
+            if not self._match_symbol(","):
+                break
+        self._expect_symbol(")")
+        return CreateTable(name, tuple(columns), key)
+
+    def _insert(self) -> Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: tuple[str, ...] | None = None
+        if self._match_symbol("("):
+            cols = [self._dotted_name()]
+            while self._match_symbol(","):
+                cols.append(self._dotted_name())
+            self._expect_symbol(")")
+            columns = tuple(cols)
+        self._expect_keyword("VALUES")
+        rows: list[tuple[object, ...]] = []
+        while True:
+            self._expect_symbol("(")
+            values = [self._literal_value()]
+            while self._match_symbol(","):
+                values.append(self._literal_value())
+            self._expect_symbol(")")
+            rows.append(tuple(values))
+            if not self._match_symbol(","):
+                break
+        return Insert(table, columns, tuple(rows))
+
+    def _literal_value(self) -> object:
+        expr = self.expression()
+        try:
+            return expr.eval({})
+        except SqlError:
+            raise SqlError("INSERT values must be constants") from None
+
+    def _select(self) -> Select:
+        self._expect_keyword("SELECT")
+        targets: tuple[SelectTarget, ...] | None
+        if self._match_symbol("*"):
+            targets = None
+        else:
+            items = [self._select_target()]
+            while self._match_symbol(","):
+                items.append(self._select_target())
+            targets = tuple(items)
+        self._expect_keyword("FROM")
+        tables = [self._table_ref()]
+        while self._match_symbol(","):
+            tables.append(self._table_ref())
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.expression()
+        return Select(targets, tuple(tables), where)
+
+    def _select_target(self) -> SelectTarget:
+        expr = self.expression()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        return SelectTarget(expr, alias)
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect_ident()
+        alias = None
+        tok = self._peek()
+        if tok.kind == "IDENT":
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def _update(self) -> Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._match_symbol(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.expression()
+        return Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> tuple[str, Expr]:
+        column = self._dotted_name()
+        self._expect_symbol("=")
+        return column, self.expression()
+
+    def _delete(self) -> Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.expression()
+        return Delete(table, where)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._match_keyword("OR"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._match_keyword("AND"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._match_keyword("NOT"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        op = self._match_symbol("=", "!=", "<", "<=", ">", ">=")
+        if op is None:
+            return left
+        right = self._additive()
+        return Comparison(op, left, right)
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            op = self._match_symbol("+", "-")
+            if op is None:
+                return left
+            left = BinOp(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            op = self._match_symbol("*", "/", "%")
+            if op is None:
+                return left
+            left = BinOp(op, left, self._unary())
+
+    def _unary(self) -> Expr:
+        if self._match_symbol("-"):
+            operand = self._unary()
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Literal(-operand.value)
+            return BinOp("-", Literal(0), operand)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind == "NUMBER":
+            self._advance()
+            text = tok.value
+            return Literal(float(text) if "." in text else int(text))
+        if tok.kind == "STRING":
+            self._advance()
+            return Literal(tok.value)
+        if tok.kind == "KEYWORD" and tok.value in ("TRUE", "FALSE", "NULL"):
+            self._advance()
+            return Literal(
+                {"TRUE": True, "FALSE": False, "NULL": None}[tok.value]
+            )
+        if tok.kind == "IDENT":
+            return ColumnRef(self._dotted_name())
+        if tok.kind == "SYMBOL" and tok.value == "(":
+            self._advance()
+            inner = self.expression()
+            self._expect_symbol(")")
+            return inner
+        raise SqlError(f"unexpected token {tok.value!r} at {tok.pos}")

@@ -1,0 +1,165 @@
+"""Tables: typed row storage with key enforcement and secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.dbms.indexes.btree import BPlusTree
+from repro.dbms.indexes.hashindex import HashIndex
+from repro.dbms.schema import Schema
+from repro.errors import SchemaError
+
+Row = tuple[object, ...]
+
+
+class Table:
+    """An in-memory heap of rows plus any number of secondary indexes.
+
+    Rows are addressed by a surrogate row id so indexes stay valid across
+    updates of non-indexed columns.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: dict[int, Row] = {}
+        self._next_rowid = 0
+        self._key_map: dict[object, int] = {}
+        self._indexes: dict[str, tuple[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """All ``(rowid, row)`` pairs in insertion order."""
+        return iter(sorted(self._rows.items()))
+
+    def rows(self) -> list[Row]:
+        """All rows in insertion order."""
+        return [row for _, row in self.scan()]
+
+    def get(self, rowid: int) -> Row:
+        """Row by id (raises on stale ids)."""
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise SchemaError(f"no row with id {rowid} in {self.name}") from None
+
+    def get_by_key(self, key: object) -> Row | None:
+        """Row by primary-key value, or ``None``."""
+        rowid = self._key_map.get(key)
+        return self._rows[rowid] if rowid is not None else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[object]) -> int:
+        """Insert a row, returning its row id."""
+        row = self.schema.validate_row(values)
+        if self.schema.key is not None:
+            key = row[self.schema.key_index()]
+            if key is None:
+                raise SchemaError(f"NULL key inserted into {self.name}")
+            if key in self._key_map:
+                raise SchemaError(
+                    f"duplicate key {key!r} in table {self.name}"
+                )
+            self._key_map[key] = self._next_rowid
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        for column, index in self._index_objects():
+            index.insert(row[self.schema.index_of(column)], rowid)
+        return rowid
+
+    def insert_mapping(self, mapping: dict[str, object]) -> int:
+        """Insert from a name→value mapping."""
+        return self.insert(self.schema.row_from_mapping(mapping))
+
+    def delete_row(self, rowid: int) -> Row:
+        """Delete by row id, returning the removed row."""
+        row = self.get(rowid)
+        del self._rows[rowid]
+        if self.schema.key is not None:
+            del self._key_map[row[self.schema.key_index()]]
+        for column, index in self._index_objects():
+            index.delete(row[self.schema.index_of(column)], rowid)
+        return row
+
+    def update_row(self, rowid: int, changes: dict[str, object]) -> tuple[Row, Row]:
+        """Apply column changes to one row; returns ``(old, new)``."""
+        old = self.get(rowid)
+        values = list(old)
+        for name, value in changes.items():
+            idx = self.schema.index_of(name)
+            values[idx] = self.schema.column(name).type.validate(value)
+        new = tuple(values)
+        if self.schema.key is not None:
+            key_idx = self.schema.key_index()
+            if new[key_idx] != old[key_idx]:
+                if new[key_idx] in self._key_map:
+                    raise SchemaError(
+                        f"duplicate key {new[key_idx]!r} in {self.name}"
+                    )
+                del self._key_map[old[key_idx]]
+                self._key_map[new[key_idx]] = rowid
+        self._rows[rowid] = new
+        for column, index in self._index_objects():
+            idx = self.schema.index_of(column)
+            if old[idx] != new[idx]:
+                index.delete(old[idx], rowid)
+                index.insert(new[idx], rowid)
+        return old, new
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, column: str, kind: str = "btree") -> None:
+        """Create a secondary index on ``column`` (``btree`` or ``hash``)."""
+        self.schema.index_of(column)  # validates the column exists
+        if column in self._indexes:
+            raise SchemaError(f"index on {column!r} already exists")
+        if kind == "btree":
+            index: object = BPlusTree()
+        elif kind == "hash":
+            index = HashIndex()
+        else:
+            raise SchemaError(f"unknown index kind {kind!r}")
+        idx = self.schema.index_of(column)
+        for rowid, row in self._rows.items():
+            index.insert(row[idx], rowid)
+        self._indexes[column] = (kind, index)
+
+    def index_on(self, column: str) -> tuple[str, object] | None:
+        """``(kind, index)`` for the column, or ``None``."""
+        return self._indexes.get(column)
+
+    def has_index(self, column: str) -> bool:
+        """Whether a secondary index exists on the column."""
+        return column in self._indexes
+
+    def _index_objects(self) -> Iterator[tuple[str, object]]:
+        for column, (_kind, index) in self._indexes.items():
+            yield column, index
+
+    def index_lookup(self, column: str, value: object) -> list[int]:
+        """Row ids with ``column == value`` via the index."""
+        entry = self._indexes.get(column)
+        if entry is None:
+            raise SchemaError(f"no index on {column!r}")
+        return list(entry[1].search(value))
+
+    def index_range(
+        self, column: str, lo: object | None, hi: object | None
+    ) -> list[int]:
+        """Row ids with ``lo <= column <= hi`` via a B+-tree index."""
+        entry = self._indexes.get(column)
+        if entry is None or entry[0] != "btree":
+            raise SchemaError(f"no range index on {column!r}")
+        return [rowid for _key, rowid in entry[1].range(lo, hi)]
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows)"

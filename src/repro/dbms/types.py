@@ -1,0 +1,82 @@
+"""Value types of the relational substrate.
+
+Four scalar types cover everything the paper's examples need (ids, prices,
+coordinates, names, and the sub-attributes of dynamic attributes, whose
+``A.function`` column stores a slope as a FLOAT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A scalar column type with validation and coercion rules."""
+
+    name: str
+
+    def validate(self, value: object) -> object:
+        """Coerce ``value`` to this type, or raise :class:`SchemaError`.
+
+        ``None`` is always legal (SQL NULL).
+        """
+        if value is None:
+            return None
+        try:
+            return _COERCERS[self.name](value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"value {value!r} is not a valid {self.name}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _coerce_int(value: object) -> int:
+    if isinstance(value, bool):
+        raise ValueError("bool is not an INT")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise ValueError(f"not an integer: {value!r}")
+
+
+def _coerce_float(value: object) -> float:
+    if isinstance(value, bool):
+        raise ValueError("bool is not a FLOAT")
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise ValueError(f"not a number: {value!r}")
+
+
+def _coerce_string(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    raise ValueError(f"not a string: {value!r}")
+
+
+def _coerce_bool(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+_COERCERS = {
+    "INT": _coerce_int,
+    "FLOAT": _coerce_float,
+    "STRING": _coerce_string,
+    "BOOL": _coerce_bool,
+}
+
+INT = DataType("INT")
+FLOAT = DataType("FLOAT")
+STRING = DataType("STRING")
+BOOL = DataType("BOOL")
+
+#: Lookup used by the SQL parser's CREATE TABLE clause.
+TYPES_BY_NAME = {t.name: t for t in (INT, FLOAT, STRING, BOOL)}

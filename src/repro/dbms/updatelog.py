@@ -1,0 +1,83 @@
+"""The update log: every explicit database update, in commit order.
+
+Two consumers, both from the paper:
+
+* **Continuous queries** (section 2.3): "a continuous query CQ has to be
+  reevaluated when an update occurs that may change the set of tuples
+  Answer(CQ)" — subscribers get a callback per update and decide whether
+  their materialised answer is affected.
+* **Persistent queries** (section 2.3): "the evaluation of persistent
+  queries requires saving of information about the way the database is
+  updated over time" — the log *is* that saved information; the persistent
+  evaluator replays it to rebuild the history anchored at entry time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One committed update.
+
+    Attributes:
+        time: transaction time (== valid time; the paper assumes
+            instantaneous updates, section 2.1).
+        table: table name.
+        op: ``"insert"``, ``"delete"`` or ``"update"``.
+        key: primary-key value of the affected row (or rowid when keyless).
+        old: the prior row (``None`` for inserts).
+        new: the new row (``None`` for deletes).
+    """
+
+    time: int
+    table: str
+    op: str
+    key: object
+    old: tuple[object, ...] | None
+    new: tuple[object, ...] | None
+
+
+Subscriber = Callable[[UpdateRecord], None]
+
+
+class UpdateLog:
+    """Append-only commit log with subscriber fan-out."""
+
+    def __init__(self) -> None:
+        self._records: list[UpdateRecord] = []
+        self._subscribers: list[Subscriber] = []
+
+    def append(self, record: UpdateRecord) -> None:
+        """Commit a record and notify subscribers in order."""
+        self._records.append(record)
+        for sub in list(self._subscribers):
+            sub(record)
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Register a callback; returns an unsubscribe function."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        return iter(self._records)
+
+    def since(self, time: int) -> list[UpdateRecord]:
+        """Records with commit time strictly greater than ``time``."""
+        return [r for r in self._records if r.time > time]
+
+    def for_table(self, table: str) -> list[UpdateRecord]:
+        """Records touching one table, in commit order."""
+        return [r for r in self._records if r.table == table]

@@ -1,0 +1,88 @@
+"""Classification of distributed MOST queries (section 5.3).
+
+* **self-referencing** — "a predicate whose truth value can be determined
+  by examining only the attributes of the object issuing the query"
+  ("Will I reach the point (a, b) in 3 minutes?").
+* **object query** — "a predicate whose truth value can be determined for
+  an object independently of other objects" ("Retrieve the objects that
+  will reach the point (a, b) in 3 minutes").
+* **relationship query** — "a predicate whose truth value can only be
+  determined given two or more objects" ("objects that will stay within 2
+  miles of each other").
+
+The classification is syntactic: an atom mentioning two or more distinct
+object variables makes the query relational; otherwise a query whose only
+object variable is the issuer itself is self-referencing; otherwise it is
+an object query.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.ftl.ast import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Assign,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    Nexttime,
+    NotF,
+    OrF,
+    Until,
+    UntilWithin,
+)
+from repro.ftl.query import FtlQuery
+
+
+class QueryKind(Enum):
+    """The three distributed query types of section 5.3."""
+
+    SELF_REFERENCING = "self-referencing"
+    OBJECT = "object"
+    RELATIONSHIP = "relationship"
+
+
+def _atoms(formula: Formula):
+    if isinstance(formula, (AndF, OrF, Until, UntilWithin)):
+        yield from _atoms(formula.left)
+        yield from _atoms(formula.right)
+    elif isinstance(
+        formula,
+        (
+            NotF,
+            Nexttime,
+            Eventually,
+            EventuallyWithin,
+            EventuallyAfter,
+            Always,
+            AlwaysFor,
+        ),
+    ):
+        yield from _atoms(formula.operand)
+    elif isinstance(formula, Assign):
+        yield from _atoms(formula.body)
+    else:
+        yield formula
+
+
+def classify_query(query: FtlQuery, issuer_var: str | None = None) -> QueryKind:
+    """Classify a query for distributed processing.
+
+    Args:
+        query: the FTL query.
+        issuer_var: the FROM variable denoting the issuing object, when
+            the query is entered at a mobile computer.
+    """
+    object_vars = set(query.bindings)
+    for atom in _atoms(query.where):
+        mentioned = atom.free_vars() & object_vars
+        if len(mentioned) >= 2:
+            return QueryKind.RELATIONSHIP
+    used = query.where.free_vars() & object_vars
+    if issuer_var is not None and used <= {issuer_var}:
+        return QueryKind.SELF_REFERENCING
+    return QueryKind.OBJECT

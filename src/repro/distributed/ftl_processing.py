@@ -1,0 +1,148 @@
+"""Distributed evaluation of FTL queries (section 5.3, end to end).
+
+:mod:`repro.distributed.strategies` takes plain Python predicates; this
+module closes the loop with the query language: an FTL query entered at a
+mobile computer is classified and processed with the strategy the paper
+prescribes for its class —
+
+* **self-referencing** — evaluated on the issuer's own object, locally;
+* **object query** — broadcast; every node evaluates the query over a
+  one-object view of *its own* object ("each computer C for which the
+  predicate is satisfied sends the object C to M");
+* **relationship query** — every node ships its object to the issuer,
+  which builds the full view and "processes the query" centrally.
+
+Every node owns a copy of the static environment (the named regions); only
+object state moves over the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.database import MostDatabase, Region
+from repro.core.dynamic import DynamicAttribute
+from repro.core.objects import ObjectClass
+from repro.core.queries import InstantaneousQuery
+from repro.distributed.classify import QueryKind, classify_query
+from repro.distributed.node import MobileNode
+from repro.distributed.strategies import OBJECT_SIZE, QUERY_SIZE, REPLY_SIZE
+from repro.errors import DistributedError
+from repro.ftl.query import FtlQuery
+from repro.motion.moving import MovingPoint
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed FTL evaluation."""
+
+    kind: QueryKind
+    answer: set[tuple]
+    messages: int
+    bytes_sent: int
+
+
+def _view_for(
+    nodes: Sequence[MobileNode],
+    class_name: str,
+    regions: dict[str, Region],
+    clock,
+) -> MostDatabase:
+    """A MOST database holding the given nodes' objects."""
+    db = MostDatabase(clock=clock)
+    db.create_class(ObjectClass(class_name, spatial_dimensions=2))
+    for node in nodes:
+        _add_node_object(db, class_name, node.node_id, node.mover)
+    for name, region in regions.items():
+        db.define_region(name, region)
+    return db
+
+
+def _add_node_object(
+    db: MostDatabase, class_name: str, node_id: str, mover: MovingPoint
+) -> None:
+    cls = db.object_class(class_name)
+    dynamic: dict[str, DynamicAttribute] = {}
+    for attr, coord, fn in zip(
+        cls.position_attributes, mover.anchor.coords, mover.functions
+    ):
+        dynamic[attr] = DynamicAttribute(
+            value=coord, updatetime=mover.anchor_time, function=fn
+        )
+    db.add_object(class_name, node_id, dynamic=dynamic)
+
+
+def _single_class(query: FtlQuery) -> str:
+    classes = set(query.bindings.values())
+    if len(classes) != 1:
+        raise DistributedError(
+            "distributed processing supports queries over one object class"
+        )
+    return next(iter(classes))
+
+
+def process_distributed(
+    coordinator: MobileNode,
+    others: Sequence[MobileNode],
+    query: FtlQuery,
+    horizon: int,
+    regions: dict[str, Region] | None = None,
+    issuer_var: str | None = None,
+) -> DistributedResult:
+    """Classify and process an FTL query across the fleet.
+
+    Returns the satisfying instantiations plus the message cost incurred,
+    measured on the coordinator's network.
+    """
+    regions = dict(regions or {})
+    network = coordinator.network
+    kind = classify_query(query, issuer_var=issuer_var)
+    class_name = _single_class(query)
+    before = (network.stats.attempted, network.stats.bytes_sent)
+
+    if kind is QueryKind.SELF_REFERENCING:
+        view = _view_for([coordinator], class_name, regions, network.clock)
+        answer = InstantaneousQuery(query, horizon).evaluate(view)
+
+    elif kind is QueryKind.OBJECT:
+        answer = set()
+        for node in others:
+            # Ship the query to the node ...
+            if not network.send(
+                coordinator.node_id, node.node_id, "query", str(query.where),
+                size=QUERY_SIZE,
+            ):
+                continue
+            # ... which evaluates it over its own object, in parallel with
+            # the rest of the fleet (sequential here, but each evaluation
+            # touches only local state).
+            view = _view_for([node], class_name, regions, network.clock)
+            local = InstantaneousQuery(query, horizon).evaluate(view)
+            if local and network.send(
+                node.node_id, coordinator.node_id, "reply", node.snapshot(),
+                size=REPLY_SIZE,
+            ):
+                answer |= local
+
+    elif kind is QueryKind.RELATIONSHIP:
+        received = [coordinator]
+        for node in others:
+            if network.send(
+                node.node_id, coordinator.node_id, "object", node.snapshot(),
+                size=OBJECT_SIZE,
+            ):
+                received.append(node)
+        view = _view_for(received, class_name, regions, network.clock)
+        answer = InstantaneousQuery(query, horizon).evaluate(view)
+
+    else:  # pragma: no cover - enum is closed
+        raise DistributedError(f"unknown query kind {kind}")
+
+    after = (network.stats.attempted, network.stats.bytes_sent)
+    return DistributedResult(
+        kind=kind,
+        answer=answer,
+        messages=after[0] - before[0],
+        bytes_sent=after[1] - before[1],
+    )

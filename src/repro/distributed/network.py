@@ -1,0 +1,122 @@
+"""A deterministic message-passing simulation with cost accounting.
+
+Messages are delivered synchronously at the current clock tick; a message
+to (or from) a node inside one of its *disconnection windows* is lost —
+the paper's motivating failure ("due to disconnection, an object cannot
+continuously update its position", section 1; the propagation probability
+of section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DistributedError
+from repro.temporal import DENSE, IntervalSet, SimulationClock
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    time: int
+    src: str
+    dst: str
+    kind: str
+    payload: object
+    size: int
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate message accounting (experiments E2, E7, E8 read this)."""
+
+    attempted: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.attempted = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.bytes_sent = 0
+
+
+Handler = Callable[[Message], None]
+
+
+class SimNetwork:
+    """Nodes, handlers, disconnection windows, and per-message stats."""
+
+    def __init__(self, clock: SimulationClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimulationClock()
+        self.stats = NetworkStats()
+        self._handlers: dict[str, Handler] = {}
+        self._offline: dict[str, IntervalSet] = {}
+        self.log: list[Message] = []
+
+    # ------------------------------------------------------------------
+    def register(self, node_id: str, handler: Handler) -> None:
+        """Attach a node; its handler receives delivered messages."""
+        if node_id in self._handlers:
+            raise DistributedError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+        self._offline.setdefault(node_id, IntervalSet.empty(DENSE))
+
+    def node_ids(self) -> list[str]:
+        """All registered node ids."""
+        return list(self._handlers)
+
+    def set_disconnections(
+        self, node_id: str, windows: list[tuple[float, float]]
+    ) -> None:
+        """Schedule the node's offline windows."""
+        if node_id not in self._handlers:
+            raise DistributedError(f"unknown node {node_id!r}")
+        self._offline[node_id] = IntervalSet.from_pairs(windows)
+
+    def is_connected(self, node_id: str, at: float | None = None) -> bool:
+        """Whether the node is reachable at ``at`` (default: now)."""
+        t = self.clock.now if at is None else at
+        return not self._offline.get(
+            node_id, IntervalSet.empty(DENSE)
+        ).contains(t)
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: object,
+        size: int = 1,
+    ) -> bool:
+        """Attempt delivery; returns whether the message got through."""
+        if dst not in self._handlers:
+            raise DistributedError(f"unknown destination {dst!r}")
+        self.stats.attempted += 1
+        now = self.clock.now
+        if not self.is_connected(src, now) or not self.is_connected(dst, now):
+            self.stats.dropped += 1
+            return False
+        self.stats.delivered += 1
+        self.stats.bytes_sent += size
+        message = Message(now, src, dst, kind, payload, size)
+        self.log.append(message)
+        self._handlers[dst](message)
+        return True
+
+    def broadcast(
+        self, src: str, kind: str, payload: object, size: int = 1
+    ) -> int:
+        """Send to every other node; returns the number delivered."""
+        delivered = 0
+        for node_id in self._handlers:
+            if node_id == src:
+                continue
+            if self.send(src, node_id, kind, payload, size):
+                delivered += 1
+        return delivered

@@ -1,0 +1,122 @@
+"""Mobile computers and the memory-limited display client.
+
+Section 5.3: "each object resides in the computer on the moving vehicle it
+represents, but nowhere else" — a :class:`MobileNode` therefore holds its
+own moving point plus any scalar attributes, and answers predicate probes
+locally.
+
+Section 5.2: the querying vehicle's computer displays ``Answer(CQ)``
+tuples between their ``begin`` and ``end`` times; "M's memory may fit only
+B tuples" — :class:`MobileClient` models that display buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.distributed.network import Message, SimNetwork
+from repro.errors import DistributedError
+from repro.ftl.relations import AnswerTuple
+from repro.motion.moving import MovingPoint
+
+
+class MobileNode:
+    """One mobile computer hosting one moving object."""
+
+    def __init__(
+        self,
+        node_id: str,
+        network: SimNetwork,
+        mover: MovingPoint,
+        attributes: dict[str, object] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.mover = mover
+        self.attributes = dict(attributes or {})
+        self.inbox: list[Message] = []
+        self._probe_handlers: dict[str, Callable[[Message], None]] = {}
+        network.register(node_id, self._on_message)
+
+    # ------------------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        self.inbox.append(message)
+        handler = self._probe_handlers.get(message.kind)
+        if handler is not None:
+            handler(message)
+
+    def on_kind(self, kind: str, handler: Callable[[Message], None]) -> None:
+        """Register a handler for one message kind."""
+        self._probe_handlers[kind] = handler
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """The node's object state: what 'send the object' transmits."""
+        return {
+            "id": self.node_id,
+            "mover": self.mover,
+            "attributes": dict(self.attributes),
+        }
+
+    def update_motion(self, mover: MovingPoint) -> None:
+        """Local motion-vector update — recorded only here (section 5.3:
+        changes "may only be recorded at the moving object itself")."""
+        self.mover = mover
+
+    def position_now(self):
+        """Current position."""
+        return self.mover.position_at(self.network.clock.now)
+
+
+class MobileClient:
+    """The display buffer of the vehicle that issued a continuous query.
+
+    Holds at most ``memory`` answer tuples; expired tuples are evicted on
+    access, and incoming tuples beyond capacity are rejected (the
+    transmission policy is responsible for re-sending them later — the
+    block-wise scheme of section 5.2).
+    """
+
+    def __init__(self, memory: int | None = None) -> None:
+        if memory is not None and memory < 1:
+            raise DistributedError("client memory must hold at least 1 tuple")
+        self.memory = memory
+        self._tuples: list[AnswerTuple] = []
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def evict_expired(self, now: float) -> None:
+        """Drop tuples whose display interval has passed."""
+        self._tuples = [t for t in self._tuples if t.end >= now]
+
+    def receive(self, tuples: list[AnswerTuple], now: float) -> int:
+        """Store incoming tuples; returns how many fit."""
+        self.evict_expired(now)
+        accepted = 0
+        for t in tuples:
+            if t in self._tuples:
+                continue
+            if self.memory is not None and len(self._tuples) >= self.memory:
+                self.rejected += 1
+                continue
+            self._tuples.append(t)
+            accepted += 1
+        return accepted
+
+    def retract(self, tuples: list[AnswerTuple]) -> None:
+        """Remove tuples invalidated by a database update."""
+        doomed = set(tuples)
+        self._tuples = [t for t in self._tuples if t not in doomed]
+
+    def display_at(self, t: float) -> set[tuple]:
+        """Instantiations the client shows at tick ``t``."""
+        return {tup.values for tup in self._tuples if tup.active_at(t)}
+
+    @property
+    def free_slots(self) -> int | None:
+        """Remaining capacity (``None`` = unbounded)."""
+        if self.memory is None:
+            return None
+        return self.memory - len(self._tuples)

@@ -1,0 +1,177 @@
+"""Distributed processing strategies and their message costs (section 5.3).
+
+For **object queries** the paper contrasts two approaches:
+
+1. *collect* — "request that the object of each mobile computer be sent to
+   M; then M processes the query" (N object transfers regardless of
+   selectivity);
+2. *broadcast* — "send the query to all the other mobile computers; each
+   computer C for which the predicate is satisfied sends the object C to
+   M" (N query messages + k result transfers, and the evaluation happens
+   in parallel).
+
+For **continuous** object queries, broadcast wins harder: "the remote
+computer C evaluates the predicate each time the object C changes, and
+transmits C to M when the predicate is satisfied", versus re-shipping the
+object on *every* change under collect.
+
+**Relationship queries** centralise: "it requests the objects from all
+other mobile computers. Then M processes the query."
+
+Every strategy returns the satisfying node ids; costs accumulate in the
+network's :class:`~repro.distributed.network.NetworkStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.distributed.node import MobileNode
+
+#: Relative message sizes: shipping a full object state vs a query string
+#: vs a boolean-ish reply carrying the object id.
+OBJECT_SIZE = 8
+QUERY_SIZE = 2
+REPLY_SIZE = 8
+
+Predicate = Callable[[MobileNode], bool]
+RelPredicate = Callable[[Sequence[dict]], set[str]]
+
+
+def self_referencing_query(node: MobileNode, predicate: Predicate) -> bool:
+    """A self-referencing query: answered locally, zero messages."""
+    return predicate(node)
+
+
+def collect_object_query(
+    coordinator: MobileNode,
+    others: Sequence[MobileNode],
+    predicate: Predicate,
+) -> set[str]:
+    """Strategy 1: every node ships its object to the coordinator, which
+    evaluates the predicate itself."""
+    received: list[MobileNode] = []
+    for node in others:
+        if node.network.send(
+            node.node_id,
+            coordinator.node_id,
+            "object",
+            node.snapshot(),
+            size=OBJECT_SIZE,
+        ):
+            received.append(node)
+    return {node.node_id for node in received if predicate(node)}
+
+
+def broadcast_object_query(
+    coordinator: MobileNode,
+    others: Sequence[MobileNode],
+    predicate: Predicate,
+) -> set[str]:
+    """Strategy 2: broadcast the query; satisfying nodes reply."""
+    out: set[str] = set()
+    for node in others:
+        if not coordinator.network.send(
+            coordinator.node_id,
+            node.node_id,
+            "query",
+            "predicate",
+            size=QUERY_SIZE,
+        ):
+            continue
+        if predicate(node):
+            if node.network.send(
+                node.node_id,
+                coordinator.node_id,
+                "reply",
+                node.snapshot(),
+                size=REPLY_SIZE,
+            ):
+                out.add(node.node_id)
+    return out
+
+
+def continuous_object_query(
+    coordinator: MobileNode,
+    others: Sequence[MobileNode],
+    predicate: Predicate,
+    change_schedule: dict[str, list[int]],
+    horizon: int,
+    strategy: str = "broadcast",
+) -> dict[str, set[str]]:
+    """A continuous object query over ``horizon`` ticks.
+
+    ``change_schedule`` maps node ids to the ticks at which their object
+    changes (motion-vector updates).  Under *collect* the changed object
+    is shipped to the coordinator on every change; under *broadcast* the
+    query is installed once and a node transmits only when its predicate
+    value flips to true (or its object changes while satisfying).
+
+    Returns the coordinator's view per tick: node ids it believes satisfy
+    the predicate.
+    """
+    network = coordinator.network
+    view: set[str] = set()
+    history: dict[str, set[str]] = {}
+
+    if strategy == "broadcast":
+        for node in others:
+            network.send(
+                coordinator.node_id, node.node_id, "query", "install", size=QUERY_SIZE
+            )
+    # What the coordinator believes about each node (False until told).
+    believed: dict[str, bool] = {node.node_id: False for node in others}
+
+    for _ in range(horizon):
+        now = network.clock.tick()
+        for node in others:
+            changed = now in change_schedule.get(node.node_id, [])
+            satisfied = predicate(node)
+            if strategy == "collect":
+                # The coordinator re-receives the whole object on every
+                # change, satisfying or not.
+                if changed and network.send(
+                    node.node_id,
+                    coordinator.node_id,
+                    "object",
+                    node.snapshot(),
+                    size=OBJECT_SIZE,
+                ):
+                    believed[node.node_id] = satisfied
+            elif satisfied != believed[node.node_id]:
+                # Broadcast: the node transmits only when its predicate
+                # value flips relative to what the coordinator knows.
+                if network.send(
+                    node.node_id,
+                    coordinator.node_id,
+                    "transition",
+                    (node.node_id, satisfied),
+                    size=REPLY_SIZE if satisfied else QUERY_SIZE,
+                ):
+                    believed[node.node_id] = satisfied
+            if believed[node.node_id]:
+                view.add(node.node_id)
+            else:
+                view.discard(node.node_id)
+        history[str(now)] = set(view)
+    return history
+
+
+def relationship_query(
+    coordinator: MobileNode,
+    others: Sequence[MobileNode],
+    predicate: RelPredicate,
+) -> set[str]:
+    """Centralised relationship query: ship every object to the issuing
+    computer, evaluate there."""
+    snapshots: list[dict] = [coordinator.snapshot()]
+    for node in others:
+        if node.network.send(
+            node.node_id,
+            coordinator.node_id,
+            "object",
+            node.snapshot(),
+            size=OBJECT_SIZE,
+        ):
+            snapshots.append(node.snapshot())
+    return predicate(snapshots)

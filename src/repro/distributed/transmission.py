@@ -1,0 +1,177 @@
+"""Transmitting ``Answer(CQ)`` to a mobile client (section 5.2).
+
+"In the immediate approach, the whole set is transmitted immediately after
+being computed ... M's memory may fit only B tuples ... the set needs to
+be sorted by the begin attribute, and transmitted in blocks of B tuples."
+
+"The delayed approach ... Each tuple (S, begin, end) in the set is
+transmitted to M at time begin."
+
+"Of course, intermediate approaches, in which subsets of Answer(CQ) are
+transmitted to M periodically, are possible."
+
+:func:`simulate_transmission` drives a policy over a horizon with
+disconnection windows and mid-flight answer revisions, and reports message
+cost and *staleness* — the number of (tick, instantiation) display errors
+relative to the ground-truth answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.network import SimNetwork
+from repro.distributed.node import MobileClient
+from repro.errors import DistributedError
+from repro.ftl.relations import AnswerTuple
+
+SERVER = "__server__"
+TUPLE_SIZE = 4
+
+
+class TransmissionPolicy:
+    """Base class: decides *when* each answer tuple travels to the client."""
+
+    def __init__(self) -> None:
+        self.pending: list[AnswerTuple] = []
+
+    def on_answer(self, tuples: list[AnswerTuple], now: float) -> None:
+        """A fresh (or revised) answer set was computed at ``now``."""
+        self.pending = sorted(
+            (t for t in tuples if t.end >= now),
+            key=lambda t: (t.begin, t.end, str(t.values)),
+        )
+
+    def due(self, now: float, free_slots: int | None) -> list[AnswerTuple]:
+        """Tuples to transmit at ``now`` given the client's free memory."""
+        raise NotImplementedError
+
+    def mark_sent(self, sent: list[AnswerTuple]) -> None:
+        """Remove successfully transmitted tuples from the queue."""
+        done = set(sent)
+        self.pending = [t for t in self.pending if t not in done]
+
+
+class ImmediatePolicy(TransmissionPolicy):
+    """Send everything as soon as possible, respecting the memory limit:
+    the earliest-``begin`` block that fits travels first; the rest follow
+    as the client's display expires tuples."""
+
+    def due(self, now: float, free_slots: int | None) -> list[AnswerTuple]:
+        if free_slots is None:
+            return list(self.pending)
+        return self.pending[: max(0, free_slots)]
+
+
+class DelayedPolicy(TransmissionPolicy):
+    """Send each tuple at its ``begin`` time (late tuples — e.g. after a
+    reconnection — go as soon as they can while still displayable)."""
+
+    def due(self, now: float, free_slots: int | None) -> list[AnswerTuple]:
+        ready = [t for t in self.pending if t.begin <= now]
+        if free_slots is not None:
+            ready = ready[: max(0, free_slots)]
+        return ready
+
+
+class PeriodicPolicy(TransmissionPolicy):
+    """Send the tuples becoming active in the next period, every
+    ``period`` ticks — the paper's "intermediate approach"."""
+
+    def __init__(self, period: int) -> None:
+        super().__init__()
+        if period < 1:
+            raise DistributedError("period must be at least one tick")
+        self.period = period
+
+    def due(self, now: float, free_slots: int | None) -> list[AnswerTuple]:
+        if now % self.period != 0:
+            return []
+        ready = [t for t in self.pending if t.begin <= now + self.period]
+        if free_slots is not None:
+            ready = ready[: max(0, free_slots)]
+        return ready
+
+
+@dataclass
+class TransmissionReport:
+    """Outcome of one simulated transmission run."""
+
+    messages: int = 0
+    tuples_sent: int = 0
+    bytes_sent: int = 0
+    dropped_messages: int = 0
+    staleness: int = 0
+    display_trace: dict[int, set] = field(default_factory=dict)
+
+
+def simulate_transmission(
+    policy: TransmissionPolicy,
+    answer: list[AnswerTuple],
+    horizon: int,
+    client_memory: int | None = None,
+    disconnections: list[tuple[float, float]] | None = None,
+    revisions: dict[int, list[AnswerTuple]] | None = None,
+) -> TransmissionReport:
+    """Drive one policy against ground truth.
+
+    Args:
+        policy: the transmission policy under test.
+        answer: ``Answer(CQ)`` computed at time 0.
+        horizon: ticks to simulate.
+        client_memory: the client's tuple capacity ``B`` (None = infinite).
+        disconnections: client offline windows.
+        revisions: time → replacement answer (explicit updates changed
+            ``Answer(CQ)``, section 2.3); the policy retransmits deltas.
+    """
+    network = SimNetwork()
+    client = MobileClient(memory=client_memory)
+    delivered: list[list[AnswerTuple]] = []
+    network.register(SERVER, lambda m: None)
+    network.register(
+        "M", lambda m: delivered.append(list(m.payload))
+    )
+    if disconnections:
+        network.set_disconnections("M", disconnections)
+
+    truth = list(answer)
+    policy.on_answer(truth, now=0)
+    report = TransmissionReport()
+
+    for step in range(horizon + 1):
+        now = network.clock.now
+        if revisions and now in revisions:
+            truth = list(revisions[now])
+            stale_client = [t for t in client._tuples if t not in truth]
+            client.retract(stale_client)
+            policy.on_answer(truth, now=now)
+        client.evict_expired(now)
+        batch = policy.due(now, client.free_slots)
+        if batch:
+            report.messages += 1
+            if network.send(
+                SERVER, "M", "answer", batch, size=TUPLE_SIZE * len(batch)
+            ):
+                client.receive(batch, now)
+                policy.mark_sent(batch)
+                report.tuples_sent += len(batch)
+                report.bytes_sent += TUPLE_SIZE * len(batch)
+            else:
+                report.dropped_messages += 1
+        shown = client.display_at(now)
+        expected = {t.values for t in truth if t.active_at(now)}
+        # Staleness = wrongly-displayed instantiations plus the shortfall
+        # against what a perfect policy could show (capped by the client's
+        # memory, which no policy can beat).
+        achievable = (
+            len(expected)
+            if client_memory is None
+            else min(len(expected), client_memory)
+        )
+        wrong = len(shown - expected)
+        shortfall = max(0, achievable - len(shown & expected))
+        report.staleness += wrong + shortfall
+        report.display_trace[now] = shown
+        if step < horizon:
+            network.clock.tick()
+    return report

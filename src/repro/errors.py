@@ -1,0 +1,51 @@
+"""Exception hierarchy for the MOST/FTL reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything originating in this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TemporalError(ReproError):
+    """Invalid temporal value or operation (bad interval bounds, etc.)."""
+
+
+class SpatialError(ReproError):
+    """Invalid geometry (degenerate polygon, bad dimension, etc.)."""
+
+
+class MotionError(ReproError):
+    """Invalid motion function (e.g. ``function(0) != 0``)."""
+
+
+class SchemaError(ReproError):
+    """Schema violation in the DBMS substrate (unknown column, type clash)."""
+
+
+class SqlError(ReproError):
+    """Syntax or semantic error in a mini-SQL statement."""
+
+
+class FtlSyntaxError(ReproError):
+    """Syntax error in an FTL query string."""
+
+
+class FtlSemanticsError(ReproError):
+    """Ill-formed FTL query (unbound variable, unsafe negation, ...)."""
+
+
+class IndexError_(ReproError):
+    """Dynamic-attribute index misuse (out-of-horizon insert, etc.)."""
+
+
+class DistributedError(ReproError):
+    """Invalid operation in the mobile/distributed simulation."""
+
+
+class QueryError(ReproError):
+    """Invalid MOST query construction or evaluation request."""

@@ -1,0 +1,89 @@
+"""FTL — Future Temporal Logic (section 3 of the paper).
+
+The query language of the MOST model: temporal formulas over database
+histories, with ``Until`` / ``Nexttime`` as the basic operators, derived
+``Eventually`` / ``Always``, the bounded real-time operators of section
+3.4, and the assignment quantifier.
+
+Two evaluators are provided:
+
+* :class:`~repro.ftl.evaluator.IntervalEvaluator` — the appendix
+  algorithm: bottom-up interval relations, chain-merging ``Until`` join.
+* :class:`~repro.ftl.naive.NaiveEvaluator` — the literal per-state
+  semantics of section 3.3, used as the correctness oracle and for
+  persistent queries over recorded histories.
+"""
+
+from repro.ftl.ast import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Arith,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    Dist,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    Inside,
+    Nexttime,
+    NotF,
+    OrF,
+    Outside,
+    SubAttr,
+    Term,
+    TimeTerm,
+    Until,
+    UntilWithin,
+    Var,
+    WithinSphere,
+)
+from repro.ftl.context import EvalContext
+from repro.ftl.evaluator import IntervalEvaluator
+from repro.ftl.naive import NaiveEvaluator
+from repro.ftl.parser import parse_formula, parse_query
+from repro.ftl.query import FtlQuery
+from repro.ftl.relations import AnswerTuple, FtlRelation
+from repro.ftl.rewrite import expand, uses_only_basic_operators
+
+__all__ = [
+    "parse_query",
+    "parse_formula",
+    "expand",
+    "uses_only_basic_operators",
+    "FtlQuery",
+    "FtlRelation",
+    "AnswerTuple",
+    "EvalContext",
+    "IntervalEvaluator",
+    "NaiveEvaluator",
+    # AST
+    "Formula",
+    "Term",
+    "Var",
+    "Const",
+    "TimeTerm",
+    "Attr",
+    "SubAttr",
+    "Arith",
+    "Dist",
+    "Compare",
+    "Inside",
+    "Outside",
+    "WithinSphere",
+    "AndF",
+    "OrF",
+    "NotF",
+    "Until",
+    "UntilWithin",
+    "Nexttime",
+    "Eventually",
+    "EventuallyWithin",
+    "EventuallyAfter",
+    "Always",
+    "AlwaysFor",
+    "Assign",
+]

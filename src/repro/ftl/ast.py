@@ -1,0 +1,478 @@
+"""Abstract syntax of FTL (section 3.2 of the paper).
+
+Terms are variables, constants, attribute accesses (including the three
+sub-attributes of a dynamic attribute), arithmetic, the special ``time``
+object, and the ``DIST`` method.  Formulas are comparisons, the spatial
+atoms ``INSIDE`` / ``OUTSIDE`` / ``WITHIN_SPHERE``, boolean connectives,
+the two basic temporal operators ``Until`` and ``Nexttime``, the derived
+operators ``Eventually`` / ``Always``, the bounded real-time forms of
+section 3.4, and the assignment quantifier ``[x := term] f`` — "the
+assignment is the only quantifier" in FTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FtlSemanticsError
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class of FTL terms."""
+
+    def free_vars(self) -> set[str]:
+        """Variables occurring in the term."""
+        return set()
+
+    def is_time_invariant(self) -> bool:
+        """Whether the term's value is the same in every state of a future
+        history (constants, static attributes, sub-attributes)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable: an object variable (bound by the FROM clause) or a
+    value variable (bound by an assignment quantifier)."""
+
+    name: str
+
+    def free_vars(self) -> set[str]:
+        return {self.name}
+
+    def is_time_invariant(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A constant (number or string)."""
+
+    value: object
+
+    def free_vars(self) -> set[str]:
+        return set()
+
+    def is_time_invariant(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return f"{self.value}"
+
+
+@dataclass(frozen=True)
+class TimeTerm(Term):
+    """The special database object ``time`` (section 2)."""
+
+    def free_vars(self) -> set[str]:
+        return set()
+
+    def is_time_invariant(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "time"
+
+
+@dataclass(frozen=True)
+class Attr(Term):
+    """``o.attr`` — the value of an attribute in the current state.
+
+    For a dynamic attribute this is the *time-dependent* value
+    ``A.value + A.function(t - A.updatetime)``.
+    """
+
+    obj: Term
+    attr: str
+
+    def free_vars(self) -> set[str]:
+        return self.obj.free_vars()
+
+    def is_time_invariant(self) -> bool:
+        # Conservatively time-varying: the evaluator refines this decision
+        # per object class (static attributes are invariant).
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.obj}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class SubAttr(Term):
+    """``o.attr.sub`` — direct access to a dynamic sub-attribute.
+
+    ``sub`` is ``value``, ``updatetime`` or ``function`` (section 2.1: "a
+    user can query each sub-attribute independently", e.g. the objects for
+    which ``X.POSITION.function = 5*t``).  ``function`` evaluates to the
+    constant slope of a linear function.
+    """
+
+    obj: Term
+    attr: str
+    sub: str
+
+    def __post_init__(self) -> None:
+        if self.sub not in ("value", "updatetime", "function"):
+            raise FtlSemanticsError(
+                f"unknown sub-attribute {self.sub!r}; expected value, "
+                "updatetime or function"
+            )
+
+    def free_vars(self) -> set[str]:
+        return self.obj.free_vars()
+
+    def is_time_invariant(self) -> bool:
+        # Sub-attributes only change on explicit update — constant along a
+        # future history.
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.obj}.{self.attr}.{self.sub}"
+
+
+@dataclass(frozen=True)
+class Arith(Term):
+    """Arithmetic on terms: ``+ - * /``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def is_time_invariant(self) -> bool:
+        return self.left.is_time_invariant() and self.right.is_time_invariant()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Dist(Term):
+    """``DIST(o1, o2)`` — distance between two point objects."""
+
+    left: Term
+    right: Term
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def is_time_invariant(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"DIST({self.left}, {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of FTL formulas."""
+
+    def free_vars(self) -> set[str]:
+        """Free variables of the formula."""
+        raise NotImplementedError
+
+    def is_conjunctive(self) -> bool:
+        """Whether the formula is in the negation-free fragment the
+        appendix algorithm handles (section 3.5)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Compare(Formula):
+    """``left op right`` with op in ``= != < <= > >=``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!=", "<", "<=", ">", ">="):
+            raise FtlSemanticsError(f"unknown comparison {self.op!r}")
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Inside(Formula):
+    """``INSIDE(o, R)`` — the point object lies in named region ``R``."""
+
+    obj: Term
+    region: str
+
+    def free_vars(self) -> set[str]:
+        return self.obj.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"INSIDE({self.obj}, {self.region})"
+
+
+@dataclass(frozen=True)
+class Outside(Formula):
+    """``OUTSIDE(o, R)``."""
+
+    obj: Term
+    region: str
+
+    def free_vars(self) -> set[str]:
+        return self.obj.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"OUTSIDE({self.obj}, {self.region})"
+
+
+@dataclass(frozen=True)
+class WithinSphere(Formula):
+    """``WITHIN_SPHERE(r, o1, ..., ok)`` (section 2)."""
+
+    radius: float
+    objs: tuple[Term, ...]
+
+    def free_vars(self) -> set[str]:
+        out: set[str] = set()
+        for o in self.objs:
+            out |= o.free_vars()
+        return out
+
+    def is_conjunctive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        args = ", ".join(str(o) for o in self.objs)
+        return f"WITHIN_SPHERE({self.radius}, {args})"
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.left.is_conjunctive() and self.right.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.left.is_conjunctive() and self.right.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    """Negation — outside the conjunctive fragment of section 3.5; the
+    interval evaluator supports it only over enumerable (object-typed)
+    free variables, where safety is restored."""
+
+    operand: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """``f Until g`` — one of the two basic operators."""
+
+    left: Formula
+    right: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.left.is_conjunctive() and self.right.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"({self.left} UNTIL {self.right})"
+
+
+@dataclass(frozen=True)
+class UntilWithin(Formula):
+    """``f until within c g`` (section 3.4)."""
+
+    bound: float
+    left: Formula
+    right: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.left.is_conjunctive() and self.right.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"({self.left} UNTIL WITHIN {self.bound} {self.right})"
+
+
+@dataclass(frozen=True)
+class Nexttime(Formula):
+    """``Nexttime f`` — the other basic operator."""
+
+    operand: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.operand.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"(NEXTTIME {self.operand})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """``Eventually f`` = ``true Until f``."""
+
+    operand: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.operand.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"(EVENTUALLY {self.operand})"
+
+
+@dataclass(frozen=True)
+class EventuallyWithin(Formula):
+    """``Eventually within c f`` (section 3.4)."""
+
+    bound: float
+    operand: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.operand.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"(EVENTUALLY WITHIN {self.bound} {self.operand})"
+
+
+@dataclass(frozen=True)
+class EventuallyAfter(Formula):
+    """``Eventually after c f`` (section 3.4)."""
+
+    bound: float
+    operand: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.operand.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"(EVENTUALLY AFTER {self.bound} {self.operand})"
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """``Always f`` = ``NOT Eventually NOT f`` — evaluated against the
+    expiration horizon of section 2.3."""
+
+    operand: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.operand.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"(ALWAYS {self.operand})"
+
+
+@dataclass(frozen=True)
+class AlwaysFor(Formula):
+    """``Always for c f`` (section 3.4)."""
+
+    bound: float
+    operand: Formula
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.operand.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"(ALWAYS FOR {self.bound} {self.operand})"
+
+
+@dataclass(frozen=True)
+class Assign(Formula):
+    """``[x := term] f`` — the assignment quantifier.
+
+    Binds ``x`` to the value of ``term`` at the current state, then
+    evaluates ``f`` at the same state under the extended evaluation.
+    """
+
+    var: str
+    term: Term
+    body: Formula
+
+    def free_vars(self) -> set[str]:
+        return (self.body.free_vars() - {self.var}) | self.term.free_vars()
+
+    def is_conjunctive(self) -> bool:
+        return self.body.is_conjunctive()
+
+    def __str__(self) -> str:
+        return f"[{self.var} := {self.term}] {self.body}"

@@ -1,0 +1,201 @@
+"""Evaluation context shared by the two FTL evaluators.
+
+Carries the history being queried, the evaluation window (the start tick
+and the expiration horizon of section 2.3), the FROM-clause variable
+bindings, and — during evaluation of an assignment quantifier's body — the
+candidate value domains of assigned variables.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import FtlSemanticsError
+from repro.ftl.ast import (
+    Arith,
+    Attr,
+    Const,
+    Dist,
+    SubAttr,
+    Term,
+    TimeTerm,
+    Var,
+)
+from repro.temporal import Interval
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.history import History
+
+Env = dict[str, object]
+
+
+class EvalContext:
+    """Window + bindings + variable domains for one evaluation."""
+
+    def __init__(
+        self,
+        history: "History",
+        horizon: int,
+        bindings: dict[str, str],
+    ) -> None:
+        if horizon < 0:
+            raise FtlSemanticsError("horizon must be non-negative")
+        self.history = history
+        self.start = int(history.start)
+        self.horizon = int(horizon)
+        self.bindings = dict(bindings)
+        self._domains: dict[str, list[object]] = {
+            var: history.object_ids(cls) for var, cls in bindings.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def end(self) -> int:
+        """Last tick of the evaluation window."""
+        return self.start + self.horizon
+
+    @property
+    def window(self) -> Interval:
+        """The dense window handed to the kinetic solvers."""
+        return Interval(self.start, self.end)
+
+    def ticks(self) -> range:
+        """All ticks of the window."""
+        return range(self.start, self.end + 1)
+
+    # ------------------------------------------------------------------
+    # Variable domains
+    # ------------------------------------------------------------------
+    def domain(self, var: str) -> list[object]:
+        """Candidate values for a variable (object ids for FROM-bound
+        variables, observed term values for assigned ones)."""
+        try:
+            return self._domains[var]
+        except KeyError:
+            raise FtlSemanticsError(
+                f"variable {var!r} has no domain (not bound by FROM or an "
+                "enclosing assignment quantifier)"
+            ) from None
+
+    def is_object_var(self, var: str) -> bool:
+        """Whether the variable is FROM-bound (ranges over objects)."""
+        return var in self.bindings
+
+    def push_domain(self, var: str, values: list[object]) -> None:
+        """Introduce an assigned variable's candidate values."""
+        if var in self._domains:
+            raise FtlSemanticsError(f"variable {var!r} shadowed")
+        self._domains[var] = values
+
+    def pop_domain(self, var: str) -> None:
+        """Remove an assigned variable's domain."""
+        self._domains.pop(var, None)
+
+    # ------------------------------------------------------------------
+    # Term evaluation (per state — shared by both evaluators)
+    # ------------------------------------------------------------------
+    def eval_term(self, term: Term, env: Env, t: float) -> object:
+        """Value of a term in the state with time stamp ``t`` under the
+        variable evaluation ``env``."""
+        if isinstance(term, Const):
+            return term.value
+        if isinstance(term, TimeTerm):
+            return t
+        if isinstance(term, Var):
+            try:
+                return env[term.name]
+            except KeyError:
+                raise FtlSemanticsError(
+                    f"unbound variable {term.name!r}"
+                ) from None
+        if isinstance(term, Attr):
+            obj_id = self.eval_term(term.obj, env, t)
+            return self.history.value(obj_id, term.attr, t)
+        if isinstance(term, SubAttr):
+            obj_id = self.eval_term(term.obj, env, t)
+            triple = self._triple_at(obj_id, term.attr, t)
+            if term.sub == "function":
+                return triple.speed
+            return triple.sub_attribute(term.sub)
+        if isinstance(term, Dist):
+            a = self.eval_term(term.left, env, t)
+            b = self.eval_term(term.right, env, t)
+            pa = self.history.position(a, t)
+            pb = self.history.position(b, t)
+            return pa.distance_to(pb)
+        if isinstance(term, Arith):
+            lhs = self.eval_term(term.left, env, t)
+            rhs = self.eval_term(term.right, env, t)
+            return self._arith(term.op, lhs, rhs)
+        raise FtlSemanticsError(f"cannot evaluate term {term!r}")
+
+    def _triple_at(self, obj_id: object, attr: str, t: float):
+        from repro.core.history import FutureHistory, RecordedHistory
+
+        history = self.history
+        if isinstance(history, FutureHistory):
+            return history.dynamic_triple(obj_id, attr)
+        if isinstance(history, RecordedHistory):
+            timeline = history.db.attribute_timeline(
+                obj_id, attr, since=history.start
+            )
+            triple = timeline[0][1]
+            for from_time, version in timeline:
+                if from_time <= t:
+                    triple = version
+                else:
+                    break
+            return triple
+        raise FtlSemanticsError(
+            "sub-attribute access requires a MOST history"
+        )
+
+    @staticmethod
+    def _arith(op: str, lhs: object, rhs: object) -> object:
+        if lhs is None or rhs is None:
+            return None
+        try:
+            if op == "+":
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            if op == "*":
+                return lhs * rhs
+            if op == "/":
+                return lhs / rhs
+        except (TypeError, ZeroDivisionError) as exc:
+            raise FtlSemanticsError(f"arithmetic failed: {exc}") from exc
+        raise FtlSemanticsError(f"unknown arithmetic operator {op!r}")
+
+    # ------------------------------------------------------------------
+    # Time invariance (per object class)
+    # ------------------------------------------------------------------
+    def term_invariant(self, term: Term) -> bool:
+        """Whether the term has the same value in every state of a future
+        history (refines ``Term.is_time_invariant`` using the bindings).
+
+        Over a *recorded* history (persistent queries) even static
+        attributes and sub-attributes change across the replayed past, so
+        only constants stay invariant.
+        """
+        from repro.core.history import RecordedHistory
+
+        if isinstance(self.history, RecordedHistory) and isinstance(
+            term, (Attr, SubAttr)
+        ):
+            return False
+        if isinstance(term, Attr):
+            if not self.term_invariant(term.obj):
+                return False
+            var = term.obj
+            if isinstance(var, Var) and var.name in self.bindings:
+                cls = self.history.db.object_class(self.bindings[var.name])
+                return not cls.is_dynamic(term.attr)
+            return False
+        if isinstance(term, Arith):
+            return self.term_invariant(term.left) and self.term_invariant(
+                term.right
+            )
+        if isinstance(term, Dist):
+            return False
+        return term.is_time_invariant()

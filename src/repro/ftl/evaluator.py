@@ -1,0 +1,557 @@
+"""The appendix algorithm: bottom-up interval-relation evaluation.
+
+"The algorithm computes R_g, inductively, for each subformula g in
+increasing lengths of the subformula" — conjunction joins relations and
+intersects intervals, ``Until`` merges compatible interval chains, and the
+assignment quantifier joins against the relation ``Q`` of the atomic
+query's values over time.
+
+Extensions beyond the paper's appendix, all documented in DESIGN.md:
+
+* the bounded operators of section 3.4 evaluate directly as interval-set
+  transforms;
+* disjunction and negation are supported when every free variable is
+  enumerable (FROM-bound objects or assignment-bound values), which
+  restores the safety the paper obtains by restricting to conjunctive
+  formulas;
+* base-case atoms use the kinetic solvers (exact for piecewise-linear
+  motion) with a per-tick sampling fallback for arbitrary terms.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Callable
+
+from repro.errors import FtlSemanticsError
+from repro.ftl.ast import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Assign,
+    Attr,
+    Compare,
+    Dist,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    Inside,
+    Nexttime,
+    NotF,
+    OrF,
+    Outside,
+    Term,
+    Until,
+    UntilWithin,
+    Var,
+    WithinSphere,
+)
+from repro.ftl.context import Env, EvalContext
+from repro.ftl.relations import (
+    EMPTY_SET,
+    FtlRelation,
+    Instantiation,
+    merge_instantiations,
+)
+from repro.spatial.kinetic import (
+    when_dist_at_least,
+    when_dist_at_most,
+    when_inside_ball,
+    when_inside_polygon,
+    when_value_in_range,
+    when_within_sphere,
+)
+from repro.spatial.polygon import Polygon
+from repro.spatial.regions import Ball
+from repro.temporal import (
+    DISCRETE,
+    Interval,
+    IntervalSet,
+    always,
+    always_for,
+    eventually,
+    eventually_after,
+    eventually_within,
+    nexttime,
+    until,
+    until_within,
+)
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class IntervalEvaluator:
+    """Bottom-up computation of ``R_g`` per subformula."""
+
+    def __init__(self, ctx: EvalContext, analytic_atoms: bool = True) -> None:
+        self.ctx = ctx
+        #: When False, every atom is evaluated by per-tick sampling instead
+        #: of the closed-form kinetic solvers — the ablation knob of
+        #: benchmarks/bench_ablation_kinetic.py.
+        self.analytic_atoms = analytic_atoms
+        #: Count of per-tick atom evaluations (benchmark instrumentation).
+        self.sampled_atom_evals = 0
+        #: Count of kinetic (closed-form) atom solves.
+        self.kinetic_solves = 0
+
+    # ------------------------------------------------------------------
+    def evaluate(self, formula: Formula) -> FtlRelation:
+        """Compute ``R_formula``."""
+        return self._eval(formula)
+
+    # ------------------------------------------------------------------
+    def _eval(self, f: Formula) -> FtlRelation:
+        if isinstance(f, (Compare, Inside, Outside, WithinSphere)):
+            return self._atom(f)
+        if isinstance(f, AndF):
+            return self._conjunction(self._eval(f.left), self._eval(f.right))
+        if isinstance(f, OrF):
+            return self._disjunction(f)
+        if isinstance(f, NotF):
+            return self._negation(f)
+        if isinstance(f, Until):
+            return self._until_join(
+                self._eval(f.left), self._eval(f.right), until
+            )
+        if isinstance(f, UntilWithin):
+            bound = f.bound
+            return self._until_join(
+                self._eval(f.left),
+                self._eval(f.right),
+                lambda a, b: until_within(bound, a, b),
+            )
+        if isinstance(f, Nexttime):
+            return self._eval(f.operand).map_sets(
+                lambda s: nexttime(s, self.ctx.start)
+            )
+        if isinstance(f, Eventually):
+            return self._eval(f.operand).map_sets(
+                lambda s: eventually(s, self.ctx.start)
+            )
+        if isinstance(f, EventuallyWithin):
+            return self._eval(f.operand).map_sets(
+                lambda s: eventually_within(f.bound, s, self.ctx.start)
+            )
+        if isinstance(f, EventuallyAfter):
+            return self._eval(f.operand).map_sets(
+                lambda s: eventually_after(f.bound, s, self.ctx.start)
+            )
+        if isinstance(f, Always):
+            return self._eval(f.operand).map_sets(
+                lambda s: always(s, self.ctx.start, self.ctx.end)
+            )
+        if isinstance(f, AlwaysFor):
+            return self._eval(f.operand).map_sets(
+                lambda s: always_for(f.bound, s)
+            )
+        if isinstance(f, Assign):
+            return self._assignment(f)
+        raise FtlSemanticsError(f"unsupported formula {type(f).__name__}")
+
+    # ------------------------------------------------------------------
+    # Base case: atomic predicates
+    # ------------------------------------------------------------------
+    def _atom(self, f: Formula) -> FtlRelation:
+        """The appendix base case: per relevant instantiation, the
+        intervals during which the relation is satisfied."""
+        free = sorted(f.free_vars())
+        domains = [self.ctx.domain(v) for v in free]
+        relation = FtlRelation(tuple(free))
+        for inst in product(*domains):
+            env = dict(zip(free, inst))
+            iset = self._atom_intervals(f, env)
+            relation.set(inst, iset)
+        return relation
+
+    def _atom_intervals(self, f: Formula, env: Env) -> IntervalSet:
+        ctx = self.ctx
+        window = ctx.window
+
+        if not self.analytic_atoms and not isinstance(f, Compare):
+            return self._sampled_atom(f, env)
+
+        if isinstance(f, Inside) or isinstance(f, Outside):
+            obj_id = ctx.eval_term(f.obj, env, ctx.start)
+            mover = ctx.history.moving_point(obj_id)
+            region = ctx.history.region(f.region)
+            self.kinetic_solves += 1
+            if isinstance(region, Polygon):
+                dense = when_inside_polygon(mover, region, window)
+            elif isinstance(region, Ball):
+                dense = when_inside_ball(mover, region, window)
+            else:  # pragma: no cover - region types are closed
+                raise FtlSemanticsError(f"unsupported region {region!r}")
+            inside_set = dense.discretized().clip(ctx.start, ctx.end)
+            if isinstance(f, Inside):
+                return inside_set
+            return inside_set.complement(Interval(ctx.start, ctx.end))
+
+        if isinstance(f, WithinSphere):
+            movers = [
+                ctx.history.moving_point(ctx.eval_term(o, env, ctx.start))
+                for o in f.objs
+            ]
+            self.kinetic_solves += 1
+            dense = when_within_sphere(f.radius, movers, window)
+            return dense.discretized().clip(ctx.start, ctx.end)
+
+        if isinstance(f, Compare):
+            return self._compare_intervals(f, env)
+
+        raise FtlSemanticsError(f"not an atom: {f!r}")
+
+    def _sampled_atom(self, f: Formula, env: Env) -> IntervalSet:
+        """Per-tick evaluation of a spatial atom (ablation path)."""
+        from repro.ftl.naive import NaiveEvaluator
+
+        ctx = self.ctx
+        naive = NaiveEvaluator(ctx)
+        flags = []
+        for t in ctx.ticks():
+            self.sampled_atom_evals += 1
+            flags.append(naive.satisfied(f, env, t))
+        return IntervalSet.from_boolean_samples(flags, DISCRETE, ctx.start)
+
+    def _compare_intervals(self, f: Compare, env: Env) -> IntervalSet:
+        ctx = self.ctx
+        left_inv = ctx.term_invariant(f.left)
+        right_inv = ctx.term_invariant(f.right)
+
+        # Both sides constant along the history: evaluate once.
+        if left_inv and right_inv:
+            lhs = ctx.eval_term(f.left, env, ctx.start)
+            rhs = ctx.eval_term(f.right, env, ctx.start)
+            if lhs is not None and rhs is not None and _CMP[f.op](lhs, rhs):
+                return IntervalSet.span(ctx.start, ctx.end, DISCRETE)
+            return EMPTY_SET
+
+        if self.analytic_atoms:
+            # Fast path: DIST(o1, o2) <= / >= constant (the airport query).
+            fast = self._dist_fast_path(f, env, left_inv, right_inv)
+            if fast is not None:
+                return fast
+
+            # Fast path: linear dynamic attribute vs constant.
+            fast = self._attr_fast_path(f, env, left_inv, right_inv)
+            if fast is not None:
+                return fast
+
+        # General fallback: evaluate per tick (exact under the discrete
+        # per-tick semantics of section 2.2).
+        flags = []
+        for t in ctx.ticks():
+            self.sampled_atom_evals += 1
+            lhs = ctx.eval_term(f.left, env, t)
+            rhs = ctx.eval_term(f.right, env, t)
+            flags.append(
+                lhs is not None and rhs is not None and _CMP[f.op](lhs, rhs)
+            )
+        return IntervalSet.from_boolean_samples(flags, DISCRETE, ctx.start)
+
+    def _dist_fast_path(
+        self, f: Compare, env: Env, left_inv: bool, right_inv: bool
+    ) -> IntervalSet | None:
+        ctx = self.ctx
+        if isinstance(f.left, Dist) and right_inv and f.op in ("<=", ">="):
+            dist_term, bound_term, op = f.left, f.right, f.op
+        elif isinstance(f.right, Dist) and left_inv and f.op in ("<=", ">="):
+            dist_term, bound_term = f.right, f.left
+            op = {"<=": ">=", ">=": "<="}[f.op]
+        else:
+            return None
+        bound = ctx.eval_term(bound_term, env, ctx.start)
+        if not isinstance(bound, (int, float)) or bound < 0:
+            return None
+        m1 = ctx.history.moving_point(ctx.eval_term(dist_term.left, env, ctx.start))
+        m2 = ctx.history.moving_point(ctx.eval_term(dist_term.right, env, ctx.start))
+        self.kinetic_solves += 1
+        if op == "<=":
+            dense = when_dist_at_most(m1, m2, float(bound), ctx.window)
+        else:
+            dense = when_dist_at_least(m1, m2, float(bound), ctx.window)
+        return dense.discretized().clip(ctx.start, ctx.end)
+
+    def _attr_fast_path(
+        self, f: Compare, env: Env, left_inv: bool, right_inv: bool
+    ) -> IntervalSet | None:
+        ctx = self.ctx
+        if self._is_linear_dynamic_attr(f.left, env) and right_inv and f.op in ("<=", ">="):
+            attr_term, bound_term, op = f.left, f.right, f.op
+        elif self._is_linear_dynamic_attr(f.right, env) and left_inv and f.op in ("<=", ">="):
+            attr_term, bound_term = f.right, f.left
+            op = {"<=": ">=", ">=": "<="}[f.op]
+        else:
+            return None
+        bound = ctx.eval_term(bound_term, env, ctx.start)
+        if not isinstance(bound, (int, float)):
+            return None
+        obj_id = ctx.eval_term(attr_term.obj, env, ctx.start)
+        triple = ctx.history.dynamic_triple(obj_id, attr_term.attr)
+        self.kinetic_solves += 1
+        if op == "<=":
+            lo, hi = -math.inf, float(bound)
+        else:
+            lo, hi = float(bound), math.inf
+        # when_value_in_range needs finite bounds on the active side only;
+        # replace the infinite side by a huge sentinel beyond any value the
+        # window can reach.
+        span = abs(triple.value) + (abs(triple.speed) + 1) * (
+            ctx.end - triple.updatetime + 1
+        )
+        sentinel = max(1e12, span * 10)
+        lo = max(lo, -sentinel)
+        hi = min(hi, sentinel)
+        dense = when_value_in_range(
+            triple.value,
+            triple.function,
+            lo,
+            hi,
+            ctx.window,
+            anchor_time=triple.updatetime,
+        )
+        return dense.discretized().clip(ctx.start, ctx.end)
+
+    def _is_linear_dynamic_attr(self, term: Term, env: Env) -> bool:
+        from repro.core.history import FutureHistory
+
+        if not isinstance(term, Attr) or not isinstance(term.obj, Var):
+            return False
+        if not isinstance(self.ctx.history, FutureHistory):
+            return False
+        var = term.obj.name
+        if var not in self.ctx.bindings:
+            return False
+        cls = self.ctx.history.db.object_class(self.ctx.bindings[var])
+        if not cls.is_dynamic(term.attr):
+            return False
+        obj_id = env.get(var)
+        if obj_id is None:
+            return False
+        triple = self.ctx.history.dynamic_triple(obj_id, term.attr)
+        return triple.function.is_linear
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def _conjunction(self, r1: FtlRelation, r2: FtlRelation) -> FtlRelation:
+        """The appendix's conjunction join: match on common variables,
+        intersect the intervals."""
+        shared = [v for v in r1.variables if v in r2.variables]
+        out_vars = tuple(
+            sorted(set(r1.variables) | set(r2.variables))
+        )
+        out = FtlRelation(out_vars)
+        idx2 = [r2.index_of(v) for v in shared]
+        buckets: dict[tuple, list[tuple[Instantiation, IntervalSet]]] = {}
+        for inst2, set2 in r2.rows():
+            key = tuple(inst2[i] for i in idx2)
+            buckets.setdefault(key, []).append((inst2, set2))
+        idx1 = [r1.index_of(v) for v in shared]
+        for inst1, set1 in r1.rows():
+            key = tuple(inst1[i] for i in idx1)
+            for inst2, set2 in buckets.get(key, ()):
+                overlap = set1.intersection(set2)
+                if not overlap.is_empty:
+                    merged = merge_instantiations(
+                        out_vars, r1.variables, inst1, r2.variables, inst2
+                    )
+                    out.add(merged, overlap)
+        return out
+
+    def _until_join(
+        self,
+        r1: FtlRelation,
+        r2: FtlRelation,
+        combine: Callable[[IntervalSet, IntervalSet], IntervalSet],
+    ) -> FtlRelation:
+        """The appendix's Until join.
+
+        ``g1 Until g2`` holds wherever ``g2`` holds even if ``g1`` never
+        does, so the join is outer on the ``g1`` side: variables of ``g1``
+        missing from ``g2`` are enumerated over their domains with an
+        empty ``g1`` interval set as the default.
+        """
+        shared = [v for v in r1.variables if v in r2.variables]
+        extra1 = [v for v in r1.variables if v not in r2.variables]
+        out_vars = tuple(sorted(set(r1.variables) | set(r2.variables)))
+        out = FtlRelation(out_vars)
+        extra_domains = [self.ctx.domain(v) for v in extra1]
+        idx1_shared = [r1.index_of(v) for v in shared]
+        idx1_extra = [r1.index_of(v) for v in extra1]
+        idx2_shared = [r2.index_of(v) for v in shared]
+
+        # Group r1 rows by shared values for the probe.
+        groups: dict[tuple, dict[tuple, IntervalSet]] = {}
+        for inst1, set1 in r1.rows():
+            key = tuple(inst1[i] for i in idx1_shared)
+            extra = tuple(inst1[i] for i in idx1_extra)
+            groups.setdefault(key, {})[extra] = set1
+
+        for inst2, set2 in r2.rows():
+            key = tuple(inst2[i] for i in idx2_shared)
+            group = groups.get(key, {})
+            for extra in product(*extra_domains):
+                set1 = group.get(tuple(extra), EMPTY_SET)
+                result = combine(set1, set2)
+                if result.is_empty:
+                    continue
+                inst1_like = self._compose(
+                    r1.variables, shared, key, extra1, extra
+                )
+                merged = merge_instantiations(
+                    out_vars, r1.variables, inst1_like, r2.variables, inst2
+                )
+                out.add(merged, result)
+        return out
+
+    @staticmethod
+    def _compose(
+        variables: tuple[str, ...],
+        shared: list[str],
+        shared_vals: tuple,
+        extra: list[str],
+        extra_vals: tuple,
+    ) -> Instantiation:
+        lookup = dict(zip(shared, shared_vals))
+        lookup.update(zip(extra, extra_vals))
+        return tuple(lookup[v] for v in variables)
+
+    def _disjunction(self, f: OrF) -> FtlRelation:
+        """Safe disjunction: enumerate the union variable set."""
+        r1, r2 = self._eval(f.left), self._eval(f.right)
+        out_vars = tuple(sorted(set(r1.variables) | set(r2.variables)))
+        out = FtlRelation(out_vars)
+        idx1 = [out_vars.index(v) for v in r1.variables]
+        idx2 = [out_vars.index(v) for v in r2.variables]
+        domains = [self.ctx.domain(v) for v in out_vars]
+        for inst in product(*domains):
+            s1 = r1.get(tuple(inst[i] for i in idx1))
+            s2 = r2.get(tuple(inst[i] for i in idx2))
+            combined = s1.union(s2)
+            if not combined.is_empty:
+                out.set(tuple(inst), combined)
+        return out
+
+    def _negation(self, f: NotF) -> FtlRelation:
+        """Safe negation: complement within the window over the enumerable
+        domain product (the paper excludes negation for safety; enumerable
+        domains restore it)."""
+        inner = self._eval(f.operand)
+        bound = Interval(self.ctx.start, self.ctx.end)
+        out = FtlRelation(inner.variables)
+        domains = [self.ctx.domain(v) for v in inner.variables]
+        for inst in product(*domains):
+            out.set(tuple(inst), inner.get(tuple(inst)).complement(bound))
+        return out
+
+    # ------------------------------------------------------------------
+    # Assignment quantifier
+    # ------------------------------------------------------------------
+    def _assignment(self, f: Assign) -> FtlRelation:
+        """The appendix's ``[y := q] g`` case: compute the relation ``Q``
+        of the atomic query's values over time, evaluate the body with the
+        assigned variable ranging over the observed values, then join on
+        ``body.y == Q.value`` with interval intersection."""
+        ctx = self.ctx
+        term_vars = sorted(f.term.free_vars())
+        q_rows = self._term_timeline_relation(f.term, term_vars)
+
+        values = sorted(
+            {value for _inst, value, _iset in q_rows},
+            key=lambda v: (str(type(v)), str(v)),
+        )
+        ctx.push_domain(f.var, list(values))
+        try:
+            body = self._eval(f.body)
+        finally:
+            ctx.pop_domain(f.var)
+
+        # Join: shared object variables must agree, the body's var column
+        # must equal the Q value, intervals intersect; project the var out.
+        body_has_var = f.var in body.variables
+        body_vars_wo = tuple(v for v in body.variables if v != f.var)
+        out_vars = tuple(sorted(set(body_vars_wo) | set(term_vars)))
+        out = FtlRelation(out_vars)
+        shared = [v for v in body_vars_wo if v in term_vars]
+        idx_body_shared = [body.variables.index(v) for v in shared]
+        idx_q_shared = [term_vars.index(v) for v in shared]
+        var_idx = body.variables.index(f.var) if body_has_var else None
+
+        buckets: dict[tuple, list[tuple[Instantiation, IntervalSet]]] = {}
+        for inst_b, set_b in body.rows():
+            key = tuple(inst_b[i] for i in idx_body_shared)
+            buckets.setdefault(key, []).append((inst_b, set_b))
+
+        for inst_q, value, q_set in q_rows:
+            key = tuple(inst_q[i] for i in idx_q_shared)
+            for inst_b, set_b in buckets.get(key, ()):
+                if var_idx is not None and inst_b[var_idx] != value:
+                    continue
+                overlap = set_b.intersection(q_set)
+                if overlap.is_empty:
+                    continue
+                body_wo = tuple(
+                    v
+                    for i, v in enumerate(inst_b)
+                    if body.variables[i] != f.var
+                )
+                merged = merge_instantiations(
+                    out_vars,
+                    body_vars_wo,
+                    body_wo,
+                    tuple(term_vars),
+                    tuple(inst_q),
+                )
+                out.add(merged, overlap)
+        return out
+
+    def _term_timeline_relation(
+        self, term: Term, term_vars: list[str]
+    ) -> list[tuple[Instantiation, object, IntervalSet]]:
+        """The appendix's ``Q`` relation: per instantiation of the term's
+        free variables, ``(value, interval)`` runs over the window."""
+        ctx = self.ctx
+        domains = [ctx.domain(v) for v in term_vars]
+        rows: list[tuple[Instantiation, object, IntervalSet]] = []
+        full = IntervalSet.span(ctx.start, ctx.end, DISCRETE)
+        for inst in product(*domains):
+            env = dict(zip(term_vars, inst))
+            if ctx.term_invariant(term):
+                value = ctx.eval_term(term, env, ctx.start)
+                rows.append((tuple(inst), value, full))
+                continue
+            # Per-tick runs of equal values.
+            run_value: object = None
+            run_start: int | None = None
+            for t in ctx.ticks():
+                self.sampled_atom_evals += 1
+                value = ctx.eval_term(term, env, t)
+                if run_start is None:
+                    run_value, run_start = value, t
+                elif value != run_value:
+                    rows.append(
+                        (
+                            tuple(inst),
+                            run_value,
+                            IntervalSet.span(run_start, t - 1, DISCRETE),
+                        )
+                    )
+                    run_value, run_start = value, t
+            if run_start is not None:
+                rows.append(
+                    (
+                        tuple(inst),
+                        run_value,
+                        IntervalSet.span(run_start, ctx.end, DISCRETE),
+                    )
+                )
+        return rows

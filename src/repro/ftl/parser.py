@@ -1,0 +1,343 @@
+"""Recursive-descent parser for FTL queries and formulas.
+
+Concrete syntax (example queries I–III of section 3.4 and the query of
+section 3.2 all parse):
+
+.. code-block:: text
+
+    RETRIEVE o, n
+    FROM objects o, objects n
+    WHERE DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))
+
+    RETRIEVE o FROM objects o
+    WHERE o.price <= 100 AND EVENTUALLY WITHIN 3 INSIDE(o, P)
+
+    RETRIEVE o FROM objects o
+    WHERE EVENTUALLY WITHIN 3 (INSIDE(o, P)
+          AND ALWAYS FOR 2 INSIDE(o, P)
+          AND EVENTUALLY AFTER 5 INSIDE(o, Q))
+
+    RETRIEVE o FROM objects o
+    WHERE [x := o.x_position.function]
+          EVENTUALLY o.x_position.function >= 2 * x
+
+Precedence, loosest to tightest: ``UNTIL`` (right-associative) < ``OR`` <
+``AND`` < prefix operators (``NOT``, ``NEXTTIME``, ``EVENTUALLY [WITHIN c
+| AFTER c]``, ``ALWAYS [FOR c]``, ``[x := t]``) < atoms.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FtlSyntaxError
+from repro.ftl.ast import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Arith,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    Dist,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    Inside,
+    Nexttime,
+    NotF,
+    OrF,
+    Outside,
+    SubAttr,
+    Term,
+    TimeTerm,
+    Until,
+    UntilWithin,
+    Var,
+    WithinSphere,
+)
+from repro.ftl.lexer import Token, tokenize
+from repro.ftl.query import FtlQuery
+
+
+def parse_query(text: str) -> FtlQuery:
+    """Parse a full ``RETRIEVE ... FROM ... WHERE ...`` query."""
+    p = _Parser(tokenize(text))
+    q = p.query()
+    p.expect_eof()
+    return q
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a bare FTL formula (tests and programmatic composition)."""
+    p = _Parser(tokenize(text))
+    f = p.formula()
+    p.expect_eof()
+    return f
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- plumbing --------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _match_keyword(self, *words: str) -> bool:
+        tok = self._peek()
+        if tok.kind == "KEYWORD" and tok.value in words:
+            self._advance()
+            return True
+        return False
+
+    def _match_symbol(self, *symbols: str) -> str | None:
+        tok = self._peek()
+        if tok.kind == "SYMBOL" and tok.value in symbols:
+            self._advance()
+            return tok.value
+        return None
+
+    def _expect_keyword(self, word: str) -> None:
+        tok = self._advance()
+        if tok.kind != "KEYWORD" or tok.value != word:
+            raise FtlSyntaxError(
+                f"expected {word}, got {tok.value!r} at {tok.pos}"
+            )
+
+    def _expect_symbol(self, symbol: str) -> None:
+        tok = self._advance()
+        if tok.kind != "SYMBOL" or tok.value != symbol:
+            raise FtlSyntaxError(
+                f"expected {symbol!r}, got {tok.value!r} at {tok.pos}"
+            )
+
+    def _expect_ident(self) -> str:
+        tok = self._advance()
+        if tok.kind != "IDENT":
+            raise FtlSyntaxError(
+                f"expected identifier, got {tok.value!r} at {tok.pos}"
+            )
+        return tok.value
+
+    def _expect_number(self) -> float:
+        tok = self._advance()
+        if tok.kind != "NUMBER":
+            raise FtlSyntaxError(
+                f"expected number, got {tok.value!r} at {tok.pos}"
+            )
+        return float(tok.value)
+
+    def expect_eof(self) -> None:
+        tok = self._peek()
+        if tok.kind != "EOF":
+            raise FtlSyntaxError(
+                f"unexpected trailing input {tok.value!r} at {tok.pos}"
+            )
+
+    # -- query -----------------------------------------------------------
+    def query(self) -> FtlQuery:
+        self._expect_keyword("RETRIEVE")
+        targets = [self._expect_ident()]
+        while self._match_symbol(","):
+            targets.append(self._expect_ident())
+        self._expect_keyword("FROM")
+        bindings: dict[str, str] = {}
+        while True:
+            class_name = self._expect_ident()
+            var = self._expect_ident()
+            if var in bindings:
+                raise FtlSyntaxError(f"variable {var!r} bound twice in FROM")
+            bindings[var] = class_name
+            if not self._match_symbol(","):
+                break
+        self._expect_keyword("WHERE")
+        where = self.formula()
+        return FtlQuery(
+            targets=tuple(targets), bindings=bindings, where=where
+        )
+
+    # -- formulas ----------------------------------------------------------
+    def formula(self) -> Formula:
+        return self._until_expr()
+
+    def _until_expr(self) -> Formula:
+        left = self._or_expr()
+        if self._match_keyword("UNTIL"):
+            if self._match_keyword("WITHIN"):
+                bound = self._expect_number()
+                right = self._until_expr()
+                return UntilWithin(bound, left, right)
+            right = self._until_expr()  # right-associative
+            return Until(left, right)
+        return left
+
+    def _or_expr(self) -> Formula:
+        left = self._and_expr()
+        while self._match_keyword("OR"):
+            left = OrF(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Formula:
+        left = self._prefix()
+        while self._match_keyword("AND"):
+            left = AndF(left, self._prefix())
+        return left
+
+    def _prefix(self) -> Formula:
+        if self._match_keyword("NOT"):
+            return NotF(self._prefix())
+        if self._match_keyword("NEXTTIME"):
+            return Nexttime(self._prefix())
+        if self._match_keyword("EVENTUALLY"):
+            if self._match_keyword("WITHIN"):
+                bound = self._expect_number()
+                return EventuallyWithin(bound, self._prefix())
+            if self._match_keyword("AFTER"):
+                bound = self._expect_number()
+                return EventuallyAfter(bound, self._prefix())
+            return Eventually(self._prefix())
+        if self._match_keyword("ALWAYS"):
+            if self._match_keyword("FOR"):
+                bound = self._expect_number()
+                return AlwaysFor(bound, self._prefix())
+            return Always(self._prefix())
+        if self._peek().kind == "SYMBOL" and self._peek().value == "[":
+            self._advance()
+            var = self._expect_ident()
+            self._expect_symbol(":=")
+            term = self.term()
+            self._expect_symbol("]")
+            return Assign(var, term, self._prefix())
+        return self._atom()
+
+    def _atom(self) -> Formula:
+        tok = self._peek()
+        if tok.kind == "KEYWORD" and tok.value in ("INSIDE", "OUTSIDE"):
+            self._advance()
+            self._expect_symbol("(")
+            obj = self.term()
+            self._expect_symbol(",")
+            region = self._expect_ident()
+            self._expect_symbol(")")
+            return (
+                Inside(obj, region)
+                if tok.value == "INSIDE"
+                else Outside(obj, region)
+            )
+        if tok.kind == "KEYWORD" and tok.value == "WITHIN_SPHERE":
+            self._advance()
+            self._expect_symbol("(")
+            radius = self._expect_number()
+            objs = []
+            while self._match_symbol(","):
+                objs.append(self.term())
+            self._expect_symbol(")")
+            if not objs:
+                raise FtlSyntaxError("WITHIN_SPHERE needs at least one object")
+            return WithinSphere(radius, tuple(objs))
+        if tok.kind == "KEYWORD" and tok.value in ("TRUE", "FALSE"):
+            self._advance()
+            # TRUE / FALSE sugar as always-equal comparisons.
+            value = 1 if tok.value == "TRUE" else 0
+            return Compare("=", Const(1), Const(value))
+        if tok.kind == "SYMBOL" and tok.value == "(":
+            # Could be a parenthesised formula or a parenthesised term of a
+            # comparison; try formula first via backtracking.
+            saved = self._pos
+            try:
+                self._advance()
+                inner = self.formula()
+                self._expect_symbol(")")
+                return inner
+            except FtlSyntaxError:
+                self._pos = saved
+        return self._comparison()
+
+    def _comparison(self) -> Formula:
+        left = self.term()
+        op = self._match_symbol("=", "!=", "<", "<=", ">", ">=")
+        if op is None:
+            tok = self._peek()
+            raise FtlSyntaxError(
+                f"expected comparison operator, got {tok.value!r} at {tok.pos}"
+            )
+        right = self.term()
+        return Compare(op, left, right)
+
+    # -- terms -------------------------------------------------------------
+    def term(self) -> Term:
+        return self._additive()
+
+    def _additive(self) -> Term:
+        left = self._multiplicative()
+        while True:
+            op = self._match_symbol("+", "-")
+            if op is None:
+                return left
+            left = Arith(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> Term:
+        left = self._unary_term()
+        while True:
+            op = self._match_symbol("*", "/")
+            if op is None:
+                return left
+            left = Arith(op, left, self._unary_term())
+
+    def _unary_term(self) -> Term:
+        if self._match_symbol("-"):
+            operand = self._unary_term()
+            if isinstance(operand, Const) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Const(-operand.value)
+            return Arith("-", Const(0), operand)
+        return self._primary_term()
+
+    def _primary_term(self) -> Term:
+        tok = self._peek()
+        if tok.kind == "NUMBER":
+            self._advance()
+            return Const(float(tok.value) if "." in tok.value else int(tok.value))
+        if tok.kind == "STRING":
+            self._advance()
+            return Const(tok.value)
+        if tok.kind == "KEYWORD" and tok.value == "TIME":
+            self._advance()
+            return TimeTerm()
+        if tok.kind == "KEYWORD" and tok.value == "DIST":
+            self._advance()
+            self._expect_symbol("(")
+            left = self.term()
+            self._expect_symbol(",")
+            right = self.term()
+            self._expect_symbol(")")
+            return Dist(left, right)
+        if tok.kind == "IDENT":
+            name = self._advance().value
+            term: Term = Var(name)
+            path: list[str] = []
+            while self._match_symbol("."):
+                path.append(self._expect_ident())
+            if len(path) == 0:
+                return term
+            if len(path) == 1:
+                return Attr(term, path[0])
+            if len(path) == 2:
+                return SubAttr(term, path[0], path[1])
+            raise FtlSyntaxError(
+                f"attribute path too deep: {name}.{'.'.join(path)}"
+            )
+        if tok.kind == "SYMBOL" and tok.value == "(":
+            self._advance()
+            inner = self.term()
+            self._expect_symbol(")")
+            return inner
+        raise FtlSyntaxError(f"unexpected token {tok.value!r} at {tok.pos}")

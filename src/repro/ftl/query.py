@@ -1,0 +1,100 @@
+"""FTL queries: ``RETRIEVE <targets> FROM <bindings> WHERE <formula>``.
+
+An :class:`FtlQuery` is the parsed form; evaluation produces the
+``Answer`` relation of the appendix — per target instantiation, the time
+intervals during which it satisfies the formula — from which the three
+query types of section 2.3 are all answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import FtlSemanticsError
+from repro.ftl.ast import Formula
+from repro.ftl.context import EvalContext
+from repro.ftl.relations import FtlRelation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.history import History
+
+
+@dataclass(frozen=True)
+class FtlQuery:
+    """A parsed FTL query.
+
+    Attributes:
+        targets: the RETRIEVE list (variables whose instantiations are
+            returned).
+        bindings: FROM clause — variable name → object class name.
+        where: the FTL condition.
+    """
+
+    targets: tuple[str, ...]
+    bindings: dict[str, str]
+    where: Formula
+
+    def __post_init__(self) -> None:
+        free = self.where.free_vars()
+        unbound = free - set(self.bindings)
+        if unbound:
+            raise FtlSemanticsError(
+                f"free variables {sorted(unbound)} not bound by FROM"
+            )
+        bad_targets = [t for t in self.targets if t not in self.bindings]
+        if bad_targets:
+            raise FtlSemanticsError(
+                f"RETRIEVE variables {bad_targets} not bound by FROM"
+            )
+
+    @property
+    def is_conjunctive(self) -> bool:
+        """Whether the condition is in the fragment of section 3.5."""
+        return self.where.is_conjunctive()
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        history: "History",
+        horizon: int,
+        method: str = "interval",
+    ) -> FtlRelation:
+        """Compute the full ``R_f`` relation, projected onto the targets.
+
+        Args:
+            history: the database history to evaluate on.
+            horizon: the expiration horizon (section 2.3) in ticks.
+            method: ``"interval"`` for the appendix algorithm,
+                ``"naive"`` for the per-state reference semantics.
+        """
+        ctx = EvalContext(history, horizon, self.bindings)
+        if method == "interval":
+            from repro.ftl.evaluator import IntervalEvaluator
+
+            relation = IntervalEvaluator(ctx).evaluate(self.where)
+        elif method == "naive":
+            from repro.ftl.naive import NaiveEvaluator
+
+            relation = NaiveEvaluator(ctx).evaluate(self.where)
+        else:
+            raise FtlSemanticsError(f"unknown method {method!r}")
+        return self._complete(relation, ctx).project(self.targets)
+
+    def _complete(self, relation: FtlRelation, ctx: EvalContext) -> FtlRelation:
+        """Extend the relation with target variables the condition never
+        mentions (they range freely over their class)."""
+        missing = [v for v in self.targets if v not in relation.variables]
+        if not missing:
+            return relation
+        from itertools import product
+
+        out_vars = tuple(sorted(set(relation.variables) | set(missing)))
+        out = FtlRelation(out_vars)
+        domains = [ctx.domain(v) for v in missing]
+        for inst, iset in relation.rows():
+            base = dict(zip(relation.variables, inst))
+            for extra in product(*domains):
+                base.update(zip(missing, extra))
+                out.add(tuple(base[v] for v in out_vars), iset)
+        return out

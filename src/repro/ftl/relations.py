@@ -1,0 +1,150 @@
+"""The interval relations ``R_g`` of the appendix algorithm.
+
+"For each subformula g of f, our algorithm computes a relation R_g ...
+The relation R_g will have (l+1) attributes, the first l attributes
+correspond to the l variables, and the last attribute denotes a time
+interval."
+
+:class:`FtlRelation` stores, per variable instantiation, the *normalised*
+:class:`~repro.temporal.IntervalSet` of satisfaction ticks — which gives
+the appendix's non-overlapping, non-consecutive interval invariant for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import FtlSemanticsError
+from repro.temporal import DISCRETE, IntervalSet
+
+Instantiation = tuple[object, ...]
+
+EMPTY_SET = IntervalSet.empty(DISCRETE)
+
+
+@dataclass(frozen=True)
+class AnswerTuple:
+    """One tuple of ``Answer(CQ)``: an instantiation of the query's target
+    variables plus the interval ``[begin, end]`` during which it satisfies
+    the query (section 2.3)."""
+
+    values: Instantiation
+    begin: float
+    end: float
+
+    def active_at(self, t: float) -> bool:
+        """Whether this tuple is displayed at clock tick ``t``."""
+        return self.begin <= t <= self.end
+
+
+class FtlRelation:
+    """A relation from variable instantiations to satisfaction ticks.
+
+    Rows with empty interval sets are never stored; a missing row means
+    "never satisfied".
+    """
+
+    __slots__ = ("variables", "_rows")
+
+    def __init__(
+        self,
+        variables: Iterable[str],
+        rows: dict[Instantiation, IntervalSet] | None = None,
+    ) -> None:
+        self.variables = tuple(variables)
+        self._rows: dict[Instantiation, IntervalSet] = {}
+        for inst, iset in (rows or {}).items():
+            self.set(inst, iset)
+
+    # ------------------------------------------------------------------
+    def set(self, inst: Instantiation, iset: IntervalSet) -> None:
+        """Store a row, dropping empty interval sets."""
+        if len(inst) != len(self.variables):
+            raise FtlSemanticsError(
+                f"instantiation arity {len(inst)} != {len(self.variables)}"
+            )
+        if iset.is_empty:
+            self._rows.pop(inst, None)
+        else:
+            self._rows[inst] = iset
+
+    def add(self, inst: Instantiation, iset: IntervalSet) -> None:
+        """Union an interval set into a row."""
+        current = self._rows.get(inst)
+        self.set(inst, iset if current is None else current.union(iset))
+
+    def get(self, inst: Instantiation) -> IntervalSet:
+        """Satisfaction set of one instantiation (empty when absent)."""
+        return self._rows.get(inst, EMPTY_SET)
+
+    def rows(self) -> Iterator[tuple[Instantiation, IntervalSet]]:
+        """All stored (non-empty) rows."""
+        return iter(self._rows.items())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    # ------------------------------------------------------------------
+    def index_of(self, var: str) -> int:
+        """Column position of a variable."""
+        try:
+            return self.variables.index(var)
+        except ValueError:
+            raise FtlSemanticsError(
+                f"variable {var!r} not in relation {self.variables}"
+            ) from None
+
+    def map_sets(
+        self, fn: Callable[[IntervalSet], IntervalSet]
+    ) -> "FtlRelation":
+        """Apply an interval-set transform to every row (the unary
+        temporal operators)."""
+        out = FtlRelation(self.variables)
+        for inst, iset in self._rows.items():
+            out.set(inst, fn(iset))
+        return out
+
+    def project(self, targets: Iterable[str]) -> "FtlRelation":
+        """Project onto the target variables, unioning the interval sets
+        of rows that collapse together."""
+        targets = tuple(targets)
+        positions = [self.index_of(v) for v in targets]
+        out = FtlRelation(targets)
+        for inst, iset in self._rows.items():
+            out.add(tuple(inst[p] for p in positions), iset)
+        return out
+
+    def satisfied_at(self, t: float) -> set[Instantiation]:
+        """Instantiations whose satisfaction set contains ``t`` — the
+        answer of the instantaneous query at tick ``t``."""
+        return {inst for inst, iset in self._rows.items() if iset.contains(t)}
+
+    def answer_tuples(self) -> list[AnswerTuple]:
+        """Flatten into ``Answer(CQ)`` tuples (one per maximal interval)."""
+        out: list[AnswerTuple] = []
+        for inst, iset in sorted(self._rows.items(), key=lambda kv: str(kv[0])):
+            for iv in iset:
+                out.append(AnswerTuple(inst, iv.start, iv.end))
+        return out
+
+    def __repr__(self) -> str:
+        return f"FtlRelation({self.variables}, {len(self._rows)} rows)"
+
+
+def merge_instantiations(
+    vars_out: tuple[str, ...],
+    vars_a: tuple[str, ...],
+    inst_a: Instantiation,
+    vars_b: tuple[str, ...],
+    inst_b: Instantiation,
+) -> Instantiation:
+    """Combine two instantiations into the output variable order (values
+    for shared variables are assumed equal — the join guarantees it)."""
+    lookup = dict(zip(vars_a, inst_a))
+    lookup.update(zip(vars_b, inst_b))
+    return tuple(lookup[v] for v in vars_out)

@@ -1,0 +1,170 @@
+"""Derived-operator rewriting: everything reduces to Until and Nexttime.
+
+Section 3.2: "The formulas (i.e. queries) of FTL use two basic future
+temporal operators Until and Nexttime.  Other temporal operators, such as
+Eventually, can be expressed in terms of the basic operators."  Section
+3.3 gives ``Eventually f ≡ true Until f`` and ``Always f ≡ ¬Eventually
+¬f``; section 3.4 adds that the bounded operators "can be expressed using
+the previously defined temporal operators and the time object".
+
+:func:`expand` performs those reductions *executably*:
+
+* ``Eventually f``            → ``TRUE Until f``
+* ``Always f``                → ``NOT (TRUE Until NOT f)``
+* ``Eventually within c f``   → ``[d := time] (TRUE Until (f AND time <= d + c))``
+* ``Eventually after c f``    → ``[d := time] (TRUE Until (f AND time >= d + c))``
+* ``Always for c f``          → ``[d := time] NOT (TRUE Until ((NOT f) AND time <= d + c))``
+* ``f until within c g``      → ``[d := time] (f Until (g AND time <= d + c))``
+
+The assignment quantifier captures the evaluation state's time stamp, and
+the embedded comparison against the ``time`` object bounds the witness —
+exactly the encoding the paper alludes to.  ``tests/ftl/test_rewrite.py``
+property-checks that expansion preserves semantics under the reference
+evaluator, and that expanded formulas also agree with the built-in bounded
+operators under the interval algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ftl.ast import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Arith,
+    Assign,
+    Compare,
+    Const,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    Nexttime,
+    NotF,
+    OrF,
+    TimeTerm,
+    Until,
+    UntilWithin,
+)
+
+#: The formula ``TRUE`` (a tautological comparison).
+TRUE_FORMULA = Compare("=", Const(1), Const(1))
+
+_counter = itertools.count()
+
+
+def _fresh_var(bound: set[str]) -> str:
+    """A deadline-variable name not colliding with anything in scope."""
+    while True:
+        name = f"_t{next(_counter)}"
+        if name not in bound:
+            return name
+
+
+def expand(formula: Formula, _bound: set[str] | None = None) -> Formula:
+    """Rewrite every derived temporal operator into Until/Nexttime form.
+
+    The result contains only atoms, boolean connectives, ``Until``,
+    ``Nexttime`` and assignment quantifiers.
+    """
+    bound = set(_bound or set()) | formula.free_vars()
+
+    if isinstance(formula, Eventually):
+        return Until(TRUE_FORMULA, expand(formula.operand, bound))
+
+    if isinstance(formula, Always):
+        return NotF(
+            Until(TRUE_FORMULA, NotF(expand(formula.operand, bound)))
+        )
+
+    if isinstance(formula, EventuallyWithin):
+        d = _fresh_var(bound)
+        deadline = Arith("+", _var(d), Const(formula.bound))
+        body = Until(
+            TRUE_FORMULA,
+            AndF(
+                expand(formula.operand, bound | {d}),
+                Compare("<=", TimeTerm(), deadline),
+            ),
+        )
+        return Assign(d, TimeTerm(), body)
+
+    if isinstance(formula, EventuallyAfter):
+        d = _fresh_var(bound)
+        threshold = Arith("+", _var(d), Const(formula.bound))
+        body = Until(
+            TRUE_FORMULA,
+            AndF(
+                expand(formula.operand, bound | {d}),
+                Compare(">=", TimeTerm(), threshold),
+            ),
+        )
+        return Assign(d, TimeTerm(), body)
+
+    if isinstance(formula, AlwaysFor):
+        d = _fresh_var(bound)
+        deadline = Arith("+", _var(d), Const(formula.bound))
+        violation = Until(
+            TRUE_FORMULA,
+            AndF(
+                NotF(expand(formula.operand, bound | {d})),
+                Compare("<=", TimeTerm(), deadline),
+            ),
+        )
+        return Assign(d, TimeTerm(), NotF(violation))
+
+    if isinstance(formula, UntilWithin):
+        d = _fresh_var(bound)
+        deadline = Arith("+", _var(d), Const(formula.bound))
+        body = Until(
+            expand(formula.left, bound | {d}),
+            AndF(
+                expand(formula.right, bound | {d}),
+                Compare("<=", TimeTerm(), deadline),
+            ),
+        )
+        return Assign(d, TimeTerm(), body)
+
+    # Structural recursion over the remaining node kinds.
+    if isinstance(formula, AndF):
+        return AndF(expand(formula.left, bound), expand(formula.right, bound))
+    if isinstance(formula, OrF):
+        return OrF(expand(formula.left, bound), expand(formula.right, bound))
+    if isinstance(formula, NotF):
+        return NotF(expand(formula.operand, bound))
+    if isinstance(formula, Until):
+        return Until(expand(formula.left, bound), expand(formula.right, bound))
+    if isinstance(formula, Nexttime):
+        return Nexttime(expand(formula.operand, bound))
+    if isinstance(formula, Assign):
+        return Assign(
+            formula.var,
+            formula.term,
+            expand(formula.body, bound | {formula.var}),
+        )
+    return formula  # atoms
+
+
+def _var(name: str):
+    from repro.ftl.ast import Var
+
+    return Var(name)
+
+
+def uses_only_basic_operators(formula: Formula) -> bool:
+    """Whether the formula contains no derived temporal operator."""
+    if isinstance(
+        formula,
+        (Eventually, Always, EventuallyWithin, EventuallyAfter, AlwaysFor, UntilWithin),
+    ):
+        return False
+    if isinstance(formula, (AndF, OrF, Until)):
+        return uses_only_basic_operators(formula.left) and uses_only_basic_operators(
+            formula.right
+        )
+    if isinstance(formula, (NotF, Nexttime)):
+        return uses_only_basic_operators(formula.operand)
+    if isinstance(formula, Assign):
+        return uses_only_basic_operators(formula.body)
+    return True

@@ -1,0 +1,166 @@
+"""Points and vectors in 2-D / 3-D Euclidean space.
+
+The paper's spatial object classes carry ``X.POSITION``, ``Y.POSITION``,
+``Z.POSITION`` attributes (section 2); :class:`Point` is the value those
+triples denote.  A single immutable tuple-backed class serves as both point
+and displacement vector, which keeps the kinetic algebra (`p0 + v * t`)
+readable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.errors import SpatialError
+
+
+class Point:
+    """An immutable point (or displacement vector) with 1–3 coordinates."""
+
+    __slots__ = ("_coords",)
+
+    def __init__(self, *coords: float) -> None:
+        if not 1 <= len(coords) <= 3:
+            raise SpatialError(
+                f"points must have 1 to 3 coordinates, got {len(coords)}"
+            )
+        self._coords = tuple(float(c) for c in coords)
+
+    @classmethod
+    def of(cls, coords: Iterable[float]) -> "Point":
+        """Build from any iterable of coordinates."""
+        return cls(*coords)
+
+    @classmethod
+    def zero(cls, dim: int) -> "Point":
+        """The origin of ``dim``-dimensional space."""
+        return cls(*([0.0] * dim))
+
+    # ------------------------------------------------------------------
+    # Coordinate access
+    # ------------------------------------------------------------------
+    @property
+    def coords(self) -> tuple[float, ...]:
+        """The raw coordinate tuple."""
+        return self._coords
+
+    @property
+    def dim(self) -> int:
+        """Number of coordinates."""
+        return len(self._coords)
+
+    @property
+    def x(self) -> float:
+        """First coordinate."""
+        return self._coords[0]
+
+    @property
+    def y(self) -> float:
+        """Second coordinate."""
+        if len(self._coords) < 2:
+            raise SpatialError("point has no y coordinate")
+        return self._coords[1]
+
+    @property
+    def z(self) -> float:
+        """Third coordinate."""
+        if len(self._coords) < 3:
+            raise SpatialError("point has no z coordinate")
+        return self._coords[2]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._coords)
+
+    def __getitem__(self, idx: int) -> float:
+        return self._coords[idx]
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    # ------------------------------------------------------------------
+    # Vector algebra
+    # ------------------------------------------------------------------
+    def _check_dim(self, other: "Point") -> None:
+        if self.dim != other.dim:
+            raise SpatialError(
+                f"dimension mismatch: {self.dim} vs {other.dim}"
+            )
+
+    def __add__(self, other: "Point") -> "Point":
+        self._check_dim(other)
+        return Point(*(a + b for a, b in zip(self._coords, other._coords)))
+
+    def __sub__(self, other: "Point") -> "Point":
+        self._check_dim(other)
+        return Point(*(a - b for a, b in zip(self._coords, other._coords)))
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(*(a * scalar for a in self._coords))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(*(-a for a in self._coords))
+
+    def dot(self, other: "Point") -> float:
+        """Inner product."""
+        self._check_dim(other)
+        return sum(a * b for a, b in zip(self._coords, other._coords))
+
+    def cross2d(self, other: "Point") -> float:
+        """Z component of the 2-D cross product (signed area test)."""
+        if self.dim != 2 or other.dim != 2:
+            raise SpatialError("cross2d requires 2-D points")
+        return self.x * other.y - self.y * other.x
+
+    @property
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.norm_squared)
+
+    @property
+    def norm_squared(self) -> float:
+        """Squared Euclidean length (avoids the sqrt in hot paths)."""
+        return sum(a * a for a in self._coords)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance — the paper's ``DIST(o1, o2)`` method."""
+        return (self - other).norm
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Point halfway between the two inputs."""
+        return (self + other) * 0.5
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self._coords == other._coords
+
+    def __hash__(self) -> int:
+        return hash(self._coords)
+
+    def __repr__(self) -> str:
+        return f"Point{self._coords}"
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """Approximate equality within absolute tolerance ``tol``."""
+        return (
+            self.dim == other.dim
+            and all(
+                abs(a - b) <= tol
+                for a, b in zip(self._coords, other._coords)
+            )
+        )
+
+
+#: Alias making intent explicit where a Point is used as a displacement.
+Vector = Point
+
+
+def dist(a: Point, b: Point) -> float:
+    """The paper's ``DIST`` spatial method as a free function."""
+    return a.distance_to(b)

@@ -1,0 +1,41 @@
+"""Indexing dynamic attributes (section 4 of the paper).
+
+"The method plots all the functions representing the way a dynamic
+attribute A changes with time.  Thus, the x-axis represents time, and the
+y-axis represents the value of A ... We use a spatial index for each
+dynamic attribute A.  Spatial indexes use a hierarchical recursive
+decomposition of space, usually into rectangles; the id of each object o
+is stored in the records representing the rectangles crossed by the
+A.function of o."
+
+Implemented here:
+
+* :class:`~repro.index.segments.TrajectorySegment` — one linear leg of a
+  function-line in the (time, value) plane (or (x, y, t) space).
+* :class:`~repro.index.regiontree.RegionTree` — the hierarchical
+  recursive decomposition (a region quadtree in 2-D, an octree in 3-D).
+* :class:`~repro.index.rtree.RTree` — an alternative access method
+  (R-tree with quadratic split), for the "experimentally compare various
+  mechanisms" future work of section 7.
+* :class:`~repro.index.dynamicindex.DynamicAttributeIndex` — the 1-D
+  attribute index of section 4: instantaneous and continuous range
+  retrieval, update = remove old function-line + insert new one, periodic
+  reconstruction at the horizon ``T``.
+* :class:`~repro.index.spatial2d.MovingObjectIndex2D` — 2-D movement via
+  the 3-D (x, y, t) scheme the paper sketches.
+"""
+
+from repro.index.segments import TrajectorySegment, segments_of_function
+from repro.index.regiontree import RegionTree
+from repro.index.rtree import RTree
+from repro.index.dynamicindex import DynamicAttributeIndex
+from repro.index.spatial2d import MovingObjectIndex2D
+
+__all__ = [
+    "TrajectorySegment",
+    "segments_of_function",
+    "RegionTree",
+    "RTree",
+    "DynamicAttributeIndex",
+    "MovingObjectIndex2D",
+]

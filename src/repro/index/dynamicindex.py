@@ -1,0 +1,310 @@
+"""The dynamic-attribute index of section 4.
+
+One index per dynamic attribute ``A``: the (time, value) plane from the
+index epoch to the horizon ``T`` is indexed by a spatial structure holding
+the function-line segments of every object.
+
+* **Instantaneous query** "retrieve the objects for which currently
+  ``lo < A < hi``" — probe the rectangle ``[t - eps, t + eps] x [lo, hi]``
+  and verify each candidate exactly.
+* **Continuous query** — probe ``[t, T] x [lo, hi]`` and, per candidate,
+  "determine the time intervals when ``lo < o.A < hi``" analytically.
+* **Update** — "o is removed from the records representing rectangles
+  crossed by the old function-line, and it is added to the records
+  representing rectangles crossed by the new function-line."
+* **Reconstruction** — "the index needs to be reconstructed every T time
+  units": :meth:`reconstruct` re-plots every live attribute over the next
+  window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dynamic import DynamicAttribute
+from repro.errors import IndexError_
+from repro.index.regiontree import RegionTree
+from repro.index.rtree import RTree
+from repro.index.segments import TrajectorySegment, segments_of_function
+from repro.spatial.kinetic import when_value_in_range
+from repro.spatial.regions import Box
+from repro.temporal import Interval
+
+
+@dataclass(frozen=True)
+class RangeHit:
+    """One tuple of a continuous range query's answer: the object and one
+    interval during which its attribute value lies in the range."""
+
+    object_id: object
+    begin: float
+    end: float
+
+
+class DynamicAttributeIndex:
+    """Spatial index over one dynamic attribute's function-lines."""
+
+    def __init__(
+        self,
+        epoch: float,
+        horizon: float,
+        value_lo: float,
+        value_hi: float,
+        structure: str = "regiontree",
+        node_capacity: int = 8,
+        max_depth: int = 12,
+    ) -> None:
+        if horizon <= epoch:
+            raise IndexError_("horizon must exceed the epoch")
+        if value_hi <= value_lo:
+            raise IndexError_("empty value range")
+        self.epoch = float(epoch)
+        self.horizon = float(horizon)
+        self.value_lo = float(value_lo)
+        self.value_hi = float(value_hi)
+        self.structure = structure
+        self._node_capacity = node_capacity
+        self._max_depth = max_depth
+        self._attributes: dict[object, DynamicAttribute] = {}
+        self._segments: dict[object, list[TrajectorySegment]] = {}
+        self._tree = self._new_tree()
+
+    def _new_tree(self):
+        bounds = Box.from_bounds(
+            (self.epoch, self.horizon), (self.value_lo, self.value_hi)
+        )
+        if self.structure == "regiontree":
+            return RegionTree(
+                bounds,
+                capacity=self._node_capacity,
+                max_depth=self._max_depth,
+            )
+        if self.structure == "rtree":
+            return RTree(max_entries=max(4, self._node_capacity))
+        raise IndexError_(f"unknown index structure {self.structure!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def last_nodes_visited(self) -> int:
+        """Nodes touched by the most recent probe (E3 instrumentation)."""
+        return self._tree.last_nodes_visited
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, object_id: object) -> bool:
+        return object_id in self._attributes
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, object_id: object, attribute: DynamicAttribute) -> None:
+        """Plot one object's function-line into the index."""
+        if object_id in self._attributes:
+            raise IndexError_(f"object {object_id!r} already indexed")
+        self._plot(object_id, attribute)
+
+    def _plot(self, object_id: object, attribute: DynamicAttribute) -> None:
+        start = max(self.epoch, attribute.updatetime)
+        segments = segments_of_function(
+            object_id, attribute, start, self.horizon
+        )
+        clipped = []
+        for s in segments:
+            sub = self._clip_to_value_range(s)
+            if sub is not None:
+                clipped.append(sub)
+        for segment in clipped:
+            self._tree_insert(segment)
+        self._attributes[object_id] = attribute
+        self._segments[object_id] = clipped
+
+    def _clip_to_value_range(
+        self, s: TrajectorySegment
+    ) -> TrajectorySegment | None:
+        """Parametrically clip the segment to the indexed value band.
+
+        Portions outside the band cannot satisfy any in-band query, so
+        discarding them is safe; the in-band portion keeps its exact
+        geometry (clamping endpoints would distort the line and cause
+        false negatives)."""
+        from repro.geometry import Point
+
+        y0, y1 = s.a.y, s.b.y
+        lo, hi = self.value_lo, self.value_hi
+        if y0 == y1:
+            if lo <= y0 <= hi:
+                return s
+            return None
+        s_lo = (lo - y0) / (y1 - y0)
+        s_hi = (hi - y0) / (y1 - y0)
+        if s_lo > s_hi:
+            s_lo, s_hi = s_hi, s_lo
+        s0 = max(0.0, s_lo)
+        s1 = min(1.0, s_hi)
+        if s0 > s1:
+            return None
+        a = Point(
+            s.a.x + s0 * (s.b.x - s.a.x), y0 + s0 * (y1 - y0)
+        )
+        b = Point(
+            s.a.x + s1 * (s.b.x - s.a.x), y0 + s1 * (y1 - y0)
+        )
+        return TrajectorySegment(s.object_id, a, b)
+
+    def _tree_insert(self, segment: TrajectorySegment) -> None:
+        if isinstance(self._tree, RegionTree):
+            self._tree.insert(segment)
+        else:
+            self._tree.insert(segment.bbox(), segment)
+
+    def _tree_delete(self, segment: TrajectorySegment) -> None:
+        if isinstance(self._tree, RegionTree):
+            self._tree.delete(segment)
+        else:
+            self._tree.delete(segment.bbox(), segment)
+
+    def update(self, object_id: object, attribute: DynamicAttribute) -> None:
+        """Replace an object's function-line after an explicit update."""
+        self.remove(object_id)
+        self._plot(object_id, attribute)
+
+    def remove(self, object_id: object) -> None:
+        """Remove an object from the index."""
+        segments = self._segments.pop(object_id, None)
+        if segments is None:
+            raise IndexError_(f"object {object_id!r} not indexed")
+        for segment in segments:
+            self._tree_delete(segment)
+        del self._attributes[object_id]
+
+    def reconstruct(self, new_epoch: float) -> None:
+        """Periodic reconstruction: re-plot every live attribute over the
+        next ``T``-length window starting at ``new_epoch``."""
+        window = self.horizon - self.epoch
+        self.epoch = float(new_epoch)
+        self.horizon = float(new_epoch) + window
+        attributes = self._attributes
+        # Values drift over time; widen the indexed band to cover every
+        # live function-line over the new window (spatial indexing is
+        # limited to finite space — section 4 — so the band is recomputed
+        # at each rebuild).
+        for attribute in attributes.values():
+            start = max(self.epoch, attribute.updatetime)
+            breakpoints = attribute.function.linear_breakpoints(
+                self.horizon - attribute.updatetime
+            )
+            times = [start, self.horizon] + [
+                t + attribute.updatetime
+                for t, _slope in (breakpoints or [])
+                if start < t + attribute.updatetime < self.horizon
+            ]
+            for t in times:
+                value = attribute.value_at(t)
+                self.value_lo = min(self.value_lo, value - 1.0)
+                self.value_hi = max(self.value_hi, value + 1.0)
+        self._attributes = {}
+        self._segments = {}
+        self._tree = self._new_tree()
+        for object_id, attribute in attributes.items():
+            self._plot(object_id, attribute)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _check_window(self, t: float) -> None:
+        if not self.epoch <= t <= self.horizon:
+            raise IndexError_(
+                f"time {t} outside the index window "
+                f"[{self.epoch}, {self.horizon}] — reconstruct first"
+            )
+
+    def _candidates(self, box: Box) -> set[object]:
+        if isinstance(self._tree, RegionTree):
+            return self._tree.query(box)
+        return {s.object_id for s in self._tree.search(box)}
+
+    def instantaneous_range(
+        self, lo: float, hi: float, at_time: float, eps: float = 0.5
+    ) -> set[object]:
+        """Objects with ``lo < A < hi`` at ``at_time`` (section 4's
+        "Retrieve the objects for which currently 4 < A < 5")."""
+        self._check_window(at_time)
+        box = Box.from_bounds(
+            (
+                max(self.epoch, at_time - eps),
+                min(self.horizon, at_time + eps),
+            ),
+            (lo, hi),
+        )
+        out = set()
+        for object_id in self._candidates(box):
+            value = self._attributes[object_id].value_at(at_time)
+            if lo < value < hi:
+                out.add(object_id)
+        return out
+
+    def satisfying(
+        self, op: str, bound: float, at_time: float, eps: float = 0.5
+    ) -> set[object]:
+        """Objects whose current value satisfies ``value op bound`` for
+        ``op`` in ``< <= > >=`` — the satisfying set the section 5.1
+        indexed variant joins against.  Candidates come from a half-band
+        probe; each is verified exactly."""
+        if op not in ("<", "<=", ">", ">="):
+            raise IndexError_(f"unsupported comparison {op!r}")
+        self._check_window(at_time)
+        if op in ("<", "<="):
+            band = (self.value_lo - 1.0, bound)
+        else:
+            band = (bound, self.value_hi + 1.0)
+        box = Box.from_bounds(
+            (
+                max(self.epoch, at_time - eps),
+                min(self.horizon, at_time + eps),
+            ),
+            (min(band), max(band)),
+        )
+        checks = {
+            "<": lambda v: v < bound,
+            "<=": lambda v: v <= bound,
+            ">": lambda v: v > bound,
+            ">=": lambda v: v >= bound,
+        }
+        check = checks[op]
+        out = set()
+        for object_id in self._candidates(box):
+            if check(self._attributes[object_id].value_at(at_time)):
+                out.add(object_id)
+        return out
+
+    def continuous_range(
+        self, lo: float, hi: float, from_time: float
+    ) -> list[RangeHit]:
+        """``Answer(CQ)`` of the continuous range query: per candidate,
+        the exact in-range intervals within ``[from_time, horizon]``."""
+        self._check_window(from_time)
+        box = Box.from_bounds((from_time, self.horizon), (lo, hi))
+        hits: list[RangeHit] = []
+        for object_id in sorted(self._candidates(box), key=str):
+            attribute = self._attributes[object_id]
+            intervals = when_value_in_range(
+                attribute.value,
+                attribute.function,
+                lo,
+                hi,
+                Interval(max(from_time, attribute.updatetime), self.horizon),
+                anchor_time=attribute.updatetime,
+            )
+            for iv in intervals:
+                hits.append(RangeHit(object_id, iv.start, iv.end))
+        return hits
+
+    def scan_range(self, lo: float, hi: float, at_time: float) -> set[object]:
+        """Baseline: answer the instantaneous query by examining every
+        object (what section 4 sets out to avoid)."""
+        return {
+            object_id
+            for object_id, attribute in self._attributes.items()
+            if lo < attribute.value_at(at_time) < hi
+        }

@@ -1,0 +1,166 @@
+"""The hierarchical recursive decomposition of section 4.
+
+A region tree over a bounding box: each node covers a box; when a node
+holds more than ``capacity`` segments (and is above ``max_depth``) it
+splits into 2^dim equal children — quadrants in the (t, value) plane,
+octants in (x, y, t) space — and its segments are pushed down into every
+child they cross.  "The id of each object o is stored in the records
+representing the rectangles crossed by the A.function of o."
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexError_
+from repro.index.segments import TrajectorySegment
+from repro.spatial.regions import Box
+
+
+class _Node:
+    __slots__ = ("box", "segments", "children")
+
+    def __init__(self, box: Box) -> None:
+        self.box = box
+        self.segments: list[TrajectorySegment] = []
+        self.children: list[_Node] | None = None
+
+
+class RegionTree:
+    """A region quadtree/octree over trajectory segments."""
+
+    def __init__(self, bounds: Box, capacity: int = 8, max_depth: int = 12) -> None:
+        if capacity < 1:
+            raise IndexError_("node capacity must be positive")
+        if max_depth < 1:
+            raise IndexError_("max depth must be positive")
+        self._root = _Node(bounds)
+        self._capacity = capacity
+        self._max_depth = max_depth
+        self._size = 0
+        #: Nodes touched by the last query (experiment E3 reads this).
+        self.last_nodes_visited = 0
+
+    @property
+    def bounds(self) -> Box:
+        """The indexed region of (time, value) space."""
+        return self._root.box
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def insert(self, segment: TrajectorySegment) -> None:
+        """Insert one segment (must lie within the index bounds)."""
+        if segment.dim != self._root.box.dim:
+            raise IndexError_(
+                f"segment dim {segment.dim} != index dim {self._root.box.dim}"
+            )
+        if not segment.intersects(self._root.box):
+            raise IndexError_(
+                f"segment {segment} outside index bounds {self._root.box} — "
+                "reconstruct the index (section 4's periodic rebuild)"
+            )
+        self._insert(self._root, segment, depth=0)
+        self._size += 1
+
+    def _insert(self, node: _Node, segment: TrajectorySegment, depth: int) -> None:
+        if node.children is None:
+            node.segments.append(segment)
+            if (
+                len(node.segments) > self._capacity
+                and depth < self._max_depth
+            ):
+                self._split(node, depth)
+            return
+        for child in node.children:
+            if segment.intersects(child.box):
+                self._insert(child, segment, depth + 1)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        node.children = [_Node(box) for box in node.box.split()]
+        segments = node.segments
+        node.segments = []
+        for segment in segments:
+            for child in node.children:
+                if segment.intersects(child.box):
+                    self._insert(child, segment, depth + 1)
+
+    # ------------------------------------------------------------------
+    def delete(self, segment: TrajectorySegment) -> bool:
+        """Remove one segment ("o is removed from the records representing
+        rectangles crossed by the old function-line")."""
+        return self._delete(self._root, segment)
+
+    def _delete(self, node: _Node, segment: TrajectorySegment) -> bool:
+        removed = False
+        if node.children is None:
+            before = len(node.segments)
+            node.segments = [s for s in node.segments if s != segment]
+            removed = len(node.segments) < before
+        else:
+            for child in node.children:
+                if segment.intersects(child.box):
+                    removed = self._delete(child, segment) or removed
+        if removed and node is self._root:
+            self._size -= 1
+        return removed
+
+    def delete_object(self, object_id: object) -> int:
+        """Remove every segment of one object; returns the count removed."""
+        seen: set[TrajectorySegment] = set()
+        self._collect_object(self._root, object_id, seen)
+        for segment in seen:
+            self._delete(self._root, segment)
+        return len(seen)
+
+    def _collect_object(
+        self, node: _Node, object_id: object, out: set[TrajectorySegment]
+    ) -> None:
+        if node.children is None:
+            out.update(s for s in node.segments if s.object_id == object_id)
+            return
+        for child in node.children:
+            self._collect_object(child, object_id, out)
+
+    # ------------------------------------------------------------------
+    def query(self, box: Box) -> set[object]:
+        """Candidate object ids whose function-line crosses ``box``.
+
+        Exact at the segment level (segments are clipped against the probe
+        box), so the only post-verification callers need is semantic (e.g.
+        strict vs closed bounds).
+        """
+        self.last_nodes_visited = 0
+        out: set[object] = set()
+        self._query(self._root, box, out)
+        return out
+
+    def _query(self, node: _Node, box: Box, out: set[object]) -> None:
+        self.last_nodes_visited += 1
+        if not node.box.intersects(box):
+            return
+        if node.children is None:
+            for segment in node.segments:
+                if segment.object_id not in out and segment.intersects(box):
+                    out.add(segment.object_id)
+            return
+        for child in node.children:
+            self._query(child, box, out)
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Maximum depth of the decomposition."""
+        def walk(node: _Node) -> int:
+            if node.children is None:
+                return 1
+            return 1 + max(walk(c) for c in node.children)
+
+        return walk(self._root)
+
+    def node_count(self) -> int:
+        """Total number of tree nodes."""
+        def walk(node: _Node) -> int:
+            if node.children is None:
+                return 1
+            return 1 + sum(walk(c) for c in node.children)
+
+        return walk(self._root)

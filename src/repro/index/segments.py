@@ -1,0 +1,111 @@
+"""Function-line segments in (time, value) or (x, y, time) space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dynamic import DynamicAttribute
+from repro.errors import IndexError_
+from repro.geometry import Point
+from repro.spatial.regions import Box
+
+
+@dataclass(frozen=True)
+class TrajectorySegment:
+    """One linear leg of an object's function-line.
+
+    ``a`` and ``b`` are endpoints in index space; the first coordinate of
+    a 2-D segment is time, the last coordinate of a 3-D segment is time
+    (matching the paper's (t, value) plot and (x, y, t) extension).
+    """
+
+    object_id: object
+    a: Point
+    b: Point
+
+    def __post_init__(self) -> None:
+        if self.a.dim != self.b.dim:
+            raise IndexError_("segment endpoints must share a dimension")
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the index space."""
+        return self.a.dim
+
+    def bbox(self) -> Box:
+        """Axis-aligned bounding box of the segment."""
+        lo = Point(*(min(x, y) for x, y in zip(self.a, self.b)))
+        hi = Point(*(max(x, y) for x, y in zip(self.a, self.b)))
+        return Box(lo, hi)
+
+    def intersects(self, box: Box) -> bool:
+        """Exact segment/box intersection via parametric slab clipping.
+
+        This is the hot path of region-tree construction (every segment is
+        tested against every candidate cell), hence the tuple unpacking
+        instead of per-axis :class:`Point` indexing.
+        """
+        s0, s1 = 0.0, 1.0
+        a = self.a.coords
+        b = self.b.coords
+        lo_c = box.lo.coords
+        hi_c = box.hi.coords
+        for start, end, lo, hi in zip(a, b, lo_c, hi_c):
+            delta = end - start
+            if -1e-15 < delta < 1e-15:
+                if start < lo or start > hi:
+                    return False
+                continue
+            t_lo = (lo - start) / delta
+            t_hi = (hi - start) / delta
+            if t_lo > t_hi:
+                t_lo, t_hi = t_hi, t_lo
+            if t_lo > s0:
+                s0 = t_lo
+            if t_hi < s1:
+                s1 = t_hi
+            if s0 > s1:
+                return False
+        return True
+
+
+def segments_of_function(
+    object_id: object,
+    attribute: DynamicAttribute,
+    from_time: float,
+    horizon: float,
+) -> list[TrajectorySegment]:
+    """Plot a dynamic attribute's function-line over ``[from_time,
+    horizon]`` as (t, value) segments.
+
+    Linear functions produce one segment (the paper's simplifying
+    assumption); piecewise-linear functions one per leg.  Nonlinear
+    functions are rejected — section 4 notes the extension is possible but
+    scopes the method to linear function-lines.
+    """
+    if horizon <= from_time:
+        raise IndexError_(
+            f"horizon {horizon} must exceed the start time {from_time}"
+        )
+    duration = horizon - attribute.updatetime
+    breakpoints = attribute.function.linear_breakpoints(duration)
+    if breakpoints is None:
+        raise IndexError_(
+            "section 4 indexing requires piecewise-linear functions"
+        )
+    cuts = {from_time, horizon}
+    for rel_t, _slope in breakpoints:
+        abs_t = rel_t + attribute.updatetime
+        if from_time < abs_t < horizon:
+            cuts.add(abs_t)
+    ordered = sorted(cuts)
+    segments = []
+    for t0, t1 in zip(ordered, ordered[1:]):
+        segments.append(
+            TrajectorySegment(
+                object_id,
+                Point(t0, attribute.value_at(t0)),
+                Point(t1, attribute.value_at(t1)),
+            )
+        )
+    return segments

@@ -1,0 +1,164 @@
+"""2-D moving objects via a 3-D (x, y, t) index.
+
+"For an object moving in 2-dimensional space, the above scheme can be
+mimicked using an index of 3-dimensional space, with the third dimension
+being, obviously, time" (section 4).  Trajectories of 2-D moving points
+become line segments in (x, y, t) space, indexed by an octree (the 3-D
+instance of the recursive decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IndexError_
+from repro.geometry import Point
+from repro.index.regiontree import RegionTree
+from repro.index.segments import TrajectorySegment
+from repro.motion.moving import MovingPoint
+from repro.spatial.regions import Box
+
+
+@dataclass(frozen=True)
+class SpatialHit:
+    """One continuous-query hit: the object and an interval during which
+    it lies in the probed rectangle."""
+
+    object_id: object
+    begin: float
+    end: float
+
+
+class MovingObjectIndex2D:
+    """Octree over (x, y, t) trajectory segments of 2-D moving points."""
+
+    def __init__(
+        self,
+        epoch: float,
+        horizon: float,
+        bounds: Box,
+        node_capacity: int = 8,
+    ) -> None:
+        if horizon <= epoch:
+            raise IndexError_("horizon must exceed the epoch")
+        if bounds.dim != 2:
+            raise IndexError_("bounds must be a 2-D box (x and y ranges)")
+        self.epoch = float(epoch)
+        self.horizon = float(horizon)
+        self.bounds = bounds
+        cube = Box(
+            Point(bounds.lo.x, bounds.lo.y, self.epoch),
+            Point(bounds.hi.x, bounds.hi.y, self.horizon),
+        )
+        self._tree = RegionTree(cube, capacity=node_capacity)
+        self._movers: dict[object, MovingPoint] = {}
+        self._segments: dict[object, list[TrajectorySegment]] = {}
+
+    @property
+    def last_nodes_visited(self) -> int:
+        """Octree nodes touched by the most recent probe."""
+        return self._tree.last_nodes_visited
+
+    def __len__(self) -> int:
+        return len(self._movers)
+
+    # ------------------------------------------------------------------
+    def insert(self, object_id: object, mover: MovingPoint) -> None:
+        """Plot one moving point's trajectory into the octree."""
+        if object_id in self._movers:
+            raise IndexError_(f"object {object_id!r} already indexed")
+        if mover.dim != 2:
+            raise IndexError_("MovingObjectIndex2D indexes 2-D motion")
+        start = max(self.epoch, mover.anchor_time)
+        pieces = mover.linear_pieces(start, self.horizon)
+        if pieces is None:
+            raise IndexError_(
+                "section 4 indexing requires piecewise-linear motion"
+            )
+        segments = []
+        for piece in pieces:
+            p0 = piece.position_at(piece.start)
+            p1 = piece.position_at(piece.end)
+            segment = TrajectorySegment(
+                object_id,
+                Point(p0.x, p0.y, piece.start),
+                Point(p1.x, p1.y, piece.end),
+            )
+            if segment.intersects(self._tree.bounds):
+                self._tree.insert(segment)
+                segments.append(segment)
+        self._movers[object_id] = mover
+        self._segments[object_id] = segments
+
+    def update(self, object_id: object, mover: MovingPoint) -> None:
+        """Replace an object's trajectory after a motion-vector update."""
+        self.remove(object_id)
+        self.insert(object_id, mover)
+
+    def remove(self, object_id: object) -> None:
+        """Drop an object's trajectory."""
+        segments = self._segments.pop(object_id, None)
+        if segments is None:
+            raise IndexError_(f"object {object_id!r} not indexed")
+        for segment in segments:
+            self._tree.delete(segment)
+        del self._movers[object_id]
+
+    # ------------------------------------------------------------------
+    def objects_in_rectangle(
+        self, rect: Box, at_time: float, eps: float = 0.5
+    ) -> set[object]:
+        """Objects inside ``rect`` at ``at_time`` — "Retrieve the objects
+        that are currently in the polygon P" with P a rectangle."""
+        if not self.epoch <= at_time <= self.horizon:
+            raise IndexError_("query time outside the index window")
+        probe = Box(
+            Point(rect.lo.x, rect.lo.y, max(self.epoch, at_time - eps)),
+            Point(rect.hi.x, rect.hi.y, min(self.horizon, at_time + eps)),
+        )
+        out = set()
+        for object_id in self._tree.query(probe):
+            pos = self._movers[object_id].position_at(at_time)
+            if rect.contains(pos):
+                out.add(object_id)
+        return out
+
+    def continuous_rectangle(
+        self, rect: Box, from_time: float
+    ) -> list[SpatialHit]:
+        """Exact in-rectangle intervals per candidate over
+        ``[from_time, horizon]``."""
+        if not self.epoch <= from_time <= self.horizon:
+            raise IndexError_("query time outside the index window")
+        probe = Box(
+            Point(rect.lo.x, rect.lo.y, from_time),
+            Point(rect.hi.x, rect.hi.y, self.horizon),
+        )
+        hits: list[SpatialHit] = []
+        for object_id in sorted(self._tree.query(probe), key=str):
+            mover = self._movers[object_id]
+            start = max(from_time, mover.anchor_time)
+            intervals = self._inside_intervals(mover, rect, start)
+            for iv in intervals:
+                hits.append(SpatialHit(object_id, iv.start, iv.end))
+        return hits
+
+    def _inside_intervals(self, mover: MovingPoint, rect: Box, start: float):
+        from repro.spatial.kinetic import when_inside_polygon
+        from repro.spatial.polygon import Polygon
+        from repro.temporal import Interval
+
+        polygon = Polygon.rectangle(
+            rect.lo.x, rect.lo.y, rect.hi.x, rect.hi.y
+        )
+        return when_inside_polygon(
+            mover, polygon, Interval(start, self.horizon)
+        )
+
+    def scan_in_rectangle(self, rect: Box, at_time: float) -> set[object]:
+        """Baseline: examine every object."""
+        return {
+            object_id
+            for object_id, mover in self._movers.items()
+            if rect.contains(mover.position_at(at_time))
+        }

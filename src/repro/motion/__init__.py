@@ -1,0 +1,46 @@
+"""Motion functions: how dynamic attributes change between updates.
+
+Section 2.1 of the paper represents a dynamic attribute ``A`` by the
+sub-attributes ``A.value``, ``A.updatetime`` and ``A.function``, where
+``A.function`` "is a function of a single variable t that has value 0 at
+t = 0".  This package provides that function vocabulary:
+
+* scalar :class:`TimeFunction` implementations (linear — the motion-vector
+  case the paper centres on — plus piecewise-linear and smooth nonlinear
+  forms, since section 4 notes "the ideas can be extended to nonlinear
+  functions");
+* moving points — vector-valued positions built from per-axis functions,
+  with a ``linear_pieces`` decomposition that the kinetic solvers use for
+  exact analytic satisfaction intervals, falling back to numeric root
+  isolation when the motion is not piecewise linear.
+"""
+
+from repro.motion.functions import (
+    LinearFunction,
+    PiecewiseLinearFunction,
+    PolynomialFunction,
+    ShiftedFunction,
+    SinusoidFunction,
+    TimeFunction,
+    ZERO_FUNCTION,
+)
+from repro.motion.moving import (
+    LinearPiece,
+    MovingPoint,
+    linear_moving_point,
+    static_point,
+)
+
+__all__ = [
+    "TimeFunction",
+    "LinearFunction",
+    "PiecewiseLinearFunction",
+    "PolynomialFunction",
+    "ShiftedFunction",
+    "SinusoidFunction",
+    "ZERO_FUNCTION",
+    "MovingPoint",
+    "LinearPiece",
+    "linear_moving_point",
+    "static_point",
+]

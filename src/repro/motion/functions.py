@@ -1,0 +1,234 @@
+"""Scalar time functions for dynamic attributes.
+
+Every function here satisfies the paper's constraint ``f(0) == 0``
+(section 2.1): a dynamic attribute's value at ``updatetime + t0`` is
+``value + function(t0)``, so the function describes *displacement since the
+last update*, not an absolute value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import MotionError
+
+
+@runtime_checkable
+class TimeFunction(Protocol):
+    """A displacement function of elapsed time with ``value(0) == 0``."""
+
+    def value(self, t: float) -> float:
+        """Displacement after ``t`` time units."""
+        ...
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether the function is globally linear (constant slope)."""
+        ...
+
+    def linear_breakpoints(self, duration: float) -> "list[tuple[float, float]] | None":
+        """Piecewise-linear decomposition over ``[0, duration]``.
+
+        Returns ``[(t_i, slope_i)]`` — from elapsed time ``t_i`` (until the
+        next breakpoint) the function moves with ``slope_i`` — or ``None``
+        when the function is not piecewise linear.  The first breakpoint is
+        always at ``t = 0``.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class LinearFunction:
+    """``f(t) = slope * t`` — the paper's motion-vector component.
+
+    A query can address this sub-attribute directly, e.g. "the objects for
+    which ``X.POSITION.function = 5 * t``" retrieves objects whose speed in
+    the X direction is 5 (section 2.1).
+    """
+
+    slope: float
+
+    def value(self, t: float) -> float:
+        """Displacement after ``t`` time units."""
+        return self.slope * t
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def linear_breakpoints(self, duration: float) -> list[tuple[float, float]]:
+        """A single piece: constant slope from t = 0."""
+        return [(0.0, self.slope)]
+
+    def __str__(self) -> str:
+        return f"{self.slope:g}*t"
+
+
+#: The constant-zero displacement: a static value until the next update.
+ZERO_FUNCTION = LinearFunction(0.0)
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearFunction:
+    """Continuous piecewise-linear displacement.
+
+    Args:
+        pieces: ``[(start, slope)]`` sorted by start, first start must be 0.
+            The function follows ``slope_i`` from ``start_i`` until the next
+            piece begins (the last piece extends forever).
+    """
+
+    pieces: tuple[tuple[float, float], ...]
+
+    def __init__(self, pieces: Sequence[tuple[float, float]]) -> None:
+        items = tuple((float(s), float(k)) for s, k in pieces)
+        if not items:
+            raise MotionError("piecewise function needs at least one piece")
+        if items[0][0] != 0.0:
+            raise MotionError("first piece must start at t = 0")
+        starts = [s for s, _ in items]
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise MotionError("piece starts must be strictly increasing")
+        object.__setattr__(self, "pieces", items)
+
+    def value(self, t: float) -> float:
+        """Displacement after ``t`` time units."""
+        if t < 0:
+            # Extrapolate backwards with the first slope.
+            return self.pieces[0][1] * t
+        acc = 0.0
+        for idx, (start, slope) in enumerate(self.pieces):
+            end = (
+                self.pieces[idx + 1][0]
+                if idx + 1 < len(self.pieces)
+                else math.inf
+            )
+            if t <= end:
+                return acc + slope * (t - start)
+            acc += slope * (end - start)
+        return acc  # pragma: no cover - unreachable
+
+    @property
+    def is_linear(self) -> bool:
+        return len(self.pieces) == 1
+
+    def linear_breakpoints(self, duration: float) -> list[tuple[float, float]]:
+        """The pieces starting within ``[0, duration]``."""
+        return [(s, k) for s, k in self.pieces if s <= duration]
+
+    def __str__(self) -> str:
+        body = ", ".join(f"(t>={s:g}: {k:g}*t)" for s, k in self.pieces)
+        return f"piecewise[{body}]"
+
+
+@dataclass(frozen=True)
+class PolynomialFunction:
+    """``f(t) = c1*t + c2*t^2 + ...`` — a smooth nonlinear displacement.
+
+    The constant term is forced to zero to honour ``f(0) == 0``; pass the
+    coefficients starting from the *linear* term.
+    """
+
+    coefficients: tuple[float, ...] = field(default=())
+
+    def __init__(self, coefficients: Sequence[float]) -> None:
+        object.__setattr__(
+            self, "coefficients", tuple(float(c) for c in coefficients)
+        )
+
+    def value(self, t: float) -> float:
+        """Displacement after ``t`` time units."""
+        acc = 0.0
+        power = t
+        for c in self.coefficients:
+            acc += c * power
+            power *= t
+        return acc
+
+    @property
+    def is_linear(self) -> bool:
+        return all(c == 0 for c in self.coefficients[1:])
+
+    def linear_breakpoints(self, duration: float) -> list[tuple[float, float]] | None:
+        """One piece when degree <= 1, otherwise not piecewise linear."""
+        if self.is_linear:
+            slope = self.coefficients[0] if self.coefficients else 0.0
+            return [(0.0, slope)]
+        return None
+
+    def __str__(self) -> str:
+        terms = [
+            f"{c:g}*t^{i + 1}" for i, c in enumerate(self.coefficients) if c
+        ]
+        return " + ".join(terms) if terms else "0"
+
+
+@dataclass(frozen=True)
+class ShiftedFunction:
+    """``f(t) = base(t + offset) - base(offset)`` — the base function
+    re-anchored ``offset`` time units into its life.
+
+    Used when the axes of a moving point were updated at different times
+    and must be expressed from a common anchor; satisfies ``f(0) == 0`` by
+    construction.
+    """
+
+    base: TimeFunction
+    offset: float
+
+    def value(self, t: float) -> float:
+        """Displacement after ``t`` time units."""
+        return self.base.value(t + self.offset) - self.base.value(self.offset)
+
+    @property
+    def is_linear(self) -> bool:
+        return self.base.is_linear
+
+    def linear_breakpoints(self, duration: float) -> list[tuple[float, float]] | None:
+        """The base function's pieces, re-anchored at the offset."""
+        bps = self.base.linear_breakpoints(duration + self.offset)
+        if bps is None:
+            return None
+        current = bps[0][1]
+        shifted: list[tuple[float, float]] = []
+        for start, slope in bps:
+            rel = start - self.offset
+            if rel <= 0:
+                current = slope  # piece already active at the new anchor
+            else:
+                shifted.append((rel, slope))
+        return [(0.0, current)] + shifted
+
+    def __str__(self) -> str:
+        return f"shift({self.base}, {self.offset:g})"
+
+
+@dataclass(frozen=True)
+class SinusoidFunction:
+    """``f(t) = amplitude * sin(omega * t)`` — an oscillating displacement.
+
+    Useful as a genuinely nonlinear motion to exercise the numeric solver
+    path (circling aircraft, patrolling vehicles).
+    """
+
+    amplitude: float
+    omega: float
+
+    def value(self, t: float) -> float:
+        """Displacement after ``t`` time units."""
+        return self.amplitude * math.sin(self.omega * t)
+
+    @property
+    def is_linear(self) -> bool:
+        return self.amplitude == 0 or self.omega == 0
+
+    def linear_breakpoints(self, duration: float) -> list[tuple[float, float]] | None:
+        """Only the degenerate (flat) sinusoid is piecewise linear."""
+        if self.is_linear:
+            return [(0.0, 0.0)]
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.amplitude:g}*sin({self.omega:g}*t)"

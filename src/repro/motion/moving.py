@@ -1,0 +1,233 @@
+"""Moving points: vector-valued positions as functions of time.
+
+A moving point bundles an *anchor* position, the *anchor time* at which it
+was observed (the paper's ``A.updatetime``), and one displacement
+:class:`~repro.motion.functions.TimeFunction` per axis.  The position at
+absolute time ``t`` is ``anchor + (f_x(t - t0), f_y(t - t0), ...)`` —
+exactly the dynamic-attribute evaluation rule of section 2.1 applied
+coordinate-wise.
+
+The kinetic predicate solvers (:mod:`repro.spatial.kinetic`) ask a moving
+point for its :meth:`~MovingPoint.linear_pieces` over a window: when every
+axis is piecewise linear this yields exact closed-form satisfaction
+intervals; otherwise the solvers fall back to numeric root isolation using
+:meth:`~MovingPoint.position_at`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import MotionError
+from repro.motion.functions import LinearFunction, TimeFunction, ZERO_FUNCTION
+from repro.geometry import Point, Vector
+
+
+@dataclass(frozen=True)
+class LinearPiece:
+    """One linear leg of a trajectory over absolute times
+    ``[start, end]``: position is ``origin + velocity * (t - start)``."""
+
+    start: float
+    end: float
+    origin: Point
+    velocity: Vector
+
+    def position_at(self, t: float) -> Point:
+        """Position at absolute time ``t`` (extrapolates beyond the leg)."""
+        return self.origin + self.velocity * (t - self.start)
+
+
+class MovingPoint:
+    """A point whose coordinates are dynamic attributes.
+
+    Args:
+        anchor: position at ``anchor_time``.
+        functions: one displacement function per axis (defaults to all
+            zero — a stationary object, which the paper models the same
+            way: "the positions of the stationary objects are assumed to
+            be fixed", appendix).
+        anchor_time: absolute time of the last update.
+    """
+
+    __slots__ = ("_anchor", "_functions", "_anchor_time")
+
+    def __init__(
+        self,
+        anchor: Point,
+        functions: Sequence[TimeFunction] | None = None,
+        anchor_time: float = 0.0,
+    ) -> None:
+        if functions is None:
+            functions = [ZERO_FUNCTION] * anchor.dim
+        if len(functions) != anchor.dim:
+            raise MotionError(
+                f"need {anchor.dim} axis functions, got {len(functions)}"
+            )
+        self._anchor = anchor
+        self._functions = tuple(functions)
+        self._anchor_time = float(anchor_time)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def anchor(self) -> Point:
+        """Position at the anchor (last update) time."""
+        return self._anchor
+
+    @property
+    def anchor_time(self) -> float:
+        """Absolute time of the last update (``A.updatetime``)."""
+        return self._anchor_time
+
+    @property
+    def functions(self) -> tuple[TimeFunction, ...]:
+        """Per-axis displacement functions (``A.function``)."""
+        return self._functions
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality."""
+        return self._anchor.dim
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether every axis moves with a constant slope."""
+        return all(f.is_linear for f in self._functions)
+
+    @property
+    def is_static(self) -> bool:
+        """Whether the point does not move at all."""
+        return self.is_linear and all(
+            f.value(1.0) == 0.0 for f in self._functions
+        )
+
+    @property
+    def velocity(self) -> Vector:
+        """Constant velocity vector; only defined for linear motion."""
+        if not self.is_linear:
+            raise MotionError("velocity undefined for nonlinear motion")
+        return Vector(*(f.value(1.0) for f in self._functions))
+
+    @property
+    def speed(self) -> float:
+        """Magnitude of the constant velocity (linear motion only)."""
+        return self.velocity.norm
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def position_at(self, t: float) -> Point:
+        """Position at absolute time ``t``."""
+        dt = t - self._anchor_time
+        return Point(
+            *(
+                a + f.value(dt)
+                for a, f in zip(self._anchor.coords, self._functions)
+            )
+        )
+
+    def linear_pieces(self, start: float, end: float) -> list[LinearPiece] | None:
+        """Decompose the trajectory over ``[start, end]`` into linear legs.
+
+        Returns ``None`` when any axis is not piecewise linear, signalling
+        the kinetic solvers to use the numeric path.
+        """
+        if end < start:
+            raise MotionError(f"window end {end} precedes start {start}")
+        duration = end - self._anchor_time
+        per_axis: list[list[tuple[float, float]]] = []
+        for f in self._functions:
+            bps = f.linear_breakpoints(duration)
+            if bps is None:
+                return None
+            per_axis.append(bps)
+
+        # Union of all axis breakpoints, in absolute time, clipped to the
+        # window (the anchor-relative breakpoints shift by anchor_time).
+        cuts = {start, end}
+        for bps in per_axis:
+            for rel_t, _slope in bps:
+                abs_t = rel_t + self._anchor_time
+                if start < abs_t < end:
+                    cuts.add(abs_t)
+        ordered = sorted(cuts)
+
+        pieces: list[LinearPiece] = []
+        for lo, hi in zip(ordered, ordered[1:]):
+            origin = self.position_at(lo)
+            slope = Vector(
+                *(
+                    self._slope_at(axis_bps, lo)
+                    for axis_bps in per_axis
+                )
+            )
+            pieces.append(LinearPiece(lo, hi, origin, slope))
+        if not pieces:  # zero-length window
+            origin = self.position_at(start)
+            pieces.append(
+                LinearPiece(start, end, origin, Vector.zero(self.dim))
+            )
+        return pieces
+
+    def _slope_at(
+        self, breakpoints: list[tuple[float, float]], abs_t: float
+    ) -> float:
+        """Slope of one axis at absolute time ``abs_t`` (taking the piece
+        active just after ``abs_t``)."""
+        rel_t = abs_t - self._anchor_time
+        slope = breakpoints[0][1]
+        for bp_start, bp_slope in breakpoints:
+            if bp_start <= rel_t + 1e-12:
+                slope = bp_slope
+            else:
+                break
+        return slope
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def updated(
+        self,
+        at_time: float,
+        functions: Sequence[TimeFunction] | None = None,
+        position: Point | None = None,
+    ) -> "MovingPoint":
+        """A new moving point reflecting an explicit update at ``at_time``.
+
+        An update "may change its value sub-attribute, or its function
+        sub-attribute, or both" (section 2.1): omit ``position`` to keep
+        the position implied by the old motion, omit ``functions`` to keep
+        the old motion law.
+        """
+        anchor = position if position is not None else self.position_at(at_time)
+        funcs = functions if functions is not None else self._functions
+        return MovingPoint(anchor, funcs, anchor_time=at_time)
+
+    def __repr__(self) -> str:
+        funcs = ", ".join(str(f) for f in self._functions)
+        return (
+            f"MovingPoint(anchor={self._anchor!r}, t0={self._anchor_time:g},"
+            f" functions=[{funcs}])"
+        )
+
+
+def linear_moving_point(
+    anchor: Point, velocity: Vector, anchor_time: float = 0.0
+) -> MovingPoint:
+    """A point moving with a constant motion vector — the paper's canonical
+    case ("north, at 60 miles/hour")."""
+    if velocity.dim != anchor.dim:
+        raise MotionError("velocity dimension must match anchor dimension")
+    return MovingPoint(
+        anchor,
+        [LinearFunction(v) for v in velocity.coords],
+        anchor_time=anchor_time,
+    )
+
+
+def static_point(position: Point) -> MovingPoint:
+    """A stationary object (motels, airports, polygon reference points)."""
+    return MovingPoint(position)

@@ -1,0 +1,57 @@
+"""Spatial substrate: geometry, regions, and kinetic predicate solvers.
+
+Static layer (sections 2 of the paper): points/vectors, polygons, balls,
+boxes, and the instantaneous spatial methods ``INSIDE``, ``OUTSIDE``,
+``DIST``, ``WITHIN-A-SPHERE``.
+
+Kinetic layer (appendix base case): solvers that, given moving points,
+return the :class:`~repro.temporal.IntervalSet` of times during which a
+spatial relation holds — exact for piecewise-linear motion, numeric root
+isolation otherwise.
+"""
+
+from repro.spatial.geometry import Point, Vector, dist
+from repro.spatial.polygon import Edge, Polygon
+from repro.spatial.regions import Ball, Box, Circle, Sphere
+from repro.spatial.predicates import (
+    enclosing_ball,
+    inside,
+    outside,
+    within_a_sphere,
+)
+from repro.spatial.kinetic import (
+    when_below,
+    when_dist_at_least,
+    when_dist_at_most,
+    when_inside_ball,
+    when_inside_polygon,
+    when_outside_polygon,
+    when_true,
+    when_value_in_range,
+    when_within_sphere,
+)
+
+__all__ = [
+    "Point",
+    "Vector",
+    "dist",
+    "Edge",
+    "Polygon",
+    "Ball",
+    "Box",
+    "Circle",
+    "Sphere",
+    "enclosing_ball",
+    "inside",
+    "outside",
+    "within_a_sphere",
+    "when_below",
+    "when_dist_at_least",
+    "when_dist_at_most",
+    "when_inside_ball",
+    "when_inside_polygon",
+    "when_outside_polygon",
+    "when_true",
+    "when_value_in_range",
+    "when_within_sphere",
+]

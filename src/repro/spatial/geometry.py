@@ -1,0 +1,10 @@
+"""Re-export of the core geometry types.
+
+The implementation lives in :mod:`repro.geometry` (a standalone module so
+that :mod:`repro.motion` can use points without importing the spatial
+package, which itself depends on motion for the kinetic solvers).
+"""
+
+from repro.geometry import Point, Vector, dist
+
+__all__ = ["Point", "Vector", "dist"]

@@ -1,0 +1,197 @@
+"""Simple polygons: containment, convexity, and edge geometry.
+
+The paper's queries are dominated by ``INSIDE(o, P)`` where ``P`` is a
+polygon object ("Retrieve the objects that will intersect the polygon P
+within 3 minutes").  This module gives the static geometry; the kinetic
+layer turns it into satisfaction *intervals* for moving points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import Point
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed polygon edge from ``a`` to ``b``."""
+
+    a: Point
+    b: Point
+
+    @property
+    def vector(self) -> Point:
+        """Displacement from ``a`` to ``b``."""
+        return self.b - self.a
+
+    def side_of(self, p: Point) -> float:
+        """Signed area test: > 0 when ``p`` is left of the directed edge."""
+        return (self.b - self.a).cross2d(p - self.a)
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon in the plane.
+
+    Vertices are stored counter-clockwise regardless of input orientation.
+    Boundary points count as *inside* — consistent with the paper's
+    INSIDE/OUTSIDE dichotomy where the two predicates partition the plane
+    up to the boundary.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        pts = list(vertices)
+        if len(pts) < 3:
+            raise SpatialError("a polygon needs at least 3 vertices")
+        if any(p.dim != 2 for p in pts):
+            raise SpatialError("polygon vertices must be 2-D points")
+        if len(set(pts)) != len(pts):
+            raise SpatialError("polygon vertices must be distinct")
+        if _signed_area(pts) < 0:
+            pts.reverse()
+        if _signed_area(pts) == 0:
+            raise SpatialError("degenerate polygon with zero area")
+        self._vertices = tuple(pts)
+
+    @classmethod
+    def rectangle(cls, x0: float, y0: float, x1: float, y1: float) -> "Polygon":
+        """Axis-aligned rectangle from corner ``(x0, y0)`` to ``(x1, y1)``."""
+        if x1 <= x0 or y1 <= y0:
+            raise SpatialError("rectangle corners must be strictly ordered")
+        return cls(
+            [Point(x0, y0), Point(x1, y0), Point(x1, y1), Point(x0, y1)]
+        )
+
+    @classmethod
+    def regular(cls, center: Point, radius: float, sides: int) -> "Polygon":
+        """Regular ``sides``-gon inscribed in a circle."""
+        import math
+
+        if sides < 3:
+            raise SpatialError("a regular polygon needs at least 3 sides")
+        if radius <= 0:
+            raise SpatialError("radius must be positive")
+        return cls(
+            [
+                Point(
+                    center.x + radius * math.cos(2 * math.pi * k / sides),
+                    center.y + radius * math.sin(2 * math.pi * k / sides),
+                )
+                for k in range(sides)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        """Counter-clockwise vertex ring."""
+        return self._vertices
+
+    @property
+    def edges(self) -> list[Edge]:
+        """Directed edges in ring order."""
+        verts = self._vertices
+        return [
+            Edge(verts[i], verts[(i + 1) % len(verts)])
+            for i in range(len(verts))
+        ]
+
+    @property
+    def area(self) -> float:
+        """Enclosed area (always positive)."""
+        return _signed_area(list(self._vertices))
+
+    @property
+    def centroid(self) -> Point:
+        """Area centroid of the polygon."""
+        acc_x = acc_y = 0.0
+        area2 = 0.0
+        verts = self._vertices
+        for i in range(len(verts)):
+            a, b = verts[i], verts[(i + 1) % len(verts)]
+            cross = a.cross2d(b)
+            area2 += cross
+            acc_x += (a.x + b.x) * cross
+            acc_y += (a.y + b.y) * cross
+        return Point(acc_x / (3 * area2), acc_y / (3 * area2))
+
+    @property
+    def is_convex(self) -> bool:
+        """Whether every interior angle is at most 180 degrees."""
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            a, b, c = verts[i], verts[(i + 1) % n], verts[(i + 2) % n]
+            if (b - a).cross2d(c - b) < 0:
+                return False
+        return True
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` of the vertex ring."""
+        xs = [p.x for p in self._vertices]
+        ys = [p.y for p in self._vertices]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    # ------------------------------------------------------------------
+    # Containment
+    # ------------------------------------------------------------------
+    def contains(self, p: Point) -> bool:
+        """Point-in-polygon test (boundary inclusive), ray casting with an
+        exact boundary pre-check."""
+        if p.dim != 2:
+            raise SpatialError("containment test requires a 2-D point")
+        if self.on_boundary(p):
+            return True
+        inside = False
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            a, b = verts[i], verts[(i + 1) % n]
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def on_boundary(self, p: Point, tol: float = 1e-12) -> bool:
+        """Whether ``p`` lies on an edge of the polygon."""
+        for edge in self.edges:
+            ab = edge.vector
+            ap = p - edge.a
+            if abs(ab.cross2d(ap)) > tol * max(1.0, ab.norm_squared):
+                continue
+            dot = ab.dot(ap)
+            if -tol <= dot <= ab.norm_squared + tol:
+                return True
+        return False
+
+    def translated(self, delta: Point) -> "Polygon":
+        """The polygon moved rigidly by ``delta`` — used for moving regions
+        such as the driver's circle that "moves as a rigid body having the
+        motion vector of the car" (section 1)."""
+        return Polygon([v + delta for v in self._vertices])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:
+        return f"Polygon({list(self._vertices)!r})"
+
+
+def _signed_area(vertices: Iterable[Point]) -> float:
+    pts = list(vertices)
+    acc = 0.0
+    for i in range(len(pts)):
+        acc += pts[i].cross2d(pts[(i + 1) % len(pts)])
+    return acc / 2.0

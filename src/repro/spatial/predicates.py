@@ -1,0 +1,151 @@
+"""Instantaneous spatial methods of the MOST model.
+
+Section 2 of the paper: spatial object classes carry methods representing
+"spatial relationships among the objects at a certain point in time",
+returning true or false — ``INSIDE(o, P)``, ``OUTSIDE(o, P)``,
+``WITHIN-A-SPHERE(r, o1, ..., ok)`` — plus integer-valued methods such as
+``DIST(o1, o2)``.  These are the *base case* relations the appendix
+algorithm evaluates; the kinetic layer lifts them to satisfaction
+intervals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import Point
+from repro.spatial.polygon import Polygon
+from repro.spatial.regions import Ball
+
+
+def inside(point: Point, region: Polygon | Ball) -> bool:
+    """The paper's ``INSIDE(o, P)``: whether the point-object lies in the
+    polygon (or ball) at the current state.  Boundary-inclusive."""
+    return region.contains(point)
+
+
+def outside(point: Point, region: Polygon | Ball) -> bool:
+    """The paper's ``OUTSIDE(o, P)``."""
+    return not region.contains(point)
+
+
+def dist(a: Point, b: Point) -> float:
+    """The paper's ``DIST(o1, o2)``: distance between two point-objects."""
+    return a.distance_to(b)
+
+
+def within_a_sphere(radius: float, points: Sequence[Point]) -> bool:
+    """The paper's ``WITHIN-A-SPHERE(r, o1, ..., ok)``: whether the
+    point-objects can be enclosed within a sphere of radius ``r``."""
+    if radius < 0:
+        raise SpatialError("sphere radius may not be negative")
+    if not points:
+        return True
+    return enclosing_ball(points).radius <= radius + 1e-9
+
+
+def enclosing_ball(points: Sequence[Point]) -> Ball:
+    """Smallest ball enclosing the points (Welzl's algorithm).
+
+    Supports 2-D and 3-D point sets; expected linear time under the random
+    permutation.  Deterministic across runs (seeded shuffle) so query
+    results are reproducible.
+    """
+    if not points:
+        raise SpatialError("cannot enclose an empty point set")
+    dim = points[0].dim
+    if any(p.dim != dim for p in points):
+        raise SpatialError("all points must share a dimension")
+    if dim not in (2, 3):
+        raise SpatialError("enclosing_ball supports 2-D and 3-D points")
+    shuffled = list(points)
+    random.Random(0x5EED).shuffle(shuffled)
+    return _welzl(shuffled, [], dim)
+
+
+def _welzl(points: list[Point], boundary: list[Point], dim: int) -> Ball:
+    max_boundary = dim + 1
+    if not points or len(boundary) == max_boundary:
+        return _trivial_ball(boundary, dim)
+    p = points[-1]
+    ball = _welzl(points[:-1], boundary, dim)
+    if ball.contains(p):
+        return ball
+    return _welzl(points[:-1], boundary + [p], dim)
+
+
+def _trivial_ball(support: list[Point], dim: int) -> Ball:
+    if not support:
+        return Ball(Point.zero(dim), 0.0)
+    if len(support) == 1:
+        return Ball(support[0], 0.0)
+    if len(support) == 2:
+        center = support[0].midpoint(support[1])
+        return Ball(center, center.distance_to(support[0]))
+    if len(support) == 3:
+        ball = _circumball_3(support[0], support[1], support[2], dim)
+        if ball is not None:
+            return ball
+        return _fallback_pairwise(support)
+    ball = _circumsphere_4(support[0], support[1], support[2], support[3])
+    if ball is not None:
+        return ball
+    return _fallback_pairwise(support)
+
+
+def _circumball_3(a: Point, b: Point, c: Point, dim: int) -> Ball | None:
+    """Circumcircle of three points (in their plane, for 3-D inputs)."""
+    ab = b - a
+    ac = c - a
+    if dim == 2:
+        d = 2 * ab.cross2d(ac)
+        if abs(d) < 1e-12:
+            return None
+        ab2 = ab.norm_squared
+        ac2 = ac.norm_squared
+        ux = (ac.y * ab2 - ab.y * ac2) / d
+        uy = (ab.x * ac2 - ac.x * ab2) / d
+        center = Point(a.x + ux, a.y + uy)
+        return Ball(center, center.distance_to(a))
+    # 3-D: solve in the plane spanned by ab, ac.
+    ab2 = ab.norm_squared
+    ac2 = ac.norm_squared
+    ab_ac = ab.dot(ac)
+    det = ab2 * ac2 - ab_ac * ab_ac
+    if abs(det) < 1e-12:
+        return None
+    s = 0.5 * (ab2 * ac2 - ac2 * ab_ac) / det
+    t = 0.5 * (ac2 * ab2 - ab2 * ab_ac) / det
+    center = a + ab * s + ac * t
+    return Ball(center, center.distance_to(a))
+
+
+def _circumsphere_4(a: Point, b: Point, c: Point, d: Point) -> Ball | None:
+    """Circumsphere of four 3-D points via the linear system."""
+    import numpy as np
+
+    rows = []
+    rhs = []
+    for p in (b, c, d):
+        rows.append([2 * (p.x - a.x), 2 * (p.y - a.y), 2 * (p.z - a.z)])
+        rhs.append(p.norm_squared - a.norm_squared)
+    mat = np.array(rows)
+    if abs(np.linalg.det(mat)) < 1e-12:
+        return None
+    sol = np.linalg.solve(mat, np.array(rhs))
+    center = Point(*sol)
+    return Ball(center, center.distance_to(a))
+
+
+def _fallback_pairwise(support: list[Point]) -> Ball:
+    """Degenerate support set: use the widest pair's diameter ball."""
+    best = Ball(support[0], 0.0)
+    for i in range(len(support)):
+        for j in range(i + 1, len(support)):
+            center = support[i].midpoint(support[j])
+            r = center.distance_to(support[i])
+            if r > best.radius:
+                best = Ball(center, r)
+    return best

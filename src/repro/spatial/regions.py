@@ -1,0 +1,156 @@
+"""Non-polygonal regions: circles/spheres and axis-aligned boxes.
+
+Circles back the paper's radius queries ("Display motels within a radius of
+5 miles"); spheres back ``WITHIN-A-SPHERE``; boxes back the spatial-index
+rectangles of section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import Point
+
+
+@dataclass(frozen=True)
+class Ball:
+    """A closed ball (circle in 2-D, sphere in 3-D) of radius ``radius``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise SpatialError("ball radius may not be negative")
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` lies in the closed ball (relative tolerance, so
+        boundary points survive floating-point noise at any scale)."""
+        r2 = self.radius * self.radius
+        slack = 1e-9 * max(1.0, r2, p.norm_squared)
+        return (p - self.center).norm_squared <= r2 + slack
+
+    def translated(self, delta: Point) -> "Ball":
+        """Rigidly moved ball (the moving query-circle of section 1)."""
+        return Ball(self.center + delta, self.radius)
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality."""
+        return self.center.dim
+
+
+#: A circle is just a 2-D ball; keep both names for readability at call sites.
+Circle = Ball
+Sphere = Ball
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box ``[lo_i, hi_i]`` per axis.
+
+    This is the "rectangle" vocabulary of the section 4 index: spatial
+    indexes "use a hierarchical recursive decomposition of space, usually
+    into rectangles".
+    """
+
+    lo: Point
+    hi: Point
+
+    def __post_init__(self) -> None:
+        if self.lo.dim != self.hi.dim:
+            raise SpatialError("box corners must share a dimension")
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise SpatialError("box lower corner exceeds upper corner")
+
+    @classmethod
+    def from_bounds(cls, *bounds: tuple[float, float]) -> "Box":
+        """Build from per-axis ``(lo, hi)`` pairs."""
+        return cls(
+            Point(*(b[0] for b in bounds)), Point(*(b[1] for b in bounds))
+        )
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality."""
+        return self.lo.dim
+
+    @property
+    def center(self) -> Point:
+        """Geometric center."""
+        return self.lo.midpoint(self.hi)
+
+    @property
+    def extents(self) -> tuple[float, ...]:
+        """Per-axis side lengths."""
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> float:
+        """Product of side lengths (area in 2-D)."""
+        acc = 1.0
+        for side in self.extents:
+            acc *= side
+        return acc
+
+    def contains(self, p: Point) -> bool:
+        """Closed containment of a point."""
+        return all(
+            l <= c <= h for l, c, h in zip(self.lo, p, self.hi)
+        )
+
+    def contains_box(self, other: "Box") -> bool:
+        """Whether ``other`` lies entirely within this box."""
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """Closed overlap test between two boxes."""
+        return all(
+            sl <= oh and ol <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def union(self, other: "Box") -> "Box":
+        """Smallest box covering both inputs."""
+        return Box(
+            Point(*(min(a, b) for a, b in zip(self.lo, other.lo))),
+            Point(*(max(a, b) for a, b in zip(self.hi, other.hi))),
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """Overlap box, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Box(
+            Point(*(max(a, b) for a, b in zip(self.lo, other.lo))),
+            Point(*(min(a, b) for a, b in zip(self.hi, other.hi))),
+        )
+
+    def split(self) -> list["Box"]:
+        """The 2^dim equal children of a recursive decomposition —
+        quadrants in 2-D, octants in 3-D (section 4's hierarchical
+        decomposition step)."""
+        mid = self.center
+        children: list[Box] = []
+        for mask in range(1 << self.dim):
+            lo = []
+            hi = []
+            for axis in range(self.dim):
+                if mask & (1 << axis):
+                    lo.append(mid[axis])
+                    hi.append(self.hi[axis])
+                else:
+                    lo.append(self.lo[axis])
+                    hi.append(mid[axis])
+            children.append(Box(Point(*lo), Point(*hi)))
+        return children
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"[{l:g},{h:g}]" for l, h in zip(self.lo, self.hi)
+        )
+        return f"Box({pairs})"

@@ -1,0 +1,51 @@
+"""Temporal algebra: time domains, intervals, interval sets, clocks.
+
+This package is the foundation of the reproduction: the MOST data model
+interprets queries over *database histories* (one state per clock tick,
+section 2.2 of the paper), and the appendix FTL algorithm manipulates
+relations whose last column is a *time interval*.  Everything temporal —
+interval normalisation, the coalescing rule that keeps satisfaction
+intervals "non-consecutive" (appendix), and the interval-level temporal
+operators (`until`, `eventually`, `always`, and their bounded variants) —
+lives here so the FTL evaluator can stay purely structural.
+
+Two time domains are supported:
+
+* :data:`DISCRETE` — the paper's natural-number clock; intervals hold
+  integer ticks and two intervals are *consecutive* when one starts exactly
+  one tick after the other ends.
+* :data:`DENSE` — real-valued time, used by the kinetic geometry solvers;
+  intervals coalesce only when they touch.
+"""
+
+from repro.temporal.domain import DENSE, DISCRETE, TimeDomain
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+from repro.temporal.clock import SimulationClock
+from repro.temporal.operators import (
+    always,
+    always_for,
+    eventually,
+    eventually_after,
+    eventually_within,
+    nexttime,
+    until,
+    until_within,
+)
+
+__all__ = [
+    "DENSE",
+    "DISCRETE",
+    "TimeDomain",
+    "Interval",
+    "IntervalSet",
+    "SimulationClock",
+    "always",
+    "always_for",
+    "eventually",
+    "eventually_after",
+    "eventually_within",
+    "nexttime",
+    "until",
+    "until_within",
+]

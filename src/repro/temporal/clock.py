@@ -1,0 +1,73 @@
+"""The global database clock.
+
+Section 2 of the paper: "A special database object called *time* gives the
+current time at every instant; its domain is the set of natural numbers,
+and its value increases by one in each clock tick."  The simulation clock
+below is that object: every MOST database holds one, dynamic attributes
+evaluate against it, and the discrete-event layers (continuous-query
+maintenance, the distributed simulation) advance it explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import TemporalError
+
+TickListener = Callable[[int], None]
+
+
+class SimulationClock:
+    """A monotonically non-decreasing integer clock with tick listeners.
+
+    Listeners registered via :meth:`on_tick` are invoked once per tick in
+    registration order — the hook used by continuous-query re-display and
+    the delayed-transmission policy of section 5.2.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise TemporalError("clock cannot start before time 0")
+        self._now = start
+        self._listeners: list[TickListener] = []
+
+    @property
+    def now(self) -> int:
+        """The current clock tick."""
+        return self._now
+
+    def on_tick(self, listener: TickListener) -> None:
+        """Register a callback invoked with the new time after every tick."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: TickListener) -> None:
+        """Unregister a previously registered callback (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def tick(self, steps: int = 1) -> int:
+        """Advance the clock by ``steps`` ticks, firing listeners per tick.
+
+        Returns:
+            The new current time.
+        """
+        if steps < 0:
+            raise TemporalError("clock cannot move backwards")
+        for _ in range(steps):
+            self._now += 1
+            for listener in list(self._listeners):
+                listener(self._now)
+        return self._now
+
+    def advance_to(self, t: int) -> int:
+        """Advance the clock to absolute time ``t`` (must not be in the past)."""
+        if t < self._now:
+            raise TemporalError(
+                f"cannot move clock backwards from {self._now} to {t}"
+            )
+        return self.tick(t - self._now)
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now})"

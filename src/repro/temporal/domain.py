@@ -1,0 +1,67 @@
+"""Time domains: discrete (paper's clock-tick model) and dense (real time).
+
+The paper's database history is "an infinite sequence of database states,
+one for each clock tick" (section 2.2) — a discrete domain.  The kinetic
+geometry layer, however, solves for satisfaction intervals in continuous
+time.  A :class:`TimeDomain` captures the one parameter in which the two
+differ for interval algebra: the *adjacency gap*.  Two closed intervals
+``[a, b]`` and ``[c, d]`` with ``b < c`` are *consecutive* (and must be
+coalesced into one, per the appendix's non-consecutiveness invariant) when
+``c - b <= gap``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimeDomain:
+    """A model of time for interval algebra.
+
+    Attributes:
+        name: human-readable name, ``"discrete"`` or ``"dense"``.
+        gap: adjacency gap; ``1`` for integer ticks, ``0`` for real time.
+    """
+
+    name: str
+    gap: float
+
+    @property
+    def is_discrete(self) -> bool:
+        """True when this is the integer clock-tick domain."""
+        return self.gap > 0
+
+    def mergeable(self, end_a: float, start_b: float) -> bool:
+        """Whether an interval ending at ``end_a`` coalesces with one
+        starting at ``start_b`` (assuming ``end_a < start_b``)."""
+        return start_b - end_a <= self.gap
+
+    def snap(self, t: float) -> float:
+        """Round a time point onto the domain grid (identity when dense)."""
+        if self.is_discrete:
+            return float(round(t))
+        return t
+
+    def floor(self, t: float) -> float:
+        """Largest domain point ``<= t`` (identity when dense)."""
+        if self.is_discrete:
+            import math
+
+            return float(math.floor(t))
+        return t
+
+    def ceil(self, t: float) -> float:
+        """Smallest domain point ``>= t`` (identity when dense)."""
+        if self.is_discrete:
+            import math
+
+            return float(math.ceil(t))
+        return t
+
+
+#: The paper's natural-number clock: one database state per tick.
+DISCRETE = TimeDomain(name="discrete", gap=1)
+
+#: Real-valued time, used by the kinetic solvers.
+DENSE = TimeDomain(name="dense", gap=0)

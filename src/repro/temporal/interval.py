@@ -1,0 +1,124 @@
+"""Closed time intervals ``[start, end]``.
+
+Intervals are the last column of every relation the appendix algorithm
+manipulates: each tuple of ``R_g`` pairs a variable instantiation with "a
+time interval during which the instantiation satisfies the formula".
+Endpoints are floats (integers in the discrete domain are represented
+exactly); ``math.inf`` is a legal ``end`` for unbounded satisfaction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TemporalError
+from repro.temporal.domain import TimeDomain
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[start, end]`` of time points, ``start <= end``.
+
+    Instances are immutable and ordered lexicographically by
+    ``(start, end)``, which is the order :class:`~repro.temporal.IntervalSet`
+    maintains internally.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.start) or math.isnan(self.end):
+            raise TemporalError("interval endpoints may not be NaN")
+        if self.start == math.inf:
+            raise TemporalError("interval start may not be +inf")
+        if self.end < self.start:
+            raise TemporalError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic predicates
+    # ------------------------------------------------------------------
+    def contains(self, t: float) -> bool:
+        """Whether time point ``t`` lies in this interval."""
+        return self.start <= t <= self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether ``other`` is a subset of this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two closed intervals share at least one point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def precedes(self, other: "Interval") -> bool:
+        """Whether this interval ends strictly before ``other`` starts."""
+        return self.end < other.start
+
+    def mergeable(self, other: "Interval", domain: TimeDomain) -> bool:
+        """Whether the union of the two intervals is a single interval in
+        ``domain`` (they overlap, touch, or are consecutive ticks)."""
+        lo, hi = (self, other) if self.start <= other.start else (other, self)
+        return domain.mergeable(lo.end, hi.start) or lo.end >= hi.start
+
+    def compatible(self, other: "Interval", domain: TimeDomain) -> bool:
+        """The appendix's *compatibility* test between a ``g1`` interval
+        (``self``) and a ``g2`` interval (``other``).
+
+        ``[l1, u1]`` is compatible with ``[m1, n1]`` when ``m1 <= u1 + gap``
+        and ``n1 >= u1`` — the two intervals overlap or are consecutive,
+        with the ``g2`` interval not ending before the ``g1`` one.
+        """
+        return other.start <= self.end + domain.gap and other.end >= self.end
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlap of two intervals, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start > end:
+            return None
+        return Interval(start, end)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both inputs."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def shift(self, delta: float) -> "Interval":
+        """Translate both endpoints by ``delta``."""
+        end = self.end if self.end == math.inf else self.end + delta
+        return Interval(self.start + delta, end)
+
+    def clip(self, lo: float, hi: float) -> "Interval | None":
+        """Intersection with ``[lo, hi]``, or ``None`` when empty."""
+        return self.intersection(Interval(lo, hi))
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Length of the interval (``inf`` when unbounded)."""
+        return self.end - self.start
+
+    @property
+    def is_unbounded(self) -> bool:
+        """Whether the interval extends to infinity."""
+        return self.end == math.inf
+
+    def ticks(self) -> range:
+        """Integer ticks covered, for small *bounded* discrete intervals.
+
+        Raises:
+            TemporalError: if the interval is unbounded.
+        """
+        if self.is_unbounded:
+            raise TemporalError("cannot enumerate ticks of an unbounded interval")
+        return range(math.ceil(self.start), math.floor(self.end) + 1)
+
+    def __str__(self) -> str:
+        return f"[{self.start:g}, {self.end:g}]"

@@ -1,0 +1,173 @@
+"""Interval-level temporal operators.
+
+These functions implement, at the level of satisfaction-interval sets, the
+temporal connectives of FTL (section 3 of the paper).  The FTL evaluator
+(appendix algorithm) computes, per variable instantiation, the interval set
+on which a subformula holds; the connectives below combine those sets:
+
+* :func:`until` — the chain-merging construction of the appendix: ``g1
+  Until g2`` holds at ``t`` iff ``g2`` holds at ``t``, or ``g2`` holds at
+  some future ``t'`` and ``g1`` holds throughout ``[t, t')``.
+* :func:`nexttime` — discrete-shift by one tick.
+* :func:`eventually` / :func:`always` — derived operators (``true Until f``
+  and its dual), evaluated against an explicit horizon because the paper
+  assumes continuous queries "expire after a predefined (but very large)
+  amount of time" (section 2.3).
+* the bounded real-time forms of section 3.4: ``Eventually within c``,
+  ``Eventually after c``, ``Always for c`` and ``g until within c h``.
+
+All functions are pure and domain-aware (discrete tick adjacency vs dense
+touching); they are property-tested against a brute-force per-tick reference
+in ``tests/temporal/test_operators.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TemporalError
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+
+def until(g1: IntervalSet, g2: IntervalSet) -> IntervalSet:
+    """Satisfaction set of ``g1 Until g2``.
+
+    ``t`` satisfies the formula iff ``t`` is in ``g2``, or there is a
+    ``t' > t`` in ``g2`` with ``[t, t')`` contained in ``g1``.  On
+    normalised interval sets this reduces to extending every ``g2``
+    interval ``[m, n]`` leftwards through the unique ``g1`` interval
+    ``[l, u]`` that still touches ``m`` (``u >= m - gap``), then taking the
+    union; chains through alternating ``g1``/``g2`` intervals coalesce
+    because the extended pieces touch (this mirrors the appendix's
+    *maximal chain* construction).
+    """
+    if g1.domain != g2.domain:
+        raise TemporalError("until: operand domain mismatch")
+    domain = g1.domain
+    pieces: list[Interval] = list(g2.intervals)
+    for target in g2.intervals:
+        m = target.start
+        # The carrying g1 interval must cover up to m (dense: contain m
+        # itself; discrete: contain the preceding tick m - 1).
+        carrier = g1.interval_containing(m - domain.gap)
+        if carrier is not None and carrier.start < m:
+            pieces.append(Interval(carrier.start, target.end))
+    return IntervalSet(pieces, domain)
+
+
+def until_within(c: float, g1: IntervalSet, g2: IntervalSet) -> IntervalSet:
+    """Satisfaction set of ``g1 until within c g2`` (section 3.4).
+
+    Like :func:`until` but the witness ``t'`` must satisfy
+    ``t' - t <= c``; the leftward extension is therefore truncated at
+    ``m - c`` for a ``g2`` interval starting at ``m``.
+    """
+    if c < 0:
+        raise TemporalError("until_within: bound must be non-negative")
+    if g1.domain != g2.domain:
+        raise TemporalError("until_within: operand domain mismatch")
+    domain = g1.domain
+    pieces: list[Interval] = list(g2.intervals)
+    for target in g2.intervals:
+        m = target.start
+        carrier = g1.interval_containing(m - domain.gap)
+        if carrier is not None and carrier.start < m:
+            lo = max(carrier.start, m - c)
+            if lo < m:
+                pieces.append(Interval(lo, target.end))
+    return IntervalSet(pieces, domain)
+
+
+def nexttime(f: IntervalSet, start: float = 0.0) -> IntervalSet:
+    """Satisfaction set of ``Nexttime f`` in the discrete domain.
+
+    ``t`` satisfies iff ``t + 1`` satisfies ``f``; i.e. shift the set one
+    tick earlier and clip at the history start.
+    """
+    if not f.domain.is_discrete:
+        raise TemporalError("Nexttime is only defined on the discrete domain")
+    return f.shift(-1).clamp_start(start)
+
+
+def eventually(f: IntervalSet, start: float = 0.0) -> IntervalSet:
+    """Satisfaction set of ``Eventually f`` (= ``true Until f``).
+
+    ``t`` satisfies iff some point of ``f`` lies at or after ``t``; hence
+    the result is the single interval from ``start`` to the last point of
+    ``f`` (empty if ``f`` is empty or lies entirely before ``start``).
+    """
+    if f.is_empty:
+        return IntervalSet.empty(f.domain)
+    latest = f.latest
+    if latest < start:
+        return IntervalSet.empty(f.domain)
+    return IntervalSet((Interval(start, latest),), f.domain)
+
+
+def eventually_within(c: float, f: IntervalSet, start: float = 0.0) -> IntervalSet:
+    """Satisfaction set of ``Eventually within c f`` (section 3.4).
+
+    ``t`` satisfies iff ``f`` holds somewhere in ``[t, t + c]``; every
+    ``f`` interval ``[m, n]`` therefore contributes ``[m - c, n]``.
+    """
+    if c < 0:
+        raise TemporalError("eventually_within: bound must be non-negative")
+    pieces = []
+    for iv in f.intervals:
+        lo = max(iv.start - c, start)
+        if lo <= iv.end:
+            pieces.append(Interval(lo, iv.end))
+    return IntervalSet(pieces, f.domain).clamp_start(start)
+
+
+def eventually_after(
+    c: float, f: IntervalSet, start: float = 0.0
+) -> IntervalSet:
+    """Satisfaction set of ``Eventually after c f`` (section 3.4).
+
+    ``t`` satisfies iff ``f`` holds at some ``t' >= t + c``; equivalently
+    ``t <= latest(f) - c``.
+    """
+    if c < 0:
+        raise TemporalError("eventually_after: bound must be non-negative")
+    if f.is_empty:
+        return IntervalSet.empty(f.domain)
+    hi = f.latest - c if f.latest != math.inf else math.inf
+    if hi < start:
+        return IntervalSet.empty(f.domain)
+    return IntervalSet((Interval(start, hi),), f.domain)
+
+
+def always(f: IntervalSet, start: float, horizon: float) -> IntervalSet:
+    """Satisfaction set of ``Always f`` relative to an evaluation horizon.
+
+    The paper defines ``Always f`` over the *infinite* future history; any
+    finite evaluation needs the expiration horizon of section 2.3.  ``t``
+    satisfies iff ``f`` holds throughout ``[t, horizon]``.
+    """
+    for iv in f.intervals:
+        if iv.start <= horizon <= iv.end:
+            lo = max(iv.start, start)
+            if lo > horizon:
+                return IntervalSet.empty(f.domain)
+            return IntervalSet((Interval(lo, horizon),), f.domain)
+    return IntervalSet.empty(f.domain)
+
+
+def always_for(c: float, f: IntervalSet) -> IntervalSet:
+    """Satisfaction set of ``Always for c f`` (section 3.4).
+
+    ``t`` satisfies iff ``f`` holds throughout ``[t, t + c]``; this erodes
+    every interval ``[m, n]`` to ``[m, n - c]`` and drops intervals shorter
+    than ``c``.
+    """
+    if c < 0:
+        raise TemporalError("always_for: bound must be non-negative")
+    pieces = []
+    for iv in f.intervals:
+        if iv.end == math.inf:
+            pieces.append(iv)
+        elif iv.end - c >= iv.start:
+            pieces.append(Interval(iv.start, iv.end - c))
+    return IntervalSet(pieces, f.domain)

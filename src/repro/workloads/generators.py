@@ -1,0 +1,127 @@
+"""Seeded generators for fleets of moving objects and update streams."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.database import MostDatabase
+from repro.core.dynamic import DynamicAttribute
+from repro.core.objects import ObjectClass
+from repro.errors import QueryError
+from repro.geometry import Point
+from repro.motion.moving import MovingPoint, linear_moving_point
+
+
+def random_fleet(
+    db: MostDatabase,
+    n: int,
+    class_name: str = "objects",
+    area: tuple[float, float] = (0.0, 1000.0),
+    speed_range: tuple[float, float] = (-5.0, 5.0),
+    seed: int = 0,
+    static_attributes: dict[str, tuple[float, float]] | None = None,
+) -> list[object]:
+    """Populate ``db`` with ``n`` 2-D moving objects.
+
+    Creates the object class if absent (with the given static attribute
+    names, drawn uniformly from their ranges).  Returns the object ids.
+    """
+    rng = random.Random(seed)
+    static_attributes = static_attributes or {}
+    try:
+        cls = db.object_class(class_name)
+    except Exception:
+        cls = db.create_class(
+            ObjectClass(
+                class_name,
+                static_attributes=tuple(static_attributes),
+                spatial_dimensions=2,
+            )
+        )
+    if not cls.is_spatial:
+        raise QueryError(f"class {class_name!r} is not spatial")
+    ids = []
+    for i in range(n):
+        object_id = f"{class_name}-{i}"
+        position = Point(
+            rng.uniform(*area), rng.uniform(*area)
+        )
+        velocity = Point(
+            rng.uniform(*speed_range), rng.uniform(*speed_range)
+        )
+        statics = {
+            name: rng.uniform(*bounds)
+            for name, bounds in static_attributes.items()
+        }
+        db.add_moving_object(
+            class_name, object_id, position, velocity, static=statics
+        )
+        ids.append(object_id)
+    return ids
+
+
+def random_movers(
+    n: int,
+    area: tuple[float, float] = (0.0, 1000.0),
+    speed_range: tuple[float, float] = (-5.0, 5.0),
+    seed: int = 0,
+) -> list[tuple[str, MovingPoint]]:
+    """Bare ``(id, MovingPoint)`` pairs — the spatial-index workload."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        mover = linear_moving_point(
+            Point(rng.uniform(*area), rng.uniform(*area)),
+            Point(rng.uniform(*speed_range), rng.uniform(*speed_range)),
+        )
+        out.append((f"m{i}", mover))
+    return out
+
+
+def random_attributes(
+    n: int,
+    value_range: tuple[float, float] = (-100.0, 100.0),
+    speed_range: tuple[float, float] = (-2.0, 2.0),
+    seed: int = 0,
+) -> list[tuple[str, DynamicAttribute]]:
+    """Bare ``(id, DynamicAttribute)`` pairs — the 1-D index workload."""
+    rng = random.Random(seed)
+    return [
+        (
+            f"a{i}",
+            DynamicAttribute.linear(
+                rng.uniform(*value_range), rng.uniform(*speed_range)
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+def motion_update_process(
+    db: MostDatabase,
+    object_ids: list[object],
+    ticks: int,
+    change_probability: float,
+    speed_range: tuple[float, float] = (-5.0, 5.0),
+    seed: int = 0,
+) -> Iterator[tuple[int, object]]:
+    """Advance the clock ``ticks`` times; each tick each object changes
+    its motion vector with probability ``change_probability``.
+
+    Yields ``(time, object_id)`` per update, matching the paper's premise
+    that the motion vector changes "less frequently than the position of
+    the object".
+    """
+    if not 0.0 <= change_probability <= 1.0:
+        raise QueryError("change probability must be in [0, 1]")
+    rng = random.Random(seed)
+    for _ in range(ticks):
+        now = db.clock.tick()
+        for object_id in object_ids:
+            if rng.random() < change_probability:
+                velocity = Point(
+                    rng.uniform(*speed_range), rng.uniform(*speed_range)
+                )
+                db.update_motion(object_id, velocity)
+                yield now, object_id

@@ -1,0 +1,166 @@
+"""Named scenarios from the paper's introduction.
+
+* :func:`motel_scenario` — the travelling car and the MOTELS relation
+  ("Display motels (with availability and cost) within a radius of 5
+  miles", section 1).
+* :func:`air_traffic_scenario` — the air-traffic-control query Q
+  ("retrieve all the airplanes that will come within 30 miles of the
+  airport in the next 10 minutes", section 1).
+* :func:`convoy_scenario` — mobile computers hosting their own objects
+  for the distributed relationship queries of section 5.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.database import MostDatabase
+from repro.core.objects import ObjectClass
+from repro.distributed.network import SimNetwork
+from repro.distributed.node import MobileNode
+from repro.geometry import Point
+from repro.motion.moving import linear_moving_point
+from repro.spatial.regions import Ball
+
+
+@dataclass
+class MotelWorld:
+    """The motel scenario: a car among stationary motels."""
+
+    db: MostDatabase
+    car_id: str
+    motel_ids: list[str]
+
+    #: The section 1 continuous query, as FTL text.
+    QUERY = (
+        "RETRIEVE m FROM motels m, cars c WHERE DIST(c, m) <= 5"
+    )
+
+
+def motel_scenario(
+    n_motels: int = 20,
+    road_length: float = 200.0,
+    car_speed: float = 1.0,
+    seed: int = 0,
+) -> MotelWorld:
+    """A car driving along a road lined with motels.
+
+    Motels are spatial but stationary (their positions are degenerate
+    dynamic attributes), each with a ``price`` and ``availability``.
+    """
+    rng = random.Random(seed)
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass(
+            "motels",
+            static_attributes=("price", "availability"),
+            spatial_dimensions=2,
+        )
+    )
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    motel_ids = []
+    for i in range(n_motels):
+        object_id = f"motel-{i}"
+        db.add_moving_object(
+            "motels",
+            object_id,
+            Point(rng.uniform(0, road_length), rng.uniform(-3, 3)),
+            static={
+                "price": round(rng.uniform(40, 240), 2),
+                "availability": float(rng.randint(0, 30)),
+            },
+        )
+        motel_ids.append(object_id)
+    db.add_moving_object(
+        "cars", "car", Point(0.0, 0.0), Point(car_speed, 0.0)
+    )
+    return MotelWorld(db=db, car_id="car", motel_ids=motel_ids)
+
+
+@dataclass
+class AirTrafficWorld:
+    """The air-traffic scenario: aircraft around an airport."""
+
+    db: MostDatabase
+    aircraft_ids: list[str]
+    airport: Point
+
+    #: The paper's query Q (30 miles, next 10 minutes).
+    QUERY = (
+        "RETRIEVE a FROM aircraft a, airports ap "
+        "WHERE EVENTUALLY WITHIN 10 DIST(a, ap) <= 30"
+    )
+
+
+def air_traffic_scenario(
+    n_aircraft: int = 30,
+    region: float = 500.0,
+    speed: float = 8.0,
+    seed: int = 0,
+) -> AirTrafficWorld:
+    """Aircraft with random positions and headings; one airport at the
+    origin (a stationary spatial object)."""
+    rng = random.Random(seed)
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass("aircraft", static_attributes=("callsign",), spatial_dimensions=2)
+    )
+    db.create_class(ObjectClass("airports", spatial_dimensions=2))
+    db.add_moving_object("airports", "airport", Point(0.0, 0.0))
+    db.define_region("NEAR_AIRPORT", Ball(Point(0.0, 0.0), 30.0))
+    ids = []
+    for i in range(n_aircraft):
+        object_id = f"plane-{i}"
+        angle = rng.uniform(0, 6.283185307)
+        import math
+
+        db.add_moving_object(
+            "aircraft",
+            object_id,
+            Point(rng.uniform(-region, region), rng.uniform(-region, region)),
+            Point(speed * math.cos(angle), speed * math.sin(angle)),
+            static={"callsign": f"FL{i:03d}"},
+        )
+        ids.append(object_id)
+    return AirTrafficWorld(db=db, aircraft_ids=ids, airport=Point(0.0, 0.0))
+
+
+@dataclass
+class ConvoyWorld:
+    """The distributed convoy: one mobile computer per vehicle."""
+
+    network: SimNetwork
+    leader: MobileNode
+    vehicles: list[MobileNode]
+
+
+def convoy_scenario(
+    n_vehicles: int = 8,
+    spacing: float = 5.0,
+    speed: float = 2.0,
+    straggler_every: int = 4,
+    seed: int = 0,
+) -> ConvoyWorld:
+    """A convoy heading east; every ``straggler_every``-th vehicle drifts
+    off course (so relationship queries have something to find)."""
+    network = SimNetwork()
+    leader = MobileNode(
+        "leader", network, linear_moving_point(Point(0.0, 0.0), Point(speed, 0.0))
+    )
+    vehicles = []
+    for i in range(n_vehicles):
+        drifts = straggler_every > 0 and (i + 1) % straggler_every == 0
+        velocity = (
+            Point(speed * 0.6, 0.8) if drifts else Point(speed, 0.0)
+        )
+        vehicles.append(
+            MobileNode(
+                f"v{i}",
+                network,
+                linear_moving_point(
+                    Point(-spacing * (i + 1), 0.0), velocity
+                ),
+            )
+        )
+    return ConvoyWorld(network=network, leader=leader, vehicles=vehicles)

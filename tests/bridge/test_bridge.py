@@ -1,0 +1,278 @@
+"""Tests for the section 5.1 MOST-on-DBMS layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bridge import MostOnDbms, decompose, dynamic_attributes_of, dynamic_atoms_in
+from repro.core import DynamicAttribute
+from repro.dbms import Column, Database, FLOAT, INT, STRING
+from repro.dbms.expressions import Literal
+from repro.dbms.sql.parser import parse_expression
+from repro.errors import SqlError
+from repro.index import DynamicAttributeIndex
+from repro.motion import LinearFunction
+from repro.temporal import SimulationClock
+
+
+@pytest.fixture
+def most() -> MostOnDbms:
+    db = Database(clock=SimulationClock())
+    layer = MostOnDbms(db)
+    layer.create_table(
+        "vehicles",
+        static_columns=[Column("id", INT), Column("kind", STRING)],
+        dynamic_attributes=["pos", "fuel"],
+        key="id",
+    )
+    # pos moves at different speeds; fuel drains.
+    layer.insert(
+        "vehicles",
+        {"id": 1, "kind": "car"},
+        {"pos": DynamicAttribute.linear(0.0, 5.0), "fuel": DynamicAttribute.linear(100.0, -1.0)},
+    )
+    layer.insert(
+        "vehicles",
+        {"id": 2, "kind": "car"},
+        {"pos": DynamicAttribute.linear(50.0, 0.0), "fuel": DynamicAttribute.linear(40.0, -2.0)},
+    )
+    layer.insert(
+        "vehicles",
+        {"id": 3, "kind": "truck"},
+        {"pos": DynamicAttribute.linear(-30.0, 2.0), "fuel": DynamicAttribute.linear(200.0, -0.5)},
+    )
+    return layer
+
+
+class TestDiscovery:
+    def test_dynamic_attributes_of(self, most):
+        dynamics = dynamic_attributes_of(most.db.table("vehicles").schema)
+        assert set(dynamics) == {"pos", "fuel"}
+        assert dynamics["pos"].updatetime == "pos.updatetime"
+
+    def test_incomplete_triple_is_not_dynamic(self):
+        from repro.dbms.schema import Schema
+
+        schema = Schema.of(("a.value", FLOAT), ("a.updatetime", FLOAT))
+        assert dynamic_attributes_of(schema) == {}
+
+    def test_dynamic_atoms_in(self, most):
+        dynamics = {"vehicles": dynamic_attributes_of(most.db.table("vehicles").schema)}
+        bindings = {"v": "vehicles"}
+        where = parse_expression("v.pos > 10 AND v.kind = 'car' AND v.fuel < 50")
+        atoms = dynamic_atoms_in(where, bindings, dynamics)
+        assert len(atoms) == 2
+
+    def test_sub_attribute_reference_is_static(self, most):
+        dynamics = {"vehicles": dynamic_attributes_of(most.db.table("vehicles").schema)}
+        where = parse_expression("v.pos.function = 5")
+        assert dynamic_atoms_in(where, {"v": "vehicles"}, dynamics) == []
+
+
+class TestDecompose:
+    def test_2k_variants(self):
+        p = parse_expression("a > 1")
+        q = parse_expression("b > 2")
+        f = parse_expression("a > 1 AND b > 2 AND c = 3")
+        variants = decompose(f, [p, q])
+        assert len(variants) == 4
+        polarity_sets = {
+            tuple(v for _a, v in variant.polarities) for variant in variants
+        }
+        assert polarity_sets == {
+            (True, True),
+            (True, False),
+            (False, True),
+            (False, False),
+        }
+
+    def test_substitution_applied(self):
+        p = parse_expression("a > 1")
+        f = parse_expression("a > 1 AND c = 3")
+        variants = decompose(f, [p])
+        trues = [v for v in variants if v.polarities[0][1]]
+        assert "True" in str(trues[0].where)
+
+    def test_no_atoms(self):
+        f = parse_expression("c = 3")
+        [v] = decompose(f, [])
+        assert v.where == f
+        assert v.polarities == ()
+
+
+class TestInterception:
+    def test_passthrough_static_query(self, most):
+        rel = most.query("SELECT id FROM vehicles WHERE kind = 'truck'")
+        assert rel.column("id") == [3]
+        assert most.stats.passthrough == 1
+        assert most.stats.decomposed == 0
+
+    def test_sub_attribute_query_passes_through(self, most):
+        # Section 2.1: "the objects whose speed in the X direction is 5".
+        rel = most.query("SELECT id FROM vehicles WHERE pos.function = 5")
+        assert rel.column("id") == [1]
+        assert most.stats.passthrough == 1
+
+    def test_dynamic_select_target(self, most):
+        most.db.clock.tick(4)
+        rel = most.query("SELECT id, pos FROM vehicles WHERE kind = 'car'")
+        assert rel.to_set() == {(1, 20.0), (2, 50.0)}
+        assert most.stats.decomposed == 0  # no dynamic WHERE atoms
+
+    def test_dynamic_where_atom(self, most):
+        most.db.clock.tick(4)  # pos: 20, 50, -22
+        rel = most.query("SELECT id FROM vehicles WHERE pos > 10")
+        assert set(rel.column("id")) == {1, 2}
+        assert most.stats.decomposed == 1
+        assert most.stats.variants_issued == 2
+
+    def test_answer_changes_with_time_without_updates(self, most):
+        q = "SELECT id FROM vehicles WHERE pos >= 49"
+        assert set(most.query(q).column("id")) == {2}
+        most.db.clock.tick(10)  # car 1 at 50 now
+        assert set(most.query(q).column("id")) == {1, 2}
+
+    def test_two_dynamic_atoms_four_variants(self, most):
+        most.stats.reset()
+        most.db.clock.tick(2)
+        rel = most.query(
+            "SELECT id FROM vehicles WHERE pos > 0 AND fuel > 50"
+        )
+        # t=2: pos (10, 50, -26), fuel (98, 36, 199) -> only id 1.
+        assert rel.column("id") == [1]
+        assert most.stats.variants_issued == 4
+
+    def test_mixed_static_dynamic(self, most):
+        most.db.clock.tick(2)
+        rel = most.query(
+            "SELECT id FROM vehicles WHERE kind = 'car' AND fuel > 50"
+        )
+        assert rel.column("id") == [1]
+
+    def test_or_with_dynamic_atom(self, most):
+        most.db.clock.tick(2)
+        rel = most.query(
+            "SELECT id FROM vehicles WHERE kind = 'truck' OR pos >= 50"
+        )
+        assert set(rel.column("id")) == {2, 3}
+
+    def test_select_star_with_dynamic_where(self, most):
+        rel = most.query("SELECT * FROM vehicles WHERE pos >= 50")
+        assert len(rel) == 1
+        assert "pos.value" in rel.schema.names
+
+    def test_arithmetic_over_dynamic_value(self, most):
+        most.db.clock.tick(10)
+        rel = most.query("SELECT pos * 2 AS double_pos FROM vehicles WHERE id = 1")
+        assert rel.scalar() == 100.0
+
+    def test_update_motion_changes_answers(self, most):
+        most.db.clock.tick(2)
+        most.update_motion(
+            "vehicles", 1, "pos", DynamicAttribute.linear(1000.0, 0.0, updatetime=2)
+        )
+        rel = most.query("SELECT id FROM vehicles WHERE pos >= 999")
+        assert rel.column("id") == [1]
+
+    def test_update_motion_unknown_key(self, most):
+        with pytest.raises(SqlError):
+            most.update_motion("vehicles", 99, "pos", DynamicAttribute.static(0))
+
+    def test_non_select_passthrough(self, most):
+        n = most.execute("DELETE FROM vehicles WHERE id = 3")
+        assert n == 1
+
+    def test_query_requires_select(self, most):
+        with pytest.raises(SqlError):
+            most.query("DELETE FROM vehicles")
+
+
+class TestIndexedVariant:
+    def attach_index(self, most) -> DynamicAttributeIndex:
+        index = DynamicAttributeIndex(
+            epoch=0, horizon=1000, value_lo=-10000, value_hi=10000
+        )
+        for row in most.db.table("vehicles").rows():
+            schema = most.db.table("vehicles").schema
+            key = row[schema.index_of("id")]
+            index.insert(
+                key,
+                DynamicAttribute(
+                    value=row[schema.index_of("pos.value")],
+                    updatetime=row[schema.index_of("pos.updatetime")],
+                    function=LinearFunction(row[schema.index_of("pos.function")]),
+                ),
+            )
+        most.register_index("vehicles", "pos", index)
+        return index
+
+    def test_indexed_atom_same_answer(self, most):
+        self.attach_index(most)
+        most.db.clock.tick(4)
+        rel = most.query("SELECT id FROM vehicles WHERE pos > 10")
+        assert set(rel.column("id")) == {1, 2}
+        assert most.stats.index_filtered_atoms >= 1
+        assert most.stats.rows_post_filtered == 0
+
+    def test_index_follows_motion_updates(self, most):
+        self.attach_index(most)
+        most.db.clock.tick(1)
+        most.update_motion(
+            "vehicles", 3, "pos", DynamicAttribute.linear(500.0, 0.0, updatetime=1)
+        )
+        rel = most.query("SELECT id FROM vehicles WHERE pos >= 400")
+        assert rel.column("id") == [3]
+
+    def test_equality_atom_not_indexed(self, most):
+        self.attach_index(most)
+        most.stats.reset()
+        rel = most.query("SELECT id FROM vehicles WHERE pos = 50")
+        assert rel.column("id") == [2]
+        assert most.stats.index_filtered_atoms == 0
+        assert most.stats.rows_post_filtered > 0
+
+
+# ---------------------------------------------------------------------------
+# Property: decomposed evaluation == direct evaluation of the original
+# predicate on current values.
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=-20, max_value=20),
+            st.integers(min_value=-3, max_value=3),
+            st.integers(min_value=0, max_value=100),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=-20, max_value=40),
+    st.integers(min_value=0, max_value=100),
+)
+def test_decomposition_matches_direct(rows, now, pos_bound, price_bound):
+    db = Database(clock=SimulationClock())
+    layer = MostOnDbms(db)
+    layer.create_table(
+        "t",
+        static_columns=[Column("id", INT), Column("price", FLOAT)],
+        dynamic_attributes=["pos"],
+        key="id",
+    )
+    for i, (v, s, price) in enumerate(rows):
+        layer.insert(
+            "t",
+            {"id": i, "price": float(price)},
+            {"pos": DynamicAttribute.linear(float(v), float(s))},
+        )
+    db.clock.tick(now)
+    rel = layer.query(
+        f"SELECT id FROM t WHERE pos >= {pos_bound} AND price <= {price_bound}"
+    )
+    want = sorted(
+        i
+        for i, (v, s, price) in enumerate(rows)
+        if v + s * now >= pos_bound and price <= price_bound
+    )
+    assert sorted(rel.column("id")) == want

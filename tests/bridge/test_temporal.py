@@ -1,0 +1,196 @@
+"""Tests for FTL-over-DBMS (section 5.1, last paragraph)."""
+
+import pytest
+
+from repro.bridge import ClassSpec, MostOnDbms, TemporalBridge
+from repro.core import DynamicAttribute
+from repro.dbms import Column, Database, FLOAT, INT, STRING
+from repro.errors import SchemaError, SqlError
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.spatial import Ball, Polygon
+from repro.temporal import SimulationClock
+
+
+@pytest.fixture
+def bridge() -> TemporalBridge:
+    db = Database(clock=SimulationClock())
+    layer = MostOnDbms(db)
+    layer.create_table(
+        "vehicles",
+        static_columns=[Column("id", STRING), Column("price", FLOAT)],
+        dynamic_attributes=["px", "py", "fuel"],
+        key="id",
+    )
+
+    def add(vid, x, vx, price, fuel, fuel_rate):
+        layer.insert(
+            "vehicles",
+            {"id": vid, "price": price},
+            {
+                "px": DynamicAttribute.linear(x, vx),
+                "py": DynamicAttribute.linear(5.0, 0.0),
+                "fuel": DynamicAttribute.linear(fuel, fuel_rate),
+            },
+        )
+
+    add("fast", -10.0, 2.0, 100.0, 50.0, -1.0)
+    add("slow", -40.0, 1.0, 80.0, 90.0, -0.5)
+    add("parked", 100.0, 0.0, 60.0, 10.0, 0.0)
+
+    return TemporalBridge(
+        layer,
+        classes={
+            "cars": ClassSpec(
+                table="vehicles",
+                position_attributes=("px", "py"),
+                scalar_attributes=("fuel",),
+                static_columns=("price",),
+            )
+        },
+        regions={"P": Polygon.rectangle(0, 0, 20, 20)},
+    )
+
+
+class TestValidation:
+    def test_unknown_dynamic_attribute(self):
+        db = Database(clock=SimulationClock())
+        layer = MostOnDbms(db)
+        layer.create_table(
+            "t", static_columns=[Column("id", INT)], dynamic_attributes=["a"], key="id"
+        )
+        with pytest.raises(SchemaError):
+            TemporalBridge(
+                layer, {"c": ClassSpec(table="t", scalar_attributes=("zap",))}
+            )
+
+    def test_bad_position_arity(self):
+        db = Database(clock=SimulationClock())
+        layer = MostOnDbms(db)
+        layer.create_table(
+            "t", static_columns=[Column("id", INT)], dynamic_attributes=["a"], key="id"
+        )
+        with pytest.raises(SchemaError):
+            TemporalBridge(
+                layer, {"c": ClassSpec(table="t", position_attributes=("a",))}
+            )
+
+    def test_keyless_table_rejected(self):
+        db = Database(clock=SimulationClock())
+        layer = MostOnDbms(db)
+        layer.create_table(
+            "t", static_columns=[Column("id", INT)], dynamic_attributes=["a"]
+        )
+        with pytest.raises(SchemaError):
+            TemporalBridge(layer, {"c": ClassSpec(table="t")})
+
+    def test_unknown_static_column(self):
+        db = Database(clock=SimulationClock())
+        layer = MostOnDbms(db)
+        layer.create_table(
+            "t", static_columns=[Column("id", INT)], dynamic_attributes=["a"], key="id"
+        )
+        with pytest.raises(SchemaError):
+            TemporalBridge(
+                layer, {"c": ClassSpec(table="t", static_columns=("ghost",))}
+            )
+
+    def test_unmapped_class_in_query(self, bridge):
+        q = parse_query("RETRIEVE o FROM planes o WHERE INSIDE(o, P)")
+        with pytest.raises(SchemaError):
+            bridge.evaluate(q, horizon=10)
+
+
+class TestViewLoading:
+    def test_view_reconstructs_motion(self, bridge):
+        view = bridge.load_view()
+        fast = view.get("fast")
+        assert fast.position_at(0) == Point(-10, 5)
+        assert fast.position_at(5) == Point(0, 5)
+        assert fast.static_value("price") == 100.0
+        assert fast.value_at("fuel", 10) == 40.0
+
+    def test_null_subattribute_rejected(self, bridge):
+        bridge.layer.db.execute(
+            "INSERT INTO vehicles (id, price) VALUES ('ghost', 1.0)"
+        )
+        with pytest.raises(SqlError):
+            bridge.load_view()
+
+
+class TestQueries:
+    def test_future_spatial_query(self, bridge):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 10 INSIDE(o, P)"
+        )
+        # fast enters x>=0 at t=5; slow at t=40; parked never (x=100).
+        assert bridge.evaluate(q, horizon=60) == {("fast",)}
+
+    def test_methods_agree(self, bridge):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE o.fuel >= 45 AND EVENTUALLY INSIDE(o, P)"
+        )
+        assert bridge.evaluate(q, horizon=40) == bridge.evaluate(
+            q, horizon=40, method="naive"
+        )
+
+    def test_answer_reflects_dbms_updates(self, bridge):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 10 INSIDE(o, P)"
+        )
+        assert bridge.evaluate(q, horizon=60) == {("fast",)}
+        # Teleport 'parked' into P through the DBMS layer.
+        bridge.layer.update_motion(
+            "vehicles", "parked", "px", DynamicAttribute.linear(10.0, 0.0)
+        )
+        assert bridge.evaluate(q, horizon=60) == {("fast",), ("parked",)}
+
+    def test_answer_tuples_shape(self, bridge):
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        answer = bridge.answer(q, horizon=60)
+        tuples = {t.values[0]: (t.begin, t.end) for t in answer.tuples}
+        assert tuples[("fast")] == (5, 15)  # x in [0,20] for t in [5,15]
+
+    def test_continuous_query_over_dbms(self, bridge):
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        cq = bridge.continuous(q, horizon=60)
+        assert cq.evaluations == 1
+        assert cq.current() == set()  # fast is at x=-10
+        bridge.layer.db.clock.tick(8)  # fast at x=6: inside
+        assert cq.current() == {("fast",)}
+        assert cq.evaluations == 1  # display moved without reevaluation
+
+        # A DBMS commit invalidates the answer lazily.
+        bridge.layer.update_motion(
+            "vehicles", "parked", "px", DynamicAttribute.linear(5.0, 0.0, updatetime=8)
+        )
+        assert cq.current() == {("fast",), ("parked",)}
+        assert cq.evaluations == 2
+
+    def test_continuous_query_expiry_and_cancel(self, bridge):
+        from repro.errors import SqlError
+
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        cq = bridge.continuous(q, horizon=3)
+        bridge.layer.db.clock.tick(5)
+        assert cq.current() == set()
+        cq.cancel()
+        cq.cancel()
+        with pytest.raises(SqlError):
+            cq.current()
+
+    def test_continuous_answer_tuples(self, bridge):
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        cq = bridge.continuous(q, horizon=60)
+        tuples = {t.values[0]: (t.begin, t.end) for t in cq.answer_tuples()}
+        assert tuples[("fast")] == (5, 15)
+
+    def test_scalar_dynamic_in_query(self, bridge):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE ALWAYS FOR 30 o.fuel >= 20"
+        )
+        result = bridge.evaluate(q, horizon=60)
+        # fast: 50 - t >= 20 until t=30 (window fits) -> satisfied at 0.
+        # slow: 90 - 0.5t stays >= 20 for 140 ticks -> satisfied.
+        # parked: fuel 10 < 20 -> not satisfied.
+        assert result == {("fast",), ("slow",)}

@@ -1,0 +1,159 @@
+"""Unit tests for the MOST database (updates, log, timelines)."""
+
+import pytest
+
+from repro.core import DynamicAttribute, MostDatabase, ObjectClass
+from repro.errors import SchemaError
+from repro.geometry import Point
+from repro.motion import LinearFunction
+from repro.spatial import Ball, Polygon
+
+
+@pytest.fixture
+def db() -> MostDatabase:
+    database = MostDatabase()
+    database.create_class(
+        ObjectClass("cars", static_attributes=("plate",), spatial_dimensions=2)
+    )
+    database.create_class(ObjectClass("motels", static_attributes=("price",)))
+    return database
+
+
+class TestCatalog:
+    def test_duplicate_class(self, db):
+        with pytest.raises(SchemaError):
+            db.create_class(ObjectClass("cars"))
+
+    def test_unknown_class(self, db):
+        with pytest.raises(SchemaError):
+            db.object_class("planes")
+        with pytest.raises(SchemaError):
+            db.objects_of("planes")
+
+    def test_class_names(self, db):
+        assert set(db.class_names()) == {"cars", "motels"}
+
+    def test_regions(self, db):
+        db.define_region("P", Polygon.rectangle(0, 0, 1, 1))
+        db.define_region("C", Ball(Point(0, 0), 5))
+        assert isinstance(db.region("P"), Polygon)
+        with pytest.raises(SchemaError):
+            db.define_region("P", Ball(Point(0, 0), 1))
+        with pytest.raises(SchemaError):
+            db.region("missing")
+
+
+class TestObjects:
+    def test_add_moving_object(self, db):
+        obj = db.add_moving_object(
+            "cars", "RWW860", Point(0, 0), Point(3, 4), static={"plate": "RWW860"}
+        )
+        assert obj.position_at(1) == Point(3, 4)
+        assert len(db) == 1
+        assert db.get("RWW860") is obj
+        assert [o.object_id for o in db.objects_of("cars")] == ["RWW860"]
+
+    def test_add_stationary_by_default(self, db):
+        obj = db.add_moving_object("cars", "c1", Point(5, 5))
+        assert obj.moving_point().is_static
+
+    def test_duplicate_id(self, db):
+        db.add_moving_object("cars", "c1", Point(0, 0))
+        with pytest.raises(SchemaError):
+            db.add_moving_object("cars", "c1", Point(1, 1))
+
+    def test_add_to_non_spatial_class(self, db):
+        with pytest.raises(SchemaError):
+            db.add_moving_object("motels", "m1", Point(0, 0))
+
+    def test_dimension_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            db.add_moving_object("cars", "c1", Point(0, 0, 0))
+
+    def test_plain_object(self, db):
+        db.add_object("motels", "m1", static={"price": 80})
+        assert db.get("m1").static_value("price") == 80
+
+    def test_unknown_object(self, db):
+        with pytest.raises(SchemaError):
+            db.get("ghost")
+
+    def test_all_objects(self, db):
+        db.add_moving_object("cars", "c1", Point(0, 0))
+        db.add_object("motels", "m1")
+        assert {o.object_id for o in db.all_objects()} == {"c1", "m1"}
+
+
+class TestUpdates:
+    def test_update_motion_at_clock_time(self, db):
+        db.add_moving_object("cars", "c1", Point(0, 0), Point(5, 0))
+        db.clock.tick(2)
+        db.update_motion("c1", Point(0, 7))
+        obj = db.get("c1")
+        # Position continuous at the update: (10, 0) at t=2.
+        assert obj.position_at(2) == Point(10, 0)
+        assert obj.position_at(3) == Point(10, 7)
+
+    def test_update_motion_with_position_fix(self, db):
+        db.add_moving_object("cars", "c1", Point(0, 0), Point(5, 0))
+        db.clock.tick(1)
+        db.update_motion("c1", Point(0, 0), position=Point(100, 100))
+        assert db.get("c1").position_at(5) == Point(100, 100)
+
+    def test_update_motion_dim_mismatch(self, db):
+        db.add_moving_object("cars", "c1", Point(0, 0))
+        with pytest.raises(SchemaError):
+            db.update_motion("c1", Point(1, 2, 3))
+
+    def test_update_static_logged(self, db):
+        db.add_object("motels", "m1", static={"price": 80})
+        db.clock.tick(3)
+        db.update_static("m1", "price", 95)
+        assert db.get("m1").static_value("price") == 95
+        last = db.log[-1]
+        assert last.time == 3
+        assert last.old == 80
+        assert last.new == 95
+
+    def test_update_dynamic_logged(self, db):
+        db.add_moving_object("cars", "c1", Point(0, 0), Point(5, 0))
+        db.clock.tick(2)
+        db.update_dynamic("c1", "x_position", function=LinearFunction(9))
+        last = db.log[-1]
+        assert isinstance(last.old, DynamicAttribute)
+        assert isinstance(last.new, DynamicAttribute)
+        assert last.new.speed == 9
+        assert last.new.updatetime == 2
+
+    def test_listener_notified_and_unsubscribed(self, db):
+        db.add_object("motels", "m1", static={"price": 80})
+        seen = []
+        unsub = db.on_update(seen.append)
+        db.update_static("m1", "price", 90)
+        unsub()
+        unsub()
+        db.update_static("m1", "price", 95)
+        assert len(seen) == 1
+
+
+class TestTimelines:
+    def test_timeline_of_never_updated_attribute(self, db):
+        db.add_moving_object("cars", "c1", Point(0, 0), Point(5, 0))
+        timeline = db.attribute_timeline("c1", "x_position")
+        assert len(timeline) == 1
+        assert timeline[0][0] == 0.0
+        assert timeline[0][1].speed == 5
+
+    def test_timeline_after_updates(self, db):
+        # The section 2.3 scenario: speed 5, then 7 at time 1, then 10 at 2.
+        db.add_moving_object("cars", "o", Point(0, 0), Point(5, 0))
+        db.clock.tick(1)
+        db.update_dynamic("o", "x_position", function=LinearFunction(7))
+        db.clock.tick(1)
+        db.update_dynamic("o", "x_position", function=LinearFunction(10))
+        timeline = db.attribute_timeline("o", "x_position")
+        assert [(t, v.speed) for t, v in timeline] == [
+            (0.0, 5.0),
+            (1, 7.0),
+            (2, 10.0),
+        ]

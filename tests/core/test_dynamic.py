@@ -1,0 +1,97 @@
+"""Unit tests for dynamic attributes (section 2.1 semantics)."""
+
+import pytest
+
+from repro.core import DynamicAttribute
+from repro.errors import MotionError
+from repro.motion import LinearFunction, PiecewiseLinearFunction, SinusoidFunction
+
+
+class TestConstruction:
+    def test_triple(self):
+        a = DynamicAttribute(value=3.0, updatetime=2.0, function=LinearFunction(5))
+        assert a.value == 3.0
+        assert a.updatetime == 2.0
+        assert a.function == LinearFunction(5)
+
+    def test_function_zero_at_zero_enforced(self):
+        class Bad:
+            def value(self, t):
+                return t + 1
+
+            is_linear = True
+
+            def linear_breakpoints(self, duration):
+                return [(0.0, 1.0)]
+
+        with pytest.raises(MotionError):
+            DynamicAttribute(value=0, function=Bad())
+
+    def test_static_factory(self):
+        a = DynamicAttribute.static(7.0)
+        assert a.value_at(100) == 7.0
+
+    def test_linear_factory(self):
+        a = DynamicAttribute.linear(10.0, 5.0, updatetime=2.0)
+        assert a.value_at(2) == 10.0
+        assert a.value_at(4) == 20.0
+
+
+class TestEvaluation:
+    def test_paper_rule(self):
+        # Value at updatetime + t0 is value + function(t0).
+        a = DynamicAttribute(value=1.0, updatetime=3.0, function=LinearFunction(2))
+        assert a.value_at(3) == 1.0
+        assert a.value_at(5) == 5.0
+
+    def test_speed(self):
+        assert DynamicAttribute.linear(0, 5).speed == 5
+        with pytest.raises(MotionError):
+            DynamicAttribute(0, function=SinusoidFunction(1, 1)).speed
+
+    def test_sub_attribute_access(self):
+        a = DynamicAttribute(value=1.0, updatetime=3.0, function=LinearFunction(2))
+        assert a.sub_attribute("value") == 1.0
+        assert a.sub_attribute("updatetime") == 3.0
+        assert a.sub_attribute("function") == LinearFunction(2)
+        with pytest.raises(MotionError):
+            a.sub_attribute("speed")
+
+
+class TestUpdates:
+    def test_update_function_keeps_implied_value(self):
+        a = DynamicAttribute.linear(0.0, 5.0)
+        b = a.updated(at_time=2, function=LinearFunction(7))
+        assert b.value == 10.0
+        assert b.updatetime == 2
+        assert b.value_at(3) == 17.0
+
+    def test_update_value_keeps_function(self):
+        a = DynamicAttribute.linear(0.0, 5.0)
+        b = a.updated(at_time=2, value=100.0)
+        assert b.function == LinearFunction(5)
+        assert b.value_at(3) == 105.0
+
+    def test_update_both(self):
+        a = DynamicAttribute.linear(0.0, 5.0)
+        b = a.updated(at_time=2, value=0.0, function=LinearFunction(-1))
+        assert b.value_at(4) == -2.0
+
+    def test_update_into_past_rejected(self):
+        a = DynamicAttribute.linear(0.0, 5.0, updatetime=10)
+        with pytest.raises(MotionError):
+            a.updated(at_time=5)
+
+    def test_immutability(self):
+        a = DynamicAttribute.linear(0.0, 5.0)
+        a.updated(at_time=2, value=99.0)
+        assert a.value == 0.0
+
+    def test_piecewise_function(self):
+        f = PiecewiseLinearFunction([(0, 5), (1, 7)])
+        a = DynamicAttribute(value=0.0, function=f)
+        assert a.value_at(2) == 12.0
+
+    def test_str(self):
+        a = DynamicAttribute.linear(1.0, 5.0)
+        assert "5*t" in str(a)

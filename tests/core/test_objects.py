@@ -1,0 +1,173 @@
+"""Unit tests for object classes and objects."""
+
+import pytest
+
+from repro.core import (
+    DynamicAttribute,
+    MostObject,
+    ObjectClass,
+    X_POSITION,
+    Y_POSITION,
+    Z_POSITION,
+)
+from repro.errors import SchemaError
+from repro.geometry import Point
+from repro.motion import LinearFunction, SinusoidFunction
+
+
+def aircraft_class() -> ObjectClass:
+    return ObjectClass(
+        "aircraft",
+        static_attributes=("callsign",),
+        dynamic_attributes=("fuel",),
+        spatial_dimensions=3,
+    )
+
+
+def make_aircraft(object_id="KAL007") -> MostObject:
+    return MostObject(
+        object_id,
+        aircraft_class(),
+        static={"callsign": "KAL"},
+        dynamic={
+            "fuel": DynamicAttribute.linear(1000.0, -2.0),
+            X_POSITION: DynamicAttribute.linear(0.0, 5.0),
+            Y_POSITION: DynamicAttribute.linear(0.0, 0.0),
+            Z_POSITION: DynamicAttribute.static(30000.0),
+        },
+    )
+
+
+class TestObjectClass:
+    def test_spatial_positions(self):
+        cls = aircraft_class()
+        assert cls.is_spatial
+        assert cls.position_attributes == (X_POSITION, Y_POSITION, Z_POSITION)
+        assert cls.all_dynamic == ("fuel", X_POSITION, Y_POSITION, Z_POSITION)
+
+    def test_2d_class(self):
+        cls = ObjectClass("cars", spatial_dimensions=2)
+        assert cls.position_attributes == (X_POSITION, Y_POSITION)
+
+    def test_plain_class(self):
+        cls = ObjectClass("motels", static_attributes=("price",))
+        assert not cls.is_spatial
+        assert cls.position_attributes == ()
+
+    def test_bad_dimensions(self):
+        with pytest.raises(SchemaError):
+            ObjectClass("x", spatial_dimensions=1)
+
+    def test_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            ObjectClass("x", static_attributes=("a",), dynamic_attributes=("a",))
+        with pytest.raises(SchemaError):
+            ObjectClass(
+                "x", static_attributes=(X_POSITION,), spatial_dimensions=2
+            )
+
+    def test_is_dynamic(self):
+        cls = aircraft_class()
+        assert cls.is_dynamic("fuel")
+        assert cls.is_dynamic(X_POSITION)
+        assert not cls.is_dynamic("callsign")
+
+    def test_has_attribute(self):
+        cls = aircraft_class()
+        assert cls.has_attribute("callsign")
+        assert cls.has_attribute(Z_POSITION)
+        assert not cls.has_attribute("nope")
+
+
+class TestMostObject:
+    def test_construction_requires_all_dynamic(self):
+        with pytest.raises(SchemaError):
+            MostObject("a", aircraft_class(), dynamic={})
+
+    def test_unknown_static_rejected(self):
+        cls = ObjectClass("plain", static_attributes=("a",))
+        with pytest.raises(SchemaError):
+            MostObject("x", cls, static={"b": 1})
+
+    def test_unknown_dynamic_rejected(self):
+        cls = ObjectClass("plain")
+        with pytest.raises(SchemaError):
+            MostObject("x", cls, dynamic={"zap": DynamicAttribute.static(1)})
+
+    def test_static_value(self):
+        obj = make_aircraft()
+        assert obj.static_value("callsign") == "KAL"
+        with pytest.raises(SchemaError):
+            obj.static_value("fuel")
+
+    def test_dynamic_attribute(self):
+        obj = make_aircraft()
+        assert obj.dynamic_attribute("fuel").speed == -2.0
+        with pytest.raises(SchemaError):
+            obj.dynamic_attribute("callsign")
+
+    def test_value_at_dispatch(self):
+        obj = make_aircraft()
+        assert obj.value_at("callsign", 99) == "KAL"
+        assert obj.value_at("fuel", 10) == 980.0
+        assert obj.value_at(X_POSITION, 2) == 10.0
+
+    def test_position_at(self):
+        obj = make_aircraft()
+        assert obj.position_at(2) == Point(10.0, 0.0, 30000.0)
+
+    def test_moving_point(self):
+        mp = make_aircraft().moving_point()
+        assert mp.position_at(2) == Point(10.0, 0.0, 30000.0)
+        assert mp.velocity == Point(5.0, 0.0, 0.0)
+
+    def test_moving_point_mixed_updatetimes(self):
+        cls = ObjectClass("cars", spatial_dimensions=2)
+        obj = MostObject(
+            "c",
+            cls,
+            dynamic={
+                X_POSITION: DynamicAttribute.linear(0.0, 1.0, updatetime=0),
+                Y_POSITION: DynamicAttribute.linear(5.0, 2.0, updatetime=3),
+            },
+        )
+        mp = obj.moving_point()
+        assert mp.anchor_time == 3
+        # x has moved 3 units by the anchor; y starts at its own value.
+        assert mp.position_at(3) == Point(3.0, 5.0)
+        assert mp.position_at(4) == Point(4.0, 7.0)
+
+    def test_moving_point_mixed_updatetimes_nonlinear(self):
+        import math
+
+        cls = ObjectClass("cars", spatial_dimensions=2)
+        obj = MostObject(
+            "c",
+            cls,
+            dynamic={
+                X_POSITION: DynamicAttribute(
+                    0.0, updatetime=0, function=SinusoidFunction(2, 0.5)
+                ),
+                Y_POSITION: DynamicAttribute.linear(0.0, 1.0, updatetime=4),
+            },
+        )
+        mp = obj.moving_point()
+        # MovingPoint evaluation must agree with per-attribute evaluation.
+        for t in (4, 5, 7.5, 10):
+            assert mp.position_at(t).x == pytest.approx(
+                obj.value_at(X_POSITION, t)
+            )
+            assert mp.position_at(t).y == pytest.approx(
+                obj.value_at(Y_POSITION, t)
+            )
+
+    def test_non_spatial_has_no_position(self):
+        cls = ObjectClass("motels", static_attributes=("price",))
+        obj = MostObject("m", cls, static={"price": 10})
+        with pytest.raises(SchemaError):
+            obj.position_at(0)
+        with pytest.raises(SchemaError):
+            obj.moving_point()
+
+    def test_repr(self):
+        assert "aircraft" in repr(make_aircraft())

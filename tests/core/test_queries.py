@@ -1,0 +1,176 @@
+"""Tests for the three query types of section 2.3.
+
+The centrepiece is the paper's own discriminating scenario: the
+speed-doubling query ``R`` retrieves object ``o`` only when entered as a
+*persistent* query, at time 2 — never as instantaneous or continuous.
+"""
+
+import pytest
+
+from repro.core import (
+    ContinuousQuery,
+    InstantaneousQuery,
+    MostDatabase,
+    ObjectClass,
+    PersistentQuery,
+)
+from repro.errors import QueryError
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.motion import LinearFunction
+from repro.spatial import Polygon
+
+
+@pytest.fixture
+def db() -> MostDatabase:
+    database = MostDatabase()
+    database.create_class(
+        ObjectClass("cars", static_attributes=("plate",), spatial_dimensions=2)
+    )
+    database.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+    return database
+
+
+def add_car(db, object_id, x, vx, y=5.0):
+    db.add_moving_object(
+        "cars", object_id, Point(x, y), Point(vx, 0), static={"plate": object_id}
+    )
+
+
+ENTER_P = "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 3 INSIDE(o, P)"
+
+
+class TestInstantaneous:
+    def test_enter_polygon_within_3(self, db):
+        add_car(db, "near", -2, 1)   # enters P at t=2
+        add_car(db, "far", -20, 1)   # enters P at t=20
+        add_car(db, "inside", 5, 0)  # already inside
+        q = InstantaneousQuery(parse_query(ENTER_P), horizon=30)
+        assert q.evaluate(db) == {("near",), ("inside",)}
+
+    def test_answer_depends_on_entry_time(self, db):
+        add_car(db, "far", -20, 1)
+        q = InstantaneousQuery(parse_query(ENTER_P), horizon=30)
+        assert q.evaluate(db) == set()
+        db.clock.tick(18)  # now t=18; car at -2, enters at 20, within 3
+        assert q.evaluate(db) == {("far",)}
+
+    def test_methods_agree(self, db):
+        add_car(db, "a", -2, 1)
+        add_car(db, "b", -9, 2)
+        q = InstantaneousQuery(parse_query(ENTER_P), horizon=15)
+        assert q.evaluate(db, method="interval") == q.evaluate(db, method="naive")
+
+    def test_negative_horizon(self, db):
+        with pytest.raises(QueryError):
+            InstantaneousQuery(parse_query(ENTER_P), horizon=-1)
+
+
+class TestContinuous:
+    def test_single_evaluation_under_ticks(self, db):
+        add_car(db, "near", -2, 1)
+        cq = ContinuousQuery(db, parse_query(ENTER_P), horizon=30)
+        assert cq.evaluations == 1
+        db.clock.tick(10)
+        # Re-display is interval lookup only: no reevaluation on ticks.
+        assert cq.evaluations == 1
+
+    def test_display_changes_without_updates(self, db):
+        add_car(db, "far", -20, 1)  # enters P at 20, leaves at 30
+        cq = ContinuousQuery(db, parse_query(ENTER_P), horizon=60)
+        assert cq.current() == set()
+        db.clock.tick(17)  # within-3 window reaches t=20
+        assert cq.current() == {("far",)}
+
+    def test_reevaluated_on_relevant_update(self, db):
+        add_car(db, "car", -20, 1)
+        cq = ContinuousQuery(db, parse_query(ENTER_P), horizon=60)
+        assert cq.current() == set()
+        db.update_motion("car", Point(10, 0))  # now enters at t=2
+        assert cq.current() == {("car",)}
+        # Lazy revalidation coalesces the per-axis updates into one.
+        assert cq.evaluations == 2
+
+    def test_answer_tuples_shape(self, db):
+        add_car(db, "near", -2, 1)  # inside P during [2, 12]
+        cq = ContinuousQuery(db, parse_query(ENTER_P), horizon=40)
+        tuples = cq.answer_tuples()
+        assert len(tuples) == 1
+        # Eventually-within-3 of inside [2,12] is [0, 12] from entry 0.
+        assert tuples[0].values == ("near",)
+        assert tuples[0].begin == 0
+        assert tuples[0].end == 12
+        assert tuples[0].active_at(5)
+        assert not tuples[0].active_at(13)
+
+    def test_expiry(self, db):
+        add_car(db, "inside", 5, 0)
+        cq = ContinuousQuery(db, parse_query(ENTER_P), horizon=5)
+        assert cq.current() == {("inside",)}
+        db.clock.tick(6)
+        assert cq.current() == set()
+
+    def test_cancel(self, db):
+        add_car(db, "car", -2, 1)
+        cq = ContinuousQuery(db, parse_query(ENTER_P), horizon=30)
+        cq.cancel()
+        cq.cancel()
+        db.update_motion("car", Point(9, 9))
+        assert cq.evaluations == 1
+        with pytest.raises(QueryError):
+            cq.current()
+
+
+SPEED_DOUBLES = (
+    "RETRIEVE o FROM cars o WHERE [x := o.x_position.function]"
+    " EVENTUALLY o.x_position.function >= 2 * x"
+)
+
+
+class TestPersistentSection23:
+    """The paper's query R: 'retrieve the objects whose speed in the
+    direction of the X-axis doubles within 10 minutes'."""
+
+    def _setup(self, db):
+        # At time 0 the function is 5t; at 1 it becomes 7t; at 2 it is 10t.
+        add_car(db, "o", 0, 5)
+
+    def test_instantaneous_never_retrieves(self, db):
+        self._setup(db)
+        q = InstantaneousQuery(parse_query(SPEED_DOUBLES), horizon=10)
+        assert q.evaluate(db) == set()
+        db.clock.tick(1)
+        db.update_dynamic("o", "x_position", function=LinearFunction(7))
+        db.clock.tick(1)
+        db.update_dynamic("o", "x_position", function=LinearFunction(10))
+        # Even after the updates: along any *future* history the speed is
+        # constant, so the instantaneous query still returns nothing.
+        assert q.evaluate(db) == set()
+
+    def test_persistent_retrieves_at_time_2(self, db):
+        self._setup(db)
+        pq = PersistentQuery(db, parse_query(SPEED_DOUBLES), horizon=10)
+        assert pq.current() == set()
+        db.clock.tick(1)
+        db.update_dynamic("o", "x_position", function=LinearFunction(7))
+        assert pq.current() == set()  # 7 < 2 * 5
+        db.clock.tick(1)
+        db.update_dynamic("o", "x_position", function=LinearFunction(10))
+        assert pq.current() == {("o",)}  # 10 >= 2 * 5 at time 2
+
+    def test_persistent_change_notification(self, db):
+        self._setup(db)
+        pq = PersistentQuery(db, parse_query(SPEED_DOUBLES), horizon=10)
+        changes = []
+        pq.on_change(changes.append)
+        db.clock.tick(2)
+        db.update_dynamic("o", "x_position", function=LinearFunction(10))
+        assert changes == [{("o",)}]
+
+    def test_persistent_cancel(self, db):
+        self._setup(db)
+        pq = PersistentQuery(db, parse_query(SPEED_DOUBLES), horizon=10)
+        evaluations = pq.evaluations
+        pq.cancel()
+        db.update_dynamic("o", "x_position", function=LinearFunction(10))
+        assert pq.evaluations == evaluations

@@ -1,0 +1,94 @@
+"""Unit tests for temporal triggers (section 2.3)."""
+
+import pytest
+
+from repro.core import (
+    ContinuousQuery,
+    MostDatabase,
+    ObjectClass,
+    PersistentQuery,
+    TemporalTrigger,
+)
+from repro.errors import QueryError
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.motion import LinearFunction
+from repro.spatial import Polygon
+
+
+@pytest.fixture
+def db() -> MostDatabase:
+    database = MostDatabase()
+    database.create_class(ObjectClass("cars", spatial_dimensions=2))
+    database.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+    return database
+
+
+INSIDE_P = "RETRIEVE o FROM cars o WHERE INSIDE(o, P)"
+
+
+class TestContinuousTrigger:
+    def test_fires_on_entry_by_motion(self, db):
+        db.add_moving_object("cars", "c1", Point(-3, 5), Point(1, 0))
+        fired = []
+        cq = ContinuousQuery(db, parse_query(INSIDE_P), horizon=50)
+        trigger = TemporalTrigger(db, cq, on_enter=fired.append)
+        assert fired == []
+        db.clock.tick(2)
+        assert fired == []
+        db.clock.tick(1)  # t=3: x=0, on the boundary -> inside
+        assert fired == [("c1",)]
+        assert trigger.firings == 1
+
+    def test_fires_immediately_for_already_satisfied(self, db):
+        db.add_moving_object("cars", "c1", Point(5, 5))
+        fired = []
+        cq = ContinuousQuery(db, parse_query(INSIDE_P), horizon=50)
+        TemporalTrigger(db, cq, on_enter=fired.append)
+        assert fired == [("c1",)]
+
+    def test_on_leave(self, db):
+        db.add_moving_object("cars", "c1", Point(9, 5), Point(1, 0))
+        entered, left = [], []
+        cq = ContinuousQuery(db, parse_query(INSIDE_P), horizon=50)
+        TemporalTrigger(db, cq, on_enter=entered.append, on_leave=left.append)
+        db.clock.tick(3)  # leaves at t > 1
+        assert entered == [("c1",)]
+        assert left == [("c1",)]
+
+    def test_fires_on_update(self, db):
+        db.add_moving_object("cars", "c1", Point(50, 50))
+        fired = []
+        cq = ContinuousQuery(db, parse_query(INSIDE_P), horizon=50)
+        TemporalTrigger(db, cq, on_enter=fired.append)
+        db.update_motion("c1", Point(0, 0), position=Point(5, 5))
+        assert fired == [("c1",)]
+
+    def test_cancel(self, db):
+        db.add_moving_object("cars", "c1", Point(-3, 5), Point(1, 0))
+        fired = []
+        cq = ContinuousQuery(db, parse_query(INSIDE_P), horizon=50)
+        trigger = TemporalTrigger(db, cq, on_enter=fired.append)
+        trigger.cancel()
+        trigger.cancel()
+        db.clock.tick(10)
+        assert fired == []
+
+    def test_rejects_wrong_query_type(self, db):
+        with pytest.raises(QueryError):
+            TemporalTrigger(db, object(), on_enter=lambda i: None)
+
+
+class TestPersistentTrigger:
+    def test_fires_when_persistent_answer_changes(self, db):
+        db.add_moving_object("cars", "o", Point(0, 5), Point(5, 0))
+        query = parse_query(
+            "RETRIEVE o FROM cars o WHERE [x := o.x_position.function]"
+            " EVENTUALLY o.x_position.function >= 2 * x"
+        )
+        pq = PersistentQuery(db, query, horizon=10)
+        fired = []
+        TemporalTrigger(db, pq, on_enter=fired.append)
+        db.clock.tick(2)
+        db.update_dynamic("o", "x_position", function=LinearFunction(10))
+        assert fired == [("o",)]

@@ -1,0 +1,155 @@
+"""Unit + property tests for the B+-tree index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.indexes import BPlusTree
+from repro.errors import IndexError_
+
+
+class TestBasics:
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=3)
+
+    def test_empty(self):
+        t = BPlusTree()
+        assert len(t) == 0
+        assert t.search(5) == []
+        assert list(t.range(None, None)) == []
+        assert t.height == 1
+
+    def test_insert_search(self):
+        t = BPlusTree(order=4)
+        for k in [5, 3, 8, 1, 9, 7]:
+            t.insert(k, f"v{k}")
+        assert t.search(8) == ["v8"]
+        assert t.search(42) == []
+        assert len(t) == 6
+
+    def test_duplicates(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert sorted(t.search(1)) == ["a", "b"]
+        assert len(t) == 2
+
+    def test_range(self):
+        t = BPlusTree(order=4)
+        for k in range(20):
+            t.insert(k, k * 10)
+        assert [k for k, _v in t.range(5, 9)] == [5, 6, 7, 8, 9]
+        assert [v for _k, v in t.range(18, None)] == [180, 190]
+        assert [k for k, _v in t.range(None, 2)] == [0, 1, 2]
+        assert list(t.range(9, 5)) == []
+
+    def test_keys_sorted(self):
+        t = BPlusTree(order=4)
+        for k in [9, 2, 7, 4, 0]:
+            t.insert(k, None)
+        assert t.keys() == [0, 2, 4, 7, 9]
+
+    def test_grows_in_height(self):
+        t = BPlusTree(order=4)
+        for k in range(100):
+            t.insert(k, k)
+        assert t.height >= 3
+        t.check_invariants()
+
+    def test_delete(self):
+        t = BPlusTree(order=4)
+        for k in range(10):
+            t.insert(k, k)
+        assert t.delete(5, 5)
+        assert t.search(5) == []
+        assert not t.delete(5, 5)
+        assert not t.delete(99, 0)
+        assert len(t) == 9
+        t.check_invariants()
+
+    def test_delete_one_duplicate(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert t.delete(1, "a")
+        assert t.search(1) == ["b"]
+
+    def test_delete_wrong_value(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "a")
+        assert not t.delete(1, "z")
+
+    def test_drain_completely(self):
+        t = BPlusTree(order=4)
+        keys = list(range(50))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        random.Random(2).shuffle(keys)
+        for k in keys:
+            assert t.delete(k, k)
+            t.check_invariants()
+        assert len(t) == 0
+        assert t.keys() == []
+
+    def test_string_keys(self):
+        t = BPlusTree(order=4)
+        for w in ["pear", "apple", "fig", "date"]:
+            t.insert(w, w.upper())
+        assert [k for k, _ in t.range("b", "f")] == ["date"]
+
+    def test_logarithmic_height(self):
+        t = BPlusTree(order=32)
+        for k in range(10_000):
+            t.insert(k, None)
+        # 32-ary tree over 10k keys: height well under 5.
+        assert t.height <= 4
+
+
+# ---------------------------------------------------------------------------
+# Property tests vs a sorted reference list
+# ---------------------------------------------------------------------------
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops, st.integers(min_value=4, max_value=9))
+def test_matches_reference_multiset(operations, order):
+    tree = BPlusTree(order=order)
+    reference: list[int] = []
+    for op, key in operations:
+        if op == "insert":
+            tree.insert(key, key)
+            reference.append(key)
+        else:
+            expected = key in reference
+            assert tree.delete(key, key) == expected
+            if expected:
+                reference.remove(key)
+    tree.check_invariants()
+    assert sorted(reference) == [k for k, _v in tree.items()]
+    assert len(tree) == len(reference)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), max_size=80),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_range_matches_reference(keys, lo, hi):
+    tree = BPlusTree(order=5)
+    for k in keys:
+        tree.insert(k, k)
+    got = [k for k, _v in tree.range(lo, hi)]
+    want = sorted(k for k in keys if lo <= k <= hi)
+    assert got == want

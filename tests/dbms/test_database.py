@@ -1,0 +1,264 @@
+"""End-to-end tests of the DBMS: SQL in, relations out."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms import Database
+from repro.errors import SchemaError, SqlError
+from repro.temporal import SimulationClock
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE motels (id INT PRIMARY KEY, name STRING, price FLOAT, city STRING)"
+    )
+    database.execute(
+        "INSERT INTO motels VALUES "
+        "(1, 'Inn', 80.0, 'Springfield'), "
+        "(2, 'Lodge', 120.0, 'Springfield'), "
+        "(3, 'Grand', 300.0, 'Shelbyville'), "
+        "(4, 'Budget', 45.0, 'Shelbyville')"
+    )
+    return database
+
+
+class TestBasicSelect:
+    def test_select_star(self, db):
+        rel = db.query("SELECT * FROM motels")
+        assert len(rel) == 4
+        assert rel.schema.names == ("id", "name", "price", "city")
+
+    def test_select_columns(self, db):
+        rel = db.query("SELECT name, price FROM motels WHERE price < 100")
+        assert rel.to_set() == {("Inn", 80.0), ("Budget", 45.0)}
+
+    def test_select_expression_with_alias(self, db):
+        rel = db.query("SELECT price * 2 AS doubled FROM motels WHERE id = 1")
+        assert rel.scalar() == 160.0
+
+    def test_select_boolean_combination(self, db):
+        rel = db.query(
+            "SELECT id FROM motels WHERE city = 'Springfield' AND price <= 100 OR id = 3"
+        )
+        assert set(rel.column("id")) == {1, 3}
+
+    def test_select_not(self, db):
+        rel = db.query("SELECT id FROM motels WHERE NOT city = 'Springfield'")
+        assert set(rel.column("id")) == {3, 4}
+
+    def test_qualified_references(self, db):
+        rel = db.query("SELECT m.name FROM motels m WHERE m.id = 2")
+        assert rel.column("m.name") == ["Lodge"]
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT * FROM nothing")
+
+    def test_duplicate_output_names(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT id, id FROM motels")
+
+    def test_query_rejects_non_select(self, db):
+        with pytest.raises(SqlError):
+            db.query("DELETE FROM motels")
+
+    def test_scalar_shape_enforced(self, db):
+        with pytest.raises(SchemaError):
+            db.query("SELECT id FROM motels").scalar()
+
+
+class TestJoins:
+    @pytest.fixture
+    def jdb(self, db):
+        db.execute("CREATE TABLE bookings (bid INT PRIMARY KEY, motel_id INT, nights INT)")
+        db.execute(
+            "INSERT INTO bookings VALUES (10, 1, 2), (11, 1, 1), (12, 3, 5)"
+        )
+        return db
+
+    def test_equi_join(self, jdb):
+        rel = jdb.query(
+            "SELECT m.name, b.nights FROM motels m, bookings b WHERE m.id = b.motel_id"
+        )
+        assert rel.to_set() == {("Inn", 2), ("Inn", 1), ("Grand", 5)}
+
+    def test_join_with_extra_filter(self, jdb):
+        rel = jdb.query(
+            "SELECT b.bid FROM motels m, bookings b "
+            "WHERE m.id = b.motel_id AND m.price > 100"
+        )
+        assert rel.column("b.bid") == [12]
+
+    def test_cross_product(self, jdb):
+        rel = jdb.query("SELECT m.id, b.bid FROM motels m, bookings b")
+        assert len(rel) == 12
+
+    def test_three_way_join(self, jdb):
+        jdb.execute("CREATE TABLE cities (cname STRING PRIMARY KEY, state STRING)")
+        jdb.execute(
+            "INSERT INTO cities VALUES ('Springfield', 'IL'), ('Shelbyville', 'IL')"
+        )
+        rel = jdb.query(
+            "SELECT m.name, c.state, b.nights FROM motels m, bookings b, cities c "
+            "WHERE m.id = b.motel_id AND m.city = c.cname AND b.nights > 1"
+        )
+        assert rel.to_set() == {("Inn", "IL", 2), ("Grand", "IL", 5)}
+
+    def test_self_join_with_aliases(self, jdb):
+        rel = jdb.query(
+            "SELECT a.id, b.id FROM motels a, motels b "
+            "WHERE a.city = b.city AND a.id < b.id"
+        )
+        assert rel.to_set() == {(1, 2), (3, 4)}
+
+    def test_duplicate_binding_rejected(self, jdb):
+        with pytest.raises(SqlError):
+            jdb.query("SELECT * FROM motels, motels")
+
+    def test_select_star_join_qualifies_columns(self, jdb):
+        rel = jdb.query(
+            "SELECT * FROM motels m, bookings b WHERE m.id = b.motel_id"
+        )
+        assert "m.id" in rel.schema.names
+        assert "b.bid" in rel.schema.names
+
+
+class TestIndexUsage:
+    def test_index_eq_scan_reduces_rows_scanned(self, db):
+        db.create_index("motels", "city", kind="hash")
+        db.stats.reset()
+        rel = db.query("SELECT id FROM motels WHERE city = 'Springfield'")
+        assert set(rel.column("id")) == {1, 2}
+        assert db.stats.index_lookups == 1
+        assert db.stats.rows_scanned == 2  # only matching rows fetched
+
+    def test_index_range_scan(self, db):
+        db.create_index("motels", "price")
+        db.stats.reset()
+        rel = db.query("SELECT id FROM motels WHERE price >= 100")
+        assert set(rel.column("id")) == {2, 3}
+        assert db.stats.index_lookups == 1
+
+    def test_strict_range_excludes_boundary(self, db):
+        db.create_index("motels", "price")
+        rel = db.query("SELECT id FROM motels WHERE price > 120")
+        assert set(rel.column("id")) == {3}
+
+    def test_reversed_literal_comparison(self, db):
+        db.create_index("motels", "price")
+        db.stats.reset()
+        rel = db.query("SELECT id FROM motels WHERE 100 <= price")
+        assert set(rel.column("id")) == {2, 3}
+        assert db.stats.index_lookups == 1
+
+    def test_no_index_full_scan(self, db):
+        db.stats.reset()
+        db.query("SELECT id FROM motels WHERE city = 'Springfield'")
+        assert db.stats.index_lookups == 0
+        assert db.stats.rows_scanned == 4
+
+
+class TestMutations:
+    def test_update(self, db):
+        n = db.execute("UPDATE motels SET price = price + 10 WHERE city = 'Springfield'")
+        assert n == 2
+        rel = db.query("SELECT price FROM motels WHERE id = 1")
+        assert rel.scalar() == 90.0
+
+    def test_update_all(self, db):
+        assert db.execute("UPDATE motels SET price = 1.0") == 4
+
+    def test_delete(self, db):
+        assert db.execute("DELETE FROM motels WHERE price > 100") == 2
+        assert len(db.query("SELECT * FROM motels")) == 2
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM motels") == 4
+
+    def test_insert_with_columns(self, db):
+        db.execute("INSERT INTO motels (id, name) VALUES (9, 'Partial')")
+        rel = db.query("SELECT price FROM motels WHERE id = 9")
+        assert rel.rows[0][0] is None
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO motels (id, name) VALUES (9)")
+
+    def test_null_filtered_from_where(self, db):
+        db.execute("INSERT INTO motels (id, name) VALUES (9, 'NullPrice')")
+        rel = db.query("SELECT id FROM motels WHERE price < 1000")
+        assert 9 not in rel.column("id")
+
+
+class TestUpdateLog:
+    def test_mutations_are_logged(self, db):
+        start = len(db.log)
+        db.execute("UPDATE motels SET price = 0.0 WHERE id = 1")
+        db.execute("DELETE FROM motels WHERE id = 2")
+        db.execute("INSERT INTO motels VALUES (9, 'New', 1.0, 'X')")
+        ops = [r.op for r in db.log][start:]
+        assert ops == ["update", "delete", "insert"]
+        keys = [r.key for r in db.log][start:]
+        assert keys == [1, 2, 9]
+
+    def test_log_timestamps_follow_clock(self):
+        clock = SimulationClock()
+        db = Database(clock=clock)
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        clock.tick(5)
+        db.execute("INSERT INTO t VALUES (2)")
+        times = [r.time for r in db.log]
+        assert times == [0, 5]
+
+    def test_subscriber_sees_update(self, db):
+        seen = []
+        db.log.subscribe(seen.append)
+        db.execute("UPDATE motels SET price = 5.0 WHERE id = 3")
+        assert len(seen) == 1
+        assert seen[0].old[2] == 300.0
+        assert seen[0].new[2] == 5.0
+
+
+class TestCatalog:
+    def test_tables(self, db):
+        assert db.tables() == ["motels"]
+        assert db.has_table("motels")
+        assert not db.has_table("x")
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(SqlError):
+            db.execute("CREATE TABLE motels (a INT)")
+
+    def test_unknown_table_access(self, db):
+        with pytest.raises(SqlError):
+            db.table("zap")
+
+
+# ---------------------------------------------------------------------------
+# Property test: planner+executor vs brute-force evaluation
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=25,
+    ),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=5),
+)
+def test_filter_matches_bruteforce(rows, a_bound, b_eq):
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    db.create_index("t", "a")
+    for a, b in rows:
+        db.execute(f"INSERT INTO t VALUES ({a}, {b})")
+    rel = db.query(f"SELECT a, b FROM t WHERE a <= {a_bound} AND b = {b_eq}")
+    want = sorted((a, b) for a, b in rows if a <= a_bound and b == b_eq)
+    assert sorted(rel.rows) == want

@@ -1,0 +1,131 @@
+"""Unit tests for expression trees (evaluation + atom surgery)."""
+
+import pytest
+
+from repro.dbms import And, BinOp, ColumnRef, Comparison, Literal, Not, Or
+from repro.dbms.expressions import FALSE, TRUE
+from repro.errors import SqlError
+
+
+class TestEval:
+    def test_literal(self):
+        assert Literal(5).eval({}) == 5
+        assert str(Literal("x")) == "'x'"
+
+    def test_column_ref(self):
+        env = {"t.price": 80}
+        assert ColumnRef("t.price").eval(env) == 80
+        assert ColumnRef("price").eval(env) == 80  # suffix match
+
+    def test_column_ref_ambiguous(self):
+        env = {"a.price": 1, "b.price": 2}
+        with pytest.raises(SqlError):
+            ColumnRef("price").eval(env)
+
+    def test_column_ref_unknown(self):
+        with pytest.raises(SqlError):
+            ColumnRef("zap").eval({"a.b": 1})
+
+    def test_arithmetic(self):
+        env = {"x": 10}
+        expr = BinOp("+", ColumnRef("x"), Literal(5))
+        assert expr.eval(env) == 15
+        assert BinOp("*", Literal(3), Literal(4)).eval({}) == 12
+        assert BinOp("/", Literal(10), Literal(4)).eval({}) == 2.5
+        assert BinOp("%", Literal(10), Literal(3)).eval({}) == 1
+        assert BinOp("-", Literal(10), Literal(3)).eval({}) == 7
+
+    def test_division_by_zero(self):
+        with pytest.raises(SqlError):
+            BinOp("/", Literal(1), Literal(0)).eval({})
+
+    def test_bad_operator(self):
+        with pytest.raises(SqlError):
+            BinOp("**", Literal(1), Literal(2))
+        with pytest.raises(SqlError):
+            Comparison("===", Literal(1), Literal(2))
+
+    def test_comparisons(self):
+        assert Comparison("<", Literal(1), Literal(2)).eval({}) is True
+        assert Comparison(">=", Literal(1), Literal(2)).eval({}) is False
+        assert Comparison("=", Literal("a"), Literal("a")).eval({}) is True
+        assert Comparison("!=", Literal("a"), Literal("a")).eval({}) is False
+
+    def test_incomparable(self):
+        with pytest.raises(SqlError):
+            Comparison("<", Literal("a"), Literal(1)).eval({})
+
+    def test_null_propagation(self):
+        assert Comparison("=", Literal(None), Literal(1)).eval({}) is None
+        assert BinOp("+", Literal(None), Literal(1)).eval({}) is None
+        assert Not(Literal(None)).eval({}) is None
+
+    def test_three_valued_and(self):
+        assert And(FALSE, Literal(None)).eval({}) is False
+        assert And(Literal(None), FALSE).eval({}) is False
+        assert And(TRUE, Literal(None)).eval({}) is None
+        assert And(TRUE, TRUE).eval({}) is True
+
+    def test_three_valued_or(self):
+        assert Or(TRUE, Literal(None)).eval({}) is True
+        assert Or(Literal(None), TRUE).eval({}) is True
+        assert Or(FALSE, Literal(None)).eval({}) is None
+        assert Or(FALSE, FALSE).eval({}) is False
+
+    def test_not(self):
+        assert Not(TRUE).eval({}) is False
+        assert Not(FALSE).eval({}) is True
+
+    def test_operator_sugar(self):
+        expr = (Literal(True) & Literal(False)) | ~Literal(False)
+        assert expr.eval({}) is True
+
+
+class TestStructure:
+    def atom(self, name, value):
+        return Comparison(">", ColumnRef(name), Literal(value))
+
+    def test_references(self):
+        expr = And(self.atom("a", 1), Or(self.atom("b", 2), Not(self.atom("c", 3))))
+        assert expr.references() == {"a", "b", "c"}
+        assert Literal(1).references() == set()
+
+    def test_atoms_enumeration(self):
+        p, q, r = self.atom("a", 1), self.atom("b", 2), self.atom("c", 3)
+        expr = And(p, Or(q, Not(r)))
+        assert list(expr.atoms()) == [p, q, r]
+
+    def test_atoms_of_single_atom(self):
+        p = self.atom("a", 1)
+        assert list(p.atoms()) == [p]
+
+    def test_substitute_atom(self):
+        p, q = self.atom("a", 1), self.atom("b", 2)
+        expr = And(p, q)
+        replaced = expr.substitute(p, TRUE)
+        assert replaced == And(TRUE, q)
+        # Original untouched (immutability).
+        assert expr == And(p, q)
+
+    def test_substitute_in_all_node_types(self):
+        p = self.atom("a", 1)
+        assert Not(p).substitute(p, TRUE) == Not(TRUE)
+        assert Or(p, p).substitute(p, FALSE) == Or(FALSE, FALSE)
+        arith = BinOp("+", ColumnRef("a"), Literal(1))
+        assert arith.substitute(ColumnRef("a"), Literal(9)) == BinOp(
+            "+", Literal(9), Literal(1)
+        )
+        comp = Comparison("<", ColumnRef("a"), Literal(1))
+        assert comp.substitute(ColumnRef("a"), Literal(0)) == Comparison(
+            "<", Literal(0), Literal(1)
+        )
+
+    def test_substitute_whole_tree(self):
+        p = self.atom("a", 1)
+        assert p.substitute(p, TRUE) == TRUE
+
+    def test_str_forms(self):
+        p = self.atom("a", 1)
+        assert str(And(p, p)) == "(a > 1 AND a > 1)"
+        assert str(Or(p, Not(p))) == "(a > 1 OR (NOT a > 1))"
+        assert str(BinOp("+", Literal(1), Literal(2))) == "(1 + 2)"

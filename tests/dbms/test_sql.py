@@ -1,0 +1,188 @@
+"""Unit tests for the mini-SQL lexer and parser."""
+
+import pytest
+
+from repro.dbms.expressions import And, BinOp, ColumnRef, Comparison, Literal, Not, Or
+from repro.dbms.sql import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    Update,
+    parse_expression,
+    parse_statement,
+    tokenize,
+)
+from repro.errors import SqlError
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select FROM Where")
+        assert [t.kind for t in toks[:-1]] == ["KEYWORD"] * 3
+        assert [t.value for t in toks[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers(self):
+        toks = tokenize("motels m2 _private")
+        assert all(t.kind == "IDENT" for t in toks[:-1])
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14 .5")
+        assert [t.value for t in toks[:-1]] == ["42", "3.14", ".5"]
+
+    def test_dotted_identifier_not_number(self):
+        toks = tokenize("pos.value")
+        assert [(t.kind, t.value) for t in toks[:-1]] == [
+            ("IDENT", "pos"),
+            ("SYMBOL", "."),
+            ("IDENT", "value"),
+        ]
+
+    def test_strings(self):
+        toks = tokenize("'hello world'")
+        assert toks[0].kind == "STRING"
+        assert toks[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_two_char_symbols(self):
+        toks = tokenize("<= >= != <>")
+        assert [t.value for t in toks[:-1]] == ["<=", ">=", "!=", "!="]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            tokenize("a ; b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestExpressionParsing:
+    def test_precedence_or_and(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinOp)
+        assert expr.op == "+"
+        assert expr.eval({}) == 7
+
+    def test_parentheses(self):
+        assert parse_expression("(1 + 2) * 3").eval({}) == 9
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, Not)
+
+    def test_unary_minus(self):
+        assert parse_expression("-5").eval({}) == -5
+        assert parse_expression("-(2 + 3)").eval({}) == -5
+        assert parse_expression("3 - -2").eval({}) == 5
+
+    def test_literals(self):
+        assert parse_expression("TRUE").eval({}) is True
+        assert parse_expression("FALSE").eval({}) is False
+        assert parse_expression("NULL").eval({}) is None
+        assert parse_expression("'str'").eval({}) == "str"
+
+    def test_dotted_column(self):
+        expr = parse_expression("m.pos_x.value > 5")
+        assert isinstance(expr, Comparison)
+        assert expr.left == ColumnRef("m.pos_x.value")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse_expression("1 + 2 extra junk (")
+
+    def test_unexpected_token(self):
+        with pytest.raises(SqlError):
+            parse_expression(", 5")
+
+
+class TestStatementParsing:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE motels (id INT PRIMARY KEY, name STRING, price FLOAT)"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.name == "motels"
+        assert stmt.key == "id"
+        assert [c.name for c in stmt.columns] == ["id", "name", "price"]
+
+    def test_create_table_bad_type(self):
+        with pytest.raises(SqlError):
+            parse_statement("CREATE TABLE t (a BLOB)")
+
+    def test_create_table_double_key(self):
+        with pytest.raises(SqlError):
+            parse_statement(
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)"
+            )
+
+    def test_insert(self):
+        stmt = parse_statement(
+            "INSERT INTO motels VALUES (1, 'Inn', 80.0), (2, 'Lodge', 120.0)"
+        )
+        assert isinstance(stmt, Insert)
+        assert stmt.columns is None
+        assert stmt.rows == ((1, "Inn", 80.0), (2, "Lodge", 120.0))
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, -2)")
+        assert stmt.columns == ("a", "b")
+        assert stmt.rows == ((1, -2),)
+
+    def test_insert_constant_expressions(self):
+        stmt = parse_statement("INSERT INTO t VALUES (2 + 3)")
+        assert stmt.rows == ((5,),)
+
+    def test_insert_non_constant_rejected(self):
+        with pytest.raises(SqlError):
+            parse_statement("INSERT INTO t VALUES (x + 1)")
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM motels")
+        assert isinstance(stmt, Select)
+        assert stmt.targets is None
+        assert stmt.tables[0].name == "motels"
+        assert stmt.where is None
+
+    def test_select_with_alias_and_where(self):
+        stmt = parse_statement(
+            "SELECT m.name AS motel, m.price FROM motels m WHERE m.price <= 100"
+        )
+        assert stmt.targets[0].alias == "motel"
+        assert stmt.tables[0].alias == "m"
+        assert isinstance(stmt.where, Comparison)
+
+    def test_select_join(self):
+        stmt = parse_statement(
+            "SELECT * FROM a, b WHERE a.id = b.aid AND b.price > 3"
+        )
+        assert len(stmt.tables) == 2
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = a + 1, b = 2 WHERE a < 5")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments[0][0] == "a"
+        assert stmt.assignments[1][0] == "b"
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, Delete)
+        stmt = parse_statement("DELETE FROM t")
+        assert stmt.where is None
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlError):
+            parse_statement("DROP TABLE t")
+        with pytest.raises(SqlError):
+            parse_statement("42")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse_statement("SELECT * FROM t WHERE a = 1 garbage (")

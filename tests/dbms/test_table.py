@@ -1,0 +1,198 @@
+"""Unit tests for tables, hash index, and update log."""
+
+import pytest
+
+from repro.dbms import Column, FLOAT, INT, STRING, Schema, Table, UpdateLog, UpdateRecord
+from repro.dbms.indexes import HashIndex
+from repro.errors import SchemaError
+
+
+def make_table() -> Table:
+    schema = Schema.of(("id", INT), ("name", STRING), ("price", FLOAT), key="id")
+    return Table("motels", schema)
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        t = make_table()
+        t.insert([1, "Inn", 80.0])
+        t.insert([2, "Lodge", 120.0])
+        assert len(t) == 2
+        assert t.rows() == [(1, "Inn", 80.0), (2, "Lodge", 120.0)]
+
+    def test_key_uniqueness(self):
+        t = make_table()
+        t.insert([1, "Inn", 80.0])
+        with pytest.raises(SchemaError):
+            t.insert([1, "Other", 1.0])
+
+    def test_null_key_rejected(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.insert([None, "Inn", 80.0])
+
+    def test_get_by_key(self):
+        t = make_table()
+        t.insert([7, "Inn", 80.0])
+        assert t.get_by_key(7) == (7, "Inn", 80.0)
+        assert t.get_by_key(8) is None
+
+    def test_get_stale_rowid(self):
+        t = make_table()
+        rid = t.insert([1, "Inn", 80.0])
+        t.delete_row(rid)
+        with pytest.raises(SchemaError):
+            t.get(rid)
+
+    def test_insert_mapping(self):
+        t = make_table()
+        t.insert_mapping({"id": 1, "name": "Inn"})
+        assert t.get_by_key(1) == (1, "Inn", None)
+
+    def test_update_row(self):
+        t = make_table()
+        rid = t.insert([1, "Inn", 80.0])
+        old, new = t.update_row(rid, {"price": 95.0})
+        assert old[2] == 80.0
+        assert new[2] == 95.0
+        assert t.get(rid)[2] == 95.0
+
+    def test_update_key(self):
+        t = make_table()
+        rid = t.insert([1, "Inn", 80.0])
+        t.insert([2, "Lodge", 1.0])
+        with pytest.raises(SchemaError):
+            t.update_row(rid, {"id": 2})
+        t.update_row(rid, {"id": 3})
+        assert t.get_by_key(3) is not None
+        assert t.get_by_key(1) is None
+
+    def test_delete_row(self):
+        t = make_table()
+        rid = t.insert([1, "Inn", 80.0])
+        removed = t.delete_row(rid)
+        assert removed == (1, "Inn", 80.0)
+        assert len(t) == 0
+        assert t.get_by_key(1) is None
+
+
+class TestTableIndexes:
+    def test_create_and_lookup(self):
+        t = make_table()
+        t.insert([1, "Inn", 80.0])
+        t.insert([2, "Lodge", 80.0])
+        t.insert([3, "Hotel", 200.0])
+        t.create_index("price", kind="btree")
+        rids = t.index_lookup("price", 80.0)
+        assert {t.get(r)[0] for r in rids} == {1, 2}
+
+    def test_index_backfills_existing_rows(self):
+        t = make_table()
+        t.insert([1, "Inn", 80.0])
+        t.create_index("name", kind="hash")
+        assert len(t.index_lookup("name", "Inn")) == 1
+
+    def test_index_range(self):
+        t = make_table()
+        for i in range(10):
+            t.insert([i, f"m{i}", float(i * 10)])
+        t.create_index("price")
+        rids = t.index_range("price", 25.0, 55.0)
+        assert sorted(t.get(r)[0] for r in rids) == [3, 4, 5]
+
+    def test_range_requires_btree(self):
+        t = make_table()
+        t.create_index("price", kind="hash")
+        with pytest.raises(SchemaError):
+            t.index_range("price", 0, 1)
+
+    def test_index_tracks_updates(self):
+        t = make_table()
+        rid = t.insert([1, "Inn", 80.0])
+        t.create_index("price")
+        t.update_row(rid, {"price": 300.0})
+        assert t.index_lookup("price", 80.0) == []
+        assert t.index_lookup("price", 300.0) == [rid]
+
+    def test_index_tracks_deletes(self):
+        t = make_table()
+        rid = t.insert([1, "Inn", 80.0])
+        t.create_index("price")
+        t.delete_row(rid)
+        assert t.index_lookup("price", 80.0) == []
+
+    def test_duplicate_index_rejected(self):
+        t = make_table()
+        t.create_index("price")
+        with pytest.raises(SchemaError):
+            t.create_index("price")
+
+    def test_unknown_kind(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.create_index("price", kind="bitmap")
+
+    def test_missing_index_lookup(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.index_lookup("price", 1.0)
+
+    def test_has_index(self):
+        t = make_table()
+        assert not t.has_index("price")
+        t.create_index("price")
+        assert t.has_index("price")
+
+
+class TestHashIndex:
+    def test_roundtrip(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        idx.insert("a", 2)
+        idx.insert("b", 3)
+        assert sorted(idx.search("a")) == [1, 2]
+        assert len(idx) == 3
+        assert sorted(idx.keys()) == ["a", "b"]
+
+    def test_delete(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        assert idx.delete("a", 1)
+        assert not idx.delete("a", 1)
+        assert not idx.delete("zz", 1)
+        assert idx.search("a") == []
+        assert len(idx) == 0
+
+
+class TestUpdateLog:
+    def rec(self, time, op="update", table="t"):
+        return UpdateRecord(time=time, table=table, op=op, key=1, old=None, new=None)
+
+    def test_append_and_iterate(self):
+        log = UpdateLog()
+        log.append(self.rec(1))
+        log.append(self.rec(2))
+        assert len(log) == 2
+        assert [r.time for r in log] == [1, 2]
+
+    def test_since(self):
+        log = UpdateLog()
+        for t in (1, 2, 3):
+            log.append(self.rec(t))
+        assert [r.time for r in log.since(1)] == [2, 3]
+
+    def test_for_table(self):
+        log = UpdateLog()
+        log.append(self.rec(1, table="a"))
+        log.append(self.rec(2, table="b"))
+        assert [r.time for r in log.for_table("b")] == [2]
+
+    def test_subscription(self):
+        log = UpdateLog()
+        seen = []
+        unsubscribe = log.subscribe(seen.append)
+        log.append(self.rec(1))
+        unsubscribe()
+        unsubscribe()  # idempotent
+        log.append(self.rec(2))
+        assert [r.time for r in seen] == [1]

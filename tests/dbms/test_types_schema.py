@@ -1,0 +1,120 @@
+"""Unit tests for DBMS value types and schemas."""
+
+import pytest
+
+from repro.dbms import BOOL, Column, FLOAT, INT, STRING, Schema
+from repro.errors import SchemaError
+
+
+class TestTypes:
+    def test_int(self):
+        assert INT.validate(5) == 5
+        assert INT.validate(5.0) == 5
+        assert INT.validate(None) is None
+        with pytest.raises(SchemaError):
+            INT.validate(5.5)
+        with pytest.raises(SchemaError):
+            INT.validate(True)
+        with pytest.raises(SchemaError):
+            INT.validate("5")
+
+    def test_float(self):
+        assert FLOAT.validate(5) == 5.0
+        assert isinstance(FLOAT.validate(5), float)
+        with pytest.raises(SchemaError):
+            FLOAT.validate("x")
+        with pytest.raises(SchemaError):
+            FLOAT.validate(False)
+
+    def test_string(self):
+        assert STRING.validate("hi") == "hi"
+        with pytest.raises(SchemaError):
+            STRING.validate(5)
+
+    def test_bool(self):
+        assert BOOL.validate(True) is True
+        with pytest.raises(SchemaError):
+            BOOL.validate(1)
+
+    def test_str(self):
+        assert str(INT) == "INT"
+
+
+class TestColumn:
+    def test_valid_names(self):
+        Column("price", INT)
+        Column("pos_x.value", FLOAT)  # dynamic sub-attribute convention
+
+    def test_invalid_names(self):
+        with pytest.raises(SchemaError):
+            Column("", INT)
+        with pytest.raises(SchemaError):
+            Column("a b", INT)
+
+
+class TestSchema:
+    def make(self):
+        return Schema.of(
+            ("id", INT), ("name", STRING), ("price", FLOAT), key="id"
+        )
+
+    def test_basic(self):
+        s = self.make()
+        assert s.names == ("id", "name", "price")
+        assert s.arity == 3
+        assert s.key == "id"
+        assert "name" in s
+        assert "missing" not in s
+        assert len(s) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", INT), ("a", INT))
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", INT), key="b")
+
+    def test_index_of(self):
+        s = self.make()
+        assert s.index_of("price") == 2
+        with pytest.raises(SchemaError):
+            s.index_of("nope")
+
+    def test_key_index(self):
+        assert self.make().key_index() == 0
+        with pytest.raises(SchemaError):
+            Schema.of(("a", INT)).key_index()
+
+    def test_validate_row(self):
+        s = self.make()
+        assert s.validate_row([1, "x", 2]) == (1, "x", 2.0)
+        with pytest.raises(SchemaError):
+            s.validate_row([1, "x"])
+        with pytest.raises(SchemaError):
+            s.validate_row(["x", "x", 2])
+
+    def test_row_from_mapping(self):
+        s = self.make()
+        assert s.row_from_mapping({"id": 1, "name": "a"}) == (1, "a", None)
+        with pytest.raises(SchemaError):
+            s.row_from_mapping({"nope": 1})
+
+    def test_project(self):
+        s = self.make().project(["price", "id"])
+        assert s.names == ("price", "id")
+
+    def test_concat(self):
+        a = Schema.of(("x", INT))
+        b = Schema.of(("y", INT))
+        assert a.concat(b).names == ("x", "y")
+        assert a.concat(a, "l.", "r.").names == ("l.x", "r.x")
+
+    def test_eq_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+        assert self.make() != Schema.of(("id", INT))

@@ -1,0 +1,145 @@
+"""Unit tests for the message-passing simulation and mobile nodes."""
+
+import pytest
+
+from repro.distributed import MobileClient, MobileNode, SimNetwork
+from repro.errors import DistributedError
+from repro.ftl.relations import AnswerTuple
+from repro.geometry import Point
+from repro.motion import linear_moving_point
+
+
+class TestNetwork:
+    def test_register_and_send(self):
+        net = SimNetwork()
+        seen = []
+        net.register("a", seen.append)
+        net.register("b", lambda m: None)
+        assert net.send("b", "a", "ping", {"x": 1}, size=3)
+        assert len(seen) == 1
+        assert seen[0].payload == {"x": 1}
+        assert net.stats.delivered == 1
+        assert net.stats.bytes_sent == 3
+
+    def test_duplicate_register(self):
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        with pytest.raises(DistributedError):
+            net.register("a", lambda m: None)
+
+    def test_unknown_destination(self):
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        with pytest.raises(DistributedError):
+            net.send("a", "ghost", "ping", None)
+
+    def test_disconnection_drops(self):
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.set_disconnections("b", [(2, 4)])
+        assert net.send("a", "b", "ping", None)
+        net.clock.tick(3)  # now = 3, inside the window
+        assert not net.send("a", "b", "ping", None)
+        assert not net.send("b", "a", "ping", None)  # offline source too
+        net.clock.tick(2)  # now = 5
+        assert net.send("a", "b", "ping", None)
+        assert net.stats.dropped == 2
+
+    def test_disconnection_unknown_node(self):
+        net = SimNetwork()
+        with pytest.raises(DistributedError):
+            net.set_disconnections("ghost", [(0, 1)])
+
+    def test_broadcast(self):
+        net = SimNetwork()
+        for n in ("a", "b", "c"):
+            net.register(n, lambda m: None)
+        net.set_disconnections("c", [(0, 10)])
+        assert net.broadcast("a", "q", None) == 1  # only b reachable
+
+    def test_log(self):
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.send("a", "b", "x", 1)
+        assert [m.kind for m in net.log] == ["x"]
+
+
+class TestMobileNode:
+    def test_snapshot_and_position(self):
+        net = SimNetwork()
+        node = MobileNode(
+            "car1", net, linear_moving_point(Point(0, 0), Point(2, 0)),
+            attributes={"price": 10},
+        )
+        net.clock.tick(3)
+        assert node.position_now() == Point(6, 0)
+        snap = node.snapshot()
+        assert snap["id"] == "car1"
+        assert snap["attributes"] == {"price": 10}
+
+    def test_inbox_and_kind_handler(self):
+        net = SimNetwork()
+        a = MobileNode("a", net, linear_moving_point(Point(0, 0), Point(0, 0)))
+        MobileNode("b", net, linear_moving_point(Point(0, 0), Point(0, 0)))
+        hits = []
+        a.on_kind("probe", hits.append)
+        net.send("b", "a", "probe", 42)
+        net.send("b", "a", "other", 43)
+        assert len(a.inbox) == 2
+        assert len(hits) == 1
+
+    def test_update_motion_local_only(self):
+        net = SimNetwork()
+        node = MobileNode("a", net, linear_moving_point(Point(0, 0), Point(1, 0)))
+        node.update_motion(linear_moving_point(Point(0, 0), Point(0, 5)))
+        net.clock.tick(2)
+        assert node.position_now() == Point(0, 10)
+        assert net.stats.attempted == 0  # nothing transmitted
+
+
+class TestMobileClient:
+    def tup(self, value, begin, end):
+        return AnswerTuple((value,), begin, end)
+
+    def test_memory_validation(self):
+        with pytest.raises(DistributedError):
+            MobileClient(memory=0)
+
+    def test_receive_and_display(self):
+        client = MobileClient()
+        client.receive([self.tup("a", 0, 5), self.tup("b", 3, 9)], now=0)
+        assert client.display_at(1) == {("a",)}
+        assert client.display_at(4) == {("a",), ("b",)}
+        assert client.display_at(7) == {("b",)}
+
+    def test_memory_limit_rejects(self):
+        client = MobileClient(memory=1)
+        accepted = client.receive([self.tup("a", 0, 5), self.tup("b", 0, 5)], now=0)
+        assert accepted == 1
+        assert client.rejected == 1
+        assert client.free_slots == 0
+
+    def test_eviction_frees_memory(self):
+        client = MobileClient(memory=1)
+        client.receive([self.tup("a", 0, 2)], now=0)
+        assert client.receive([self.tup("b", 3, 5)], now=3) == 1
+        assert client.display_at(4) == {("b",)}
+
+    def test_duplicate_receive_ignored(self):
+        client = MobileClient()
+        t = self.tup("a", 0, 5)
+        client.receive([t], now=0)
+        client.receive([t], now=1)
+        assert len(client) == 1
+
+    def test_retract(self):
+        client = MobileClient()
+        t = self.tup("a", 0, 5)
+        client.receive([t], now=0)
+        client.retract([t])
+        assert client.display_at(1) == set()
+
+    def test_unbounded_free_slots(self):
+        assert MobileClient().free_slots is None

@@ -1,0 +1,180 @@
+"""Tests for query classification and the section 5.3 strategies."""
+
+import pytest
+
+from repro.distributed import (
+    QueryKind,
+    SimNetwork,
+    MobileNode,
+    broadcast_object_query,
+    classify_query,
+    collect_object_query,
+    continuous_object_query,
+    relationship_query,
+    self_referencing_query,
+)
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.motion import linear_moving_point
+
+
+class TestClassification:
+    def test_self_referencing(self):
+        # "Will I reach the point (a, b) in 3 minutes?"
+        q = parse_query(
+            "RETRIEVE me FROM cars me WHERE EVENTUALLY WITHIN 3 INSIDE(me, DEST)"
+        )
+        assert classify_query(q, issuer_var="me") == QueryKind.SELF_REFERENCING
+
+    def test_object_query(self):
+        # "Retrieve the objects that will reach the point (a,b) in 3 min."
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 3 INSIDE(o, DEST)"
+        )
+        assert classify_query(q, issuer_var="me") == QueryKind.OBJECT
+        assert classify_query(q) == QueryKind.OBJECT
+
+    def test_relationship_query(self):
+        # "Objects that stay within 2 miles of each other for 3 minutes."
+        q = parse_query(
+            "RETRIEVE o, n FROM cars o, cars n "
+            "WHERE ALWAYS FOR 3 DIST(o, n) <= 2"
+        )
+        assert classify_query(q) == QueryKind.RELATIONSHIP
+
+    def test_relationship_via_within_sphere(self):
+        q = parse_query(
+            "RETRIEVE o, n FROM cars o, cars n WHERE WITHIN_SPHERE(2, o, n)"
+        )
+        assert classify_query(q) == QueryKind.RELATIONSHIP
+
+    def test_object_query_with_assignment(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE [x := o.x_position]"
+            " EVENTUALLY o.x_position >= x + 5"
+        )
+        assert classify_query(q) == QueryKind.OBJECT
+
+
+def make_fleet(n=5, vx=1.0):
+    net = SimNetwork()
+    coordinator = MobileNode(
+        "me", net, linear_moving_point(Point(0, 0), Point(0, 0))
+    )
+    others = [
+        MobileNode(
+            f"n{i}",
+            net,
+            linear_moving_point(Point(float(10 * i), 0), Point(vx, 0)),
+        )
+        for i in range(n)
+    ]
+    return net, coordinator, others
+
+
+def near_origin(node) -> bool:
+    return node.position_now().norm <= 15
+
+
+class TestStrategies:
+    def test_self_referencing_no_messages(self):
+        net, coord, _others = make_fleet()
+        assert self_referencing_query(coord, near_origin) is True
+        assert net.stats.attempted == 0
+
+    def test_collect_costs_n_object_transfers(self):
+        net, coord, others = make_fleet(n=5)
+        result = collect_object_query(coord, others, near_origin)
+        assert result == {"n0", "n1"}
+        assert net.stats.attempted == 5
+        from repro.distributed.strategies import OBJECT_SIZE
+
+        assert net.stats.bytes_sent == 5 * OBJECT_SIZE
+
+    def test_broadcast_costs_n_queries_plus_k_replies(self):
+        net, coord, others = make_fleet(n=5)
+        result = broadcast_object_query(coord, others, near_origin)
+        assert result == {"n0", "n1"}
+        from repro.distributed.strategies import QUERY_SIZE, REPLY_SIZE
+
+        assert net.stats.attempted == 5 + 2
+        assert net.stats.bytes_sent == 5 * QUERY_SIZE + 2 * REPLY_SIZE
+
+    def test_broadcast_cheaper_for_selective_predicates(self):
+        net1, coord1, others1 = make_fleet(n=20)
+        collect_object_query(coord1, others1, near_origin)
+        collect_bytes = net1.stats.bytes_sent
+
+        net2, coord2, others2 = make_fleet(n=20)
+        broadcast_object_query(coord2, others2, near_origin)
+        broadcast_bytes = net2.stats.bytes_sent
+        assert broadcast_bytes < collect_bytes
+
+    def test_disconnected_node_missing_from_answer(self):
+        net, coord, others = make_fleet(n=3)
+        net.set_disconnections("n0", [(0, 100)])
+        result = collect_object_query(coord, others, near_origin)
+        assert "n0" not in result
+        assert net.stats.dropped == 1
+
+    def test_relationship_centralises(self):
+        net, coord, others = make_fleet(n=4)
+
+        def close_pairs(snapshots):
+            now = net.clock.now
+            out = set()
+            for a in snapshots:
+                for b in snapshots:
+                    if a["id"] < b["id"]:
+                        pa = a["mover"].position_at(now)
+                        pb = b["mover"].position_at(now)
+                        if pa.distance_to(pb) <= 12:
+                            out.add(a["id"])
+                            out.add(b["id"])
+            return out
+
+        result = relationship_query(coord, others, close_pairs)
+        assert "n0" in result and "me" in result
+        assert net.stats.attempted == 4  # every other node ships its object
+
+
+class TestContinuous:
+    def test_broadcast_sends_only_transitions(self):
+        net, coord, others = make_fleet(n=4, vx=-1.0)
+        # Every node changes its object every tick (position moves), so
+        # collect would ship constantly; broadcast only on flips.
+        changes = {node.node_id: list(range(1, 21)) for node in others}
+        history = continuous_object_query(
+            coord, others, near_origin, changes, horizon=20, strategy="broadcast"
+        )
+        broadcast_msgs = net.stats.attempted
+
+        net2, coord2, others2 = make_fleet(n=4, vx=-1.0)
+        changes2 = {node.node_id: list(range(1, 21)) for node in others2}
+        history2 = continuous_object_query(
+            coord2, others2, near_origin, changes2, horizon=20, strategy="collect"
+        )
+        collect_msgs = net2.stats.attempted
+
+        assert broadcast_msgs < collect_msgs
+        # Both strategies converge to the same view when connected.
+        assert history[max(history, key=int)] == history2[max(history2, key=int)]
+
+    def test_collect_misses_unchanged_objects(self):
+        # A node that never "changes" is never re-shipped under collect,
+        # so the coordinator's view never includes it.
+        net, coord, others = make_fleet(n=1, vx=0.0)
+        history = continuous_object_query(
+            coord, others, near_origin, {}, horizon=3, strategy="collect"
+        )
+        assert history["3"] == set()
+
+    def test_view_tracks_predicate(self):
+        net, coord, others = make_fleet(n=1, vx=-1.0)
+        # n0 starts at x=0 (inside), moves left; leaves after t=15.
+        changes = {"n0": list(range(1, 31))}
+        history = continuous_object_query(
+            coord, others, near_origin, changes, horizon=30, strategy="broadcast"
+        )
+        assert history["5"] == {"n0"}
+        assert history["30"] == set()

@@ -1,0 +1,99 @@
+"""FTL over 3-D moving objects (aircraft with altitude).
+
+The paper's spatial classes carry X/Y/Z positions; these tests exercise
+the 3-D path through both evaluators: ball containment, DIST, and
+WITHIN_SPHERE in space.
+"""
+
+import pytest
+
+from repro.core import FutureHistory, MostDatabase, ObjectClass
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.spatial import Ball
+
+
+@pytest.fixture
+def db() -> MostDatabase:
+    database = MostDatabase()
+    database.create_class(ObjectClass("aircraft", spatial_dimensions=3))
+    database.define_region("APPROACH", Ball(Point(0.0, 0.0, 100.0), 50.0))
+    return database
+
+
+def both(db, text, horizon):
+    query = parse_query(text)
+    history = FutureHistory(db)
+    a = dict(query.evaluate(history, horizon, method="interval").rows())
+    b = dict(query.evaluate(history, horizon, method="naive").rows())
+    assert a == b
+    return a
+
+
+class Test3D:
+    def test_descending_into_approach_sphere(self, db):
+        # Starts high and away, descends towards the approach fix.
+        db.add_moving_object(
+            "aircraft", "inbound", Point(300.0, 0.0, 400.0), Point(-10.0, 0.0, -10.0)
+        )
+        db.add_moving_object(
+            "aircraft", "cruising", Point(300.0, 0.0, 9000.0), Point(-10.0, 0.0, 0.0)
+        )
+        rows = both(
+            db,
+            "RETRIEVE a FROM aircraft a WHERE EVENTUALLY INSIDE(a, APPROACH)",
+            60,
+        )
+        assert set(rows) == {("inbound",)}
+
+    def test_dist_in_space(self, db):
+        db.add_moving_object(
+            "aircraft", "a", Point(0.0, 0.0, 0.0), Point(0.0, 0.0, 10.0)
+        )
+        db.add_moving_object(
+            "aircraft", "b", Point(0.0, 0.0, 200.0), Point(0.0, 0.0, -10.0)
+        )
+        rows = both(
+            db,
+            "RETRIEVE a, b FROM aircraft a, aircraft b "
+            "WHERE a.z_position < b.z_position AND DIST(a, b) <= 40",
+            30,
+        )
+        # Closing at 20/tick from 200 apart: within 40 during [8, 12]
+        # while a is still below b (they cross at t=10).
+        iset = rows[("a", "b")]
+        assert iset.earliest == 8
+        assert iset.latest == 9  # strict < keeps only the pre-crossing side
+
+    def test_unbound_sphere_arguments_rejected(self, db):
+        from repro.errors import FtlSemanticsError
+
+        with pytest.raises(FtlSemanticsError):
+            parse_query(
+                "RETRIEVE a FROM aircraft a WHERE WITHIN_SPHERE(31, p, q, a)"
+            )
+
+    def test_within_sphere_triplet(self, db):
+        for i, z in enumerate((0.0, 30.0, 60.0)):
+            db.add_moving_object(
+                "aircraft", f"p{i}", Point(0.0, 0.0, z), Point(0.0, 0.0, 0.0)
+            )
+        rows = both(
+            db,
+            "RETRIEVE a, b FROM aircraft a, aircraft b "
+            "WHERE a.z_position < b.z_position AND WITHIN_SPHERE(16, a, b)",
+            5,
+        )
+        # Radius-16 sphere encloses pairs at most 32 apart: (p0,p1), (p1,p2).
+        assert set(rows) == {("p0", "p1"), ("p1", "p2")}
+
+    def test_altitude_attribute_query(self, db):
+        db.add_moving_object(
+            "aircraft", "climber", Point(0.0, 0.0, 0.0), Point(0.0, 0.0, 100.0)
+        )
+        rows = both(
+            db,
+            "RETRIEVE a FROM aircraft a WHERE a.z_position >= 1000",
+            30,
+        )
+        assert rows[("climber",)].earliest == 10

@@ -1,0 +1,147 @@
+"""Unit tests for the FTL evaluation context (term evaluation)."""
+
+import pytest
+
+from repro.core import DynamicAttribute, FutureHistory, MostDatabase, ObjectClass, RecordedHistory
+from repro.errors import FtlSemanticsError
+from repro.ftl import (
+    Arith,
+    Attr,
+    Const,
+    Dist,
+    SubAttr,
+    TimeTerm,
+    Var,
+)
+from repro.ftl.context import EvalContext
+from repro.geometry import Point
+from repro.motion import LinearFunction
+
+
+@pytest.fixture
+def ctx() -> EvalContext:
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass("cars", static_attributes=("price",), spatial_dimensions=2)
+    )
+    db.add_moving_object(
+        "cars", "a", Point(0, 0), Point(2, 0), static={"price": 99}
+    )
+    db.add_moving_object("cars", "b", Point(10, 0), Point(0, 0))
+    return EvalContext(FutureHistory(db), horizon=20, bindings={"o": "cars"})
+
+
+class TestWindow:
+    def test_bounds(self, ctx):
+        assert ctx.start == 0
+        assert ctx.end == 20
+        assert list(ctx.ticks()) == list(range(21))
+        assert ctx.window.start == 0 and ctx.window.end == 20
+
+    def test_negative_horizon(self, ctx):
+        with pytest.raises(FtlSemanticsError):
+            EvalContext(ctx.history, -1, {})
+
+
+class TestDomains:
+    def test_object_domain(self, ctx):
+        assert ctx.domain("o") == ["a", "b"]
+        assert ctx.is_object_var("o")
+
+    def test_unknown_domain(self, ctx):
+        with pytest.raises(FtlSemanticsError):
+            ctx.domain("zap")
+
+    def test_push_pop(self, ctx):
+        ctx.push_domain("x", [1, 2])
+        assert ctx.domain("x") == [1, 2]
+        assert not ctx.is_object_var("x")
+        ctx.pop_domain("x")
+        with pytest.raises(FtlSemanticsError):
+            ctx.domain("x")
+
+    def test_shadowing_rejected(self, ctx):
+        with pytest.raises(FtlSemanticsError):
+            ctx.push_domain("o", [1])
+
+
+class TestTermEvaluation:
+    def test_const_time_var(self, ctx):
+        assert ctx.eval_term(Const(5), {}, 0) == 5
+        assert ctx.eval_term(TimeTerm(), {}, 7) == 7
+        assert ctx.eval_term(Var("o"), {"o": "a"}, 0) == "a"
+        with pytest.raises(FtlSemanticsError):
+            ctx.eval_term(Var("o"), {}, 0)
+
+    def test_attr_static_and_dynamic(self, ctx):
+        env = {"o": "a"}
+        assert ctx.eval_term(Attr(Var("o"), "price"), env, 9) == 99
+        assert ctx.eval_term(Attr(Var("o"), "x_position"), env, 3) == 6
+
+    def test_sub_attr(self, ctx):
+        env = {"o": "a"}
+        assert (
+            ctx.eval_term(SubAttr(Var("o"), "x_position", "function"), env, 5)
+            == 2
+        )
+        assert (
+            ctx.eval_term(SubAttr(Var("o"), "x_position", "value"), env, 5)
+            == 0
+        )
+        assert (
+            ctx.eval_term(SubAttr(Var("o"), "x_position", "updatetime"), env, 5)
+            == 0
+        )
+
+    def test_sub_attr_recorded_history(self):
+        db = MostDatabase()
+        db.create_class(ObjectClass("cars", spatial_dimensions=2))
+        db.add_moving_object("cars", "a", Point(0, 0), Point(5, 0))
+        db.clock.tick(2)
+        db.update_dynamic("a", "x_position", function=LinearFunction(9))
+        ctx = EvalContext(RecordedHistory(db, 0), 10, {"o": "cars"})
+        env = {"o": "a"}
+        term = SubAttr(Var("o"), "x_position", "function")
+        assert ctx.eval_term(term, env, 1) == 5  # version in force at t=1
+        assert ctx.eval_term(term, env, 2) == 9
+
+    def test_dist(self, ctx):
+        env = {"o": "a", "n": "b"}
+        term = Dist(Var("o"), Var("n"))
+        assert ctx.eval_term(term, env, 0) == 10
+        assert ctx.eval_term(term, env, 5) == 0  # a reaches b at t=5
+
+    def test_arith(self, ctx):
+        term = Arith("*", Const(3), Arith("+", Const(1), Const(1)))
+        assert ctx.eval_term(term, {}, 0) == 6
+        assert ctx.eval_term(Arith("-", Const(3), Const(1)), {}, 0) == 2
+        assert ctx.eval_term(Arith("/", Const(3), Const(2)), {}, 0) == 1.5
+
+    def test_arith_null_and_errors(self, ctx):
+        assert ctx.eval_term(Arith("+", Const(None), Const(1)), {}, 0) is None
+        with pytest.raises(FtlSemanticsError):
+            ctx.eval_term(Arith("/", Const(1), Const(0)), {}, 0)
+
+
+class TestInvariance:
+    def test_static_attr_invariant(self, ctx):
+        assert ctx.term_invariant(Attr(Var("o"), "price"))
+
+    def test_dynamic_attr_varying(self, ctx):
+        assert not ctx.term_invariant(Attr(Var("o"), "x_position"))
+
+    def test_sub_attr_invariant(self, ctx):
+        assert ctx.term_invariant(SubAttr(Var("o"), "x_position", "function"))
+
+    def test_const_and_time(self, ctx):
+        assert ctx.term_invariant(Const(5))
+        assert not ctx.term_invariant(TimeTerm())
+
+    def test_dist_varying(self, ctx):
+        assert not ctx.term_invariant(Dist(Var("o"), Var("n")))
+
+    def test_arith_combines(self, ctx):
+        assert ctx.term_invariant(Arith("+", Const(1), Attr(Var("o"), "price")))
+        assert not ctx.term_invariant(
+            Arith("+", Const(1), Attr(Var("o"), "x_position"))
+        )

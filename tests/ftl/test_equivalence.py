@@ -1,0 +1,239 @@
+"""Property test: the appendix interval algorithm ≡ the per-state
+semantics of section 3.3, on randomly generated formulas and worlds.
+
+This is the core soundness check of the reproduction: for random fleets of
+moving objects (integer positions/velocities to avoid tick-boundary float
+noise) and random FTL formulas drawn from the full operator set, the
+relation computed by :class:`IntervalEvaluator` must equal the one from
+:class:`NaiveEvaluator` exactly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FutureHistory, MostDatabase, ObjectClass
+from repro.ftl import (
+    Arith,
+    Always,
+    AlwaysFor,
+    AndF,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    Dist,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Inside,
+    Nexttime,
+    NotF,
+    OrF,
+    Outside,
+    UntilWithin,
+    Until,
+    Var,
+    WithinSphere,
+)
+from repro.ftl.context import EvalContext
+from repro.ftl.evaluator import IntervalEvaluator
+from repro.ftl.naive import NaiveEvaluator
+from repro.geometry import Point
+from repro.spatial import Polygon
+
+HORIZON = 12
+
+# ---------------------------------------------------------------------------
+# World strategy: 1-3 cars with small integer positions and velocities
+# ---------------------------------------------------------------------------
+car_spec = st.tuples(
+    st.integers(min_value=-8, max_value=12),  # x
+    st.integers(min_value=-8, max_value=12),  # y
+    st.integers(min_value=-2, max_value=2),   # vx
+    st.integers(min_value=-2, max_value=2),   # vy
+    st.integers(min_value=0, max_value=150),  # price
+)
+
+worlds = st.lists(car_spec, min_size=1, max_size=3)
+
+
+def build_db(cars) -> MostDatabase:
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass("cars", static_attributes=("price",), spatial_dimensions=2)
+    )
+    db.define_region("P", Polygon.rectangle(0, 0, 9, 9))
+    db.define_region("Q", Polygon.rectangle(4, -6, 15, 3))
+    for i, (x, y, vx, vy, price) in enumerate(cars):
+        db.add_moving_object(
+            "cars", f"c{i}", Point(x, y), Point(vx, vy), static={"price": price}
+        )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Formula strategy over variables o (always) and n (sometimes)
+# ---------------------------------------------------------------------------
+bounds = st.integers(min_value=0, max_value=5)
+
+atoms = st.one_of(
+    st.builds(Inside, st.just(Var("o")), st.sampled_from(["P", "Q"])),
+    st.builds(Outside, st.just(Var("o")), st.sampled_from(["P", "Q"])),
+    # Atoms over the *other* variable exercise disjoint-variable joins
+    # (the outer Until join, Or/Not domain enumeration).
+    st.builds(Inside, st.just(Var("n")), st.sampled_from(["P", "Q"])),
+    st.builds(
+        Compare,
+        st.sampled_from(["<=", ">="]),
+        st.just(Attr(Var("n"), "x_position")),
+        st.builds(Const, st.integers(min_value=-10, max_value=15)),
+    ),
+    st.builds(
+        Compare,
+        st.just("<="),
+        st.just(Attr(Var("o"), "price")),
+        st.builds(Const, st.integers(min_value=0, max_value=150)),
+    ),
+    st.builds(
+        Compare,
+        st.sampled_from(["<=", ">=", "<", ">"]),
+        st.just(Attr(Var("o"), "x_position")),
+        st.builds(Const, st.integers(min_value=-10, max_value=15)),
+    ),
+    st.builds(
+        Compare,
+        st.sampled_from(["<=", ">="]),
+        st.builds(Dist, st.just(Var("o")), st.just(Var("n"))),
+        st.builds(Const, st.integers(min_value=0, max_value=12)),
+    ),
+    st.builds(
+        WithinSphere,
+        st.integers(min_value=1, max_value=6),
+        st.just((Var("o"), Var("n"))),
+    ),
+)
+
+
+def formulas(depth: int):
+    if depth == 0:
+        return atoms
+    sub = formulas(depth - 1)
+    return st.one_of(
+        atoms,
+        st.builds(AndF, sub, sub),
+        st.builds(OrF, sub, sub),
+        st.builds(NotF, sub),
+        st.builds(Until, sub, sub),
+        st.builds(UntilWithin, bounds, sub, sub),
+        st.builds(Nexttime, sub),
+        st.builds(Eventually, sub),
+        st.builds(EventuallyWithin, bounds, sub),
+        st.builds(EventuallyAfter, bounds, sub),
+        st.builds(Always, sub),
+        st.builds(AlwaysFor, bounds, sub),
+        st.builds(
+            Assign,
+            st.just("v"),
+            st.just(Attr(Var("o"), "x_position")),
+            st.builds(
+                Compare,
+                st.sampled_from(["<=", ">="]),
+                st.just(Attr(Var("o"), "x_position")),
+                st.builds(
+                    lambda c: Const(c),
+                    st.integers(min_value=-5, max_value=5),
+                ).map(lambda c: c),
+            ),
+        ),
+    )
+
+
+# Assign bodies that actually use the bound variable.
+assign_formulas = st.builds(
+    Assign,
+    st.just("v"),
+    st.just(Attr(Var("o"), "x_position")),
+    st.builds(
+        lambda op, delta, inner: AndF(
+            Compare(op, Attr(Var("o"), "x_position"), Const(delta)), inner
+        )
+        if inner is not None
+        else Compare(op, Attr(Var("o"), "x_position"), Const(delta)),
+        st.sampled_from(["<=", ">="]),
+        st.integers(min_value=-5, max_value=15),
+        st.none(),
+    ),
+)
+
+
+def relation_as_dict(rel):
+    return {inst: iset for inst, iset in rel.rows()}
+
+
+def assert_equivalent(db: MostDatabase, formula) -> None:
+    bindings = {v: "cars" for v in sorted(formula.free_vars())}
+    if not bindings:
+        bindings = {"o": "cars"}
+    history = FutureHistory(db)
+    ctx_i = EvalContext(history, HORIZON, bindings)
+    ctx_n = EvalContext(history, HORIZON, bindings)
+    interval = relation_as_dict(IntervalEvaluator(ctx_i).evaluate(formula))
+    naive = relation_as_dict(NaiveEvaluator(ctx_n).evaluate(formula))
+    assert interval == naive, (
+        f"evaluators disagree on {formula}\n"
+        f"interval: {interval}\nnaive:    {naive}"
+    )
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(worlds, formulas(2))
+def test_interval_equals_naive(cars, formula):
+    assert_equivalent(build_db(cars), formula)
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(worlds, formulas(3))
+def test_interval_equals_naive_deep(cars, formula):
+    assert_equivalent(build_db(cars), formula)
+
+
+@settings(max_examples=60, deadline=None)
+@given(worlds)
+def test_assignment_equivalence(cars):
+    # [v := o.x_position] Eventually o.x_position >= v + 3
+    formula = Assign(
+        "v",
+        Attr(Var("o"), "x_position"),
+        Eventually(
+            Compare(
+                ">=",
+                Attr(Var("o"), "x_position"),
+                Arith("+", Var("v"), Const(3)),
+            )
+        ),
+    )
+    assert_equivalent(build_db(cars), formula)
+
+
+@settings(max_examples=60, deadline=None)
+@given(worlds, st.integers(min_value=0, max_value=HORIZON))
+def test_instantaneous_answers_agree(cars, at_tick):
+    db = build_db(cars)
+    formula = Until(
+        Compare("<=", Dist(Var("o"), Var("n")), Const(6)),
+        AndF(Inside(Var("o"), "P"), Inside(Var("n"), "P")),
+    )
+    bindings = {"o": "cars", "n": "cars"}
+    history = FutureHistory(db)
+    r1 = IntervalEvaluator(EvalContext(history, HORIZON, bindings)).evaluate(formula)
+    r2 = NaiveEvaluator(EvalContext(history, HORIZON, bindings)).evaluate(formula)
+    assert r1.satisfied_at(at_tick) == r2.satisfied_at(at_tick)

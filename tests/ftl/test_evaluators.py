@@ -1,0 +1,296 @@
+"""Behavioural tests of both FTL evaluators on the paper's example queries.
+
+Every test asserts the interval evaluator's result; a shared helper also
+cross-checks it against the naive reference semantics.
+"""
+
+import pytest
+
+from repro.core import FutureHistory, MostDatabase, ObjectClass
+from repro.errors import FtlSemanticsError
+from repro.ftl import FtlQuery, parse_formula, parse_query
+from repro.geometry import Point
+from repro.motion import SinusoidFunction
+from repro.spatial import Ball, Polygon
+
+
+@pytest.fixture
+def db() -> MostDatabase:
+    database = MostDatabase()
+    database.create_class(
+        ObjectClass(
+            "cars",
+            static_attributes=("price",),
+            dynamic_attributes=("fuel",),
+            spatial_dimensions=2,
+        )
+    )
+    database.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+    database.define_region("Q", Polygon.rectangle(20, 0, 30, 10))
+    database.define_region("C", Ball(Point(5, 5), 3))
+    return database
+
+
+def both(db, text, horizon):
+    """Evaluate with both methods; assert agreement; return the answer."""
+    query = parse_query(text)
+    history = FutureHistory(db)
+    interval = query.evaluate(history, horizon, method="interval")
+    naive = query.evaluate(history, horizon, method="naive")
+    a = {(inst, iset) for inst, iset in interval.rows()}
+    b = {(inst, iset) for inst, iset in naive.rows()}
+    assert a == b, f"evaluators disagree on {text!r}:\n{a}\nvs\n{b}"
+    return interval
+
+
+def add_car(db, oid, x, vx, y=5.0, vy=0.0, price=50.0, fuel_speed=0.0, fuel=100.0):
+    from repro.core import DynamicAttribute
+
+    db.add_moving_object(
+        "cars",
+        oid,
+        Point(x, y),
+        Point(vx, vy),
+        static={"price": price},
+        dynamic_extra={"fuel": DynamicAttribute.linear(fuel, fuel_speed)},
+    )
+
+
+class TestAtoms:
+    def test_inside_polygon(self, db):
+        add_car(db, "a", -5, 1)
+        rel = both(db, "RETRIEVE o FROM cars o WHERE INSIDE(o, P)", 30)
+        [(inst, iset)] = list(rel.rows())
+        assert inst == ("a",)
+        assert iset.intervals[0].start == 5
+        assert iset.intervals[0].end == 15
+
+    def test_inside_ball(self, db):
+        add_car(db, "a", -5, 1)  # passes through C's x-range at y=5
+        rel = both(db, "RETRIEVE o FROM cars o WHERE INSIDE(o, C)", 30)
+        [(inst, iset)] = list(rel.rows())
+        assert iset.intervals[0].start == 7  # |x-5|<=3 -> x in [2,8] -> t in [7,13]
+        assert iset.intervals[0].end == 13
+
+    def test_outside(self, db):
+        add_car(db, "a", -5, 1)
+        rel = both(db, "RETRIEVE o FROM cars o WHERE OUTSIDE(o, P)", 30)
+        [(inst, iset)] = list(rel.rows())
+        assert iset.contains(0)
+        assert not iset.contains(10)
+        assert iset.contains(16)
+
+    def test_static_attribute_comparison(self, db):
+        add_car(db, "cheap", 0, 0, price=50)
+        add_car(db, "posh", 0, 0, price=500)
+        rel = both(db, "RETRIEVE o FROM cars o WHERE o.price <= 100", 10)
+        assert {i for i, _ in rel.rows()} == {("cheap",)}
+
+    def test_dynamic_attribute_comparison(self, db):
+        add_car(db, "a", 0, 0, fuel=100, fuel_speed=-10)
+        rel = both(db, "RETRIEVE o FROM cars o WHERE o.fuel >= 50", 20)
+        [(inst, iset)] = list(rel.rows())
+        assert iset.intervals[0].start == 0
+        assert iset.intervals[0].end == 5
+
+    def test_dist_comparison(self, db):
+        add_car(db, "a", 0, 1)
+        add_car(db, "b", 10, -1)
+        rel = both(
+            db,
+            "RETRIEVE o, n FROM cars o, cars n WHERE DIST(o, n) <= 4 AND o.price <= n.price",
+            20,
+        )
+        got = dict(rel.rows())
+        assert got[("a", "b")].intervals[0].start == 3
+        assert got[("a", "b")].intervals[0].end == 7
+
+    def test_within_sphere(self, db):
+        add_car(db, "a", 0, 1)
+        add_car(db, "b", 10, -1)
+        rel = both(
+            db,
+            "RETRIEVE o, n FROM cars o, cars n WHERE WITHIN_SPHERE(1, o, n)",
+            20,
+        )
+        got = dict(rel.rows())
+        # enclosing two points in radius 1 <=> dist <= 2 <=> t in [4, 6]
+        assert got[("a", "b")].intervals[0].start == 4
+        assert got[("a", "b")].intervals[0].end == 6
+
+    def test_time_term(self, db):
+        add_car(db, "a", 0, 0)
+        rel = both(db, "RETRIEVE o FROM cars o WHERE time >= 4 AND time <= 6", 10)
+        [(inst, iset)] = list(rel.rows())
+        assert iset.intervals[0].start == 4
+        assert iset.intervals[0].end == 6
+
+    def test_strict_comparisons(self, db):
+        add_car(db, "a", 0, 1)
+        rel = both(db, "RETRIEVE o FROM cars o WHERE o.x_position > 3", 10)
+        [(inst, iset)] = list(rel.rows())
+        assert iset.intervals[0].start == 4
+
+    def test_nonlinear_motion_falls_back(self, db):
+        from repro.core import DynamicAttribute
+
+        db.add_object(
+            "cars",
+            "osc",
+            static={"price": 1.0},
+            dynamic={
+                "fuel": DynamicAttribute.static(1),
+                "x_position": DynamicAttribute(
+                    5.0, function=SinusoidFunction(10, 0.7)
+                ),
+                "y_position": DynamicAttribute.static(5.0),
+            },
+        )
+        both(db, "RETRIEVE o FROM cars o WHERE INSIDE(o, P)", 20)
+        both(db, "RETRIEVE o FROM cars o WHERE o.x_position <= 7", 20)
+
+
+class TestPaperExamples:
+    def test_example_I(self, db):
+        # Objects entering P within 3 units with PRICE <= 100.
+        add_car(db, "hit", -2, 1, price=80)
+        add_car(db, "expensive", -2, 1, price=200)
+        add_car(db, "slow", -20, 1, price=80)
+        rel = both(
+            db,
+            "RETRIEVE o FROM cars o WHERE o.price <= 100 "
+            "AND EVENTUALLY WITHIN 3 INSIDE(o, P)",
+            40,
+        )
+        assert rel.satisfied_at(0) == {("hit",)}
+
+    def test_example_II(self, db):
+        # Enter P within 3 and stay for 2 more.
+        add_car(db, "stays", -2, 1)          # inside [2,12]: stays
+        add_car(db, "grazes", -2, 5, y=5)    # inside [0.4,2.4] -> ticks 1,2 only
+        rel = both(
+            db,
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 3 "
+            "(INSIDE(o, P) AND ALWAYS FOR 2 INSIDE(o, P))",
+            40,
+        )
+        assert ("stays",) in rel.satisfied_at(0)
+        assert ("grazes",) not in rel.satisfied_at(0)
+
+    def test_example_III(self, db):
+        # Enter P within 3, stay 2, then after >= 5 more enter Q.
+        add_car(db, "tour", -2, 1)  # P during [2,12], Q during [22,32]
+        rel = both(
+            db,
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 3 "
+            "(INSIDE(o, P) AND ALWAYS FOR 2 INSIDE(o, P) "
+            "AND EVENTUALLY AFTER 5 INSIDE(o, Q))",
+            40,
+        )
+        assert rel.satisfied_at(0) == {("tour",)}
+
+    def test_section_32_until_query(self, db):
+        add_car(db, "a", 0, 1, y=5)
+        add_car(db, "b", 1, 1, y=5)  # stays within 1 of a; both enter P
+        rel = both(
+            db,
+            "RETRIEVE o, n FROM cars o, cars n WHERE "
+            "DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))",
+            30,
+        )
+        assert ("a", "b") in rel.satisfied_at(0)
+
+    def test_assignment_value_capture(self, db):
+        add_car(db, "a", 0, 2)
+        # x bound to the position at evaluation state; satisfied when the
+        # position later grows by >= 10 (true from any state, speed 2>0).
+        rel = both(
+            db,
+            "RETRIEVE o FROM cars o WHERE [x := o.x_position] "
+            "EVENTUALLY o.x_position >= x + 10",
+            20,
+        )
+        [(inst, iset)] = list(rel.rows())
+        # From state t, need t' <= 20 with 2t' >= 2t + 10: holds for t <= 15.
+        assert iset.intervals[0].start == 0
+        assert iset.intervals[0].end == 15
+
+    def test_nexttime(self, db):
+        add_car(db, "a", -1, 1)
+        rel = both(
+            db, "RETRIEVE o FROM cars o WHERE NEXTTIME INSIDE(o, P)", 15
+        )
+        [(inst, iset)] = list(rel.rows())
+        assert iset.intervals[0].start == 0  # inside from t=1
+
+    def test_until_where_left_never_holds(self, db):
+        add_car(db, "a", -5, 1, price=500)
+        # price <= 100 never holds, but Until is satisfied where INSIDE is.
+        rel = both(
+            db,
+            "RETRIEVE o FROM cars o WHERE o.price <= 100 UNTIL INSIDE(o, P)",
+            30,
+        )
+        [(inst, iset)] = list(rel.rows())
+        assert iset.intervals[0].start == 5
+
+    def test_disjunction(self, db):
+        add_car(db, "a", -2, 1)    # enters P
+        add_car(db, "b", 18, 1)    # enters Q
+        rel = both(
+            db,
+            "RETRIEVE o FROM cars o WHERE INSIDE(o, P) OR INSIDE(o, Q)",
+            30,
+        )
+        assert {i for i, _ in rel.rows()} == {("a",), ("b",)}
+
+    def test_negation(self, db):
+        add_car(db, "a", 5, 0)
+        rel = both(
+            db, "RETRIEVE o FROM cars o WHERE NOT INSIDE(o, C)", 20
+        )
+        # Static at (5,5) = centre of C: never outside.
+        assert not list(rel.rows())
+
+    def test_always(self, db):
+        add_car(db, "stay", 5, 0)
+        add_car(db, "leave", 5, 1)
+        rel = both(db, "RETRIEVE o FROM cars o WHERE ALWAYS INSIDE(o, P)", 20)
+        got = dict(rel.rows())
+        assert ("stay",) in got
+        assert ("leave",) not in got
+
+
+class TestSafetyAndErrors:
+    def test_unbounded_variable_in_naive(self, db):
+        from repro.core import FutureHistory
+        from repro.ftl.context import EvalContext
+        from repro.ftl.naive import NaiveEvaluator
+
+        add_car(db, "a", 0, 0)
+        ctx = EvalContext(FutureHistory(db), 10, {"o": "cars"})
+        f = parse_formula("INSIDE(n, P)")
+        with pytest.raises(FtlSemanticsError):
+            NaiveEvaluator(ctx).evaluate(f)
+
+    def test_unknown_method(self, db):
+        add_car(db, "a", 0, 0)
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        with pytest.raises(FtlSemanticsError):
+            q.evaluate(FutureHistory(db), 10, method="quantum")
+
+    def test_negative_horizon(self, db):
+        from repro.ftl.context import EvalContext
+
+        with pytest.raises(FtlSemanticsError):
+            EvalContext(FutureHistory(db), -1, {})
+
+    def test_target_not_in_where_ranges_freely(self, db):
+        add_car(db, "a", 5, 0)
+        add_car(db, "b", 50, 0)
+        rel = both(
+            db,
+            "RETRIEVE o, n FROM cars o, cars n WHERE INSIDE(o, P)",
+            5,
+        )
+        assert {i for i, _ in rel.rows()} == {("a", "a"), ("a", "b")}

@@ -1,0 +1,226 @@
+"""Unit tests for the FTL lexer and parser."""
+
+import pytest
+
+from repro.errors import FtlSemanticsError, FtlSyntaxError
+from repro.ftl import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Arith,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    Dist,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Inside,
+    Nexttime,
+    NotF,
+    OrF,
+    Outside,
+    SubAttr,
+    TimeTerm,
+    Until,
+    UntilWithin,
+    Var,
+    WithinSphere,
+    parse_formula,
+    parse_query,
+)
+from repro.ftl.lexer import tokenize
+
+
+class TestLexer:
+    def test_keywords(self):
+        toks = tokenize("RETRIEVE until Eventually")
+        assert [t.value for t in toks[:-1]] == ["RETRIEVE", "UNTIL", "EVENTUALLY"]
+
+    def test_assign_symbol(self):
+        toks = tokenize("[x := 5]")
+        assert [t.value for t in toks[:-1]] == ["[", "x", ":=", "5", "]"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(FtlSyntaxError):
+            tokenize("'abc")
+
+    def test_bad_char(self):
+        with pytest.raises(FtlSyntaxError):
+            tokenize("a ; b")
+
+
+class TestTermParsing:
+    def parse_term(self, text):
+        # Embed in a trivially-true comparison to reach the term grammar.
+        f = parse_formula(f"{text} = {text}")
+        assert isinstance(f, Compare)
+        return f.left
+
+    def test_variable(self):
+        assert self.parse_term("o") == Var("o")
+
+    def test_attribute(self):
+        assert self.parse_term("o.price") == Attr(Var("o"), "price")
+
+    def test_sub_attribute(self):
+        assert self.parse_term("o.x_position.function") == SubAttr(
+            Var("o"), "x_position", "function"
+        )
+
+    def test_bad_sub_attribute(self):
+        with pytest.raises(FtlSemanticsError):
+            parse_formula("o.a.speedy = 1")
+
+    def test_too_deep_path(self):
+        with pytest.raises(FtlSyntaxError):
+            parse_formula("o.a.b.c = 1")
+
+    def test_time(self):
+        assert self.parse_term("time") == TimeTerm()
+
+    def test_dist(self):
+        assert self.parse_term("DIST(o, n)") == Dist(Var("o"), Var("n"))
+
+    def test_arith_precedence(self):
+        t = self.parse_term("1 + 2 * x")
+        assert isinstance(t, Arith)
+        assert t.op == "+"
+
+    def test_unary_minus(self):
+        assert self.parse_term("-3") == Const(-3)
+
+    def test_strings_and_floats(self):
+        assert self.parse_term("'hi'") == Const("hi")
+        assert self.parse_term("2.5") == Const(2.5)
+
+
+class TestFormulaParsing:
+    def test_spatial_atoms(self):
+        assert parse_formula("INSIDE(o, P)") == Inside(Var("o"), "P")
+        assert parse_formula("OUTSIDE(o, P)") == Outside(Var("o"), "P")
+        f = parse_formula("WITHIN_SPHERE(2.5, a, b, c)")
+        assert f == WithinSphere(2.5, (Var("a"), Var("b"), Var("c")))
+
+    def test_within_sphere_needs_objects(self):
+        with pytest.raises(FtlSyntaxError):
+            parse_formula("WITHIN_SPHERE(2.5)")
+
+    def test_boolean_precedence(self):
+        f = parse_formula("INSIDE(o, P) OR INSIDE(o, Q) AND INSIDE(o, R)")
+        assert isinstance(f, OrF)
+        assert isinstance(f.right, AndF)
+
+    def test_until_loosest(self):
+        f = parse_formula("DIST(o, n) <= 5 UNTIL INSIDE(o, P) AND INSIDE(n, P)")
+        assert isinstance(f, Until)
+        assert isinstance(f.right, AndF)
+
+    def test_until_right_associative(self):
+        f = parse_formula("INSIDE(o, A) UNTIL INSIDE(o, B) UNTIL INSIDE(o, C)")
+        assert isinstance(f, Until)
+        assert isinstance(f.right, Until)
+
+    def test_until_within(self):
+        f = parse_formula("INSIDE(o, A) UNTIL WITHIN 4 INSIDE(o, B)")
+        assert f == UntilWithin(4, Inside(Var("o"), "A"), Inside(Var("o"), "B"))
+
+    def test_prefix_operators(self):
+        assert isinstance(parse_formula("NOT INSIDE(o, P)"), NotF)
+        assert isinstance(parse_formula("NEXTTIME INSIDE(o, P)"), Nexttime)
+        assert isinstance(parse_formula("EVENTUALLY INSIDE(o, P)"), Eventually)
+        assert parse_formula("EVENTUALLY WITHIN 3 INSIDE(o, P)") == (
+            EventuallyWithin(3, Inside(Var("o"), "P"))
+        )
+        assert parse_formula("EVENTUALLY AFTER 5 INSIDE(o, P)") == (
+            EventuallyAfter(5, Inside(Var("o"), "P"))
+        )
+        assert isinstance(parse_formula("ALWAYS INSIDE(o, P)"), Always)
+        assert parse_formula("ALWAYS FOR 2 INSIDE(o, P)") == AlwaysFor(
+            2, Inside(Var("o"), "P")
+        )
+
+    def test_assignment(self):
+        f = parse_formula("[x := o.speed] EVENTUALLY o.speed >= 2 * x")
+        assert isinstance(f, Assign)
+        assert f.var == "x"
+        assert f.term == Attr(Var("o"), "speed")
+        assert isinstance(f.body, Eventually)
+
+    def test_parenthesised_formula_vs_term(self):
+        f = parse_formula("(INSIDE(o, P) AND INSIDE(o, Q))")
+        assert isinstance(f, AndF)
+        g = parse_formula("(o.a + 1) < 5")
+        assert isinstance(g, Compare)
+
+    def test_example_II_section_34(self):
+        f = parse_formula(
+            "EVENTUALLY WITHIN 3 (INSIDE(o, P) AND ALWAYS FOR 2 INSIDE(o, P))"
+        )
+        assert isinstance(f, EventuallyWithin)
+        assert isinstance(f.operand, AndF)
+
+    def test_true_false_sugar(self):
+        t = parse_formula("TRUE")
+        f = parse_formula("FALSE")
+        assert isinstance(t, Compare) and isinstance(f, Compare)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(FtlSyntaxError):
+            parse_formula("INSIDE(o, P) extra")
+
+    def test_missing_comparison_op(self):
+        with pytest.raises(FtlSyntaxError):
+            parse_formula("o.price")
+
+
+class TestQueryParsing:
+    def test_full_query(self):
+        q = parse_query(
+            "RETRIEVE o, n FROM cars o, cars n "
+            "WHERE DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))"
+        )
+        assert q.targets == ("o", "n")
+        assert q.bindings == {"o": "cars", "n": "cars"}
+        assert isinstance(q.where, Until)
+        assert q.is_conjunctive
+
+    def test_nonconjunctive_flag(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE NOT INSIDE(o, P)")
+        assert not q.is_conjunctive
+
+    def test_unbound_free_variable_rejected(self):
+        with pytest.raises(FtlSemanticsError):
+            parse_query("RETRIEVE o FROM cars o WHERE INSIDE(n, P)")
+
+    def test_unbound_target_rejected(self):
+        with pytest.raises(FtlSemanticsError):
+            parse_query("RETRIEVE z FROM cars o WHERE INSIDE(o, P)")
+
+    def test_duplicate_from_variable(self):
+        with pytest.raises(FtlSyntaxError):
+            parse_query("RETRIEVE o FROM cars o, cars o WHERE INSIDE(o, P)")
+
+    def test_assigned_variables_are_bound(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE [x := o.x_position.value]"
+            " EVENTUALLY o.x_position.value >= x + 10"
+        )
+        assert q.where.free_vars() == {"o"}
+
+    def test_free_vars_of_ast_nodes(self):
+        f = parse_formula("[x := o.a] (n.b >= x AND INSIDE(o, P))")
+        assert f.free_vars() == {"o", "n"}
+        assert parse_formula("WITHIN_SPHERE(1, a, b)").free_vars() == {"a", "b"}
+
+    def test_str_roundtrip_smoke(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 3 "
+            "(INSIDE(o, P) AND ALWAYS FOR 2 INSIDE(o, P) "
+            "AND EVENTUALLY AFTER 5 INSIDE(o, Q))"
+        )
+        text = str(q.where)
+        assert "EVENTUALLY WITHIN 3" in text
+        assert "ALWAYS FOR 2" in text
+        assert "EVENTUALLY AFTER 5" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the interval relations R_g."""
+
+import pytest
+
+from repro.errors import FtlSemanticsError
+from repro.ftl.relations import AnswerTuple, FtlRelation, merge_instantiations
+from repro.temporal import DISCRETE, Interval, IntervalSet
+
+
+def iset(*pairs):
+    return IntervalSet.from_pairs(pairs, DISCRETE)
+
+
+class TestAnswerTuple:
+    def test_active_at(self):
+        t = AnswerTuple(("o",), 3, 7)
+        assert t.active_at(3)
+        assert t.active_at(7)
+        assert not t.active_at(2)
+        assert not t.active_at(8)
+
+
+class TestFtlRelation:
+    def test_set_and_get(self):
+        r = FtlRelation(("o",))
+        r.set(("a",), iset((0, 5)))
+        assert r.get(("a",)) == iset((0, 5))
+        assert r.get(("b",)).is_empty
+        assert len(r) == 1
+        assert bool(r)
+
+    def test_empty_rows_dropped(self):
+        r = FtlRelation(("o",))
+        r.set(("a",), iset((0, 5)))
+        r.set(("a",), IntervalSet.empty(DISCRETE))
+        assert len(r) == 0
+        assert not r
+
+    def test_arity_checked(self):
+        r = FtlRelation(("o", "n"))
+        with pytest.raises(FtlSemanticsError):
+            r.set(("a",), iset((0, 1)))
+
+    def test_add_unions(self):
+        r = FtlRelation(("o",))
+        r.add(("a",), iset((0, 2)))
+        r.add(("a",), iset((5, 8)))
+        assert r.get(("a",)) == iset((0, 2), (5, 8))
+
+    def test_index_of(self):
+        r = FtlRelation(("o", "n"))
+        assert r.index_of("n") == 1
+        with pytest.raises(FtlSemanticsError):
+            r.index_of("z")
+
+    def test_map_sets(self):
+        r = FtlRelation(("o",))
+        r.set(("a",), iset((0, 5)))
+        shifted = r.map_sets(lambda s: s.shift(10))
+        assert shifted.get(("a",)) == iset((10, 15))
+        assert r.get(("a",)) == iset((0, 5))  # original untouched
+
+    def test_project_unions_collapsing_rows(self):
+        r = FtlRelation(("o", "n"))
+        r.set(("a", "x"), iset((0, 2)))
+        r.set(("a", "y"), iset((5, 8)))
+        r.set(("b", "x"), iset((1, 1)))
+        p = r.project(("o",))
+        assert p.get(("a",)) == iset((0, 2), (5, 8))
+        assert p.get(("b",)) == iset((1, 1))
+
+    def test_project_reorders(self):
+        r = FtlRelation(("o", "n"))
+        r.set(("a", "x"), iset((0, 2)))
+        p = r.project(("n", "o"))
+        assert p.get(("x", "a")) == iset((0, 2))
+
+    def test_satisfied_at(self):
+        r = FtlRelation(("o",))
+        r.set(("a",), iset((0, 2)))
+        r.set(("b",), iset((2, 4)))
+        assert r.satisfied_at(2) == {("a",), ("b",)}
+        assert r.satisfied_at(9) == set()
+
+    def test_answer_tuples_one_per_interval(self):
+        r = FtlRelation(("o",))
+        r.set(("a",), iset((0, 2), (5, 8)))
+        tuples = r.answer_tuples()
+        assert [(t.begin, t.end) for t in tuples] == [(0, 2), (5, 8)]
+        assert all(t.values == ("a",) for t in tuples)
+
+    def test_repr(self):
+        r = FtlRelation(("o",))
+        assert "0 rows" in repr(r)
+
+
+class TestMerge:
+    def test_merge_instantiations(self):
+        out = merge_instantiations(
+            ("a", "b", "c"),
+            ("a", "b"),
+            (1, 2),
+            ("b", "c"),
+            (2, 3),
+        )
+        assert out == (1, 2, 3)
+
+    def test_later_relation_wins_on_shared(self):
+        # Join guarantees equality; the helper just overlays.
+        out = merge_instantiations(("x",), ("x",), (1,), ("x",), (1,))
+        assert out == (1,)

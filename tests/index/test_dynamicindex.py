@@ -1,0 +1,201 @@
+"""Unit + property tests for the section 4 dynamic-attribute index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicAttribute
+from repro.errors import IndexError_
+from repro.geometry import Point
+from repro.index import DynamicAttributeIndex, MovingObjectIndex2D
+from repro.motion import PiecewiseLinearFunction, linear_moving_point
+from repro.spatial import Box
+
+
+def make_index(structure="regiontree") -> DynamicAttributeIndex:
+    return DynamicAttributeIndex(
+        epoch=0, horizon=100, value_lo=-100, value_hi=100, structure=structure
+    )
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(IndexError_):
+            DynamicAttributeIndex(5, 5, 0, 1)
+
+    def test_bad_value_range(self):
+        with pytest.raises(IndexError_):
+            DynamicAttributeIndex(0, 1, 5, 5)
+
+    def test_bad_structure(self):
+        with pytest.raises(IndexError_):
+            make_index(structure="skiplist")
+
+    def test_duplicate_insert(self):
+        idx = make_index()
+        idx.insert("o", DynamicAttribute.linear(0, 1))
+        with pytest.raises(IndexError_):
+            idx.insert("o", DynamicAttribute.linear(0, 1))
+        assert "o" in idx
+        assert len(idx) == 1
+
+    def test_remove_missing(self):
+        with pytest.raises(IndexError_):
+            make_index().remove("ghost")
+
+    def test_query_outside_window(self):
+        idx = make_index()
+        with pytest.raises(IndexError_):
+            idx.instantaneous_range(0, 1, at_time=500)
+        with pytest.raises(IndexError_):
+            idx.continuous_range(0, 1, from_time=-5)
+
+
+@pytest.mark.parametrize("structure", ["regiontree", "rtree"])
+class TestSection4Queries:
+    def test_paper_instantaneous_query(self, structure):
+        # "Retrieve the objects for which currently 4 < A < 5" at 1:00am.
+        idx = make_index(structure)
+        idx.insert("slow", DynamicAttribute.linear(4.5, 0.0))   # always in
+        idx.insert("riser", DynamicAttribute.linear(0.0, 0.9))  # in around t=5
+        idx.insert("far", DynamicAttribute.linear(50.0, 0.0))   # never
+        assert idx.instantaneous_range(4, 5, at_time=1) == {"slow"}
+        assert idx.instantaneous_range(4, 5, at_time=5) == {"slow", "riser"}
+
+    def test_continuous_query_intervals(self, structure):
+        idx = make_index(structure)
+        idx.insert("riser", DynamicAttribute.linear(0.0, 1.0))
+        hits = idx.continuous_range(4, 5, from_time=1)
+        assert len(hits) == 1
+        assert hits[0].object_id == "riser"
+        assert hits[0].begin == pytest.approx(4)
+        assert hits[0].end == pytest.approx(5)
+
+    def test_update_moves_function_line(self, structure):
+        idx = make_index(structure)
+        attr = DynamicAttribute.linear(0.0, 1.0)
+        idx.insert("o", attr)
+        assert idx.instantaneous_range(9, 11, at_time=10) == {"o"}
+        idx.update("o", attr.updated(5, function=PiecewiseLinearFunction([(0, 0)])))
+        # After the update the value is frozen at 5.
+        assert idx.instantaneous_range(9, 11, at_time=10) == set()
+        assert idx.instantaneous_range(4, 6, at_time=10) == {"o"}
+
+    def test_matches_scan_baseline(self, structure):
+        idx = make_index(structure)
+        for i in range(50):
+            idx.insert(f"o{i}", DynamicAttribute.linear(float(i - 25), 0.5 * (i % 5 - 2)))
+        for t in (0, 10, 60, 100):
+            for lo, hi in ((-5, 5), (0, 1), (-80, 80)):
+                assert idx.instantaneous_range(lo, hi, t) == idx.scan_range(lo, hi, t)
+
+    def test_reconstruction(self, structure):
+        idx = make_index(structure)
+        idx.insert("o", DynamicAttribute.linear(0.0, 1.0))
+        idx.reconstruct(new_epoch=100)
+        assert idx.epoch == 100
+        assert idx.horizon == 200
+        assert idx.instantaneous_range(100, 160, at_time=150) == {"o"}
+        with pytest.raises(IndexError_):
+            idx.instantaneous_range(0, 1, at_time=50)
+
+
+values = st.integers(min_value=-50, max_value=50)
+speeds = st.integers(min_value=-3, max_value=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(values, speeds), min_size=1, max_size=25),
+    st.integers(min_value=0, max_value=100),
+    values,
+    st.integers(min_value=1, max_value=30),
+)
+def test_index_equals_scan_property(attrs, t, lo, width):
+    idx = make_index()
+    for i, (v, s) in enumerate(attrs):
+        idx.insert(f"o{i}", DynamicAttribute.linear(float(v), float(s)))
+    hi = lo + width
+    assert idx.instantaneous_range(lo, hi, t) == idx.scan_range(lo, hi, t)
+
+
+class TestMovingObjectIndex2D:
+    AREA = Box.from_bounds((0, 100), (0, 100))
+
+    def make(self) -> MovingObjectIndex2D:
+        return MovingObjectIndex2D(epoch=0, horizon=50, bounds=self.AREA)
+
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            MovingObjectIndex2D(5, 5, self.AREA)
+        with pytest.raises(IndexError_):
+            MovingObjectIndex2D(0, 1, Box.from_bounds((0, 1), (0, 1), (0, 1)))
+
+    def test_insert_and_instantaneous(self):
+        idx = self.make()
+        idx.insert("east", linear_moving_point(Point(0, 50), Point(2, 0)))
+        idx.insert("still", linear_moving_point(Point(90, 90), Point(0, 0)))
+        probe = Box.from_bounds((18, 22), (45, 55))
+        assert idx.objects_in_rectangle(probe, at_time=10) == {"east"}
+        assert idx.objects_in_rectangle(probe, at_time=0) == set()
+
+    def test_continuous_rectangle(self):
+        idx = self.make()
+        idx.insert("east", linear_moving_point(Point(0, 50), Point(2, 0)))
+        probe = Box.from_bounds((20, 30), (40, 60))
+        [hit] = idx.continuous_rectangle(probe, from_time=0)
+        assert hit.object_id == "east"
+        assert hit.begin == pytest.approx(10)
+        assert hit.end == pytest.approx(15)
+
+    def test_update_and_remove(self):
+        idx = self.make()
+        idx.insert("o", linear_moving_point(Point(0, 0), Point(1, 1)))
+        idx.update("o", linear_moving_point(Point(99, 99), Point(0, 0)))
+        probe = Box.from_bounds((0, 10), (0, 10))
+        assert idx.objects_in_rectangle(probe, at_time=5) == set()
+        idx.remove("o")
+        assert len(idx) == 0
+        with pytest.raises(IndexError_):
+            idx.remove("o")
+
+    def test_matches_scan(self):
+        idx = self.make()
+        for i in range(30):
+            idx.insert(
+                f"o{i}",
+                linear_moving_point(
+                    Point(float(i * 3 % 100), float(i * 7 % 100)),
+                    Point(float(i % 3 - 1), float(i % 5 - 2)),
+                ),
+            )
+        for t in (0, 10, 25, 50):
+            for probe in (
+                Box.from_bounds((0, 30), (0, 30)),
+                Box.from_bounds((40, 70), (20, 90)),
+            ):
+                assert idx.objects_in_rectangle(probe, t) == idx.scan_in_rectangle(probe, t)
+
+    def test_rejects_nonlinear(self):
+        from repro.motion import MovingPoint, SinusoidFunction, LinearFunction
+
+        idx = self.make()
+        mover = MovingPoint(
+            Point(5.0, 5.0), [SinusoidFunction(1, 1), LinearFunction(0)]
+        )
+        with pytest.raises(IndexError_):
+            idx.insert("osc", mover)
+
+    def test_rejects_3d_motion(self):
+        idx = self.make()
+        with pytest.raises(IndexError_):
+            idx.insert(
+                "o", linear_moving_point(Point(0, 0, 0), Point(1, 1, 1))
+            )
+
+    def test_query_outside_window(self):
+        idx = self.make()
+        with pytest.raises(IndexError_):
+            idx.objects_in_rectangle(self.AREA, at_time=999)
+        with pytest.raises(IndexError_):
+            idx.continuous_rectangle(self.AREA, from_time=-1)

@@ -1,0 +1,75 @@
+"""Unit tests for trajectory segments."""
+
+import pytest
+
+from repro.core import DynamicAttribute
+from repro.errors import IndexError_
+from repro.geometry import Point
+from repro.index import TrajectorySegment, segments_of_function
+from repro.motion import PiecewiseLinearFunction, SinusoidFunction
+from repro.spatial import Box
+
+
+class TestSegment:
+    def test_dim_mismatch(self):
+        with pytest.raises(IndexError_):
+            TrajectorySegment("o", Point(0, 0), Point(1, 1, 1))
+
+    def test_bbox(self):
+        s = TrajectorySegment("o", Point(3, 9), Point(1, 2))
+        assert s.bbox() == Box.from_bounds((1, 3), (2, 9))
+
+    def test_intersects_crossing(self):
+        s = TrajectorySegment("o", Point(0, 0), Point(10, 10))
+        assert s.intersects(Box.from_bounds((4, 6), (4, 6)))
+        assert not s.intersects(Box.from_bounds((0, 10), (11, 12)))
+
+    def test_intersects_corner_graze(self):
+        s = TrajectorySegment("o", Point(0, 0), Point(10, 10))
+        assert s.intersects(Box.from_bounds((5, 10), (0, 5)))  # touches at (5,5)
+
+    def test_intersects_through_box_without_endpoints(self):
+        s = TrajectorySegment("o", Point(-10, 5), Point(10, 5))
+        assert s.intersects(Box.from_bounds((0, 1), (0, 10)))
+
+    def test_axis_parallel_segment(self):
+        s = TrajectorySegment("o", Point(5, 0), Point(5, 10))
+        assert s.intersects(Box.from_bounds((4, 6), (2, 3)))
+        assert not s.intersects(Box.from_bounds((6, 7), (2, 3)))
+
+    def test_3d_intersects(self):
+        s = TrajectorySegment("o", Point(0, 0, 0), Point(10, 10, 10))
+        assert s.intersects(Box.from_bounds((4, 6), (4, 6), (4, 6)))
+        assert not s.intersects(Box.from_bounds((4, 6), (4, 6), (8, 9)))
+
+
+class TestSegmentsOfFunction:
+    def test_linear_single_segment(self):
+        attr = DynamicAttribute.linear(10.0, 2.0)
+        [s] = segments_of_function("o", attr, 0, 5)
+        assert s.a == Point(0, 10)
+        assert s.b == Point(5, 20)
+
+    def test_updatetime_offset(self):
+        attr = DynamicAttribute.linear(10.0, 2.0, updatetime=3)
+        [s] = segments_of_function("o", attr, 3, 8)
+        assert s.a == Point(3, 10)
+        assert s.b == Point(8, 20)
+
+    def test_piecewise(self):
+        f = PiecewiseLinearFunction([(0, 1), (2, -1)])
+        attr = DynamicAttribute(0.0, function=f)
+        segs = segments_of_function("o", attr, 0, 5)
+        assert len(segs) == 2
+        assert segs[0].b == Point(2, 2)
+        assert segs[1].b == Point(5, -1)
+
+    def test_nonlinear_rejected(self):
+        attr = DynamicAttribute(0.0, function=SinusoidFunction(1, 1))
+        with pytest.raises(IndexError_):
+            segments_of_function("o", attr, 0, 5)
+
+    def test_bad_window(self):
+        attr = DynamicAttribute.linear(0.0, 1.0)
+        with pytest.raises(IndexError_):
+            segments_of_function("o", attr, 5, 5)

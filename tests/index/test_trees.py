@@ -1,0 +1,182 @@
+"""Unit + property tests for the region tree and the R-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.geometry import Point
+from repro.index import RegionTree, RTree, TrajectorySegment
+from repro.spatial import Box
+
+BOUNDS = Box.from_bounds((0, 100), (0, 100))
+
+coords = st.integers(min_value=0, max_value=100)
+
+segment_specs = st.lists(
+    st.tuples(coords, coords, coords, coords), min_size=0, max_size=40
+)
+probe_specs = st.tuples(coords, coords, coords, coords)
+
+
+def make_segments(specs):
+    return [
+        TrajectorySegment(f"o{i}", Point(x0, y0), Point(x1, y1))
+        for i, (x0, y0, x1, y1) in enumerate(specs)
+    ]
+
+
+def make_box(spec):
+    x0, y0, x1, y1 = spec
+    return Box.from_bounds(
+        (min(x0, x1), max(x0, x1)), (min(y0, y1), max(y0, y1))
+    )
+
+
+class TestRegionTree:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            RegionTree(BOUNDS, capacity=0)
+        with pytest.raises(IndexError_):
+            RegionTree(BOUNDS, max_depth=0)
+
+    def test_out_of_bounds_insert_rejected(self):
+        tree = RegionTree(BOUNDS)
+        with pytest.raises(IndexError_):
+            tree.insert(
+                TrajectorySegment("o", Point(200, 200), Point(300, 300))
+            )
+
+    def test_dim_mismatch(self):
+        tree = RegionTree(BOUNDS)
+        with pytest.raises(IndexError_):
+            tree.insert(
+                TrajectorySegment("o", Point(0, 0, 0), Point(1, 1, 1))
+            )
+
+    def test_insert_query(self):
+        tree = RegionTree(BOUNDS, capacity=2)
+        segs = make_segments([(0, 0, 10, 10), (50, 50, 60, 60), (0, 90, 90, 0)])
+        for s in segs:
+            tree.insert(s)
+        assert tree.query(Box.from_bounds((5, 6), (5, 6))) == {"o0"}
+        # The anti-diagonal y = 90 - x passes through (85, 5).
+        assert tree.query(Box.from_bounds((84, 86), (4, 6))) == {"o2"}
+        assert tree.query(Box.from_bounds((55, 56), (55, 56))) == {"o1"}
+        assert len(tree) == 3
+
+    def test_split_happens(self):
+        tree = RegionTree(BOUNDS, capacity=2)
+        for s in make_segments([(i, 0, i, 99) for i in range(12)]):
+            tree.insert(s)
+        assert tree.depth() > 1
+        assert tree.node_count() > 1
+
+    def test_delete(self):
+        tree = RegionTree(BOUNDS, capacity=2)
+        segs = make_segments([(0, 0, 99, 99), (0, 99, 99, 0)])
+        for s in segs:
+            tree.insert(s)
+        assert tree.delete(segs[0])
+        assert not tree.delete(segs[0])
+        assert tree.query(Box.from_bounds((0, 99), (0, 99))) == {"o1"}
+        assert len(tree) == 1
+
+    def test_delete_object(self):
+        tree = RegionTree(BOUNDS, capacity=2)
+        tree.insert(TrajectorySegment("a", Point(0, 0), Point(10, 10)))
+        tree.insert(TrajectorySegment("a", Point(10, 10), Point(20, 5)))
+        tree.insert(TrajectorySegment("b", Point(0, 50), Point(99, 50)))
+        assert tree.delete_object("a") == 2
+        assert tree.query(BOUNDS) == {"b"}
+
+    def test_nodes_visited_counter(self):
+        tree = RegionTree(BOUNDS, capacity=1)
+        for s in make_segments([(i * 8, 0, i * 8, 99) for i in range(12)]):
+            tree.insert(s)
+        tree.query(Box.from_bounds((0, 1), (0, 1)))
+        narrow = tree.last_nodes_visited
+        tree.query(BOUNDS)
+        wide = tree.last_nodes_visited
+        assert narrow < wide
+
+    @settings(max_examples=80, deadline=None)
+    @given(segment_specs, probe_specs)
+    def test_query_matches_linear_scan(self, specs, probe):
+        tree = RegionTree(BOUNDS, capacity=3)
+        segments = make_segments(specs)
+        for s in segments:
+            tree.insert(s)
+        box = make_box(probe)
+        want = {s.object_id for s in segments if s.intersects(box)}
+        assert tree.query(box) == want
+
+
+class TestRTree:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=2)
+
+    def test_insert_search(self):
+        tree = RTree(max_entries=4)
+        for i in range(30):
+            tree.insert(Box.from_bounds((i, i + 1), (0, 1)), i)
+        got = tree.search(Box.from_bounds((10, 12), (0, 1)))
+        assert set(got) == {9, 10, 11, 12}
+        assert len(tree) == 30
+        assert tree.height() >= 2
+
+    def test_delete(self):
+        tree = RTree(max_entries=4)
+        boxes = [Box.from_bounds((i, i + 1), (0, 1)) for i in range(10)]
+        for i, b in enumerate(boxes):
+            tree.insert(b, i)
+        assert tree.delete(boxes[5], 5)
+        assert not tree.delete(boxes[5], 5)
+        assert 5 not in set(tree.search(BOUNDS))
+        assert len(tree) == 9
+
+    def test_drain(self):
+        tree = RTree(max_entries=4)
+        boxes = [Box.from_bounds((i, i + 1), (i, i + 2)) for i in range(25)]
+        for i, b in enumerate(boxes):
+            tree.insert(b, i)
+        for i, b in enumerate(boxes):
+            assert tree.delete(b, i)
+        assert len(tree) == 0
+        assert tree.search(BOUNDS) == []
+
+    def test_nodes_visited_counter(self):
+        tree = RTree(max_entries=4)
+        for i in range(100):
+            tree.insert(Box.from_bounds((i, i + 1), (0, 1)), i)
+        tree.search(Box.from_bounds((3, 4), (0, 1)))
+        assert tree.last_nodes_visited < 100
+
+    @settings(max_examples=80, deadline=None)
+    @given(segment_specs, probe_specs)
+    def test_search_superset_of_exact(self, specs, probe):
+        # The R-tree returns bbox hits: a superset of exact segment hits.
+        tree = RTree(max_entries=4)
+        segments = make_segments(specs)
+        for s in segments:
+            tree.insert(s.bbox(), s)
+        box = make_box(probe)
+        got = {s.object_id for s in tree.search(box)}
+        exact = {s.object_id for s in segments if s.intersects(box)}
+        bbox_hits = {
+            s.object_id for s in segments if s.bbox().intersects(box)
+        }
+        assert got == bbox_hits
+        assert exact <= got
+
+    @settings(max_examples=50, deadline=None)
+    @given(segment_specs)
+    def test_insert_delete_roundtrip(self, specs):
+        tree = RTree(max_entries=4)
+        segments = make_segments(specs)
+        for s in segments:
+            tree.insert(s.bbox(), s)
+        for s in segments:
+            assert tree.delete(s.bbox(), s)
+        assert len(tree) == 0

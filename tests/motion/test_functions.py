@@ -1,0 +1,134 @@
+"""Unit tests for scalar time functions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MotionError
+from repro.motion import (
+    LinearFunction,
+    PiecewiseLinearFunction,
+    PolynomialFunction,
+    SinusoidFunction,
+    ZERO_FUNCTION,
+)
+
+finite = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+class TestLinear:
+    def test_value(self):
+        f = LinearFunction(5.0)
+        assert f.value(0) == 0
+        assert f.value(2) == 10
+        assert f.value(-1) == -5
+
+    def test_is_linear(self):
+        assert LinearFunction(3).is_linear
+
+    def test_breakpoints(self):
+        assert LinearFunction(3).linear_breakpoints(10) == [(0.0, 3)]
+
+    def test_zero_function(self):
+        assert ZERO_FUNCTION.value(100) == 0
+
+    @given(finite, finite)
+    def test_zero_at_origin_and_linearity(self, slope, t):
+        f = LinearFunction(slope)
+        assert f.value(0) == 0
+        assert f.value(t) == pytest.approx(slope * t)
+
+    def test_str(self):
+        assert str(LinearFunction(5)) == "5*t"
+
+
+class TestPiecewise:
+    def test_value_across_pieces(self):
+        # Speed 5 for t in [0,1), then 7 in [1,2), then 10.
+        f = PiecewiseLinearFunction([(0, 5), (1, 7), (2, 10)])
+        assert f.value(0) == 0
+        assert f.value(1) == 5
+        assert f.value(2) == 12
+        assert f.value(3) == 22
+
+    def test_continuity_at_breakpoints(self):
+        f = PiecewiseLinearFunction([(0, 2), (5, -3)])
+        eps = 1e-9
+        assert f.value(5 - eps) == pytest.approx(f.value(5 + eps), abs=1e-6)
+
+    def test_negative_extrapolation(self):
+        f = PiecewiseLinearFunction([(0, 4), (2, 1)])
+        assert f.value(-1) == -4
+
+    def test_breakpoints_clipped_to_duration(self):
+        f = PiecewiseLinearFunction([(0, 1), (5, 2), (9, 3)])
+        assert f.linear_breakpoints(6) == [(0, 1), (5, 2)]
+
+    def test_single_piece_is_linear(self):
+        assert PiecewiseLinearFunction([(0, 2)]).is_linear
+        assert not PiecewiseLinearFunction([(0, 2), (1, 3)]).is_linear
+
+    def test_empty_rejected(self):
+        with pytest.raises(MotionError):
+            PiecewiseLinearFunction([])
+
+    def test_nonzero_first_start_rejected(self):
+        with pytest.raises(MotionError):
+            PiecewiseLinearFunction([(1, 2)])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(MotionError):
+            PiecewiseLinearFunction([(0, 1), (3, 2), (2, 5)])
+
+    def test_duplicate_start_rejected(self):
+        with pytest.raises(MotionError):
+            PiecewiseLinearFunction([(0, 1), (0, 2)])
+
+
+class TestPolynomial:
+    def test_value(self):
+        f = PolynomialFunction([2, 3])  # 2t + 3t^2
+        assert f.value(0) == 0
+        assert f.value(2) == 4 + 12
+
+    def test_zero_at_origin(self):
+        assert PolynomialFunction([1, -4, 2]).value(0) == 0
+
+    def test_linearity_detection(self):
+        assert PolynomialFunction([5]).is_linear
+        assert PolynomialFunction([5, 0, 0]).is_linear
+        assert not PolynomialFunction([5, 1]).is_linear
+
+    def test_breakpoints(self):
+        assert PolynomialFunction([5]).linear_breakpoints(3) == [(0.0, 5)]
+        assert PolynomialFunction([5, 1]).linear_breakpoints(3) is None
+
+    def test_empty_polynomial(self):
+        f = PolynomialFunction([])
+        assert f.value(7) == 0
+        assert f.is_linear
+
+    def test_str(self):
+        assert str(PolynomialFunction([2, 3])) == "2*t^1 + 3*t^2"
+        assert str(PolynomialFunction([])) == "0"
+
+
+class TestSinusoid:
+    def test_value(self):
+        f = SinusoidFunction(2.0, math.pi)
+        assert f.value(0) == 0
+        assert f.value(0.5) == pytest.approx(2.0)
+        assert f.value(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_degenerate_is_linear(self):
+        assert SinusoidFunction(0, 3).is_linear
+        assert SinusoidFunction(3, 0).is_linear
+        assert not SinusoidFunction(1, 1).is_linear
+
+    def test_breakpoints_none_when_nonlinear(self):
+        assert SinusoidFunction(1, 1).linear_breakpoints(5) is None
+        assert SinusoidFunction(0, 1).linear_breakpoints(5) == [(0.0, 0.0)]

@@ -1,0 +1,136 @@
+"""Unit tests for moving points."""
+
+import pytest
+
+from repro.errors import MotionError
+from repro.motion import (
+    LinearFunction,
+    MovingPoint,
+    PiecewiseLinearFunction,
+    SinusoidFunction,
+    linear_moving_point,
+    static_point,
+)
+from repro.spatial import Point, Vector
+
+
+class TestConstruction:
+    def test_default_is_static(self):
+        m = MovingPoint(Point(3, 4))
+        assert m.is_static
+        assert m.position_at(100) == Point(3, 4)
+
+    def test_function_count_mismatch(self):
+        with pytest.raises(MotionError):
+            MovingPoint(Point(0, 0), [LinearFunction(1)])
+
+    def test_linear_factory(self):
+        m = linear_moving_point(Point(0, 0), Vector(1, 2))
+        assert m.is_linear
+        assert m.velocity == Vector(1, 2)
+        assert m.position_at(3) == Point(3, 6)
+
+    def test_linear_factory_dim_mismatch(self):
+        with pytest.raises(MotionError):
+            linear_moving_point(Point(0, 0), Vector(1, 2, 3))
+
+    def test_static_factory(self):
+        assert static_point(Point(1, 1)).is_static
+
+    def test_speed(self):
+        m = linear_moving_point(Point(0, 0), Vector(3, 4))
+        assert m.speed == 5.0
+
+    def test_velocity_undefined_for_nonlinear(self):
+        m = MovingPoint(Point(0.0,), [SinusoidFunction(1, 1)])
+        with pytest.raises(MotionError):
+            _ = m.velocity
+
+
+class TestEvaluation:
+    def test_anchor_time_offset(self):
+        # Updated at t=10 with speed 5: position at t=12 is anchor + 10.
+        m = linear_moving_point(Point(0, 0), Vector(5, 0), anchor_time=10)
+        assert m.position_at(10) == Point(0, 0)
+        assert m.position_at(12) == Point(10, 0)
+
+    def test_section21_example(self):
+        # X.POSITION.function = 5*t means speed 5 in the X direction.
+        m = MovingPoint(Point(0.0,), [LinearFunction(5)])
+        assert m.position_at(2) == Point(10.0)
+
+    def test_piecewise_position(self):
+        f = PiecewiseLinearFunction([(0, 5), (1, 7)])
+        m = MovingPoint(Point(0.0,), [f])
+        assert m.position_at(1).x == 5
+        assert m.position_at(2).x == 12
+
+
+class TestLinearPieces:
+    def test_single_leg_for_linear(self):
+        m = linear_moving_point(Point(0, 0), Vector(1, 0))
+        pieces = m.linear_pieces(0, 10)
+        assert len(pieces) == 1
+        assert pieces[0].velocity == Vector(1, 0)
+        assert pieces[0].position_at(4) == Point(4, 0)
+
+    def test_piecewise_splits(self):
+        f = PiecewiseLinearFunction([(0, 5), (2, 7)])
+        m = MovingPoint(Point(0.0, 0.0), [f, LinearFunction(0)])
+        pieces = m.linear_pieces(0, 5)
+        assert len(pieces) == 2
+        assert pieces[0].end == 2
+        assert pieces[0].velocity.x == 5
+        assert pieces[1].velocity.x == 7
+        assert pieces[1].origin.x == 10
+
+    def test_anchor_offset_breakpoints(self):
+        f = PiecewiseLinearFunction([(0, 1), (3, 2)])
+        m = MovingPoint(Point(0.0,), [f], anchor_time=10)
+        pieces = m.linear_pieces(10, 20)
+        assert [p.start for p in pieces] == [10, 13]
+
+    def test_none_for_nonlinear(self):
+        m = MovingPoint(Point(0.0,), [SinusoidFunction(1, 1)])
+        assert m.linear_pieces(0, 10) is None
+
+    def test_bad_window(self):
+        m = static_point(Point(0, 0))
+        with pytest.raises(MotionError):
+            m.linear_pieces(5, 3)
+
+    def test_pieces_agree_with_position_at(self):
+        f = PiecewiseLinearFunction([(0, 2), (1, -1), (4, 0.5)])
+        m = MovingPoint(Point(1.0, 2.0), [f, LinearFunction(3)])
+        pieces = m.linear_pieces(0, 6)
+        for p in pieces:
+            for frac in (0.0, 0.3, 0.9):
+                t = p.start + frac * (p.end - p.start)
+                assert p.position_at(t).is_close(m.position_at(t), tol=1e-9)
+
+
+class TestUpdates:
+    def test_update_motion_keeps_implied_position(self):
+        m = linear_moving_point(Point(0, 0), Vector(5, 0))
+        m2 = m.updated(at_time=2, functions=[LinearFunction(7), LinearFunction(0)])
+        assert m2.anchor == Point(10, 0)
+        assert m2.anchor_time == 2
+        assert m2.position_at(3) == Point(17, 0)
+
+    def test_update_position_only(self):
+        m = linear_moving_point(Point(0, 0), Vector(5, 0))
+        m2 = m.updated(at_time=2, position=Point(100, 0))
+        assert m2.position_at(3) == Point(105, 0)
+
+    def test_update_both(self):
+        m = linear_moving_point(Point(0, 0), Vector(5, 0))
+        m2 = m.updated(
+            at_time=1,
+            position=Point(0, 0),
+            functions=[LinearFunction(0), LinearFunction(1)],
+        )
+        assert m2.position_at(4) == Point(0, 3)
+
+    def test_repr(self):
+        m = linear_moving_point(Point(0, 0), Vector(5, 0))
+        assert "5*t" in repr(m)

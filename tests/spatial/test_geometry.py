@@ -1,0 +1,107 @@
+"""Unit tests for points and vectors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial import Point, Vector, dist
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestConstruction:
+    def test_dims(self):
+        assert Point(1).dim == 1
+        assert Point(1, 2).dim == 2
+        assert Point(1, 2, 3).dim == 3
+
+    def test_too_many_coords(self):
+        with pytest.raises(SpatialError):
+            Point(1, 2, 3, 4)
+
+    def test_no_coords(self):
+        with pytest.raises(SpatialError):
+            Point()
+
+    def test_of(self):
+        assert Point.of([1, 2]) == Point(1, 2)
+
+    def test_zero(self):
+        assert Point.zero(3) == Point(0, 0, 0)
+
+    def test_accessors(self):
+        p = Point(1, 2, 3)
+        assert (p.x, p.y, p.z) == (1, 2, 3)
+
+    def test_missing_axis_raises(self):
+        with pytest.raises(SpatialError):
+            _ = Point(1).y
+        with pytest.raises(SpatialError):
+            _ = Point(1, 2).z
+
+    def test_iteration_indexing(self):
+        p = Point(4, 5)
+        assert list(p) == [4, 5]
+        assert p[1] == 5
+        assert len(p) == 2
+
+
+class TestAlgebra:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(SpatialError):
+            Point(1, 2) + Point(1, 2, 3)
+
+    def test_scale(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+        assert -Point(1, 2) == Point(-1, -2)
+
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_cross2d(self):
+        assert Point(1, 0).cross2d(Point(0, 1)) == 1
+        with pytest.raises(SpatialError):
+            Point(1, 0, 0).cross2d(Point(0, 1, 0))
+
+    def test_norm(self):
+        assert Point(3, 4).norm == 5
+        assert Point(3, 4).norm_squared == 25
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5
+        assert dist(Point(0, 0), Point(3, 4)) == 5
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_is_close(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-12, 1))
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+        assert not Point(1, 1).is_close(Point(1.0,))
+
+    def test_hash_eq(self):
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != (1, 2)
+
+    def test_vector_alias(self):
+        assert Vector is Point
+
+    @given(coords, coords, coords, coords)
+    def test_triangle_inequality(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        origin = Point(0, 0)
+        assert a.distance_to(b) <= (
+            a.distance_to(origin) + origin.distance_to(b) + 1e-6
+        )
+
+    @given(coords, coords)
+    def test_norm_matches_math(self, x, y):
+        assert Point(x, y).norm == pytest.approx(math.hypot(x, y), rel=1e-9)

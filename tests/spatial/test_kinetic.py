@@ -1,0 +1,381 @@
+"""Unit + property tests for the kinetic predicate solvers.
+
+Every analytic solver is validated against dense time sampling of the
+instantaneous predicate — the ground truth of section 3.3's per-state
+semantics.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpatialError
+from repro.motion import (
+    LinearFunction,
+    MovingPoint,
+    PiecewiseLinearFunction,
+    SinusoidFunction,
+    linear_moving_point,
+    static_point,
+)
+from repro.spatial import (
+    Ball,
+    Point,
+    Polygon,
+    Vector,
+    when_below,
+    when_dist_at_least,
+    when_dist_at_most,
+    when_inside_ball,
+    when_inside_polygon,
+    when_outside_polygon,
+    when_true,
+    when_value_in_range,
+    when_within_sphere,
+)
+from repro.temporal import Interval, IntervalSet
+
+WINDOW = Interval(0, 20)
+
+# Subnormal floats are excluded: products like slope * t underflow to zero
+# in the sampled predicate while exact arithmetic keeps them positive.
+small = st.floats(
+    min_value=-10, max_value=10, allow_nan=False, allow_subnormal=False
+)
+# Velocities smaller than the geometric boundary tolerance move a point
+# by less than containment noise over the window; snap them to zero.
+velocities = st.floats(
+    min_value=-5, max_value=5, allow_nan=False, allow_subnormal=False
+).map(lambda v: 0.0 if abs(v) < 1e-6 else v)
+
+
+def sample_check(iset: IntervalSet, predicate, window=WINDOW, n=400, slack=0.05):
+    """Every sampled time point must agree with the interval set, except
+    within ``slack`` of an interval boundary (closed-interval edge noise)."""
+    step = window.duration / n
+    for i in range(n + 1):
+        t = window.start + i * step
+        expected = predicate(t)
+        got = iset.contains(t)
+        if got != expected:
+            near_boundary = any(
+                abs(t - iv.start) <= slack or abs(t - iv.end) <= slack
+                for iv in iset.intervals
+            )
+            assert near_boundary, f"mismatch at t={t}: got {got}, want {expected}"
+
+
+class TestDistAtMost:
+    def test_head_on_approach(self):
+        a = linear_moving_point(Point(0, 0), Vector(1, 0))
+        b = linear_moving_point(Point(10, 0), Vector(-1, 0))
+        got = when_dist_at_most(a, b, 4, WINDOW)
+        # distance 10 - 2t <= 4 for t in [3, 7]
+        assert len(got) == 1
+        assert got.intervals[0].start == pytest.approx(3)
+        assert got.intervals[0].end == pytest.approx(7)
+
+    def test_never_close(self):
+        a = linear_moving_point(Point(0, 0), Vector(0, 1))
+        b = linear_moving_point(Point(100, 0), Vector(0, 1))
+        assert when_dist_at_most(a, b, 4, WINDOW).is_empty
+
+    def test_parallel_always_close(self):
+        a = linear_moving_point(Point(0, 0), Vector(2, 2))
+        b = linear_moving_point(Point(1, 0), Vector(2, 2))
+        got = when_dist_at_most(a, b, 4, WINDOW)
+        assert got.intervals == (WINDOW,)
+
+    def test_static_pair(self):
+        a = static_point(Point(0, 0))
+        b = static_point(Point(3, 0))
+        assert when_dist_at_most(a, b, 4, WINDOW).intervals == (WINDOW,)
+        assert when_dist_at_most(a, b, 2, WINDOW).is_empty
+
+    def test_negative_radius_rejected(self):
+        a = static_point(Point(0, 0))
+        with pytest.raises(SpatialError):
+            when_dist_at_most(a, a, -1, WINDOW)
+
+    def test_piecewise_turnaround(self):
+        # Approaches, then turns away at t=5.
+        f = PiecewiseLinearFunction([(0, 2), (5, -2)])
+        a = MovingPoint(Point(0.0, 0.0), [f, LinearFunction(0)])
+        b = static_point(Point(10, 0))
+        got = when_dist_at_most(a, b, 3, WINDOW)
+        sample_check(
+            got,
+            lambda t: a.position_at(t).distance_to(b.position_at(t)) <= 3,
+        )
+
+    def test_nonlinear_fallback(self):
+        a = MovingPoint(Point(0.0, 0.0), [SinusoidFunction(5, 0.7), LinearFunction(0)])
+        b = static_point(Point(4, 0))
+        got = when_dist_at_most(a, b, 2, WINDOW)
+        assert not got.is_empty
+        sample_check(
+            got,
+            lambda t: a.position_at(t).distance_to(b.position_at(t)) <= 2,
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(small, small, velocities, velocities, small, small, velocities,
+           velocities, st.floats(min_value=0.1, max_value=15))
+    def test_matches_sampling(self, ax, ay, avx, avy, bx, by, bvx, bvy, r):
+        a = linear_moving_point(Point(ax, ay), Vector(avx, avy))
+        b = linear_moving_point(Point(bx, by), Vector(bvx, bvy))
+        got = when_dist_at_most(a, b, r, WINDOW)
+        sample_check(
+            got,
+            lambda t: a.position_at(t).distance_to(b.position_at(t)) <= r,
+        )
+
+
+class TestDistAtLeast:
+    def test_moving_apart(self):
+        a = linear_moving_point(Point(0, 0), Vector(-1, 0))
+        b = linear_moving_point(Point(2, 0), Vector(1, 0))
+        got = when_dist_at_least(a, b, 10, WINDOW)
+        # distance 2 + 2t >= 10 at t >= 4
+        assert got.intervals[0].start == pytest.approx(4)
+        assert got.intervals[0].end == 20
+
+    def test_complementary_to_at_most(self):
+        a = linear_moving_point(Point(0, 0), Vector(1, 0))
+        b = linear_moving_point(Point(10, 0), Vector(-1, 0))
+        close = when_dist_at_most(a, b, 4, WINDOW)
+        far = when_dist_at_least(a, b, 4, WINDOW)
+        union = close.union(far)
+        assert union.intervals == (WINDOW,)
+
+    def test_nonlinear_fallback(self):
+        a = MovingPoint(Point(0.0, 0.0), [SinusoidFunction(5, 0.9), LinearFunction(0)])
+        b = static_point(Point(0, 0))
+        got = when_dist_at_least(a, b, 3, WINDOW)
+        sample_check(
+            got,
+            lambda t: a.position_at(t).distance_to(b.position_at(t)) >= 3,
+            slack=0.08,
+        )
+
+    def test_negative_radius_rejected(self):
+        a = static_point(Point(0, 0))
+        with pytest.raises(SpatialError):
+            when_dist_at_least(a, a, -1, WINDOW)
+
+
+class TestInsideBall:
+    def test_static_ball(self):
+        m = linear_moving_point(Point(-10, 0), Vector(1, 0))
+        got = when_inside_ball(m, Ball(Point(0, 0), 2), WINDOW)
+        assert got.intervals[0].start == pytest.approx(8)
+        assert got.intervals[0].end == pytest.approx(12)
+
+    def test_moving_ball_with_carrier(self):
+        # The paper's circle around a moving car: a second car with the
+        # same motion vector stays inside forever.
+        car = linear_moving_point(Point(0, 0), Vector(3, 0))
+        other = linear_moving_point(Point(1, 0), Vector(3, 0))
+        circle = Ball(Point(0, 0), 5)
+        got = when_inside_ball(other, circle, WINDOW, carrier=car)
+        assert got.intervals == (WINDOW,)
+
+    def test_moving_ball_overtaken(self):
+        car = linear_moving_point(Point(0, 0), Vector(2, 0))
+        stationary = static_point(Point(10, 0))
+        circle = Ball(Point(0, 0), 3)
+        got = when_inside_ball(stationary, circle, WINDOW, carrier=car)
+        # Car's circle sweeps over the point: |10 - 2t| <= 3, t in [3.5, 6.5]
+        assert got.intervals[0].start == pytest.approx(3.5)
+        assert got.intervals[0].end == pytest.approx(6.5)
+
+
+class TestInsidePolygon:
+    SQUARE = Polygon.rectangle(0, 0, 10, 10)
+
+    def test_fly_through(self):
+        m = linear_moving_point(Point(-5, 5), Vector(1, 0))
+        got = when_inside_polygon(m, self.SQUARE, WINDOW)
+        assert len(got) == 1
+        assert got.intervals[0].start == pytest.approx(5)
+        assert got.intervals[0].end == pytest.approx(15)
+
+    def test_miss(self):
+        m = linear_moving_point(Point(-5, 50), Vector(1, 0))
+        assert when_inside_polygon(m, self.SQUARE, WINDOW).is_empty
+
+    def test_static_inside(self):
+        m = static_point(Point(5, 5))
+        assert when_inside_polygon(m, self.SQUARE, WINDOW).intervals == (WINDOW,)
+
+    def test_static_outside(self):
+        m = static_point(Point(50, 5))
+        assert when_inside_polygon(m, self.SQUARE, WINDOW).is_empty
+
+    def test_nonconvex_double_crossing(self):
+        # Crossing the L-shape notch: inside, outside, inside again.
+        l_shape = Polygon(
+            [
+                Point(0, 0),
+                Point(30, 0),
+                Point(30, 30),
+                Point(20, 30),
+                Point(20, 10),
+                Point(10, 10),
+                Point(10, 30),
+                Point(0, 30),
+            ]
+        )
+        m = linear_moving_point(Point(-5, 20), Vector(2, 0))
+        got = when_inside_polygon(m, l_shape, WINDOW)
+        assert len(got) == 2
+        sample_check(got, lambda t: l_shape.contains(m.position_at(t)))
+
+    def test_outside_is_complement(self):
+        m = linear_moving_point(Point(-5, 5), Vector(1, 0))
+        inside_set = when_inside_polygon(m, self.SQUARE, WINDOW)
+        outside_set = when_outside_polygon(m, self.SQUARE, WINDOW)
+        assert inside_set.union(outside_set).intervals == (WINDOW,)
+
+    def test_carrier_relative_motion(self):
+        # Polygon rides with a car; a point with identical velocity keeps
+        # its relative placement forever.
+        car = linear_moving_point(Point(0, 0), Vector(5, 1))
+        rider = linear_moving_point(Point(2, 2), Vector(5, 1))
+        got = when_inside_polygon(rider, self.SQUARE, WINDOW, carrier=car)
+        assert got.intervals == (WINDOW,)
+
+    def test_carrier_sweeps_past_static_point(self):
+        car = linear_moving_point(Point(0, 0), Vector(1, 0))
+        pt = static_point(Point(20, 5))
+        got = when_inside_polygon(pt, self.SQUARE, WINDOW, carrier=car)
+        # Square [0,10]x[0,10] moves right at 1: covers x=20 for t in [10, 20].
+        assert got.intervals[0].start == pytest.approx(10)
+        assert got.intervals[0].end == pytest.approx(20)
+
+    def test_sliding_along_edge(self):
+        m = linear_moving_point(Point(-5, 0), Vector(1, 0))
+        got = when_inside_polygon(m, self.SQUARE, WINDOW)
+        # Boundary-inclusive: on the bottom edge from t=5 to t=15.
+        assert got.contains(10)
+        assert not got.contains(2)
+
+    def test_nonlinear_fallback(self):
+        m = MovingPoint(
+            Point(5.0, -20.0),
+            [LinearFunction(0), SinusoidFunction(30, 0.4)],
+        )
+        got = when_inside_polygon(m, self.SQUARE, WINDOW)
+        assert not got.is_empty
+        sample_check(
+            got, lambda t: self.SQUARE.contains(m.position_at(t)), slack=0.1
+        )
+
+    def test_requires_2d(self):
+        m = static_point(Point(0, 0, 0))
+        with pytest.raises(SpatialError):
+            when_inside_polygon(m, self.SQUARE, WINDOW)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small, small, velocities, velocities)
+    def test_matches_sampling(self, x, y, vx, vy):
+        m = linear_moving_point(Point(x, y), Vector(vx, vy))
+        got = when_inside_polygon(m, self.SQUARE, WINDOW)
+        sample_check(got, lambda t: self.SQUARE.contains(m.position_at(t)))
+
+
+class TestWithinSphere:
+    def test_empty_and_singleton_always(self):
+        assert when_within_sphere(1, [], WINDOW).intervals == (WINDOW,)
+        m = static_point(Point(0, 0))
+        assert when_within_sphere(0, [m], WINDOW).intervals == (WINDOW,)
+
+    def test_two_points_reduces_to_dist(self):
+        a = linear_moving_point(Point(0, 0), Vector(1, 0))
+        b = linear_moving_point(Point(10, 0), Vector(-1, 0))
+        got = when_within_sphere(2, [a, b], WINDOW)
+        expected = when_dist_at_most(a, b, 4, WINDOW)
+        assert got == expected
+
+    def test_three_converging(self):
+        ms = [
+            linear_moving_point(Point(-10, 0), Vector(1, 0)),
+            linear_moving_point(Point(10, 0), Vector(-1, 0)),
+            linear_moving_point(Point(0, 10), Vector(0, -1)),
+        ]
+        got = when_within_sphere(2, ms, WINDOW)
+        assert not got.is_empty
+        # All three near the origin around t=10.
+        assert got.contains(10)
+        assert not got.contains(0)
+
+    def test_negative_radius(self):
+        with pytest.raises(SpatialError):
+            when_within_sphere(-1, [], WINDOW)
+
+
+class TestValueInRange:
+    def test_linear(self):
+        got = when_value_in_range(0, LinearFunction(2), 4, 10, WINDOW)
+        assert got.intervals[0].start == pytest.approx(2)
+        assert got.intervals[0].end == pytest.approx(5)
+
+    def test_static_value(self):
+        got = when_value_in_range(7, LinearFunction(0), 4, 10, WINDOW)
+        assert got.intervals == (WINDOW,)
+        assert when_value_in_range(70, LinearFunction(0), 4, 10, WINDOW).is_empty
+
+    def test_anchor_time(self):
+        got = when_value_in_range(
+            0, LinearFunction(1), 5, 6, WINDOW, anchor_time=2
+        )
+        assert got.intervals[0].start == pytest.approx(7)
+        assert got.intervals[0].end == pytest.approx(8)
+
+    def test_piecewise_bounce(self):
+        f = PiecewiseLinearFunction([(0, 1), (10, -1)])
+        got = when_value_in_range(0, f, 5, 100, WINDOW)
+        # Rises through 5 at t=5, peaks at 10 (value 10), falls below 5 at t=15.
+        assert got.intervals[0].start == pytest.approx(5)
+        assert got.intervals[0].end == pytest.approx(15)
+
+    def test_nonlinear(self):
+        f = SinusoidFunction(10, 0.5)
+        got = when_value_in_range(0, f, 5, 100, WINDOW)
+        sample_check(got, lambda t: 5 <= f.value(t) <= 100, slack=0.08)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SpatialError):
+            when_value_in_range(0, LinearFunction(1), 5, 4, WINDOW)
+
+    @settings(max_examples=80, deadline=None)
+    @given(small, velocities, small, st.floats(min_value=0, max_value=10))
+    def test_matches_sampling(self, v0, slope, lo, width):
+        f = LinearFunction(slope)
+        got = when_value_in_range(v0, f, lo, lo + width, WINDOW)
+        sample_check(got, lambda t: lo <= v0 + f.value(t) <= lo + width)
+
+
+class TestNumericMachinery:
+    def test_when_true_constant(self):
+        assert when_true(lambda t: True, WINDOW).intervals == (WINDOW,)
+        assert when_true(lambda t: False, WINDOW).is_empty
+
+    def test_when_below_crossing(self):
+        got = when_below(lambda t: t - 10, WINDOW)
+        assert got.intervals[0].start == 0
+        assert got.intervals[0].end == pytest.approx(10, abs=1e-6)
+
+    def test_unbounded_window_rejected(self):
+        with pytest.raises(SpatialError):
+            when_true(lambda t: True, Interval(0, math.inf))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(SpatialError):
+            when_true(lambda t: True, WINDOW, samples=1)
+
+    def test_boundary_refinement_precision(self):
+        got = when_below(lambda t: t - math.pi, WINDOW)
+        assert got.intervals[0].end == pytest.approx(math.pi, abs=1e-6)

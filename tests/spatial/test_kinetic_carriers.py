@@ -1,0 +1,111 @@
+"""Kinetic solvers with piecewise and nonlinear carriers (moving regions).
+
+The section 1 scenario — a region that "moves as a rigid body having the
+motion vector of the car" — where the car itself changes course.
+"""
+
+import pytest
+
+from repro.motion import (
+    LinearFunction,
+    MovingPoint,
+    PiecewiseLinearFunction,
+    SinusoidFunction,
+    linear_moving_point,
+    static_point,
+)
+from repro.geometry import Point, Vector
+from repro.spatial import Ball, Polygon, when_inside_ball, when_inside_polygon
+from repro.temporal import Interval
+
+WINDOW = Interval(0, 20)
+SQUARE = Polygon.rectangle(0, 0, 10, 10)
+
+
+def sample_check(iset, predicate, n=400, slack=0.06):
+    step = WINDOW.duration / n
+    for i in range(n + 1):
+        t = WINDOW.start + i * step
+        if iset.contains(t) != predicate(t):
+            assert any(
+                abs(t - iv.start) <= slack or abs(t - iv.end) <= slack
+                for iv in iset.intervals
+            ), f"mismatch at t={t}"
+
+
+def moving_region_contains(carrier, region, point, t):
+    delta = carrier.position_at(t) - carrier.position_at(WINDOW.start)
+    return region.translated(delta).contains(point.position_at(t))
+
+
+class TestPiecewiseCarrier:
+    def test_polygon_rides_turning_car(self):
+        # Car drives east for 10 ticks, then turns north.
+        fx = PiecewiseLinearFunction([(0, 2), (10, 0)])
+        fy = PiecewiseLinearFunction([(0, 0), (10, 2)])
+        car = MovingPoint(Point(0.0, 0.0), [fx, fy])
+        pedestrian = static_point(Point(15, 5))
+        got = when_inside_polygon(pedestrian, SQUARE, WINDOW, carrier=car)
+        # The square sweeps east covering x=15 during t in [2.5, 10]; after
+        # the turn it moves north away from y=5 at t > 10... but the square
+        # spans y in [0,10], so containment ends when y-lo passes 5 at 12.5.
+        sample_check(
+            got,
+            lambda t: moving_region_contains(car, SQUARE, pedestrian, t),
+        )
+        assert got.contains(5)
+        assert not got.contains(14)
+
+    def test_ball_rides_turning_car(self):
+        fx = PiecewiseLinearFunction([(0, 1), (8, -1)])
+        car = MovingPoint(Point(0.0, 0.0), [fx, LinearFunction(0)])
+        circle = Ball(Point(0.0, 0.0), 3.0)
+        target = static_point(Point(6, 0))
+        got = when_inside_ball(target, circle, WINDOW, carrier=car)
+        sample_check(
+            got,
+            lambda t: moving_region_contains(car, circle, target, t),
+        )
+        # Car reaches x=8 at t=8 then returns: target at x=6 is covered
+        # around t in [3, 13].
+        assert got.contains(8)
+        assert not got.contains(0)
+        assert not got.contains(15)
+
+    def test_both_point_and_carrier_piecewise(self):
+        fx_car = PiecewiseLinearFunction([(0, 1), (10, 0)])
+        car = MovingPoint(Point(0.0, 5.0), [fx_car, LinearFunction(0)])
+        fx_p = PiecewiseLinearFunction([(0, 0), (5, 1)])
+        walker = MovingPoint(Point(20.0, 5.0), [fx_p, LinearFunction(0)])
+        got = when_inside_polygon(walker, SQUARE, WINDOW, carrier=car)
+        sample_check(
+            got,
+            lambda t: moving_region_contains(car, SQUARE, walker, t),
+        )
+
+
+class TestNonlinearCarrier:
+    def test_oscillating_carrier_falls_back_to_numeric(self):
+        car = MovingPoint(
+            Point(0.0, 0.0), [SinusoidFunction(12, 0.5), LinearFunction(0)]
+        )
+        target = static_point(Point(10, 5))
+        got = when_inside_polygon(target, SQUARE, WINDOW, carrier=car)
+        assert not got.is_empty
+        sample_check(
+            got,
+            lambda t: moving_region_contains(car, SQUARE, target, t),
+            slack=0.12,
+        )
+
+    def test_nonlinear_point_linear_carrier(self):
+        walker = MovingPoint(
+            Point(5.0, -15.0), [LinearFunction(0), SinusoidFunction(20, 0.4)]
+        )
+        car = linear_moving_point(Point(0, 0), Vector(0.0, 0.0))
+        got = when_inside_polygon(walker, SQUARE, WINDOW, carrier=car)
+        sample_check(
+            got,
+            lambda t: moving_region_contains(car, SQUARE, walker, t),
+            slack=0.12,
+        )

@@ -1,0 +1,153 @@
+"""Unit tests for polygons."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial import Point, Polygon
+
+
+def square() -> Polygon:
+    return Polygon.rectangle(0, 0, 10, 10)
+
+
+def l_shape() -> Polygon:
+    """Non-convex L: a 10x10 square with the top-right 5x5 corner removed."""
+    return Polygon(
+        [
+            Point(0, 0),
+            Point(10, 0),
+            Point(10, 5),
+            Point(5, 5),
+            Point(5, 10),
+            Point(0, 10),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_too_few_vertices(self):
+        with pytest.raises(SpatialError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(SpatialError):
+            Polygon([Point(0, 0, 0), Point(1, 0, 0), Point(0, 1, 0)])
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(SpatialError):
+            Polygon([Point(0, 0), Point(1, 0), Point(0, 0)])
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(SpatialError):
+            Polygon([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_orientation_normalised(self):
+        cw = Polygon([Point(0, 0), Point(0, 1), Point(1, 1), Point(1, 0)])
+        ccw = Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+        assert cw.area == ccw.area == 1
+        assert cw.is_convex and ccw.is_convex
+
+    def test_rectangle_factory_validation(self):
+        with pytest.raises(SpatialError):
+            Polygon.rectangle(5, 0, 5, 10)
+
+    def test_regular_factory(self):
+        hexagon = Polygon.regular(Point(0, 0), 2, 6)
+        assert len(hexagon.vertices) == 6
+        assert hexagon.is_convex
+        assert hexagon.contains(Point(0, 0))
+
+    def test_regular_validation(self):
+        with pytest.raises(SpatialError):
+            Polygon.regular(Point(0, 0), 1, 2)
+        with pytest.raises(SpatialError):
+            Polygon.regular(Point(0, 0), 0, 5)
+
+
+class TestMeasures:
+    def test_area(self):
+        assert square().area == 100
+        assert l_shape().area == 75
+
+    def test_centroid_square(self):
+        assert square().centroid.is_close(Point(5, 5))
+
+    def test_convexity(self):
+        assert square().is_convex
+        assert not l_shape().is_convex
+
+    def test_bounding_box(self):
+        assert l_shape().bounding_box() == (0, 0, 10, 10)
+
+    def test_edges_ring(self):
+        edges = square().edges
+        assert len(edges) == 4
+        assert edges[0].b == edges[1].a
+
+    def test_edge_side_of(self):
+        edge = square().edges[0]  # (0,0)->(10,0)
+        assert edge.side_of(Point(5, 1)) > 0
+        assert edge.side_of(Point(5, -1)) < 0
+        assert edge.side_of(Point(5, 0)) == 0
+
+
+class TestContainment:
+    def test_interior(self):
+        assert square().contains(Point(5, 5))
+
+    def test_exterior(self):
+        assert not square().contains(Point(15, 5))
+
+    def test_boundary_inclusive(self):
+        assert square().contains(Point(0, 5))
+        assert square().contains(Point(0, 0))
+        assert square().contains(Point(10, 10))
+
+    def test_l_shape_notch(self):
+        p = l_shape()
+        assert p.contains(Point(2, 2))
+        assert p.contains(Point(2, 8))
+        assert p.contains(Point(8, 2))
+        assert not p.contains(Point(8, 8))  # removed corner
+
+    def test_on_boundary(self):
+        assert square().on_boundary(Point(5, 0))
+        assert not square().on_boundary(Point(5, 1))
+
+    def test_requires_2d_point(self):
+        with pytest.raises(SpatialError):
+            square().contains(Point(1, 2, 3))
+
+    @given(
+        st.floats(min_value=-20, max_value=20, allow_nan=False),
+        st.floats(min_value=-20, max_value=20, allow_nan=False),
+    )
+    def test_containment_matches_bbox_necessity(self, x, y):
+        # Inside implies inside the bounding box.
+        p = l_shape()
+        if p.contains(Point(x, y)):
+            x0, y0, x1, y1 = p.bounding_box()
+            # Boundary tolerance of on_boundary() allows sub-epsilon slack.
+            eps = 1e-9
+            assert x0 - eps <= x <= x1 + eps and y0 - eps <= y <= y1 + eps
+
+    @given(
+        st.floats(min_value=0.1, max_value=9.9),
+        st.floats(min_value=0.1, max_value=9.9),
+    )
+    def test_square_containment_is_coordinatewise(self, x, y):
+        assert square().contains(Point(x, y))
+
+
+class TestTransforms:
+    def test_translated(self):
+        moved = square().translated(Point(100, 0))
+        assert moved.contains(Point(105, 5))
+        assert not moved.contains(Point(5, 5))
+
+    def test_eq_hash(self):
+        assert square() == Polygon.rectangle(0, 0, 10, 10)
+        assert hash(square()) == hash(Polygon.rectangle(0, 0, 10, 10))
+        assert square() != l_shape()

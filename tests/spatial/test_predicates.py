@@ -1,0 +1,132 @@
+"""Unit + property tests for instantaneous spatial predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial import (
+    Ball,
+    Point,
+    Polygon,
+    dist,
+    enclosing_ball,
+    inside,
+    outside,
+    within_a_sphere,
+)
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+points_2d = st.builds(Point, coords, coords)
+points_3d = st.builds(Point, coords, coords, coords)
+
+
+class TestInsideOutside:
+    def test_polygon(self):
+        p = Polygon.rectangle(0, 0, 10, 10)
+        assert inside(Point(5, 5), p)
+        assert outside(Point(50, 5), p)
+        assert inside(Point(5, 5), p) != outside(Point(5, 5), p)
+
+    def test_ball(self):
+        b = Ball(Point(0, 0), 2)
+        assert inside(Point(1, 1), b)
+        assert outside(Point(3, 0), b)
+
+    def test_dist(self):
+        assert dist(Point(0, 0), Point(6, 8)) == 10
+
+
+class TestEnclosingBall:
+    def test_empty_rejected(self):
+        with pytest.raises(SpatialError):
+            enclosing_ball([])
+
+    def test_single_point(self):
+        b = enclosing_ball([Point(3, 4)])
+        assert b.center == Point(3, 4)
+        assert b.radius == 0
+
+    def test_two_points(self):
+        b = enclosing_ball([Point(0, 0), Point(4, 0)])
+        assert b.center.is_close(Point(2, 0))
+        assert b.radius == pytest.approx(2)
+
+    def test_three_points_triangle(self):
+        b = enclosing_ball([Point(0, 0), Point(4, 0), Point(2, 3)])
+        for p in [Point(0, 0), Point(4, 0), Point(2, 3)]:
+            assert b.contains(p)
+
+    def test_obtuse_triangle_uses_diameter(self):
+        # For an obtuse triangle the circumcircle is bigger than needed.
+        b = enclosing_ball([Point(0, 0), Point(10, 0), Point(5, 0.1)])
+        assert b.radius == pytest.approx(5, abs=0.01)
+
+    def test_collinear(self):
+        b = enclosing_ball([Point(0, 0), Point(2, 0), Point(6, 0)])
+        assert b.radius == pytest.approx(3)
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(SpatialError):
+            enclosing_ball([Point(0, 0), Point(0, 0, 0)])
+
+    def test_1d_rejected(self):
+        with pytest.raises(SpatialError):
+            enclosing_ball([Point(0.0,), Point(1.0,)])
+
+    def test_3d_tetrahedron(self):
+        pts = [
+            Point(0, 0, 0),
+            Point(2, 0, 0),
+            Point(0, 2, 0),
+            Point(0, 0, 2),
+        ]
+        b = enclosing_ball(pts)
+        for p in pts:
+            assert b.contains(p)
+
+    @settings(max_examples=100)
+    @given(st.lists(points_2d, min_size=1, max_size=12))
+    def test_ball_contains_all_points_2d(self, pts):
+        b = enclosing_ball(pts)
+        assert all(b.contains(p) for p in pts)
+
+    @settings(max_examples=60)
+    @given(st.lists(points_3d, min_size=1, max_size=8))
+    def test_ball_contains_all_points_3d(self, pts):
+        b = enclosing_ball(pts)
+        assert all(b.contains(p) for p in pts)
+
+    @settings(max_examples=60)
+    @given(st.lists(points_2d, min_size=2, max_size=10))
+    def test_ball_not_larger_than_diameter_bound(self, pts):
+        # Radius is at most half the diameter of the set times sqrt(2)
+        # (loose sanity bound); and at least half the max pairwise distance.
+        b = enclosing_ball(pts)
+        max_d = max(p.distance_to(q) for p in pts for q in pts)
+        # Ball.contains allows 1e-9 slack in squared distance (~3e-5 in
+        # distance), so the radius may undershoot by that much.
+        assert b.radius >= max_d / 2 - 1e-4
+        assert b.radius <= max_d + 1e-6
+
+
+class TestWithinASphere:
+    def test_paper_signature(self):
+        # WITHIN-A-SPHERE(r, o1, ..., ok)
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        assert within_a_sphere(5, pts)
+        assert not within_a_sphere(0.5, pts)
+
+    def test_empty_and_singleton(self):
+        assert within_a_sphere(0, [])
+        assert within_a_sphere(0, [Point(9, 9)])
+
+    def test_negative_radius(self):
+        with pytest.raises(SpatialError):
+            within_a_sphere(-1, [Point(0, 0)])
+
+    @settings(max_examples=60)
+    @given(st.lists(points_2d, min_size=1, max_size=8), st.floats(min_value=0, max_value=500))
+    def test_monotone_in_radius(self, pts, r):
+        if within_a_sphere(r, pts):
+            assert within_a_sphere(r * 2 + 1, pts)

@@ -1,0 +1,93 @@
+"""Unit tests for balls and boxes."""
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial import Ball, Box, Circle, Point, Sphere
+
+
+class TestBall:
+    def test_contains(self):
+        b = Ball(Point(0, 0), 5)
+        assert b.contains(Point(3, 4))
+        assert b.contains(Point(5, 0))
+        assert not b.contains(Point(5.1, 0))
+
+    def test_negative_radius(self):
+        with pytest.raises(SpatialError):
+            Ball(Point(0, 0), -1)
+
+    def test_translated(self):
+        b = Ball(Point(0, 0), 1).translated(Point(10, 0))
+        assert b.center == Point(10, 0)
+
+    def test_aliases(self):
+        assert Circle is Ball and Sphere is Ball
+
+    def test_3d(self):
+        s = Sphere(Point(0, 0, 0), 2)
+        assert s.dim == 3
+        assert s.contains(Point(1, 1, 1))
+        assert not s.contains(Point(2, 2, 2))
+
+
+class TestBox:
+    def test_from_bounds(self):
+        b = Box.from_bounds((0, 10), (5, 7))
+        assert b.lo == Point(0, 5)
+        assert b.hi == Point(10, 7)
+
+    def test_validation(self):
+        with pytest.raises(SpatialError):
+            Box(Point(0, 0), Point(-1, 5))
+        with pytest.raises(SpatialError):
+            Box(Point(0, 0), Point(1, 1, 1))
+
+    def test_contains_point(self):
+        b = Box.from_bounds((0, 10), (0, 10))
+        assert b.contains(Point(0, 0))
+        assert b.contains(Point(10, 10))
+        assert not b.contains(Point(11, 5))
+
+    def test_contains_box(self):
+        outer = Box.from_bounds((0, 10), (0, 10))
+        assert outer.contains_box(Box.from_bounds((2, 3), (2, 3)))
+        assert not outer.contains_box(Box.from_bounds((9, 11), (0, 1)))
+
+    def test_intersects(self):
+        a = Box.from_bounds((0, 5), (0, 5))
+        assert a.intersects(Box.from_bounds((5, 9), (5, 9)))  # touching
+        assert not a.intersects(Box.from_bounds((6, 9), (0, 5)))
+
+    def test_union(self):
+        a = Box.from_bounds((0, 1), (0, 1))
+        b = Box.from_bounds((5, 6), (5, 6))
+        assert a.union(b) == Box.from_bounds((0, 6), (0, 6))
+
+    def test_intersection(self):
+        a = Box.from_bounds((0, 5), (0, 5))
+        b = Box.from_bounds((3, 9), (4, 9))
+        assert a.intersection(b) == Box.from_bounds((3, 5), (4, 5))
+        assert a.intersection(Box.from_bounds((6, 9), (6, 9))) is None
+
+    def test_center_extents_volume(self):
+        b = Box.from_bounds((0, 4), (0, 2))
+        assert b.center == Point(2, 1)
+        assert b.extents == (4, 2)
+        assert b.volume == 8
+
+    def test_split_quadrants(self):
+        b = Box.from_bounds((0, 4), (0, 4))
+        kids = b.split()
+        assert len(kids) == 4
+        assert sum(k.volume for k in kids) == b.volume
+        assert all(b.contains_box(k) for k in kids)
+
+    def test_split_octants(self):
+        b = Box.from_bounds((0, 2), (0, 2), (0, 2))
+        kids = b.split()
+        assert len(kids) == 8
+        assert sum(k.volume for k in kids) == pytest.approx(b.volume)
+
+    def test_repr(self):
+        assert "[0,4]" in repr(Box.from_bounds((0, 4), (1, 2)))

@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.temporal.clock`."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal import SimulationClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0
+
+    def test_custom_start(self):
+        assert SimulationClock(start=7).now == 7
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TemporalError):
+            SimulationClock(start=-1)
+
+    def test_tick(self):
+        clock = SimulationClock()
+        assert clock.tick() == 1
+        assert clock.tick(4) == 5
+        assert clock.now == 5
+
+    def test_tick_negative_rejected(self):
+        with pytest.raises(TemporalError):
+            SimulationClock().tick(-1)
+
+    def test_advance_to(self):
+        clock = SimulationClock()
+        clock.advance_to(9)
+        assert clock.now == 9
+
+    def test_advance_backwards_rejected(self):
+        clock = SimulationClock(start=5)
+        with pytest.raises(TemporalError):
+            clock.advance_to(3)
+
+    def test_listeners_fire_per_tick(self):
+        clock = SimulationClock()
+        seen = []
+        clock.on_tick(seen.append)
+        clock.tick(3)
+        assert seen == [1, 2, 3]
+
+    def test_listener_removal(self):
+        clock = SimulationClock()
+        seen = []
+        clock.on_tick(seen.append)
+        clock.remove_listener(seen.append)
+        clock.tick()
+        assert seen == []
+
+    def test_remove_absent_listener_is_noop(self):
+        SimulationClock().remove_listener(lambda t: None)
+
+    def test_listener_order(self):
+        clock = SimulationClock()
+        seen = []
+        clock.on_tick(lambda t: seen.append(("a", t)))
+        clock.on_tick(lambda t: seen.append(("b", t)))
+        clock.tick()
+        assert seen == [("a", 1), ("b", 1)]
+
+    def test_repr(self):
+        assert "now=2" in repr(SimulationClock(start=2))

@@ -1,0 +1,120 @@
+"""Unit tests for :mod:`repro.temporal.interval`."""
+
+import math
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal import DENSE, DISCRETE, Interval
+
+
+class TestConstruction:
+    def test_valid(self):
+        iv = Interval(1, 5)
+        assert iv.start == 1
+        assert iv.end == 5
+
+    def test_point_interval(self):
+        iv = Interval(3, 3)
+        assert iv.duration == 0
+        assert iv.contains(3)
+
+    def test_unbounded_end(self):
+        iv = Interval(0, math.inf)
+        assert iv.is_unbounded
+        assert iv.contains(1e12)
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(5, 1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(math.nan, 1)
+
+    def test_inf_start_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(math.inf, math.inf)
+
+
+class TestPredicates:
+    def test_contains_boundaries(self):
+        iv = Interval(2, 4)
+        assert iv.contains(2)
+        assert iv.contains(4)
+        assert not iv.contains(1.999)
+        assert not iv.contains(4.001)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+        assert Interval(0, 5).overlaps(Interval(3, 4))
+        assert not Interval(0, 5).overlaps(Interval(6, 9))
+
+    def test_precedes(self):
+        assert Interval(0, 4).precedes(Interval(5, 6))
+        assert not Interval(0, 5).precedes(Interval(5, 6))
+
+    def test_mergeable_dense_touching(self):
+        assert Interval(0, 5).mergeable(Interval(5, 8), DENSE)
+        assert not Interval(0, 5).mergeable(Interval(5.1, 8), DENSE)
+
+    def test_mergeable_discrete_consecutive(self):
+        assert Interval(0, 5).mergeable(Interval(6, 8), DISCRETE)
+        assert not Interval(0, 5).mergeable(Interval(7, 8), DISCRETE)
+
+    def test_mergeable_symmetric(self):
+        assert Interval(6, 8).mergeable(Interval(0, 5), DISCRETE)
+
+    def test_compatible_appendix_definition(self):
+        # [l1,u1] compatible with [m1,n1] iff m1 <= u1 + gap and n1 >= u1.
+        g1 = Interval(0, 5)
+        assert g1.compatible(Interval(6, 9), DISCRETE)
+        assert g1.compatible(Interval(3, 9), DISCRETE)
+        assert not g1.compatible(Interval(7, 9), DISCRETE)
+        assert not g1.compatible(Interval(2, 4), DISCRETE)  # ends before u1
+
+
+class TestConstructions:
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 9)) == Interval(5, 5)
+        assert Interval(0, 5).intersection(Interval(6, 9)) is None
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(8, 9)) == Interval(0, 9)
+
+    def test_shift(self):
+        assert Interval(1, 4).shift(2) == Interval(3, 6)
+        assert Interval(1, math.inf).shift(5) == Interval(6, math.inf)
+
+    def test_clip(self):
+        assert Interval(0, 10).clip(3, 7) == Interval(3, 7)
+        assert Interval(0, 2).clip(5, 9) is None
+
+
+class TestMeasures:
+    def test_duration(self):
+        assert Interval(2, 7).duration == 5
+
+    def test_ticks(self):
+        assert list(Interval(1.5, 4.2).ticks()) == [2, 3, 4]
+        assert list(Interval(3, 3).ticks()) == [3]
+
+    def test_ticks_unbounded_raises(self):
+        with pytest.raises(TemporalError):
+            Interval(0, math.inf).ticks()
+
+    def test_ordering(self):
+        assert sorted([Interval(3, 4), Interval(1, 9), Interval(1, 2)]) == [
+            Interval(1, 2),
+            Interval(1, 9),
+            Interval(3, 4),
+        ]
+
+    def test_str(self):
+        assert str(Interval(1, 2.5)) == "[1, 2.5]"

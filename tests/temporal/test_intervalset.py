@@ -1,0 +1,231 @@
+"""Unit + property tests for :mod:`repro.temporal.intervalset`.
+
+The property tests compare the interval-set algebra against brute-force
+sets of integer ticks, which is exact in the discrete domain.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TemporalError
+from repro.temporal import DENSE, DISCRETE, Interval, IntervalSet
+
+# ---------------------------------------------------------------------------
+# Strategies: random small discrete interval sets over ticks 0..30
+# ---------------------------------------------------------------------------
+TICK_MAX = 30
+
+tick_sets = st.sets(st.integers(min_value=0, max_value=TICK_MAX), max_size=20)
+
+
+def from_tick_set(ticks: set) -> IntervalSet:
+    return IntervalSet.from_ticks(sorted(ticks), DISCRETE)
+
+
+def to_tick_set(iset: IntervalSet) -> set:
+    return set(iset.ticks(horizon=TICK_MAX))
+
+
+class TestNormalisation:
+    def test_overlapping_merge(self):
+        s = IntervalSet([Interval(0, 5), Interval(3, 9)], DENSE)
+        assert s.intervals == (Interval(0, 9),)
+
+    def test_touching_merge_dense(self):
+        s = IntervalSet([Interval(0, 5), Interval(5, 9)], DENSE)
+        assert s.intervals == (Interval(0, 9),)
+
+    def test_consecutive_merge_discrete(self):
+        s = IntervalSet([Interval(0, 5), Interval(6, 9)], DISCRETE)
+        assert s.intervals == (Interval(0, 9),)
+
+    def test_gap_preserved_dense(self):
+        s = IntervalSet([Interval(0, 5), Interval(6, 9)], DENSE)
+        assert len(s) == 2
+
+    def test_unsorted_input(self):
+        s = IntervalSet([Interval(8, 9), Interval(0, 1), Interval(4, 5)], DENSE)
+        assert s.intervals == (Interval(0, 1), Interval(4, 5), Interval(8, 9))
+
+    def test_nested_input(self):
+        s = IntervalSet([Interval(0, 10), Interval(2, 3)], DENSE)
+        assert s.intervals == (Interval(0, 10),)
+
+    @given(tick_sets)
+    def test_normalisation_preserves_ticks(self, ticks):
+        assert to_tick_set(from_tick_set(ticks)) == ticks
+
+
+class TestConstructors:
+    def test_empty(self):
+        s = IntervalSet.empty(DISCRETE)
+        assert s.is_empty
+        assert not s
+        assert len(s) == 0
+
+    def test_point(self):
+        s = IntervalSet.point(4)
+        assert s.contains(4)
+        assert not s.contains(4.1)
+
+    def test_span(self):
+        assert IntervalSet.span(2, 9).intervals == (Interval(2, 9),)
+
+    def test_from_pairs(self):
+        s = IntervalSet.from_pairs([(0, 1), (5, 6)])
+        assert len(s) == 2
+
+    def test_from_boolean_samples(self):
+        s = IntervalSet.from_boolean_samples(
+            [True, True, False, True, False, True], DISCRETE
+        )
+        assert s.intervals == (
+            Interval(0, 1),
+            Interval(3, 3),
+            Interval(5, 5),
+        )
+
+    def test_from_boolean_samples_offset(self):
+        s = IntervalSet.from_boolean_samples([True, True], DISCRETE, start=10)
+        assert s.intervals == (Interval(10, 11),)
+
+
+class TestPointQueries:
+    def test_contains_binary_search(self):
+        s = IntervalSet.from_pairs([(0, 1), (4, 6), (10, 12)])
+        for t, expected in [(0, True), (3, False), (5, True), (12, True), (13, False)]:
+            assert s.contains(t) is expected
+
+    def test_interval_containing(self):
+        s = IntervalSet.from_pairs([(0, 1), (4, 6)])
+        assert s.interval_containing(5) == Interval(4, 6)
+        assert s.interval_containing(2) is None
+
+    def test_first_point_at_or_after(self):
+        s = IntervalSet.from_pairs([(2, 4), (8, 9)])
+        assert s.first_point_at_or_after(0) == 2
+        assert s.first_point_at_or_after(3) == 3
+        assert s.first_point_at_or_after(5) == 8
+        assert s.first_point_at_or_after(10) is None
+
+    def test_earliest_latest(self):
+        s = IntervalSet.from_pairs([(2, 4), (8, 9)])
+        assert s.earliest == 2
+        assert s.latest == 9
+
+    def test_earliest_on_empty_raises(self):
+        with pytest.raises(TemporalError):
+            _ = IntervalSet.empty().earliest
+
+
+class TestAlgebraUnits:
+    def test_union(self):
+        a = IntervalSet.from_pairs([(0, 2)])
+        b = IntervalSet.from_pairs([(1, 5)])
+        assert a.union(b).intervals == (Interval(0, 5),)
+
+    def test_intersection(self):
+        a = IntervalSet.from_pairs([(0, 4), (6, 10)])
+        b = IntervalSet.from_pairs([(3, 7)])
+        assert a.intersection(b).intervals == (Interval(3, 4), Interval(6, 7))
+
+    def test_difference_dense(self):
+        a = IntervalSet.from_pairs([(0, 10)])
+        b = IntervalSet.from_pairs([(3, 5)])
+        out = a.difference(b)
+        assert out.intervals == (Interval(0, 3), Interval(5, 10))
+
+    def test_difference_discrete(self):
+        a = IntervalSet.from_ticks(range(0, 11), DISCRETE)
+        b = IntervalSet.from_ticks([3, 4, 5], DISCRETE)
+        assert a.difference(b).intervals == (Interval(0, 2), Interval(6, 10))
+
+    def test_difference_unbounded_cut(self):
+        a = IntervalSet.from_pairs([(0, 10)])
+        cut = IntervalSet([Interval(5, math.inf)], DENSE)
+        assert a.difference(cut).intervals == (Interval(0, 5),)
+
+    def test_complement(self):
+        s = IntervalSet.from_ticks([2, 3], DISCRETE)
+        comp = s.complement(Interval(0, 5))
+        assert comp.intervals == (Interval(0, 1), Interval(4, 5))
+
+    def test_clip(self):
+        s = IntervalSet.from_pairs([(0, 4), (6, 10)])
+        assert s.clip(2, 8).intervals == (Interval(2, 4), Interval(6, 8))
+
+    def test_shift(self):
+        s = IntervalSet.from_pairs([(0, 2)])
+        assert s.shift(3).intervals == (Interval(3, 5),)
+
+    def test_clamp_start(self):
+        s = IntervalSet.from_pairs([(0, 4), (6, 10)])
+        assert s.clamp_start(2).intervals == (Interval(2, 4), Interval(6, 10))
+        assert s.clamp_start(5).intervals == (Interval(6, 10),)
+
+    def test_covers(self):
+        s = IntervalSet.from_pairs([(0, 4), (6, 10)])
+        assert s.covers(Interval(1, 3))
+        assert not s.covers(Interval(3, 7))
+
+    def test_domain_mismatch_raises(self):
+        with pytest.raises(TemporalError):
+            IntervalSet.empty(DENSE).union(IntervalSet.empty(DISCRETE))
+
+    def test_total_duration(self):
+        s = IntervalSet.from_pairs([(0, 2), (5, 6)])
+        assert s.total_duration == 3
+
+    def test_equality_and_hash(self):
+        a = IntervalSet.from_pairs([(0, 2), (1, 5)])
+        b = IntervalSet.from_pairs([(0, 5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: algebra vs brute-force tick sets
+# ---------------------------------------------------------------------------
+@settings(max_examples=200)
+@given(tick_sets, tick_sets)
+def test_union_matches_set_union(t1, t2):
+    got = from_tick_set(t1).union(from_tick_set(t2))
+    assert to_tick_set(got) == t1 | t2
+
+
+@settings(max_examples=200)
+@given(tick_sets, tick_sets)
+def test_intersection_matches_set_intersection(t1, t2):
+    got = from_tick_set(t1).intersection(from_tick_set(t2))
+    assert to_tick_set(got) == t1 & t2
+
+
+@settings(max_examples=200)
+@given(tick_sets, tick_sets)
+def test_difference_matches_set_difference(t1, t2):
+    got = from_tick_set(t1).difference(from_tick_set(t2))
+    assert to_tick_set(got) == t1 - t2
+
+
+@settings(max_examples=200)
+@given(tick_sets)
+def test_complement_matches(t1):
+    comp = from_tick_set(t1).complement(Interval(0, TICK_MAX))
+    assert to_tick_set(comp) == set(range(TICK_MAX + 1)) - t1
+
+
+@settings(max_examples=100)
+@given(tick_sets)
+def test_double_complement_is_identity(t1):
+    s = from_tick_set(t1)
+    bound = Interval(0, TICK_MAX)
+    assert to_tick_set(s.complement(bound).complement(bound)) == t1
+
+
+@settings(max_examples=100)
+@given(tick_sets, st.integers(min_value=0, max_value=TICK_MAX))
+def test_contains_matches_membership(t1, probe):
+    assert from_tick_set(t1).contains(probe) == (probe in t1)

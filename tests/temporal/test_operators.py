@@ -1,0 +1,224 @@
+"""Property tests for the interval-level temporal operators.
+
+Each operator is checked against a brute-force per-tick evaluation of its
+logical definition over a bounded discrete horizon — exactly the semantics
+of section 3.3 of the paper restricted to finite histories.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TemporalError
+from repro.temporal import (
+    DENSE,
+    DISCRETE,
+    Interval,
+    IntervalSet,
+    always,
+    always_for,
+    eventually,
+    eventually_after,
+    eventually_within,
+    nexttime,
+    until,
+    until_within,
+)
+
+HORIZON = 24
+tick_sets = st.sets(st.integers(min_value=0, max_value=HORIZON), max_size=18)
+bounds = st.integers(min_value=0, max_value=8)
+
+
+def iset(ticks) -> IntervalSet:
+    return IntervalSet.from_ticks(sorted(ticks), DISCRETE)
+
+
+def ticks_of(s: IntervalSet) -> set:
+    return set(s.ticks(horizon=HORIZON))
+
+
+# ---------------------------------------------------------------------------
+# Brute-force reference semantics (section 3.3) over ticks 0..HORIZON
+# ---------------------------------------------------------------------------
+def ref_until(g1: set, g2: set) -> set:
+    out = set()
+    for t in range(HORIZON + 1):
+        for tp in range(t, HORIZON + 1):
+            if tp in g2 and all(u in g1 for u in range(t, tp)):
+                out.add(t)
+                break
+    return out
+
+
+def ref_until_within(c: int, g1: set, g2: set) -> set:
+    out = set()
+    for t in range(HORIZON + 1):
+        for tp in range(t, min(t + c, HORIZON) + 1):
+            if tp in g2 and all(u in g1 for u in range(t, tp)):
+                out.add(t)
+                break
+    return out
+
+
+def ref_eventually(f: set) -> set:
+    return {t for t in range(HORIZON + 1) if any(tp in f for tp in range(t, HORIZON + 1))}
+
+
+def ref_eventually_within(c: int, f: set) -> set:
+    return {
+        t
+        for t in range(HORIZON + 1)
+        if any(tp in f for tp in range(t, min(t + c, HORIZON) + 1))
+    }
+
+
+def ref_eventually_after(c: int, f: set) -> set:
+    return {
+        t
+        for t in range(HORIZON + 1)
+        if any(tp in f for tp in range(t + c, HORIZON + 1))
+    }
+
+
+def ref_always(f: set) -> set:
+    return {t for t in range(HORIZON + 1) if all(tp in f for tp in range(t, HORIZON + 1))}
+
+
+def ref_always_for(c: int, f: set) -> set:
+    # Only meaningful where the window fits inside the modelled horizon.
+    return {
+        t
+        for t in range(HORIZON - c + 1)
+        if all(tp in f for tp in range(t, t + c + 1))
+    }
+
+
+def ref_nexttime(f: set) -> set:
+    return {t for t in range(HORIZON + 1) if (t + 1) in f}
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=300)
+@given(tick_sets, tick_sets)
+def test_until_matches_reference(g1, g2):
+    got = ticks_of(until(iset(g1), iset(g2)))
+    assert got == ref_until(g1, g2)
+
+
+@settings(max_examples=300)
+@given(bounds, tick_sets, tick_sets)
+def test_until_within_matches_reference(c, g1, g2):
+    got = ticks_of(until_within(c, iset(g1), iset(g2)))
+    assert got == ref_until_within(c, g1, g2)
+
+
+@settings(max_examples=200)
+@given(tick_sets)
+def test_eventually_matches_reference(f):
+    got = ticks_of(eventually(iset(f)))
+    assert got == ref_eventually(f)
+
+
+@settings(max_examples=200)
+@given(bounds, tick_sets)
+def test_eventually_within_matches_reference(c, f):
+    got = ticks_of(eventually_within(c, iset(f)))
+    assert got == ref_eventually_within(c, f)
+
+
+@settings(max_examples=200)
+@given(bounds, tick_sets)
+def test_eventually_after_matches_reference(c, f):
+    # eventually_after may extend past points where the reference cannot
+    # see beyond the horizon: compare only against what the bounded input
+    # implies, which matches because inputs never exceed the horizon.
+    got = ticks_of(eventually_after(c, iset(f)))
+    assert got == ref_eventually_after(c, f)
+
+
+@settings(max_examples=200)
+@given(tick_sets)
+def test_always_matches_reference(f):
+    got = ticks_of(always(iset(f), 0, HORIZON))
+    assert got == ref_always(f)
+
+
+@settings(max_examples=200)
+@given(bounds, tick_sets)
+def test_always_for_matches_reference(c, f):
+    got = {t for t in ticks_of(always_for(c, iset(f))) if t <= HORIZON - c}
+    assert got == ref_always_for(c, f)
+
+
+@settings(max_examples=200)
+@given(tick_sets)
+def test_nexttime_matches_reference(f):
+    got = ticks_of(nexttime(iset(f)))
+    assert got == ref_nexttime(f)
+
+
+@settings(max_examples=150)
+@given(tick_sets)
+def test_eventually_is_true_until(f):
+    true_set = IntervalSet.span(0, HORIZON, DISCRETE)
+    assert until(true_set, iset(f)) == eventually(iset(f))
+
+
+@settings(max_examples=150)
+@given(tick_sets, tick_sets)
+def test_until_implies_eventually(g1, g2):
+    u = ticks_of(until(iset(g1), iset(g2)))
+    ev = ticks_of(eventually(iset(g2)))
+    assert u <= ev
+
+
+# ---------------------------------------------------------------------------
+# Dense-domain and error-path units
+# ---------------------------------------------------------------------------
+class TestDense:
+    def test_until_dense_extension(self):
+        g1 = IntervalSet.from_pairs([(2.0, 8.0)])
+        g2 = IntervalSet.from_pairs([(8.0, 9.0)])
+        assert until(g1, g2).intervals == (Interval(2.0, 9.0),)
+
+    def test_until_dense_gap_blocks(self):
+        g1 = IntervalSet.from_pairs([(2.0, 7.5)])
+        g2 = IntervalSet.from_pairs([(8.0, 9.0)])
+        assert until(g1, g2).intervals == (Interval(8.0, 9.0),)
+
+    def test_until_dense_chain(self):
+        g1 = IntervalSet.from_pairs([(2.0, 8.0)])
+        g2 = IntervalSet.from_pairs([(1.0, 2.0), (8.0, 9.0)])
+        assert until(g1, g2).intervals == (Interval(1.0, 9.0),)
+
+    def test_until_within_truncates(self):
+        g1 = IntervalSet.from_pairs([(0.0, 10.0)])
+        g2 = IntervalSet.from_pairs([(10.0, 10.0)])
+        got = until_within(3.0, g1, g2)
+        assert got.intervals == (Interval(7.0, 10.0),)
+
+    def test_nexttime_requires_discrete(self):
+        with pytest.raises(TemporalError):
+            nexttime(IntervalSet.from_pairs([(0, 1)], DENSE))
+
+    def test_negative_bounds_rejected(self):
+        s = IntervalSet.empty(DENSE)
+        with pytest.raises(TemporalError):
+            eventually_within(-1, s)
+        with pytest.raises(TemporalError):
+            eventually_after(-1, s)
+        with pytest.raises(TemporalError):
+            always_for(-1, s)
+        with pytest.raises(TemporalError):
+            until_within(-1, s, s)
+
+    def test_always_for_dense(self):
+        f = IntervalSet.from_pairs([(0.0, 5.0), (7.0, 8.0)])
+        assert always_for(2.0, f).intervals == (Interval(0.0, 3.0),)
+
+    def test_domain_mismatch(self):
+        with pytest.raises(TemporalError):
+            until(IntervalSet.empty(DENSE), IntervalSet.empty(DISCRETE))

@@ -1,0 +1,97 @@
+"""Temporal operators over unbounded (infinite-end) interval sets.
+
+The paper's histories are infinite; bounded evaluation clips them, but the
+interval algebra itself must stay sound when satisfaction extends forever
+(e.g. a static object inside a polygon for good).
+"""
+
+import math
+
+import pytest
+
+from repro.temporal import (
+    DENSE,
+    DISCRETE,
+    Interval,
+    IntervalSet,
+    always,
+    always_for,
+    eventually,
+    eventually_after,
+    eventually_within,
+    until,
+)
+
+
+def unbounded(start, domain=DISCRETE):
+    return IntervalSet([Interval(start, math.inf)], domain)
+
+
+class TestUnbounded:
+    def test_set_properties(self):
+        s = unbounded(5)
+        assert s.latest == math.inf
+        assert s.contains(1e15)
+        assert s.total_duration == math.inf
+
+    def test_union_with_unbounded_absorbs(self):
+        s = unbounded(5).union(IntervalSet.from_pairs([(7, 9)], DISCRETE))
+        assert s.intervals == (Interval(5, math.inf),)
+
+    def test_intersection_clips(self):
+        s = unbounded(5).intersection(
+            IntervalSet.from_pairs([(0, 10)], DISCRETE)
+        )
+        assert s.intervals == (Interval(5, 10),)
+
+    def test_complement_of_unbounded(self):
+        comp = unbounded(5).complement(Interval(0, 20))
+        assert comp.intervals == (Interval(0, 4),)
+
+    def test_difference_with_unbounded_cut(self):
+        s = IntervalSet.from_pairs([(0, 100)], DISCRETE).difference(unbounded(50))
+        assert s.intervals == (Interval(0, 49),)
+
+    def test_until_with_unbounded_g2(self):
+        g1 = IntervalSet.from_pairs([(0, 9)], DISCRETE)
+        g2 = unbounded(10)
+        got = until(g1, g2)
+        assert got.intervals == (Interval(0, math.inf),)
+
+    def test_until_with_unbounded_g1(self):
+        g1 = unbounded(0)
+        g2 = IntervalSet.from_pairs([(50, 60)], DISCRETE)
+        got = until(g1, g2)
+        assert got.intervals == (Interval(0, 60),)
+
+    def test_eventually_unbounded(self):
+        got = eventually(unbounded(5))
+        assert got.intervals == (Interval(0, math.inf),)
+
+    def test_eventually_within_unbounded(self):
+        got = eventually_within(3, unbounded(10))
+        assert got.intervals == (Interval(7, math.inf),)
+
+    def test_eventually_after_unbounded(self):
+        got = eventually_after(100, unbounded(10))
+        assert got.intervals == (Interval(0, math.inf),)
+
+    def test_always_for_keeps_unbounded(self):
+        got = always_for(5, unbounded(3))
+        assert got.intervals == (Interval(3, math.inf),)
+
+    def test_always_with_horizon_inside_unbounded(self):
+        got = always(unbounded(3), start=0, horizon=100)
+        assert got.intervals == (Interval(3, 100),)
+
+    def test_discretized_keeps_unbounded(self):
+        dense = IntervalSet([Interval(2.5, math.inf)], DENSE)
+        got = dense.discretized()
+        assert got.intervals == (Interval(3, math.inf),)
+
+    def test_ticks_require_horizon(self):
+        from repro.errors import TemporalError
+
+        with pytest.raises(TemporalError):
+            unbounded(0).ticks()
+        assert unbounded(8).ticks(horizon=10) == [8, 9, 10]

@@ -1,0 +1,216 @@
+"""End-to-end integration tests crossing subsystem boundaries.
+
+Each test stitches several packages together the way a downstream user
+would: model + language + index + bridge + distributed layers.
+"""
+
+import pytest
+
+from repro import (
+    ContinuousQuery,
+    DynamicAttribute,
+    InstantaneousQuery,
+    MostDatabase,
+    ObjectClass,
+    PersistentQuery,
+    TemporalTrigger,
+    parse_query,
+)
+from repro.bridge import MostOnDbms
+from repro.dbms import Column, Database, INT, STRING
+from repro.distributed import (
+    DelayedPolicy,
+    ImmediatePolicy,
+    simulate_transmission,
+)
+from repro.geometry import Point
+from repro.index import DynamicAttributeIndex, MovingObjectIndex2D
+from repro.motion import LinearFunction
+from repro.spatial import Ball, Box, Polygon
+from repro.temporal import SimulationClock
+from repro.workloads import air_traffic_scenario, motel_scenario, random_fleet
+
+
+class TestAirportScenario:
+    """The paper's query Q, end to end, both evaluators."""
+
+    def test_query_q_shape(self):
+        world = air_traffic_scenario(n_aircraft=15, region=200, speed=10, seed=3)
+        q = parse_query(world.QUERY)
+        iq = InstantaneousQuery(q, horizon=10)
+        interval = iq.evaluate(world.db, method="interval")
+        naive = iq.evaluate(world.db, method="naive")
+        assert interval == naive
+
+    def test_tentative_answer_changes_after_update(self):
+        world = air_traffic_scenario(n_aircraft=15, region=120, speed=10, seed=3)
+        db = world.db
+        q = parse_query(world.QUERY)
+        iq = InstantaneousQuery(q, horizon=10)
+        before = iq.evaluate(db)
+        assert before, "scenario should have inbound aircraft"
+        plane = sorted(before)[0][0]
+        db.update_motion(plane, Point(10, 0), position=Point(5000, 5000))
+        after = iq.evaluate(db)
+        assert plane not in {inst[0] for inst in after}
+
+
+class TestMotelScenario:
+    def test_continuous_query_against_spatial_index(self):
+        """Answer(CQ) from FTL must agree with the §4 spatial index."""
+        world = motel_scenario(n_motels=30, road_length=120, seed=8)
+        db = world.db
+        cq = ContinuousQuery(
+            db,
+            parse_query("RETRIEVE m FROM motels m, cars c WHERE DIST(c, m) <= 5"),
+            horizon=100,
+        )
+        # Index every motel's x coordinate and check one time slice.
+        index = MovingObjectIndex2D(
+            epoch=0, horizon=100, bounds=Box.from_bounds((-50, 250), (-50, 50))
+        )
+        for motel_id in world.motel_ids:
+            index.insert(motel_id, db.get(motel_id).moving_point())
+        db.clock.tick(40)
+        car_pos = db.get(world.car_id).position_at(40)
+        probe = Box.from_bounds(
+            (car_pos.x - 5, car_pos.x + 5), (car_pos.y - 5, car_pos.y + 5)
+        )
+        index_hits = index.objects_in_rectangle(probe, at_time=40)
+        ftl_hits = {inst[0] for inst in cq.current()}
+        # The circle of radius 5 is inside the 10x10 box: FTL ⊆ index box.
+        assert ftl_hits <= index_hits
+
+
+class TestBridgeRoundTrip:
+    def test_most_layer_matches_model_layer(self):
+        """The same world queried through the MOST model and through the
+        DBMS bridge must agree."""
+        # Model layer.
+        db = MostDatabase()
+        db.create_class(ObjectClass("cars", spatial_dimensions=2))
+        positions = [(0.0, 1.0), (50.0, -2.0), (-30.0, 0.5)]
+        for i, (x, vx) in enumerate(positions):
+            db.add_moving_object("cars", i, Point(x, 0.0), Point(vx, 0.0))
+
+        # Bridge layer over the relational substrate, same clock.
+        rdb = Database(clock=db.clock)
+        layer = MostOnDbms(rdb)
+        layer.create_table(
+            "cars", static_columns=[Column("id", INT)], dynamic_attributes=["x"], key="id"
+        )
+        for i, (x, vx) in enumerate(positions):
+            layer.insert("cars", {"id": i}, {"x": DynamicAttribute.linear(x, vx)})
+
+        db.clock.tick(7)
+        model_hits = {
+            obj.object_id
+            for obj in db.objects_of("cars")
+            if obj.value_at("x_position", 7) >= 10
+        }
+        bridge_hits = set(
+            layer.query("SELECT id FROM cars WHERE x >= 10").column("id")
+        )
+        assert model_hits == bridge_hits
+
+    def test_bridge_index_agrees_with_postfilter(self):
+        rdb = Database(clock=SimulationClock())
+        layer = MostOnDbms(rdb)
+        layer.create_table(
+            "t", static_columns=[Column("id", INT)], dynamic_attributes=["a"], key="id"
+        )
+        index = DynamicAttributeIndex(0, 500, -1000, 1000)
+        for i in range(40):
+            triple = DynamicAttribute.linear(float(i - 20), float(i % 5 - 2))
+            layer.insert("t", {"id": i}, {"a": triple})
+            index.insert(i, triple)
+        rdb.clock.tick(9)
+        plain = set(layer.query("SELECT id FROM t WHERE a >= 3").column("id"))
+        layer.register_index("t", "a", index)
+        indexed = set(layer.query("SELECT id FROM t WHERE a >= 3").column("id"))
+        assert plain == indexed
+
+
+class TestTriggerToTransmission:
+    def test_full_pipeline(self):
+        """Continuous query → Answer(CQ) → transmission to a client."""
+        db = MostDatabase()
+        db.create_class(ObjectClass("cars", spatial_dimensions=2))
+        db.define_region("ZONE", Ball(Point(0, 0), 10))
+        for i in range(6):
+            db.add_moving_object(
+                "cars", f"c{i}", Point(-20.0 - 5 * i, 0.0), Point(1.0, 0.0)
+            )
+        cq = ContinuousQuery(
+            db,
+            parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, ZONE)"),
+            horizon=80,
+        )
+        answer = cq.answer_tuples()
+        assert len(answer) == 6  # each car sweeps through the zone once
+        for policy in (ImmediatePolicy(), DelayedPolicy()):
+            report = simulate_transmission(policy, answer, horizon=80)
+            assert report.staleness == 0
+            assert report.tuples_sent == 6
+
+
+class TestPersistentVsContinuousVsInstantaneous:
+    def test_three_types_diverge_on_updates(self):
+        """A richer version of the section 2.3 discriminator."""
+        db = MostDatabase()
+        db.create_class(ObjectClass("cars", spatial_dimensions=2))
+        db.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+        db.add_moving_object("cars", "o", Point(-100, 5), Point(0, 0))
+
+        enter_p = parse_query(
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 20 INSIDE(o, P)"
+        )
+        iq = InstantaneousQuery(enter_p, horizon=40)
+        cq = ContinuousQuery(db, enter_p, horizon=40)
+        pq = PersistentQuery(db, enter_p, horizon=40)
+
+        assert iq.evaluate(db) == set()
+        assert cq.current() == set()
+        assert pq.current() == set()
+
+        # Teleport into P at t=5: every query type should now see it.
+        db.clock.tick(5)
+        db.update_motion("o", Point(0, 0), position=Point(5, 5))
+        assert iq.evaluate(db) == {("o",)}
+        assert cq.current() == {("o",)}
+        # Persistent: anchored at 0; at t=0 the recorded history now shows
+        # o inside P at t=5, within the 20-tick window.
+        assert pq.current() == {("o",)}
+
+    def test_trigger_pipeline_counts(self):
+        db = MostDatabase()
+        db.create_class(ObjectClass("cars", spatial_dimensions=2))
+        db.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+        ids = []
+        for i in range(4):
+            db.add_moving_object(
+                "cars", f"c{i}", Point(-2.0 * (i + 1), 5.0), Point(1.0, 0.0)
+            )
+            ids.append(f"c{i}")
+        cq = ContinuousQuery(
+            db, parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)"), horizon=60
+        )
+        entered = []
+        TemporalTrigger(db, cq, on_enter=entered.append)
+        db.clock.tick(30)
+        assert sorted(i[0] for i in entered) == ids
+
+
+class TestScale:
+    def test_moderate_fleet_end_to_end(self):
+        db = MostDatabase()
+        random_fleet(db, 120, area=(0, 500), speed_range=(-3, 3), seed=1)
+        db.define_region("P", Polygon.rectangle(200, 200, 320, 320))
+        q = parse_query(
+            "RETRIEVE o FROM objects o WHERE EVENTUALLY WITHIN 30 INSIDE(o, P)"
+        )
+        answer = InstantaneousQuery(q, horizon=60).answer(db)
+        # Sanity: all returned ids exist, intervals are within the window.
+        for t in answer.tuples:
+            assert db.get(t.values[0]) is not None
+            assert 0 <= t.begin <= t.end <= 60

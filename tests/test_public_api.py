@@ -1,0 +1,78 @@
+"""Meta-tests over the public API surface.
+
+Guards the documentation deliverable: every ``__all__`` export must
+resolve, and every public class/function must carry a docstring.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.temporal",
+    "repro.motion",
+    "repro.spatial",
+    "repro.core",
+    "repro.ftl",
+    "repro.dbms",
+    "repro.dbms.sql",
+    "repro.dbms.indexes",
+    "repro.index",
+    "repro.bridge",
+    "repro.distributed",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.{export} does not resolve"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_items_documented(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        item = getattr(module, export)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            assert inspect.getdoc(item), f"{name}.{export} lacks a docstring"
+            if inspect.isclass(item):
+                for attr_name, attr in vars(item).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(attr):
+                        assert inspect.getdoc(attr), (
+                            f"{name}.{export}.{attr_name} lacks a docstring"
+                        )
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "0.1.0"
+
+
+def test_error_hierarchy():
+    from repro import ReproError
+    from repro import errors
+
+    subclasses = [
+        errors.TemporalError,
+        errors.SpatialError,
+        errors.MotionError,
+        errors.SchemaError,
+        errors.SqlError,
+        errors.FtlSyntaxError,
+        errors.FtlSemanticsError,
+        errors.IndexError_,
+        errors.DistributedError,
+        errors.QueryError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, ReproError)
+        assert cls.__doc__

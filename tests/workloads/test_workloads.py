@@ -1,0 +1,121 @@
+"""Tests for workload generators and scenarios."""
+
+import pytest
+
+from repro.core import MostDatabase
+from repro.errors import QueryError
+from repro.ftl import parse_query
+from repro.core.queries import InstantaneousQuery
+from repro.workloads import (
+    air_traffic_scenario,
+    convoy_scenario,
+    motel_scenario,
+    motion_update_process,
+    random_attributes,
+    random_fleet,
+    random_movers,
+)
+
+
+class TestGenerators:
+    def test_random_fleet_deterministic(self):
+        db1, db2 = MostDatabase(), MostDatabase()
+        ids1 = random_fleet(db1, 10, seed=7)
+        ids2 = random_fleet(db2, 10, seed=7)
+        assert ids1 == ids2
+        for i in ids1:
+            assert db1.get(i).position_at(5) == db2.get(i).position_at(5)
+
+    def test_random_fleet_different_seeds_differ(self):
+        db1, db2 = MostDatabase(), MostDatabase()
+        random_fleet(db1, 5, seed=1)
+        random_fleet(db2, 5, seed=2)
+        assert any(
+            db1.get(f"objects-{i}").position_at(0)
+            != db2.get(f"objects-{i}").position_at(0)
+            for i in range(5)
+        )
+
+    def test_random_fleet_static_attributes(self):
+        db = MostDatabase()
+        random_fleet(db, 5, static_attributes={"price": (10, 20)}, seed=0)
+        for obj in db.objects_of("objects"):
+            assert 10 <= obj.static_value("price") <= 20
+
+    def test_random_fleet_reuses_class(self):
+        db = MostDatabase()
+        random_fleet(db, 2, seed=0)
+        db2_ids = random_fleet(db, 0, seed=0)
+        assert db2_ids == []
+
+    def test_random_movers_and_attributes(self):
+        movers = random_movers(5, seed=3)
+        attrs = random_attributes(5, seed=3)
+        assert len(movers) == len(attrs) == 5
+        assert movers[0][1].is_linear
+        assert attrs[0][1].function.is_linear
+
+    def test_update_process(self):
+        db = MostDatabase()
+        ids = random_fleet(db, 10, seed=0)
+        updates = list(
+            motion_update_process(db, ids, ticks=20, change_probability=0.3, seed=1)
+        )
+        assert db.clock.now == 20
+        assert len(updates) > 0
+        assert len(db.log) == 2 * len(updates)  # two axes per vector change
+        assert all(1 <= t <= 20 for t, _ in updates)
+
+    def test_update_process_zero_probability(self):
+        db = MostDatabase()
+        ids = random_fleet(db, 3, seed=0)
+        assert list(
+            motion_update_process(db, ids, ticks=5, change_probability=0.0)
+        ) == []
+
+    def test_update_process_bad_probability(self):
+        db = MostDatabase()
+        with pytest.raises(QueryError):
+            list(motion_update_process(db, [], ticks=1, change_probability=2))
+
+
+class TestScenarios:
+    def test_motel_world(self):
+        world = motel_scenario(n_motels=10, seed=0)
+        assert len(world.motel_ids) == 10
+        car = world.db.get(world.car_id)
+        assert car.moving_point().velocity.x == 1.0
+        for m in world.motel_ids:
+            assert world.db.get(m).moving_point().is_static
+
+    def test_motel_query_runs(self):
+        world = motel_scenario(n_motels=15, seed=2)
+        q = parse_query(MotelQuery := world.QUERY)
+        answer = InstantaneousQuery(q, horizon=50).answer(world.db)
+        # The car passes motels over time: somebody is eventually close.
+        assert len(answer.tuples) > 0
+
+    def test_air_traffic_world(self):
+        world = air_traffic_scenario(n_aircraft=12, seed=0)
+        assert len(world.aircraft_ids) == 12
+        q = parse_query(world.QUERY)
+        result = InstantaneousQuery(q, horizon=10).evaluate(world.db)
+        # Result is a set of (aircraft, airport) pairs; may be empty but
+        # must only contain known aircraft.
+        for inst in result:
+            assert inst[0] in world.aircraft_ids
+
+    def test_convoy_world(self):
+        world = convoy_scenario(n_vehicles=8, straggler_every=4, seed=0)
+        assert len(world.vehicles) == 8
+        world.network.clock.tick(10)
+        # Stragglers drift away from the leader's lane (y != 0).
+        drifters = [
+            v for v in world.vehicles if abs(v.position_now().y) > 1
+        ]
+        assert len(drifters) == 2
+
+    def test_convoy_no_stragglers(self):
+        world = convoy_scenario(n_vehicles=4, straggler_every=0)
+        world.network.clock.tick(5)
+        assert all(v.position_now().y == 0 for v in world.vehicles)
