@@ -35,7 +35,10 @@ class MostUpdate:
     """One explicit update of an object attribute.
 
     ``old``/``new`` are static values or :class:`DynamicAttribute` triples
-    depending on the attribute kind.
+    depending on the attribute kind.  ``class_name`` and ``kind`` let
+    listeners (continuous queries, triggers) decide relevance without a
+    database lookup; they default to ``None``/``"dynamic"`` for updates
+    constructed outside :class:`MostDatabase`.
     """
 
     time: int
@@ -43,6 +46,8 @@ class MostUpdate:
     attribute: str
     old: object
     new: object
+    class_name: str | None = None
+    kind: str = "dynamic"
 
 
 UpdateListener = Callable[[MostUpdate], None]
@@ -160,6 +165,11 @@ class MostDatabase:
         self.object_class(class_name)
         return [self._objects[i] for i in self._by_class[class_name]]
 
+    def class_count(self, class_name: str) -> int:
+        """Number of objects of one class (O(1) population check)."""
+        self.object_class(class_name)
+        return len(self._by_class[class_name])
+
     def all_objects(self) -> Iterator[MostObject]:
         """Every object in the database."""
         return iter(self._objects.values())
@@ -176,7 +186,17 @@ class MostDatabase:
         """Explicitly update a static attribute."""
         obj = self.get(object_id)
         old = obj._set_static(attr, value)
-        self._commit(MostUpdate(self.clock.now, object_id, attr, old, value))
+        self._commit(
+            MostUpdate(
+                self.clock.now,
+                object_id,
+                attr,
+                old,
+                value,
+                class_name=obj.object_class.name,
+                kind="static",
+            )
+        )
 
     def update_dynamic(
         self,
@@ -191,7 +211,17 @@ class MostDatabase:
         old = obj.dynamic_attribute(attr)
         new = old.updated(self.clock.now, value=value, function=function)
         obj._set_dynamic(attr, new)
-        self._commit(MostUpdate(self.clock.now, object_id, attr, old, new))
+        self._commit(
+            MostUpdate(
+                self.clock.now,
+                object_id,
+                attr,
+                old,
+                new,
+                class_name=obj.object_class.name,
+                kind="dynamic",
+            )
+        )
 
     def update_motion(
         self,

@@ -94,19 +94,32 @@ class History:
 class FutureHistory(History):
     """The infinite history implied by the database contents at ``start``.
 
-    Dynamic-attribute triples and static values are snapshotted at
-    construction, so later explicit updates do not leak in — exactly the
-    "tentative answer" semantics of section 1.
+    By default dynamic-attribute triples and static values are snapshotted
+    at construction, so later explicit updates do not leak in — exactly
+    the "tentative answer" semantics of section 1.  With
+    ``snapshot=False`` the history reads through to the live database
+    state instead: construction is O(1) regardless of population, which is
+    what incremental continuous-query refreshes need (they evaluate
+    synchronously, so no update can interleave with the read-through).
     """
 
-    def __init__(self, db: "MostDatabase", start: float | None = None) -> None:
+    def __init__(
+        self,
+        db: "MostDatabase",
+        start: float | None = None,
+        snapshot: bool = True,
+    ) -> None:
         super().__init__(db, db.clock.now if start is None else start)
-        self._population: dict[str, list[object]] = {
+        self._snapshot = snapshot
+        self._population: dict[str, list[object]] = {}
+        self._dynamic: dict[tuple[object, str], DynamicAttribute] = {}
+        self._static: dict[tuple[object, str], object] = {}
+        if not snapshot:
+            return
+        self._population = {
             cls: [o.object_id for o in db.objects_of(cls)]
             for cls in db.class_names()
         }
-        self._dynamic: dict[tuple[object, str], DynamicAttribute] = {}
-        self._static: dict[tuple[object, str], object] = {}
         for obj in db.all_objects():
             for attr in obj.object_class.all_dynamic:
                 self._dynamic[(obj.object_id, attr)] = obj.dynamic_attribute(attr)
@@ -115,9 +128,21 @@ class FutureHistory(History):
 
     def object_ids(self, class_name: str) -> list[object]:
         self.db.object_class(class_name)
+        if not self._snapshot:
+            return [o.object_id for o in self.db.objects_of(class_name)]
         return list(self._population.get(class_name, ()))
 
     def value(self, object_id: object, attr: str, t: float) -> object:
+        if not self._snapshot:
+            obj = self.db.get(object_id)
+            if obj.object_class.is_dynamic(attr):
+                return obj.dynamic_attribute(attr).value_at(t)
+            if obj.object_class.has_attribute(attr):
+                return obj.static_value(attr)
+            raise QueryError(
+                f"object {object_id!r} has no attribute {attr!r} in this "
+                "history"
+            )
         key = (object_id, attr)
         if key in self._dynamic:
             return self._dynamic[key].value_at(t)
@@ -133,6 +158,8 @@ class FutureHistory(History):
         from repro.core.objects import MostObject  # local to avoid cycle
 
         obj = self.db.get(object_id)
+        if not self._snapshot:
+            return obj.moving_point()
         snapshot = MostObject(
             object_id,
             obj.object_class,
@@ -149,6 +176,13 @@ class FutureHistory(History):
 
     def dynamic_triple(self, object_id: object, attr: str) -> DynamicAttribute:
         """The frozen (value, updatetime, function) of one attribute."""
+        if not self._snapshot:
+            obj = self.db.get(object_id)
+            if not obj.object_class.is_dynamic(attr):
+                raise QueryError(
+                    f"object {object_id!r} has no dynamic attribute {attr!r}"
+                )
+            return obj.dynamic_attribute(attr)
         try:
             return self._dynamic[(object_id, attr)]
         except KeyError:

@@ -19,7 +19,14 @@ from typing import Callable
 
 from repro.core.database import MostDatabase, MostUpdate
 from repro.core.history import FutureHistory, RecordedHistory
-from repro.errors import QueryError
+from repro.errors import QueryError, SchemaError
+from repro.ftl.context import EvalContext
+from repro.ftl.incremental import (
+    PartialIntervalEvaluator,
+    QueryCache,
+    evaluate_with_cache,
+    supports_incremental,
+)
 from repro.ftl.query import FtlQuery
 from repro.ftl.relations import AnswerTuple, FtlRelation
 
@@ -77,7 +84,18 @@ class ContinuousQuery:
     may affect the answer trigger reevaluation (counted in
     :attr:`evaluations` — experiment E4 reads this); clock ticks do *not*,
     which is the whole point of the single-evaluation scheme.
+
+    With ``method="incremental"`` the initial evaluation caches every
+    per-subformula relation, updates accumulate the *dirty-instantiation*
+    frontier (which objects changed, hence which variable instantiations
+    can differ), and revalidation patches only those rows through
+    :class:`~repro.ftl.incremental.PartialIntervalEvaluator` — falling
+    back to full reevaluation when the formula contains an assignment
+    quantifier, when the population of a bound class changed, or when an
+    update cannot be attributed to a bound object (see DESIGN.md).
     """
+
+    _METHODS = ("interval", "naive", "incremental")
 
     def __init__(
         self,
@@ -88,57 +106,181 @@ class ContinuousQuery:
     ) -> None:
         if horizon < 0:
             raise QueryError("horizon must be non-negative")
+        if method not in self._METHODS:
+            raise QueryError(f"unknown method {method!r}")
         self.db = db
         self.query = query
         self.horizon = horizon
         self.method = method
         self.created_at = db.clock.now
         self.expires_at = db.clock.now + horizon
+        #: Total answer refreshes (full + incremental) — experiment E4.
         self.evaluations = 0
+        #: Of which, full reevaluations.
+        self.full_evaluations = 0
+        #: Of which, incremental (patch-based) refreshes.
+        self.incremental_refreshes = 0
+        #: Rows recomputed across all incremental refreshes.
+        self.rows_recomputed = 0
+        self._bound_classes = frozenset(query.bindings.values())
+        self._use_incremental = (
+            method == "incremental"
+            and supports_incremental(query.where)
+            and set(query.targets) <= query.where.free_vars()
+        )
+        self._eval_method = "interval" if method == "incremental" else method
         self._dirty = False
-        self.answer: Answer = self._evaluate()
-        self._unsubscribe = db.on_update(self._on_update)
+        self._needs_full = False
+        self._dirty_objects: set[object] = set()
+        self._rf: FtlRelation | None = None
+        self._cache: QueryCache | None = None
+        self._target_positions: list[int] = []
+        self._population: dict[str, int] = {}
+        self._answer: Answer | None = None
+        self._last_refresh = db.clock.now
         self._cancelled = False
+        self._full_evaluate()
+        self._unsubscribe = db.on_update(self._on_update)
 
     # ------------------------------------------------------------------
-    def _evaluate(self) -> Answer:
+    @property
+    def answer(self) -> Answer:
+        """The materialised ``Answer(CQ)`` (projected onto the targets).
+
+        Under incremental maintenance the unprojected ``R_f`` is the
+        maintained object; the projection is built lazily here, clipped to
+        the still-displayable window ``[last refresh, expiration]``.
+        """
+        if self._answer is None:
+            assert self._rf is not None
+            relation = self._rf.project(self.query.targets).clipped(
+                self._last_refresh, self.expires_at
+            )
+            self._answer = Answer(
+                relation=relation,
+                computed_at=self._last_refresh,
+                horizon=max(0, self.expires_at - self._last_refresh),
+            )
+        return self._answer
+
+    # ------------------------------------------------------------------
+    def _full_evaluate(self) -> None:
         self.evaluations += 1
+        self.full_evaluations += 1
+        now = self.db.clock.now
         history = FutureHistory(self.db)
-        remaining = max(0, self.expires_at - self.db.clock.now)
-        relation = self.query.evaluate(history, remaining, method=self.method)
-        return Answer(
-            relation=relation,
-            computed_at=self.db.clock.now,
-            horizon=remaining,
+        remaining = max(0, self.expires_at - now)
+        if self._use_incremental:
+            rf, cache, _evaluator = evaluate_with_cache(
+                self.query, history, remaining
+            )
+            self._rf = rf
+            self._cache = cache
+            self._target_positions = [
+                rf.variables.index(t) for t in self.query.targets
+            ]
+            self._population = self._population_counts()
+            self._answer = None
+        else:
+            relation = self.query.evaluate(
+                history, remaining, method=self._eval_method
+            )
+            self._answer = Answer(
+                relation=relation, computed_at=now, horizon=remaining
+            )
+        self._last_refresh = now
+
+    def _refresh_incremental(self) -> None:
+        self.evaluations += 1
+        self.incremental_refreshes += 1
+        now = self.db.clock.now
+        remaining = max(0, self.expires_at - now)
+        history = FutureHistory(self.db, snapshot=False)
+        ctx = EvalContext(history, remaining, self.query.bindings)
+        evaluator = PartialIntervalEvaluator(
+            ctx, self._cache, frozenset(self._dirty_objects)
         )
+        self._rf = evaluator.refresh(self.query.where)
+        self.rows_recomputed += evaluator.rows_recomputed
+        self._last_refresh = now
+        self._answer = None
 
     def _on_update(self, update: MostUpdate) -> None:
         if self._cancelled or self.db.clock.now > self.expires_at:
             return
-        if self._affects(update):
-            # Lazy revalidation: a motion-vector change touches several
-            # axis attributes in one logical update; recomputing on the
-            # next read coalesces them into a single reevaluation.
-            self._dirty = True
+        if not self.affects(update):
+            return
+        # Lazy revalidation: a motion-vector change touches several
+        # axis attributes in one logical update; recomputing on the
+        # next read coalesces them into a single reevaluation.
+        self._dirty = True
+        if self._resolve_class(update) is None:
+            # Can't attribute the update to a bound object — conservative
+            # full reevaluation on the next read.
+            self._needs_full = True
+        else:
+            self._dirty_objects.add(update.object_id)
 
     def _ensure_fresh(self) -> None:
         if self._dirty and self.db.clock.now <= self.expires_at:
-            self.answer = self._evaluate()
+            if self._can_refresh_incrementally():
+                self._refresh_incremental()
+            else:
+                self._full_evaluate()
         self._dirty = False
+        self._needs_full = False
+        self._dirty_objects.clear()
 
-    def _affects(self, update: MostUpdate) -> bool:
+    def _can_refresh_incrementally(self) -> bool:
+        return (
+            self._use_incremental
+            and not self._needs_full
+            and self._cache is not None
+            and bool(self._dirty_objects)
+            and self._population_counts() == self._population
+        )
+
+    def _population_counts(self) -> dict[str, int]:
+        return {
+            cls: self.db.class_count(cls) for cls in self._bound_classes
+        }
+
+    def _resolve_class(self, update: MostUpdate) -> str | None:
+        """The updated object's class name, or ``None`` when unknown."""
+        if update.class_name is not None:
+            return update.class_name
+        try:
+            return self.db.get(update.object_id).object_class.name
+        except SchemaError:
+            return None
+
+    def affects(self, update: MostUpdate) -> bool:
         """Whether an update may change ``Answer(CQ)``.
 
         Conservative test: the updated object belongs to one of the
-        classes the query ranges over.
+        classes the query ranges over.  An update that cannot be
+        attributed to any live object (no class metadata, id not in the
+        database) is conservatively assumed relevant.
         """
-        try:
-            cls = self.db.get(update.object_id).object_class.name
-        except Exception:
+        cls = self._resolve_class(update)
+        if cls is None:
             return True
-        return cls in set(self.query.bindings.values())
+        return cls in self._bound_classes
+
+    # Backwards-compatible alias (the method predates the public name).
+    _affects = affects
 
     # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Bring ``Answer(CQ)`` up to date without displaying it.
+
+        This is the per-update maintenance cost in isolation — what the
+        incremental-maintenance benchmark measures.
+        """
+        if self._cancelled:
+            raise QueryError("query was cancelled")
+        self._ensure_fresh()
+
     def current(self) -> set[tuple]:
         """The display at the current clock tick."""
         if self._cancelled:
@@ -147,6 +289,11 @@ class ContinuousQuery:
         if now > self.expires_at:
             return set()
         self._ensure_fresh()
+        if self._rf is not None:
+            return {
+                tuple(inst[p] for p in self._target_positions)
+                for inst in self._rf.satisfied_at(now)
+            }
         return self.answer.at(now)
 
     def answer_tuples(self) -> list[AnswerTuple]:

@@ -59,7 +59,14 @@ class TemporalTrigger:
             self.on_enter(inst)
 
     # ------------------------------------------------------------------
-    def _check_update(self, _update: MostUpdate) -> None:
+    def _check_update(self, update: MostUpdate) -> None:
+        if isinstance(self.query, ContinuousQuery) and not self.query.affects(
+            update
+        ):
+            # Updates the continuous query provably cannot observe (objects
+            # of unbound classes) leave the answer untouched — skip the
+            # recheck rather than force a spurious reevaluation.
+            return
         self._check(self.db.clock.now)
 
     def _check(self, _now: int) -> None:

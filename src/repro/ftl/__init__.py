@@ -43,6 +43,12 @@ from repro.ftl.ast import (
 )
 from repro.ftl.context import EvalContext
 from repro.ftl.evaluator import IntervalEvaluator
+from repro.ftl.incremental import (
+    PartialIntervalEvaluator,
+    QueryCache,
+    evaluate_with_cache,
+    supports_incremental,
+)
 from repro.ftl.naive import NaiveEvaluator
 from repro.ftl.parser import parse_formula, parse_query
 from repro.ftl.query import FtlQuery
@@ -60,6 +66,10 @@ __all__ = [
     "EvalContext",
     "IntervalEvaluator",
     "NaiveEvaluator",
+    "PartialIntervalEvaluator",
+    "QueryCache",
+    "evaluate_with_cache",
+    "supports_incremental",
     # AST
     "Formula",
     "Term",

@@ -81,6 +81,21 @@ class EvalContext:
         """Whether the variable is FROM-bound (ranges over objects)."""
         return var in self.bindings
 
+    def split_domain(
+        self, var: str, dirty_values: frozenset | set
+    ) -> tuple[list[object], list[object]]:
+        """Partition a variable's domain into ``(clean, dirty)`` by
+        membership in ``dirty_values``, preserving domain order.
+
+        Used by incremental continuous-query maintenance to enumerate only
+        the instantiations whose objects were explicitly updated.
+        """
+        clean: list[object] = []
+        dirty: list[object] = []
+        for value in self.domain(var):
+            (dirty if value in dirty_values else clean).append(value)
+        return clean, dirty
+
     def push_domain(self, var: str, values: list[object]) -> None:
         """Introduce an assigned variable's candidate values."""
         if var in self._domains:

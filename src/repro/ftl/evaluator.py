@@ -92,12 +92,21 @@ _CMP = {
 class IntervalEvaluator:
     """Bottom-up computation of ``R_g`` per subformula."""
 
-    def __init__(self, ctx: EvalContext, analytic_atoms: bool = True) -> None:
+    def __init__(
+        self,
+        ctx: EvalContext,
+        analytic_atoms: bool = True,
+        trace: dict[int, FtlRelation] | None = None,
+    ) -> None:
         self.ctx = ctx
         #: When False, every atom is evaluated by per-tick sampling instead
         #: of the closed-form kinetic solvers — the ablation knob of
         #: benchmarks/bench_ablation_kinetic.py.
         self.analytic_atoms = analytic_atoms
+        #: When given, every computed ``R_g`` is recorded here keyed by
+        #: ``id(subformula)`` — the per-subformula cache that incremental
+        #: continuous-query maintenance patches on later updates.
+        self.trace = trace
         #: Count of per-tick atom evaluations (benchmark instrumentation).
         self.sampled_atom_evals = 0
         #: Count of kinetic (closed-form) atom solves.
@@ -110,6 +119,12 @@ class IntervalEvaluator:
 
     # ------------------------------------------------------------------
     def _eval(self, f: Formula) -> FtlRelation:
+        relation = self._eval_node(f)
+        if self.trace is not None:
+            self.trace[id(f)] = relation
+        return relation
+
+    def _eval_node(self, f: Formula) -> FtlRelation:
         if isinstance(f, (Compare, Inside, Outside, WithinSphere)):
             return self._atom(f)
         if isinstance(f, AndF):

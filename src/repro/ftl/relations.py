@@ -44,9 +44,15 @@ class FtlRelation:
 
     Rows with empty interval sets are never stored; a missing row means
     "never satisfied".
+
+    For incremental continuous-query maintenance the relation keeps an
+    optional inverted index (value → instantiations mentioning it), built
+    lazily on the first :meth:`rows_touching` call and maintained by every
+    subsequent mutation, so the recompute frontier of an update is found
+    in time proportional to the number of affected rows.
     """
 
-    __slots__ = ("variables", "_rows")
+    __slots__ = ("variables", "_rows", "_index")
 
     def __init__(
         self,
@@ -55,6 +61,7 @@ class FtlRelation:
     ) -> None:
         self.variables = tuple(variables)
         self._rows: dict[Instantiation, IntervalSet] = {}
+        self._index: dict[object, set[Instantiation]] | None = None
         for inst, iset in (rows or {}).items():
             self.set(inst, iset)
 
@@ -66,8 +73,11 @@ class FtlRelation:
                 f"instantiation arity {len(inst)} != {len(self.variables)}"
             )
         if iset.is_empty:
-            self._rows.pop(inst, None)
+            if self._rows.pop(inst, None) is not None:
+                self._index_remove(inst)
         else:
+            if inst not in self._rows:
+                self._index_add(inst)
             self._rows[inst] = iset
 
     def add(self, inst: Instantiation, iset: IntervalSet) -> None:
@@ -88,6 +98,72 @@ class FtlRelation:
 
     def __bool__(self) -> bool:
         return bool(self._rows)
+
+    # ------------------------------------------------------------------
+    # Inverted index + incremental patching
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> dict[object, set[Instantiation]]:
+        if self._index is None:
+            self._index = {}
+            for inst in self._rows:
+                for value in inst:
+                    self._index.setdefault(value, set()).add(inst)
+        return self._index
+
+    def _index_add(self, inst: Instantiation) -> None:
+        if self._index is not None:
+            for value in inst:
+                self._index.setdefault(value, set()).add(inst)
+
+    def _index_remove(self, inst: Instantiation) -> None:
+        if self._index is not None:
+            for value in inst:
+                bucket = self._index.get(value)
+                if bucket is not None:
+                    bucket.discard(inst)
+
+    def rows_touching(self, values: Iterable[object]) -> list[Instantiation]:
+        """Stored instantiations that mention any of the given values.
+
+        This is the per-relation recompute frontier of an update: the rows
+        whose cached interval sets may have been invalidated because one of
+        their objects changed.
+        """
+        index = self._ensure_index()
+        out: set[Instantiation] = set()
+        for value in values:
+            out |= index.get(value, set())
+        return list(out)
+
+    def patch(
+        self,
+        stale: Iterable[Instantiation],
+        replacement: "FtlRelation",
+    ) -> "FtlRelation":
+        """Splice recomputed rows into this relation, in place.
+
+        Drops every ``stale`` instantiation, then adopts every row of
+        ``replacement`` (a freshly recomputed sub-relation over the same
+        variables).  Rows carry normalised :class:`IntervalSet` values and
+        are replaced wholesale, so the appendix's non-overlapping,
+        non-consecutive interval invariant is preserved; a stale row absent
+        from the replacement means "no longer satisfied" and is removed.
+        """
+        if tuple(replacement.variables) != self.variables:
+            raise FtlSemanticsError(
+                f"cannot patch {self.variables} with rows over "
+                f"{replacement.variables}"
+            )
+        for inst in stale:
+            if self._rows.pop(inst, None) is not None:
+                self._index_remove(inst)
+        for inst, iset in replacement.rows():
+            self.set(inst, iset)
+        return self
+
+    def clipped(self, lo: float, hi: float) -> "FtlRelation":
+        """A copy with every interval set clipped to ``[lo, hi]``."""
+        return self.map_sets(lambda s: s.clip(lo, hi))
 
     # ------------------------------------------------------------------
     def index_of(self, var: str) -> int:
