@@ -1,0 +1,75 @@
+"""E7 — fault recovery cost: messages to convergence vs drop rate.
+
+The ack/retry pipeline buys convergence under loss by spending
+retransmissions.  We sweep the per-link drop probability and measure, per
+chaos run, the message overhead over the fault-free twin and the extra
+ticks of drain the retries need after the faults heal.  Expected shape:
+both overheads grow with the drop rate (super-linearly as drops compound
+with retry backoff), while every run still converges tuple-for-tuple.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.workloads import ChaosConfig, run_chaos
+
+SEEDS_PER_RATE = 8
+DROP_RATES = (0.0, 0.1, 0.3, 0.5, 0.7)
+
+
+def run_rate(drop: float) -> tuple[float, float, float, int]:
+    """Returns (mean messages, mean overhead x, mean drain ticks, converged)."""
+    messages, overhead, drain, converged = [], [], [], 0
+    for seed in range(SEEDS_PER_RATE):
+        # Other fault knobs pinned off so the sweep isolates the drop
+        # rate (delays alone already race the retry timer).
+        result = run_chaos(
+            ChaosConfig(
+                seed=seed,
+                drop=drop,
+                delay=(0, 0),
+                duplicate=0.0,
+                reorder=0.0,
+                crash=False,
+            )
+        )
+        messages.append(result.faulty.messages)
+        overhead.append(
+            result.faulty.messages / max(1, result.clean.messages)
+        )
+        drain.append(result.faulty.ticks - result.config.run_ticks)
+        converged += result.converged and result.faulty.drained
+    return (
+        statistics.mean(messages),
+        statistics.mean(overhead),
+        statistics.mean(drain),
+        converged,
+    )
+
+
+def test_fault_recovery(benchmark, record_table):
+    rows = []
+    for drop in DROP_RATES:
+        mean_msgs, mean_overhead, mean_drain, converged = run_rate(drop)
+        rows.append(
+            [
+                drop,
+                round(mean_msgs, 1),
+                round(mean_overhead, 2),
+                round(mean_drain, 1),
+                f"{converged}/{SEEDS_PER_RATE}",
+            ]
+        )
+    benchmark(run_rate, 0.3)
+    record_table(
+        "E7: messages to convergence vs drop rate "
+        f"({SEEDS_PER_RATE} seeds per rate)",
+        ["drop rate", "messages", "overhead x", "drain ticks", "converged"],
+        rows,
+    )
+    # Every run converges; message overhead grows with the drop rate.
+    assert all(row[4] == f"{SEEDS_PER_RATE}/{SEEDS_PER_RATE}" for row in rows)
+    overheads = [row[2] for row in rows]
+    assert overheads[0] <= 1.01  # lossless: no retransmission overhead
+    assert overheads[-1] > overheads[0]

@@ -33,6 +33,7 @@ from repro.core.queries import (
     ContinuousQuery,
     InstantaneousQuery,
     PersistentQuery,
+    StampedTuple,
 )
 from repro.core.triggers import TemporalTrigger
 
@@ -53,5 +54,6 @@ __all__ = [
     "PersistentQuery",
     "Answer",
     "AnswerTuple",
+    "StampedTuple",
     "TemporalTrigger",
 ]

@@ -64,6 +64,11 @@ class MostDatabase:
         self._regions: dict[str, Region] = {}
         self._log: list[MostUpdate] = []
         self._listeners: list[UpdateListener] = []
+        self._last_seq: dict[object, int] = {}
+        self._last_update_time: dict[object, int] = {}
+        self._tracked: set[object] = set()
+        #: Network-delivered updates refused as stale or duplicate.
+        self.ingest_rejected = 0
 
     # ------------------------------------------------------------------
     # Classes and regions
@@ -117,6 +122,7 @@ class MostDatabase:
         obj = MostObject(object_id, cls, static=static, dynamic=dynamic)
         self._objects[object_id] = obj
         self._by_class[class_name].append(object_id)
+        self._last_update_time[object_id] = self.clock.now
         return obj
 
     def add_moving_object(
@@ -244,6 +250,87 @@ class MostDatabase:
             )
 
     # ------------------------------------------------------------------
+    # Network ingest + staleness accounting (fault-tolerant pipeline)
+    # ------------------------------------------------------------------
+    def track(self, object_id: object) -> None:
+        """Mark an object as *remotely sourced*: its dynamic attributes
+        arrive over the network, so it participates in staleness
+        accounting.  Server-local objects (named regions' reference
+        objects, stationary beacons) stay untracked and always count as
+        fresh."""
+        self.get(object_id)
+        self._tracked.add(object_id)
+
+    def is_tracked(self, object_id: object) -> bool:
+        """Whether the object participates in staleness accounting."""
+        return object_id in self._tracked
+
+    def last_update_time(self, object_id: object) -> int:
+        """The tick the object was last heard from (creation time when it
+        has never been updated)."""
+        self.get(object_id)
+        return self._last_update_time[object_id]
+
+    def staleness(self, object_id: object) -> int:
+        """Ticks since the object was last heard from.
+
+        Untracked (server-local) objects are always fresh (0): their
+        attributes never travel over the network, so there is nothing to
+        go stale.
+        """
+        if object_id not in self._tracked:
+            self.get(object_id)
+            return 0
+        return self.clock.now - self._last_update_time[object_id]
+
+    def last_ingested_seq(self, object_id: object) -> int:
+        """Highest sequence number applied for the object (-1 if none)."""
+        return self._last_seq.get(object_id, -1)
+
+    def ingest_motion(
+        self,
+        object_id: object,
+        seq: int,
+        velocity: Point,
+        position: Point,
+        measured_at: int,
+    ) -> bool:
+        """Apply one network-delivered motion update, idempotently.
+
+        The update carries the position fix *at measurement time*; a
+        delayed delivery extrapolates it along the reported velocity to
+        the current tick, so a late update installs the same trajectory
+        the sender observed.  Updates whose ``seq`` is at or below the
+        highest already applied for the object are stale duplicates or
+        out-of-order stragglers: they are rejected (counted in
+        :attr:`ingest_rejected`) and leave the database untouched.
+
+        Returns whether the update was applied.
+        """
+        obj = self.get(object_id)
+        if seq <= self._last_seq.get(object_id, -1):
+            self.ingest_rejected += 1
+            return False
+        names = obj.object_class.position_attributes
+        if velocity.dim != len(names) or position.dim != len(names):
+            raise SchemaError("motion update dimension mismatch")
+        now = self.clock.now
+        if measured_at > now:
+            raise SchemaError(
+                f"update measured at {measured_at} arrives at {now}"
+            )
+        self._last_seq[object_id] = seq
+        self._tracked.add(object_id)
+        extrapolated = Point(
+            *(
+                p + v * (now - measured_at)
+                for p, v in zip(position.coords, velocity.coords)
+            )
+        )
+        self.update_motion(object_id, velocity, position=extrapolated)
+        return True
+
+    # ------------------------------------------------------------------
     # Log + listeners
     # ------------------------------------------------------------------
     @property
@@ -265,6 +352,7 @@ class MostDatabase:
 
     def _commit(self, update: MostUpdate) -> None:
         self._log.append(update)
+        self._last_update_time[update.object_id] = update.time
         for listener in list(self._listeners):
             listener(update)
 

@@ -31,6 +31,62 @@ from repro.ftl.query import FtlQuery
 from repro.ftl.relations import AnswerTuple, FtlRelation
 
 
+@dataclass(frozen=True)
+class StampedTuple:
+    """One ``Answer(CQ)`` tuple with its staleness annotation.
+
+    ``max_age`` is the age (ticks since last heard from) of the *oldest*
+    object whose dynamic attributes the tuple was computed from —
+    ``support`` is that full instantiation, targets and non-target bound
+    variables alike.  ``degraded`` flags tuples whose ``max_age`` exceeds
+    the query's staleness bound: they are suppressed from the degraded
+    answer but still reported here so a client can render them greyed
+    out rather than silently absent.
+    """
+
+    values: tuple
+    begin: float
+    end: float
+    max_age: float
+    support: tuple
+    degraded: bool
+
+    def active_at(self, t: float) -> bool:
+        """Whether this tuple is displayed at clock tick ``t``."""
+        return self.begin <= t <= self.end
+
+
+def _object_age(db: MostDatabase, object_id: object) -> float:
+    """Ticks since ``object_id`` was heard from (inf when unknown)."""
+    try:
+        return db.staleness(object_id)
+    except SchemaError:
+        return float("inf")
+
+
+def _stamp_rows(
+    db: MostDatabase,
+    relation: FtlRelation,
+    positions: list[int],
+    bound: float | None,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> list[StampedTuple]:
+    """Flatten an unprojected relation into stamped answer tuples."""
+    out: list[StampedTuple] = []
+    for inst, iset in relation.rows():
+        age = max((_object_age(db, v) for v in inst), default=0.0)
+        degraded = bound is not None and age > bound
+        values = tuple(inst[p] for p in positions)
+        if lo is not None and hi is not None:
+            iset = iset.clip(lo, hi)
+        for iv in iset:
+            out.append(
+                StampedTuple(values, iv.start, iv.end, age, inst, degraded)
+            )
+    return out
+
+
 @dataclass
 class Answer:
     """A materialised query answer: the relation plus its flat tuples."""
@@ -76,6 +132,28 @@ class InstantaneousQuery:
             relation=relation, computed_at=db.clock.now, horizon=self.horizon
         )
 
+    def stamped(
+        self,
+        db: MostDatabase,
+        method: str = "interval",
+        staleness_bound: float | None = None,
+    ) -> list[StampedTuple]:
+        """The answer with per-tuple staleness annotations.
+
+        Each tuple carries the ``max_age`` of the dynamic attributes it
+        was computed from; with a ``staleness_bound``, tuples depending
+        on objects not heard from within the bound come back flagged
+        ``degraded`` (the graceful-degradation rule — see DESIGN.md §4).
+        """
+        history = FutureHistory(db)
+        relation = self.query.evaluate_full(
+            history, self.horizon, method=method
+        )
+        positions = [
+            relation.variables.index(t) for t in self.query.targets
+        ]
+        return _stamp_rows(db, relation, positions, staleness_bound)
+
 
 class ContinuousQuery:
     """A registered continuous query with a maintained ``Answer(CQ)``.
@@ -103,15 +181,23 @@ class ContinuousQuery:
         query: FtlQuery,
         horizon: int,
         method: str = "interval",
+        staleness_bound: float | None = None,
     ) -> None:
         if horizon < 0:
             raise QueryError("horizon must be non-negative")
         if method not in self._METHODS:
             raise QueryError(f"unknown method {method!r}")
+        if staleness_bound is not None and staleness_bound < 0:
+            raise QueryError("staleness bound must be non-negative")
         self.db = db
         self.query = query
         self.horizon = horizon
         self.method = method
+        #: Suppress tuples depending on objects not heard from within
+        #: this many ticks (None = no degradation).
+        self.staleness_bound = staleness_bound
+        #: Tuples suppressed by the staleness bound at the last read.
+        self.suppressed = 0
         self.created_at = db.clock.now
         self.expires_at = db.clock.now + horizon
         #: Total answer refreshes (full + incremental) — experiment E4.
@@ -176,18 +262,20 @@ class ContinuousQuery:
             )
             self._rf = rf
             self._cache = cache
-            self._target_positions = [
-                rf.variables.index(t) for t in self.query.targets
-            ]
-            self._population = self._population_counts()
-            self._answer = None
         else:
-            relation = self.query.evaluate(
+            # The unprojected relation is the maintained object for every
+            # method: its instantiations name the objects each tuple's
+            # intervals were computed from, which staleness-aware
+            # degradation needs (the projection is built lazily).
+            self._rf = self.query.evaluate_full(
                 history, remaining, method=self._eval_method
             )
-            self._answer = Answer(
-                relation=relation, computed_at=now, horizon=remaining
-            )
+            self._cache = None
+        self._target_positions = [
+            self._rf.variables.index(t) for t in self.query.targets
+        ]
+        self._population = self._population_counts()
+        self._answer = None
         self._last_refresh = now
 
     def _refresh_incremental(self) -> None:
@@ -281,25 +369,69 @@ class ContinuousQuery:
             raise QueryError("query was cancelled")
         self._ensure_fresh()
 
+    def _is_fresh(self, inst: tuple) -> bool:
+        """Whether every object the instantiation reads is within the
+        staleness bound."""
+        bound = self.staleness_bound
+        return all(_object_age(self.db, v) <= bound for v in inst)
+
     def current(self) -> set[tuple]:
-        """The display at the current clock tick."""
+        """The display at the current clock tick.
+
+        With a staleness bound, instantiations depending on an object not
+        heard from within the bound are suppressed (counted in
+        :attr:`suppressed`) — the degraded answer never presents a tuple
+        as current on the strength of data older than the bound.
+        """
         if self._cancelled:
             raise QueryError("query was cancelled")
         now = self.db.clock.now
         if now > self.expires_at:
             return set()
         self._ensure_fresh()
-        if self._rf is not None:
-            return {
-                tuple(inst[p] for p in self._target_positions)
-                for inst in self._rf.satisfied_at(now)
-            }
-        return self.answer.at(now)
+        insts = self._rf.satisfied_at(now)
+        if self.staleness_bound is not None:
+            kept = {inst for inst in insts if self._is_fresh(inst)}
+            self.suppressed = len(insts) - len(kept)
+            insts = kept
+        return {
+            tuple(inst[p] for p in self._target_positions) for inst in insts
+        }
 
-    def answer_tuples(self) -> list[AnswerTuple]:
-        """The current ``Answer(CQ)`` tuples."""
+    def answer_tuples(self, include_stale: bool = False) -> list[AnswerTuple]:
+        """The current ``Answer(CQ)`` tuples.
+
+        With a staleness bound, tuples supported by out-of-date objects
+        are suppressed unless ``include_stale`` is set (the chaos
+        harness's convergence check wants the full answer)."""
         self._ensure_fresh()
-        return self.answer.tuples
+        if self.staleness_bound is None or include_stale:
+            return self.answer.tuples
+        filtered = FtlRelation(self._rf.variables)
+        suppressed = 0
+        for inst, iset in self._rf.rows():
+            if self._is_fresh(inst):
+                filtered.add(inst, iset)
+            else:
+                suppressed += 1
+        self.suppressed = suppressed
+        relation = filtered.project(self.query.targets).clipped(
+            self._last_refresh, self.expires_at
+        )
+        return relation.answer_tuples()
+
+    def stamped_tuples(self) -> list[StampedTuple]:
+        """Every ``Answer(CQ)`` tuple with its staleness annotation —
+        degraded tuples included, flagged rather than suppressed."""
+        self._ensure_fresh()
+        return _stamp_rows(
+            self.db,
+            self._rf,
+            self._target_positions,
+            self.staleness_bound,
+            self._last_refresh,
+            self.expires_at,
+        )
 
     def cancel(self) -> None:
         """Stop maintaining the answer ("until cancelled")."""

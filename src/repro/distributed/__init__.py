@@ -16,9 +16,18 @@ The paper's architecture discussion is simulated faithfully:
 * :mod:`repro.distributed.transmission` — immediate / delayed / periodic
   transmission of ``Answer(CQ)`` to a mobile client, with block-wise
   pagination under a memory limit ``B`` and staleness measurement.
+* :mod:`repro.distributed.updates` — the fault-tolerant position-update
+  pipeline: per-object sequence numbers, server acks, and
+  retry-with-backoff (DESIGN.md §4).
 """
 
-from repro.distributed.network import Message, NetworkStats, SimNetwork
+from repro.distributed.network import (
+    FaultPlan,
+    LinkFaults,
+    Message,
+    NetworkStats,
+    SimNetwork,
+)
 from repro.distributed.node import MobileClient, MobileNode
 from repro.distributed.classify import QueryKind, classify_query
 from repro.distributed.strategies import (
@@ -32,6 +41,11 @@ from repro.distributed.ftl_processing import (
     DistributedResult,
     process_distributed,
 )
+from repro.distributed.updates import (
+    MotionReporter,
+    MotionUpdate,
+    UpdateServer,
+)
 from repro.distributed.transmission import (
     DelayedPolicy,
     ImmediatePolicy,
@@ -44,6 +58,11 @@ __all__ = [
     "SimNetwork",
     "Message",
     "NetworkStats",
+    "FaultPlan",
+    "LinkFaults",
+    "MotionReporter",
+    "MotionUpdate",
+    "UpdateServer",
     "MobileNode",
     "MobileClient",
     "QueryKind",

@@ -21,7 +21,17 @@ from repro.motion.moving import MovingPoint
 
 
 class MobileNode:
-    """One mobile computer hosting one moving object."""
+    """One mobile computer hosting one moving object.
+
+    Messages with a registered kind handler are dispatched and *not*
+    retained; everything else lands in :attr:`inbox`, which is capped at
+    ``inbox_limit`` entries — further messages are counted in
+    :attr:`inbox_overflow` and discarded (a mobile computer has bounded
+    memory; an unread backlog must not grow without bound).
+    """
+
+    #: Default unread-message capacity.
+    DEFAULT_INBOX_LIMIT = 64
 
     def __init__(
         self,
@@ -29,25 +39,50 @@ class MobileNode:
         network: SimNetwork,
         mover: MovingPoint,
         attributes: dict[str, object] | None = None,
+        inbox_limit: int | None = DEFAULT_INBOX_LIMIT,
     ) -> None:
+        if inbox_limit is not None and inbox_limit < 1:
+            raise DistributedError("inbox must hold at least 1 message")
         self.node_id = node_id
         self.network = network
         self.mover = mover
         self.attributes = dict(attributes or {})
         self.inbox: list[Message] = []
+        self.inbox_limit = inbox_limit
+        #: Unhandled messages discarded because the inbox was full.
+        self.inbox_overflow = 0
+        #: Messages consumed by a kind handler (never retained).
+        self.handled = 0
         self._probe_handlers: dict[str, Callable[[Message], None]] = {}
         network.register(node_id, self._on_message)
 
     # ------------------------------------------------------------------
     def _on_message(self, message: Message) -> None:
-        self.inbox.append(message)
         handler = self._probe_handlers.get(message.kind)
         if handler is not None:
+            self.handled += 1
             handler(message)
+            return
+        if (
+            self.inbox_limit is not None
+            and len(self.inbox) >= self.inbox_limit
+        ):
+            self.inbox_overflow += 1
+            return
+        self.inbox.append(message)
 
     def on_kind(self, kind: str, handler: Callable[[Message], None]) -> None:
         """Register a handler for one message kind."""
         self._probe_handlers[kind] = handler
+
+    def drain_inbox(self, kind: str | None = None) -> list[Message]:
+        """Remove and return unread messages (optionally one kind only)."""
+        if kind is None:
+            drained, self.inbox = self.inbox, []
+            return drained
+        drained = [m for m in self.inbox if m.kind == kind]
+        self.inbox = [m for m in self.inbox if m.kind != kind]
+        return drained
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, object]:

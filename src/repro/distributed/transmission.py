@@ -102,6 +102,8 @@ class TransmissionReport:
     bytes_sent: int = 0
     dropped_messages: int = 0
     staleness: int = 0
+    #: Of ``messages``, those carrying retractions after a revision.
+    retract_messages: int = 0
     display_trace: dict[int, set] = field(default_factory=dict)
 
 
@@ -137,15 +139,44 @@ def simulate_transmission(
     truth = list(answer)
     policy.on_answer(truth, now=0)
     report = TransmissionReport()
+    # Retractions owed to the client after an answer revision.  They
+    # travel as messages like everything else: a revision arriving while
+    # the client is disconnected cannot teleport — the stale tuples stay
+    # on the display (counted as staleness) until a retract message gets
+    # through.
+    owed_retractions: list[AnswerTuple] = []
 
     for step in range(horizon + 1):
         now = network.clock.now
         if revisions and now in revisions:
             truth = list(revisions[now])
-            stale_client = [t for t in client._tuples if t not in truth]
-            client.retract(stale_client)
+            # A tuple re-added by this revision must no longer be
+            # retracted, or a later delivery would wrongly remove it.
+            owed_retractions = [
+                t for t in owed_retractions if t not in truth
+            ]
+            for t in client._tuples:
+                if t not in truth and t not in owed_retractions:
+                    owed_retractions.append(t)
             policy.on_answer(truth, now=now)
         client.evict_expired(now)
+        # Expired retractions are moot — the display evicts them anyway.
+        owed_retractions = [t for t in owed_retractions if t.end >= now]
+        if owed_retractions:
+            report.messages += 1
+            if network.send(
+                SERVER,
+                "M",
+                "retract",
+                list(owed_retractions),
+                size=TUPLE_SIZE * len(owed_retractions),
+            ):
+                client.retract(owed_retractions)
+                report.retract_messages += 1
+                report.bytes_sent += TUPLE_SIZE * len(owed_retractions)
+                owed_retractions = []
+            else:
+                report.dropped_messages += 1
         batch = policy.due(now, client.free_slots)
         if batch:
             report.messages += 1

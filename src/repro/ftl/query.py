@@ -68,6 +68,24 @@ class FtlQuery:
             method: ``"interval"`` for the appendix algorithm,
                 ``"naive"`` for the per-state reference semantics.
         """
+        return self.evaluate_full(history, horizon, method=method).project(
+            self.targets
+        )
+
+    def evaluate_full(
+        self,
+        history: "History",
+        horizon: int,
+        method: str = "interval",
+    ) -> FtlRelation:
+        """The *unprojected* (but target-completed) ``R_f`` relation.
+
+        Each row binds every variable the condition mentions (plus
+        condition-free targets), so a row's instantiation is exactly the
+        set of objects whose dynamic attributes the row's satisfaction
+        intervals were computed from — the dependency information
+        staleness-aware degradation needs.
+        """
         ctx = EvalContext(history, horizon, self.bindings)
         if method == "interval":
             from repro.ftl.evaluator import IntervalEvaluator
@@ -79,7 +97,7 @@ class FtlQuery:
             relation = NaiveEvaluator(ctx).evaluate(self.where)
         else:
             raise FtlSemanticsError(f"unknown method {method!r}")
-        return self._complete(relation, ctx).project(self.targets)
+        return self._complete(relation, ctx)
 
     def _complete(self, relation: FtlRelation, ctx: EvalContext) -> FtlRelation:
         """Extend the relation with target variables the condition never

@@ -1,0 +1,343 @@
+"""Chaos harness: differential testing of the fault-tolerant pipeline.
+
+One seeded world is driven twice through *identical* motion-update
+schedules:
+
+* the **faulty** run injects a :class:`~repro.distributed.FaultPlan`
+  (drop / delay / reorder / duplicate / node crash) that heals at
+  ``run_ticks``, then drains until every reporter's retry queue and the
+  network's in-flight queue are empty;
+* the **clean** twin uses a zero-fault plan (same asynchronous delivery
+  semantics, no injected faults) and runs to the same final tick.
+
+Two properties are checked (the PR's acceptance criteria):
+
+1. **Convergence** — once faults heal and retries drain, the continuous
+   query's answer, clipped to the still-displayable window, is
+   tuple-for-tuple identical to the fault-free run's.
+2. **Bounded staleness while degraded** — at every tick, no tuple the
+   degraded answer emits depends on a dynamic attribute older than the
+   query's ``staleness_bound``.
+
+Positions and velocities are drawn on an integer grid so that a late
+update extrapolated to its apply tick reconstructs the sender's
+trajectory *exactly* (float products of small integers are exact), which
+is what makes tuple-for-tuple convergence a fair assertion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.database import MostDatabase
+from repro.core.objects import ObjectClass
+from repro.core.queries import ContinuousQuery
+from repro.distributed.network import FaultPlan, LinkFaults, SimNetwork
+from repro.distributed.node import MobileNode
+from repro.distributed.updates import MotionReporter, UpdateServer
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.motion import linear_moving_point
+from repro.temporal import SimulationClock
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos experiment: world size, fault rates, and timing."""
+
+    seed: int = 0
+    n_trackers: int = 3
+    radius: float = 60.0
+    horizon: int = 120
+    run_ticks: int = 16
+    max_drain: int = 60
+    drop: float = 0.3
+    delay: tuple[int, int] = (0, 3)
+    duplicate: float = 0.15
+    reorder: float = 0.2
+    crash: bool = True
+    staleness_bound: int = 6
+    method: str = "incremental"
+
+    QUERY = "RETRIEVE v FROM trackers v, beacons b WHERE DIST(v, b) <= {r}"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one driven run (faulty or clean)."""
+
+    answer: frozenset
+    ticks: int
+    violations: int
+    drained: bool
+    messages: int
+    retransmissions: int
+    ingest_rejected: int
+    suppressed_ticks: int
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one differential chaos experiment."""
+
+    config: ChaosConfig
+    converged: bool
+    faulty: RunResult
+    clean: RunResult
+
+    @property
+    def ok(self) -> bool:
+        """Converged, drained, and never emitted an over-age tuple."""
+        return (
+            self.converged
+            and self.faulty.drained
+            and self.faulty.violations == 0
+            and self.clean.violations == 0
+        )
+
+
+def fault_plan(config: ChaosConfig) -> FaultPlan:
+    """The seeded fault plan for the faulty run (heals at ``run_ticks``)."""
+    rng = random.Random(config.seed * 7919 + 1)
+    crashes: dict[str, list[tuple[float, float]]] = {}
+    if config.crash and config.n_trackers > 0:
+        victim = rng.randrange(config.n_trackers)
+        start = rng.randint(1, max(1, config.run_ticks // 2))
+        end = min(
+            config.run_ticks - 1,
+            start + rng.randint(2, max(2, config.run_ticks // 2)),
+        )
+        if end >= start:
+            crashes[f"tracker-{victim}"] = [(start, end)]
+    return FaultPlan(
+        seed=config.seed,
+        default=LinkFaults(
+            drop=config.drop,
+            duplicate=config.duplicate,
+            delay=config.delay,
+            reorder=config.reorder,
+        ),
+        crashes=crashes,
+        heal_at=config.run_ticks,
+    )
+
+
+def clean_plan(config: ChaosConfig) -> FaultPlan:
+    """The zero-fault twin: same asynchronous delivery, no faults."""
+    return FaultPlan(seed=config.seed)
+
+
+def update_schedule(
+    config: ChaosConfig,
+) -> list[tuple[int, int, Point]]:
+    """Seeded ``(tick, tracker index, new velocity)`` motion changes.
+
+    Velocities come from a small integer grid (see the module docstring)
+    and every tracker changes course roughly every 4 ticks.
+    """
+    rng = random.Random(config.seed * 104729 + 2)
+    out: list[tuple[int, int, Point]] = []
+    for tick in range(1, config.run_ticks):
+        for idx in range(config.n_trackers):
+            if rng.random() < 0.25:
+                out.append(
+                    (
+                        tick,
+                        idx,
+                        Point(
+                            float(rng.randint(-3, 3)),
+                            float(rng.randint(-3, 3)),
+                        ),
+                    )
+                )
+    return out
+
+
+@dataclass
+class _World:
+    clock: SimulationClock
+    db: MostDatabase
+    network: SimNetwork
+    server: UpdateServer
+    nodes: list[MobileNode]
+    reporters: list[MotionReporter]
+    cq: ContinuousQuery
+    violations: int = 0
+    suppressed_ticks: int = 0
+    trace: dict[int, set] = field(default_factory=dict)
+
+
+def _build(config: ChaosConfig, plan: FaultPlan) -> _World:
+    rng = random.Random(config.seed * 15485863 + 3)
+    clock = SimulationClock()
+    db = MostDatabase(clock)
+    network = SimNetwork(clock, faults=plan)
+    db.create_class(ObjectClass("trackers", spatial_dimensions=2))
+    db.create_class(ObjectClass("beacons", spatial_dimensions=2))
+    # The beacon is server-local (untracked): it never goes stale.
+    db.add_moving_object("beacons", "beacon", Point(0.0, 0.0))
+    server = UpdateServer(db, network)
+    nodes: list[MobileNode] = []
+    reporters: list[MotionReporter] = []
+    for i in range(config.n_trackers):
+        object_id = f"tracker-{i}"
+        position = Point(
+            float(rng.randint(-50, 50)), float(rng.randint(-50, 50))
+        )
+        velocity = Point(
+            float(rng.randint(-3, 3)), float(rng.randint(-3, 3))
+        )
+        db.add_moving_object("trackers", object_id, position, velocity)
+        db.track(object_id)
+        node = MobileNode(
+            object_id,
+            network,
+            linear_moving_point(position, velocity),
+        )
+        nodes.append(node)
+        reporters.append(MotionReporter(node, object_id=object_id))
+    cq = ContinuousQuery(
+        db,
+        parse_query(config.QUERY.format(r=config.radius)),
+        horizon=config.horizon,
+        method=config.method,
+        staleness_bound=config.staleness_bound,
+    )
+    return _World(clock, db, network, server, nodes, reporters, cq)
+
+
+def _check_tick(world: _World, config: ChaosConfig) -> None:
+    """The bounded-staleness invariant at the current tick."""
+    now = world.clock.now
+    bound = config.staleness_bound
+    shown = world.cq.current()
+    world.trace[now] = shown
+    if world.cq.suppressed:
+        world.suppressed_ticks += 1
+    fresh_values = set()
+    for stamped in world.cq.stamped_tuples():
+        if not stamped.active_at(now):
+            continue
+        if stamped.degraded:
+            continue
+        fresh_values.add(stamped.values)
+        if any(world.db.staleness(v) > bound for v in stamped.support):
+            world.violations += 1
+    # The degraded display must be exactly the fresh instantiations —
+    # nothing suppressed that is fresh, nothing emitted that is stale.
+    if shown != fresh_values:
+        world.violations += 1
+
+
+def _quiescent(world: _World) -> bool:
+    return world.network.in_flight == 0 and all(
+        r.in_flight == 0 for r in world.reporters
+    )
+
+
+def _drive(
+    world: _World,
+    config: ChaosConfig,
+    schedule: list[tuple[int, int, Point]],
+    until: int | None,
+) -> tuple[int, bool]:
+    """Run the simulation; returns ``(final tick, drained)``.
+
+    With ``until=None`` the run lasts ``run_ticks`` plus however much
+    drain it needs (capped at ``max_drain``); with a tick given, the run
+    lasts exactly that long (the clean twin mirrors the faulty run's
+    length so both answers are clipped at the same instant).
+    """
+    by_tick: dict[int, list[tuple[int, Point]]] = {}
+    for tick, idx, velocity in schedule:
+        by_tick.setdefault(tick, []).append((idx, velocity))
+    _check_tick(world, config)
+    end = until if until is not None else config.run_ticks + config.max_drain
+    drained = False
+    while world.clock.now < end:
+        for idx, velocity in by_tick.get(world.clock.now, ()):
+            world.reporters[idx].report(velocity)
+        world.clock.tick()
+        _check_tick(world, config)
+        if (
+            until is None
+            and world.clock.now >= config.run_ticks
+            and _quiescent(world)
+        ):
+            drained = True
+            break
+    if until is not None:
+        drained = _quiescent(world)
+    return world.clock.now, drained
+
+
+def _final_answer(world: _World) -> frozenset:
+    """The converged answer, clipped to the still-displayable window."""
+    world.cq.refresh()
+    relation = world.cq.answer.relation.clipped(
+        world.clock.now, world.cq.expires_at
+    )
+    return frozenset(relation.answer_tuples())
+
+
+def run_chaos(config: ChaosConfig) -> ChaosResult:
+    """One differential experiment: faulty run vs clean twin."""
+    schedule = update_schedule(config)
+
+    faulty_world = _build(config, fault_plan(config))
+    final_tick, drained = _drive(faulty_world, config, schedule, until=None)
+    faulty = RunResult(
+        answer=_final_answer(faulty_world),
+        ticks=final_tick,
+        violations=faulty_world.violations,
+        drained=drained,
+        messages=faulty_world.network.stats.attempted,
+        retransmissions=sum(
+            r.retransmissions for r in faulty_world.reporters
+        ),
+        ingest_rejected=faulty_world.db.ingest_rejected,
+        suppressed_ticks=faulty_world.suppressed_ticks,
+    )
+
+    clean_world = _build(config, clean_plan(config))
+    _, clean_drained = _drive(clean_world, config, schedule, until=final_tick)
+    clean = RunResult(
+        answer=_final_answer(clean_world),
+        ticks=final_tick,
+        violations=clean_world.violations,
+        drained=clean_drained,
+        messages=clean_world.network.stats.attempted,
+        retransmissions=sum(
+            r.retransmissions for r in clean_world.reporters
+        ),
+        ingest_rejected=clean_world.db.ingest_rejected,
+        suppressed_ticks=clean_world.suppressed_ticks,
+    )
+
+    return ChaosResult(
+        config=config,
+        converged=faulty.answer == clean.answer,
+        faulty=faulty,
+        clean=clean,
+    )
+
+
+def chaos_sweep(
+    seeds: range | list[int], **overrides: object
+) -> list[ChaosResult]:
+    """Run one experiment per seed, varying the fault mix with the seed."""
+    results = []
+    for seed in seeds:
+        rng = random.Random(seed * 31337 + 4)
+        config = ChaosConfig(
+            seed=seed,
+            drop=rng.choice([0.1, 0.2, 0.3, 0.5]),
+            delay=(0, rng.randint(0, 4)),
+            duplicate=rng.choice([0.0, 0.1, 0.3]),
+            reorder=rng.choice([0.0, 0.2, 0.5]),
+            crash=rng.random() < 0.6,
+            **overrides,  # type: ignore[arg-type]
+        )
+        results.append(run_chaos(config))
+    return results

@@ -1,0 +1,189 @@
+"""Staleness-aware graceful degradation of query answers (DESIGN.md §4).
+
+A continuous query with a ``staleness_bound`` suppresses tuples whose
+supporting objects have not been heard from within the bound; the stamped
+view flags them instead.  Late updates reconcile the answer through the
+ordinary refresh path.
+"""
+
+import pytest
+
+from repro.core import (
+    ContinuousQuery,
+    InstantaneousQuery,
+    MostDatabase,
+    ObjectClass,
+)
+from repro.errors import QueryError
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.spatial import Polygon
+
+
+INSIDE_P = "RETRIEVE o FROM cars o WHERE INSIDE(o, P)"
+NEAR = "RETRIEVE o FROM cars o, beacons b WHERE DIST(o, b) <= 100"
+
+
+@pytest.fixture
+def db():
+    database = MostDatabase()
+    database.create_class(ObjectClass("cars", spatial_dimensions=2))
+    database.create_class(ObjectClass("beacons", spatial_dimensions=2))
+    database.define_region("P", Polygon.rectangle(0, 0, 100, 100))
+    return database
+
+
+def add_car(db, object_id, x=5.0, y=5.0, vx=0.0, tracked=True):
+    db.add_moving_object("cars", object_id, Point(x, y), Point(vx, 0.0))
+    if tracked:
+        db.track(object_id)
+
+
+class TestDegradedContinuousQuery:
+    def test_stale_object_suppressed_from_current(self, db):
+        add_car(db, "fresh")
+        add_car(db, "quiet")
+        cq = ContinuousQuery(
+            db, parse_query(INSIDE_P), horizon=30, staleness_bound=5
+        )
+        assert cq.current() == {("fresh",), ("quiet",)}
+        db.clock.tick(6)  # both now 6 ticks old...
+        db.update_motion("fresh", Point(0.0, 0.0))  # ...fresh phones home
+        assert cq.current() == {("fresh",)}
+        assert cq.suppressed == 1
+
+    def test_untracked_objects_never_degrade(self, db):
+        add_car(db, "local", tracked=False)
+        cq = ContinuousQuery(
+            db, parse_query(INSIDE_P), horizon=30, staleness_bound=2
+        )
+        db.clock.tick(10)
+        assert cq.current() == {("local",)}
+        assert cq.suppressed == 0
+
+    def test_no_bound_means_no_degradation(self, db):
+        add_car(db, "quiet")
+        cq = ContinuousQuery(db, parse_query(INSIDE_P), horizon=30)
+        db.clock.tick(10)
+        assert cq.current() == {("quiet",)}
+
+    def test_answer_tuples_suppressed_and_include_stale(self, db):
+        add_car(db, "quiet")
+        cq = ContinuousQuery(
+            db, parse_query(INSIDE_P), horizon=30, staleness_bound=5
+        )
+        db.clock.tick(6)
+        assert cq.answer_tuples() == []
+        full = cq.answer_tuples(include_stale=True)
+        assert [t.values for t in full] == [("quiet",)]
+
+    def test_late_update_reconciles_answer(self, db):
+        add_car(db, "quiet")
+        cq = ContinuousQuery(
+            db, parse_query(INSIDE_P), horizon=40, staleness_bound=5
+        )
+        db.clock.tick(8)
+        assert cq.current() == set()
+        # The delayed update finally lands (e.g. through the ack/retry
+        # pipeline): the ordinary refresh path reinstates the tuple.
+        db.ingest_motion("quiet", 0, Point(0.0, 0.0), Point(5.0, 5.0), 3)
+        assert cq.current() == {("quiet",)}
+        assert db.staleness("quiet") == 0
+
+    def test_non_target_support_counts(self, db):
+        # The beacon variable b is not retrieved, but tuples still read
+        # its position — a stale *beacon* degrades the car tuples.
+        add_car(db, "car", tracked=False)
+        db.add_moving_object("beacons", "tower", Point(0.0, 0.0))
+        db.track("tower")
+        cq = ContinuousQuery(
+            db, parse_query(NEAR), horizon=30, staleness_bound=4
+        )
+        assert cq.current() == {("car",)}
+        db.clock.tick(5)
+        assert cq.current() == set()
+        assert cq.suppressed == 1
+
+    def test_stamped_tuples_flag_instead_of_suppress(self, db):
+        add_car(db, "fresh")
+        add_car(db, "quiet")
+        cq = ContinuousQuery(
+            db, parse_query(INSIDE_P), horizon=30, staleness_bound=5
+        )
+        db.clock.tick(6)
+        db.update_motion("fresh", Point(0.0, 0.0))
+        stamped = {t.values[0]: t for t in cq.stamped_tuples()}
+        assert not stamped["fresh"].degraded
+        assert stamped["fresh"].max_age == 0
+        assert stamped["quiet"].degraded
+        assert stamped["quiet"].max_age == 6
+        assert stamped["quiet"].support == ("quiet",)
+
+    def test_degradation_invariant(self, db):
+        """No non-degraded stamped tuple ever depends on an attribute
+        older than the bound — the acceptance-criteria invariant."""
+        for i in range(4):
+            add_car(db, f"c{i}", x=float(i))
+        cq = ContinuousQuery(
+            db, parse_query(INSIDE_P), horizon=40, staleness_bound=3
+        )
+        for step in range(12):
+            db.clock.tick()
+            if step % 3 == 0:
+                db.update_motion(f"c{step % 4}", Point(0.0, 0.0))
+            now = db.clock.now
+            for t in cq.stamped_tuples():
+                if t.active_at(now) and not t.degraded:
+                    assert all(
+                        db.staleness(v) <= 3 for v in t.support
+                    )
+            # The degraded display is exactly the fresh instantiations.
+            shown = cq.current()
+            flagged = {
+                t.values
+                for t in cq.stamped_tuples()
+                if t.active_at(now) and not t.degraded
+            }
+            assert shown == flagged
+
+    def test_bound_validation(self, db):
+        with pytest.raises(QueryError):
+            ContinuousQuery(
+                db, parse_query(INSIDE_P), horizon=5, staleness_bound=-1
+            )
+
+    def test_incremental_method_supports_degradation(self, db):
+        add_car(db, "fresh")
+        add_car(db, "quiet")
+        cq = ContinuousQuery(
+            db,
+            parse_query(INSIDE_P),
+            horizon=30,
+            method="incremental",
+            staleness_bound=5,
+        )
+        db.clock.tick(6)
+        db.update_motion("fresh", Point(0.0, 0.0))
+        assert cq.current() == {("fresh",)}
+        assert cq.incremental_refreshes >= 1
+
+
+class TestStampedInstantaneous:
+    def test_max_age_reported(self, db):
+        add_car(db, "old")
+        db.clock.tick(7)
+        add_car(db, "new")
+        q = InstantaneousQuery(parse_query(INSIDE_P), horizon=10)
+        stamped = {t.values[0]: t for t in q.stamped(db)}
+        assert stamped["old"].max_age == 7
+        assert stamped["new"].max_age == 0
+        assert not stamped["old"].degraded  # no bound given
+
+    def test_bound_flags_degraded(self, db):
+        add_car(db, "old")
+        db.clock.tick(7)
+        q = InstantaneousQuery(parse_query(INSIDE_P), horizon=10)
+        (t,) = q.stamped(db, staleness_bound=5)
+        assert t.degraded
+        (t,) = q.stamped(db, staleness_bound=10)
+        assert not t.degraded

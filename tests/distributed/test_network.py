@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.distributed import MobileClient, MobileNode, SimNetwork
+from repro.distributed import (
+    FaultPlan,
+    LinkFaults,
+    MobileClient,
+    MobileNode,
+    SimNetwork,
+)
 from repro.errors import DistributedError
 from repro.ftl.relations import AnswerTuple
 from repro.geometry import Point
@@ -66,6 +72,183 @@ class TestNetwork:
         assert [m.kind for m in net.log] == ["x"]
 
 
+class TestDisconnectionBoundaries:
+    """Pinned semantics: windows are closed ``[start, end]`` — offline at
+    both endpoints, reachable again from ``end + 1``."""
+
+    def make(self, windows):
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.set_disconnections("b", windows)
+        return net
+
+    def test_offline_exactly_at_window_start(self):
+        net = self.make([(2, 4)])
+        net.clock.tick(2)  # now == start
+        assert not net.is_connected("b")
+        assert not net.send("a", "b", "ping", None)
+
+    def test_offline_exactly_at_window_end(self):
+        net = self.make([(2, 4)])
+        net.clock.tick(4)  # now == end
+        assert not net.is_connected("b")
+        assert not net.send("a", "b", "ping", None)
+
+    def test_online_first_tick_after_window(self):
+        net = self.make([(2, 4)])
+        net.clock.tick(5)  # now == end + 1
+        assert net.is_connected("b")
+        assert net.send("a", "b", "ping", None)
+
+    def test_online_last_tick_before_window(self):
+        net = self.make([(2, 4)])
+        net.clock.tick(1)  # now == start - 1
+        assert net.is_connected("b")
+        assert net.send("a", "b", "ping", None)
+
+    def test_adjacent_windows_merge_at_shared_endpoint(self):
+        # [2,4] and [4,6] share the endpoint 4: there is no momentary
+        # reconnection — the node behaves as offline over all of [2,6].
+        net = self.make([(2, 4), (4, 6)])
+        for t in range(2, 7):
+            assert not net.is_connected("b", at=t)
+        assert net.is_connected("b", at=7)
+
+    def test_explicit_probe_times(self):
+        net = self.make([(3, 3)])  # single-tick outage
+        assert net.is_connected("b", at=2)
+        assert not net.is_connected("b", at=3)
+        assert net.is_connected("b", at=4)
+
+
+class TestFaultPlan:
+    def pair(self, faults):
+        net = SimNetwork(faults=faults)
+        got = []
+        net.register("a", lambda m: None)
+        net.register("b", got.append)
+        return net, got
+
+    def test_clean_plan_delivers_next_tick(self):
+        net, got = self.pair(FaultPlan(seed=1))
+        assert net.send("a", "b", "ping", 1)
+        assert got == []  # queued, not synchronous
+        assert net.in_flight == 1
+        net.clock.tick()
+        assert [m.payload for m in got] == [1]
+        assert net.stats.delivered == 1
+
+    def test_pump_delivers_without_tick(self):
+        net, got = self.pair(FaultPlan(seed=1))
+        net.send("a", "b", "ping", 1)
+        assert net.pump() == 1
+        assert [m.payload for m in got] == [1]
+
+    def test_drop_everything(self):
+        net, got = self.pair(FaultPlan(seed=1, default=LinkFaults(drop=1.0)))
+        assert not net.send("a", "b", "ping", 1)
+        net.clock.tick(5)
+        assert got == []
+        assert net.stats.dropped == 1
+
+    def test_duplicate_everything(self):
+        net, got = self.pair(
+            FaultPlan(seed=1, default=LinkFaults(duplicate=1.0))
+        )
+        net.send("a", "b", "ping", 1)
+        net.clock.tick()
+        assert [m.payload for m in got] == [1, 1]
+        assert net.stats.duplicated == 1
+        assert net.stats.delivered == 2
+
+    def test_fixed_delay(self):
+        net, got = self.pair(
+            FaultPlan(seed=1, default=LinkFaults(delay=(3, 3)))
+        )
+        net.send("a", "b", "ping", 1)
+        net.clock.tick(2)
+        assert got == []
+        net.clock.tick()
+        assert [m.payload for m in got] == [1]
+        assert got[0].time == 3
+        assert got[0].sent_at == 0
+
+    def test_delay_can_reorder_across_sends(self):
+        net, got = self.pair(
+            FaultPlan(
+                seed=1,
+                links={("a", "b"): LinkFaults(delay=(4, 4))},
+            )
+        )
+        net.send("a", "b", "slow", "first")
+        net.clock.tick()
+        # Second message sent later on a faster (default clean) link...
+        # use a different src so the per-link override doesn't apply.
+        net.register("c", lambda m: None)
+        net.send("c", "b", "fast", "second")
+        net.clock.tick(5)
+        assert [m.payload for m in got] == ["second", "first"]
+        assert net.stats.reordered == 1
+
+    def test_crash_window_drops_at_delivery_time(self):
+        net, got = self.pair(
+            FaultPlan(
+                seed=1,
+                default=LinkFaults(delay=(2, 2)),
+                crashes={"b": [(2, 5)]},
+            )
+        )
+        net.send("a", "b", "ping", 1)  # due at t=2, b crashed [2,5]
+        net.clock.tick(6)
+        assert got == []
+        assert net.stats.dropped == 1
+        # After restart the node is reachable again.
+        assert net.send("a", "b", "ping", 2)
+        net.clock.tick(3)
+        assert [m.payload for m in got] == [2]
+
+    def test_crashed_source_cannot_send(self):
+        net, got = self.pair(FaultPlan(seed=1, crashes={"a": [(0, 3)]}))
+        assert not net.send("a", "b", "ping", 1)
+        assert net.stats.dropped == 1
+
+    def test_determinism_same_seed_same_trace(self):
+        def trace(seed):
+            net, got = self.pair(
+                FaultPlan(
+                    seed=seed,
+                    default=LinkFaults(
+                        drop=0.3, duplicate=0.3, delay=(0, 4), reorder=0.5
+                    ),
+                )
+            )
+            for i in range(30):
+                net.send("a", "b", "m", i)
+                net.clock.tick()
+            net.clock.tick(6)
+            return [(m.payload, m.time) for m in got]
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)  # and the seed actually matters
+
+    def test_heal_at_stops_faults(self):
+        net, got = self.pair(
+            FaultPlan(seed=1, default=LinkFaults(drop=1.0), heal_at=10)
+        )
+        assert not net.send("a", "b", "ping", "lost")
+        net.clock.tick(10)
+        assert net.send("a", "b", "ping", "healed")
+        net.clock.tick()
+        assert [m.payload for m in got] == ["healed"]
+
+    def test_link_fault_validation(self):
+        with pytest.raises(DistributedError):
+            LinkFaults(drop=1.5)
+        with pytest.raises(DistributedError):
+            LinkFaults(delay=(3, 1))
+
+
 class TestMobileNode:
     def test_snapshot_and_position(self):
         net = SimNetwork()
@@ -87,8 +270,56 @@ class TestMobileNode:
         a.on_kind("probe", hits.append)
         net.send("b", "a", "probe", 42)
         net.send("b", "a", "other", 43)
-        assert len(a.inbox) == 2
+        # Handled messages are consumed, not retained; only the
+        # unhandled one stays unread.
+        assert len(a.inbox) == 1
+        assert a.inbox[0].kind == "other"
+        assert a.handled == 1
         assert len(hits) == 1
+
+    def test_inbox_cap_and_overflow_counter(self):
+        net = SimNetwork()
+        a = MobileNode(
+            "a",
+            net,
+            linear_moving_point(Point(0, 0), Point(0, 0)),
+            inbox_limit=3,
+        )
+        MobileNode("b", net, linear_moving_point(Point(0, 0), Point(0, 0)))
+        for i in range(5):
+            net.send("b", "a", "junk", i)
+        assert len(a.inbox) == 3
+        assert a.inbox_overflow == 2
+        # Handled kinds never consume inbox capacity, even when full.
+        hits = []
+        a.on_kind("probe", hits.append)
+        net.send("b", "a", "probe", 99)
+        assert len(hits) == 1
+        assert a.inbox_overflow == 2
+
+    def test_drain_inbox(self):
+        net = SimNetwork()
+        a = MobileNode("a", net, linear_moving_point(Point(0, 0), Point(0, 0)))
+        MobileNode("b", net, linear_moving_point(Point(0, 0), Point(0, 0)))
+        net.send("b", "a", "x", 1)
+        net.send("b", "a", "y", 2)
+        net.send("b", "a", "x", 3)
+        xs = a.drain_inbox("x")
+        assert [m.payload for m in xs] == [1, 3]
+        assert [m.kind for m in a.inbox] == ["y"]
+        rest = a.drain_inbox()
+        assert [m.payload for m in rest] == [2]
+        assert a.inbox == []
+
+    def test_inbox_limit_validation(self):
+        net = SimNetwork()
+        with pytest.raises(DistributedError):
+            MobileNode(
+                "a",
+                net,
+                linear_moving_point(Point(0, 0), Point(0, 0)),
+                inbox_limit=0,
+            )
 
     def test_update_motion_local_only(self):
         net = SimNetwork()

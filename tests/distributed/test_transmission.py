@@ -162,6 +162,100 @@ def test_delayed_sends_each_tuple_once(answer):
     assert report.messages == distinct_begins
 
 
+class TestRevisionWhileDisconnected:
+    """Mid-flight answer revisions combined with client disconnections.
+
+    A revision that arrives while the client is offline must not leave
+    phantom tuples anywhere: not in the policy's ``pending`` queue, and
+    not on the client's display once a retract message finally gets
+    through."""
+
+    POLICIES = [
+        ImmediatePolicy,
+        DelayedPolicy,
+        lambda: PeriodicPolicy(period=1),
+    ]
+
+    @pytest.mark.parametrize("make_policy", POLICIES)
+    def test_no_phantom_tuples_in_pending(self, make_policy):
+        # b is withdrawn at t=2 while the client is offline [1, 4].
+        revised = [tup("a", 0, 9)]
+        policy = make_policy()
+        simulate_transmission(
+            policy,
+            [tup("a", 0, 9), tup("b", 0, 9)],
+            horizon=12,
+            disconnections=[(1, 4)],
+            revisions={2: revised},
+        )
+        # After the run the withdrawn tuple must not linger in pending.
+        assert all(t.values != ("b",) for t in policy.pending)
+
+    @pytest.mark.parametrize("make_policy", POLICIES)
+    def test_retraction_waits_for_reconnection(self, make_policy):
+        report = simulate_transmission(
+            make_policy(),
+            [tup("a", 0, 9), tup("b", 0, 9)],
+            horizon=12,
+            disconnections=[(1, 4)],
+            revisions={2: [tup("a", 0, 9)]},
+        )
+        # While offline the stale tuple stays displayed (information
+        # cannot teleport to a disconnected client)...
+        assert ("b",) in report.display_trace[3]
+        # ...and is gone from the first reconnected tick onwards.
+        for t in range(5, 10):
+            assert ("b",) not in report.display_trace[t]
+        assert report.retract_messages >= 1
+        assert report.dropped_messages >= 1  # retract attempts while offline
+
+    @pytest.mark.parametrize("make_policy", POLICIES)
+    def test_tuple_added_while_offline_arrives_after_reconnect(
+        self, make_policy
+    ):
+        report = simulate_transmission(
+            make_policy(),
+            [tup("a", 0, 9)],
+            horizon=12,
+            disconnections=[(1, 4)],
+            revisions={2: [tup("a", 0, 9), tup("x", 0, 9)]},
+        )
+        assert ("x",) not in report.display_trace[3]
+        for t in range(5, 10):
+            assert report.display_trace[t] == {("a",), ("x",)}
+
+    def test_readded_tuple_is_not_retracted_later(self):
+        # b is withdrawn at t=2 (while offline) and re-added at t=3
+        # (still offline): the owed retraction must be cancelled, or the
+        # late retract message would wrongly remove a valid tuple.
+        report = simulate_transmission(
+            ImmediatePolicy(),
+            [tup("a", 0, 9), tup("b", 0, 9)],
+            horizon=12,
+            disconnections=[(1, 4)],
+            revisions={
+                2: [tup("a", 0, 9)],
+                3: [tup("a", 0, 9), tup("b", 0, 9)],
+            },
+        )
+        for t in range(5, 10):
+            assert report.display_trace[t] == {("a",), ("b",)}
+        # Once reconnected and settled, nothing is stale.
+        assert all(
+            report.display_trace[t] == {("a",), ("b",)} for t in range(5, 10)
+        )
+
+    def test_revision_while_connected_costs_a_retract_message(self):
+        report = simulate_transmission(
+            ImmediatePolicy(),
+            [tup("a", 0, 9), tup("b", 0, 9)],
+            horizon=12,
+            revisions={2: [tup("a", 0, 9)]},
+        )
+        assert report.retract_messages == 1
+        assert report.staleness == 0
+
+
 class TestTradeoffs:
     def test_immediate_fewer_messages_than_delayed(self):
         many = [tup(f"v{i}", i, i + 3) for i in range(12)]
