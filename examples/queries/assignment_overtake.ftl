@@ -1,0 +1,8 @@
+-- The assignment quantifier (the paper's only quantifier): remember
+-- the truck's current x position, then ask whether the car passes it
+-- within 15 ticks.  Static analysis classifies this query as
+-- full-reevaluation (FTL401): assignments disable incremental
+-- continuous-query maintenance.
+RETRIEVE c
+FROM cars c, trucks t
+WHERE [m := t.x_position] EVENTUALLY WITHIN 15 c.x_position > m

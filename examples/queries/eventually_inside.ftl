@@ -1,0 +1,5 @@
+-- Section 2.1 motivating query: cars that reach the region P within
+-- the next 8 ticks of simulated time.
+RETRIEVE o
+FROM cars o
+WHERE EVENTUALLY WITHIN 8 INSIDE(o, P)

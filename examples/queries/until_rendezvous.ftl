@@ -1,0 +1,5 @@
+-- Pairs that stay far apart until they come within rendezvous range:
+-- the basic Until operator over a distance atom.
+RETRIEVE a, b
+FROM aircraft a, aircraft b
+WHERE DIST(a, b) > 20 UNTIL WITHIN_SPHERE(5, a, b)

@@ -46,8 +46,17 @@ from repro.core import (
     PersistentQuery,
     TemporalTrigger,
 )
-from repro.errors import ReproError
-from repro.ftl import FtlQuery, parse_formula, parse_query
+from repro.errors import FtlAnalysisError, ReproError
+from repro.ftl import (
+    AnalysisResult,
+    Diagnostic,
+    FtlQuery,
+    QueryCompiler,
+    analyze_query,
+    compile_query,
+    parse_formula,
+    parse_query,
+)
 
 __version__ = "0.1.0"
 
@@ -65,6 +74,12 @@ __all__ = [
     "FtlQuery",
     "parse_query",
     "parse_formula",
+    "QueryCompiler",
+    "compile_query",
+    "analyze_query",
+    "AnalysisResult",
+    "Diagnostic",
     "ReproError",
+    "FtlAnalysisError",
     "__version__",
 ]

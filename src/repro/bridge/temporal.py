@@ -17,7 +17,7 @@ answers always reflect the current DBMS contents.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bridge.adapter import MostOnDbms
 from repro.bridge.atoms import dynamic_attributes_of

@@ -98,6 +98,10 @@ class MostDatabase:
             raise SchemaError(f"region {name!r} already exists")
         self._regions[name] = region
 
+    def region_names(self) -> list[str]:
+        """All defined region names."""
+        return list(self._regions)
+
     def region(self, name: str) -> Region:
         """Named region lookup."""
         try:

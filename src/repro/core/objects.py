@@ -13,7 +13,7 @@ dynamic ones as :class:`~repro.core.dynamic.DynamicAttribute` triples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.dynamic import DynamicAttribute

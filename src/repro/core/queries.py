@@ -14,21 +14,36 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.database import MostDatabase, MostUpdate
 from repro.core.history import FutureHistory, RecordedHistory
 from repro.errors import QueryError, SchemaError
+from repro.ftl.analysis import AnalysisResult, Diagnostic
 from repro.ftl.context import EvalContext
 from repro.ftl.incremental import (
     PartialIntervalEvaluator,
     QueryCache,
     evaluate_with_cache,
-    supports_incremental,
 )
 from repro.ftl.query import FtlQuery
 from repro.ftl.relations import AnswerTuple, FtlRelation
+
+
+def _analyze_or_raise(query: FtlQuery, db: MostDatabase) -> AnalysisResult:
+    """Run the static analyzer against the database schema, failing fast.
+
+    Every query class gates evaluation on this: a query the analyzer
+    rejects (unknown attribute, unsafe construct, ...) never reaches an
+    evaluator, so malformed queries fail at registration with a
+    span-carrying :class:`~repro.errors.FtlAnalysisError` instead of an
+    :class:`~repro.errors.FtlSemanticsError` mid-evaluation.
+    """
+    analysis = query.analyze(schema=db)
+    analysis.raise_on_error()
+    analysis.warn_on_lints()
+    return analysis
 
 
 @dataclass(frozen=True)
@@ -116,6 +131,18 @@ class InstantaneousQuery:
             raise QueryError("horizon must be non-negative")
         self.query = query
         self.horizon = horizon
+        #: Schema-less static analysis, refined against the actual
+        #: database schema on the first evaluation per database.
+        self.analysis = query.analyze()
+        self.analysis.raise_on_error()
+        self.analysis.warn_on_lints()
+        self._analyzed_dbs: set[int] = set()
+
+    def _gate(self, db: MostDatabase) -> None:
+        """Re-run the analyzer against ``db``'s schema (once per db)."""
+        if id(db) not in self._analyzed_dbs:
+            self.analysis = _analyze_or_raise(self.query, db)
+            self._analyzed_dbs.add(id(db))
 
     def evaluate(
         self, db: MostDatabase, method: str = "interval"
@@ -126,6 +153,7 @@ class InstantaneousQuery:
 
     def answer(self, db: MostDatabase, method: str = "interval") -> Answer:
         """The full interval answer (also used by continuous queries)."""
+        self._gate(db)
         history = FutureHistory(db)
         relation = self.query.evaluate(history, self.horizon, method=method)
         return Answer(
@@ -145,6 +173,7 @@ class InstantaneousQuery:
         on objects not heard from within the bound come back flagged
         ``degraded`` (the graceful-degradation rule — see DESIGN.md §4).
         """
+        self._gate(db)
         history = FutureHistory(db)
         relation = self.query.evaluate_full(
             history, self.horizon, method=method
@@ -171,6 +200,10 @@ class ContinuousQuery:
     back to full reevaluation when the formula contains an assignment
     quantifier, when the population of a bound class changed, or when an
     update cannot be attributed to a bound object (see DESIGN.md).
+    Formula-level fallbacks are reported: :attr:`incremental_rejection`
+    is the static-analysis diagnostic (FTL401/FTL403) naming the
+    disqualifying subformula, ``None`` when incremental maintenance is
+    in effect.
     """
 
     _METHODS = ("interval", "naive", "incremental")
@@ -209,10 +242,31 @@ class ContinuousQuery:
         #: Rows recomputed across all incremental refreshes.
         self.rows_recomputed = 0
         self._bound_classes = frozenset(query.bindings.values())
+        #: Static analysis against the database schema; errors raise
+        #: FtlAnalysisError before the first evaluation.
+        self.analysis = _analyze_or_raise(query, db)
+        #: With ``method="incremental"``, the diagnostics naming each
+        #: subformula (FTL401) or free-ranging target (FTL403) that
+        #: forces the fallback to full reevaluation; empty when the
+        #: query is incrementally maintainable.
+        self.incremental_rejections: tuple[Diagnostic, ...] = ()
+        if method == "incremental":
+            rejections: list[Diagnostic] = []
+            if self.analysis.fragment is not None:
+                rejections.extend(self.analysis.fragment.blockers)
+            rejections.extend(
+                d for d in self.analysis.diagnostics if d.code == "FTL403"
+            )
+            self.incremental_rejections = tuple(rejections)
+        #: The first rejection (or None) — the one-line explanation of
+        #: why an incremental registration fell back.
+        self.incremental_rejection: Diagnostic | None = (
+            self.incremental_rejections[0]
+            if self.incremental_rejections
+            else None
+        )
         self._use_incremental = (
-            method == "incremental"
-            and supports_incremental(query.where)
-            and set(query.targets) <= query.where.free_vars()
+            method == "incremental" and not self.incremental_rejections
         )
         self._eval_method = "interval" if method == "incremental" else method
         self._dirty = False
@@ -465,6 +519,8 @@ class PersistentQuery:
         self.query = query
         self.horizon = horizon
         self.method = method
+        #: Static analysis against the database schema (fail fast).
+        self.analysis = _analyze_or_raise(query, db)
         #: Which evaluator actually answered the last evaluation.
         self.last_method: str | None = None
         self.anchor = db.clock.now

@@ -32,11 +32,37 @@ class SqlError(ReproError):
 
 
 class FtlSyntaxError(ReproError):
-    """Syntax error in an FTL query string."""
+    """Syntax error in an FTL query string.
+
+    When raised by the lexer or parser the message names the source
+    position as ``line L, col C`` and :attr:`span` carries the offending
+    :class:`~repro.ftl.lexer.Span` (``None`` for programmatic raises).
+    """
+
+    def __init__(self, message: str, span: object | None = None) -> None:
+        super().__init__(message)
+        self.span = span
 
 
 class FtlSemanticsError(ReproError):
     """Ill-formed FTL query (unbound variable, unsafe negation, ...)."""
+
+
+class FtlAnalysisError(ReproError):
+    """Static analysis rejected an FTL query before evaluation.
+
+    Carries the full diagnostic list (:attr:`diagnostics`, a list of
+    :class:`~repro.ftl.analysis.Diagnostic`) so callers can render every
+    error — not just the first — with rule codes and source spans.
+    """
+
+    def __init__(self, diagnostics: list) -> None:
+        self.diagnostics = list(diagnostics)
+        lines = "; ".join(str(d) for d in self.diagnostics)
+        super().__init__(
+            "FTL static analysis failed with "
+            f"{len(self.diagnostics)} error(s): {lines}"
+        )
 
 
 class IndexError_(ReproError):

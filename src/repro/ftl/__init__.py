@@ -12,6 +12,12 @@ Two evaluators are provided:
 * :class:`~repro.ftl.naive.NaiveEvaluator` — the literal per-state
   semantics of section 3.3, used as the correctness oracle and for
   persistent queries over recorded histories.
+
+Before either evaluator runs, the static analyzer
+(:mod:`repro.ftl.analysis`) checks scope, sorts, safety, the temporal
+fragment and lints, producing span-carrying diagnostics;
+:class:`~repro.ftl.query.QueryCompiler` bundles parse + analyze, and
+``python -m repro.ftl.lint`` exposes the analyzer on the command line.
 """
 
 from repro.ftl.ast import (
@@ -41,6 +47,14 @@ from repro.ftl.ast import (
     Var,
     WithinSphere,
 )
+from repro.ftl.analysis import (
+    AnalysisResult,
+    Diagnostic,
+    FragmentInfo,
+    analyze_formula,
+    analyze_query,
+    incremental_blockers,
+)
 from repro.ftl.context import EvalContext
 from repro.ftl.evaluator import IntervalEvaluator
 from repro.ftl.incremental import (
@@ -50,8 +64,14 @@ from repro.ftl.incremental import (
     supports_incremental,
 )
 from repro.ftl.naive import NaiveEvaluator
+from repro.ftl.lexer import Span
 from repro.ftl.parser import parse_formula, parse_query
-from repro.ftl.query import FtlQuery
+from repro.ftl.query import (
+    CompiledQuery,
+    FtlQuery,
+    QueryCompiler,
+    compile_query,
+)
 from repro.ftl.relations import AnswerTuple, FtlRelation
 from repro.ftl.rewrite import expand, uses_only_basic_operators
 
@@ -61,6 +81,16 @@ __all__ = [
     "expand",
     "uses_only_basic_operators",
     "FtlQuery",
+    "QueryCompiler",
+    "CompiledQuery",
+    "compile_query",
+    "analyze_query",
+    "analyze_formula",
+    "AnalysisResult",
+    "Diagnostic",
+    "FragmentInfo",
+    "incremental_blockers",
+    "Span",
     "FtlRelation",
     "AnswerTuple",
     "EvalContext",

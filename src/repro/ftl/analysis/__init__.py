@@ -1,0 +1,50 @@
+"""Static semantic analysis of FTL queries (pre-evaluation gating).
+
+A multi-pass analyzer over the FTL AST that runs *before* any evaluator
+touches the database:
+
+1. **binding/scope** (FTL1xx) — unbound variables, ``[x := q]``
+   shadowing, unused assignments;
+2. **sort checking** (FTL2xx) — attribute existence against the schema,
+   dynamic-vs-static use, numeric/spatial/region operand compatibility;
+3. **safety / range restriction** (FTL3xx) — the paper's atomic-query
+   safety assumption made checkable, plus guaranteed evaluation
+   failures;
+4. **fragment classification** (FTL4xx) — temporal depth, bounded vs
+   unbounded operators, incremental eligibility with a diagnostic naming
+   the disqualifying subformula;
+5. **lints** (FTL5xx) — vacuous bounds, constant-foldable comparisons,
+   vacuous ``Until``.
+
+Entry points: :func:`analyze_query` / :func:`analyze_formula`, the
+:class:`~repro.ftl.query.QueryCompiler` wrapper, and the CLI
+``python -m repro.ftl.lint``.
+"""
+
+from repro.ftl.analysis.analyzer import analyze_formula, analyze_query
+from repro.ftl.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    AnalysisResult,
+    Diagnostic,
+    FtlLintWarning,
+)
+from repro.ftl.analysis.fragment import FragmentInfo, incremental_blockers
+from repro.ftl.analysis.schema import SchemaInfo
+
+__all__ = [
+    "analyze_query",
+    "analyze_formula",
+    "AnalysisResult",
+    "Diagnostic",
+    "FtlLintWarning",
+    "FragmentInfo",
+    "incremental_blockers",
+    "SchemaInfo",
+    "RULES",
+    "ERROR",
+    "WARNING",
+    "INFO",
+]

@@ -1,0 +1,95 @@
+"""The multi-pass static analyzer over the FTL AST.
+
+Runs, in order: binding/scope (FTL1xx), sort checking (FTL2xx), safety /
+range restriction (FTL3xx), fragment classification (FTL4xx) and lints
+(FTL5xx).  Passes are independent walks — a failure in one never hides
+findings of another — and the result aggregates every diagnostic sorted
+by source position.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ftl.analysis.diagnostics import AnalysisResult, make
+from repro.ftl.analysis.fragment import classify
+from repro.ftl.analysis.lints import check_lints
+from repro.ftl.analysis.safety import check_safety
+from repro.ftl.analysis.schema import SchemaInfo
+from repro.ftl.analysis.scopes import check_scopes
+from repro.ftl.analysis.sorts import SortChecker
+from repro.ftl.ast import Formula
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.query import FtlQuery
+
+
+def analyze_formula(
+    formula: Formula,
+    bindings: dict[str, str] | None = None,
+    schema=None,
+) -> AnalysisResult:
+    """Analyze a bare formula under FROM-clause ``bindings``."""
+    schema_info = SchemaInfo.coerce(schema)
+    bindings = dict(bindings or {})
+    result = AnalysisResult()
+    result.diagnostics.extend(check_scopes(formula, bindings))
+    result.diagnostics.extend(SortChecker(schema_info).check(formula, bindings))
+    result.diagnostics.extend(check_safety(formula))
+    fragment, fragment_diags = classify(formula)
+    result.fragment = fragment
+    result.diagnostics.extend(fragment_diags)
+    result.diagnostics.extend(check_lints(formula))
+    return result.sorted()
+
+
+def analyze_query(query: "FtlQuery", schema=None) -> AnalysisResult:
+    """Analyze a full query: clause-level checks plus the formula passes."""
+    schema_info = SchemaInfo.coerce(schema)
+    result = AnalysisResult()
+    spans = query.spans
+
+    free = query.where.free_vars()
+    for i, target in enumerate(query.targets):
+        span = None
+        if spans is not None and i < len(spans.targets):
+            span = spans.targets[i]
+        if target not in query.bindings:
+            result.diagnostics.append(
+                make(
+                    "FTL102",
+                    f"RETRIEVE target {target!r} is not bound by FROM",
+                    span=span,
+                )
+            )
+        elif target not in free:
+            result.diagnostics.append(
+                make(
+                    "FTL403",
+                    f"RETRIEVE target {target!r} does not occur in WHERE; "
+                    "it free-ranges over its class and disables "
+                    "incremental maintenance",
+                    span=span,
+                )
+            )
+    if schema_info.knows_classes():
+        for var, cls_name in query.bindings.items():
+            if schema_info.object_class(cls_name) is None:
+                span = None
+                if spans is not None:
+                    span = spans.binding_classes.get(var)
+                result.diagnostics.append(
+                    make(
+                        "FTL201",
+                        f"FROM binds {var!r} to unknown object class "
+                        f"{cls_name!r}",
+                        span=span,
+                    )
+                )
+
+    formula_result = analyze_formula(
+        query.where, bindings=query.bindings, schema=schema_info
+    )
+    result.diagnostics.extend(formula_result.diagnostics)
+    result.fragment = formula_result.fragment
+    return result.sorted()

@@ -1,0 +1,190 @@
+"""Diagnostics: severities, rule codes, spans, and analysis results.
+
+Every check the static analyzer performs is registered here with a
+stable rule code (``FTL1xx`` binding/scope, ``FTL2xx`` sorts, ``FTL3xx``
+safety, ``FTL4xx`` fragment classification, ``FTL5xx`` lints).  A
+:class:`Diagnostic` pairs a rule with a message, a severity and — when
+the formula was parsed from text — a source :class:`Span`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FtlAnalysisError
+from repro.ftl.lexer import Span
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITIES = (ERROR, WARNING, INFO)
+
+
+class FtlLintWarning(UserWarning):
+    """Python-warning category for warning-severity FTL diagnostics.
+
+    Raised via :func:`warnings.warn` when a query with lint findings is
+    compiled or registered — errors raise, warnings warn, infos stay on
+    the :class:`AnalysisResult`.
+    """
+
+#: Rule registry: code → (default severity, one-line summary).  The
+#: DESIGN.md §5 table is generated from this mapping — keep them in sync.
+RULES: dict[str, tuple[str, str]] = {
+    # -- pass 1: binding / scope ---------------------------------------
+    "FTL101": (ERROR, "variable is not bound by FROM or an enclosing "
+                      "assignment quantifier"),
+    "FTL102": (ERROR, "RETRIEVE target is not bound by FROM"),
+    "FTL103": (ERROR, "assignment quantifier shadows an existing binding"),
+    "FTL104": (WARNING, "assigned variable is never used in the body"),
+    # -- pass 2: sort checking -----------------------------------------
+    "FTL201": (ERROR, "FROM clause names an unknown object class"),
+    "FTL202": (ERROR, "attribute is not declared by the object class"),
+    "FTL203": (ERROR, "sub-attribute access on a non-dynamic attribute"),
+    "FTL204": (ERROR, "attribute access on a non-object term"),
+    "FTL205": (ERROR, "spatial operation on a non-spatial operand"),
+    "FTL206": (ERROR, "unknown region name"),
+    "FTL207": (ERROR, "arithmetic on a non-numeric operand"),
+    "FTL208": (ERROR, "ordered comparison between incompatible sorts"),
+    # -- pass 3: safety / range restriction ----------------------------
+    "FTL301": (ERROR, "division by constant zero"),
+    "FTL302": (WARNING, "negation leaves the paper's conjunctive "
+                        "fragment; safe only over enumerable domains"),
+    "FTL303": (INFO, "disjunction branches bind different variables; "
+                     "evaluation enumerates the full domain product"),
+    "FTL304": (ERROR, "construct is not supported by any evaluator"),
+    # -- pass 4: fragment classification -------------------------------
+    "FTL401": (INFO, "subformula disqualifies incremental maintenance"),
+    "FTL402": (INFO, "unbounded temporal operator; the answer depends "
+                     "on the expiration horizon"),
+    "FTL403": (INFO, "RETRIEVE target free-ranges over its class; "
+                     "incremental maintenance is disabled"),
+    # -- pass 5: lints -------------------------------------------------
+    "FTL501": (WARNING, "vacuous temporal bound"),
+    "FTL502": (ERROR, "negative temporal bound"),
+    "FTL503": (WARNING, "constant-foldable comparison"),
+    "FTL504": (WARNING, "vacuous Until operand"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: rule code, severity, message, source span.
+
+    ``subformula`` is the pretty-printed offending AST node — meaningful
+    even for programmatically built formulas that carry no span.
+    """
+
+    code: str
+    severity: str
+    message: str
+    span: Span | None = None
+    subformula: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError(f"unregistered rule code {self.code!r}")
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        where = f" at {self.span}" if self.span is not None else ""
+        return f"{self.severity}[{self.code}]{where}: {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (the lint CLI's ``--json`` output)."""
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["span"] = {
+                "start": self.span.start,
+                "end": self.span.end,
+                "line": self.span.line,
+                "col": self.span.col,
+            }
+        if self.subformula is not None:
+            out["subformula"] = self.subformula
+        return out
+
+
+def make(code: str, message: str, span: Span | None = None,
+         subformula: object | None = None,
+         severity: str | None = None) -> Diagnostic:
+    """Build a diagnostic using the rule's registered default severity."""
+    return Diagnostic(
+        code=code,
+        severity=severity or RULES[code][0],
+        message=message,
+        span=span,
+        subformula=None if subformula is None else str(subformula),
+    )
+
+
+def _sort_key(d: Diagnostic) -> tuple:
+    start = d.span.start if d.span is not None else -1
+    return (start, d.code, d.message)
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of a full analyzer run over one query or formula."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Temporal-fragment classification (pass 4); ``None`` when the
+    #: fragment pass was not run.
+    fragment: "object | None" = None
+
+    def sorted(self) -> "AnalysisResult":
+        """Sort diagnostics by source position, then rule code (in place)."""
+        self.diagnostics.sort(key=_sort_key)
+        return self
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Diagnostics with error severity (these block evaluation)."""
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Diagnostics with warning severity."""
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        """Diagnostics with info severity."""
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query may proceed to evaluation."""
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`FtlAnalysisError` if any error was found."""
+        if not self.ok:
+            raise FtlAnalysisError(self.errors)
+
+    def warn_on_lints(self) -> None:
+        """Emit an :class:`FtlLintWarning` per warning-severity finding."""
+        import warnings
+
+        for d in self.warnings:
+            warnings.warn(str(d), FtlLintWarning, stacklevel=3)
+
+    def codes(self) -> list[str]:
+        """The rule codes of every diagnostic, in sorted order."""
+        return [d.code for d in self.diagnostics]
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (the lint CLI's ``--json`` output)."""
+        out: dict = {
+            "ok": self.ok,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+        if self.fragment is not None:
+            out["fragment"] = self.fragment.to_json()
+        return out

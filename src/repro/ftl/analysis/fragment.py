@@ -1,0 +1,201 @@
+"""Pass 4 — temporal-fragment classification.
+
+Computes, per formula: the temporal nesting depth, whether every
+temporal operator is real-time bounded (§3.4) or reaches to the
+expiration horizon (§2.3), membership in the paper's conjunctive
+fragment (§3.5), and *incremental eligibility* — whether the
+per-instantiation maintenance of continuous queries applies.
+
+Where the old ``supports_incremental`` returned an unexplained boolean,
+:func:`incremental_blockers` returns one FTL401 diagnostic per
+disqualifying subformula, naming it and its source span — the message a
+``ContinuousQuery(method="incremental")`` surfaces when it falls back to
+full reevaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ftl.analysis.diagnostics import Diagnostic, make
+from repro.ftl.ast import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Assign,
+    Compare,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    Inside,
+    Nexttime,
+    OrF,
+    Outside,
+    Until,
+    UntilWithin,
+    WithinSphere,
+)
+
+_ATOMS = (Compare, Inside, Outside, WithinSphere)
+#: Temporal operators whose reach is bounded by their real-time constant
+#: (section 3.4) or by a single step.
+_BOUNDED_TEMPORAL = (UntilWithin, Nexttime, EventuallyWithin, AlwaysFor)
+#: Temporal operators quantifying over the whole remaining history.
+_UNBOUNDED_TEMPORAL = (Until, Eventually, EventuallyAfter, Always)
+_TEMPORAL = _BOUNDED_TEMPORAL + _UNBOUNDED_TEMPORAL
+
+
+@dataclass(frozen=True)
+class FragmentInfo:
+    """Classification of one formula's temporal fragment."""
+
+    #: Maximum nesting depth of temporal operators (0 = state formula).
+    temporal_depth: int
+    #: True when every temporal operator is real-time bounded.
+    bounded: bool
+    #: Membership in the conjunctive (negation-free) fragment of §3.5.
+    conjunctive: bool
+    #: Whether per-instantiation incremental maintenance applies.
+    incremental: bool
+    #: One FTL401 diagnostic per disqualifying subformula.
+    blockers: tuple[Diagnostic, ...]
+
+    @property
+    def classification(self) -> str:
+        """A compact human-readable fragment name."""
+        parts = [
+            "conjunctive" if self.conjunctive else "general",
+            "bounded" if self.bounded else "unbounded",
+        ]
+        if self.temporal_depth == 0:
+            parts.append("state")
+        parts.append(
+            "incremental" if self.incremental else "full-reevaluation"
+        )
+        return "/".join(parts)
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (the lint CLI's ``--json`` output)."""
+        return {
+            "temporal_depth": self.temporal_depth,
+            "bounded": self.bounded,
+            "conjunctive": self.conjunctive,
+            "incremental": self.incremental,
+            "classification": self.classification,
+            "blockers": [d.to_json() for d in self.blockers],
+        }
+
+
+def incremental_blockers(formula: Formula) -> list[Diagnostic]:
+    """Every subformula disqualifying incremental maintenance (FTL401).
+
+    The assignment quantifier pools the observed values of its term over
+    *all* instantiations into the body's variable domain, so a single
+    dirty object can change the rows of every clean instantiation — the
+    per-object decomposition incremental maintenance rests on breaks
+    down.  Unknown AST node types block as well (the partial evaluator
+    has no delta rule for them).
+    """
+    out: list[Diagnostic] = []
+    _collect_blockers(formula, out)
+    return out
+
+
+def _collect_blockers(f: Formula, out: list[Diagnostic]) -> None:
+    if isinstance(f, Assign):
+        out.append(
+            make(
+                "FTL401",
+                f"assignment quantifier [{f.var} := {f.term}] pools "
+                "values across instantiations; the formula requires "
+                "full reevaluation on every relevant update",
+                span=f.span,
+                subformula=f,
+            )
+        )
+        # Nested assignments inside the body are subsumed by this one.
+        return
+    if isinstance(f, _ATOMS):
+        return
+    if isinstance(f, (AndF, OrF, Until, UntilWithin)):
+        _collect_blockers(f.left, out)
+        _collect_blockers(f.right, out)
+        return
+    operand = getattr(f, "operand", None)
+    if isinstance(operand, Formula):
+        _collect_blockers(operand, out)
+        return
+    out.append(
+        make(
+            "FTL401",
+            f"construct {type(f).__name__} has no incremental delta "
+            "rule; the formula requires full reevaluation",
+            span=f.span,
+            subformula=f,
+        )
+    )
+
+
+def _temporal_depth(f: Formula) -> int:
+    if isinstance(f, _ATOMS):
+        return 0
+    here = 1 if isinstance(f, _TEMPORAL) else 0
+    children = []
+    if isinstance(f, (AndF, OrF, Until, UntilWithin)):
+        children = [f.left, f.right]
+    elif isinstance(f, Assign):
+        children = [f.body]
+    else:
+        operand = getattr(f, "operand", None)
+        if isinstance(operand, Formula):
+            children = [operand]
+    return here + max((_temporal_depth(c) for c in children), default=0)
+
+
+def _unbounded_ops(f: Formula, out: list[Formula]) -> None:
+    if isinstance(f, _UNBOUNDED_TEMPORAL):
+        out.append(f)
+    if isinstance(f, (AndF, OrF, Until, UntilWithin)):
+        _unbounded_ops(f.left, out)
+        _unbounded_ops(f.right, out)
+    elif isinstance(f, Assign):
+        _unbounded_ops(f.body, out)
+    else:
+        operand = getattr(f, "operand", None)
+        if isinstance(operand, Formula):
+            _unbounded_ops(operand, out)
+
+
+def classify(formula: Formula) -> tuple[FragmentInfo, list[Diagnostic]]:
+    """The fragment info plus the informational diagnostics it implies."""
+    diags: list[Diagnostic] = []
+    blockers = incremental_blockers(formula)
+    diags.extend(blockers)
+
+    unbounded: list[Formula] = []
+    _unbounded_ops(formula, unbounded)
+    for node in unbounded:
+        name = type(node).__name__
+        diags.append(
+            make(
+                "FTL402",
+                f"{name} is unbounded; its satisfaction depends on the "
+                "expiration horizon of the query",
+                span=node.span,
+                subformula=node,
+            )
+        )
+
+    try:
+        conjunctive = formula.is_conjunctive()
+    except (NotImplementedError, AttributeError, TypeError):
+        conjunctive = False  # foreign node types (FTL304) classify as general
+    info = FragmentInfo(
+        temporal_depth=_temporal_depth(formula),
+        bounded=not unbounded,
+        conjunctive=conjunctive,
+        incremental=not blockers,
+        blockers=tuple(blockers),
+    )
+    return info, diags

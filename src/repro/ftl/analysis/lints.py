@@ -1,0 +1,222 @@
+"""Pass 5 — lint rules.
+
+Style-level findings on well-formed queries: vacuous real-time bounds
+(``EVENTUALLY WITHIN 0``, ``ALWAYS FOR 0``), negative bounds
+(programmatic ASTs only — the grammar cannot produce them), comparisons
+between constants that fold to a fixed truth value, and ``Until``
+operands that are constantly true or false.
+
+The parser's ``TRUE`` / ``FALSE`` sugar desugars to the constant
+comparison ``1 = 1`` / ``1 = 0``; that exact shape is deliberate and is
+not flagged by FTL503 (but an explicit ``f UNTIL TRUE`` still trips
+FTL504 — the ``Until`` is vacuous no matter how the constant was
+written).
+"""
+
+from __future__ import annotations
+
+from repro.ftl.analysis.diagnostics import Diagnostic, make
+from repro.ftl.ast import (
+    AlwaysFor,
+    AndF,
+    Assign,
+    Compare,
+    Const,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    OrF,
+    Until,
+    UntilWithin,
+    WithinSphere,
+)
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def constant_truth(f: Formula) -> bool | None:
+    """The fixed truth value of a constant comparison, else ``None``."""
+    if not isinstance(f, Compare):
+        return None
+    if not isinstance(f.left, Const) or not isinstance(f.right, Const):
+        return None
+    try:
+        return bool(_CMP[f.op](f.left.value, f.right.value))
+    except TypeError:
+        return None
+
+
+def _is_true_false_sugar(f: Compare) -> bool:
+    return (
+        f.op == "="
+        and isinstance(f.left, Const)
+        and f.left.value == 1
+        and isinstance(f.right, Const)
+        and f.right.value in (0, 1)
+    )
+
+
+def check_lints(formula: Formula) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    _walk(formula, diags)
+    return diags
+
+
+def _bound_lints(f: Formula, bound: float, keyword: str,
+                 vacuous_hint: str, diags: list[Diagnostic]) -> None:
+    if bound < 0:
+        diags.append(
+            make(
+                "FTL502",
+                f"negative bound {bound} on {keyword}",
+                span=f.span,
+                subformula=f,
+            )
+        )
+    elif bound == 0:
+        diags.append(
+            make(
+                "FTL501",
+                f"{keyword} 0 is vacuous: {vacuous_hint}",
+                span=f.span,
+                subformula=f,
+            )
+        )
+
+
+def _walk(f: Formula, diags: list[Diagnostic]) -> None:
+    if isinstance(f, Compare):
+        if constant_truth(f) is not None and not _is_true_false_sugar(f):
+            value = "true" if constant_truth(f) else "false"
+            diags.append(
+                make(
+                    "FTL503",
+                    f"comparison {f} is constant-foldable "
+                    f"(always {value})",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+        return
+    if isinstance(f, WithinSphere):
+        if f.radius < 0:
+            diags.append(
+                make(
+                    "FTL502",
+                    f"negative WITHIN_SPHERE radius {f.radius}",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+        elif f.radius == 0:
+            diags.append(
+                make(
+                    "FTL501",
+                    "WITHIN_SPHERE with radius 0 requires exactly "
+                    "coincident points",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+        return
+    if isinstance(f, EventuallyWithin):
+        _bound_lints(
+            f, f.bound, "EVENTUALLY WITHIN",
+            "it is equivalent to its operand at the current state", diags,
+        )
+        _walk(f.operand, diags)
+        return
+    if isinstance(f, EventuallyAfter):
+        if f.bound < 0:
+            diags.append(
+                make(
+                    "FTL502",
+                    f"negative bound {f.bound} on EVENTUALLY AFTER",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+        elif f.bound == 0:
+            diags.append(
+                make(
+                    "FTL501",
+                    "EVENTUALLY AFTER 0 is plain EVENTUALLY",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+        _walk(f.operand, diags)
+        return
+    if isinstance(f, AlwaysFor):
+        _bound_lints(
+            f, f.bound, "ALWAYS FOR",
+            "it is equivalent to its operand at the current state", diags,
+        )
+        _walk(f.operand, diags)
+        return
+    if isinstance(f, UntilWithin):
+        _bound_lints(
+            f, f.bound, "UNTIL WITHIN",
+            "only the right operand at the current state matters", diags,
+        )
+        _until_lints(f, diags)
+        _walk(f.left, diags)
+        _walk(f.right, diags)
+        return
+    if isinstance(f, Until):
+        _until_lints(f, diags)
+        _walk(f.left, diags)
+        _walk(f.right, diags)
+        return
+    if isinstance(f, (AndF, OrF)):
+        _walk(f.left, diags)
+        _walk(f.right, diags)
+        return
+    if isinstance(f, Assign):
+        _walk(f.body, diags)
+        return
+    operand = getattr(f, "operand", None)
+    if isinstance(operand, Formula):
+        _walk(operand, diags)
+
+
+def _until_lints(f: "Until | UntilWithin", diags: list[Diagnostic]) -> None:
+    right = constant_truth(f.right)
+    if right is True:
+        diags.append(
+            make(
+                "FTL504",
+                "Until right operand always holds: the formula is "
+                "immediately satisfied everywhere",
+                span=f.span,
+                subformula=f,
+            )
+        )
+    elif right is False:
+        diags.append(
+            make(
+                "FTL504",
+                "Until right operand never holds: the formula is "
+                "unsatisfiable",
+                span=f.span,
+                subformula=f,
+            )
+        )
+    left = constant_truth(f.left)
+    if left is False:
+        diags.append(
+            make(
+                "FTL504",
+                "Until left operand never holds: the formula reduces to "
+                "its right operand at the current state",
+                span=f.span,
+                subformula=f,
+            )
+        )

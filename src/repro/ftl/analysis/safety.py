@@ -1,0 +1,160 @@
+"""Pass 3 — safety / range restriction.
+
+The paper (§3) assumes every atomic sub-query is *safe*: its answer
+relation is finite.  This reproduction guarantees finiteness by
+enumerating variable domains (FROM-bound objects, assignment-observed
+values), so the checkable residue of the paper's assumption is:
+
+* constructs whose evaluation leaves the enumerable fragment —
+  negation (FTL302) and variable-mismatched disjunction (FTL303) are
+  flagged as leaving the paper's conjunctive fragment of §3.5, where
+  safety held by construction;
+* sub-terms guaranteed to fail at evaluation time — division by a
+  constant zero (FTL301);
+* AST nodes no evaluator implements (FTL304) — the static form of the
+  ``unsupported formula`` error both evaluators raise
+  (``evaluator.py`` / ``naive.py``).
+"""
+
+from __future__ import annotations
+
+from repro.ftl.analysis.diagnostics import Diagnostic, make
+from repro.ftl.ast import (
+    Always,
+    AlwaysFor,
+    AndF,
+    Arith,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    Dist,
+    Eventually,
+    EventuallyAfter,
+    EventuallyWithin,
+    Formula,
+    Inside,
+    Nexttime,
+    NotF,
+    OrF,
+    Outside,
+    SubAttr,
+    Term,
+    TimeTerm,
+    Until,
+    UntilWithin,
+    Var,
+    WithinSphere,
+)
+
+_KNOWN_TERMS = (Var, Const, TimeTerm, Attr, SubAttr, Arith, Dist)
+_KNOWN_FORMULAS = (
+    Compare, Inside, Outside, WithinSphere, AndF, OrF, NotF, Until,
+    UntilWithin, Nexttime, Eventually, EventuallyWithin, EventuallyAfter,
+    Always, AlwaysFor, Assign,
+)
+
+
+def check_safety(formula: Formula) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    _walk_formula(formula, diags)
+    return diags
+
+
+def _walk_term(term: Term, diags: list[Diagnostic]) -> None:
+    if not isinstance(term, _KNOWN_TERMS):
+        diags.append(
+            make(
+                "FTL304",
+                f"term construct {type(term).__name__} is not supported "
+                "by any evaluator",
+                span=term.span,
+                subformula=term,
+            )
+        )
+        return
+    if isinstance(term, Arith):
+        if (
+            term.op == "/"
+            and isinstance(term.right, Const)
+            and isinstance(term.right.value, (int, float))
+            and term.right.value == 0
+        ):
+            diags.append(
+                make(
+                    "FTL301",
+                    "division by constant zero",
+                    span=term.span,
+                    subformula=term,
+                )
+            )
+        _walk_term(term.left, diags)
+        _walk_term(term.right, diags)
+    elif isinstance(term, Dist):
+        _walk_term(term.left, diags)
+        _walk_term(term.right, diags)
+    elif isinstance(term, (Attr, SubAttr)):
+        _walk_term(term.obj, diags)
+
+
+def _walk_formula(f: Formula, diags: list[Diagnostic]) -> None:
+    if not isinstance(f, _KNOWN_FORMULAS):
+        diags.append(
+            make(
+                "FTL304",
+                f"formula construct {type(f).__name__} is not supported "
+                "by any evaluator",
+                span=f.span,
+                subformula=f,
+            )
+        )
+        return
+    if isinstance(f, Compare):
+        _walk_term(f.left, diags)
+        _walk_term(f.right, diags)
+        return
+    if isinstance(f, (Inside, Outside)):
+        _walk_term(f.obj, diags)
+        return
+    if isinstance(f, WithinSphere):
+        for o in f.objs:
+            _walk_term(o, diags)
+        return
+    if isinstance(f, NotF):
+        diags.append(
+            make(
+                "FTL302",
+                "negation is outside the conjunctive fragment of §3.5; "
+                "it is evaluated by complement over the enumerated "
+                "domains of its free variables",
+                span=f.span,
+                subformula=f,
+            )
+        )
+        _walk_formula(f.operand, diags)
+        return
+    if isinstance(f, OrF):
+        if f.left.free_vars() != f.right.free_vars():
+            diags.append(
+                make(
+                    "FTL303",
+                    "disjunction branches bind different variables; "
+                    "evaluation enumerates the full product of the "
+                    "union's domains",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+        _walk_formula(f.left, diags)
+        _walk_formula(f.right, diags)
+        return
+    if isinstance(f, Assign):
+        _walk_term(f.term, diags)
+        _walk_formula(f.body, diags)
+        return
+    if isinstance(f, (AndF, Until, UntilWithin)):
+        _walk_formula(f.left, diags)
+        _walk_formula(f.right, diags)
+        return
+    # Unary temporal operators.
+    _walk_formula(f.operand, diags)

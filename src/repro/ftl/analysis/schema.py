@@ -1,0 +1,74 @@
+"""Schema view the sort-checking pass runs against.
+
+The analyzer is usable with or without a database at hand: a
+:class:`SchemaInfo` built :meth:`from_database` enables every check
+(attribute existence, dynamic-vs-static, spatiality, region names),
+while the default "open" schema skips exactly the checks it cannot
+decide, so schema-less linting never reports false positives.
+
+Only duck typing is used — this module must not import :mod:`repro.core`
+(which imports :mod:`repro.ftl` back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class SchemaInfo:
+    """What the analyzer knows about the database schema.
+
+    ``classes`` maps class name → an object with the
+    :class:`~repro.core.objects.ObjectClass` interface
+    (``has_attribute`` / ``is_dynamic`` / ``is_spatial``); ``None`` means
+    the class universe is unknown and class checks are skipped.
+    ``regions`` is the set of defined region names, or ``None`` when
+    unknown.
+    """
+
+    classes: Mapping[str, object] | None = None
+    regions: frozenset[str] | None = None
+
+    @classmethod
+    def from_database(cls, db) -> "SchemaInfo":
+        """Extract the full schema of a ``MostDatabase``."""
+        return cls(
+            classes={
+                name: db.object_class(name) for name in db.class_names()
+            },
+            regions=frozenset(db.region_names()),
+        )
+
+    @classmethod
+    def coerce(cls, schema) -> "SchemaInfo":
+        """Accept ``None``, a :class:`SchemaInfo`, or a database."""
+        if schema is None:
+            return cls()
+        if isinstance(schema, cls):
+            return schema
+        if hasattr(schema, "object_class") and hasattr(schema, "class_names"):
+            return cls.from_database(schema)
+        raise TypeError(
+            f"cannot derive a SchemaInfo from {type(schema).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    def knows_classes(self) -> bool:
+        """Whether the class universe is known (enables class checks)."""
+        return self.classes is not None
+
+    def knows_regions(self) -> bool:
+        """Whether the region universe is known (enables FTL206)."""
+        return self.regions is not None
+
+    def object_class(self, name: str):
+        """The class by name, or ``None`` when absent/unknown."""
+        if self.classes is None:
+            return None
+        return self.classes.get(name)
+
+    def has_region(self, name: str) -> bool:
+        """False only when the region universe is known and lacks it."""
+        return self.regions is None or name in self.regions

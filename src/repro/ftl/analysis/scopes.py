@@ -1,0 +1,129 @@
+"""Pass 1 — binding and scope analysis.
+
+Checks that every variable occurrence is bound (by the FROM clause or an
+enclosing assignment quantifier), that assignment quantifiers do not
+shadow an existing binding (the evaluator's ``push_domain`` refuses the
+shadow at run time — rule FTL103 surfaces it before), and that assigned
+variables are actually used.
+"""
+
+from __future__ import annotations
+
+from repro.ftl.analysis.diagnostics import Diagnostic, make
+from repro.ftl.ast import (
+    Arith,
+    Assign,
+    Attr,
+    Compare,
+    Dist,
+    Formula,
+    Inside,
+    Nexttime,
+    NotF,
+    Outside,
+    SubAttr,
+    Term,
+    Until,
+    UntilWithin,
+    Var,
+    WithinSphere,
+)
+
+#: Variable kinds tracked by the scope walk.
+OBJECT_VAR = "object"
+ASSIGNED_VAR = "assigned"
+
+
+def check_scopes(
+    formula: Formula, bindings: dict[str, str]
+) -> list[Diagnostic]:
+    """Run the binding/scope pass; FROM ``bindings`` seed the scope."""
+    diags: list[Diagnostic] = []
+    scope = {var: OBJECT_VAR for var in bindings}
+    _walk_formula(formula, scope, diags)
+    return diags
+
+
+def _walk_term(term: Term, scope: dict[str, str],
+               diags: list[Diagnostic]) -> None:
+    if isinstance(term, Var):
+        if term.name not in scope:
+            diags.append(
+                make(
+                    "FTL101",
+                    f"unbound variable {term.name!r}",
+                    span=term.span,
+                    subformula=term,
+                )
+            )
+        return
+    if isinstance(term, (Attr, SubAttr)):
+        _walk_term(term.obj, scope, diags)
+        return
+    if isinstance(term, (Arith, Dist)):
+        _walk_term(term.left, scope, diags)
+        _walk_term(term.right, scope, diags)
+        return
+    # Const / TimeTerm / unknown nodes bind nothing (pass 3 flags unknown
+    # node types).
+
+
+def _walk_formula(f: Formula, scope: dict[str, str],
+                  diags: list[Diagnostic]) -> None:
+    if isinstance(f, Compare):
+        _walk_term(f.left, scope, diags)
+        _walk_term(f.right, scope, diags)
+        return
+    if isinstance(f, (Inside, Outside)):
+        _walk_term(f.obj, scope, diags)
+        return
+    if isinstance(f, WithinSphere):
+        for o in f.objs:
+            _walk_term(o, scope, diags)
+        return
+    if isinstance(f, Assign):
+        _walk_term(f.term, scope, diags)
+        if f.var in scope:
+            diags.append(
+                make(
+                    "FTL103",
+                    f"assignment [{f.var} := ...] shadows the "
+                    f"{scope[f.var]} variable {f.var!r}",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+            # Analyze the body under the inner binding anyway.
+            inner = dict(scope)
+        else:
+            inner = dict(scope)
+        inner[f.var] = ASSIGNED_VAR
+        _walk_formula(f.body, inner, diags)
+        if f.var not in f.body.free_vars():
+            diags.append(
+                make(
+                    "FTL104",
+                    f"assigned variable {f.var!r} is never used in the "
+                    "body of its quantifier",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+        return
+    if isinstance(f, (NotF, Nexttime)):
+        _walk_formula(f.operand, scope, diags)
+        return
+    if isinstance(f, (Until, UntilWithin)):
+        _walk_formula(f.left, scope, diags)
+        _walk_formula(f.right, scope, diags)
+        return
+    # Remaining known nodes expose either .operand or .left/.right.
+    operand = getattr(f, "operand", None)
+    if isinstance(operand, Formula):
+        _walk_formula(operand, scope, diags)
+        return
+    left = getattr(f, "left", None)
+    right = getattr(f, "right", None)
+    if isinstance(left, Formula) and isinstance(right, Formula):
+        _walk_formula(left, scope, diags)
+        _walk_formula(right, scope, diags)

@@ -1,0 +1,286 @@
+"""Pass 2 — sort checking against the schema.
+
+Infers a sort for every term — ``object`` (an id drawn from a FROM-bound
+class), ``number``, ``string`` or ``unknown`` — and checks:
+
+* attribute existence and dynamic-vs-static use (``o.attr`` /
+  ``o.attr.sub``) against the declared object class;
+* spatial operands (``INSIDE`` / ``OUTSIDE`` / ``WITHIN_SPHERE`` /
+  ``DIST``) name spatial classes and defined regions;
+* arithmetic stays numeric and ordered comparisons relate comparable
+  sorts (the naive evaluator would raise a bare ``TypeError`` on
+  ``'a' < 1`` — rule FTL208 rejects it before evaluation).
+
+Checks that need the schema are skipped when it is unknown — the
+schema-less lint CLI never reports false positives on a query the full
+compiler would accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ftl.analysis.diagnostics import Diagnostic, make
+from repro.ftl.analysis.schema import SchemaInfo
+from repro.ftl.ast import (
+    Arith,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    Dist,
+    Formula,
+    Inside,
+    Nexttime,
+    NotF,
+    Outside,
+    SubAttr,
+    Term,
+    TimeTerm,
+    Until,
+    UntilWithin,
+    Var,
+    WithinSphere,
+)
+
+OBJECT = "object"
+NUMBER = "number"
+STRING = "string"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Sort:
+    """An inferred term sort; ``class_name`` accompanies ``object``."""
+
+    kind: str
+    class_name: str | None = None
+
+
+_NUMBER = Sort(NUMBER)
+_STRING = Sort(STRING)
+_UNKNOWN = Sort(UNKNOWN)
+
+
+class SortChecker:
+    def __init__(self, schema: SchemaInfo) -> None:
+        self.schema = schema
+        self.diags: list[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    def check(self, formula: Formula, bindings: dict[str, str]) -> list[Diagnostic]:
+        env = {var: Sort(OBJECT, cls) for var, cls in bindings.items()}
+        self._formula(formula, env)
+        return self.diags
+
+    # ------------------------------------------------------------------
+    # Terms
+    # ------------------------------------------------------------------
+    def term_sort(self, term: Term, env: dict[str, Sort]) -> Sort:
+        if isinstance(term, Const):
+            if isinstance(term.value, str):
+                return _STRING
+            if isinstance(term.value, (int, float)):
+                return _NUMBER
+            return _UNKNOWN
+        if isinstance(term, TimeTerm):
+            return _NUMBER
+        if isinstance(term, Var):
+            return env.get(term.name, _UNKNOWN)
+        if isinstance(term, Attr):
+            return self._attr_sort(term, env)
+        if isinstance(term, SubAttr):
+            return self._sub_attr_sort(term, env)
+        if isinstance(term, Dist):
+            self._spatial_operand(term.left, env, "DIST")
+            self._spatial_operand(term.right, env, "DIST")
+            return _NUMBER
+        if isinstance(term, Arith):
+            for side in (term.left, term.right):
+                s = self.term_sort(side, env)
+                if s.kind in (OBJECT, STRING):
+                    self.diags.append(
+                        make(
+                            "FTL207",
+                            f"arithmetic {term.op!r} on a "
+                            f"{s.kind}-sorted operand {side}",
+                            span=side.span or term.span,
+                            subformula=term,
+                        )
+                    )
+            return _NUMBER
+        return _UNKNOWN  # unknown node types are pass 3's FTL304
+
+    def _object_class(self, sort: Sort):
+        if sort.kind != OBJECT or sort.class_name is None:
+            return None
+        return self.schema.object_class(sort.class_name)
+
+    def _attr_sort(self, term: Attr, env: dict[str, Sort]) -> Sort:
+        obj_sort = self.term_sort(term.obj, env)
+        if obj_sort.kind in (NUMBER, STRING):
+            self.diags.append(
+                make(
+                    "FTL204",
+                    f"attribute access .{term.attr} on the "
+                    f"{obj_sort.kind}-sorted term {term.obj}",
+                    span=term.span,
+                    subformula=term,
+                )
+            )
+            return _UNKNOWN
+        cls = self._object_class(obj_sort)
+        if cls is None:
+            return _UNKNOWN
+        if not cls.has_attribute(term.attr):
+            self.diags.append(
+                make(
+                    "FTL202",
+                    f"class {obj_sort.class_name!r} declares no "
+                    f"attribute {term.attr!r}",
+                    span=term.span,
+                    subformula=term,
+                )
+            )
+            return _UNKNOWN
+        # Dynamic attributes are numeric (value + linear function of
+        # time); static attribute values are untyped in the schema.
+        return _NUMBER if cls.is_dynamic(term.attr) else _UNKNOWN
+
+    def _sub_attr_sort(self, term: SubAttr, env: dict[str, Sort]) -> Sort:
+        obj_sort = self.term_sort(term.obj, env)
+        if obj_sort.kind in (NUMBER, STRING):
+            self.diags.append(
+                make(
+                    "FTL204",
+                    f"sub-attribute access .{term.attr}.{term.sub} on the "
+                    f"{obj_sort.kind}-sorted term {term.obj}",
+                    span=term.span,
+                    subformula=term,
+                )
+            )
+            return _UNKNOWN
+        cls = self._object_class(obj_sort)
+        if cls is not None:
+            if not cls.has_attribute(term.attr):
+                self.diags.append(
+                    make(
+                        "FTL202",
+                        f"class {obj_sort.class_name!r} declares no "
+                        f"attribute {term.attr!r}",
+                        span=term.span,
+                        subformula=term,
+                    )
+                )
+            elif not cls.is_dynamic(term.attr):
+                self.diags.append(
+                    make(
+                        "FTL203",
+                        f"attribute {term.attr!r} of class "
+                        f"{obj_sort.class_name!r} is static; only dynamic "
+                        f"attributes have .{term.sub}",
+                        span=term.span,
+                        subformula=term,
+                    )
+                )
+        return _NUMBER
+
+    def _spatial_operand(self, term: Term, env: dict[str, Sort],
+                         op: str) -> None:
+        sort = self.term_sort(term, env)
+        if sort.kind in (NUMBER, STRING):
+            self.diags.append(
+                make(
+                    "FTL205",
+                    f"{op} needs a point object, got the "
+                    f"{sort.kind}-sorted term {term}",
+                    span=term.span,
+                    subformula=term,
+                )
+            )
+            return
+        cls = self._object_class(sort)
+        if cls is not None and not cls.is_spatial:
+            self.diags.append(
+                make(
+                    "FTL205",
+                    f"{op} operand {term} ranges over the non-spatial "
+                    f"class {sort.class_name!r}",
+                    span=term.span,
+                    subformula=term,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Formulas
+    # ------------------------------------------------------------------
+    def _formula(self, f: Formula, env: dict[str, Sort]) -> None:
+        if isinstance(f, Compare):
+            self._compare(f, env)
+            return
+        if isinstance(f, (Inside, Outside)):
+            kind = type(f).__name__.upper()
+            self._spatial_operand(f.obj, env, kind)
+            if not self.schema.has_region(f.region):
+                self.diags.append(
+                    make(
+                        "FTL206",
+                        f"unknown region {f.region!r}",
+                        span=f.span,
+                        subformula=f,
+                    )
+                )
+            return
+        if isinstance(f, WithinSphere):
+            for o in f.objs:
+                self._spatial_operand(o, env, "WITHIN_SPHERE")
+            return
+        if isinstance(f, Assign):
+            sort = self.term_sort(f.term, env)
+            inner = dict(env)
+            inner[f.var] = sort
+            self._formula(f.body, inner)
+            return
+        if isinstance(f, (NotF, Nexttime)):
+            self._formula(f.operand, env)
+            return
+        if isinstance(f, (Until, UntilWithin)):
+            self._formula(f.left, env)
+            self._formula(f.right, env)
+            return
+        operand = getattr(f, "operand", None)
+        if isinstance(operand, Formula):
+            self._formula(operand, env)
+            return
+        left = getattr(f, "left", None)
+        right = getattr(f, "right", None)
+        if isinstance(left, Formula) and isinstance(right, Formula):
+            self._formula(left, env)
+            self._formula(right, env)
+
+    def _compare(self, f: Compare, env: dict[str, Sort]) -> None:
+        ls = self.term_sort(f.left, env)
+        rs = self.term_sort(f.right, env)
+        if f.op in ("<", "<=", ">", ">="):
+            kinds = {ls.kind, rs.kind}
+            if kinds == {NUMBER, STRING}:
+                self.diags.append(
+                    make(
+                        "FTL208",
+                        f"ordered comparison {f.op!r} between a number "
+                        "and a string can never be evaluated",
+                        span=f.span,
+                        subformula=f,
+                    )
+                )
+            elif OBJECT in kinds:
+                self.diags.append(
+                    make(
+                        "FTL208",
+                        f"ordered comparison {f.op!r} on an object-valued "
+                        "term compares raw object ids",
+                        span=f.span,
+                        subformula=f,
+                        severity="warning",
+                    )
+                )

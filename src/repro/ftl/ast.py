@@ -12,9 +12,10 @@ assignment is the only quantifier" in FTL.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import FtlSemanticsError
+from repro.ftl.lexer import Span
 
 # ---------------------------------------------------------------------------
 # Terms
@@ -23,6 +24,11 @@ from repro.errors import FtlSemanticsError
 
 class Term:
     """Base class of FTL terms."""
+
+    #: Source range the node was parsed from; ``None`` for nodes built
+    #: programmatically.  Dataclass subclasses override this with a field
+    #: excluded from equality and hashing.
+    span: Span | None = None
 
     def free_vars(self) -> set[str]:
         """Variables occurring in the term."""
@@ -40,6 +46,7 @@ class Var(Term):
     value variable (bound by an assignment quantifier)."""
 
     name: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return {self.name}
@@ -56,6 +63,7 @@ class Const(Term):
     """A constant (number or string)."""
 
     value: object
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return set()
@@ -72,6 +80,8 @@ class Const(Term):
 @dataclass(frozen=True)
 class TimeTerm(Term):
     """The special database object ``time`` (section 2)."""
+
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return set()
@@ -94,6 +104,7 @@ class Attr(Term):
     obj: Term
     attr: str
 
+    span: Span | None = field(default=None, compare=False, repr=False)
     def free_vars(self) -> set[str]:
         return self.obj.free_vars()
 
@@ -119,6 +130,7 @@ class SubAttr(Term):
     obj: Term
     attr: str
     sub: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.sub not in ("value", "updatetime", "function"):
@@ -146,6 +158,8 @@ class Arith(Term):
     op: str
     left: Term
     right: Term
+    span: Span | None = field(default=None, compare=False, repr=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.left.free_vars() | self.right.free_vars()
@@ -163,6 +177,7 @@ class Dist(Term):
 
     left: Term
     right: Term
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.left.free_vars() | self.right.free_vars()
@@ -182,6 +197,10 @@ class Dist(Term):
 class Formula:
     """Base class of FTL formulas."""
 
+    #: Source range the node was parsed from (``None`` when built
+    #: programmatically); excluded from equality and hashing.
+    span: Span | None = None
+
     def free_vars(self) -> set[str]:
         """Free variables of the formula."""
         raise NotImplementedError
@@ -199,6 +218,8 @@ class Compare(Formula):
     op: str
     left: Term
     right: Term
+    span: Span | None = field(default=None, compare=False, repr=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in ("=", "!=", "<", "<=", ">", ">="):
@@ -220,6 +241,7 @@ class Inside(Formula):
 
     obj: Term
     region: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.obj.free_vars()
@@ -237,6 +259,7 @@ class Outside(Formula):
 
     obj: Term
     region: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.obj.free_vars()
@@ -254,6 +277,7 @@ class WithinSphere(Formula):
 
     radius: float
     objs: tuple[Term, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         out: set[str] = set()
@@ -275,6 +299,7 @@ class AndF(Formula):
 
     left: Formula
     right: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.left.free_vars() | self.right.free_vars()
@@ -292,6 +317,7 @@ class OrF(Formula):
 
     left: Formula
     right: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.left.free_vars() | self.right.free_vars()
@@ -310,6 +336,7 @@ class NotF(Formula):
     free variables, where safety is restored."""
 
     operand: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.operand.free_vars()
@@ -327,6 +354,7 @@ class Until(Formula):
 
     left: Formula
     right: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.left.free_vars() | self.right.free_vars()
@@ -345,6 +373,8 @@ class UntilWithin(Formula):
     bound: float
     left: Formula
     right: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.left.free_vars() | self.right.free_vars()
@@ -361,6 +391,7 @@ class Nexttime(Formula):
     """``Nexttime f`` — the other basic operator."""
 
     operand: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.operand.free_vars()
@@ -377,6 +408,7 @@ class Eventually(Formula):
     """``Eventually f`` = ``true Until f``."""
 
     operand: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.operand.free_vars()
@@ -394,6 +426,8 @@ class EventuallyWithin(Formula):
 
     bound: float
     operand: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.operand.free_vars()
@@ -411,6 +445,8 @@ class EventuallyAfter(Formula):
 
     bound: float
     operand: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.operand.free_vars()
@@ -428,6 +464,7 @@ class Always(Formula):
     expiration horizon of section 2.3."""
 
     operand: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.operand.free_vars()
@@ -445,6 +482,8 @@ class AlwaysFor(Formula):
 
     bound: float
     operand: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return self.operand.free_vars()
@@ -467,6 +506,7 @@ class Assign(Formula):
     var: str
     term: Term
     body: Formula
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> set[str]:
         return (self.body.free_vars() - {self.var}) | self.term.free_vars()

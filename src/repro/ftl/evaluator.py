@@ -170,7 +170,8 @@ class IntervalEvaluator:
             )
         if isinstance(f, Assign):
             return self._assignment(f)
-        raise FtlSemanticsError(f"unsupported formula {type(f).__name__}")
+        at = f" at {f.span}" if f.span is not None else ""
+        raise FtlSemanticsError(f"unsupported formula {type(f).__name__}{at}")
 
     # ------------------------------------------------------------------
     # Base case: atomic predicates

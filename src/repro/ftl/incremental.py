@@ -49,7 +49,6 @@ from repro.ftl.ast import (
     Always,
     AlwaysFor,
     AndF,
-    Assign,
     Compare,
     Eventually,
     EventuallyAfter,
@@ -84,8 +83,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.query import FtlQuery
 
 _ATOMS = (Compare, Inside, Outside, WithinSphere)
-_BINARY = (AndF, OrF, Until, UntilWithin)
-_UNARY = (NotF, Nexttime, Eventually, EventuallyWithin, EventuallyAfter, Always, AlwaysFor)
 
 
 def supports_incremental(f: Formula) -> bool:
@@ -95,14 +92,16 @@ def supports_incremental(f: Formula) -> bool:
     observed values of ``q`` over *all* instantiations into the body's
     variable domain, so a single dirty object can change the rows of every
     clean instantiation — the per-object decomposition breaks down.
+
+    Thin compatibility wrapper over
+    :func:`repro.ftl.analysis.fragment.incremental_blockers`, which
+    additionally *names* each disqualifying subformula with a source
+    span (rule FTL401) — prefer it when the caller can surface a
+    diagnostic.
     """
-    if isinstance(f, Assign):
-        return False
-    if isinstance(f, _BINARY):
-        return supports_incremental(f.left) and supports_incremental(f.right)
-    if isinstance(f, _UNARY):
-        return supports_incremental(f.operand)
-    return isinstance(f, _ATOMS)
+    from repro.ftl.analysis.fragment import incremental_blockers
+
+    return not incremental_blockers(f)
 
 
 @dataclass

@@ -1,4 +1,9 @@
-"""Tokenizer for the FTL concrete syntax."""
+"""Tokenizer for the FTL concrete syntax.
+
+Tokens carry full source positions — byte offsets *and* 1-based
+line/column — so parser errors and static-analysis diagnostics can point
+at the offending source text (:class:`Span`).
+"""
 
 from __future__ import annotations
 
@@ -52,13 +57,53 @@ _SYMBOLS = (
 
 
 @dataclass(frozen=True)
+class Span:
+    """A half-open source range ``[start, end)`` with the 1-based line and
+    column of its first character.
+
+    Spans are attached to tokens, AST nodes and diagnostics; equality of
+    AST nodes deliberately ignores them (two ``Const(5)`` nodes parsed
+    from different positions are the same term).
+    """
+
+    start: int
+    end: int
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, col {self.col}"
+
+    def merge(self, other: "Span | None") -> "Span":
+        """The smallest span covering both (``self`` when other is None)."""
+        if other is None:
+            return self
+        first = self if self.start <= other.start else other
+        return Span(
+            min(self.start, other.start),
+            max(self.end, other.end),
+            first.line,
+            first.col,
+        )
+
+
+@dataclass(frozen=True)
 class Token:
     """One token: kind is ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
-    ``SYMBOL`` or ``EOF``."""
+    ``SYMBOL`` or ``EOF``.  ``pos`` is the byte offset; ``line`` and
+    ``col`` are 1-based; ``end`` is the offset one past the lexeme."""
 
     kind: str
     value: str
     pos: int
+    line: int = 1
+    col: int = 1
+    end: int = -1
+
+    @property
+    def span(self) -> Span:
+        end = self.end if self.end >= 0 else self.pos + len(self.value)
+        return Span(self.pos, end, self.line, self.col)
 
 
 def tokenize(text: str) -> list[Token]:
@@ -66,16 +111,38 @@ def tokenize(text: str) -> list[Token]:
     tokens: list[Token] = []
     i = 0
     n = len(text)
+    line = 1
+    line_start = 0
+
+    def make(kind: str, value: str, start: int, end: int) -> Token:
+        return Token(kind, value, start, line, start - line_start + 1, end)
+
+    def here(start: int) -> Span:
+        return Span(start, start + 1, line, start - line_start + 1)
+
     while i < n:
         ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
         if ch.isspace():
             i += 1
             continue
         if ch == "'":
             end = text.find("'", i + 1)
             if end == -1:
-                raise FtlSyntaxError(f"unterminated string at {i}")
-            tokens.append(Token("STRING", text[i + 1 : end], i))
+                raise FtlSyntaxError(
+                    f"unterminated string at line {line}, "
+                    f"col {i - line_start + 1}",
+                    span=here(i),
+                )
+            tokens.append(make("STRING", text[i + 1 : end], i, end + 1))
+            for offset in range(i + 1, end):
+                if text[offset] == "\n":
+                    line += 1
+                    line_start = offset + 1
             i = end + 1
             continue
         if ch.isdigit():
@@ -89,7 +156,7 @@ def tokenize(text: str) -> list[Token]:
                         break
                     seen_dot = True
                 j += 1
-            tokens.append(Token("NUMBER", text[i:j], i))
+            tokens.append(make("NUMBER", text[i:j], i, j))
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -98,18 +165,22 @@ def tokenize(text: str) -> list[Token]:
                 j += 1
             word = text[i:j]
             if word.upper() in KEYWORDS:
-                tokens.append(Token("KEYWORD", word.upper(), i))
+                tokens.append(make("KEYWORD", word.upper(), i, j))
             else:
-                tokens.append(Token("IDENT", word, i))
+                tokens.append(make("IDENT", word, i, j))
             i = j
             continue
         for sym in _SYMBOLS:
             if text.startswith(sym, i):
                 canonical = "!=" if sym == "<>" else sym
-                tokens.append(Token("SYMBOL", canonical, i))
+                tokens.append(make("SYMBOL", canonical, i, i + len(sym)))
                 i += len(sym)
                 break
         else:
-            raise FtlSyntaxError(f"unexpected character {ch!r} at {i}")
-    tokens.append(Token("EOF", "", n))
+            raise FtlSyntaxError(
+                f"unexpected character {ch!r} at line {line}, "
+                f"col {i - line_start + 1}",
+                span=here(i),
+            )
+    tokens.append(make("EOF", "", n, n))
     return tokens

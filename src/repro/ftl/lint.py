@@ -1,0 +1,150 @@
+"""Command-line front end to the FTL static analyzer.
+
+Usage::
+
+    python -m repro.ftl.lint [--json] [--strict] query-file [query-file ...]
+
+Each file holds one FTL query (``RETRIEVE ... FROM ... WHERE ...``);
+blank lines and ``--`` comment lines are ignored.  Diagnostics print one
+per line in the conventional ``file:line:col: severity[CODE]: message``
+shape, or as one JSON object per file with ``--json``.  The exit status
+is 1 when any file has an error-severity diagnostic (or fails to parse),
+else 0.  ``--strict`` also fails on warnings.
+
+The CLI is schema-less: checks that need the database schema (attribute
+existence, region names) are skipped, so a clean lint run does not
+guarantee the query matches any particular database — registration-time
+analysis (:class:`~repro.core.queries.ContinuousQuery`) rechecks with
+the schema in hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import FtlSemanticsError, FtlSyntaxError
+from repro.ftl.analysis import AnalysisResult
+from repro.ftl.parser import parse_query
+
+#: Pseudo rule codes for failures upstream of the analyzer.
+SYNTAX = "syntax"
+SEMANTICS = "semantics"
+
+
+def strip_comments(text: str) -> str:
+    """Drop ``--``-prefixed comment lines, preserving line numbers."""
+    lines = []
+    for line in text.splitlines():
+        lines.append("" if line.lstrip().startswith("--") else line)
+    return "\n".join(lines)
+
+
+def lint_text(text: str, schema=None) -> tuple[AnalysisResult | None, list[dict]]:
+    """Analyze one query text.
+
+    Returns ``(analysis, extra)`` where ``extra`` holds JSON-shaped
+    pseudo-diagnostics for parse/construction failures (in which case
+    ``analysis`` is None).
+    """
+    try:
+        query = parse_query(strip_comments(text))
+    except FtlSyntaxError as exc:
+        return None, [_pseudo(SYNTAX, exc)]
+    except FtlSemanticsError as exc:
+        return None, [_pseudo(SEMANTICS, exc)]
+    return query.analyze(schema=schema), []
+
+
+def _pseudo(code: str, exc: Exception) -> dict:
+    out = {"code": code, "severity": "error", "message": str(exc)}
+    span = getattr(exc, "span", None)
+    if span is not None:
+        out["span"] = {
+            "start": span.start,
+            "end": span.end,
+            "line": span.line,
+            "col": span.col,
+        }
+    return out
+
+
+def _location(diag_json: dict) -> str:
+    span = diag_json.get("span")
+    if span is None:
+        return ""
+    return f"{span['line']}:{span['col']}"
+
+
+def _human_line(path: str, diag_json: dict) -> str:
+    loc = _location(diag_json)
+    prefix = f"{path}:{loc}" if loc else path
+    return (
+        f"{prefix}: {diag_json['severity']}[{diag_json['code']}]: "
+        f"{diag_json['message']}"
+    )
+
+
+def lint_file(path: str) -> dict:
+    """Lint one file; returns its JSON report."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        return {
+            "file": path,
+            "ok": False,
+            "diagnostics": [
+                {"code": SYNTAX, "severity": "error", "message": str(exc)}
+            ],
+        }
+    analysis, extra = lint_text(text)
+    if analysis is None:
+        return {"file": path, "ok": False, "diagnostics": extra}
+    report = analysis.to_json()
+    report["file"] = path
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ftl.lint",
+        description="Statically analyze FTL query files.",
+    )
+    parser.add_argument("files", nargs="+", help="FTL query files")
+    parser.add_argument(
+        "--json", action="store_true", help="emit one JSON report per file"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="fail on warnings too"
+    )
+    opts = parser.parse_args(argv)
+
+    status = 0
+    reports = []
+    for path in opts.files:
+        report = lint_file(path)
+        reports.append(report)
+        severities = {d["severity"] for d in report["diagnostics"]}
+        if "error" in severities or (opts.strict and "warning" in severities):
+            status = 1
+
+    if opts.json:
+        print(json.dumps(reports, indent=2))
+        return status
+
+    clean = 0
+    for report in reports:
+        if not report["diagnostics"]:
+            clean += 1
+        for diag in report["diagnostics"]:
+            print(_human_line(report["file"], diag))
+    checked = len(reports)
+    print(f"{checked} file(s) checked, {checked - clean} with findings")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

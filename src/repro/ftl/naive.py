@@ -199,4 +199,5 @@ class NaiveEvaluator:
             inner[f.var] = value
             return self.satisfied(f.body, inner, t)
 
-        raise FtlSemanticsError(f"unsupported formula {type(f).__name__}")
+        at = f" at {f.span}" if f.span is not None else ""
+        raise FtlSemanticsError(f"unsupported formula {type(f).__name__}{at}")

@@ -24,6 +24,10 @@ section 3.2 all parse):
 Precedence, loosest to tightest: ``UNTIL`` (right-associative) < ``OR`` <
 ``AND`` < prefix operators (``NOT``, ``NEXTTIME``, ``EVENTUALLY [WITHIN c
 | AFTER c]``, ``ALWAYS [FOR c]``, ``[x := t]``) < atoms.
+
+Every AST node the parser builds carries a :class:`~repro.ftl.lexer.Span`
+covering its source text, and every syntax error names the offending
+line/column — the raw material of the static analyzer's diagnostics.
 """
 
 from __future__ import annotations
@@ -56,8 +60,8 @@ from repro.ftl.ast import (
     Var,
     WithinSphere,
 )
-from repro.ftl.lexer import Token, tokenize
-from repro.ftl.query import FtlQuery
+from repro.ftl.lexer import Span, Token, tokenize
+from repro.ftl.query import FtlQuery, QuerySpans
 
 
 def parse_query(text: str) -> FtlQuery:
@@ -80,6 +84,7 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._pos = 0
+        self._prev_end = 0
 
     # -- plumbing --------------------------------------------------------
     def _peek(self, ahead: int = 0) -> Token:
@@ -88,7 +93,31 @@ class _Parser:
     def _advance(self) -> Token:
         tok = self._tokens[self._pos]
         self._pos += 1
+        if tok.kind != "EOF":
+            self._prev_end = tok.span.end
         return tok
+
+    def _span_from(self, start: Token) -> Span:
+        """Span from the start token to the last consumed token."""
+        return Span(
+            start.pos,
+            max(self._prev_end, start.span.end),
+            start.line,
+            start.col,
+        )
+
+    def _spanned(self, node, start: Token):
+        """Attach the source span covering ``start`` .. the last consumed
+        token (only when the node does not already carry one)."""
+        if node.span is None:
+            object.__setattr__(node, "span", self._span_from(start))
+        return node
+
+    @staticmethod
+    def _err(message: str, tok: Token) -> FtlSyntaxError:
+        return FtlSyntaxError(
+            f"{message} at line {tok.line}, col {tok.col}", span=tok.span
+        )
 
     def _match_keyword(self, *words: str) -> bool:
         tok = self._peek()
@@ -107,60 +136,75 @@ class _Parser:
     def _expect_keyword(self, word: str) -> None:
         tok = self._advance()
         if tok.kind != "KEYWORD" or tok.value != word:
-            raise FtlSyntaxError(
-                f"expected {word}, got {tok.value!r} at {tok.pos}"
-            )
+            raise self._err(f"expected {word}, got {tok.value!r}", tok)
 
     def _expect_symbol(self, symbol: str) -> None:
         tok = self._advance()
         if tok.kind != "SYMBOL" or tok.value != symbol:
-            raise FtlSyntaxError(
-                f"expected {symbol!r}, got {tok.value!r} at {tok.pos}"
-            )
+            raise self._err(f"expected {symbol!r}, got {tok.value!r}", tok)
 
     def _expect_ident(self) -> str:
         tok = self._advance()
         if tok.kind != "IDENT":
-            raise FtlSyntaxError(
-                f"expected identifier, got {tok.value!r} at {tok.pos}"
+            raise self._err(
+                f"expected identifier, got {tok.value!r}", tok
             )
         return tok.value
 
     def _expect_number(self) -> float:
         tok = self._advance()
         if tok.kind != "NUMBER":
-            raise FtlSyntaxError(
-                f"expected number, got {tok.value!r} at {tok.pos}"
-            )
+            raise self._err(f"expected number, got {tok.value!r}", tok)
         return float(tok.value)
 
     def expect_eof(self) -> None:
         tok = self._peek()
         if tok.kind != "EOF":
-            raise FtlSyntaxError(
-                f"unexpected trailing input {tok.value!r} at {tok.pos}"
+            raise self._err(
+                f"unexpected trailing input {tok.value!r}", tok
             )
 
     # -- query -----------------------------------------------------------
     def query(self) -> FtlQuery:
         self._expect_keyword("RETRIEVE")
+        target_tok = self._peek()
         targets = [self._expect_ident()]
+        target_spans = [target_tok.span]
         while self._match_symbol(","):
+            target_tok = self._peek()
             targets.append(self._expect_ident())
+            target_spans.append(target_tok.span)
         self._expect_keyword("FROM")
         bindings: dict[str, str] = {}
+        binding_vars: dict[str, Span] = {}
+        binding_classes: dict[str, Span] = {}
         while True:
+            class_tok = self._peek()
             class_name = self._expect_ident()
+            var_tok = self._peek()
             var = self._expect_ident()
             if var in bindings:
-                raise FtlSyntaxError(f"variable {var!r} bound twice in FROM")
+                raise self._err(
+                    f"variable {var!r} bound twice in FROM", var_tok
+                )
             bindings[var] = class_name
+            binding_vars[var] = var_tok.span
+            binding_classes[var] = class_tok.span
             if not self._match_symbol(","):
                 break
         self._expect_keyword("WHERE")
+        where_tok = self._peek()
         where = self.formula()
         return FtlQuery(
-            targets=tuple(targets), bindings=bindings, where=where
+            targets=tuple(targets),
+            bindings=bindings,
+            where=where,
+            spans=QuerySpans(
+                targets=tuple(target_spans),
+                binding_vars=binding_vars,
+                binding_classes=binding_classes,
+                where=where.span or self._span_from(where_tok),
+            ),
         )
 
     # -- formulas ----------------------------------------------------------
@@ -168,53 +212,63 @@ class _Parser:
         return self._until_expr()
 
     def _until_expr(self) -> Formula:
+        start = self._peek()
         left = self._or_expr()
         if self._match_keyword("UNTIL"):
             if self._match_keyword("WITHIN"):
                 bound = self._expect_number()
                 right = self._until_expr()
-                return UntilWithin(bound, left, right)
+                return self._spanned(UntilWithin(bound, left, right), start)
             right = self._until_expr()  # right-associative
-            return Until(left, right)
+            return self._spanned(Until(left, right), start)
         return left
 
     def _or_expr(self) -> Formula:
+        start = self._peek()
         left = self._and_expr()
         while self._match_keyword("OR"):
-            left = OrF(left, self._and_expr())
+            left = self._spanned(OrF(left, self._and_expr()), start)
         return left
 
     def _and_expr(self) -> Formula:
+        start = self._peek()
         left = self._prefix()
         while self._match_keyword("AND"):
-            left = AndF(left, self._prefix())
+            left = self._spanned(AndF(left, self._prefix()), start)
         return left
 
     def _prefix(self) -> Formula:
+        start = self._peek()
         if self._match_keyword("NOT"):
-            return NotF(self._prefix())
+            return self._spanned(NotF(self._prefix()), start)
         if self._match_keyword("NEXTTIME"):
-            return Nexttime(self._prefix())
+            return self._spanned(Nexttime(self._prefix()), start)
         if self._match_keyword("EVENTUALLY"):
             if self._match_keyword("WITHIN"):
                 bound = self._expect_number()
-                return EventuallyWithin(bound, self._prefix())
+                return self._spanned(
+                    EventuallyWithin(bound, self._prefix()), start
+                )
             if self._match_keyword("AFTER"):
                 bound = self._expect_number()
-                return EventuallyAfter(bound, self._prefix())
-            return Eventually(self._prefix())
+                return self._spanned(
+                    EventuallyAfter(bound, self._prefix()), start
+                )
+            return self._spanned(Eventually(self._prefix()), start)
         if self._match_keyword("ALWAYS"):
             if self._match_keyword("FOR"):
                 bound = self._expect_number()
-                return AlwaysFor(bound, self._prefix())
-            return Always(self._prefix())
+                return self._spanned(
+                    AlwaysFor(bound, self._prefix()), start
+                )
+            return self._spanned(Always(self._prefix()), start)
         if self._peek().kind == "SYMBOL" and self._peek().value == "[":
             self._advance()
             var = self._expect_ident()
             self._expect_symbol(":=")
             term = self.term()
             self._expect_symbol("]")
-            return Assign(var, term, self._prefix())
+            return self._spanned(Assign(var, term, self._prefix()), start)
         return self._atom()
 
     def _atom(self) -> Formula:
@@ -226,11 +280,12 @@ class _Parser:
             self._expect_symbol(",")
             region = self._expect_ident()
             self._expect_symbol(")")
-            return (
+            node = (
                 Inside(obj, region)
                 if tok.value == "INSIDE"
                 else Outside(obj, region)
             )
+            return self._spanned(node, tok)
         if tok.kind == "KEYWORD" and tok.value == "WITHIN_SPHERE":
             self._advance()
             self._expect_symbol("(")
@@ -240,17 +295,22 @@ class _Parser:
                 objs.append(self.term())
             self._expect_symbol(")")
             if not objs:
-                raise FtlSyntaxError("WITHIN_SPHERE needs at least one object")
-            return WithinSphere(radius, tuple(objs))
+                raise self._err(
+                    "WITHIN_SPHERE needs at least one object", tok
+                )
+            return self._spanned(WithinSphere(radius, tuple(objs)), tok)
         if tok.kind == "KEYWORD" and tok.value in ("TRUE", "FALSE"):
             self._advance()
-            # TRUE / FALSE sugar as always-equal comparisons.
+            # TRUE / FALSE sugar as always-equal comparisons.  The lint
+            # pass recognises this exact shape and does not flag it as a
+            # constant-foldable comparison.
             value = 1 if tok.value == "TRUE" else 0
-            return Compare("=", Const(1), Const(value))
+            return self._spanned(Compare("=", Const(1), Const(value)), tok)
         if tok.kind == "SYMBOL" and tok.value == "(":
             # Could be a parenthesised formula or a parenthesised term of a
             # comparison; try formula first via backtracking.
             saved = self._pos
+            saved_end = self._prev_end
             try:
                 self._advance()
                 inner = self.formula()
@@ -258,60 +318,72 @@ class _Parser:
                 return inner
             except FtlSyntaxError:
                 self._pos = saved
+                self._prev_end = saved_end
         return self._comparison()
 
     def _comparison(self) -> Formula:
+        start = self._peek()
         left = self.term()
         op = self._match_symbol("=", "!=", "<", "<=", ">", ">=")
         if op is None:
             tok = self._peek()
-            raise FtlSyntaxError(
-                f"expected comparison operator, got {tok.value!r} at {tok.pos}"
+            raise self._err(
+                f"expected comparison operator, got {tok.value!r}", tok
             )
         right = self.term()
-        return Compare(op, left, right)
+        return self._spanned(Compare(op, left, right), start)
 
     # -- terms -------------------------------------------------------------
     def term(self) -> Term:
         return self._additive()
 
     def _additive(self) -> Term:
+        start = self._peek()
         left = self._multiplicative()
         while True:
             op = self._match_symbol("+", "-")
             if op is None:
                 return left
-            left = Arith(op, left, self._multiplicative())
+            left = self._spanned(
+                Arith(op, left, self._multiplicative()), start
+            )
 
     def _multiplicative(self) -> Term:
+        start = self._peek()
         left = self._unary_term()
         while True:
             op = self._match_symbol("*", "/")
             if op is None:
                 return left
-            left = Arith(op, left, self._unary_term())
+            left = self._spanned(
+                Arith(op, left, self._unary_term()), start
+            )
 
     def _unary_term(self) -> Term:
+        start = self._peek()
         if self._match_symbol("-"):
             operand = self._unary_term()
             if isinstance(operand, Const) and isinstance(
                 operand.value, (int, float)
             ):
-                return Const(-operand.value)
-            return Arith("-", Const(0), operand)
+                return self._spanned(Const(-operand.value), start)
+            return self._spanned(Arith("-", Const(0), operand), start)
         return self._primary_term()
 
     def _primary_term(self) -> Term:
         tok = self._peek()
         if tok.kind == "NUMBER":
             self._advance()
-            return Const(float(tok.value) if "." in tok.value else int(tok.value))
+            return self._spanned(
+                Const(float(tok.value) if "." in tok.value else int(tok.value)),
+                tok,
+            )
         if tok.kind == "STRING":
             self._advance()
-            return Const(tok.value)
+            return self._spanned(Const(tok.value), tok)
         if tok.kind == "KEYWORD" and tok.value == "TIME":
             self._advance()
-            return TimeTerm()
+            return self._spanned(TimeTerm(), tok)
         if tok.kind == "KEYWORD" and tok.value == "DIST":
             self._advance()
             self._expect_symbol("(")
@@ -319,25 +391,27 @@ class _Parser:
             self._expect_symbol(",")
             right = self.term()
             self._expect_symbol(")")
-            return Dist(left, right)
+            return self._spanned(Dist(left, right), tok)
         if tok.kind == "IDENT":
             name = self._advance().value
-            term: Term = Var(name)
+            term: Term = self._spanned(Var(name), tok)
             path: list[str] = []
             while self._match_symbol("."):
                 path.append(self._expect_ident())
             if len(path) == 0:
                 return term
             if len(path) == 1:
-                return Attr(term, path[0])
+                return self._spanned(Attr(term, path[0]), tok)
             if len(path) == 2:
-                return SubAttr(term, path[0], path[1])
-            raise FtlSyntaxError(
-                f"attribute path too deep: {name}.{'.'.join(path)}"
+                return self._spanned(
+                    SubAttr(term, path[0], path[1]), tok
+                )
+            raise self._err(
+                f"attribute path too deep: {name}.{'.'.join(path)}", tok
             )
         if tok.kind == "SYMBOL" and tok.value == "(":
             self._advance()
             inner = self.term()
             self._expect_symbol(")")
             return inner
-        raise FtlSyntaxError(f"unexpected token {tok.value!r} at {tok.pos}")
+        raise self._err(f"unexpected token {tok.value!r}", tok)

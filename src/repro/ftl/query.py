@@ -8,16 +8,34 @@ query types of section 2.3 are all answered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import FtlSemanticsError
 from repro.ftl.ast import Formula
 from repro.ftl.context import EvalContext
+from repro.ftl.lexer import Span
 from repro.ftl.relations import FtlRelation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.history import History
+
+
+@dataclass(frozen=True)
+class QuerySpans:
+    """Source spans of the clause elements of a parsed query.
+
+    Lets diagnostics about the RETRIEVE / FROM clauses (unbound target,
+    unknown class) point at the exact identifier rather than the whole
+    query.  ``None`` on programmatically built queries.
+    """
+
+    targets: tuple[Span, ...]
+    #: FROM-clause variable name → span of the variable identifier.
+    binding_vars: dict[str, Span]
+    #: FROM-clause variable name → span of its class identifier.
+    binding_classes: dict[str, Span]
+    where: Span | None
 
 
 @dataclass(frozen=True)
@@ -29,11 +47,13 @@ class FtlQuery:
             returned).
         bindings: FROM clause — variable name → object class name.
         where: the FTL condition.
+        spans: clause source spans (parser-built queries only).
     """
 
     targets: tuple[str, ...]
     bindings: dict[str, str]
     where: Formula
+    spans: QuerySpans | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         free = self.where.free_vars()
@@ -99,6 +119,17 @@ class FtlQuery:
             raise FtlSemanticsError(f"unknown method {method!r}")
         return self._complete(relation, ctx)
 
+    def analyze(self, schema=None) -> "AnalysisResult":
+        """Run the static analyzer over this query.
+
+        ``schema`` is a :class:`~repro.ftl.analysis.SchemaInfo`, a
+        :class:`~repro.core.database.MostDatabase` (its schema is
+        extracted), or ``None`` (schema-dependent checks are skipped).
+        """
+        from repro.ftl.analysis import analyze_query
+
+        return analyze_query(self, schema=schema)
+
     def _complete(self, relation: FtlRelation, ctx: EvalContext) -> FtlRelation:
         """Extend the relation with target variables the condition never
         mentions (they range freely over their class)."""
@@ -116,3 +147,61 @@ class FtlQuery:
                 base.update(zip(missing, extra))
                 out.add(tuple(base[v] for v in out_vars), iset)
         return out
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A parsed query together with its static-analysis result."""
+
+    query: FtlQuery
+    analysis: "AnalysisResult"
+
+    @property
+    def diagnostics(self):
+        """The analyzer's diagnostics (errors, warnings and infos)."""
+        return self.analysis.diagnostics
+
+
+class QueryCompiler:
+    """Parse + analyze pipeline gating queries before evaluation.
+
+    The compiler is the front door the paper's processing scheme assumes:
+    a query reaches an evaluator only after the static analyzer has
+    established it is well-formed (bindings, sorts, safety) and has
+    classified its temporal fragment.  Errors raise
+    :class:`~repro.errors.FtlAnalysisError` listing every diagnostic;
+    warnings and lints are returned on the :class:`CompiledQuery` for the
+    caller to surface.
+
+    Args:
+        schema: a ``MostDatabase``, a
+            :class:`~repro.ftl.analysis.SchemaInfo`, or ``None`` to skip
+            schema-dependent checks.
+        strict: when True (default), error diagnostics raise; when False
+            the result is returned with the errors attached.
+    """
+
+    def __init__(self, schema=None, strict: bool = True) -> None:
+        self.schema = schema
+        self.strict = strict
+
+    def compile(self, source: "str | FtlQuery") -> CompiledQuery:
+        """Compile FTL source text (or an already-parsed query)."""
+        if isinstance(source, FtlQuery):
+            query = source
+        else:
+            from repro.ftl.parser import parse_query
+
+            query = parse_query(source)
+        analysis = query.analyze(schema=self.schema)
+        if self.strict:
+            analysis.raise_on_error()
+        analysis.warn_on_lints()
+        return CompiledQuery(query=query, analysis=analysis)
+
+
+def compile_query(
+    source: "str | FtlQuery", schema=None, strict: bool = True
+) -> CompiledQuery:
+    """One-shot :class:`QueryCompiler` convenience wrapper."""
+    return QueryCompiler(schema=schema, strict=strict).compile(source)

@@ -8,7 +8,7 @@ from typing import Iterator
 from repro.core.database import MostDatabase
 from repro.core.dynamic import DynamicAttribute
 from repro.core.objects import ObjectClass
-from repro.errors import QueryError
+from repro.errors import QueryError, SchemaError
 from repro.geometry import Point
 from repro.motion.moving import MovingPoint, linear_moving_point
 
@@ -31,7 +31,7 @@ def random_fleet(
     static_attributes = static_attributes or {}
     try:
         cls = db.object_class(class_name)
-    except Exception:
+    except SchemaError:
         cls = db.create_class(
             ObjectClass(
                 class_name,

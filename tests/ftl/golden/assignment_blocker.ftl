@@ -1,0 +1,4 @@
+RETRIEVE o
+FROM cars o
+WHERE [m := o.x_position]
+  EVENTUALLY WITHIN 5 o.x_position > m

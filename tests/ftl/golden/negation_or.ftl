@@ -1,0 +1,4 @@
+RETRIEVE o
+FROM cars o, cars n
+WHERE NOT INSIDE(o, P)
+   OR n.x_position > 9

@@ -1,0 +1,3 @@
+RETRIEVE o
+FROM cars o
+WHERE [o := o.x_position] o.x_position > 1

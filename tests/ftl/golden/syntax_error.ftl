@@ -1,0 +1,3 @@
+RETRIEVE o
+FROM cars o
+WHERE o.x_position >

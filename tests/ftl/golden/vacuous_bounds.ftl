@@ -1,0 +1,4 @@
+RETRIEVE o
+FROM cars o
+WHERE EVENTUALLY WITHIN 0 o.x_position > 1
+  AND ALWAYS FOR 0 o.y_position < 5

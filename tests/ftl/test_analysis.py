@@ -1,0 +1,521 @@
+"""Unit tests for the FTL static analyzer.
+
+One class per pass (scope, sorts, safety, fragment, lints), plus the
+wiring tests: spans on parsed AST nodes, pre-evaluation gating in the
+query classes, the incremental-rejection diagnostic, and the
+``QueryCompiler`` front door.
+"""
+
+import pytest
+
+from repro.core import (
+    ContinuousQuery,
+    DynamicAttribute,
+    InstantaneousQuery,
+    MostDatabase,
+    ObjectClass,
+    PersistentQuery,
+)
+from repro.errors import FtlAnalysisError, FtlSyntaxError
+from repro.ftl import (
+    Arith,
+    Attr,
+    Compare,
+    Const,
+    NotF,
+    QueryCompiler,
+    Until,
+    Var,
+    analyze_formula,
+    analyze_query,
+    compile_query,
+    parse_formula,
+    parse_query,
+    supports_incremental,
+)
+from repro.ftl.analysis import FtlLintWarning, RULES, SchemaInfo
+from repro.ftl.query import FtlQuery
+from repro.geometry import Point
+from repro.spatial import Polygon
+
+
+def build_db() -> MostDatabase:
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass(
+            "cars",
+            static_attributes=("price",),
+            dynamic_attributes=("fuel",),
+            spatial_dimensions=2,
+        )
+    )
+    db.create_class(ObjectClass("motels", static_attributes=("rating",)))
+    db.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+    db.add_moving_object(
+        "cars",
+        "c0",
+        Point(0, 0),
+        Point(1, 0),
+        static={"price": 100.0},
+        dynamic_extra={"fuel": DynamicAttribute.linear(50.0, -1.0)},
+    )
+    return db
+
+
+def codes(result):
+    return result.codes()
+
+
+class TestScopePass:
+    def test_unbound_variable(self):
+        f = parse_formula("o.x_position > m")
+        result = analyze_formula(f, bindings={"o": "cars"})
+        assert "FTL101" in codes(result)
+        assert not result.ok
+
+    def test_bound_variables_clean(self):
+        f = parse_formula("o.x_position > 3")
+        assert analyze_formula(f, bindings={"o": "cars"}).ok
+
+    def test_assignment_binds_body(self):
+        f = parse_formula("[m := o.x_position] o.x_position > m")
+        result = analyze_formula(f, bindings={"o": "cars"})
+        assert "FTL101" not in codes(result)
+
+    def test_assignment_shadowing(self):
+        f = parse_formula("[o := o.x_position] o.x_position > 1")
+        result = analyze_formula(f, bindings={"o": "cars"})
+        assert "FTL103" in codes(result)
+        assert not result.ok
+
+    def test_unused_assignment_warns(self):
+        f = parse_formula("[m := o.x_position] o.x_position > 1")
+        result = analyze_formula(f, bindings={"o": "cars"})
+        assert "FTL104" in codes(result)
+        assert result.ok  # warning, not error
+
+    def test_target_not_in_where_is_ftl403(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o, cars n WHERE n.x_position > 1"
+        )
+        result = analyze_query(q)
+        assert "FTL403" in codes(result)
+        assert result.ok  # info only
+
+    def test_target_unbound_is_ftl102(self):
+        # FtlQuery.__post_init__ refuses this shape, so exercise the
+        # analyzer's defence-in-depth path on a bypassed instance.
+        q = object.__new__(FtlQuery)
+        object.__setattr__(q, "targets", ("z",))
+        object.__setattr__(q, "bindings", {"o": "cars"})
+        object.__setattr__(q, "where", parse_formula("o.x_position > 1"))
+        object.__setattr__(q, "spans", None)
+        result = analyze_query(q)
+        assert "FTL102" in codes(result)
+        assert not result.ok
+
+
+class TestSortPass:
+    def test_unknown_class(self):
+        q = parse_query("RETRIEVE o FROM rockets o WHERE o.x_position > 1")
+        result = analyze_query(q, schema=build_db())
+        assert "FTL201" in codes(result)
+
+    def test_unknown_attribute(self):
+        f = parse_formula("o.altitude > 1")
+        result = analyze_formula(f, {"o": "cars"}, schema=build_db())
+        assert "FTL202" in codes(result)
+
+    def test_unknown_attribute_skipped_without_schema(self):
+        f = parse_formula("o.altitude > 1")
+        assert analyze_formula(f, {"o": "cars"}).ok
+
+    def test_subattr_on_static_attribute(self):
+        f = parse_formula("o.price.function > 1")
+        result = analyze_formula(f, {"o": "cars"}, schema=build_db())
+        assert "FTL203" in codes(result)
+
+    def test_subattr_on_dynamic_attribute_ok(self):
+        f = parse_formula("o.fuel.function > 1")
+        assert analyze_formula(f, {"o": "cars"}, schema=build_db()).ok
+
+    def test_attr_on_number(self):
+        f = Compare(">", Attr(Const(5), "x_position"), Const(1))
+        result = analyze_formula(f, {}, schema=build_db())
+        assert "FTL204" in codes(result)
+
+    def test_spatial_op_on_non_spatial_class(self):
+        f = parse_formula("INSIDE(m, P)")
+        result = analyze_formula(f, {"m": "motels"}, schema=build_db())
+        assert "FTL205" in codes(result)
+
+    def test_dist_on_non_spatial_class(self):
+        f = parse_formula("DIST(m, o) < 5")
+        result = analyze_formula(
+            f, {"m": "motels", "o": "cars"}, schema=build_db()
+        )
+        assert "FTL205" in codes(result)
+
+    def test_unknown_region(self):
+        f = parse_formula("INSIDE(o, NOWHERE)")
+        result = analyze_formula(f, {"o": "cars"}, schema=build_db())
+        assert "FTL206" in codes(result)
+
+    def test_known_region_ok(self):
+        f = parse_formula("INSIDE(o, P)")
+        assert analyze_formula(f, {"o": "cars"}, schema=build_db()).ok
+
+    def test_arith_on_string(self):
+        f = Compare(">", Arith("+", Const("fast"), Const(1)), Const(0))
+        result = analyze_formula(f, {}, schema=build_db())
+        assert "FTL207" in codes(result)
+
+    def test_arith_on_object_var(self):
+        f = Compare(">", Arith("+", Var("o"), Const(1)), Const(0))
+        result = analyze_formula(f, {"o": "cars"}, schema=build_db())
+        assert "FTL207" in codes(result)
+
+    def test_ordered_compare_number_string(self):
+        f = parse_formula("o.x_position > 'fast'")
+        result = analyze_formula(f, {"o": "cars"}, schema=build_db())
+        assert "FTL208" in codes(result)
+        assert not result.ok
+
+    def test_ordered_compare_on_objects_warns(self):
+        f = Compare("<", Var("o"), Var("n"))
+        result = analyze_formula(
+            f, {"o": "cars", "n": "cars"}, schema=build_db()
+        )
+        assert "FTL208" in codes(result)
+        assert result.ok  # downgraded to a warning
+
+
+class TestSafetyPass:
+    def test_division_by_constant_zero(self):
+        f = parse_formula("o.x_position / 0 > 1")
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL301" in codes(result)
+        assert not result.ok
+
+    def test_negation_warns(self):
+        f = parse_formula("NOT INSIDE(o, P)")
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL302" in codes(result)
+        assert result.ok
+
+    def test_variable_mismatched_disjunction(self):
+        f = parse_formula("o.x_position > 1 OR n.x_position > 1")
+        result = analyze_formula(f, {"o": "cars", "n": "cars"})
+        assert "FTL303" in codes(result)
+
+    def test_matched_disjunction_clean(self):
+        f = parse_formula("o.x_position > 1 OR o.x_position < -1")
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL303" not in codes(result)
+
+    def test_unknown_construct(self):
+        class Mystery(NotF):
+            pass
+
+        f = Mystery(parse_formula("o.x_position > 1"))
+        # A NotF subclass is still a known node; a truly foreign type:
+        class Foreign:
+            span = None
+
+            def free_vars(self):
+                return set()
+
+        result = analyze_formula(Foreign(), {"o": "cars"})
+        assert "FTL304" in codes(result)
+        assert not result.ok
+
+
+class TestFragmentPass:
+    def test_state_formula(self):
+        f = parse_formula("o.x_position > 1")
+        result = analyze_formula(f, {"o": "cars"})
+        assert result.fragment.temporal_depth == 0
+        assert result.fragment.bounded
+        assert result.fragment.incremental
+
+    def test_unbounded_operator_flagged(self):
+        f = parse_formula("EVENTUALLY o.x_position > 1")
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL402" in codes(result)
+        assert not result.fragment.bounded
+        assert result.fragment.temporal_depth == 1
+
+    def test_nested_depth(self):
+        f = parse_formula(
+            "EVENTUALLY WITHIN 5 ALWAYS FOR 2 o.x_position > 1"
+        )
+        result = analyze_formula(f, {"o": "cars"})
+        assert result.fragment.temporal_depth == 2
+        assert result.fragment.bounded
+
+    def test_assignment_blocks_incremental(self):
+        f = parse_formula("[m := o.x_position] o.x_position > m")
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL401" in codes(result)
+        assert not result.fragment.incremental
+        blocker = result.fragment.blockers[0]
+        assert "m := o.x_position" in blocker.message
+
+    def test_classification_string(self):
+        f = parse_formula("NOT EVENTUALLY o.x_position > 1")
+        result = analyze_formula(f, {"o": "cars"})
+        # Negation leaves the conjunctive fragment but does not block
+        # incremental maintenance (only the assignment quantifier does).
+        assert result.fragment.classification == (
+            "general/unbounded/incremental"
+        )
+        f2 = parse_formula("[m := o.x_position] o.x_position > m")
+        result2 = analyze_formula(f2, {"o": "cars"})
+        assert result2.fragment.classification.endswith("full-reevaluation")
+
+    def test_supports_incremental_compat(self):
+        assert supports_incremental(parse_formula("o.x_position > 1"))
+        assert not supports_incremental(
+            parse_formula("[m := o.x_position] o.x_position > m")
+        )
+
+
+class TestLintPass:
+    def test_vacuous_eventually_within(self):
+        f = parse_formula("EVENTUALLY WITHIN 0 o.x_position > 1")
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL501" in codes(result)
+
+    def test_negative_bound_programmatic(self):
+        from repro.ftl import EventuallyWithin
+
+        f = EventuallyWithin(-3, parse_formula("o.x_position > 1"))
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL502" in codes(result)
+        assert not result.ok
+
+    def test_constant_comparison(self):
+        f = parse_formula("2 > 1")
+        result = analyze_formula(f, {})
+        assert "FTL503" in codes(result)
+
+    def test_true_false_sugar_not_flagged(self):
+        f = parse_formula("TRUE")
+        result = analyze_formula(f, {})
+        assert "FTL503" not in codes(result)
+
+    def test_vacuous_until_right_true(self):
+        f = parse_formula("o.x_position > 1 UNTIL 1 = 1")
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL504" in codes(result)
+
+    def test_vacuous_until_left_false(self):
+        f = Until(
+            Compare("=", Const(2), Const(3)),
+            parse_formula("o.x_position > 1"),
+        )
+        result = analyze_formula(f, {"o": "cars"})
+        assert "FTL504" in codes(result)
+
+
+class TestSpans:
+    def test_every_parsed_diagnostic_has_a_span(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o "
+            "WHERE NOT (EVENTUALLY WITHIN 0 o.altitude > 'x')"
+        )
+        result = analyze_query(q, schema=build_db())
+        assert result.diagnostics
+        assert all(d.span is not None for d in result.diagnostics)
+
+    def test_span_points_at_offending_token(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE o.altitude > 1")
+        result = analyze_query(q, schema=build_db())
+        (diag,) = result.errors
+        assert diag.code == "FTL202"
+        assert diag.span.line == 1
+        assert diag.span.col == 30  # 'o.altitude'
+
+    def test_multiline_spans(self):
+        q = parse_query(
+            "RETRIEVE o\nFROM cars o\nWHERE o.altitude > 1"
+        )
+        result = analyze_query(q, schema=build_db())
+        (diag,) = result.errors
+        assert diag.span.line == 3
+        assert diag.span.col == 7
+
+    def test_syntax_error_carries_line_col(self):
+        with pytest.raises(FtlSyntaxError, match=r"line 2, col"):
+            parse_query("RETRIEVE o FROM cars o\nWHERE o.x_position >")
+
+    def test_spans_do_not_break_equality(self):
+        parsed = parse_formula("o.x_position > 1")
+        built = Compare(">", Attr(Var("o"), "x_position"), Const(1))
+        assert parsed == built
+        assert hash(parsed) == hash(built)
+
+
+class TestPreEvaluationGating:
+    """Malformed queries that used to surface mid-evaluation (as
+    FtlSemanticsError / SchemaError / TypeError from deep inside an
+    evaluator) are now rejected before any evaluator runs."""
+
+    CASES = [
+        "RETRIEVE o FROM cars o WHERE o.altitude > 1",  # FTL202
+        "RETRIEVE o FROM cars o WHERE INSIDE(o, NOWHERE)",  # FTL206
+        "RETRIEVE o FROM cars o WHERE o.x_position / 0 > 1",  # FTL301
+        "RETRIEVE o FROM cars o WHERE o.x_position > 'fast'",  # FTL208
+        "RETRIEVE m FROM motels m WHERE INSIDE(m, P)",  # FTL205
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_continuous_query_fails_fast(self, text):
+        db = build_db()
+        with pytest.raises(FtlAnalysisError) as exc:
+            ContinuousQuery(db, parse_query(text), horizon=10)
+        assert exc.value.diagnostics
+        assert all(d.span is not None for d in exc.value.diagnostics)
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_instantaneous_query_fails_fast(self, text):
+        # Schema-free errors (FTL301) raise at construction; the
+        # schema-dependent ones at the first evaluation against the db.
+        db = build_db()
+        with pytest.raises(FtlAnalysisError):
+            InstantaneousQuery(parse_query(text), horizon=10).answer(db)
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_persistent_query_fails_fast(self, text):
+        db = build_db()
+        with pytest.raises(FtlAnalysisError):
+            PersistentQuery(db, parse_query(text), horizon=10)
+
+    def test_schema_free_error_caught_at_construction(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE o.x_position / 0 > 1")
+        with pytest.raises(FtlAnalysisError):
+            InstantaneousQuery(q, horizon=10)
+
+    def test_error_message_lists_diagnostics(self):
+        db = build_db()
+        q = parse_query("RETRIEVE o FROM cars o WHERE o.altitude > 1")
+        with pytest.raises(FtlAnalysisError, match=r"FTL202.*line 1"):
+            ContinuousQuery(db, q, horizon=10)
+
+
+class TestIncrementalRejection:
+    def test_assign_rejection_names_subformula(self):
+        db = build_db()
+        q = parse_query(
+            "RETRIEVE o FROM cars o "
+            "WHERE [m := o.x_position] EVENTUALLY WITHIN 5 o.x_position > m"
+        )
+        cq = ContinuousQuery(db, q, horizon=10, method="incremental")
+        assert cq.incremental_rejection is not None
+        assert cq.incremental_rejection.code == "FTL401"
+        assert "m := o.x_position" in cq.incremental_rejection.message
+        assert cq.incremental_rejection.span is not None
+        assert not cq._use_incremental
+
+    def test_free_ranging_target_rejection(self):
+        db = build_db()
+        q = parse_query(
+            "RETRIEVE o FROM cars o, cars n WHERE n.x_position > 1"
+        )
+        cq = ContinuousQuery(db, q, horizon=10, method="incremental")
+        assert cq.incremental_rejection is not None
+        assert cq.incremental_rejection.code == "FTL403"
+        assert not cq._use_incremental
+
+    def test_eligible_query_has_no_rejection(self):
+        db = build_db()
+        q = parse_query("RETRIEVE o FROM cars o WHERE o.x_position > 1")
+        cq = ContinuousQuery(db, q, horizon=10, method="incremental")
+        assert cq.incremental_rejection is None
+        assert cq.incremental_rejections == ()
+        assert cq._use_incremental
+
+    def test_non_incremental_method_records_no_rejection(self):
+        db = build_db()
+        q = parse_query(
+            "RETRIEVE o FROM cars o "
+            "WHERE [m := o.x_position] EVENTUALLY WITHIN 5 o.x_position > m"
+        )
+        cq = ContinuousQuery(db, q, horizon=10, method="interval")
+        assert cq.incremental_rejection is None
+
+
+class TestQueryCompiler:
+    def test_strict_raises_on_errors(self):
+        compiler = QueryCompiler(schema=build_db())
+        with pytest.raises(FtlAnalysisError):
+            compiler.compile("RETRIEVE o FROM cars o WHERE o.altitude > 1")
+
+    def test_non_strict_returns_errors(self):
+        compiler = QueryCompiler(schema=build_db(), strict=False)
+        compiled = compiler.compile(
+            "RETRIEVE o FROM cars o WHERE o.altitude > 1"
+        )
+        assert not compiled.analysis.ok
+        assert "FTL202" in [d.code for d in compiled.diagnostics]
+
+    def test_clean_compile(self):
+        compiled = compile_query(
+            "RETRIEVE o FROM cars o WHERE o.x_position > 1",
+            schema=build_db(),
+        )
+        assert compiled.analysis.ok
+        assert compiled.query.targets == ("o",)
+
+    def test_lints_emit_python_warnings(self):
+        with pytest.warns(FtlLintWarning, match="FTL501"):
+            compile_query(
+                "RETRIEVE o FROM cars o "
+                "WHERE EVENTUALLY WITHIN 0 o.x_position > 1",
+                schema=build_db(),
+            )
+
+    def test_registration_emits_python_warnings(self):
+        db = build_db()
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE NOT INSIDE(o, P)"
+        )
+        with pytest.warns(FtlLintWarning, match="FTL302"):
+            ContinuousQuery(db, q, horizon=10)
+
+    def test_accepts_parsed_query(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE o.x_position > 1")
+        compiled = compile_query(q, schema=build_db())
+        assert compiled.query is q
+
+
+class TestRegistry:
+    def test_rule_codes_partition_by_pass(self):
+        for code in RULES:
+            assert code.startswith("FTL") and len(code) == 6
+            assert code[3] in "12345"
+
+    def test_schema_info_coercion(self):
+        db = build_db()
+        info = SchemaInfo.coerce(db)
+        assert info.knows_classes() and info.knows_regions()
+        assert info.object_class("cars") is not None
+        assert info.object_class("rockets") is None
+        assert info.has_region("P")
+        assert not info.has_region("NOWHERE")
+        open_info = SchemaInfo.coerce(None)
+        assert open_info.object_class("anything") is None
+        assert open_info.has_region("anything")
+        with pytest.raises(TypeError):
+            SchemaInfo.coerce(42)
+
+    def test_analysis_json_shape(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE o.altitude > 1")
+        report = analyze_query(q, schema=build_db()).to_json()
+        assert report["ok"] is False
+        (diag,) = [
+            d for d in report["diagnostics"] if d["code"] == "FTL202"
+        ]
+        assert diag["severity"] == "error"
+        assert diag["span"]["line"] == 1
+        assert report["fragment"]["classification"]

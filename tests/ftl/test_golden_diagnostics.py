@@ -1,0 +1,80 @@
+"""Golden-file tests for analyzer diagnostics.
+
+Each ``golden/*.ftl`` fixture has a ``*.expected.json`` sibling listing
+the diagnostics the linter must produce — rule code, severity and the
+line/column of the source span.  The golden files pin the analyzer's
+user-visible contract: a rule firing on a new subformula, drifting to a
+different span, or changing severity fails here.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python tests/ftl/test_golden_diagnostics.py --update
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ftl.lint import lint_file
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.ftl"))
+
+
+def summarize(report: dict) -> list[dict]:
+    """Reduce a lint report to the golden shape (code/severity/span)."""
+    return [
+        {
+            "code": d["code"],
+            "severity": d["severity"],
+            "line": d.get("span", {}).get("line"),
+            "col": d.get("span", {}).get("col"),
+        }
+        for d in report["diagnostics"]
+    ]
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[p.stem for p in FIXTURES]
+)
+def test_golden_diagnostics(fixture):
+    expected = json.loads(
+        fixture.with_suffix(".expected.json").read_text()
+    )
+    actual = summarize(lint_file(str(fixture)))
+    assert actual == expected
+
+
+def test_fixtures_cover_all_severities():
+    """The fixture set exercises errors, warnings and infos."""
+    seen = set()
+    for fixture in FIXTURES:
+        for d in summarize(lint_file(str(fixture))):
+            seen.add(d["severity"])
+    assert seen == {"error", "warning", "info"}
+
+
+def test_every_diagnostic_is_spanned():
+    """Diagnostics from parsed sources always carry a source position."""
+    for fixture in FIXTURES:
+        for d in summarize(lint_file(str(fixture))):
+            assert d["line"] is not None, f"{fixture.name}: {d}"
+            assert d["col"] is not None, f"{fixture.name}: {d}"
+
+
+def _update() -> None:
+    for fixture in FIXTURES:
+        expected = summarize(lint_file(str(fixture)))
+        fixture.with_suffix(".expected.json").write_text(
+            json.dumps(expected, indent=2) + "\n"
+        )
+        print(f"updated {fixture.with_suffix('.expected.json')}")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(__doc__)

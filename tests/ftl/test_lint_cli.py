@@ -1,0 +1,140 @@
+"""Tests for the ``python -m repro.ftl.lint`` command-line interface."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.ftl.lint import lint_text, main, strip_comments
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestMain:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "ok.ftl",
+            "RETRIEVE o FROM cars o WHERE INSIDE(o, P)\n",
+        )
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "1 file(s) checked, 0 with findings" in out
+
+    def test_error_file_exits_one(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "bad.ftl",
+            "RETRIEVE o FROM cars o WHERE o.x_position / 0 > 1\n",
+        )
+        assert main([path]) == 1
+        out = capsys.readouterr().out
+        assert "error[FTL301]" in out
+        assert f"{path}:1:30:" in out
+
+    def test_warning_passes_unless_strict(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "warn.ftl",
+            "RETRIEVE o FROM cars o "
+            "WHERE EVENTUALLY WITHIN 0 o.x_position > 1\n",
+        )
+        assert main([path]) == 0
+        capsys.readouterr()
+        assert main(["--strict", path]) == 1
+
+    def test_syntax_error_reported_with_position(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "syn.ftl", "RETRIEVE o FROM cars o\nWHERE >\n"
+        )
+        assert main([path]) == 1
+        out = capsys.readouterr().out
+        assert "error[syntax]" in out
+        assert ":2:" in out
+
+    def test_unbound_variable_reported_as_semantics(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "sem.ftl",
+            "RETRIEVE o FROM cars o WHERE m.x_position > 1\n",
+        )
+        assert main([path]) == 1
+        out = capsys.readouterr().out
+        assert "error[semantics]" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.ftl")]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = write(
+            tmp_path, "bad.ftl",
+            "RETRIEVE o FROM cars o WHERE o.x_position / 0 > 1\n",
+        )
+        ok = write(
+            tmp_path, "ok.ftl",
+            "RETRIEVE o FROM cars o WHERE INSIDE(o, P)\n",
+        )
+        assert main(["--json", bad, ok]) == 1
+        reports = json.loads(capsys.readouterr().out)
+        by_file = {r["file"]: r for r in reports}
+        assert not by_file[bad]["ok"]
+        assert by_file[ok]["ok"]
+        (diag,) = by_file[bad]["diagnostics"]
+        assert diag["code"] == "FTL301"
+        assert diag["span"]["line"] == 1
+        assert "fragment" in by_file[ok]
+
+    def test_multiple_files_aggregate_status(self, tmp_path, capsys):
+        ok = write(
+            tmp_path, "ok.ftl",
+            "RETRIEVE o FROM cars o WHERE INSIDE(o, P)\n",
+        )
+        bad = write(
+            tmp_path, "bad.ftl",
+            "RETRIEVE o FROM cars o WHERE o.x_position / 0 > 1\n",
+        )
+        assert main([ok, bad]) == 1
+        assert "2 file(s) checked, 1 with findings" in capsys.readouterr().out
+
+
+class TestHelpers:
+    def test_strip_comments_preserves_line_numbers(self):
+        text = "-- header\nRETRIEVE o\n-- mid\nFROM cars o\nWHERE TRUE"
+        stripped = strip_comments(text)
+        assert stripped.count("\n") == text.count("\n")
+        assert "header" not in stripped
+
+    def test_lint_text_clean(self):
+        analysis, extra = lint_text(
+            "RETRIEVE o FROM cars o WHERE INSIDE(o, P)"
+        )
+        assert analysis is not None and analysis.ok and not extra
+
+    def test_lint_text_syntax_error(self):
+        analysis, extra = lint_text("RETRIEVE o FROM")
+        assert analysis is None
+        assert extra[0]["code"] == "syntax"
+
+
+def test_module_entry_point():
+    """``python -m repro.ftl.lint`` runs as a module."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.ftl.lint", str(GOLDEN / "clean.ftl")],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "0 with findings" in result.stdout
+
+
+def test_examples_directory_is_clean():
+    """The shipped example queries must lint cleanly (the CI gate)."""
+    examples = sorted(
+        (Path(__file__).parents[2] / "examples" / "queries").glob("*.ftl")
+    )
+    assert examples, "examples/queries/*.ftl missing"
+    assert main([str(p) for p in examples]) == 0
