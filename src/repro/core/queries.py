@@ -19,8 +19,9 @@ from typing import Callable
 
 from repro.core.database import MostDatabase, MostUpdate
 from repro.core.history import FutureHistory, RecordedHistory
-from repro.errors import QueryError, SchemaError
-from repro.ftl.analysis import AnalysisResult, Diagnostic
+from repro.errors import FtlSemanticsError, QueryError, SchemaError
+from repro.ftl.analysis import AnalysisResult, CostModel, Diagnostic
+from repro.ftl.analysis.plan import EvalPlan
 from repro.ftl.context import EvalContext
 from repro.ftl.incremental import (
     PartialIntervalEvaluator,
@@ -215,6 +216,7 @@ class ContinuousQuery:
         horizon: int,
         method: str = "interval",
         staleness_bound: float | None = None,
+        ordered: bool = True,
     ) -> None:
         if horizon < 0:
             raise QueryError("horizon must be non-negative")
@@ -226,6 +228,10 @@ class ContinuousQuery:
         self.query = query
         self.horizon = horizon
         self.method = method
+        #: Evaluate through a cost-ordered plan (built once at
+        #: registration from the actual class populations) instead of
+        #: syntactic operand order; answers are identical either way.
+        self.ordered = ordered
         #: Suppress tuples depending on objects not heard from within
         #: this many ticks (None = no degradation).
         self.staleness_bound = staleness_bound
@@ -245,6 +251,21 @@ class ContinuousQuery:
         #: Static analysis against the database schema; errors raise
         #: FtlAnalysisError before the first evaluation.
         self.analysis = _analyze_or_raise(query, db)
+        #: The cost-ordered evaluation plan all refreshes run through.
+        #: The continuous query owns it: the plan keeps the ordered
+        #: formula tree alive, so the ``id``-keyed incremental caches
+        #: stay valid across refreshes.
+        self.plan: EvalPlan | None = None
+        if ordered:
+            sizes = {
+                cls: db.class_count(cls) for cls in self._bound_classes
+            }
+            try:
+                self.plan = query.plan_for(
+                    model=CostModel(class_sizes=sizes, horizon=horizon)
+                )
+            except FtlSemanticsError:
+                self.plan = None
         #: With ``method="incremental"``, the diagnostics naming each
         #: subformula (FTL401) or free-ranging target (FTL403) that
         #: forces the fallback to full reevaluation; empty when the
@@ -312,7 +333,7 @@ class ContinuousQuery:
         remaining = max(0, self.expires_at - now)
         if self._use_incremental:
             rf, cache, _evaluator = evaluate_with_cache(
-                self.query, history, remaining
+                self.query, history, remaining, plan=self.plan
             )
             self._rf = rf
             self._cache = cache
@@ -322,7 +343,11 @@ class ContinuousQuery:
             # intervals were computed from, which staleness-aware
             # degradation needs (the projection is built lazily).
             self._rf = self.query.evaluate_full(
-                history, remaining, method=self._eval_method
+                history,
+                remaining,
+                method=self._eval_method,
+                ordered=False,
+                plan=self.plan,
             )
             self._cache = None
         self._target_positions = [
@@ -340,7 +365,7 @@ class ContinuousQuery:
         history = FutureHistory(self.db, snapshot=False)
         ctx = EvalContext(history, remaining, self.query.bindings)
         evaluator = PartialIntervalEvaluator(
-            ctx, self._cache, frozenset(self._dirty_objects)
+            ctx, self._cache, frozenset(self._dirty_objects), plan=self.plan
         )
         self._rf = evaluator.refresh(self.query.where)
         self.rows_recomputed += evaluator.rows_recomputed

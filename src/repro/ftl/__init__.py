@@ -16,8 +16,11 @@ Two evaluators are provided:
 Before either evaluator runs, the static analyzer
 (:mod:`repro.ftl.analysis`) checks scope, sorts, safety, the temporal
 fragment and lints, producing span-carrying diagnostics;
-:class:`~repro.ftl.query.QueryCompiler` bundles parse + analyze, and
-``python -m repro.ftl.lint`` exposes the analyzer on the command line.
+:class:`~repro.ftl.query.QueryCompiler` bundles parse + analyze +
+plan, and ``python -m repro.ftl.lint`` exposes the analyzer on the
+command line.  Evaluation goes through a cost-annotated plan
+(:mod:`repro.ftl.analysis.plan`) whose orderer runs cheap, selective
+conjuncts first; ``python -m repro.ftl.explain`` prints the plan tree.
 """
 
 from repro.ftl.ast import (
@@ -49,11 +52,18 @@ from repro.ftl.ast import (
 )
 from repro.ftl.analysis import (
     AnalysisResult,
+    CostEstimate,
+    CostModel,
     Diagnostic,
+    EvalPlan,
     FragmentInfo,
+    PlanNode,
     analyze_formula,
     analyze_query,
+    drift_report,
     incremental_blockers,
+    plan_formula,
+    plan_query,
 )
 from repro.ftl.context import EvalContext
 from repro.ftl.evaluator import IntervalEvaluator
@@ -73,12 +83,17 @@ from repro.ftl.query import (
     compile_query,
 )
 from repro.ftl.relations import AnswerTuple, FtlRelation
-from repro.ftl.rewrite import expand, uses_only_basic_operators
+from repro.ftl.rewrite import (
+    expand,
+    quarantined_rules,
+    uses_only_basic_operators,
+)
 
 __all__ = [
     "parse_query",
     "parse_formula",
     "expand",
+    "quarantined_rules",
     "uses_only_basic_operators",
     "FtlQuery",
     "QueryCompiler",
@@ -90,6 +105,14 @@ __all__ = [
     "Diagnostic",
     "FragmentInfo",
     "incremental_blockers",
+    # Plans & cost
+    "EvalPlan",
+    "PlanNode",
+    "CostEstimate",
+    "CostModel",
+    "plan_formula",
+    "plan_query",
+    "drift_report",
     "Span",
     "FtlRelation",
     "AnswerTuple",

@@ -14,14 +14,23 @@ touches the database:
    unbounded operators, incremental eligibility with a diagnostic naming
    the disqualifying subformula;
 5. **lints** (FTL5xx) — vacuous bounds, constant-foldable comparisons,
-   vacuous ``Until``.
+   vacuous ``Until``;
+6. **plan & cost analysis** (FTL6xx) — the formula is lowered to an
+   evaluation-plan IR (``plan.py``), an abstract interpreter propagates
+   cardinality/interval/cost bounds over it (``cost.py``), a cost-based
+   orderer reorders commutative conjuncts and assignment chains
+   (``order.py``), and blowups are flagged: cross-product conjunctions,
+   multi-variable negation complements, unbounded ``Until`` enumeration,
+   re-evaluated common subformulas.
 
-Entry points: :func:`analyze_query` / :func:`analyze_formula`, the
-:class:`~repro.ftl.query.QueryCompiler` wrapper, and the CLI
-``python -m repro.ftl.lint``.
+Entry points: :func:`analyze_query` / :func:`analyze_formula`,
+:func:`plan_query` / :func:`plan_formula`, the
+:class:`~repro.ftl.query.QueryCompiler` wrapper, and the CLIs
+``python -m repro.ftl.lint`` / ``python -m repro.ftl.explain``.
 """
 
 from repro.ftl.analysis.analyzer import analyze_formula, analyze_query
+from repro.ftl.analysis.cost import CostEstimate, CostModel, drift_report
 from repro.ftl.analysis.diagnostics import (
     ERROR,
     INFO,
@@ -32,16 +41,24 @@ from repro.ftl.analysis.diagnostics import (
     FtlLintWarning,
 )
 from repro.ftl.analysis.fragment import FragmentInfo, incremental_blockers
+from repro.ftl.analysis.plan import EvalPlan, PlanNode, plan_formula, plan_query
 from repro.ftl.analysis.schema import SchemaInfo
 
 __all__ = [
     "analyze_query",
     "analyze_formula",
     "AnalysisResult",
+    "CostEstimate",
+    "CostModel",
     "Diagnostic",
+    "EvalPlan",
     "FtlLintWarning",
     "FragmentInfo",
+    "PlanNode",
+    "drift_report",
     "incremental_blockers",
+    "plan_formula",
+    "plan_query",
     "SchemaInfo",
     "RULES",
     "ERROR",

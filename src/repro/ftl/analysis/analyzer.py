@@ -1,16 +1,20 @@
 """The multi-pass static analyzer over the FTL AST.
 
 Runs, in order: binding/scope (FTL1xx), sort checking (FTL2xx), safety /
-range restriction (FTL3xx), fragment classification (FTL4xx) and lints
-(FTL5xx).  Passes are independent walks — a failure in one never hides
-findings of another — and the result aggregates every diagnostic sorted
-by source position.
+range restriction (FTL3xx), fragment classification (FTL4xx), lints
+(FTL5xx) and plan/cost analysis (FTL6xx — the formula is lowered to an
+evaluation plan and its abstract cost interpretation flags cross-product
+conjunctions, domain-complement blowups, unbounded ``Until`` enumeration
+and repeated subformulas).  Passes are independent walks — a failure in
+one never hides findings of another — and the result aggregates every
+diagnostic sorted by source position.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import FtlSemanticsError
 from repro.ftl.analysis.diagnostics import AnalysisResult, make
 from repro.ftl.analysis.fragment import classify
 from repro.ftl.analysis.lints import check_lints
@@ -40,7 +44,24 @@ def analyze_formula(
     result.fragment = fragment
     result.diagnostics.extend(fragment_diags)
     result.diagnostics.extend(check_lints(formula))
+    result.diagnostics.extend(_plan_lints(formula, bindings))
     return result.sorted()
+
+
+def _plan_lints(formula: Formula, bindings: dict[str, str]) -> list:
+    """Pass 6: lower to an evaluation plan and collect FTL6xx findings.
+
+    Lowering fails only on constructs no evaluator supports — those are
+    already reported as FTL304 by the safety pass, so failures here are
+    silently skipped rather than double-reported.
+    """
+    from repro.ftl.analysis.plan import plan_formula
+
+    try:
+        plan = plan_formula(formula, bindings=bindings)
+    except FtlSemanticsError:
+        return []
+    return list(plan.diagnostics)
 
 
 def analyze_query(query: "FtlQuery", schema=None) -> AnalysisResult:

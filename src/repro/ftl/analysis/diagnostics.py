@@ -65,6 +65,17 @@ RULES: dict[str, tuple[str, str]] = {
     "FTL502": (ERROR, "negative temporal bound"),
     "FTL503": (WARNING, "constant-foldable comparison"),
     "FTL504": (WARNING, "vacuous Until operand"),
+    # -- pass 6: plan & cost analysis ----------------------------------
+    "FTL601": (WARNING, "conjunction joins disjoint variable sets "
+                        "(cross product)"),
+    "FTL602": (WARNING, "negation complements over the full domain "
+                        "product of several variables"),
+    "FTL603": (INFO, "unbounded Until outer-enumerates left-side "
+                     "variables missing from its right side"),
+    "FTL604": (INFO, "structurally identical subformula occurs more "
+                     "than once; the plan shares one evaluation"),
+    "FTL605": (WARNING, "derived-operator rewrite rule is quarantined "
+                        "as unsound"),
 }
 
 

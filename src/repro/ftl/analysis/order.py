@@ -1,0 +1,102 @@
+"""Cost-based ordering of commutative operands.
+
+Conjunction and independent assignment-quantifier chains are the two
+commutative constructs of the appendix algorithm; this module picks their
+evaluation order from the static estimates of ``cost.py``:
+
+* :func:`order_conjuncts` — greedy System R-style join ordering: start
+  from the operand with the fewest estimated tuples, then repeatedly add
+  the operand minimising the estimated size of the accumulated join,
+  preferring operands *connected* (sharing a variable) to what has been
+  joined so far.  Cheapest-most-selective-first both shrinks intermediate
+  joins and lets the evaluator's empty-guard skip expensive conjuncts
+  entirely when an early operand's relation is empty.
+* :func:`order_assignments` — independent ``[x := q]`` links nest with
+  the narrowest estimated value domain innermost, shrinking the inner
+  body join first.
+
+Both are pure index permutations over pre-computed ``(free-variable set,
+estimate)`` entries; ``plan.py`` applies them to the AST.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.ftl.analysis.cost import CostEstimate, domain_product
+
+Entry = tuple[frozenset, CostEstimate]
+
+
+def connected_components(var_sets: Iterable[frozenset]) -> list[set]:
+    """Connected components of the variable-sharing graph.
+
+    Only non-empty variable sets participate (variable-free operands are
+    constant filters, not join operands).  More than one component means
+    the conjunction is an inherent cross product — no ordering avoids it
+    (rule FTL601).
+    """
+    components: list[set] = []
+    for vs in var_sets:
+        if not vs:
+            continue
+        touching = [c for c in components if c & vs]
+        merged = set(vs)
+        for c in touching:
+            merged |= c
+            components.remove(c)
+        components.append(merged)
+    return components
+
+
+def order_conjuncts(
+    entries: Sequence[Entry], widths: Mapping[str, float]
+) -> list[int]:
+    """Greedy join order over conjuncts: a permutation of ``range(len))``.
+
+    Deterministic: ties break on estimated cost, then original position
+    (so syntactically equal plans come out identical run to run).
+    """
+    n = len(entries)
+    if n <= 1:
+        return list(range(n))
+    remaining = set(range(n))
+
+    def start_key(i: int) -> tuple:
+        _vs, e = entries[i]
+        return (e.tuples, e.cost, i)
+
+    first = min(remaining, key=start_key)
+    order = [first]
+    remaining.discard(first)
+    vars_acc: set = set(entries[first][0])
+    sel_acc = entries[first][1].selectivity
+
+    while remaining:
+        connected = [
+            i for i in remaining
+            if not entries[i][0] or (entries[i][0] & vars_acc)
+        ]
+        pool = connected if connected else sorted(remaining)
+
+        def growth_key(i: int) -> tuple:
+            vs, e = entries[i]
+            joined = sel_acc * e.selectivity * domain_product(
+                vars_acc | set(vs), widths
+            )
+            return (joined, e.cost, i)
+
+        nxt = min(pool, key=growth_key)
+        order.append(nxt)
+        remaining.discard(nxt)
+        vars_acc |= set(entries[nxt][0])
+        sel_acc *= entries[nxt][1].selectivity
+    return order
+
+
+def order_assignments(value_widths: Sequence[float]) -> list[int]:
+    """Nesting order for an independent assignment chain, outermost
+    first: widest estimated value domain outermost, narrowest innermost."""
+    return sorted(
+        range(len(value_widths)), key=lambda i: (-value_widths[i], i)
+    )

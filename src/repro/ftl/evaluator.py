@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from itertools import product
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import FtlSemanticsError
 from repro.ftl.ast import (
@@ -79,6 +79,9 @@ from repro.temporal import (
     until_within,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.analysis.plan import EvalPlan
+
 _CMP = {
     "=": lambda a, b: a == b,
     "!=": lambda a, b: a != b,
@@ -97,6 +100,7 @@ class IntervalEvaluator:
         ctx: EvalContext,
         analytic_atoms: bool = True,
         trace: dict[int, FtlRelation] | None = None,
+        plan: "EvalPlan | None" = None,
     ) -> None:
         self.ctx = ctx
         #: When False, every atom is evaluated by per-tick sampling instead
@@ -107,6 +111,11 @@ class IntervalEvaluator:
         #: ``id(subformula)`` — the per-subformula cache that incremental
         #: continuous-query maintenance patches on later updates.
         self.trace = trace
+        #: Cost-ordered evaluation plan; :meth:`evaluate` swaps the
+        #: syntactic formula for the plan's reordered tree, and
+        #: subformulas the plan marked shared are evaluated once.
+        self.plan = plan
+        self._shared_memo: dict[int, FtlRelation] = {}
         #: Count of per-tick atom evaluations (benchmark instrumentation).
         self.sampled_atom_evals = 0
         #: Count of kinetic (closed-form) atom solves.
@@ -115,11 +124,20 @@ class IntervalEvaluator:
     # ------------------------------------------------------------------
     def evaluate(self, formula: Formula) -> FtlRelation:
         """Compute ``R_formula``."""
+        if self.plan is not None:
+            formula = self.plan.resolve(formula)
         return self._eval(formula)
 
     # ------------------------------------------------------------------
     def _eval(self, f: Formula) -> FtlRelation:
+        shared = self.plan is not None and id(f) in self.plan.shared_ids
+        if shared:
+            hit = self._shared_memo.get(id(f))
+            if hit is not None:
+                return hit
         relation = self._eval_node(f)
+        if shared:
+            self._shared_memo[id(f)] = relation
         if self.trace is not None:
             self.trace[id(f)] = relation
         return relation
@@ -128,7 +146,14 @@ class IntervalEvaluator:
         if isinstance(f, (Compare, Inside, Outside, WithinSphere)):
             return self._atom(f)
         if isinstance(f, AndF):
-            return self._conjunction(self._eval(f.left), self._eval(f.right))
+            r1 = self._eval(f.left)
+            if not r1 and self.trace is None:
+                # Empty guard: the conjunction is empty whatever the right
+                # side holds, so skip evaluating it entirely.  (With a
+                # trace, every subformula's relation must be recorded for
+                # incremental maintenance, so no short-circuit.)
+                return FtlRelation(tuple(sorted(f.free_vars())))
+            return self._conjunction(r1, self._eval(f.right))
         if isinstance(f, OrF):
             return self._disjunction(f)
         if isinstance(f, NotF):

@@ -1,0 +1,207 @@
+"""EXPLAIN for FTL queries: print the cost-annotated evaluation plan.
+
+Usage::
+
+    python -m repro.ftl.explain [--json] [--no-order] [--expand]
+        [--class-size N] [--horizon N] query-file [query-file ...]
+
+For each file (one ``RETRIEVE ... FROM ... WHERE ...`` query; ``--``
+comment lines ignored) the query is parsed, statically analyzed, lowered
+to the evaluation-plan IR of :mod:`repro.ftl.analysis.plan`, and the
+annotated operator tree is printed — per node: the operator kind, the
+evaluator routine that implements it, free variables, and the static
+cardinality/cost bounds.  ``[reordered]`` marks nodes whose operand
+order the cost-based orderer changed; ``[shared]`` marks hash-consed
+subformulas evaluated once and cached.
+
+``--no-order`` shows the plan in syntactic order (for before/after
+comparison), ``--expand`` first rewrites derived temporal operators into
+Until/Nexttime form (section 3.3), and ``--class-size``/``--horizon``
+set the schema-less cost model's population and horizon assumptions.
+
+Exit status is 1 when any file fails to parse or has error-severity
+diagnostics (no plan can be built), else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import FtlSemanticsError, FtlSyntaxError
+from repro.ftl.analysis.cost import CostModel
+from repro.ftl.lint import strip_comments
+from repro.ftl.parser import parse_query
+from repro.ftl.query import FtlQuery
+
+
+def explain_query(
+    query: FtlQuery,
+    order: bool = True,
+    expand: bool = False,
+    model: CostModel | None = None,
+) -> dict:
+    """Build the JSON explain report for one parsed query."""
+    if expand:
+        from repro.ftl.rewrite import expand as expand_formula
+
+        query = FtlQuery(
+            targets=query.targets,
+            bindings=query.bindings,
+            where=expand_formula(query.where),
+        )
+    analysis = query.analyze()
+    report: dict = {
+        "ok": analysis.ok,
+        "targets": list(query.targets),
+        "bindings": dict(query.bindings),
+        "diagnostics": [d.to_json() for d in analysis.diagnostics],
+    }
+    if not analysis.ok:
+        return report
+    try:
+        plan = query.plan_for(order=order, model=model)
+    except FtlSemanticsError as exc:
+        report["ok"] = False
+        report["diagnostics"].append(
+            {"code": "plan", "severity": "error", "message": str(exc)}
+        )
+        return report
+    report["plan"] = plan.to_json()
+    report["_render"] = plan.render()
+    return report
+
+
+def explain_file(
+    path: str,
+    order: bool = True,
+    expand: bool = False,
+    model: CostModel | None = None,
+) -> dict:
+    """Explain one query file; returns its JSON report."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        return {
+            "file": path,
+            "ok": False,
+            "diagnostics": [
+                {"code": "syntax", "severity": "error", "message": str(exc)}
+            ],
+        }
+    try:
+        query = parse_query(strip_comments(text))
+    except (FtlSyntaxError, FtlSemanticsError) as exc:
+        return {
+            "file": path,
+            "ok": False,
+            "diagnostics": [
+                {"code": "syntax", "severity": "error", "message": str(exc)}
+            ],
+        }
+    report = explain_query(query, order=order, expand=expand, model=model)
+    report["file"] = path
+    return report
+
+
+def _print_human(report: dict) -> None:
+    print(f"== {report['file']} ==")
+    if not report["ok"]:
+        for diag in report["diagnostics"]:
+            print(f"  error[{diag['code']}]: {diag['message']}")
+        return
+    bindings = ", ".join(
+        f"{cls} {var}" for var, cls in report["bindings"].items()
+    )
+    print(f"RETRIEVE {', '.join(report['targets'])} FROM {bindings}")
+    plan = report["plan"]
+    total = plan["total"]
+    print(
+        f"plan: ~{total['tuples']:g} rows, cost {total['cost']:g}"
+        + (", reordered" if plan["reordered"] else "")
+        + (
+            f", {plan['shared_subformulas']} shared subformula(s)"
+            if plan["shared_subformulas"]
+            else ""
+        )
+    )
+    print(report["_render"])
+    for diag in plan["diagnostics"]:
+        print(f"  {diag['severity']}[{diag['code']}]: {diag['message']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ftl.explain",
+        description="Print the cost-annotated evaluation plan of FTL "
+        "query files.",
+    )
+    parser.add_argument("files", nargs="+", help="FTL query files")
+    parser.add_argument(
+        "--json", action="store_true", help="emit one JSON report per file"
+    )
+    parser.add_argument(
+        "--no-order",
+        action="store_true",
+        help="keep the syntactic operand order (skip the cost-based "
+        "orderer)",
+    )
+    parser.add_argument(
+        "--expand",
+        action="store_true",
+        help="rewrite derived temporal operators into Until/Nexttime "
+        "form before planning",
+    )
+    parser.add_argument(
+        "--class-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="assumed population per object class (default 8)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="N",
+        help="assumed evaluation horizon in ticks (default 32)",
+    )
+    opts = parser.parse_args(argv)
+
+    model = None
+    if opts.class_size is not None or opts.horizon is not None:
+        kwargs: dict = {}
+        if opts.class_size is not None:
+            kwargs["default_class_size"] = max(1, opts.class_size)
+        if opts.horizon is not None:
+            kwargs["horizon"] = max(0, opts.horizon)
+        model = CostModel(**kwargs)
+
+    status = 0
+    reports = []
+    for path in opts.files:
+        report = explain_file(
+            path, order=not opts.no_order, expand=opts.expand, model=model
+        )
+        reports.append(report)
+        if not report["ok"]:
+            status = 1
+
+    if opts.json:
+        for report in reports:
+            report.pop("_render", None)
+        print(json.dumps(reports, indent=2))
+        return status
+
+    for i, report in enumerate(reports):
+        if i:
+            print()
+        _print_human(report)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,7 @@ from repro.temporal import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.history import History
+    from repro.ftl.analysis.plan import EvalPlan
     from repro.ftl.query import FtlQuery
 
 _ATOMS = (Compare, Inside, Outside, WithinSphere)
@@ -123,17 +124,21 @@ def evaluate_with_cache(
     history: "History",
     horizon: int,
     analytic_atoms: bool = True,
+    plan: "EvalPlan | None" = None,
 ) -> tuple[FtlRelation, QueryCache, IntervalEvaluator]:
     """Full appendix evaluation that also captures the subformula cache.
 
     Returns the *unprojected* ``R_f`` (the continuous query projects onto
     its targets lazily), the populated :class:`QueryCache`, and the
-    evaluator (for its instrumentation counters).
+    evaluator (for its instrumentation counters).  With a ``plan``, the
+    cost-ordered formula tree is evaluated and cached — later incremental
+    refreshes must then patch the *ordered* tree (the plan owner keeps it
+    alive; see :class:`~repro.core.queries.ContinuousQuery`).
     """
     ctx = EvalContext(history, horizon, query.bindings)
     cache = QueryCache()
     evaluator = IntervalEvaluator(
-        ctx, analytic_atoms=analytic_atoms, trace=cache.relations
+        ctx, analytic_atoms=analytic_atoms, trace=cache.relations, plan=plan
     )
     relation = evaluator.evaluate(query.where)
     return relation, cache, evaluator
@@ -155,8 +160,9 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         cache: QueryCache,
         dirty_objects: Iterable[object],
         analytic_atoms: bool = True,
+        plan: "EvalPlan | None" = None,
     ) -> None:
-        super().__init__(ctx, analytic_atoms=analytic_atoms)
+        super().__init__(ctx, analytic_atoms=analytic_atoms, plan=plan)
         self.cache = cache
         self.dirty_values = frozenset(dirty_objects)
         self._clean_domain: dict[str, list[object]] = {}
@@ -172,6 +178,8 @@ class PartialIntervalEvaluator(IntervalEvaluator):
     # ------------------------------------------------------------------
     def refresh(self, formula: Formula) -> FtlRelation:
         """Patch every cached ``R_g`` and return the refreshed ``R_f``."""
+        if self.plan is not None:
+            formula = self.plan.resolve(formula)
         self._delta(formula)
         return self.cache.relations[id(formula)]
 

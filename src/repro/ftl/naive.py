@@ -15,6 +15,7 @@ postpones) are evaluated through it.
 from __future__ import annotations
 
 from itertools import product
+from typing import TYPE_CHECKING
 
 from repro.errors import FtlSemanticsError
 from repro.ftl.ast import (
@@ -41,6 +42,9 @@ from repro.ftl.relations import FtlRelation
 from repro.spatial.predicates import within_a_sphere
 from repro.temporal import DISCRETE, IntervalSet
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.analysis.plan import EvalPlan
+
 _CMP = {
     "=": lambda a, b: a == b,
     "!=": lambda a, b: a != b,
@@ -54,14 +58,21 @@ _CMP = {
 class NaiveEvaluator:
     """Per-state evaluation with memoisation on (formula, env, tick)."""
 
-    def __init__(self, ctx: EvalContext) -> None:
+    def __init__(
+        self, ctx: EvalContext, plan: "EvalPlan | None" = None
+    ) -> None:
         self.ctx = ctx
+        #: Cost-ordered plan: the ordered conjunction tree short-circuits
+        #: selective conjuncts first under ``and``.
+        self.plan = plan
         self._memo: dict[tuple, bool] = {}
 
     # ------------------------------------------------------------------
     def evaluate(self, formula: Formula) -> FtlRelation:
         """The relation of all instantiations of the formula's free object
         variables, each with its set of satisfying ticks."""
+        if self.plan is not None:
+            formula = self.plan.resolve(formula)
         free = sorted(formula.free_vars())
         for var in free:
             if not self.ctx.is_object_var(var):

@@ -19,6 +19,9 @@ from repro.ftl.relations import FtlRelation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.history import History
+    from repro.ftl.analysis import AnalysisResult
+    from repro.ftl.analysis.cost import CostEstimate, CostModel
+    from repro.ftl.analysis.plan import EvalPlan
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,8 @@ class FtlQuery:
         history: "History",
         horizon: int,
         method: str = "interval",
+        ordered: bool = True,
+        plan: "EvalPlan | None" = None,
     ) -> FtlRelation:
         """Compute the full ``R_f`` relation, projected onto the targets.
 
@@ -87,16 +92,23 @@ class FtlQuery:
             horizon: the expiration horizon (section 2.3) in ticks.
             method: ``"interval"`` for the appendix algorithm,
                 ``"naive"`` for the per-state reference semantics.
+            ordered: evaluate through a cost-ordered plan (built here from
+                the history's class populations) instead of syntactic
+                operand order; answers are identical either way.
+            plan: a pre-built :class:`~repro.ftl.analysis.plan.EvalPlan`
+                to reuse (overrides ``ordered``).
         """
-        return self.evaluate_full(history, horizon, method=method).project(
-            self.targets
-        )
+        return self.evaluate_full(
+            history, horizon, method=method, ordered=ordered, plan=plan
+        ).project(self.targets)
 
     def evaluate_full(
         self,
         history: "History",
         horizon: int,
         method: str = "interval",
+        ordered: bool = True,
+        plan: "EvalPlan | None" = None,
     ) -> FtlRelation:
         """The *unprojected* (but target-completed) ``R_f`` relation.
 
@@ -106,18 +118,56 @@ class FtlQuery:
         intervals were computed from — the dependency information
         staleness-aware degradation needs.
         """
+        if plan is None and ordered:
+            try:
+                plan = self.plan_for(history=history, horizon=horizon)
+            except FtlSemanticsError:
+                plan = None
         ctx = EvalContext(history, horizon, self.bindings)
         if method == "interval":
             from repro.ftl.evaluator import IntervalEvaluator
 
-            relation = IntervalEvaluator(ctx).evaluate(self.where)
+            relation = IntervalEvaluator(ctx, plan=plan).evaluate(self.where)
         elif method == "naive":
             from repro.ftl.naive import NaiveEvaluator
 
-            relation = NaiveEvaluator(ctx).evaluate(self.where)
+            relation = NaiveEvaluator(ctx, plan=plan).evaluate(self.where)
         else:
             raise FtlSemanticsError(f"unknown method {method!r}")
         return self._complete(relation, ctx)
+
+    def plan_for(
+        self,
+        history: "History | None" = None,
+        horizon: int | None = None,
+        order: bool = True,
+        model: "CostModel | None" = None,
+    ) -> "EvalPlan":
+        """Lower the WHERE clause to a cost-annotated evaluation plan.
+
+        With a ``history``, the cost model's class populations are the
+        real ones; otherwise the schema-less defaults apply (good enough
+        for ordering, per the calibration tests).
+        """
+        from repro.ftl.analysis.cost import CostModel
+        from repro.ftl.analysis.plan import plan_query
+
+        if model is None:
+            kwargs: dict = {}
+            if history is not None:
+                from repro.errors import SchemaError
+
+                sizes: dict[str, int] = {}
+                for cls in set(self.bindings.values()):
+                    try:
+                        sizes[cls] = len(history.object_ids(cls))
+                    except SchemaError:
+                        continue
+                kwargs["class_sizes"] = sizes
+            if horizon is not None:
+                kwargs["horizon"] = max(0, int(horizon))
+            model = CostModel(**kwargs)
+        return plan_query(self, model=model, order=order)
 
     def analyze(self, schema=None) -> "AnalysisResult":
         """Run the static analyzer over this query.
@@ -149,17 +199,67 @@ class FtlQuery:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass
 class CompiledQuery:
-    """A parsed query together with its static-analysis result."""
+    """A parsed query together with its static-analysis result and plan.
+
+    ``plan`` is the cost-ordered evaluation plan built against the
+    compiler's schema (``None`` when analysis failed or the formula
+    cannot be lowered); ``drift`` is filled by
+    :meth:`evaluate` with ``record_relations=True`` — per plan node, the
+    observed ``|R_g|`` vs the static estimate (the calibration signal).
+    """
 
     query: FtlQuery
     analysis: "AnalysisResult"
+    plan: "EvalPlan | None" = None
+    drift: list[dict] | None = None
 
     @property
     def diagnostics(self):
         """The analyzer's diagnostics (errors, warnings and infos)."""
         return self.analysis.diagnostics
+
+    @property
+    def estimates(self) -> "dict[str, CostEstimate]":
+        """Per-plan-node cost estimates keyed by plan path."""
+        if self.plan is None:
+            return {}
+        return self.plan.estimates
+
+    def evaluate(
+        self,
+        history: "History",
+        horizon: int,
+        method: str = "interval",
+        record_relations: bool = False,
+    ) -> FtlRelation:
+        """Evaluate the compiled query (projected onto its targets).
+
+        With ``record_relations``, the interval evaluator traces every
+        per-subformula relation ``R_g`` and :attr:`drift` is populated
+        with observed-vs-estimated sizes per plan node (``method`` must
+        be ``"interval"`` — only the appendix algorithm materialises
+        per-subformula relations).
+        """
+        if not record_relations:
+            return self.query.evaluate(history, horizon, method=method)
+        if method != "interval":
+            raise FtlSemanticsError(
+                "record_relations requires the interval method"
+            )
+        from repro.ftl.analysis.cost import drift_report
+        from repro.ftl.evaluator import IntervalEvaluator
+
+        plan = self.query.plan_for(history=history, horizon=horizon)
+        ctx = EvalContext(history, horizon, self.query.bindings)
+        trace: dict[int, FtlRelation] = {}
+        relation = IntervalEvaluator(ctx, trace=trace, plan=plan).evaluate(
+            self.query.where
+        )
+        self.drift = drift_report(plan, trace)
+        relation = self.query._complete(relation, ctx)
+        return relation.project(self.query.targets)
 
 
 class QueryCompiler:
@@ -197,7 +297,13 @@ class QueryCompiler:
         if self.strict:
             analysis.raise_on_error()
         analysis.warn_on_lints()
-        return CompiledQuery(query=query, analysis=analysis)
+        plan = None
+        if analysis.ok:
+            try:
+                plan = query.plan_for()
+            except FtlSemanticsError:
+                plan = None
+        return CompiledQuery(query=query, analysis=analysis, plan=plan)
 
 
 def compile_query(

@@ -1,0 +1,6 @@
+-- Plan-level lints (pass 6): the two conjuncts share no variable, so
+-- the conjunction is an inherent cross product (FTL601), and the outer
+-- negation complements over both variables' domain product (FTL602).
+RETRIEVE c
+FROM cars c, trucks t
+WHERE NOT (INSIDE(c, P) AND INSIDE(t, P))

@@ -1,0 +1,161 @@
+"""Tests for the ``python -m repro.ftl.explain`` command-line interface.
+
+The golden files under ``golden/explain/`` pin the CLI's user-visible
+contract for the shipped example queries — the rendered plan tree and
+the ``--json`` report.  To regenerate after an intentional change::
+
+    PYTHONPATH=src python tests/ftl/test_explain_cli.py --update
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ftl.explain import explain_file, main
+
+EXAMPLES = sorted(
+    (Path(__file__).parents[2] / "examples" / "queries").glob("*.ftl")
+)
+GOLDEN_DIR = Path(__file__).parent / "golden" / "explain"
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def normalized_report(path: Path) -> dict:
+    """The JSON report with the machine-specific file path relativized."""
+    report = explain_file(str(path))
+    report["file"] = path.name
+    return report
+
+
+class TestMain:
+    def test_examples_explain_cleanly(self, capsys):
+        assert main([str(p) for p in EXAMPLES]) == 0
+        out = capsys.readouterr().out
+        for p in EXAMPLES:
+            assert f"== {p} ==" in out
+        assert "cost" in out
+
+    def test_json_output_is_valid(self, capsys):
+        assert main(["--json"] + [str(p) for p in EXAMPLES]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == len(EXAMPLES)
+        for report in reports:
+            assert report["ok"]
+            assert report["plan"]["total"]["cost"] > 0
+            assert "_render" not in report
+
+    def test_syntax_error_exits_one(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.ftl", "RETRIEVE o FROM\n")
+        assert main([path]) == 1
+        assert "error[syntax]" in capsys.readouterr().out
+
+    def test_analysis_error_exits_one(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "bad.ftl",
+            "RETRIEVE o FROM cars o WHERE o.x_position / 0 > 1\n",
+        )
+        assert main([path]) == 1
+        assert "FTL301" in capsys.readouterr().out
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.ftl")]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_no_order_shows_syntactic_plan(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "q.ftl",
+            "RETRIEVE c FROM cars c, vans v, vans w\n"
+            "WHERE DIST(c, v) <= 4 AND DIST(v, w) <= 4 AND c.price <= 3\n",
+        )
+        assert main([path]) == 0
+        ordered = capsys.readouterr().out
+        assert main(["--no-order", path]) == 0
+        syntactic = capsys.readouterr().out
+        assert "[reordered]" in ordered
+        assert "[reordered]" not in syntactic
+        assert ordered != syntactic
+
+    def test_expand_rewrites_derived_operators(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "q.ftl",
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY WITHIN 8 INSIDE(o, P)\n",
+        )
+        assert main(["--expand", path]) == 0
+        out = capsys.readouterr().out
+        assert "until-chain-merge" in out
+        assert "eventually-within" not in out
+
+    def test_class_size_and_horizon_scale_costs(self, capsys):
+        path = str(EXAMPLES[0])
+        assert main(["--class-size", "2", "--horizon", "4", path]) == 0
+        small = capsys.readouterr().out
+        assert main(["--class-size", "64", "--horizon", "64", path]) == 0
+        large = capsys.readouterr().out
+        assert small != large
+
+    def test_diagnostics_printed_under_plan(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "q.ftl",
+            "RETRIEVE c FROM cars c, vans v\n"
+            "WHERE INSIDE(c, P) AND INSIDE(v, P)\n",
+        )
+        assert main([path]) == 0
+        assert "warning[FTL601]" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_golden_explain_json(example):
+    expected = json.loads(
+        (GOLDEN_DIR / f"{example.stem}.json").read_text()
+    )
+    assert normalized_report(example) == expected
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_golden_explain_render(example):
+    expected = (GOLDEN_DIR / f"{example.stem}.txt").read_text()
+    assert normalized_report(example)["_render"] + "\n" == expected
+
+
+def test_module_entry_point():
+    """``python -m repro.ftl.explain`` runs as a module."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.ftl.explain", str(EXAMPLES[0])],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "plan:" in result.stdout
+
+
+def _update() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for example in EXAMPLES:
+        report = normalized_report(example)
+        render = report.pop("_render")
+        (GOLDEN_DIR / f"{example.stem}.txt").write_text(render + "\n")
+        report["_render"] = render
+        (GOLDEN_DIR / f"{example.stem}.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+        print(f"updated {GOLDEN_DIR / example.stem}.{{txt,json}}")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(__doc__)

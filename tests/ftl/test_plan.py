@@ -1,0 +1,482 @@
+"""Tests of the evaluation-plan IR, the cost model and the orderer.
+
+Covers lowering (one operator node per subformula, correct op kinds),
+the cost-based conjunct/assignment orderer, plan-level FTL6xx
+diagnostics, subformula sharing, and the ``CompiledQuery`` surface
+(``.plan`` / ``.estimates`` / drift recording).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import FutureHistory, MostDatabase, ObjectClass
+from repro.errors import FtlSemanticsError
+from repro.ftl import (
+    AndF,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    EventuallyWithin,
+    Inside,
+    OrF,
+    Var,
+    compile_query,
+    parse_formula,
+    parse_query,
+    plan_formula,
+    plan_query,
+)
+from repro.ftl.analysis.cost import CostModel
+from repro.ftl.analysis.order import connected_components, order_conjuncts
+from repro.ftl.analysis.plan import (
+    ATOM_SCAN,
+    COMPARE,
+    COMPLEMENT,
+    INTERSECT_JOIN,
+    INTERVAL_MAP,
+    PROJECT,
+    UNION,
+    UNTIL_MERGE,
+)
+from repro.geometry import Point
+from repro.spatial import Polygon
+
+from tests.ftl.test_analysis_properties import build_db, formulas
+
+BINDINGS = {"c": "cars", "v": "vans", "w": "vans"}
+
+
+def plan_of(text, order=True, bindings=BINDINGS, model=None):
+    return plan_formula(
+        parse_formula(text), bindings=bindings, model=model, order=order
+    )
+
+
+def codes(plan):
+    return [d.code for d in plan.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# Lowering: op kinds, totality, paths
+# ---------------------------------------------------------------------------
+
+
+class TestLowering:
+    def test_op_kinds_per_node(self):
+        plan = plan_of(
+            "[m := c.x_position] (INSIDE(c, P) AND NOT INSIDE(v, P) "
+            "OR (c.price <= 3 UNTIL v.x_position > m))"
+        )
+        ops = {node.op for _p, node in plan.nodes_with_paths()}
+        assert ops == {
+            PROJECT, UNION, INTERSECT_JOIN, COMPLEMENT, UNTIL_MERGE,
+            ATOM_SCAN, COMPARE,
+        }
+
+    def test_interval_map_kinds(self):
+        plan = plan_of("EVENTUALLY WITHIN 8 INSIDE(c, P)")
+        assert plan.root.op == INTERVAL_MAP
+        assert plan.root.detail == "eventually-within 8"
+        assert plan.root.children[0].op == ATOM_SCAN
+
+    def test_every_node_names_a_routine_and_estimate(self):
+        plan = plan_of(
+            "(ALWAYS FOR 4 c.x_position <= 9) UNTIL WITHIN 6 INSIDE(v, Q)"
+        )
+        for _path, node in plan.nodes_with_paths():
+            assert node.routine.startswith(("IntervalEvaluator.", "FtlRelation."))
+            assert node.estimate.tuples >= 0
+            assert node.estimate.cost > 0
+
+    def test_paths_are_stable_tree_addresses(self):
+        plan = plan_of("INSIDE(c, P) AND c.price <= 3")
+        paths = [p for p, _n in plan.nodes_with_paths()]
+        assert paths[0] == "root"
+        assert set(paths[1:]) == {"root.0", "root.1"}
+        assert set(plan.estimates) == set(paths)
+
+    def test_unchanged_formula_is_reused_by_identity(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE EVENTUALLY INSIDE(o, P)"
+        )
+        plan = plan_query(q)
+        assert plan.ordered_where is q.where
+        assert plan.resolve(q.where) is q.where
+
+    def test_resolve_swaps_only_the_root(self):
+        q = parse_query(
+            "RETRIEVE c FROM cars c, vans v, vans w "
+            "WHERE DIST(c, v) <= 4 AND DIST(v, w) <= 4 AND c.price <= 3"
+        )
+        plan = plan_query(q)
+        assert plan.reordered
+        assert plan.resolve(q.where) is plan.ordered_where
+        other = parse_formula("INSIDE(c, P)")
+        assert plan.resolve(other) is other
+
+    def test_ordered_conjunction_stays_left_deep_binary(self):
+        plan = plan_of(
+            "DIST(c, v) <= 4 AND DIST(v, w) <= 4 AND c.price <= 3"
+        )
+        f = plan.ordered_where
+        assert isinstance(f, AndF)
+        assert isinstance(f.left, AndF)
+        assert not isinstance(f.right, AndF)
+
+
+# ---------------------------------------------------------------------------
+# Ordering
+# ---------------------------------------------------------------------------
+
+
+class TestOrdering:
+    def test_selective_cheap_conjunct_first(self):
+        plan = plan_of(
+            "DIST(c, v) <= 4 AND DIST(v, w) <= 4 AND c.price <= 3"
+        )
+        first = plan.root.children[0]
+        assert str(first.formula) == "c.price <= 3"
+        assert plan.root.reordered
+        assert plan.reordered
+
+    def test_growth_prefers_connected_conjuncts(self):
+        # price(c) starts; DIST(c,v) shares c so it must precede
+        # DIST(v,w) even though both distance atoms cost the same.
+        plan = plan_of(
+            "DIST(v, w) <= 4 AND DIST(c, v) <= 4 AND c.price <= 3"
+        )
+        order = [str(n.formula) for n in plan.root.children]
+        assert order == [
+            "c.price <= 3", "DIST(c, v) <= 4", "DIST(v, w) <= 4",
+        ]
+
+    def test_no_order_keeps_syntactic_sequence(self):
+        plan = plan_of(
+            "DIST(c, v) <= 4 AND DIST(v, w) <= 4 AND c.price <= 3",
+            order=False,
+        )
+        assert not plan.ordered
+        assert not plan.reordered
+        order = [str(n.formula) for n in plan.root.children]
+        assert order[0] == "DIST(c, v) <= 4"
+
+    def test_ordering_is_deterministic(self):
+        text = "DIST(v, w) <= 4 AND c.price <= 3 AND DIST(c, v) <= 4"
+        a = plan_of(text).render()
+        b = plan_of(text).render()
+        assert a == b
+
+    def test_independent_assignment_chain_nests_widest_outermost(self):
+        f = Assign(
+            "m",
+            Const(3),
+            Assign(
+                "n",
+                Attr(Var("c"), "x_position"),
+                AndF(
+                    Compare("<=", Attr(Var("c"), "x_position"), Var("m")),
+                    Compare("<=", Attr(Var("v"), "x_position"), Var("n")),
+                ),
+            ),
+        )
+        plan = plan_formula(f, bindings=BINDINGS)
+        assert plan.root.op == PROJECT
+        # The time-varying (wide) binding moves outermost; the constant
+        # (width-1) binding nests innermost.
+        assert plan.root.detail == "[n := c.x_position]"
+        assert plan.root.children[0].detail == "[m := 3]"
+        assert plan.root.reordered
+
+    def test_dependent_assignment_chain_is_never_reordered(self):
+        f = Assign(
+            "m",
+            Const(3),
+            Assign(
+                "n",
+                Var("m"),  # depends on the outer binding
+                Compare("<=", Attr(Var("c"), "x_position"), Var("n")),
+            ),
+        )
+        plan = plan_formula(f, bindings=BINDINGS)
+        assert plan.root.detail == "[m := 3]"
+        assert not plan.reordered
+
+    def test_order_conjuncts_unit(self):
+        from repro.ftl.analysis.cost import CostEstimate
+
+        def est(tuples, cost, sel):
+            return CostEstimate(
+                tuples=tuples, intervals=1.0, cost=cost, selectivity=sel
+            )
+
+        widths = {"a": 10.0, "b": 10.0, "c": 10.0}
+        entries = [
+            (frozenset({"a", "b"}), est(50.0, 500.0, 0.5)),
+            (frozenset({"b", "c"}), est(50.0, 500.0, 0.5)),
+            (frozenset({"a"}), est(1.0, 10.0, 0.1)),
+        ]
+        assert order_conjuncts(entries, widths) == [2, 0, 1]
+
+    def test_connected_components_order_independent(self):
+        sets = [frozenset({"a"}), frozenset({"b"}), frozenset({"a", "b"})]
+        assert len(connected_components(sets)) == 1
+        assert len(connected_components(sets[:2])) == 2
+        # Variable-free conjuncts never split the graph.
+        assert len(connected_components([frozenset(), frozenset({"a"})])) == 1
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics FTL601-605
+# ---------------------------------------------------------------------------
+
+
+class TestPlanDiagnostics:
+    def test_ftl601_cross_product(self):
+        plan = plan_of("INSIDE(c, P) AND INSIDE(v, P)")
+        assert codes(plan) == ["FTL601"]
+
+    def test_ftl601_not_fired_when_connected(self):
+        plan = plan_of("INSIDE(c, P) AND DIST(c, v) <= 4")
+        assert "FTL601" not in codes(plan)
+
+    def test_ftl601_ignores_variable_free_conjuncts(self):
+        plan = plan_of("INSIDE(c, P) AND time <= 5")
+        assert "FTL601" not in codes(plan)
+
+    def test_ftl602_multi_variable_negation(self):
+        plan = plan_of("NOT DIST(c, v) <= 4")
+        assert codes(plan) == ["FTL602"]
+        assert "domain product" in plan.diagnostics[0].message
+
+    def test_ftl602_single_variable_negation_clean(self):
+        plan = plan_of("NOT INSIDE(c, P)")
+        assert codes(plan) == []
+
+    def test_ftl603_unbounded_until_with_extras(self):
+        plan = plan_of("DIST(c, v) <= 9 UNTIL INSIDE(c, P)")
+        assert codes(plan) == ["FTL603"]
+        assert "'v'" in plan.diagnostics[0].message
+
+    def test_ftl603_not_fired_when_bounded_or_covered(self):
+        assert codes(
+            plan_of("DIST(c, v) <= 9 UNTIL WITHIN 5 INSIDE(c, P)")
+        ) == []
+        assert codes(plan_of("INSIDE(c, P) UNTIL DIST(c, v) <= 9")) == []
+
+    def test_ftl604_shared_subformula(self):
+        plan = plan_of(
+            "(INSIDE(c, P) AND c.price <= 3) OR "
+            "(INSIDE(c, P) AND c.price >= 9)"
+        )
+        assert "FTL604" in codes(plan)
+        assert len(plan.shared_ids) == 1
+        shared = [n for _p, n in plan.nodes_with_paths() if n.shared]
+        assert [str(n.formula) for n in shared] == ["INSIDE(c, P)"]
+
+    def test_shared_nodes_disabled_inside_assignment_scope(self):
+        # v <= m is scope-dependent (m is assignment-bound): equal
+        # occurrences in different scopes must NOT be consed together.
+        f = parse_formula(
+            "([m := c.x_position] v.x_position <= m) AND "
+            "([m := c.y_position] v.x_position <= m)"
+        )
+        plan = plan_formula(f, bindings=BINDINGS)
+        assert plan.shared_ids == frozenset()
+
+    def test_ftl605_quarantined_rule(self, monkeypatch):
+        import repro.ftl.rewrite as rewrite
+
+        monkeypatch.setattr(
+            rewrite, "QUARANTINED", frozenset({"eventually-within"})
+        )
+        plan = plan_of("EVENTUALLY WITHIN 8 INSIDE(c, P)")
+        assert codes(plan) == ["FTL605"]
+        # expand() leaves the quarantined operator in place.
+        f = parse_formula("EVENTUALLY WITHIN 8 INSIDE(c, P)")
+        assert isinstance(rewrite.expand(f), EventuallyWithin)
+
+    def test_quarantine_is_empty(self):
+        """The soundness gate passes for every rule: nothing quarantined."""
+        from repro.ftl import quarantined_rules
+
+        assert quarantined_rules() == frozenset()
+
+    def test_diagnostics_flow_into_analyzer(self):
+        analysis = parse_query(
+            "RETRIEVE c FROM cars c, vans v "
+            "WHERE INSIDE(c, P) AND INSIDE(v, P)"
+        ).analyze()
+        assert "FTL601" in {d.code for d in analysis.diagnostics}
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+class TestRender:
+    def test_render_shows_markers_and_estimates(self):
+        plan = plan_of(
+            "DIST(c, v) <= 4 AND DIST(v, w) <= 4 AND c.price <= 3"
+        )
+        text = plan.render()
+        assert "[reordered]" in text
+        assert "intersect-join" in text
+        assert "cost" in text and "rows" in text
+
+    def test_render_marks_repeat_occurrences_of_shared_nodes(self):
+        plan = plan_of("INSIDE(c, P) OR INSIDE(c, P)")
+        text = plan.render()
+        assert "[shared]" in text
+        assert "(shared)" in text
+
+    def test_to_json_round_trips_through_json(self):
+        import json
+
+        plan = plan_of("EVENTUALLY WITHIN 8 INSIDE(c, P)")
+        blob = json.dumps(plan.to_json())
+        data = json.loads(blob)
+        assert data["root"]["op"] == INTERVAL_MAP
+        assert data["total"]["cost"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+
+class TestCostModel:
+    def test_class_sizes_scale_estimates(self):
+        small = plan_of(
+            "DIST(c, v) <= 4", model=CostModel(default_class_size=4)
+        )
+        large = plan_of(
+            "DIST(c, v) <= 4", model=CostModel(default_class_size=40)
+        )
+        assert large.total.tuples > small.total.tuples
+        assert large.total.cost > small.total.cost
+
+    def test_kinetic_atoms_cheaper_than_per_tick(self):
+        kinetic = plan_of("c.x_position <= 5")
+        per_tick = plan_of("c.fuel <= 5", bindings={"c": "cars"})
+        # fuel is not a kinetic-solvable spatial attribute under the
+        # schema-less model; x_position is.
+        assert kinetic.total.cost <= per_tick.total.cost
+
+    def test_equality_more_selective_than_inequality(self):
+        eq = plan_of("c.x_position = 5")
+        ne = plan_of("c.x_position != 5")
+        assert eq.total.selectivity < ne.total.selectivity
+
+    def test_plan_rejects_unsupported_nodes(self):
+        class Bogus(Compare):
+            pass
+
+        f = OrF(Inside(Var("c"), "P"), Inside(Var("c"), "P"))
+        object.__setattr__(f, "left", 3)  # corrupt to a non-formula
+        with pytest.raises((FtlSemanticsError, AttributeError, TypeError)):
+            plan_formula(f, bindings=BINDINGS)
+
+
+# ---------------------------------------------------------------------------
+# CompiledQuery surface: .plan, .estimates, drift
+# ---------------------------------------------------------------------------
+
+
+def build_db_with_vans() -> MostDatabase:
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass("cars", static_attributes=("price",), spatial_dimensions=2)
+    )
+    db.create_class(ObjectClass("vans", spatial_dimensions=2))
+    db.define_region("P", Polygon.rectangle(0, 0, 9, 9))
+    for i, x in enumerate((-4.0, 2.0, 7.0)):
+        db.add_moving_object(
+            "cars", f"c{i}", Point(x, 1.0), Point(1.0, 0.0),
+            static={"price": 30.0 * (i + 1)},
+        )
+    for i, x in enumerate((0.0, 5.0)):
+        db.add_moving_object(
+            "vans", f"v{i}", Point(x, 2.0), Point(-1.0, 0.0)
+        )
+    return db
+
+
+class TestCompiledQuery:
+    TEXT = (
+        "RETRIEVE c FROM cars c, vans v "
+        "WHERE DIST(c, v) <= 6 AND c.price <= 70"
+    )
+
+    def test_compile_attaches_plan_and_estimates(self):
+        db = build_db_with_vans()
+        compiled = compile_query(self.TEXT, schema=db)
+        assert compiled.plan is not None
+        assert compiled.plan.reordered
+        assert "root" in compiled.estimates
+        assert compiled.estimates["root"].cost > 0
+
+    def test_record_relations_populates_drift(self):
+        db = build_db_with_vans()
+        compiled = compile_query(self.TEXT, schema=db)
+        assert compiled.drift is None
+        result = compiled.evaluate(
+            FutureHistory(db), 10, record_relations=True
+        )
+        plain = compiled.query.evaluate(FutureHistory(db), 10)
+        assert dict(result.rows()) == dict(plain.rows())
+        assert compiled.drift, "drift report empty"
+        for row in compiled.drift:
+            assert set(row) >= {
+                "path", "op", "formula",
+                "estimated_tuples", "observed_tuples", "ratio",
+            }
+            assert row["observed_tuples"] >= 0
+        root = next(r for r in compiled.drift if r["path"] == "root")
+        assert root["ratio"] is None or root["ratio"] > 0
+
+    def test_record_relations_requires_interval_method(self):
+        db = build_db_with_vans()
+        compiled = compile_query(self.TEXT, schema=db)
+        with pytest.raises(FtlSemanticsError):
+            compiled.evaluate(
+                FutureHistory(db), 10, method="naive", record_relations=True
+            )
+
+    def test_plan_for_uses_history_populations(self):
+        db = build_db_with_vans()
+        query = parse_query(self.TEXT)
+        plan = query.plan_for(history=FutureHistory(db), horizon=10)
+        assert plan.model.class_sizes == {"cars": 3, "vans": 2}
+        assert plan.model.horizon == 10
+
+
+# ---------------------------------------------------------------------------
+# Property: lowering is total on analyzer-accepted formulas
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(formula=formulas(2))
+def test_plan_lowering_total_on_accepted_formulas(formula):
+    """Every formula the analyzer accepts lowers to a plan whose node set
+    covers every subformula occurrence and whose ordered tree evaluates
+    identically (spot-checked in test_plan_differential)."""
+    from repro.ftl import analyze_formula
+
+    db = build_db()
+    bindings = {"o": "cars", "n": "cars"}
+    assert analyze_formula(formula, bindings, schema=db).ok
+    plan = plan_formula(formula, bindings=bindings)
+    nodes = list(plan.nodes_with_paths())
+    assert nodes
+    assert plan.root.estimate.cost > 0
+    # Re-lowering the ordered tree is a fixpoint: already-ordered plans
+    # do not reorder again.
+    replan = plan_formula(plan.ordered_where, bindings=bindings)
+    assert str(replan.ordered_where) == str(plan.ordered_where)

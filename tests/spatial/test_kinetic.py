@@ -51,9 +51,19 @@ velocities = st.floats(
 ).map(lambda v: 0.0 if abs(v) < 1e-6 else v)
 
 
-def sample_check(iset: IntervalSet, predicate, window=WINDOW, n=400, slack=0.05):
+def sample_check(
+    iset: IntervalSet, predicate, window=WINDOW, n=400, slack=0.05,
+    margin=None,
+):
     """Every sampled time point must agree with the interval set, except
-    within ``slack`` of an interval boundary (closed-interval edge noise)."""
+    within ``slack`` of an interval boundary (closed-interval edge noise).
+
+    ``margin(t)`` (optional) returns True when the sampled predicate sits
+    within floating-point noise of its threshold at ``t`` — e.g. two
+    points whose distance is algebraically *equal* to the radius
+    (tangency), where the solver's exact answer and the rounded sample
+    legitimately disagree far from any interval boundary.
+    """
     step = window.duration / n
     for i in range(n + 1):
         t = window.start + i * step
@@ -64,6 +74,8 @@ def sample_check(iset: IntervalSet, predicate, window=WINDOW, n=400, slack=0.05)
                 abs(t - iv.start) <= slack or abs(t - iv.end) <= slack
                 for iv in iset.intervals
             )
+            if not near_boundary and margin is not None and margin(t):
+                continue
             assert near_boundary, f"mismatch at t={t}: got {got}, want {expected}"
 
 
@@ -127,9 +139,14 @@ class TestDistAtMost:
         a = linear_moving_point(Point(ax, ay), Vector(avx, avy))
         b = linear_moving_point(Point(bx, by), Vector(bvx, bvy))
         got = when_dist_at_most(a, b, r, WINDOW)
+
+        def dist(t):
+            return a.position_at(t).distance_to(b.position_at(t))
+
         sample_check(
             got,
-            lambda t: a.position_at(t).distance_to(b.position_at(t)) <= r,
+            lambda t: dist(t) <= r,
+            margin=lambda t: abs(dist(t) - r) <= 1e-9 * max(1.0, r),
         )
 
 
