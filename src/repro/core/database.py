@@ -67,8 +67,23 @@ class MostDatabase:
         self._last_seq: dict[object, int] = {}
         self._last_update_time: dict[object, int] = {}
         self._tracked: set[object] = set()
+        self._kinetic_cache = None
         #: Network-delivered updates refused as stale or duplicate.
         self.ingest_rejected = 0
+
+    @property
+    def kinetic_cache(self):
+        """The database-wide kinetic-solve memo table (lazily created).
+
+        Shared by every evaluator querying this database; motion updates
+        invalidate naturally because the frozen dynamic-attribute triples
+        are part of every key (see :mod:`repro.ftl.atoms`).
+        """
+        if self._kinetic_cache is None:
+            from repro.ftl.atoms import KineticSolveCache  # avoid cycle
+
+            self._kinetic_cache = KineticSolveCache()
+        return self._kinetic_cache
 
     # ------------------------------------------------------------------
     # Classes and regions

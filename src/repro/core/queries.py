@@ -217,6 +217,8 @@ class ContinuousQuery:
         method: str = "interval",
         staleness_bound: float | None = None,
         ordered: bool = True,
+        index_pruning: bool = True,
+        solve_cache: bool = True,
     ) -> None:
         if horizon < 0:
             raise QueryError("horizon must be non-negative")
@@ -232,6 +234,13 @@ class ContinuousQuery:
         #: registration from the actual class populations) instead of
         #: syntactic operand order; answers are identical either way.
         self.ordered = ordered
+        #: Answer atom instantiations outside the trajectory-MBR candidate
+        #: sets without kinetic solves (DESIGN.md §7); answers are
+        #: identical either way.
+        self.index_pruning = index_pruning
+        #: Reuse kinetic solves across refreshes through the database-wide
+        #: memo table (updates invalidate via attribute updatetimes).
+        self.solve_cache = solve_cache
         #: Suppress tuples depending on objects not heard from within
         #: this many ticks (None = no degradation).
         self.staleness_bound = staleness_bound
@@ -333,7 +342,12 @@ class ContinuousQuery:
         remaining = max(0, self.expires_at - now)
         if self._use_incremental:
             rf, cache, _evaluator = evaluate_with_cache(
-                self.query, history, remaining, plan=self.plan
+                self.query,
+                history,
+                remaining,
+                plan=self.plan,
+                index_pruning=self.index_pruning,
+                solve_cache=self.solve_cache,
             )
             self._rf = rf
             self._cache = cache
@@ -348,6 +362,8 @@ class ContinuousQuery:
                 method=self._eval_method,
                 ordered=False,
                 plan=self.plan,
+                index_pruning=self.index_pruning,
+                solve_cache=self.solve_cache,
             )
             self._cache = None
         self._target_positions = [
@@ -365,7 +381,12 @@ class ContinuousQuery:
         history = FutureHistory(self.db, snapshot=False)
         ctx = EvalContext(history, remaining, self.query.bindings)
         evaluator = PartialIntervalEvaluator(
-            ctx, self._cache, frozenset(self._dirty_objects), plan=self.plan
+            ctx,
+            self._cache,
+            frozenset(self._dirty_objects),
+            plan=self.plan,
+            index_pruning=self.index_pruning,
+            solve_cache=self.solve_cache,
         )
         self._rf = evaluator.refresh(self.query.where)
         self.rows_recomputed += evaluator.rows_recomputed

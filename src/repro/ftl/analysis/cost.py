@@ -61,6 +61,13 @@ _CMP_SELECTIVITY = {
 #: Fixed selectivity per spatial predicate.
 _SPATIAL_SELECTIVITY = {Inside: 0.25, Outside: 0.75, WithinSphere: 0.2}
 
+#: Fraction of an atom's instantiations expected to *survive* the
+#: trajectory-MBR index gate (repro/ftl/atoms.py) and actually require a
+#: kinetic solve.  Region probes keep candidates of one box; the pairwise
+#: self-join of sphere/dist atoms prunes harder.  Deliberately coarse —
+#: drift_report closes the loop with observed pruning counts.
+_INDEX_SURVIVAL = {Inside: 0.5, Outside: 0.5, WithinSphere: 0.4}
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -76,6 +83,9 @@ class CostModel:
     class_sizes: Mapping[str, int] | None = None
     default_class_size: int = DEFAULT_CLASS_SIZE
     horizon: int = DEFAULT_HORIZON
+    #: Whether atom evaluation runs behind the trajectory-MBR index gate
+    #: (the evaluator's default); off, every instantiation solves.
+    index_pruning: bool = True
 
     @property
     def ticks(self) -> int:
@@ -97,6 +107,11 @@ class CostEstimate:
     intervals: float
     cost: float
     selectivity: float
+    #: Expected kinetic solves to build the node (0 for sampled atoms and
+    #: for instantiations the index gate answers; connectives sum their
+    #: children).  Kept out of ``cost`` so conjunct ordering and its
+    #: calibration are unchanged by the pruning estimate.
+    solves: float = 0.0
 
     def to_json(self) -> dict:
         """JSON-shaped estimate (rounded for stable golden files)."""
@@ -105,6 +120,7 @@ class CostEstimate:
             "intervals": round(self.intervals, 3),
             "cost": round(self.cost, 3),
             "selectivity": round(self.selectivity, 6),
+            "solves": round(self.solves, 3),
         }
 
 
@@ -162,6 +178,20 @@ def atom_selectivity(f: Formula) -> float:
     return 0.5
 
 
+def index_survival(f: Formula) -> float:
+    """Fraction of an atom's instantiations expected to survive the
+    trajectory-MBR gate and reach a kinetic solve."""
+    sel = _INDEX_SURVIVAL.get(type(f))
+    if sel is not None:
+        return sel
+    if isinstance(f, Compare) and (
+        isinstance(f.left, Dist) or isinstance(f.right, Dist)
+    ):
+        # DIST-vs-bound comparisons prune via the pairwise self-join.
+        return 0.4
+    return 1.0
+
+
 def atom_estimate(
     f: Formula, widths: Mapping[str, float], model: CostModel
 ) -> CostEstimate:
@@ -172,12 +202,17 @@ def atom_estimate(
     invariant = isinstance(f, Compare) and (
         f.left.is_time_invariant() and f.right.is_time_invariant()
     )
-    per_inst = 1.0 if kinetic_eligible(f) else float(model.ticks)
+    eligible = kinetic_eligible(f)
+    per_inst = 1.0 if eligible else float(model.ticks)
+    survival = index_survival(f) if model.index_pruning else 1.0
     return CostEstimate(
         tuples=sel * product,
         intervals=1.0 if invariant else 2.0,
         cost=product * per_inst,
         selectivity=sel,
+        # Both-invariant comparisons evaluate once without a solver call,
+        # so only genuinely kinetic atoms contribute solves.
+        solves=product * survival if eligible and not invariant else 0.0,
     )
 
 
@@ -207,6 +242,7 @@ def join_estimate(
         intervals=min(e1.intervals, e2.intervals),
         cost=e1.cost + e2.cost + e1.tuples + e2.tuples + tuples,
         selectivity=sel,
+        solves=e1.solves + e2.solves,
     )
 
 
@@ -227,6 +263,7 @@ def union_estimate(
         intervals=e1.intervals + e2.intervals,
         cost=e1.cost + e2.cost + product,
         selectivity=sel,
+        solves=e1.solves + e2.solves,
     )
 
 
@@ -242,6 +279,7 @@ def complement_estimate(
         intervals=e.intervals + 1.0,
         cost=e.cost + product,
         selectivity=sel,
+        solves=e.solves,
     )
 
 
@@ -266,6 +304,7 @@ def until_estimate(
         cost=e1.cost + e2.cost + e1.tuples
         + e2.tuples * max(1.0, extra_product) + tuples,
         selectivity=sel,
+        solves=e1.solves + e2.solves,
     )
 
 
@@ -291,6 +330,7 @@ def map_estimate(e: CostEstimate, kind: str) -> CostEstimate:
         intervals=intervals,
         cost=e.cost + e.tuples,
         selectivity=sel,
+        solves=e.solves,
     )
 
 
@@ -339,6 +379,7 @@ def assign_estimate(
         intervals=body.intervals,
         cost=q_cost + body.cost + body.tuples + tuples,
         selectivity=body.selectivity,
+        solves=body.solves,
     )
 
 
@@ -348,7 +389,9 @@ def assign_estimate(
 
 
 def drift_report(
-    plan: "EvalPlan", trace: Mapping[int, "FtlRelation"]
+    plan: "EvalPlan",
+    trace: Mapping[int, "FtlRelation"],
+    atom_stats: Mapping[int, Mapping[str, object]] | None = None,
 ) -> list[dict]:
     """Compare observed ``|R_g|`` sizes against the plan's static
     estimates.
@@ -358,6 +401,12 @@ def drift_report(
     :class:`~repro.ftl.query.CompiledQuery`).  Each row reports the
     estimated and observed tuple counts and their ratio
     (``observed / estimated``) — the calibration signal.
+
+    ``atom_stats`` is the evaluator's per-atom acceleration accounting
+    (also keyed by ``id(subformula)``); when given, atom rows additionally
+    report estimated vs. observed kinetic solves and the pruned
+    instantiation count, closing the loop on the index-selectivity
+    estimates of :func:`index_survival`.
     """
     rows: list[dict] = []
     for path, node in plan.nodes_with_paths():
@@ -370,14 +419,23 @@ def drift_report(
             ratio = observed / estimated
         else:
             ratio = 0.0 if observed == 0 else float("inf")
-        rows.append(
-            {
-                "path": path,
-                "op": node.op,
-                "formula": str(node.formula),
-                "estimated_tuples": round(estimated, 3),
-                "observed_tuples": observed,
-                "ratio": round(ratio, 4),
-            }
+        row = {
+            "path": path,
+            "op": node.op,
+            "formula": str(node.formula),
+            "estimated_tuples": round(estimated, 3),
+            "observed_tuples": observed,
+            "ratio": round(ratio, 4),
+        }
+        stats = (
+            atom_stats.get(id(node.formula))
+            if atom_stats is not None
+            else None
         )
+        if stats is not None:
+            row["estimated_solves"] = round(node.estimate.solves, 3)
+            row["observed_solves"] = int(stats.get("solves", 0))
+            row["pruned_instantiations"] = int(stats.get("pruned", 0))
+            row["cache_hits"] = int(stats.get("cache_hits", 0))
+        rows.append(row)
     return rows

@@ -257,6 +257,10 @@ class EvalPlan:
             "reordered": self.reordered,
             "formula": str(self.ordered_where),
             "total": self.total.to_json(),
+            "atom_acceleration": {
+                "index_pruning": self.model.index_pruning,
+                "estimated_solves": round(self.total.solves, 3),
+            },
             "shared_subformulas": len(self.shared_ids),
             "diagnostics": [d.to_json() for d in self.diagnostics],
             "root": self.root.to_json(),

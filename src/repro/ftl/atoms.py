@@ -1,0 +1,493 @@
+"""Accelerated atom evaluation: index pruning + a shared solve cache.
+
+The appendix algorithm's base case enumerates the full cartesian product
+of an atom's variable domains and runs one kinetic solve per
+instantiation — ``O(n^2)`` closed-form solves for binary ``DIST``/
+``WITHIN_SPHERE`` atoms even when almost no pair of objects ever comes
+near each other inside the window.  This module supplies the two layers
+that make the base case cheap (both on by default, see DESIGN.md §7):
+
+**Layer 1 — conservative index pruning** (:class:`AtomIndexPruner`).
+Per evaluation window, every FROM-bound object's piecewise-linear
+trajectory is decomposed into per-leg spatial bounding boxes covering
+``[ctx.start, ctx.end]`` and loaded into the existing R-tree
+(:class:`~repro.index.rtree.RTree`).  ``INSIDE``/``OUTSIDE`` atoms probe
+the region's bounding box, ``WITHIN_SPHERE``/``DIST``-comparison atoms
+run an MBR self-join inflated by the radius.  An instantiation outside
+the candidate set is *known* without any solve: the empty set for
+``INSIDE``/``dist <= r``, the full window for ``OUTSIDE``/``dist >= r``.
+Soundness follows from MBR over-approximation: satisfaction at any dense
+time implies spatial overlap of the (inflated) boxes, so a non-candidate
+can never satisfy the positive predicate.  Objects whose motion is
+nonlinear or non-spatial are *unprunable* — always candidates — so the
+solve path sees exactly the inputs (and raises exactly the errors) the
+exhaustive path would.
+
+**Layer 2 — shared kinetic-solve cache** (:class:`KineticSolveCache`).
+A bounded memo table attached to the :class:`~repro.core.database.
+MostDatabase` (``db.kinetic_cache``), keyed by the atom kind, its
+canonical arguments, the *exact* evaluation window, and the
+participating objects' frozen motion triples.  Repeated subformulas,
+plan-ordered re-evaluations, the three evaluators, and continuous-query
+refreshes after irrelevant updates all reuse solved interval sets.
+Motion updates invalidate naturally: an explicit update produces a new
+``(value, updatetime, function)`` triple, hence a new key.  Keys always
+pin the exact window because the numeric fallback solvers sample a
+window-dependent grid — reusing a clipped superset answer could differ
+near the boundary.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import QueryError, SchemaError
+from repro.ftl.ast import Compare, Dist, Formula, Inside, Outside, WithinSphere
+from repro.ftl.relations import EMPTY_SET
+from repro.index.rtree import RTree
+from repro.spatial.polygon import Polygon
+from repro.spatial.regions import Ball, Box
+from repro.temporal import DISCRETE, IntervalSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.history import History
+    from repro.ftl.context import Env, EvalContext
+
+#: Default bound on cached solve entries (FIFO eviction beyond this).
+DEFAULT_CACHE_ENTRIES = 8192
+
+#: Comparison operators a DIST atom can be pruned under, and how each op
+#: reads once the pair is known to stay strictly farther apart than the
+#: bound for the whole window: ``True`` → the atom holds everywhere.
+_DIST_OPS = {"<": False, "<=": False, ">": True, ">=": True}
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class KineticSolveCache:
+    """Bounded FIFO memo table of kinetic atom solves.
+
+    Values are :class:`~repro.temporal.IntervalSet` answers exactly as
+    the interval evaluator would have computed them (discretized and
+    clipped to the window baked into the key), so a hit is
+    indistinguishable — tuple-for-tuple — from a fresh solve.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[object, IntervalSet]" = OrderedDict()
+        #: Cumulative lookup stats across every evaluator sharing this
+        #: cache (per-evaluator counts live on the evaluators).
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, key: object, record: bool = True
+    ) -> IntervalSet | None:
+        """The cached answer, or ``None``.  ``record=False`` probes
+        without touching the hit/miss stats (oracle read-through)."""
+        value = self._entries.get(key)
+        if record:
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return value
+
+    def put(self, key: object, value: IntervalSet) -> None:
+        """Store one solved answer, evicting FIFO beyond the bound."""
+        entries = self._entries
+        if key in entries:
+            return
+        entries[key] = value
+        while len(entries) > self.max_entries:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+
+def motion_token(history: "History", object_id: object) -> object | None:
+    """A hashable token identifying an object's frozen motion state.
+
+    The token is the tuple of position-axis ``(value, updatetime,
+    function)`` triples — the exact inputs every kinetic solver reads —
+    so two cache keys collide only when the solved trajectories are
+    identical.  Returns ``None`` (uncacheable) for recorded histories
+    (their trajectories splice the update log, not a frozen triple) and
+    for objects without spatial attributes.
+    """
+    from repro.core.history import FutureHistory
+
+    if not isinstance(history, FutureHistory):
+        return None
+    try:
+        obj = history.db.get(object_id)
+    except SchemaError:
+        return None
+    names = obj.object_class.position_attributes
+    if not names:
+        return None
+    try:
+        triples = tuple(
+            history.dynamic_triple(object_id, attr) for attr in names
+        )
+    except QueryError:
+        return None
+    return triples
+
+
+def region_token(region: object) -> object | None:
+    """A hashable token identifying a region's geometry (name-independent,
+    so redefining a named region can never serve a stale answer)."""
+    if isinstance(region, Ball):
+        return region
+    if isinstance(region, Polygon):
+        return ("poly", region.vertices)
+    return None
+
+
+def _window(ctx: "EvalContext") -> tuple[int, int]:
+    return (ctx.start, ctx.end)
+
+
+def _keyed(parts: tuple) -> tuple | None:
+    try:
+        hash(parts)
+    except TypeError:
+        return None
+    return parts
+
+
+def region_solve_key(
+    ctx: "EvalContext", region: object, object_id: object
+) -> tuple | None:
+    """Key of the *inside* interval set of one object vs one region
+    (``OUTSIDE`` complements the cached answer on retrieval)."""
+    rtok = region_token(region)
+    mtok = motion_token(ctx.history, object_id)
+    if rtok is None or mtok is None:
+        return None
+    return _keyed(("region", _window(ctx), rtok, mtok))
+
+
+def sphere_solve_key(
+    ctx: "EvalContext", radius: float, object_ids: list[object]
+) -> tuple | None:
+    """Key of a ``WITHIN_SPHERE`` solve.  Object order is preserved (not
+    sorted): the predicate is symmetric but the numeric solver need not
+    be bit-for-bit order-independent, and structural equality with the
+    exhaustive path matters more than a few extra entries."""
+    tokens = []
+    for oid in object_ids:
+        tok = motion_token(ctx.history, oid)
+        if tok is None:
+            return None
+        tokens.append(tok)
+    return _keyed(("sphere", _window(ctx), float(radius), tuple(tokens)))
+
+
+def dist_solve_key(
+    ctx: "EvalContext", op: str, bound: float, a: object, b: object
+) -> tuple | None:
+    """Key of a ``DIST(a, b) op bound`` fast-path solve."""
+    ta = motion_token(ctx.history, a)
+    tb = motion_token(ctx.history, b)
+    if ta is None or tb is None:
+        return None
+    return _keyed(("dist", _window(ctx), op, float(bound), ta, tb))
+
+
+def attr_solve_key(
+    ctx: "EvalContext", op: str, bound: float, triple: object
+) -> tuple | None:
+    """Key of a linear dynamic-attribute range fast-path solve; the
+    frozen triple itself is the motion token."""
+    return _keyed(("attr", _window(ctx), op, float(bound), triple))
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: the index pruner
+# ---------------------------------------------------------------------------
+
+
+class AtomIndexPruner:
+    """Per-window trajectory MBR index answering atom candidate queries.
+
+    Built lazily on first use from the evaluation context: every
+    FROM-bound object's :meth:`~repro.motion.moving.MovingPoint.
+    linear_pieces` over ``[ctx.start, ctx.end]`` become per-leg spatial
+    bounding boxes in one R-tree per spatial dimensionality (time is not
+    an index axis — :class:`~repro.geometry.Point` caps boxes at three
+    coordinates — so candidate sets are window-wide, a strictly
+    conservative coarsening).  Objects that cannot be indexed — nonlinear motion,
+    no spatial attributes, empty window pieces — are *unprunable*:
+    members of every candidate set, so the exact solve path handles them
+    (and raises on them) exactly as the exhaustive evaluator would.
+    """
+
+    def __init__(self, ctx: "EvalContext") -> None:
+        self.ctx = ctx
+        self._built = False
+        self._trees: dict[int, RTree] = {}
+        self._boxes: dict[object, list[Box]] = {}
+        self._by_dim: dict[int, set[object]] = {}
+        self._dim: dict[object, int] = {}
+        self._unprunable: set[object] = set()
+        #: Unprunables whose exhaustive solve would *raise* (nonspatial,
+        #: unknown id).  Pruning an instantiation containing one would
+        #: swallow the error the exhaustive path reports, so gates refuse.
+        self._raising: set[object] = set()
+        self._region_cands: dict[object, frozenset] = {}
+        self._pair_cands: dict[tuple, frozenset] = {}
+        #: Largest |coordinate| indexed; inflation pads scale with it so
+        #: the solvers' relative boundary tolerance can never out-reach
+        #: the pruning boxes.
+        self._scale = 1.0
+        #: Objects plotted into the index (bench instrumentation).
+        self.objects_indexed = 0
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        if self._built:
+            return
+        self._built = True
+        ctx = self.ctx
+        seen: set[object] = set()
+        for var in ctx.bindings:
+            for oid in ctx.domain(var):
+                if oid in seen:
+                    continue
+                seen.add(oid)
+                self._index_object(oid)
+
+    def _index_object(self, oid: object) -> None:
+        ctx = self.ctx
+        try:
+            mover = ctx.moving_point(oid)
+            pieces = mover.linear_pieces(ctx.start, ctx.end)
+        except (QueryError, SchemaError):
+            self._unprunable.add(oid)
+            self._raising.add(oid)
+            return
+        if pieces is None:  # nonlinear motion: solve exactly, always
+            self._unprunable.add(oid)
+            return
+        dim = mover.dim
+        tree = self._trees.get(dim)
+        if tree is None:
+            tree = self._trees[dim] = RTree()
+            self._by_dim[dim] = set()
+        boxes = []
+        for piece in pieces:
+            a = piece.origin
+            b = piece.position_at(piece.end)
+            bounds = [
+                (min(x, y), max(x, y)) for x, y in zip(a, b)
+            ]
+            for lo, hi in bounds:
+                self._scale = max(self._scale, abs(lo), abs(hi))
+            box = Box.from_bounds(*bounds)
+            boxes.append(box)
+            tree.insert(box, oid)
+        self._boxes[oid] = boxes
+        self._dim[oid] = dim
+        self._by_dim[dim].add(oid)
+        self.objects_indexed += 1
+
+    @property
+    def _pad(self) -> float:
+        """Extra inflation absorbing the solvers' boundary slack (which
+        is relative to coordinate magnitude, see e.g. Ball.contains)."""
+        return 1e-6 * (1.0 + self._scale)
+
+    def _safe(self, oid: object) -> bool:
+        """Whether the exhaustive solve path is guaranteed not to raise
+        for this object (indexed, or unprunable for nonlinearity only)."""
+        return oid in self._boxes or (
+            oid in self._unprunable and oid not in self._raising
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate queries
+    # ------------------------------------------------------------------
+    def region_candidates(self, region: object) -> frozenset | None:
+        """Objects that may intersect the region during the window, or
+        ``None`` when the region's geometry cannot be boxed."""
+        token = region_token(region)
+        if token is None:
+            return None
+        hit = self._region_cands.get(token)
+        if hit is not None:
+            return hit
+        self._build()
+        pad = self._pad
+        if isinstance(region, Polygon):
+            min_x, min_y, max_x, max_y = region.bounding_box()
+            bounds = [
+                (min_x - pad, max_x + pad),
+                (min_y - pad, max_y + pad),
+            ]
+            dim = 2
+        else:  # Ball (region_token already filtered the rest)
+            bounds = [
+                (c - region.radius - pad, c + region.radius + pad)
+                for c in region.center
+            ]
+            dim = region.dim
+        cands = set(self._unprunable)
+        for d, members in self._by_dim.items():
+            if d == dim:
+                cands.update(self._trees[d].search(Box.from_bounds(*bounds)))
+            else:
+                # Dimension mismatch: let the exact path raise/decide.
+                cands.update(members)
+        out = frozenset(cands)
+        self._region_cands[token] = out
+        return out
+
+    def pair_candidates(self, oid: object, radius: float) -> frozenset | None:
+        """Objects that may come within ``radius`` of ``oid`` at some
+        time of the window (``oid`` itself included), or ``None`` when
+        ``oid`` is unprunable (every object is then a candidate)."""
+        self._build()
+        boxes = self._boxes.get(oid)
+        if boxes is None:
+            return None
+        key = (oid, float(radius))
+        hit = self._pair_cands.get(key)
+        if hit is not None:
+            return hit
+        dim = self._dim[oid]
+        cands = set(self._unprunable)
+        cands.add(oid)
+        for d, members in self._by_dim.items():
+            if d != dim:
+                cands.update(members)
+        tree = self._trees[dim]
+        inflate = radius + self._pad
+        for box in boxes:
+            bounds = [
+                (l - inflate, h + inflate)
+                for l, h in zip(box.lo, box.hi)
+            ]
+            cands.update(tree.search(Box.from_bounds(*bounds)))
+        out = frozenset(cands)
+        self._pair_cands[key] = out
+        return out
+
+    # ------------------------------------------------------------------
+    # The atom gate
+    # ------------------------------------------------------------------
+    def gate(
+        self, f: Formula
+    ) -> "Callable[[Env], IntervalSet | None] | None":
+        """A per-instantiation gate for one atom, or ``None`` when the
+        atom kind is not prunable.
+
+        The gate maps an environment to the *known* answer (no solve
+        needed) or ``None`` (run the solve path).  Known answers are
+        structurally identical to what the solve path would produce:
+        ``EMPTY_SET`` and the full discrete window span are exactly the
+        shapes the discretize-and-clip pipeline emits.
+        """
+        ctx = self.ctx
+        full = IntervalSet.span(ctx.start, ctx.end, DISCRETE)
+
+        if isinstance(f, (Inside, Outside)):
+            try:
+                region = ctx.history.region(f.region)
+            except SchemaError:
+                return None  # let the solve path raise identically
+            cands = self.region_candidates(region)
+            if cands is None:
+                return None
+            miss = EMPTY_SET if isinstance(f, Inside) else full
+            obj_term = f.obj
+
+            def region_gate(env: "Env") -> IntervalSet | None:
+                oid = ctx.eval_term(obj_term, env, ctx.start)
+                # Only indexed objects may be pruned: an id the index has
+                # never seen (assigned-variable value, unknown object)
+                # must take the solve path, which decides — or raises —
+                # exactly as the exhaustive evaluator would.
+                if oid in cands or oid not in self._boxes:
+                    return None
+                return miss
+
+            return region_gate
+
+        if isinstance(f, WithinSphere):
+            # All k points fit in a radius-r sphere only if every pair is
+            # within 2r of each other at that moment — a necessary
+            # condition, so one far pair kills the instantiation.
+            diameter = 2.0 * float(f.radius)
+            objs = f.objs
+
+            def sphere_gate(env: "Env") -> IntervalSet | None:
+                oids = [ctx.eval_term(o, env, ctx.start) for o in objs]
+                self._build()
+                # Any participant whose exhaustive solve would raise (or
+                # that the index has never seen) forces the solve path.
+                if not all(self._safe(o) for o in oids):
+                    return None
+                for i, a in enumerate(oids):
+                    cands = self.pair_candidates(a, diameter)
+                    if cands is None:
+                        continue
+                    for b in oids[i + 1 :]:
+                        if b in self._boxes and b not in cands:
+                            return EMPTY_SET
+                return None
+
+            return sphere_gate
+
+        if isinstance(f, Compare):
+            spec = self._dist_spec(f)
+            if spec is None:
+                return None
+            dist_term, bound_term, op = spec
+            holds_when_far = _DIST_OPS[op]
+
+            def dist_gate(env: "Env") -> IntervalSet | None:
+                bound = ctx.eval_term(bound_term, env, ctx.start)
+                if not isinstance(bound, (int, float)) or bound < 0:
+                    return None
+                a = ctx.eval_term(dist_term.left, env, ctx.start)
+                b = ctx.eval_term(dist_term.right, env, ctx.start)
+                cands = self.pair_candidates(a, float(bound))
+                if cands is None or b in cands or b not in self._boxes:
+                    return None
+                # Both indexed, disjoint after inflation: the pair stays
+                # strictly farther than the bound for the whole window.
+                return full if holds_when_far else EMPTY_SET
+
+            return dist_gate
+
+        return None
+
+    def _dist_spec(
+        self, f: Compare
+    ) -> tuple[Dist, object, str] | None:
+        """Normalise ``DIST(a, b) op bound`` with the distance on the
+        left, mirroring the evaluator's fast path (plus strict ops,
+        which prune identically)."""
+        if f.op not in _DIST_OPS:
+            return None
+        ctx = self.ctx
+        if isinstance(f.left, Dist) and ctx.term_invariant(f.right):
+            return f.left, f.right, f.op
+        if isinstance(f.right, Dist) and ctx.term_invariant(f.left):
+            return f.right, f.left, _FLIP[f.op]
+        return None

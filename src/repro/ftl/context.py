@@ -25,6 +25,8 @@ from repro.temporal import Interval
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.history import History
+    from repro.ftl.atoms import AtomIndexPruner, KineticSolveCache
+    from repro.motion.moving import MovingPoint
 
 Env = dict[str, object]
 
@@ -47,6 +49,36 @@ class EvalContext:
         self._domains: dict[str, list[object]] = {
             var: history.object_ids(cls) for var, cls in bindings.items()
         }
+        self._movers: dict[object, "MovingPoint"] = {}
+        self._pruner: "AtomIndexPruner | None" = None
+
+    # ------------------------------------------------------------------
+    def moving_point(self, object_id: object) -> "MovingPoint":
+        """Memoized :meth:`History.moving_point` — the underlying lookup
+        rebuilds a snapshot object per call, and atom evaluation asks for
+        the same movers once per instantiation."""
+        mover = self._movers.get(object_id)
+        if mover is None:
+            mover = self.history.moving_point(object_id)
+            self._movers[object_id] = mover
+        return mover
+
+    def atom_pruner(self) -> "AtomIndexPruner":
+        """The per-window trajectory MBR index, built lazily and shared
+        by every evaluator running on this context."""
+        if self._pruner is None:
+            from repro.ftl.atoms import AtomIndexPruner
+
+            self._pruner = AtomIndexPruner(self)
+        return self._pruner
+
+    def solve_cache(self) -> "KineticSolveCache | None":
+        """The database-wide kinetic-solve memo table, or ``None`` when
+        the history's database does not carry one."""
+        db = getattr(self.history, "db", None)
+        if db is None:
+            return None
+        return getattr(db, "kinetic_cache", None)
 
     # ------------------------------------------------------------------
     @property

@@ -48,6 +48,12 @@ from repro.ftl.ast import (
     Var,
     WithinSphere,
 )
+from repro.ftl.atoms import (
+    attr_solve_key,
+    dist_solve_key,
+    region_solve_key,
+    sphere_solve_key,
+)
 from repro.ftl.context import Env, EvalContext
 from repro.ftl.relations import (
     EMPTY_SET,
@@ -101,6 +107,8 @@ class IntervalEvaluator:
         analytic_atoms: bool = True,
         trace: dict[int, FtlRelation] | None = None,
         plan: "EvalPlan | None" = None,
+        index_pruning: bool = True,
+        solve_cache: bool = True,
     ) -> None:
         self.ctx = ctx
         #: When False, every atom is evaluated by per-tick sampling instead
@@ -115,11 +123,37 @@ class IntervalEvaluator:
         #: syntactic formula for the plan's reordered tree, and
         #: subformulas the plan marked shared are evaluated once.
         self.plan = plan
+        #: Layer-1 acceleration (DESIGN.md §7): answer spatial atoms for
+        #: instantiations outside the trajectory-MBR candidate sets with
+        #: zero kinetic solves.  Active only with ``analytic_atoms``.
+        self.index_pruning = index_pruning
+        #: Layer-2 acceleration: reuse kinetic solves via the
+        #: database-wide memo table keyed on frozen motion triples.
+        self._solve_cache = ctx.solve_cache() if solve_cache else None
         self._shared_memo: dict[int, FtlRelation] = {}
+        self._naive: "object | None" = None
         #: Count of per-tick atom evaluations (benchmark instrumentation).
         self.sampled_atom_evals = 0
         #: Count of kinetic (closed-form) atom solves.
         self.kinetic_solves = 0
+        #: Instantiations answered by the index gate without a solve.
+        self.pruned_instantiations = 0
+        #: Solve-cache lookups served / missed by this evaluator.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Per-atom accounting keyed by ``id(formula)`` — feeds the
+        #: estimate-vs-observed drift report of analysis/cost.py.
+        self.atom_stats: dict[int, dict[str, object]] = {}
+
+    def counters(self) -> dict[str, int]:
+        """The atom-acceleration counters, in EXPLAIN ``--json`` shape."""
+        return {
+            "kinetic_solves": self.kinetic_solves,
+            "sampled_atom_evals": self.sampled_atom_evals,
+            "pruned_instantiations": self.pruned_instantiations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
 
     # ------------------------------------------------------------------
     def evaluate(self, formula: Formula) -> FtlRelation:
@@ -207,11 +241,70 @@ class IntervalEvaluator:
         free = sorted(f.free_vars())
         domains = [self.ctx.domain(v) for v in free]
         relation = FtlRelation(tuple(free))
+        gate = self._atom_gate(f)
+        stats = self._stats_for(f)
         for inst in product(*domains):
             env = dict(zip(free, inst))
-            iset = self._atom_intervals(f, env)
+            iset = self._gated_atom_intervals(f, env, gate, stats)
             relation.set(inst, iset)
         return relation
+
+    def _atom_gate(self, f: Formula):
+        """The index-pruning gate for one atom, or ``None``.
+
+        Pruning is a refinement of the kinetic path, so it obeys the
+        ``analytic_atoms`` ablation knob: with sampling forced, atoms
+        must actually sample."""
+        if not (self.analytic_atoms and self.index_pruning):
+            return None
+        return self.ctx.atom_pruner().gate(f)
+
+    def _stats_for(self, f: Formula) -> dict[str, object]:
+        stats = self.atom_stats.get(id(f))
+        if stats is None:
+            stats = self.atom_stats[id(f)] = {
+                "formula": f,
+                "instantiations": 0,
+                "pruned": 0,
+                "solves": 0,
+                "cache_hits": 0,
+            }
+        return stats
+
+    def _gated_atom_intervals(
+        self, f: Formula, env: Env, gate, stats: dict[str, object]
+    ) -> IntervalSet:
+        """One instantiation of an atom: index gate first, then the exact
+        path, with the per-atom accounting around both."""
+        stats["instantiations"] += 1
+        if gate is not None:
+            known = gate(env)
+            if known is not None:
+                self.pruned_instantiations += 1
+                stats["pruned"] += 1
+                return known
+        solves0 = self.kinetic_solves
+        hits0 = self.cache_hits
+        iset = self._atom_intervals(f, env)
+        stats["solves"] += self.kinetic_solves - solves0
+        stats["cache_hits"] += self.cache_hits - hits0
+        return iset
+
+    def _cached_solve(self, key, solve: "Callable[[], IntervalSet]") -> IntervalSet:
+        """Run one kinetic solve through the shared memo table."""
+        cache = self._solve_cache
+        if cache is None or key is None:
+            self.kinetic_solves += 1
+            return solve()
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        self.kinetic_solves += 1
+        result = solve()
+        cache.put(key, result)
+        return result
 
     def _atom_intervals(self, f: Formula, env: Env) -> IntervalSet:
         ctx = self.ctx
@@ -222,28 +315,38 @@ class IntervalEvaluator:
 
         if isinstance(f, Inside) or isinstance(f, Outside):
             obj_id = ctx.eval_term(f.obj, env, ctx.start)
-            mover = ctx.history.moving_point(obj_id)
             region = ctx.history.region(f.region)
-            self.kinetic_solves += 1
-            if isinstance(region, Polygon):
-                dense = when_inside_polygon(mover, region, window)
-            elif isinstance(region, Ball):
-                dense = when_inside_ball(mover, region, window)
-            else:  # pragma: no cover - region types are closed
-                raise FtlSemanticsError(f"unsupported region {region!r}")
-            inside_set = dense.discretized().clip(ctx.start, ctx.end)
+
+            def solve_region() -> IntervalSet:
+                mover = ctx.moving_point(obj_id)
+                if isinstance(region, Polygon):
+                    dense = when_inside_polygon(mover, region, window)
+                elif isinstance(region, Ball):
+                    dense = when_inside_ball(mover, region, window)
+                else:  # pragma: no cover - region types are closed
+                    raise FtlSemanticsError(f"unsupported region {region!r}")
+                return dense.discretized().clip(ctx.start, ctx.end)
+
+            # Cache the *inside* set; OUTSIDE complements on retrieval so
+            # both atom polarities share one solve.
+            inside_set = self._cached_solve(
+                region_solve_key(ctx, region, obj_id), solve_region
+            )
             if isinstance(f, Inside):
                 return inside_set
             return inside_set.complement(Interval(ctx.start, ctx.end))
 
         if isinstance(f, WithinSphere):
-            movers = [
-                ctx.history.moving_point(ctx.eval_term(o, env, ctx.start))
-                for o in f.objs
-            ]
-            self.kinetic_solves += 1
-            dense = when_within_sphere(f.radius, movers, window)
-            return dense.discretized().clip(ctx.start, ctx.end)
+            obj_ids = [ctx.eval_term(o, env, ctx.start) for o in f.objs]
+
+            def solve_sphere() -> IntervalSet:
+                movers = [ctx.moving_point(oid) for oid in obj_ids]
+                dense = when_within_sphere(f.radius, movers, window)
+                return dense.discretized().clip(ctx.start, ctx.end)
+
+            return self._cached_solve(
+                sphere_solve_key(ctx, f.radius, obj_ids), solve_sphere
+            )
 
         if isinstance(f, Compare):
             return self._compare_intervals(f, env)
@@ -255,7 +358,9 @@ class IntervalEvaluator:
         from repro.ftl.naive import NaiveEvaluator
 
         ctx = self.ctx
-        naive = NaiveEvaluator(ctx)
+        naive = self._naive
+        if naive is None:  # hoisted: one oracle per evaluation, not per atom
+            naive = self._naive = NaiveEvaluator(ctx)
         flags = []
         for t in ctx.ticks():
             self.sampled_atom_evals += 1
@@ -312,14 +417,21 @@ class IntervalEvaluator:
         bound = ctx.eval_term(bound_term, env, ctx.start)
         if not isinstance(bound, (int, float)) or bound < 0:
             return None
-        m1 = ctx.history.moving_point(ctx.eval_term(dist_term.left, env, ctx.start))
-        m2 = ctx.history.moving_point(ctx.eval_term(dist_term.right, env, ctx.start))
-        self.kinetic_solves += 1
-        if op == "<=":
-            dense = when_dist_at_most(m1, m2, float(bound), ctx.window)
-        else:
-            dense = when_dist_at_least(m1, m2, float(bound), ctx.window)
-        return dense.discretized().clip(ctx.start, ctx.end)
+        a = ctx.eval_term(dist_term.left, env, ctx.start)
+        b = ctx.eval_term(dist_term.right, env, ctx.start)
+
+        def solve_dist() -> IntervalSet:
+            m1 = ctx.moving_point(a)
+            m2 = ctx.moving_point(b)
+            if op == "<=":
+                dense = when_dist_at_most(m1, m2, float(bound), ctx.window)
+            else:
+                dense = when_dist_at_least(m1, m2, float(bound), ctx.window)
+            return dense.discretized().clip(ctx.start, ctx.end)
+
+        return self._cached_solve(
+            dist_solve_key(ctx, op, float(bound), a, b), solve_dist
+        )
 
     def _attr_fast_path(
         self, f: Compare, env: Env, left_inv: bool, right_inv: bool
@@ -337,29 +449,32 @@ class IntervalEvaluator:
             return None
         obj_id = ctx.eval_term(attr_term.obj, env, ctx.start)
         triple = ctx.history.dynamic_triple(obj_id, attr_term.attr)
-        self.kinetic_solves += 1
-        if op == "<=":
-            lo, hi = -math.inf, float(bound)
-        else:
-            lo, hi = float(bound), math.inf
-        # when_value_in_range needs finite bounds on the active side only;
-        # replace the infinite side by a huge sentinel beyond any value the
-        # window can reach.
-        span = abs(triple.value) + (abs(triple.speed) + 1) * (
-            ctx.end - triple.updatetime + 1
+
+        def solve_attr() -> IntervalSet:
+            if op == "<=":
+                lo, hi = -math.inf, float(bound)
+            else:
+                lo, hi = float(bound), math.inf
+            # when_value_in_range needs finite bounds on the active side
+            # only; replace the infinite side by a huge sentinel beyond any
+            # value the window can reach.
+            span = abs(triple.value) + (abs(triple.speed) + 1) * (
+                ctx.end - triple.updatetime + 1
+            )
+            sentinel = max(1e12, span * 10)
+            dense = when_value_in_range(
+                triple.value,
+                triple.function,
+                max(lo, -sentinel),
+                min(hi, sentinel),
+                ctx.window,
+                anchor_time=triple.updatetime,
+            )
+            return dense.discretized().clip(ctx.start, ctx.end)
+
+        return self._cached_solve(
+            attr_solve_key(ctx, op, float(bound), triple), solve_attr
         )
-        sentinel = max(1e12, span * 10)
-        lo = max(lo, -sentinel)
-        hi = min(hi, sentinel)
-        dense = when_value_in_range(
-            triple.value,
-            triple.function,
-            lo,
-            hi,
-            ctx.window,
-            anchor_time=triple.updatetime,
-        )
-        return dense.discretized().clip(ctx.start, ctx.end)
 
     def _is_linear_dynamic_attr(self, term: Term, env: Env) -> bool:
         from repro.core.history import FutureHistory

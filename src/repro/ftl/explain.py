@@ -26,14 +26,96 @@ diagnostics (no plan can be built), else 0.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
 from repro.errors import FtlSemanticsError, FtlSyntaxError
 from repro.ftl.analysis.cost import CostModel
+from repro.ftl.ast import Attr, Formula, Inside, Outside, Term
 from repro.ftl.lint import strip_comments
 from repro.ftl.parser import parse_query
 from repro.ftl.query import FtlQuery
+
+
+def _referenced(where: Formula) -> tuple[set[str], set[str]]:
+    """Region names and attribute names the condition mentions (drives
+    the synthetic schema of ``--execute``)."""
+    regions: set[str] = set()
+    attrs: set[str] = set()
+    stack: list[object] = [where]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (Inside, Outside)):
+            regions.add(node.region)
+        if isinstance(node, Attr):
+            attrs.add(node.attr)
+        if dataclasses.is_dataclass(node):
+            for f in dataclasses.fields(node):
+                value = getattr(node, f.name)
+                values = value if isinstance(value, tuple) else (value,)
+                stack.extend(
+                    v for v in values if isinstance(v, (Formula, Term))
+                )
+    return regions, attrs
+
+
+def execute_query(
+    query: FtlQuery, objects_per_class: int, horizon: int
+) -> dict:
+    """Evaluate the query on a synthetic seeded fleet and report the
+    live atom-acceleration counters (the runtime counterpart of the
+    plan's static ``atom_acceleration`` estimate)."""
+    import random
+
+    from repro.core.database import MostDatabase
+    from repro.core.dynamic import DynamicAttribute
+    from repro.core.history import FutureHistory
+    from repro.core.objects import ObjectClass
+    from repro.ftl.context import EvalContext
+    from repro.ftl.evaluator import IntervalEvaluator
+    from repro.geometry import Point
+    from repro.spatial.polygon import Polygon
+
+    regions, attrs = _referenced(query.where)
+    # Spatial classes already carry their position attributes.
+    attrs -= {"x_position", "y_position", "z_position"}
+    rng = random.Random(0)
+    db = MostDatabase()
+    for cls_name in sorted(set(query.bindings.values())):
+        db.create_class(
+            ObjectClass(
+                cls_name,
+                dynamic_attributes=tuple(sorted(attrs)),
+                spatial_dimensions=2,
+            )
+        )
+        for i in range(objects_per_class):
+            extra = {
+                a: DynamicAttribute.linear(
+                    rng.uniform(0.0, 100.0), rng.uniform(-2.0, 2.0)
+                )
+                for a in sorted(attrs)
+            }
+            db.add_moving_object(
+                cls_name,
+                f"{cls_name}-{i}",
+                Point(rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)),
+                Point(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)),
+                dynamic_extra=extra,
+            )
+    for name in sorted(regions):
+        db.define_region(name, Polygon.rectangle(-25.0, -25.0, 25.0, 25.0))
+    history = FutureHistory(db)
+    plan = query.plan_for(history=history, horizon=horizon)
+    ctx = EvalContext(history, horizon, query.bindings)
+    evaluator = IntervalEvaluator(ctx, plan=plan)
+    evaluator.evaluate(query.where)
+    return {
+        "objects_per_class": objects_per_class,
+        "horizon": horizon,
+        "counters": evaluator.counters(),
+    }
 
 
 def explain_query(
@@ -127,7 +209,26 @@ def _print_human(report: dict) -> None:
             else ""
         )
     )
+    accel = plan.get("atom_acceleration")
+    if accel is not None:
+        print(
+            f"atoms: ~{accel['estimated_solves']:g} kinetic solve(s), "
+            f"index pruning {'on' if accel['index_pruning'] else 'off'}"
+        )
     print(report["_render"])
+    execution = report.get("execution")
+    if execution is not None:
+        if "error" in execution:
+            print(f"executed: failed ({execution['error']})")
+        else:
+            c = execution["counters"]
+            print(
+                f"executed on {execution['objects_per_class']} objects/"
+                f"class: {c['kinetic_solves']} solve(s), "
+                f"{c['pruned_instantiations']} pruned, "
+                f"{c['cache_hits']}/{c['cache_hits'] + c['cache_misses']} "
+                "cache hit(s)"
+            )
     for diag in plan["diagnostics"]:
         print(f"  {diag['severity']}[{diag['code']}]: {diag['message']}")
 
@@ -169,6 +270,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="assumed evaluation horizon in ticks (default 32)",
     )
+    parser.add_argument(
+        "--execute",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally evaluate each query on a synthetic seeded "
+        "fleet of N objects per class and report the live "
+        "kinetic_solves / pruned_instantiations / cache counters",
+    )
     opts = parser.parse_args(argv)
 
     model = None
@@ -186,6 +296,16 @@ def main(argv: list[str] | None = None) -> int:
         report = explain_file(
             path, order=not opts.no_order, expand=opts.expand, model=model
         )
+        if opts.execute is not None and report["ok"]:
+            horizon = opts.horizon if opts.horizon is not None else 32
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    query = parse_query(strip_comments(fh.read()))
+                report["execution"] = execute_query(
+                    query, max(1, opts.execute), max(0, horizon)
+                )
+            except Exception as exc:  # synthetic world may not fit the query
+                report["execution"] = {"error": str(exc)}
         reports.append(report)
         if not report["ok"]:
             status = 1

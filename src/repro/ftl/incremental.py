@@ -125,6 +125,8 @@ def evaluate_with_cache(
     horizon: int,
     analytic_atoms: bool = True,
     plan: "EvalPlan | None" = None,
+    index_pruning: bool = True,
+    solve_cache: bool = True,
 ) -> tuple[FtlRelation, QueryCache, IntervalEvaluator]:
     """Full appendix evaluation that also captures the subformula cache.
 
@@ -138,7 +140,12 @@ def evaluate_with_cache(
     ctx = EvalContext(history, horizon, query.bindings)
     cache = QueryCache()
     evaluator = IntervalEvaluator(
-        ctx, analytic_atoms=analytic_atoms, trace=cache.relations, plan=plan
+        ctx,
+        analytic_atoms=analytic_atoms,
+        trace=cache.relations,
+        plan=plan,
+        index_pruning=index_pruning,
+        solve_cache=solve_cache,
     )
     relation = evaluator.evaluate(query.where)
     return relation, cache, evaluator
@@ -161,8 +168,16 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         dirty_objects: Iterable[object],
         analytic_atoms: bool = True,
         plan: "EvalPlan | None" = None,
+        index_pruning: bool = True,
+        solve_cache: bool = True,
     ) -> None:
-        super().__init__(ctx, analytic_atoms=analytic_atoms, plan=plan)
+        super().__init__(
+            ctx,
+            analytic_atoms=analytic_atoms,
+            plan=plan,
+            index_pruning=index_pruning,
+            solve_cache=solve_cache,
+        )
         self.cache = cache
         self.dirty_values = frozenset(dirty_objects)
         self._clean_domain: dict[str, list[object]] = {}
@@ -303,12 +318,25 @@ class PartialIntervalEvaluator(IntervalEvaluator):
     # ------------------------------------------------------------------
     # Per-connective deltas
     # ------------------------------------------------------------------
+    def _atom_gate(self, f: Formula):
+        """Index pruning is a *full-evaluation* optimisation: building
+        the trajectory index costs O(all objects) while a delta refresh
+        recomputes only the dirty frontier — typically a handful of
+        rows — so the gate would cost more than every solve it could
+        save.  Deltas always take the solve path (through the shared
+        cache, which is O(1) per row and still applies)."""
+        return None
+
     def _delta_atom(self, f: Formula) -> FtlRelation:
         free = sorted(f.free_vars())
         out = FtlRelation(tuple(free))
+        gate = self._atom_gate(f)
+        stats = self._stats_for(f)
         for inst in self._dirty_product(free):
             env = dict(zip(free, inst))
-            out.set(tuple(inst), self._atom_intervals(f, env))
+            out.set(
+                tuple(inst), self._gated_atom_intervals(f, env, gate, stats)
+            )
         return out
 
     def _delta_disjunction(self, f: OrF) -> FtlRelation:

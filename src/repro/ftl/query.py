@@ -84,6 +84,8 @@ class FtlQuery:
         method: str = "interval",
         ordered: bool = True,
         plan: "EvalPlan | None" = None,
+        index_pruning: bool = True,
+        solve_cache: bool = True,
     ) -> FtlRelation:
         """Compute the full ``R_f`` relation, projected onto the targets.
 
@@ -97,9 +99,20 @@ class FtlQuery:
                 operand order; answers are identical either way.
             plan: a pre-built :class:`~repro.ftl.analysis.plan.EvalPlan`
                 to reuse (overrides ``ordered``).
+            index_pruning: answer atom instantiations outside the
+                trajectory-MBR candidate sets without kinetic solves
+                (DESIGN.md §7; answers are identical either way).
+            solve_cache: reuse kinetic solves through the database-wide
+                memo table.
         """
         return self.evaluate_full(
-            history, horizon, method=method, ordered=ordered, plan=plan
+            history,
+            horizon,
+            method=method,
+            ordered=ordered,
+            plan=plan,
+            index_pruning=index_pruning,
+            solve_cache=solve_cache,
         ).project(self.targets)
 
     def evaluate_full(
@@ -109,6 +122,8 @@ class FtlQuery:
         method: str = "interval",
         ordered: bool = True,
         plan: "EvalPlan | None" = None,
+        index_pruning: bool = True,
+        solve_cache: bool = True,
     ) -> FtlRelation:
         """The *unprojected* (but target-completed) ``R_f`` relation.
 
@@ -127,7 +142,12 @@ class FtlQuery:
         if method == "interval":
             from repro.ftl.evaluator import IntervalEvaluator
 
-            relation = IntervalEvaluator(ctx, plan=plan).evaluate(self.where)
+            relation = IntervalEvaluator(
+                ctx,
+                plan=plan,
+                index_pruning=index_pruning,
+                solve_cache=solve_cache,
+            ).evaluate(self.where)
         elif method == "naive":
             from repro.ftl.naive import NaiveEvaluator
 
@@ -214,6 +234,10 @@ class CompiledQuery:
     analysis: "AnalysisResult"
     plan: "EvalPlan | None" = None
     drift: list[dict] | None = None
+    #: Atom-acceleration counters of the last :meth:`evaluate` call with
+    #: ``record_relations=True`` (``kinetic_solves``,
+    #: ``pruned_instantiations``, ``cache_hits`` / ``cache_misses``, ...).
+    counters: dict[str, int] | None = None
 
     @property
     def diagnostics(self):
@@ -254,10 +278,12 @@ class CompiledQuery:
         plan = self.query.plan_for(history=history, horizon=horizon)
         ctx = EvalContext(history, horizon, self.query.bindings)
         trace: dict[int, FtlRelation] = {}
-        relation = IntervalEvaluator(ctx, trace=trace, plan=plan).evaluate(
-            self.query.where
+        evaluator = IntervalEvaluator(ctx, trace=trace, plan=plan)
+        relation = evaluator.evaluate(self.query.where)
+        self.drift = drift_report(
+            plan, trace, atom_stats=evaluator.atom_stats
         )
-        self.drift = drift_report(plan, trace)
+        self.counters = evaluator.counters()
         relation = self.query._complete(relation, ctx)
         return relation.project(self.query.targets)
 

@@ -224,6 +224,26 @@ class DynamicAttributeIndex:
             return self._tree.query(box)
         return {s.object_id for s in self._tree.search(box)}
 
+    def candidates_in_band(
+        self,
+        lo: float,
+        hi: float,
+        from_time: float | None = None,
+        until: float | None = None,
+    ) -> set[object]:
+        """Conservative candidate set: every object whose function-line
+        *may* take a value in ``[lo, hi]`` during the probed time span
+        (defaulting to the whole index window).  A superset of the exact
+        answer — callers verify candidates analytically; objects outside
+        the set are guaranteed non-matches, which is what index-pruned
+        atom evaluation (DESIGN.md §7) relies on."""
+        t0 = self.epoch if from_time is None else max(self.epoch, from_time)
+        t1 = self.horizon if until is None else min(self.horizon, until)
+        if t1 < t0:
+            return set()
+        box = Box.from_bounds((t0, t1), (lo, hi))
+        return self._candidates(box)
+
     def instantaneous_range(
         self, lo: float, hi: float, at_time: float, eps: float = 0.5
     ) -> set[object]:

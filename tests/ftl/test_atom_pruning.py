@@ -1,0 +1,338 @@
+"""Differential suite for index-pruned atom evaluation (DESIGN.md §7).
+
+The accelerated base case — trajectory-MBR pruning plus the shared
+kinetic-solve cache — must be answer-invisible: for every seeded world,
+query and evaluation method, the pruned+cached run must produce the same
+relation, tuple for tuple and interval for interval, as the exhaustive
+run with both layers disabled.  The worlds here are deliberately
+*sparse* (positions an order of magnitude wider than the regions and
+proximity bounds) so the pruner actually fires; guard tests assert that
+it does, keeping the suite honest.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MostDatabase, ObjectClass
+from repro.core.history import FutureHistory
+from repro.core.queries import ContinuousQuery
+from repro.errors import QueryError, SchemaError
+from repro.ftl import (
+    AndF,
+    Compare,
+    Const,
+    Dist,
+    Eventually,
+    FtlQuery,
+    Inside,
+    Outside,
+    Var,
+    WithinSphere,
+)
+from repro.ftl.context import EvalContext
+from repro.ftl.evaluator import IntervalEvaluator
+from repro.ftl.naive import NaiveEvaluator
+from repro.geometry import Point
+from repro.spatial import Polygon
+
+from tests.ftl.test_differential import (
+    HORIZON,
+    STEPS,
+    apply_random_updates,
+    build_world,
+    random_query,
+)
+
+
+def rows_of(relation):
+    """Canonical, order-independent form of a relation for equality."""
+    return sorted(
+        (inst, tuple((iv.start, iv.end) for iv in iset.intervals))
+        for inst, iset in relation.rows()
+    )
+
+
+def build_sparse_world(rng: random.Random, n: int = 6) -> MostDatabase:
+    """A fleet spread over +-300 with small regions: most instantiations
+    never come near a region or each other, so pruning has teeth."""
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass("cars", static_attributes=("price",), spatial_dimensions=2)
+    )
+    db.create_class(ObjectClass("vans", spatial_dimensions=2))
+    db.define_region("P", Polygon.rectangle(-10, -10, 10, 10))
+    db.define_region("Q", Polygon.rectangle(200, 200, 230, 230))
+    for i in range(n):
+        db.add_moving_object(
+            "cars",
+            f"c{i}",
+            Point(rng.randint(-300, 300), rng.randint(-300, 300)),
+            Point(rng.randint(-2, 2), rng.randint(-2, 2)),
+            static={"price": rng.randint(0, 150)},
+        )
+    for i in range(max(2, n // 2)):
+        db.add_moving_object(
+            "vans",
+            f"v{i}",
+            Point(rng.randint(-300, 300), rng.randint(-300, 300)),
+            Point(rng.randint(-2, 2), rng.randint(-2, 2)),
+        )
+    return db
+
+
+def both_modes(query, db, horizon=HORIZON):
+    """(exhaustive rows, accelerated rows) on snapshots of one db."""
+    exhaustive = query.evaluate_full(
+        FutureHistory(db), horizon, index_pruning=False, solve_cache=False
+    )
+    accelerated = query.evaluate_full(FutureHistory(db), horizon)
+    return rows_of(exhaustive), rows_of(accelerated)
+
+
+# ---------------------------------------------------------------------------
+# The main differential sweep: 200+ seeded scenarios
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_pruned_equals_exhaustive_random_worlds(seed):
+    """Random dense-ish worlds and random formulas (all atom kinds, all
+    temporal operators) — identical relations with and without the
+    acceleration layers."""
+    rng = random.Random(seed)
+    db = build_world(rng)
+    query = random_query(rng)
+    plain, fast = both_modes(query, db)
+    assert plain == fast, f"seed {seed}: {query.where}"
+
+
+@pytest.mark.parametrize("seed", range(120, 220))
+def test_pruned_equals_exhaustive_sparse_worlds(seed):
+    """Sparse worlds where pruning fires on most instantiations."""
+    rng = random.Random(seed)
+    db = build_sparse_world(rng)
+    query = random_query(rng)
+    plain, fast = both_modes(query, db)
+    assert plain == fast, f"seed {seed}: {query.where}"
+
+
+ATOMS = [
+    Inside(Var("c"), "P"),
+    Outside(Var("c"), "Q"),
+    WithinSphere(3, (Var("c"), Var("v"))),
+    Compare("<=", Dist(Var("c"), Var("v")), Const(5)),
+    Compare(">=", Dist(Var("c"), Var("v")), Const(5)),
+    Compare("<", Dist(Var("c"), Var("v")), Const(5)),
+    Compare(">", Const(5), Dist(Var("c"), Var("v"))),
+]
+
+
+@pytest.mark.parametrize("atom", ATOMS, ids=lambda a: str(a))
+def test_every_prunable_atom_kind(atom):
+    """Each prunable atom kind, alone and under a temporal operator, on
+    sparse worlds — equal answers, and the pruner demonstrably fired."""
+    pruned_total = 0
+    for seed in range(8):
+        rng = random.Random(1000 + seed)
+        db = build_sparse_world(rng)
+        free = sorted(atom.free_vars())
+        bindings = {v: ("cars" if v == "c" else "vans") for v in free}
+        for where in (atom, Eventually(atom)):
+            query = FtlQuery(
+                targets=tuple(free), bindings=bindings, where=where
+            )
+            plain, fast = both_modes(query, db)
+            assert plain == fast, f"seed {seed}: {where}"
+            ctx = EvalContext(FutureHistory(db), HORIZON, bindings)
+            ev = IntervalEvaluator(ctx, solve_cache=False)
+            ev.evaluate(where)
+            pruned_total += ev.pruned_instantiations
+    assert pruned_total > 0, f"pruner never fired for {atom}"
+
+
+# ---------------------------------------------------------------------------
+# Continuous queries under update streams
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(40))
+@pytest.mark.parametrize("method", ["interval", "incremental"])
+def test_continuous_queries_agree_under_updates(method, seed):
+    """Accelerated vs exhaustive continuous queries over identical update
+    streams: every display and the final Answer(CQ) must agree.  The
+    incremental method additionally exercises the shared cache across
+    PartialIntervalEvaluator refreshes."""
+    rng = random.Random(seed)
+    world_bits = rng.getstate()
+    dbs = []
+    for _ in range(2):
+        rng.setstate(world_bits)
+        dbs.append(build_world(rng))
+    query = random_query(rng)
+    plain = ContinuousQuery(
+        dbs[0],
+        query,
+        horizon=HORIZON,
+        method=method,
+        index_pruning=False,
+        solve_cache=False,
+    )
+    fast = ContinuousQuery(dbs[1], query, horizon=HORIZON, method=method)
+    for step in range(STEPS):
+        for db in dbs:
+            db.clock.tick()
+        apply_random_updates(rng, dbs)
+        a, b = plain.current(), fast.current()
+        assert a == b, (
+            f"seed {seed} step {step}: displays diverge for {query.where}\n"
+            f"exhaustive:  {sorted(a, key=str)}\n"
+            f"accelerated: {sorted(b, key=str)}"
+        )
+    tuples = [
+        sorted((t.values, t.begin, t.end) for t in cq.answer_tuples())
+        for cq in (plain, fast)
+    ]
+    assert tuples[0] == tuples[1], f"seed {seed}: {query.where}"
+
+
+def test_cache_invalidated_by_motion_update():
+    """An explicit motion update changes the attribute triples, hence the
+    cache keys: the accelerated answer tracks the new motion instead of
+    serving the pre-update solve."""
+    rng = random.Random(7)
+    db = build_sparse_world(rng, n=4)
+    query = FtlQuery(
+        targets=("c",),
+        bindings={"c": "cars"},
+        where=Inside(Var("c"), "P"),
+    )
+    plain, fast = both_modes(query, db)
+    assert plain == fast
+    # Send a far-away car through the region.
+    db.update_motion("c0", Point(0, 0), position=Point(0, 0))
+    plain, fast = both_modes(query, db)
+    assert plain == fast
+    assert any(inst == ("c0",) for inst, _ in fast)
+
+
+# ---------------------------------------------------------------------------
+# Counters and cache units
+# ---------------------------------------------------------------------------
+
+
+def test_counters_account_for_pruning_and_caching():
+    rng = random.Random(3)
+    db = build_sparse_world(rng, n=8)
+    # Survivors: a car crossing P with a van alongside, so pruning leaves
+    # work for the cache layer to absorb on the second run.
+    db.add_moving_object(
+        "cars", "cnear", Point(-2, 0), Point(1, 0), static={"price": 1}
+    )
+    db.add_moving_object("vans", "vnear", Point(-1, 1), Point(1, 0))
+    bindings = {"c": "cars", "v": "vans"}
+    where = AndF(
+        Inside(Var("c"), "P"),
+        Compare("<=", Dist(Var("c"), Var("v")), Const(4)),
+    )
+
+    def run(**kwargs):
+        ctx = EvalContext(FutureHistory(db), HORIZON, bindings)
+        ev = IntervalEvaluator(ctx, **kwargs)
+        ev.evaluate(where)
+        return ev
+
+    exhaustive = run(index_pruning=False, solve_cache=False)
+    pruned = run(solve_cache=False)
+    assert exhaustive.pruned_instantiations == 0
+    assert exhaustive.cache_hits == exhaustive.cache_misses == 0
+    assert pruned.pruned_instantiations > 0
+    assert pruned.kinetic_solves < exhaustive.kinetic_solves
+    counters = pruned.counters()
+    assert set(counters) == {
+        "kinetic_solves",
+        "sampled_atom_evals",
+        "pruned_instantiations",
+        "cache_hits",
+        "cache_misses",
+    }
+    # Same evaluation twice through the db-wide cache: the second run's
+    # surviving instantiations are all hits, with zero fresh solves.
+    first = run()
+    second = run()
+    assert first.kinetic_solves == pruned.kinetic_solves
+    assert second.kinetic_solves == 0
+    assert second.cache_hits > 0
+    assert second.cache_misses == 0
+    # Per-atom stats feed the drift report.
+    for stats in second.atom_stats.values():
+        assert stats["instantiations"] == stats["pruned"] + stats["cache_hits"]
+
+
+def test_cache_bound_is_enforced():
+    from repro.ftl.atoms import KineticSolveCache
+    from repro.temporal import DISCRETE, IntervalSet
+
+    cache = KineticSolveCache(max_entries=4)
+    sets = IntervalSet.empty(DISCRETE)
+    for i in range(10):
+        cache.put(("k", i), sets)
+    assert len(cache) == 4
+    assert cache.get(("k", 0)) is None  # FIFO-evicted
+    assert cache.get(("k", 9)) is not None
+    assert cache.hits == 1 and cache.misses == 1
+    cache.get(("k", 1), record=False)  # oracle probes don't touch stats
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_naive_read_through_matches_geometry():
+    """The per-state oracle with ``use_solve_cache=True`` reads interval
+    sets the interval evaluator solved and agrees with its own geometric
+    evaluation — the cache-coherence check of the two representations."""
+    rng = random.Random(11)
+    db = build_world(rng)
+    bindings = {"c": "cars", "v": "vans"}
+    where = AndF(
+        Inside(Var("c"), "P"), WithinSphere(4, (Var("c"), Var("v")))
+    )
+    # Warm the db-wide cache with the interval evaluator's solves.
+    warm_ctx = EvalContext(FutureHistory(db), HORIZON, bindings)
+    IntervalEvaluator(warm_ctx, index_pruning=False).evaluate(where)
+    ctx = EvalContext(FutureHistory(db), HORIZON, bindings)
+    plain = NaiveEvaluator(ctx).evaluate(where)
+    ctx2 = EvalContext(FutureHistory(db), HORIZON, bindings)
+    cached = NaiveEvaluator(ctx2, use_solve_cache=True)
+    reread = cached.evaluate(where)
+    assert rows_of(plain) == rows_of(reread)
+    assert cached.cache_hits > 0
+
+
+# ---------------------------------------------------------------------------
+# Error parity
+# ---------------------------------------------------------------------------
+
+
+def test_pruning_preserves_errors_on_nonspatial_objects():
+    """An atom over a class without spatial attributes raises the same
+    error with acceleration on and off — pruning must never swallow it."""
+    db = MostDatabase()
+    db.create_class(ObjectClass("tags", dynamic_attributes=("level",)))
+    db.define_region("P", Polygon.rectangle(0, 0, 5, 5))
+    from repro.core.dynamic import DynamicAttribute
+
+    db.add_object(
+        "tags",
+        "t0",
+        dynamic={"level": DynamicAttribute.linear(1.0, 0.5)},
+    )
+    query = FtlQuery(
+        targets=("t",), bindings={"t": "tags"}, where=Inside(Var("t"), "P")
+    )
+    with pytest.raises((QueryError, SchemaError)) as plain_err:
+        query.evaluate_full(
+            FutureHistory(db), 5, index_pruning=False, solve_cache=False
+        )
+    with pytest.raises((QueryError, SchemaError)) as fast_err:
+        query.evaluate_full(FutureHistory(db), 5)
+    assert type(plain_err.value) is type(fast_err.value)
+    assert str(plain_err.value) == str(fast_err.value)

@@ -1,0 +1,152 @@
+"""Property tests: index candidate sets are conservative supersets.
+
+Two structures feed index-pruned atom evaluation (DESIGN.md §7) and both
+must satisfy the same contract — every object the exact predicate can
+ever match appears in the candidate set.  False positives are fine (the
+solve path verifies them); a single false negative would silently drop
+answer tuples.
+
+* :meth:`~repro.index.dynamicindex.DynamicAttributeIndex.
+  candidates_in_band` must contain every object whose attribute value
+  enters the band during the probed span.
+* :class:`~repro.ftl.atoms.AtomIndexPruner` region/pair candidate sets
+  must contain every object that is ever inside the region / within the
+  radius of the probe object during the window.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MostDatabase, ObjectClass
+from repro.core.dynamic import DynamicAttribute
+from repro.core.history import FutureHistory
+from repro.ftl.context import EvalContext
+from repro.geometry import Point
+from repro.index.dynamicindex import DynamicAttributeIndex
+from repro.spatial import Polygon
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+coord = st.integers(min_value=-50, max_value=50)
+speed = st.integers(min_value=-4, max_value=4)
+
+
+# ---------------------------------------------------------------------------
+# DynamicAttributeIndex.candidates_in_band
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(
+    lines=st.lists(
+        st.tuples(coord, speed), min_size=1, max_size=12, unique=True
+    ),
+    band=st.tuples(coord, coord),
+    span=st.tuples(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    ),
+    structure=st.sampled_from(["regiontree", "rtree"]),
+)
+def test_candidates_in_band_is_sound(lines, band, span, structure):
+    lo, hi = min(band), max(band)
+    t0, t1 = min(span), max(span)
+    index = DynamicAttributeIndex(
+        0.0, 20.0, -300.0, 300.0, structure=structure
+    )
+    for i, (value, slope) in enumerate(lines):
+        index.insert(f"o{i}", DynamicAttribute.linear(value, slope))
+    cands = index.candidates_in_band(lo, hi, from_time=t0, until=t1)
+    # Exact check by dense sampling: a linear function enters [lo, hi]
+    # within [t0, t1] iff it is in band at t0, at t1, or crosses a
+    # boundary in between — integer grids catch all of these.
+    for i, (value, slope) in enumerate(lines):
+        enters = any(
+            lo <= value + slope * t <= hi
+            for t in [t0, t1]
+            + [t / 4 for t in range(t0 * 4, t1 * 4 + 1)]
+        )
+        if enters:
+            assert f"o{i}" in cands, (
+                f"o{i} (v={value}, s={slope}) enters [{lo}, {hi}] during "
+                f"[{t0}, {t1}] but was not a candidate"
+            )
+
+
+# ---------------------------------------------------------------------------
+# AtomIndexPruner region / pair candidates
+# ---------------------------------------------------------------------------
+
+fleet = st.lists(
+    st.tuples(coord, coord, speed, speed), min_size=1, max_size=10
+)
+
+
+def _build_ctx(objects, horizon=12):
+    db = MostDatabase()
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    for i, (x, y, vx, vy) in enumerate(objects):
+        db.add_moving_object("cars", f"c{i}", Point(x, y), Point(vx, vy))
+    return db, EvalContext(FutureHistory(db), horizon, {"c": "cars"})
+
+
+@SETTINGS
+@given(
+    objects=fleet,
+    rect=st.tuples(coord, coord, coord, coord),
+)
+def test_region_candidates_are_sound(objects, rect):
+    x0, y0, x1, y1 = rect
+    region = Polygon.rectangle(
+        min(x0, x1), min(y0, y1), max(x0, x1) + 1, max(y0, y1) + 1
+    )
+    db, ctx = _build_ctx(objects)
+    pruner = ctx.atom_pruner()
+    cands = pruner.region_candidates(region)
+    assert cands is not None
+    for i in range(len(objects)):
+        oid = f"c{i}"
+        ever_inside = any(
+            region.contains(ctx.history.position(oid, t))
+            for t in ctx.ticks()
+        )
+        if ever_inside:
+            assert oid in cands, (
+                f"{oid} enters the region but was not a candidate"
+            )
+
+
+@SETTINGS
+@given(
+    objects=fleet,
+    probe=st.integers(min_value=0, max_value=9),
+    radius=st.integers(min_value=0, max_value=15),
+)
+def test_pair_candidates_are_sound(objects, probe, radius):
+    probe = probe % len(objects)
+    db, ctx = _build_ctx(objects)
+    pruner = ctx.atom_pruner()
+    oid = f"c{probe}"
+    cands = pruner.pair_candidates(oid, float(radius))
+    assert cands is not None and oid in cands
+    for i in range(len(objects)):
+        other = f"c{i}"
+        ever_near = any(
+            math.dist(
+                tuple(ctx.history.position(oid, t)),
+                tuple(ctx.history.position(other, t)),
+            )
+            <= radius
+            for t in ctx.ticks()
+        )
+        if ever_near:
+            assert other in cands, (
+                f"{other} comes within {radius} of {oid} but was not a "
+                "candidate"
+            )
