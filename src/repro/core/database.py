@@ -56,8 +56,15 @@ UpdateListener = Callable[[MostUpdate], None]
 class MostDatabase:
     """Object classes + objects + named regions under one global clock."""
 
-    def __init__(self, clock: SimulationClock | None = None) -> None:
+    def __init__(
+        self,
+        clock: SimulationClock | None = None,
+        kinetic_cache_size: int | None = None,
+    ) -> None:
         self.clock = clock if clock is not None else SimulationClock()
+        #: Bound on the kinetic-solve memo table (None = the default,
+        #: ``repro.ftl.atoms.DEFAULT_CACHE_ENTRIES``).
+        self.kinetic_cache_size = kinetic_cache_size
         self._classes: dict[str, ObjectClass] = {}
         self._objects: dict[object, MostObject] = {}
         self._by_class: dict[str, list[object]] = {}
@@ -82,7 +89,12 @@ class MostDatabase:
         if self._kinetic_cache is None:
             from repro.ftl.atoms import KineticSolveCache  # avoid cycle
 
-            self._kinetic_cache = KineticSolveCache()
+            if self.kinetic_cache_size is None:
+                self._kinetic_cache = KineticSolveCache()
+            else:
+                self._kinetic_cache = KineticSolveCache(
+                    max_entries=self.kinetic_cache_size
+                )
         return self._kinetic_cache
 
     # ------------------------------------------------------------------

@@ -219,6 +219,7 @@ class ContinuousQuery:
         ordered: bool = True,
         index_pruning: bool = True,
         solve_cache: bool = True,
+        batch_solver: bool = True,
     ) -> None:
         if horizon < 0:
             raise QueryError("horizon must be non-negative")
@@ -241,6 +242,10 @@ class ContinuousQuery:
         #: Reuse kinetic solves across refreshes through the database-wide
         #: memo table (updates invalidate via attribute updatetimes).
         self.solve_cache = solve_cache
+        #: Submit each atom's surviving instantiations to the vectorized
+        #: kinetic backend as one batch (DESIGN.md §8); answers are
+        #: identical either way.
+        self.batch_solver = batch_solver
         #: Suppress tuples depending on objects not heard from within
         #: this many ticks (None = no degradation).
         self.staleness_bound = staleness_bound
@@ -348,6 +353,7 @@ class ContinuousQuery:
                 plan=self.plan,
                 index_pruning=self.index_pruning,
                 solve_cache=self.solve_cache,
+                batch_solver=self.batch_solver,
             )
             self._rf = rf
             self._cache = cache
@@ -364,6 +370,7 @@ class ContinuousQuery:
                 plan=self.plan,
                 index_pruning=self.index_pruning,
                 solve_cache=self.solve_cache,
+                batch_solver=self.batch_solver,
             )
             self._cache = None
         self._target_positions = [
@@ -387,6 +394,7 @@ class ContinuousQuery:
             plan=self.plan,
             index_pruning=self.index_pruning,
             solve_cache=self.solve_cache,
+            batch_solver=self.batch_solver,
         )
         self._rf = evaluator.refresh(self.query.where)
         self.rows_recomputed += evaluator.rows_recomputed

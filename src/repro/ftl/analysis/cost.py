@@ -86,6 +86,12 @@ class CostModel:
     #: Whether atom evaluation runs behind the trajectory-MBR index gate
     #: (the evaluator's default); off, every instantiation solves.
     index_pruning: bool = True
+    #: Whether surviving instantiations of a kinetic atom are submitted
+    #: to the vectorized backend as one batch (DESIGN.md §8, the
+    #: evaluator's default).  Solve *counts* are identical either way —
+    #: batching changes how many solver invocations amortise them, which
+    #: ``CostEstimate.solve_batches`` tracks.
+    batch_solver: bool = True
 
     @property
     def ticks(self) -> int:
@@ -112,6 +118,11 @@ class CostEstimate:
     #: children).  Kept out of ``cost`` so conjunct ordering and its
     #: calibration are unchanged by the pruning estimate.
     solves: float = 0.0
+    #: Expected *solver invocations* amortising those solves: with the
+    #: batch backend each kinetic atom submits its surviving rows as a
+    #: single batch (one invocation per atom node); scalar solving pays
+    #: one per solve.  Like ``solves``, kept out of ``cost``.
+    solve_batches: float = 0.0
 
     def to_json(self) -> dict:
         """JSON-shaped estimate (rounded for stable golden files)."""
@@ -121,6 +132,7 @@ class CostEstimate:
             "cost": round(self.cost, 3),
             "selectivity": round(self.selectivity, 6),
             "solves": round(self.solves, 3),
+            "solve_batches": round(self.solve_batches, 3),
         }
 
 
@@ -205,14 +217,22 @@ def atom_estimate(
     eligible = kinetic_eligible(f)
     per_inst = 1.0 if eligible else float(model.ticks)
     survival = index_survival(f) if model.index_pruning else 1.0
+    # Both-invariant comparisons evaluate once without a solver call,
+    # so only genuinely kinetic atoms contribute solves.
+    solves = product * survival if eligible and not invariant else 0.0
+    # The batch backend amortises all of an atom's solves into one
+    # solver invocation; scalar solving pays one invocation per solve.
+    if solves > 0.0:
+        batches = 1.0 if model.batch_solver else solves
+    else:
+        batches = 0.0
     return CostEstimate(
         tuples=sel * product,
         intervals=1.0 if invariant else 2.0,
         cost=product * per_inst,
         selectivity=sel,
-        # Both-invariant comparisons evaluate once without a solver call,
-        # so only genuinely kinetic atoms contribute solves.
-        solves=product * survival if eligible and not invariant else 0.0,
+        solves=solves,
+        solve_batches=batches,
     )
 
 
@@ -243,6 +263,7 @@ def join_estimate(
         cost=e1.cost + e2.cost + e1.tuples + e2.tuples + tuples,
         selectivity=sel,
         solves=e1.solves + e2.solves,
+        solve_batches=e1.solve_batches + e2.solve_batches,
     )
 
 
@@ -264,6 +285,7 @@ def union_estimate(
         cost=e1.cost + e2.cost + product,
         selectivity=sel,
         solves=e1.solves + e2.solves,
+        solve_batches=e1.solve_batches + e2.solve_batches,
     )
 
 
@@ -280,6 +302,7 @@ def complement_estimate(
         cost=e.cost + product,
         selectivity=sel,
         solves=e.solves,
+        solve_batches=e.solve_batches,
     )
 
 
@@ -305,6 +328,7 @@ def until_estimate(
         + e2.tuples * max(1.0, extra_product) + tuples,
         selectivity=sel,
         solves=e1.solves + e2.solves,
+        solve_batches=e1.solve_batches + e2.solve_batches,
     )
 
 
@@ -331,6 +355,7 @@ def map_estimate(e: CostEstimate, kind: str) -> CostEstimate:
         cost=e.cost + e.tuples,
         selectivity=sel,
         solves=e.solves,
+        solve_batches=e.solve_batches,
     )
 
 
@@ -380,6 +405,7 @@ def assign_estimate(
         cost=q_cost + body.cost + body.tuples + tuples,
         selectivity=body.selectivity,
         solves=body.solves,
+        solve_batches=body.solve_batches,
     )
 
 

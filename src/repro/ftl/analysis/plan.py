@@ -259,7 +259,11 @@ class EvalPlan:
             "total": self.total.to_json(),
             "atom_acceleration": {
                 "index_pruning": self.model.index_pruning,
+                "batch_solver": self.model.batch_solver,
                 "estimated_solves": round(self.total.solves, 3),
+                "estimated_solve_batches": round(
+                    self.total.solve_batches, 3
+                ),
             },
             "shared_subformulas": len(self.shared_ids),
             "diagnostics": [d.to_json() for d in self.diagnostics],

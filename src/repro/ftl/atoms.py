@@ -45,7 +45,11 @@ from typing import TYPE_CHECKING, Callable
 from repro.errors import QueryError, SchemaError
 from repro.ftl.ast import Compare, Dist, Formula, Inside, Outside, WithinSphere
 from repro.ftl.relations import EMPTY_SET
+from repro.geometry import Point
 from repro.index.rtree import RTree
+from repro.motion import batch
+from repro.motion.moving import LinearPiece, MovingPoint
+from repro.spatial.kinetic import paired_legs
 from repro.spatial.polygon import Polygon
 from repro.spatial.regions import Ball, Box
 from repro.temporal import DISCRETE, IntervalSet
@@ -116,6 +120,37 @@ class KineticSolveCache:
 # ---------------------------------------------------------------------------
 
 
+class _SolveToken:
+    """Hash-caching wrapper around a heavyweight token value.
+
+    A solve key is hashed several times per candidate row (the
+    ``_keyed`` hashability check, cache probes, pending-set bookkeeping,
+    the final ``put``) and Python tuples re-hash their contents every
+    time — for a 16-vertex polygon token that is the dominant cost of
+    the whole key layer.  The wrapper computes the hash once; equality
+    still compares the underlying values, so key semantics — including
+    invalidation on region redefinition or motion update — are
+    unchanged.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _SolveToken):
+            return self.value == other.value
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_SolveToken({self.value!r})"
+
+
 def motion_token(history: "History", object_id: object) -> object | None:
     """A hashable token identifying an object's frozen motion state.
 
@@ -146,14 +181,48 @@ def motion_token(history: "History", object_id: object) -> object | None:
     return triples
 
 
+#: Memo of wrapped region tokens, keyed by region identity.  Regions are
+#: immutable (``Ball`` is frozen, ``Polygon`` never mutates its
+#: vertices) so a token can never go stale for a given object; distinct
+#: objects with equal geometry still produce *equal* tokens, preserving
+#: the name-independent key semantics.  Bounded and cleared wholesale —
+#: correctness never depends on a memo hit.
+_REGION_TOKENS: dict[int, tuple[object, "_SolveToken"]] = {}
+_REGION_TOKEN_LIMIT = 256
+
+
 def region_token(region: object) -> object | None:
     """A hashable token identifying a region's geometry (name-independent,
     so redefining a named region can never serve a stale answer)."""
+    entry = _REGION_TOKENS.get(id(region))
+    if entry is not None and entry[0] is region:
+        return entry[1]
     if isinstance(region, Ball):
-        return region
-    if isinstance(region, Polygon):
-        return ("poly", region.vertices)
-    return None
+        raw: object = region
+    elif isinstance(region, Polygon):
+        raw = ("poly", region.vertices)
+    else:
+        return None
+    token = _SolveToken(raw)
+    if len(_REGION_TOKENS) >= _REGION_TOKEN_LIMIT:
+        _REGION_TOKENS.clear()
+    _REGION_TOKENS[id(region)] = (region, token)
+    return token
+
+
+def _ctx_motion_token(
+    ctx: "EvalContext", object_id: object
+) -> "_SolveToken | None":
+    """Per-context memo of wrapped motion tokens.  A context covers one
+    evaluation of one frozen history — tokens cannot go stale within its
+    lifetime — and the cached hash keeps per-row key construction cheap."""
+    memo = ctx._motion_tokens
+    if object_id in memo:
+        return memo[object_id]
+    raw = motion_token(ctx.history, object_id)
+    token = None if raw is None else _SolveToken(raw)
+    memo[object_id] = token
+    return token
 
 
 def _window(ctx: "EvalContext") -> tuple[int, int]:
@@ -174,7 +243,7 @@ def region_solve_key(
     """Key of the *inside* interval set of one object vs one region
     (``OUTSIDE`` complements the cached answer on retrieval)."""
     rtok = region_token(region)
-    mtok = motion_token(ctx.history, object_id)
+    mtok = _ctx_motion_token(ctx, object_id)
     if rtok is None or mtok is None:
         return None
     return _keyed(("region", _window(ctx), rtok, mtok))
@@ -189,7 +258,7 @@ def sphere_solve_key(
     exhaustive path matters more than a few extra entries."""
     tokens = []
     for oid in object_ids:
-        tok = motion_token(ctx.history, oid)
+        tok = _ctx_motion_token(ctx, oid)
         if tok is None:
             return None
         tokens.append(tok)
@@ -200,8 +269,8 @@ def dist_solve_key(
     ctx: "EvalContext", op: str, bound: float, a: object, b: object
 ) -> tuple | None:
     """Key of a ``DIST(a, b) op bound`` fast-path solve."""
-    ta = motion_token(ctx.history, a)
-    tb = motion_token(ctx.history, b)
+    ta = _ctx_motion_token(ctx, a)
+    tb = _ctx_motion_token(ctx, b)
     if ta is None or tb is None:
         return None
     return _keyed(("dist", _window(ctx), op, float(bound), ta, tb))
@@ -491,3 +560,194 @@ class AtomIndexPruner:
         if isinstance(f.right, Dist) and ctx.term_invariant(f.left):
             return f.right, f.left, _FLIP[f.op]
         return None
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: batch submission of kinetic solves
+# ---------------------------------------------------------------------------
+
+
+class KineticBatch:
+    """One atom's worth of kinetic solves, submitted as a batch.
+
+    The interval evaluator queues each surviving instantiation's solve
+    request here instead of solving it inline.  Requests whose motion is
+    piecewise linear over the window become rows of the vectorized
+    backend (:mod:`repro.motion.batch`): ``DIST`` comparisons,
+    ``INSIDE``/``OUTSIDE`` of a ball, and two-object ``WITHIN_SPHERE``
+    reduce to the quadratic kernel; polygon containment to the
+    edge-crossing sweep.  Everything else — nonlinear motion, spheres
+    over ``k != 2`` objects, dimension mismatches, negative radii — is
+    rejected (:meth:`submit` returns ``None``) and the evaluator runs
+    the scalar closure at submit time, preserving evaluation order and
+    error behaviour exactly.
+
+    Movers that cannot be resolved raise from :meth:`submit` itself,
+    which the evaluator calls at the same product-order position where
+    the scalar path would have run (and raised from) the solve closure.
+    """
+
+    def __init__(self, ctx: "EvalContext") -> None:
+        self.ctx = ctx
+        self._table = batch.LinearTable(ctx.start, ctx.end)
+        #: oid -> ("single" | "multi", pieces) or (None, None) when the
+        #: motion is not piecewise linear over the window.
+        self._motions: dict[object, tuple] = {}
+        self._centers: dict[Ball, list[LinearPiece]] = {}
+        self._reference: list[LinearPiece] | None = None
+        self._dist: batch.DistanceBatch | None = None
+        self._polys: dict[object, batch.PolygonBatch] = {}
+        self._solved: dict[int, list[IntervalSet]] = {}
+
+    # ------------------------------------------------------------------
+    # Motion classification
+    # ------------------------------------------------------------------
+    def _motion(self, oid: object) -> tuple:
+        """``("single", [leg])``, ``("multi", pieces)``, or ``(None,
+        None)`` for one object, memoized; raises exactly as
+        ``ctx.moving_point`` would."""
+        entry = self._motions.get(oid)
+        if entry is None:
+            mover = self.ctx.moving_point(oid)
+            leg = mover.single_leg(self.ctx.start, self.ctx.end)
+            if leg is not None:
+                entry = ("single", [leg])
+            else:
+                pieces = mover.linear_pieces(self.ctx.start, self.ctx.end)
+                entry = (
+                    ("multi", pieces) if pieces is not None else (None, None)
+                )
+            self._motions[oid] = entry
+        return entry
+
+    def _ball_center(self, region: Ball) -> list[LinearPiece]:
+        """The static ball-center mover's single leg (the same virtual
+        ``MovingPoint(ball.center)`` the scalar solver pairs against)."""
+        legs = self._centers.get(region)
+        if legs is None:
+            leg = MovingPoint(region.center).single_leg(
+                self.ctx.start, self.ctx.end
+            )
+            assert leg is not None  # static motion is always one leg
+            legs = self._centers[region] = [leg]
+        return legs
+
+    def _ref_pieces(self) -> list[LinearPiece]:
+        """The polygon solver's static ``(0, 0)`` reference pieces."""
+        if self._reference is None:
+            pieces = MovingPoint(Point(0.0, 0.0)).linear_pieces(
+                self.ctx.start, self.ctx.end
+            )
+            assert pieces is not None  # static motion is always linear
+            self._reference = pieces
+        return self._reference
+
+    def _dist_batch(self) -> batch.DistanceBatch:
+        if self._dist is None:
+            self._dist = batch.DistanceBatch(self._table)
+        return self._dist
+
+    def _poly_batch(self, region: Polygon) -> batch.PolygonBatch:
+        token = region_token(region)
+        pb = self._polys.get(token)
+        if pb is None:
+            pb = self._polys[token] = batch.PolygonBatch(region, self._table)
+        return pb
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, vec: tuple) -> tuple | None:
+        """Queue one vectorizable solve, returning an opaque handle, or
+        ``None`` when only the scalar closure applies."""
+        kind = vec[0]
+        if kind == "dist":
+            return self._submit_dist(vec[1], vec[2], vec[3], vec[4])
+        if kind == "region":
+            return self._submit_region(vec[1], vec[2])
+        if kind == "sphere":
+            obj_ids, radius = vec[1], vec[2]
+            if len(obj_ids) != 2 or radius < 0:
+                return None
+            # Two movers fit in a radius-r sphere exactly when they are
+            # within 2r of each other — the scalar reduction.
+            return self._submit_dist(
+                obj_ids[0], obj_ids[1], 2 * radius, False
+            )
+        return None  # pragma: no cover - descriptor kinds are closed
+
+    def _submit_dist(
+        self, a: object, b: object, bound: float, at_least: bool
+    ) -> tuple | None:
+        ka, pa = self._motion(a)
+        if ka is None:
+            return None
+        kb, pb = self._motion(b)
+        if kb is None:
+            return None
+        if pa[0].origin.dim != pb[0].origin.dim:
+            return None  # the scalar closure raises the mismatch error
+        dist = self._dist_batch()
+        if ka == "single" and kb == "single":
+            row = dist.add_pair(
+                self._table.add(a, pa[0]),
+                self._table.add(b, pb[0]),
+                bound,
+                at_least,
+            )
+        else:
+            legs = paired_legs(pa, pb, self.ctx.window)
+            row = dist.add_legs(legs, bound, at_least)
+        return (dist, row)
+
+    def _submit_region(self, obj_id: object, region: object) -> tuple | None:
+        if isinstance(region, Ball):
+            if region.radius < 0:
+                return None  # the scalar closure raises
+            kind, pieces = self._motion(obj_id)
+            if kind is None:
+                return None
+            center = self._ball_center(region)
+            if pieces[0].origin.dim != center[0].origin.dim:
+                return None
+            dist = self._dist_batch()
+            if kind == "single":
+                row = dist.add_pair(
+                    self._table.add(obj_id, pieces[0]),
+                    self._table.add(("__ball_center__", region), center[0]),
+                    region.radius,
+                    False,
+                )
+            else:
+                legs = paired_legs(pieces, center, self.ctx.window)
+                row = dist.add_legs(legs, region.radius, False)
+            return (dist, row)
+        if isinstance(region, Polygon):
+            kind, pieces = self._motion(obj_id)
+            if kind is None:
+                return None
+            if pieces[0].origin.dim != 2:
+                return None  # the scalar closure raises the 2-D error
+            pb = self._poly_batch(region)
+            if kind == "single":
+                row = pb.add_slot(self._table.add(obj_id, pieces[0]))
+            else:
+                legs = paired_legs(pieces, self._ref_pieces(), self.ctx.window)
+                row = pb.add_legs(legs)
+            return (pb, row)
+        return None  # unsupported region: the scalar closure raises
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def solve(self) -> None:
+        """Run every queued batch through the vectorized kernels."""
+        if self._dist is not None:
+            self._solved[id(self._dist)] = self._dist.solve()
+        for pb in self._polys.values():
+            self._solved[id(pb)] = pb.solve()
+
+    def result(self, handle: tuple) -> IntervalSet:
+        """The solved answer for one :meth:`submit` handle."""
+        queue, row = handle
+        return self._solved[id(queue)][row]

@@ -50,6 +50,7 @@ class EvalContext:
             var: history.object_ids(cls) for var, cls in bindings.items()
         }
         self._movers: dict[object, "MovingPoint"] = {}
+        self._motion_tokens: dict[object, object] = {}
         self._pruner: "AtomIndexPruner | None" = None
 
     # ------------------------------------------------------------------

@@ -49,11 +49,13 @@ from repro.ftl.ast import (
     WithinSphere,
 )
 from repro.ftl.atoms import (
+    KineticBatch,
     attr_solve_key,
     dist_solve_key,
     region_solve_key,
     sphere_solve_key,
 )
+from repro.motion.batch import available as _batch_available
 from repro.ftl.context import Env, EvalContext
 from repro.ftl.relations import (
     EMPTY_SET,
@@ -98,6 +100,36 @@ _CMP = {
 }
 
 
+class _SolveRequest:
+    """One instantiation's pending kinetic solve.
+
+    ``solve`` is the scalar closure (exactly what the pre-batch evaluator
+    ran); ``key`` its cache identity; ``post`` an optional transform of
+    the cached value (OUTSIDE complements the stored *inside* set);
+    ``vec`` the batch descriptor the :class:`~repro.ftl.atoms.
+    KineticBatch` classifies, or ``None`` when only the scalar path
+    applies.
+    """
+
+    __slots__ = ("key", "solve", "post", "vec")
+
+    def __init__(
+        self,
+        key: object,
+        solve: "Callable[[], IntervalSet]",
+        post: "Callable[[IntervalSet], IntervalSet] | None" = None,
+        vec: tuple | None = None,
+    ) -> None:
+        self.key = key
+        self.solve = solve
+        self.post = post
+        self.vec = vec
+
+    def finish(self, value: IntervalSet) -> IntervalSet:
+        """The atom's answer given the solved (cache-shaped) value."""
+        return value if self.post is None else self.post(value)
+
+
 class IntervalEvaluator:
     """Bottom-up computation of ``R_g`` per subformula."""
 
@@ -109,6 +141,7 @@ class IntervalEvaluator:
         plan: "EvalPlan | None" = None,
         index_pruning: bool = True,
         solve_cache: bool = True,
+        batch_solver: bool = True,
     ) -> None:
         self.ctx = ctx
         #: When False, every atom is evaluated by per-tick sampling instead
@@ -130,6 +163,11 @@ class IntervalEvaluator:
         #: Layer-2 acceleration: reuse kinetic solves via the
         #: database-wide memo table keyed on frozen motion triples.
         self._solve_cache = ctx.solve_cache() if solve_cache else None
+        #: Layer-3 acceleration (DESIGN.md §8): submit each atom's
+        #: surviving instantiations to the vectorized kinetic backend as
+        #: one batch instead of solving row-at-a-time.  Requires numpy;
+        #: silently degrades to the scalar path without it.
+        self.batch_solver = batch_solver
         self._shared_memo: dict[int, FtlRelation] = {}
         self._naive: "object | None" = None
         #: Count of per-tick atom evaluations (benchmark instrumentation).
@@ -243,9 +281,124 @@ class IntervalEvaluator:
         relation = FtlRelation(tuple(free))
         gate = self._atom_gate(f)
         stats = self._stats_for(f)
+        if self._use_batch():
+            return self._batched_rows(
+                f, free, product(*domains), relation, gate, stats
+            )
         for inst in product(*domains):
             env = dict(zip(free, inst))
             iset = self._gated_atom_intervals(f, env, gate, stats)
+            relation.set(inst, iset)
+        return relation
+
+    def _use_batch(self) -> bool:
+        """Whether atoms go through the batch kinetic backend.
+
+        Zero-length windows stay scalar: their degenerate zero-velocity
+        leg is synthesized inside the scalar pairing fallback, which the
+        coefficient extraction intentionally does not reproduce."""
+        return (
+            self.batch_solver
+            and self.analytic_atoms
+            and self.ctx.start < self.ctx.end
+            and _batch_available()
+        )
+
+    def _batched_rows(
+        self,
+        f: Formula,
+        free: list[str],
+        insts,
+        relation: FtlRelation,
+        gate,
+        stats: dict[str, object],
+    ) -> FtlRelation:
+        """The batch path of the atom base case (DESIGN.md §8).
+
+        Three phases: classify every instantiation in product order
+        (running gates, eager term evaluation, cache lookups, and scalar
+        fallbacks exactly where the row-at-a-time path would), solve the
+        queued rows through the vectorized backend, then fan the results
+        back into the cache and the relation in the original row order —
+        so the relation, the counters, and the cache contents match the
+        scalar path tuple-for-tuple.
+        """
+        cache = self._solve_cache
+        kbatch = KineticBatch(self.ctx)
+        ordered: list[tuple] = []
+        results: list[IntervalSet | None] = []
+        queued: list[tuple[int, _SolveRequest, tuple]] = []
+        deferred: list[tuple[int, _SolveRequest]] = []
+        pending: set = set()  # keys whose producing row is still queued
+        for inst in insts:
+            env = dict(zip(free, inst))
+            ordered.append(tuple(inst))
+            stats["instantiations"] += 1
+            if gate is not None:
+                known = gate(env)
+                if known is not None:
+                    self.pruned_instantiations += 1
+                    stats["pruned"] += 1
+                    results.append(known)
+                    continue
+            solves0 = self.kinetic_solves
+            hits0 = self.cache_hits
+            req = self._atom_request(f, env)
+            stats["solves"] += self.kinetic_solves - solves0
+            stats["cache_hits"] += self.cache_hits - hits0
+            if isinstance(req, IntervalSet):
+                results.append(req)
+                continue
+            key = req.key
+            cacheable = cache is not None and key is not None
+            if cacheable:
+                if key in pending:
+                    # A queued row already produces this key; read it
+                    # back in phase 3 (the scalar path's cache hit).
+                    deferred.append((len(results), req))
+                    results.append(None)
+                    continue
+                hit = cache.get(key)
+                if hit is not None:
+                    self.cache_hits += 1
+                    stats["cache_hits"] += 1
+                    results.append(req.finish(hit))
+                    continue
+                self.cache_misses += 1
+            self.kinetic_solves += 1
+            stats["solves"] += 1
+            handle = kbatch.submit(req.vec) if req.vec is not None else None
+            if handle is None:  # not vectorizable: solve inline, as scalar
+                value = req.solve()
+                if cacheable:
+                    cache.put(key, value)
+                results.append(req.finish(value))
+                continue
+            if cacheable:
+                pending.add(key)
+            queued.append((len(results), req, handle))
+            results.append(None)
+        kbatch.solve()
+        for idx, req, handle in queued:
+            value = kbatch.result(handle)
+            if cache is not None and req.key is not None:
+                cache.put(req.key, value)
+            results[idx] = req.finish(value)
+        for idx, req in deferred:
+            hit = cache.get(req.key)  # records the hit, as scalar would
+            if hit is None:  # evicted mid-batch: re-solve row-at-a-time
+                self.cache_misses += 1
+                self.kinetic_solves += 1
+                stats["solves"] += 1
+                hit = req.solve()
+                cache.put(req.key, hit)
+            else:
+                self.cache_hits += 1
+                stats["cache_hits"] += 1
+            results[idx] = req.finish(hit)
+        for inst, iset in zip(ordered, results):
+            if iset is None:  # pragma: no cover - every row is filled
+                raise FtlSemanticsError("batch solve left a row unfilled")
             relation.set(inst, iset)
         return relation
 
@@ -307,6 +460,21 @@ class IntervalEvaluator:
         return result
 
     def _atom_intervals(self, f: Formula, env: Env) -> IntervalSet:
+        req = self._atom_request(f, env)
+        if isinstance(req, IntervalSet):
+            return req
+        return req.finish(self._cached_solve(req.key, req.solve))
+
+    def _atom_request(
+        self, f: Formula, env: Env
+    ) -> "IntervalSet | _SolveRequest":
+        """One instantiation's answer, or its pending kinetic solve.
+
+        Immediate answers (sampled atoms, invariant comparisons, the
+        attribute fast path, per-tick fallbacks) come back as interval
+        sets; the kinetic atom kinds come back as requests so the batch
+        path can queue them — the scalar path solves them inline.
+        """
         ctx = self.ctx
         window = ctx.window
 
@@ -329,12 +497,20 @@ class IntervalEvaluator:
 
             # Cache the *inside* set; OUTSIDE complements on retrieval so
             # both atom polarities share one solve.
-            inside_set = self._cached_solve(
-                region_solve_key(ctx, region, obj_id), solve_region
+            post: "Callable[[IntervalSet], IntervalSet] | None" = None
+            if isinstance(f, Outside):
+                start, end = ctx.start, ctx.end
+
+                def complement_inside(inside_set: IntervalSet) -> IntervalSet:
+                    return inside_set.complement(Interval(start, end))
+
+                post = complement_inside
+            return _SolveRequest(
+                region_solve_key(ctx, region, obj_id),
+                solve_region,
+                post,
+                ("region", obj_id, region),
             )
-            if isinstance(f, Inside):
-                return inside_set
-            return inside_set.complement(Interval(ctx.start, ctx.end))
 
         if isinstance(f, WithinSphere):
             obj_ids = [ctx.eval_term(o, env, ctx.start) for o in f.objs]
@@ -344,12 +520,15 @@ class IntervalEvaluator:
                 dense = when_within_sphere(f.radius, movers, window)
                 return dense.discretized().clip(ctx.start, ctx.end)
 
-            return self._cached_solve(
-                sphere_solve_key(ctx, f.radius, obj_ids), solve_sphere
+            return _SolveRequest(
+                sphere_solve_key(ctx, f.radius, obj_ids),
+                solve_sphere,
+                None,
+                ("sphere", obj_ids, f.radius),
             )
 
         if isinstance(f, Compare):
-            return self._compare_intervals(f, env)
+            return self._compare_request(f, env)
 
         raise FtlSemanticsError(f"not an atom: {f!r}")
 
@@ -367,7 +546,9 @@ class IntervalEvaluator:
             flags.append(naive.satisfied(f, env, t))
         return IntervalSet.from_boolean_samples(flags, DISCRETE, ctx.start)
 
-    def _compare_intervals(self, f: Compare, env: Env) -> IntervalSet:
+    def _compare_request(
+        self, f: Compare, env: Env
+    ) -> "IntervalSet | _SolveRequest":
         ctx = self.ctx
         left_inv = ctx.term_invariant(f.left)
         right_inv = ctx.term_invariant(f.right)
@@ -382,9 +563,9 @@ class IntervalEvaluator:
 
         if self.analytic_atoms:
             # Fast path: DIST(o1, o2) <= / >= constant (the airport query).
-            fast = self._dist_fast_path(f, env, left_inv, right_inv)
-            if fast is not None:
-                return fast
+            req = self._dist_request(f, env, left_inv, right_inv)
+            if req is not None:
+                return req
 
             # Fast path: linear dynamic attribute vs constant.
             fast = self._attr_fast_path(f, env, left_inv, right_inv)
@@ -403,9 +584,9 @@ class IntervalEvaluator:
             )
         return IntervalSet.from_boolean_samples(flags, DISCRETE, ctx.start)
 
-    def _dist_fast_path(
+    def _dist_request(
         self, f: Compare, env: Env, left_inv: bool, right_inv: bool
-    ) -> IntervalSet | None:
+    ) -> "_SolveRequest | None":
         ctx = self.ctx
         if isinstance(f.left, Dist) and right_inv and f.op in ("<=", ">="):
             dist_term, bound_term, op = f.left, f.right, f.op
@@ -429,8 +610,11 @@ class IntervalEvaluator:
                 dense = when_dist_at_least(m1, m2, float(bound), ctx.window)
             return dense.discretized().clip(ctx.start, ctx.end)
 
-        return self._cached_solve(
-            dist_solve_key(ctx, op, float(bound), a, b), solve_dist
+        return _SolveRequest(
+            dist_solve_key(ctx, op, float(bound), a, b),
+            solve_dist,
+            None,
+            ("dist", a, b, float(bound), op == ">="),
         )
 
     def _attr_fast_path(

@@ -127,6 +127,7 @@ def evaluate_with_cache(
     plan: "EvalPlan | None" = None,
     index_pruning: bool = True,
     solve_cache: bool = True,
+    batch_solver: bool = True,
 ) -> tuple[FtlRelation, QueryCache, IntervalEvaluator]:
     """Full appendix evaluation that also captures the subformula cache.
 
@@ -146,6 +147,7 @@ def evaluate_with_cache(
         plan=plan,
         index_pruning=index_pruning,
         solve_cache=solve_cache,
+        batch_solver=batch_solver,
     )
     relation = evaluator.evaluate(query.where)
     return relation, cache, evaluator
@@ -170,6 +172,7 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         plan: "EvalPlan | None" = None,
         index_pruning: bool = True,
         solve_cache: bool = True,
+        batch_solver: bool = True,
     ) -> None:
         super().__init__(
             ctx,
@@ -177,6 +180,7 @@ class PartialIntervalEvaluator(IntervalEvaluator):
             plan=plan,
             index_pruning=index_pruning,
             solve_cache=solve_cache,
+            batch_solver=batch_solver,
         )
         self.cache = cache
         self.dirty_values = frozenset(dirty_objects)
@@ -332,6 +336,12 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         out = FtlRelation(tuple(free))
         gate = self._atom_gate(f)
         stats = self._stats_for(f)
+        if self._use_batch():
+            # Materialize the frontier first: _dirty_product counts
+            # rows_recomputed as it yields.
+            return self._batched_rows(
+                f, free, list(self._dirty_product(free)), out, gate, stats
+            )
         for inst in self._dirty_product(free):
             env = dict(zip(free, inst))
             out.set(

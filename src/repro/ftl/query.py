@@ -86,6 +86,7 @@ class FtlQuery:
         plan: "EvalPlan | None" = None,
         index_pruning: bool = True,
         solve_cache: bool = True,
+        batch_solver: bool = True,
     ) -> FtlRelation:
         """Compute the full ``R_f`` relation, projected onto the targets.
 
@@ -104,6 +105,9 @@ class FtlQuery:
                 (DESIGN.md §7; answers are identical either way).
             solve_cache: reuse kinetic solves through the database-wide
                 memo table.
+            batch_solver: submit each atom's surviving instantiations to
+                the vectorized kinetic backend as one batch (DESIGN.md
+                §8; answers are identical either way).
         """
         return self.evaluate_full(
             history,
@@ -113,6 +117,7 @@ class FtlQuery:
             plan=plan,
             index_pruning=index_pruning,
             solve_cache=solve_cache,
+            batch_solver=batch_solver,
         ).project(self.targets)
 
     def evaluate_full(
@@ -124,6 +129,7 @@ class FtlQuery:
         plan: "EvalPlan | None" = None,
         index_pruning: bool = True,
         solve_cache: bool = True,
+        batch_solver: bool = True,
     ) -> FtlRelation:
         """The *unprojected* (but target-completed) ``R_f`` relation.
 
@@ -147,11 +153,14 @@ class FtlQuery:
                 plan=plan,
                 index_pruning=index_pruning,
                 solve_cache=solve_cache,
+                batch_solver=batch_solver,
             ).evaluate(self.where)
         elif method == "naive":
             from repro.ftl.naive import NaiveEvaluator
 
-            relation = NaiveEvaluator(ctx, plan=plan).evaluate(self.where)
+            relation = NaiveEvaluator(
+                ctx, plan=plan, batch_solver=batch_solver
+            ).evaluate(self.where)
         else:
             raise FtlSemanticsError(f"unknown method {method!r}")
         return self._complete(relation, ctx)

@@ -70,6 +70,23 @@ class LinearFunction:
 ZERO_FUNCTION = LinearFunction(0.0)
 
 
+def constant_slope(f: TimeFunction, duration: float) -> float | None:
+    """The single slope of ``f`` over ``[0, duration]``, or ``None``.
+
+    Coefficient extraction for the batch kinetic backend
+    (:mod:`repro.motion.batch`): a function that decomposes into exactly
+    one linear piece over the window contributes one velocity coefficient
+    per axis, so the whole trajectory becomes a single row in the
+    vectorized quadratic solve.  Functions that are nonlinear or change
+    slope mid-window return ``None`` and take the piecewise or scalar
+    fallback path instead.
+    """
+    bps = f.linear_breakpoints(duration)
+    if bps is None or len(bps) != 1:
+        return None
+    return bps[0][1]
+
+
 @dataclass(frozen=True)
 class PiecewiseLinearFunction:
     """Continuous piecewise-linear displacement.

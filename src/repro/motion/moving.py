@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import MotionError
-from repro.motion.functions import LinearFunction, TimeFunction, ZERO_FUNCTION
+from repro.motion.functions import (
+    LinearFunction,
+    TimeFunction,
+    ZERO_FUNCTION,
+    constant_slope,
+)
 from repro.geometry import Point, Vector
 
 
@@ -171,6 +176,35 @@ class MovingPoint:
                 LinearPiece(start, end, origin, Vector.zero(self.dim))
             )
         return pieces
+
+    def single_leg(self, start: float, end: float) -> LinearPiece | None:
+        """The trajectory over ``[start, end]`` as one linear leg, or
+        ``None`` when it is nonlinear or changes slope inside the window.
+
+        Equivalent to :meth:`linear_pieces` returning exactly one piece,
+        with a fast path that skips the breakpoint-union bookkeeping when
+        every axis has a single constant slope — the common case the batch
+        kinetic backend (:mod:`repro.motion.batch`) turns into one row of
+        its coefficient arrays.
+        """
+        if end < start:
+            raise MotionError(f"window end {end} precedes start {start}")
+        if end > start:  # a zero-length window degenerates to a static leg
+            duration = end - self._anchor_time
+            slopes: list[float] = []
+            for f in self._functions:
+                k = constant_slope(f, duration)
+                if k is None:
+                    break
+                slopes.append(k)
+            else:
+                return LinearPiece(
+                    start, end, self.position_at(start), Vector(*slopes)
+                )
+        pieces = self.linear_pieces(start, end)
+        if pieces is None or len(pieces) != 1:
+            return None
+        return pieces[0]
 
     def _slope_at(
         self, breakpoints: list[tuple[float, float]], abs_t: float

@@ -167,21 +167,34 @@ def _paired_pieces(
     p2 = m2.linear_pieces(window.start, window.end)
     if p1 is None or p2 is None:
         return None
+    legs = paired_legs(p1, p2, window)
+    if not legs:
+        d0 = m1.position_at(window.start) - m2.position_at(window.start)
+        legs.append((window.start, window.end, d0, Vector.zero(d0.dim)))
+    return legs
+
+
+def paired_legs(
+    p1: list[LinearPiece], p2: list[LinearPiece], window: Interval
+) -> list[tuple[float, float, Point, Vector]]:
+    """Pair two linear-piece decompositions into relative-motion legs.
+
+    Exposed separately so the batch backend (:mod:`repro.motion.batch`)
+    can pair per-object pieces it has already derived (and memoized)
+    through the identical arithmetic the scalar path uses.
+    """
     cuts = sorted(
         {window.start, window.end}
         | {p.start for p in p1}
         | {p.start for p in p2}
     )
-    legs = []
+    legs: list[tuple[float, float, Point, Vector]] = []
     for lo, hi in zip(cuts, cuts[1:]):
         a = _piece_at(p1, lo)
         b = _piece_at(p2, lo)
         d0 = a.position_at(lo) - b.position_at(lo)
         dv = a.velocity - b.velocity
         legs.append((lo, hi, d0, dv))
-    if not legs:
-        d0 = m1.position_at(window.start) - m2.position_at(window.start)
-        legs.append((window.start, window.end, d0, Vector.zero(d0.dim)))
     return legs
 
 
