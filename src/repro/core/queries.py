@@ -32,6 +32,28 @@ from repro.ftl.query import FtlQuery
 from repro.ftl.relations import AnswerTuple, FtlRelation
 
 
+def _require_bound_classes(query: FtlQuery, db: MostDatabase) -> None:
+    """Fail fast when the query ranges over a class the database lacks.
+
+    Registration-time gate shared by every query class (and the
+    continuous-query server's subscription registry): a query whose FROM
+    clause names a class absent from this database raises a clean
+    :class:`~repro.errors.SchemaError` naming the missing classes, never
+    a deep evaluator error at first refresh.
+    """
+    known = set(db.class_names())
+    missing = sorted(
+        {cls for cls in query.bindings.values() if cls not in known}
+    )
+    if missing:
+        names = ", ".join(repr(c) for c in missing)
+        have = ", ".join(repr(c) for c in sorted(known)) or "none"
+        raise SchemaError(
+            f"query ranges over unknown object class(es) {names}; "
+            f"classes defined in this database: {have}"
+        )
+
+
 def _analyze_or_raise(query: FtlQuery, db: MostDatabase) -> AnalysisResult:
     """Run the static analyzer against the database schema, failing fast.
 
@@ -142,6 +164,7 @@ class InstantaneousQuery:
     def _gate(self, db: MostDatabase) -> None:
         """Re-run the analyzer against ``db``'s schema (once per db)."""
         if id(db) not in self._analyzed_dbs:
+            _require_bound_classes(self.query, db)
             self.analysis = _analyze_or_raise(self.query, db)
             self._analyzed_dbs.add(id(db))
 
@@ -262,6 +285,9 @@ class ContinuousQuery:
         #: Rows recomputed across all incremental refreshes.
         self.rows_recomputed = 0
         self._bound_classes = frozenset(query.bindings.values())
+        # Unknown classes fail at registration with a SchemaError naming
+        # them — never a deep evaluator error at first refresh.
+        _require_bound_classes(query, db)
         #: Static analysis against the database schema; errors raise
         #: FtlAnalysisError before the first evaluation.
         self.analysis = _analyze_or_raise(query, db)
@@ -337,6 +363,13 @@ class ContinuousQuery:
                 horizon=max(0, self.expires_at - self._last_refresh),
             )
         return self._answer
+
+    @property
+    def cached_relations(self) -> int:
+        """Subformula relations held by the incremental cache (0 when the
+        query is not incrementally maintained).  The continuous-query
+        server's metrics report this per registered query."""
+        return 0 if self._cache is None else len(self._cache)
 
     # ------------------------------------------------------------------
     def _full_evaluate(self) -> None:
@@ -573,6 +606,7 @@ class PersistentQuery:
         self.query = query
         self.horizon = horizon
         self.method = method
+        _require_bound_classes(query, db)
         #: Static analysis against the database schema (fail fast).
         self.analysis = _analyze_or_raise(query, db)
         #: Which evaluator actually answered the last evaluation.

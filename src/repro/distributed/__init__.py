@@ -41,7 +41,9 @@ from repro.distributed.ftl_processing import (
     DistributedResult,
     process_distributed,
 )
+from repro.distributed.backoff import RetrySchedule
 from repro.distributed.updates import (
+    BUSY_KIND,
     MotionReporter,
     MotionUpdate,
     UpdateServer,
@@ -60,8 +62,10 @@ __all__ = [
     "NetworkStats",
     "FaultPlan",
     "LinkFaults",
+    "BUSY_KIND",
     "MotionReporter",
     "MotionUpdate",
+    "RetrySchedule",
     "UpdateServer",
     "MobileNode",
     "MobileClient",

@@ -19,9 +19,12 @@ makes the server's picture *eventually* right anyway:
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
 
 from repro.core.database import MostDatabase
+from repro.distributed.backoff import RetrySchedule
 from repro.distributed.network import Message, SimNetwork
 from repro.distributed.node import MobileNode
 from repro.errors import DistributedError
@@ -30,6 +33,9 @@ from repro.motion.moving import linear_moving_point
 
 UPDATE_KIND = "motion-update"
 ACK_KIND = "motion-ack"
+#: Explicit backpressure signal: the receiver's inbox is full, back off.
+#: Payload is ``(object_id, seq, retry_after_ticks)``.
+BUSY_KIND = "motion-busy"
 
 #: Relative message sizes: an update carries a full motion vector, an ack
 #: just an (object, seq) pair.
@@ -110,7 +116,15 @@ class MotionReporter:
         retry_after: ticks before the first retransmission of an unacked
             update.
         backoff: multiplicative backoff factor per retry.
-        max_interval: retry-interval ceiling in ticks.
+        max_interval: retry-interval ceiling in ticks (the configurable
+            cap — no retry ever waits longer, jitter aside).
+        jitter: proportional retry-interval spread in ``[0, 1)``; with
+            ``0.3`` each wait is scaled by a seeded uniform draw from
+            ``[0.7, 1.3]``, so reporters that lost the same partition do
+            not retry in lockstep when it heals.
+        seed: RNG seed for the jitter draws.  ``None`` derives a stable
+            per-object seed from ``object_id``, decorrelating reporters
+            by default while keeping every schedule reproducible.
     """
 
     def __init__(
@@ -121,6 +135,8 @@ class MotionReporter:
         retry_after: int = 2,
         backoff: float = 2.0,
         max_interval: int = 8,
+        jitter: float = 0.0,
+        seed: int | None = None,
     ) -> None:
         if retry_after < 1:
             raise DistributedError("retry_after must be at least one tick")
@@ -133,8 +149,19 @@ class MotionReporter:
         self.retry_after = retry_after
         self.backoff = backoff
         self.max_interval = max_interval
+        self.schedule = RetrySchedule(
+            base=retry_after,
+            factor=backoff,
+            cap=max_interval,
+            jitter=jitter,
+        )
+        if seed is None:
+            seed = zlib.crc32(repr(self.object_id).encode())
+        self._rng = random.Random(seed)
         self.sent = 0
         self.retransmissions = 0
+        #: Explicit back-off signals received from a congested server.
+        self.busy_signals = 0
         self.acked_through = -1
         self._next_seq = 0
         self._last_velocity: Point | None = None
@@ -142,6 +169,7 @@ class MotionReporter:
         self._unacked: dict[int, list] = {}
         self._was_connected = self.network.is_connected(node.node_id)
         node.on_kind(ACK_KIND, self._on_ack)
+        node.on_kind(BUSY_KIND, self._on_busy)
         self.network.clock.on_tick(self._on_tick)
 
     # ------------------------------------------------------------------
@@ -197,6 +225,21 @@ class MotionReporter:
             del self._unacked[settled]
         self.acked_through = max(self.acked_through, seq)
 
+    def _on_busy(self, message: Message) -> None:
+        """The server's inbox was full: it tells us when to come back
+        instead of silently dropping the update (explicit backpressure).
+        The hold-off is jittered so the herd does not return at once."""
+        _object_id, seq, retry_after = message.payload
+        entry = self._unacked.get(seq)
+        if entry is None:
+            return
+        self.busy_signals += 1
+        now = self.network.clock.now
+        attempts = entry[2] + 1
+        hint = max(int(retry_after), self.schedule.interval(attempts, self._rng))
+        entry[1] = now + max(1, hint)
+        entry[2] = attempts
+
     def _on_tick(self, now: int) -> None:
         connected = self.network.is_connected(self.node.node_id)
         if not connected:
@@ -216,9 +259,5 @@ class MotionReporter:
             self._transmit(update)
             self.retransmissions += 1
             attempts += 1
-            interval = min(
-                int(self.retry_after * self.backoff**attempts),
-                self.max_interval,
-            )
-            entry[1] = now + max(1, interval)
+            entry[1] = now + self.schedule.interval(attempts, self._rng)
             entry[2] = attempts

@@ -118,6 +118,10 @@ class QueryCache:
 
     relations: dict[int, FtlRelation] = field(default_factory=dict)
 
+    def __len__(self) -> int:
+        """Number of cached subformula relations (metrics/diagnostics)."""
+        return len(self.relations)
+
 
 def evaluate_with_cache(
     query: "FtlQuery",

@@ -1,0 +1,82 @@
+"""The always-on continuous-query server (DESIGN.md §9).
+
+An asyncio epoch loop that ingests batched motion updates with explicit
+backpressure, maintains registered continuous queries incrementally, and
+fans out sequence-numbered answer deltas to subscribers through the
+§5.2 transmission policies — robust to message loss, client
+disconnection, and crash-restart of the epoch loop itself.
+"""
+
+from repro.server.client import BatchingReporter, SubscriberClient
+from repro.server.epoch import CQServer
+from repro.server.metrics import (
+    BACKPRESSURE,
+    NORMAL,
+    SHEDDING,
+    LatencyWindow,
+    ServerMetrics,
+)
+from repro.server.protocol import (
+    DeltaAck,
+    DeltaMsg,
+    HeartbeatMsg,
+    IngestAck,
+    IngestBatch,
+    IngestBusy,
+    ResumeMsg,
+    SubscribedMsg,
+    SubscribeMsg,
+    WireTuple,
+    decode_line,
+    encode_line,
+)
+from repro.server.registry import (
+    AnswerState,
+    RegisteredQuery,
+    SubscriberRecord,
+    SubscriptionRegistry,
+)
+from repro.server.session import ClientSession, make_policy
+from repro.server.soak import (
+    SoakConfig,
+    SoakResult,
+    run_soak,
+    soak_sweep,
+)
+from repro.server.transport import ProtocolNode, SimTransport, Transport
+
+__all__ = [
+    "BACKPRESSURE",
+    "NORMAL",
+    "SHEDDING",
+    "AnswerState",
+    "BatchingReporter",
+    "CQServer",
+    "ClientSession",
+    "DeltaAck",
+    "DeltaMsg",
+    "HeartbeatMsg",
+    "IngestAck",
+    "IngestBatch",
+    "IngestBusy",
+    "LatencyWindow",
+    "ProtocolNode",
+    "RegisteredQuery",
+    "ResumeMsg",
+    "ServerMetrics",
+    "SimTransport",
+    "SoakConfig",
+    "SoakResult",
+    "SubscribeMsg",
+    "SubscribedMsg",
+    "SubscriberClient",
+    "SubscriberRecord",
+    "SubscriptionRegistry",
+    "Transport",
+    "WireTuple",
+    "decode_line",
+    "encode_line",
+    "make_policy",
+    "run_soak",
+    "soak_sweep",
+]

@@ -1,0 +1,484 @@
+"""The always-on continuous-query server: asyncio epoch loop.
+
+One **epoch** = one tick of the shared simulation clock plus one pass of
+server work:
+
+1. **pump** — tick the clock; the network delivers in-flight messages
+   (ingest batches land in the bounded inbox, client acks/resumes/
+   heartbeats are routed to their sessions);
+2. **ingest** — drain up to ``batch_limit`` queued motion updates into
+   :meth:`~repro.core.database.MostDatabase.ingest_motion` (idempotent,
+   sequence-checked) and ack them, amortising structural cache
+   invalidation across the whole batch;
+3. **refresh** — bring registered continuous queries up to date off
+   their dirty frontiers (incremental maintenance; a clean query is a
+   near-free no-op);
+4. **fan-out** — diff each query's answer state and push deltas to
+   subscriber sessions through their §5.2 transmission policies.
+
+Backpressure is explicit end-to-end: a full inbox refuses the batch
+with an :class:`~repro.server.protocol.IngestBusy` telling the reporter
+when to come back (never a silent drop), and every ingest ack carries a
+refreshed credit allowance that shrinks to zero as the queue climbs
+past the high watermark.
+
+The degradation ladder (DESIGN.md §9): ``normal`` → ``backpressure``
+(credits withheld) → ``shedding`` (bounded refreshes per epoch,
+round-robin; unrefreshed queries keep serving their last answer with
+honestly aged staleness flags instead of blocking the loop).
+
+Crash-restart: :meth:`CQServer.crash` drops every volatile structure
+(inbox, sessions, live query instances); :meth:`CQServer.restart` bumps
+the incarnation, re-evaluates from the durable registry, and resyncs
+every subscriber by snapshot.  Reporters recover by PR 2 retry; clients
+by resumable cursors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from collections import deque
+
+from repro.core.database import MostDatabase
+from repro.distributed.backoff import RetrySchedule
+from repro.distributed.network import SimNetwork
+from repro.distributed.updates import (
+    ACK_KIND,
+    ACK_SIZE,
+    BUSY_KIND,
+    UPDATE_KIND,
+    MotionUpdate,
+)
+from repro.errors import DistributedError, ReproError
+from repro.server.metrics import (
+    BACKPRESSURE,
+    NORMAL,
+    SHEDDING,
+    ServerMetrics,
+)
+from repro.server.protocol import (
+    CONTROL_SIZE,
+    DELTA_ACK,
+    HEARTBEAT,
+    INGEST_ACK,
+    INGEST_BATCH,
+    INGEST_BUSY,
+    RESUME,
+    SERVER_ID,
+    SUBSCRIBE,
+    SUBSCRIBED,
+    DeltaAck,
+    HeartbeatMsg,
+    IngestAck,
+    IngestBatch,
+    IngestBusy,
+    ResumeMsg,
+    SubscribedMsg,
+    SubscribeMsg,
+)
+from repro.server.registry import SubscriptionRegistry
+from repro.server.session import ClientSession
+from repro.server.transport import SimTransport
+
+
+class CQServer:
+    """The epoch-loop continuous-query server.
+
+    Args:
+        db: the MOST database (shares its clock with the network).
+        network: the simulated transport; ``None`` builds a standalone
+            server (TCP transport attached separately).
+        inbox_capacity: bound of the epoch ingest queue, in updates.
+        batch_limit: updates applied per epoch (the amortisation knob).
+        high_watermark: inbox fill fraction beyond which ingest credits
+            drop to zero (the ``backpressure`` ladder level).
+        shed_budget: query refreshes allowed per epoch while shedding.
+        heartbeat_timeout: epochs of client silence before its sessions
+            pause sends.
+        retry: backoff schedule for delta retransmission (jittered).
+        busy_retry_after: hold-off, in epochs, a refused reporter is told.
+        seed: base RNG seed for per-session jitter decorrelation.
+    """
+
+    def __init__(
+        self,
+        db: MostDatabase,
+        network: SimNetwork | None = None,
+        server_id: str = SERVER_ID,
+        inbox_capacity: int = 512,
+        batch_limit: int = 128,
+        high_watermark: float = 0.75,
+        shed_budget: int = 4,
+        heartbeat_timeout: int = 8,
+        retry: RetrySchedule | None = None,
+        busy_retry_after: int = 2,
+        max_log: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if inbox_capacity < 1:
+            raise DistributedError("inbox must hold at least one update")
+        if batch_limit < 1:
+            raise DistributedError("batch limit must be at least one update")
+        if not 0.0 < high_watermark <= 1.0:
+            raise DistributedError("high watermark must be in (0, 1]")
+        self.db = db
+        self.clock = db.clock
+        self.server_id = server_id
+        self.inbox_capacity = inbox_capacity
+        self.batch_limit = batch_limit
+        self.high_watermark = high_watermark
+        self.shed_budget = shed_budget
+        self.heartbeat_timeout = heartbeat_timeout
+        self.retry = retry if retry is not None else RetrySchedule(
+            base=2.0, factor=2.0, cap=8.0, jitter=0.3
+        )
+        self.busy_retry_after = busy_retry_after
+        self.max_log = max_log
+        self.seed = seed
+        self.metrics = ServerMetrics()
+        self.registry = SubscriptionRegistry(db, self.metrics)
+        self.sessions: dict[tuple[str, str], ClientSession] = {}
+        #: Queued ``("batch", src, IngestBatch)`` / ``("single", src,
+        #: MotionUpdate)`` entries; :attr:`inbox_depth` counts updates.
+        self._inbox: deque = deque()
+        self.inbox_depth = 0
+        self._reporters: set[str] = set()
+        self.incarnation = 1
+        self.crashed = False
+        self.level = NORMAL
+        self.transport = (
+            SimTransport(network, server_id, self._dispatch)
+            if network is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch (transport-agnostic)
+    # ------------------------------------------------------------------
+    def _dispatch(self, src: str, kind: str, payload: object) -> None:
+        """Route one inbound message (called by any transport)."""
+        if self.crashed:
+            return
+        if kind == INGEST_BATCH:
+            self._on_batch(src, payload)
+        elif kind == UPDATE_KIND:
+            self._on_single(src, payload)
+        elif kind == SUBSCRIBE:
+            self._on_subscribe(src, payload)
+        elif kind == DELTA_ACK:
+            self._on_delta_ack(payload)
+        elif kind == RESUME:
+            self._on_resume(payload)
+        elif kind == HEARTBEAT:
+            self._on_heartbeat(payload)
+        # Unknown kinds are ignored: the server talks several protocol
+        # generations and must not crash on a newer client's extras.
+
+    def _send(self, dst: str, kind: str, payload: object, size: int) -> bool:
+        if self.transport is None:
+            return False
+        return self.transport.send(dst, kind, payload, size=size)
+
+    @property
+    def _headroom(self) -> int:
+        return self.inbox_capacity - self.inbox_depth
+
+    def _on_batch(self, src: str, batch: IngestBatch) -> None:
+        self._reporters.add(src)
+        if len(batch.updates) > self._headroom:
+            # Explicit backpressure: refuse the whole batch atomically
+            # and tell the reporter when to come back.
+            self.metrics.busy_signals += 1
+            self._send(
+                src,
+                INGEST_BUSY,
+                IngestBusy(
+                    batch_seq=batch.batch_seq,
+                    retry_after=self.busy_retry_after,
+                ),
+                CONTROL_SIZE,
+            )
+            return
+        self._inbox.append(("batch", src, batch))
+        self.inbox_depth += len(batch.updates)
+        self.metrics.updates_enqueued += len(batch.updates)
+        self.metrics.observe_inbox(self.inbox_depth)
+
+    def _on_single(self, src: str, update: MotionUpdate) -> None:
+        """Legacy single-update ingest (PR 2 :class:`MotionReporter`)."""
+        self._reporters.add(src)
+        if self._headroom < 1:
+            self.metrics.busy_singles += 1
+            self._send(
+                src,
+                BUSY_KIND,
+                (update.object_id, update.seq, self.busy_retry_after),
+                ACK_SIZE,
+            )
+            return
+        self._inbox.append(("single", src, update))
+        self.inbox_depth += 1
+        self.metrics.updates_enqueued += 1
+        self.metrics.observe_inbox(self.inbox_depth)
+
+    def _on_subscribe(self, src: str, msg: SubscribeMsg) -> None:
+        now = self.clock.now
+        try:
+            rq = self.registry.register(msg)
+        except ReproError as exc:
+            # Fail fast with the diagnostic (SchemaError for unknown
+            # classes, FtlAnalysisError for malformed queries) instead
+            # of a deep evaluator error at first refresh.
+            self._send(
+                src,
+                SUBSCRIBED,
+                SubscribedMsg(
+                    client_id=msg.client_id,
+                    query_id="",
+                    incarnation=self.incarnation,
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+                CONTROL_SIZE,
+            )
+            return
+        key = (msg.client_id, rq.query_id)
+        session = self.sessions.get(key)
+        if (
+            session is not None
+            and msg.have_seq >= 0
+            and msg.incarnation == self.incarnation
+        ):
+            # Reconnect to a live session: resume, don't resync.
+            session.on_resume(
+                ResumeMsg(
+                    client_id=msg.client_id,
+                    query_id=rq.query_id,
+                    incarnation=msg.incarnation,
+                    have_seq=msg.have_seq,
+                ),
+                now,
+            )
+        elif session is None:
+            self.sessions[key] = self._build_session(key, now)
+            self.metrics.subscriptions += 1
+        self._send(
+            src,
+            SUBSCRIBED,
+            SubscribedMsg(
+                client_id=msg.client_id,
+                query_id=rq.query_id,
+                incarnation=self.incarnation,
+            ),
+            CONTROL_SIZE,
+        )
+
+    def _build_session(self, key: tuple[str, str], now: int) -> ClientSession:
+        record = self.registry.records[key]
+        return ClientSession(
+            record,
+            send=self._send,
+            metrics=self.metrics,
+            incarnation=self.incarnation,
+            now=now,
+            schedule=self.retry,
+            seed=self.seed ^ zlib.crc32("|".join(key).encode()),
+            heartbeat_timeout=self.heartbeat_timeout,
+            max_log=self.max_log,
+        )
+
+    def _on_delta_ack(self, ack: DeltaAck) -> None:
+        session = self.sessions.get((ack.client_id, ack.query_id))
+        if session is not None:
+            session.on_ack(ack, self.clock.now)
+
+    def _on_resume(self, msg: ResumeMsg) -> None:
+        session = self.sessions.get((msg.client_id, msg.query_id))
+        if session is not None:
+            session.on_resume(msg, self.clock.now)
+
+    def _on_heartbeat(self, msg: HeartbeatMsg) -> None:
+        now = self.clock.now
+        for (client_id, _), session in self.sessions.items():
+            if client_id == msg.client_id:
+                session.on_heartbeat(msg, now)
+
+    # ------------------------------------------------------------------
+    # The epoch loop
+    # ------------------------------------------------------------------
+    def _credits(self) -> int:
+        """Per-reporter ingest allowance granted with each ack."""
+        if self.inbox_depth >= self.high_watermark * self.inbox_capacity:
+            return 0
+        return max(1, self._headroom // max(1, len(self._reporters)))
+
+    def _drain_ingest(self) -> int:
+        """Apply up to ``batch_limit`` queued updates; ack everything."""
+        applied = 0
+        budget = self.batch_limit
+        while self._inbox and budget > 0:
+            entry_kind, src, payload = self._inbox[0]
+            if (
+                entry_kind == "batch"
+                and len(payload.updates) > budget
+                and applied > 0
+            ):
+                # Whole batches apply atomically within an epoch; an
+                # oversized batch waits for a fresh budget — but at the
+                # head of an untouched epoch it applies anyway, so a
+                # batch larger than ``batch_limit`` can never stall the
+                # queue forever.
+                break
+            self._inbox.popleft()
+            if entry_kind == "batch":
+                acked: dict[object, int] = {}
+                for update in payload.updates:
+                    if self._apply(update):
+                        applied += 1
+                    acked[update.object_id] = max(
+                        acked.get(update.object_id, -1), update.seq
+                    )
+                self.inbox_depth -= len(payload.updates)
+                budget -= len(payload.updates)
+                self._send(
+                    src,
+                    INGEST_ACK,
+                    IngestAck(
+                        batch_seq=payload.batch_seq,
+                        acked=tuple(sorted(acked.items(), key=lambda kv: str(kv[0]))),
+                        credits=self._credits(),
+                    ),
+                    ACK_SIZE,
+                )
+            else:
+                if self._apply(payload):
+                    applied += 1
+                self.inbox_depth -= 1
+                budget -= 1
+                # PR 2 ack compatibility: (object_id, seq) on ACK_KIND.
+                self._send(
+                    src, ACK_KIND, (payload.object_id, payload.seq), ACK_SIZE
+                )
+        return applied
+
+    def _apply(self, update: MotionUpdate) -> bool:
+        try:
+            ok = self.db.ingest_motion(
+                update.object_id,
+                update.seq,
+                update.velocity,
+                update.position,
+                update.measured_at,
+            )
+        except ReproError:
+            # An update naming an unknown object (or malformed) must not
+            # take the epoch loop down; it is rejected and acked so the
+            # sender stops retrying it.
+            self.metrics.updates_rejected += 1
+            return False
+        if ok:
+            self.metrics.updates_applied += 1
+        else:
+            self.metrics.updates_rejected += 1
+        return ok
+
+    def _ladder_level(self, backlog: bool) -> str:
+        if backlog:
+            return SHEDDING
+        if self.inbox_depth >= self.high_watermark * self.inbox_capacity:
+            return BACKPRESSURE
+        return NORMAL
+
+    async def run_epoch(self) -> None:
+        """One epoch: pump, ingest, refresh, fan out."""
+        t0 = time.perf_counter()
+        # Pump: in-flight messages due this tick reach their handlers
+        # (ingest enqueues, acks/resumes/heartbeats hit sessions).
+        self.clock.tick()
+        now = self.clock.now
+        self.metrics.epochs += 1
+        if self.crashed:
+            # Time passes while the loop is down; nothing is served.
+            await asyncio.sleep(0)
+            return
+        self._drain_ingest()
+        backlog = bool(self._inbox)
+        self.level = self._ladder_level(backlog)
+        self.metrics.epochs_at_level[self.level] += 1
+        budget = self.shed_budget if self.level == SHEDDING else None
+        self.registry.refresh_round(now, budget)
+        for session in list(self.sessions.values()):
+            session.check_liveness(now)
+            rq = self.registry.queries.get(session.query_id)
+            if rq is None:
+                continue
+            session.step(now, rq.state)
+        self.metrics.epoch_latency.record(time.perf_counter() - t0)
+        # A genuine suspension point: concurrent transports (TCP
+        # readers) get the loop between epochs even at interval 0.
+        await asyncio.sleep(0)
+
+    async def serve(
+        self, epochs: int | None = None, interval: float = 0.0
+    ) -> None:
+        """Run the epoch loop ``epochs`` times (forever when ``None``)."""
+        remaining = epochs
+        while remaining is None or remaining > 0:
+            await self.run_epoch()
+            if interval > 0:
+                await asyncio.sleep(interval)
+            if remaining is not None:
+                remaining -= 1
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the epoch loop's volatile state (simulated crash).
+
+        The inbox, sessions, and live query instances are lost; the
+        registry's durable subscription table and the database survive.
+        While crashed, inbound messages are dropped on the floor —
+        senders recover via their own retry machinery.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.metrics.crashes += 1
+        if self.transport is not None:
+            self.transport.down = True
+        self._inbox.clear()
+        self.inbox_depth = 0
+        self.sessions.clear()
+        self.registry.crash()
+
+    def restart(self) -> None:
+        """Restart after a crash: re-evaluate, resync, carry on.
+
+        Bumps the incarnation, rebuilds every registered query by full
+        re-evaluation, and recreates subscriber sessions from the
+        durable table — each starts with a snapshot resync, so clients
+        converge tuple-for-tuple regardless of what the crash ate.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.metrics.restarts += 1
+        if self.transport is not None:
+            self.transport.down = False
+        self.incarnation += 1
+        self.registry.rebuild()
+        now = self.clock.now
+        for key, record in self.registry.records.items():
+            if record.query_id in self.registry.queries:
+                self.sessions[key] = self._build_session(key, now)
+
+    # ------------------------------------------------------------------
+    def drained(self) -> bool:
+        """Server-side quiescence: empty inbox, every session drained."""
+        return (
+            not self.crashed
+            and not self._inbox
+            and all(s.drained() for s in self.sessions.values())
+        )

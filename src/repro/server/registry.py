@@ -1,0 +1,242 @@
+"""The durable subscription registry and per-query answer states.
+
+The registry is the server's *durable* core: query texts and subscriber
+records survive an epoch-loop crash (think: a subscription table in
+stable storage), while the :class:`~repro.core.queries.ContinuousQuery`
+instances and their incremental caches are volatile and rebuilt by
+:meth:`SubscriptionRegistry.rebuild` on restart — a restarted server
+re-evaluates from the database and resynchronises clients by snapshot.
+
+Identical subscriptions (same text, horizon, method) share one
+registered query: a thousand clients watching the same fleet cost one
+refresh per epoch, not a thousand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.database import MostDatabase
+from repro.core.queries import ContinuousQuery
+from repro.errors import ReproError
+from repro.ftl import parse_query
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import SubscribeMsg, WireTuple
+
+
+@dataclass
+class AnswerState:
+    """The fanned-out answer of one query as of its last refresh.
+
+    ``max_age`` annotations inside ``tuples`` are relative to
+    ``computed_at``; consumers age them by ``now - computed_at`` — this
+    is what lets a load-shedding server keep serving the *last* answer
+    with honest staleness flags instead of blocking on a refresh.
+    """
+
+    computed_at: int
+    tuples: tuple[WireTuple, ...]
+    keys: frozenset = field(default_factory=frozenset)
+
+    @staticmethod
+    def capture(cq: ContinuousQuery, now: int) -> "AnswerState":
+        """Snapshot the query's stamped answer at the current tick."""
+        tuples = tuple(
+            WireTuple(
+                values=s.values,
+                begin=s.begin,
+                end=s.end,
+                support=s.support,
+                max_age=s.max_age,
+            )
+            for s in cq.stamped_tuples()
+        )
+        return AnswerState(
+            computed_at=now,
+            tuples=tuples,
+            keys=frozenset(t.key() for t in tuples),
+        )
+
+
+@dataclass
+class RegisteredQuery:
+    """One registered continuous query plus its refresh bookkeeping."""
+
+    query_id: str
+    text: str
+    horizon: int
+    method: str
+    cq: ContinuousQuery
+    state: AnswerState
+    #: Client ids subscribed to this query.
+    subscribers: set = field(default_factory=set)
+    _last_evaluations: int = 0
+
+
+@dataclass(frozen=True)
+class SubscriberRecord:
+    """The durable per-subscriber row (policy + window + bound)."""
+
+    client_id: str
+    query_id: str
+    policy: str
+    period: int
+    window: int | None
+    staleness_bound: float | None
+
+
+class SubscriptionRegistry:
+    """Registered queries, their answers, and the subscriber table."""
+
+    def __init__(self, db: MostDatabase, metrics: ServerMetrics) -> None:
+        self.db = db
+        self.metrics = metrics
+        self.queries: dict[str, RegisteredQuery] = {}
+        self.records: dict[tuple[str, str], SubscriberRecord] = {}
+        self._by_spec: dict[tuple, str] = {}
+        self._next_id = 0
+        self._rr: list[str] = []  # round-robin refresh order under shedding
+        self._rr_pos = 0
+
+    # ------------------------------------------------------------------
+    def register(self, msg: SubscribeMsg) -> RegisteredQuery:
+        """Register (or join) the query a subscription names.
+
+        Raises the :class:`~repro.errors.SchemaError`-family diagnostic
+        of :class:`ContinuousQuery` registration when the query is
+        malformed or ranges over unknown classes — callers turn that
+        into a refused-subscription reply, and no evaluator ever sees
+        the bad query.
+        """
+        spec = (msg.text, msg.horizon, msg.method)
+        query_id = self._by_spec.get(spec)
+        if query_id is None:
+            query_id = f"q{self._next_id}"
+            self._next_id += 1
+            cq = self._build_cq(msg.text, msg.horizon, msg.method)
+            rq = RegisteredQuery(
+                query_id=query_id,
+                text=msg.text,
+                horizon=msg.horizon,
+                method=msg.method,
+                cq=cq,
+                state=AnswerState.capture(cq, self.db.clock.now),
+            )
+            rq._last_evaluations = cq.evaluations
+            self.queries[query_id] = rq
+            self._by_spec[spec] = query_id
+            self._rr.append(query_id)
+        rq = self.queries[query_id]
+        rq.subscribers.add(msg.client_id)
+        self.records[(msg.client_id, query_id)] = SubscriberRecord(
+            client_id=msg.client_id,
+            query_id=query_id,
+            policy=msg.policy,
+            period=msg.period,
+            window=msg.window,
+            staleness_bound=msg.staleness_bound,
+        )
+        return rq
+
+    def _build_cq(
+        self, text: str, horizon: int, method: str
+    ) -> ContinuousQuery:
+        query = parse_query(text)
+        return ContinuousQuery(self.db, query, horizon=horizon, method=method)
+
+    def drop_subscriber(self, client_id: str, query_id: str) -> None:
+        """Remove one subscriber; cancel the query when none remain."""
+        self.records.pop((client_id, query_id), None)
+        rq = self.queries.get(query_id)
+        if rq is None:
+            return
+        rq.subscribers.discard(client_id)
+        if not rq.subscribers:
+            rq.cq.cancel()
+            del self.queries[query_id]
+            self._by_spec.pop((rq.text, rq.horizon, rq.method), None)
+            self._rr = [q for q in self._rr if q != query_id]
+
+    # ------------------------------------------------------------------
+    def refresh(self, rq: RegisteredQuery, now: int) -> bool:
+        """Bring one query's answer state up to date.
+
+        Returns whether the answer state was rebuilt (i.e. the refresh
+        actually re-evaluated something).  Records latency either way —
+        the steady-state goal is that a refresh with no pending updates
+        is nearly free, and the bench watches exactly this number.
+        """
+        t0 = time.perf_counter()
+        rq.cq.refresh()
+        rebuilt = rq.cq.evaluations != rq._last_evaluations
+        if rebuilt:
+            rq._last_evaluations = rq.cq.evaluations
+            rq.state = AnswerState.capture(rq.cq, now)
+        self.metrics.refreshes += 1
+        self.metrics.refresh_latency.record(time.perf_counter() - t0)
+        return rebuilt
+
+    def refresh_round(self, now: int, budget: int | None = None) -> int:
+        """Refresh queries for this epoch.
+
+        With ``budget=None`` every query refreshes.  Under load shedding
+        a bounded number refresh per epoch, round-robin so no query
+        starves; the rest keep serving their last answer state, whose
+        staleness flags age honestly (degradation ladder, DESIGN.md §9).
+        Returns the number refreshed.
+        """
+        if budget is None or budget >= len(self._rr):
+            for rq in list(self.queries.values()):
+                self.refresh(rq, now)
+            return len(self.queries)
+        refreshed = 0
+        skipped = 0
+        n = len(self._rr)
+        for _ in range(n):
+            query_id = self._rr[self._rr_pos % n]
+            self._rr_pos += 1
+            rq = self.queries.get(query_id)
+            if rq is None:
+                continue
+            if refreshed < budget:
+                self.refresh(rq, now)
+                refreshed += 1
+            else:
+                skipped += 1
+        self.metrics.shed_refreshes += skipped
+        return refreshed
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Drop the volatile side: cancel every live continuous query.
+
+        The texts and subscriber records (the durable table) survive.
+        """
+        for rq in self.queries.values():
+            rq.cq.cancel()
+
+    def rebuild(self) -> None:
+        """Recreate every registered query after a crash-restart.
+
+        Full re-evaluation from the (surviving) database; answer states
+        are recaptured so restarted sessions can snapshot clients.
+        Queries whose class universe disappeared mid-flight would raise
+        here — the registry drops them rather than wedging the restart.
+        """
+        now = self.db.clock.now
+        for query_id, rq in list(self.queries.items()):
+            try:
+                cq = self._build_cq(rq.text, rq.horizon, rq.method)
+            except ReproError:
+                del self.queries[query_id]
+                self._by_spec.pop((rq.text, rq.horizon, rq.method), None)
+                self._rr = [q for q in self._rr if q != query_id]
+                continue
+            rq.cq = cq
+            rq._last_evaluations = cq.evaluations
+            rq.state = AnswerState.capture(cq, now)
+
+    def cached_relations(self) -> int:
+        """Total incremental-cache entries across registered queries."""
+        return sum(rq.cq.cached_relations for rq in self.queries.values())

@@ -1,0 +1,73 @@
+"""Registration fails fast on unknown object classes (PR 7 satellite).
+
+A query whose FROM clause names a class the database never defined must
+raise a clean :class:`SchemaError` naming both the missing class and the
+classes the database does have — at registration (continuous/persistent)
+or first evaluation (instantaneous), never a deep evaluator error.
+"""
+
+import pytest
+
+from repro.core import (
+    ContinuousQuery,
+    InstantaneousQuery,
+    MostDatabase,
+    ObjectClass,
+    PersistentQuery,
+)
+from repro.errors import SchemaError
+from repro.ftl import parse_query
+from repro.geometry import Point
+
+
+@pytest.fixture
+def db() -> MostDatabase:
+    database = MostDatabase()
+    database.create_class(ObjectClass("cars", spatial_dimensions=2))
+    database.add_moving_object("cars", "car-1", Point(0.0, 0.0), Point(1.0, 0.0))
+    return database
+
+
+GHOST = "RETRIEVE g FROM ghosts g, cars c WHERE DIST(g, c) <= 5"
+
+
+def assert_names_classes(excinfo):
+    message = str(excinfo.value)
+    assert "ghosts" in message  # the missing class
+    assert "cars" in message  # what the database does define
+
+
+class TestFailFast:
+    def test_continuous_query_refused_at_registration(self, db):
+        with pytest.raises(SchemaError) as excinfo:
+            ContinuousQuery(db, parse_query(GHOST), horizon=10)
+        assert_names_classes(excinfo)
+
+    def test_persistent_query_refused_at_registration(self, db):
+        with pytest.raises(SchemaError) as excinfo:
+            PersistentQuery(db, parse_query(GHOST), horizon=10)
+        assert_names_classes(excinfo)
+
+    def test_instantaneous_query_refused_at_first_evaluation(self, db):
+        q = InstantaneousQuery(parse_query(GHOST), horizon=10)
+        with pytest.raises(SchemaError) as excinfo:
+            q.evaluate(db)
+        assert_names_classes(excinfo)
+
+    def test_all_missing_classes_listed(self, db):
+        text = "RETRIEVE g FROM ghosts g, wraiths w WHERE DIST(g, w) <= 5"
+        with pytest.raises(SchemaError) as excinfo:
+            ContinuousQuery(db, parse_query(text), horizon=10)
+        message = str(excinfo.value)
+        assert "ghosts" in message and "wraiths" in message
+
+    def test_known_classes_still_register(self, db):
+        text = "RETRIEVE a FROM cars a, cars b WHERE DIST(a, b) <= 5"
+        cq = ContinuousQuery(db, parse_query(text), horizon=10)
+        assert cq.current() is not None
+
+    def test_empty_database_reported_as_none(self):
+        empty = MostDatabase()
+        with pytest.raises(SchemaError) as excinfo:
+            ContinuousQuery(empty, parse_query(GHOST), horizon=10)
+        assert "none" in str(excinfo.value)

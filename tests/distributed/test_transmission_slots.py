@@ -1,0 +1,141 @@
+"""Slot accounting of the §5.2 transmission policies (satellite of PR 7).
+
+The continuous-query server trusts these invariants when pacing deltas
+through a client's advertised memory window: ``due`` must never exceed
+``free_slots``, ``free_slots=0`` must hold everything, and ``mark_sent``
+must remove exactly the transmitted tuples so nothing is sent twice or
+lost across retract interleavings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import DelayedPolicy, ImmediatePolicy, PeriodicPolicy
+from repro.ftl.relations import AnswerTuple
+
+
+def make_tuple(name, begin, length):
+    return AnswerTuple(values=(name,), begin=begin, end=begin + length)
+
+
+raw_tuples = st.lists(
+    st.tuples(
+        st.sampled_from("abcdefgh"),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    ).map(lambda p: make_tuple(*p)),
+    max_size=12,
+    unique_by=lambda t: (t.values, t.begin, t.end),
+)
+
+policies = st.sampled_from(["immediate", "delayed", "periodic"])
+
+
+def build(name, period=3):
+    if name == "immediate":
+        return ImmediatePolicy()
+    if name == "delayed":
+        return DelayedPolicy()
+    return PeriodicPolicy(period)
+
+
+class TestSlotInvariants:
+    @given(policies, raw_tuples, st.integers(0, 20), st.integers(0, 6))
+    @settings(max_examples=200)
+    def test_due_never_exceeds_free_slots(self, name, tuples, now, slots):
+        policy = build(name)
+        policy.on_answer(tuples, now=0)
+        assert len(policy.due(now, slots)) <= slots
+
+    @given(policies, raw_tuples, st.integers(0, 20))
+    def test_zero_free_slots_sends_nothing(self, name, tuples, now):
+        policy = build(name)
+        policy.on_answer(tuples, now=0)
+        assert policy.due(now, 0) == []
+
+    @given(policies, raw_tuples, st.integers(0, 20))
+    def test_unlimited_slots_only_sends_pending(self, name, tuples, now):
+        policy = build(name)
+        policy.on_answer(tuples, now=0)
+        due = policy.due(now, None)
+        assert set(due) <= set(policy.pending)
+
+    @given(policies, raw_tuples, st.integers(0, 20), st.integers(1, 6))
+    @settings(max_examples=200)
+    def test_mark_sent_removes_exactly_the_sent(self, name, tuples, now, slots):
+        policy = build(name)
+        policy.on_answer(tuples, now=0)
+        before = list(policy.pending)
+        due = policy.due(now, slots)
+        policy.mark_sent(due)
+        sent = set(due)
+        assert all(t not in policy.pending for t in sent)
+        assert [t for t in before if t not in sent] == policy.pending
+
+    @given(policies, raw_tuples, st.integers(0, 20))
+    def test_due_is_idempotent_without_mark_sent(self, name, tuples, now):
+        policy = build(name)
+        policy.on_answer(tuples, now=0)
+        assert policy.due(now, 4) == policy.due(now, 4)
+
+
+class TestRetractInterleavings:
+    @given(raw_tuples, raw_tuples, st.integers(0, 20))
+    @settings(max_examples=200)
+    def test_revision_drops_retracted_tuples_from_pending(
+        self, first, second, now
+    ):
+        # An answer revision replaces the pending queue wholesale: tuples
+        # absent from the new answer must never be transmitted later.
+        policy = ImmediatePolicy()
+        policy.on_answer(first, now=0)
+        policy.due(0, 2)  # peeking does not consume
+        policy.on_answer(second, now=now)
+        alive = {t for t in second if t.end >= now}
+        assert set(policy.pending) == alive
+        assert set(policy.due(now, None)) <= alive
+
+    @given(policies, raw_tuples, st.integers(1, 4), st.integers(0, 20))
+    @settings(max_examples=200)
+    def test_partial_send_then_revision_never_duplicates(
+        self, name, tuples, slots, now
+    ):
+        policy = build(name)
+        policy.on_answer(tuples, now=0)
+        sent = policy.due(0, slots)
+        policy.mark_sent(sent)
+        # The same answer is recomputed (no change): the policy re-queues
+        # everything still alive — the server's delivered-set, not the
+        # policy, is what deduplicates. Pending must equal the alive set.
+        policy.on_answer(tuples, now=now)
+        assert set(policy.pending) == {t for t in tuples if t.end >= now}
+
+    def test_expired_tuples_filtered_on_answer(self):
+        policy = DelayedPolicy()
+        policy.on_answer(
+            [make_tuple("a", 0, 2), make_tuple("b", 5, 5)], now=4
+        )
+        assert [t.values for t in policy.pending] == [("b",)]
+
+
+class TestPeriodicBoundaries:
+    def test_only_fires_on_period_ticks(self):
+        policy = PeriodicPolicy(3)
+        policy.on_answer([make_tuple("a", 0, 9)], now=0)
+        assert policy.due(1, None) == []
+        assert policy.due(2, None) == []
+        assert len(policy.due(3, None)) == 1
+
+    def test_lookahead_covers_the_next_period(self):
+        policy = PeriodicPolicy(4)
+        policy.on_answer(
+            [make_tuple("soon", 7, 5), make_tuple("far", 9, 5)], now=0
+        )
+        due = policy.due(4, None)  # window [4, 8]: "soon" only
+        assert [t.values for t in due] == [("soon",)]
+
+    def test_delayed_sends_at_begin_not_before(self):
+        policy = DelayedPolicy()
+        policy.on_answer([make_tuple("a", 5, 5)], now=0)
+        assert policy.due(4, None) == []
+        assert len(policy.due(5, None)) == 1

@@ -1,0 +1,267 @@
+"""Epoch-loop server tests: ingest, backpressure, fan-out, crash-restart."""
+
+import asyncio
+
+import pytest
+
+from repro.core.database import MostDatabase
+from repro.core.objects import ObjectClass
+from repro.distributed.network import FaultPlan, SimNetwork
+from repro.distributed.node import MobileNode
+from repro.distributed.updates import MotionReporter
+from repro.geometry import Point
+from repro.motion import linear_moving_point
+from repro.server import (
+    BACKPRESSURE,
+    NORMAL,
+    SHEDDING,
+    BatchingReporter,
+    CQServer,
+    IngestBatch,
+    SubscriberClient,
+    SubscribeMsg,
+)
+from repro.server.protocol import INGEST_ACK, INGEST_BATCH, INGEST_BUSY
+from repro.server.transport import ProtocolNode
+from repro.temporal import SimulationClock
+
+QUERY = "RETRIEVE v FROM trackers v, beacons b WHERE DIST(v, b) <= 60"
+
+
+def build_world(n_trackers=2, **server_kw):
+    clock = SimulationClock()
+    db = MostDatabase(clock)
+    network = SimNetwork(clock, faults=FaultPlan(seed=0))
+    db.create_class(ObjectClass("trackers", spatial_dimensions=2))
+    db.create_class(ObjectClass("beacons", spatial_dimensions=2))
+    db.add_moving_object("beacons", "beacon", Point(0.0, 0.0))
+    server = CQServer(db, network, **server_kw)
+    reporters = []
+    for i in range(n_trackers):
+        oid = f"tracker-{i}"
+        db.add_moving_object("trackers", oid, Point(10.0 * i, 0.0), Point(1.0, 0.0))
+        db.track(oid)
+        node = MobileNode(
+            oid, network, linear_moving_point(Point(10.0 * i, 0.0), Point(1.0, 0.0))
+        )
+        reporters.append(BatchingReporter(node, object_id=oid))
+    return db, network, server, reporters
+
+
+def drive(server, epochs):
+    asyncio.run(server.serve(epochs=epochs))
+
+
+class TestSubscription:
+    def test_snapshot_resync_then_truth(self):
+        db, network, server, reporters = build_world()
+        client = SubscriberClient(network, "c1", QUERY, horizon=200)
+        drive(server, 6)
+        assert client.subscribed
+        assert client.snapshots_received >= 1
+        rq = next(iter(server.registry.queries.values()))
+        assert client.display_at() == rq.cq.current()
+
+    def test_unknown_class_refused_with_schema_error(self):
+        db, network, server, _ = build_world()
+        bad = SubscriberClient(
+            network, "c1", "RETRIEVE g FROM ghosts g WHERE DIST(g, g) <= 1",
+            horizon=50,
+        )
+        drive(server, 4)
+        assert bad.error is not None
+        assert "SchemaError" in bad.error
+        assert "ghosts" in bad.error
+        assert not bad.subscribed
+        assert server.registry.queries == {}
+
+    def test_identical_subscriptions_share_one_query(self):
+        db, network, server, _ = build_world()
+        a = SubscriberClient(network, "c1", QUERY, horizon=200)
+        b = SubscriberClient(network, "c2", QUERY, horizon=200)
+        drive(server, 5)
+        assert a.subscribed and b.subscribed
+        assert len(server.registry.queries) == 1
+        assert server.metrics.subscriptions == 2
+
+    def test_updates_flow_to_display(self):
+        db, network, server, reporters = build_world(n_trackers=1)
+        client = SubscriberClient(network, "c1", QUERY, horizon=200)
+        drive(server, 4)
+        # Send the tracker far away; the display must drop it.
+        reporters[0].report(Point(50.0, 0.0), position=Point(500.0, 0.0))
+        drive(server, 10)
+        assert client.display_at() == set()
+        rq = next(iter(server.registry.queries.values()))
+        assert rq.cq.current() == set()
+
+
+class TestBackpressure:
+    def _flood_world(self, capacity, batch_limit):
+        clock = SimulationClock()
+        db = MostDatabase(clock)
+        network = SimNetwork(clock)  # synchronous: sends deliver inline
+        db.create_class(ObjectClass("trackers", spatial_dimensions=2))
+        db.add_moving_object("trackers", "t0", Point(0.0, 0.0), Point(1.0, 0.0))
+        db.track("t0")
+        server = CQServer(
+            db, network, inbox_capacity=capacity, batch_limit=batch_limit
+        )
+        sender = ProtocolNode("r0", network)
+        replies = []
+        sender.on_kind(INGEST_ACK, lambda m: replies.append(("ack", m.payload)))
+        sender.on_kind(INGEST_BUSY, lambda m: replies.append(("busy", m.payload)))
+        return db, server, sender, replies
+
+    def _batch(self, batch_seq, n, start_seq=0):
+        from repro.distributed.updates import MotionUpdate
+
+        return IngestBatch(
+            "r0",
+            batch_seq,
+            tuple(
+                MotionUpdate("t0", start_seq + i, 0, Point(0.0, 0.0), Point(1.0, 0.0))
+                for i in range(n)
+            ),
+        )
+
+    def test_full_inbox_refuses_batch_explicitly(self):
+        db, server, sender, replies = self._flood_world(capacity=6, batch_limit=64)
+        assert sender.send("cq-server", INGEST_BATCH, self._batch(0, 4))
+        sender.send("cq-server", INGEST_BATCH, self._batch(1, 4, start_seq=4))
+        # Second batch exceeds headroom: refused atomically, nothing dropped.
+        assert server.inbox_depth == 4
+        kinds = [k for k, _ in replies]
+        assert kinds == ["busy"]
+        assert replies[0][1].batch_seq == 1
+        assert replies[0][1].retry_after >= 1
+        assert server.metrics.busy_signals == 1
+
+    def test_inbox_never_exceeds_capacity(self):
+        db, server, sender, replies = self._flood_world(capacity=8, batch_limit=4)
+        seq = 0
+        for b in range(12):
+            sender.send("cq-server", INGEST_BATCH, self._batch(b, 3, start_seq=seq))
+            seq += 3
+        assert server.metrics.inbox_high_water <= 8
+        assert server.inbox_depth <= 8
+
+    def test_credits_vanish_above_high_watermark(self):
+        db, server, sender, replies = self._flood_world(capacity=8, batch_limit=64)
+        sender.send("cq-server", INGEST_BATCH, self._batch(0, 7))
+        assert server._credits() == 0  # 7/8 >= 0.75 watermark
+        drive(server, 1)
+        acks = [p for k, p in replies if k == "ack"]
+        assert acks and acks[-1].credits >= 1  # drained: allowance restored
+
+    def test_shedding_level_under_backlog(self):
+        db, server, sender, replies = self._flood_world(capacity=12, batch_limit=2)
+        sender.send("cq-server", INGEST_BATCH, self._batch(0, 2))
+        sender.send("cq-server", INGEST_BATCH, self._batch(1, 2, 2))
+        sender.send("cq-server", INGEST_BATCH, self._batch(2, 2, 4))
+        drive(server, 1)
+        assert server.level == SHEDDING  # backlog left after the batch limit
+        drive(server, 4)
+        assert server.level == NORMAL
+        assert server.metrics.epochs_at_level[SHEDDING] >= 1
+
+    def test_ladder_level_names(self):
+        assert {NORMAL, BACKPRESSURE, SHEDDING} == {
+            "normal", "backpressure", "shedding"
+        }
+
+
+class TestLegacyIngest:
+    def test_motion_reporter_singles_are_served_and_acked(self):
+        db, network, server, _ = build_world(n_trackers=0)
+        db.add_moving_object("trackers", "m0", Point(5.0, 0.0), Point(0.0, 0.0))
+        db.track("m0")
+        node = MobileNode(
+            "m0", network, linear_moving_point(Point(5.0, 0.0), Point(0.0, 0.0))
+        )
+        reporter = MotionReporter(node, server_id="cq-server", object_id="m0")
+        drive(server, 2)
+        reporter.report(Point(2.0, 0.0))
+        drive(server, 6)
+        assert reporter.in_flight == 0  # acked on the PR 2 ack kind
+        assert server.metrics.updates_applied >= 1
+
+    def test_malformed_update_rejected_not_fatal(self):
+        db, network, server, _ = build_world(n_trackers=0)
+        sender = ProtocolNode("rx", network)
+        from repro.distributed.updates import UPDATE_KIND, MotionUpdate
+
+        sender.send(
+            "cq-server",
+            UPDATE_KIND,
+            MotionUpdate("no-such-object", 0, 0, Point(0.0, 0.0), Point(0.0, 0.0)),
+        )
+        drive(server, 3)  # must not raise
+        assert server.metrics.updates_rejected >= 1
+
+
+class TestCrashRestart:
+    def test_restart_resyncs_by_snapshot_with_new_incarnation(self):
+        db, network, server, reporters = build_world(n_trackers=1)
+        client = SubscriberClient(network, "c1", QUERY, horizon=300)
+        drive(server, 5)
+        snaps_before = client.snapshots_received
+        server.crash()
+        reporters[0].report(Point(-1.0, 0.0))  # retried across the outage
+        drive(server, 3)
+        assert server.crashed
+        server.restart()
+        drive(server, 20)
+        assert server.incarnation == 2
+        assert client.incarnation == 2
+        assert client.snapshots_received > snaps_before
+        assert server.metrics.crashes == 1 and server.metrics.restarts == 1
+        assert reporters[0].drained()  # the update survived the crash
+        rq = next(iter(server.registry.queries.values()))
+        assert client.display_at() == rq.cq.current()
+
+    def test_registry_table_is_durable_sessions_are_not(self):
+        db, network, server, _ = build_world()
+        SubscriberClient(network, "c1", QUERY, horizon=200)
+        drive(server, 4)
+        assert server.sessions
+        server.crash()
+        assert server.sessions == {}
+        assert server.registry.records  # durable subscription table
+        server.restart()
+        assert server.sessions  # rebuilt from the table
+
+
+class TestLiveness:
+    def test_silent_client_pauses_sends_then_resumes(self):
+        db, network, server, reporters = build_world(n_trackers=1)
+        client = SubscriberClient(network, "c1", QUERY, horizon=300)
+        drive(server, 5)
+        network.set_disconnections("c1", [(6, 20)])
+        drive(server, 24)  # outage exceeds the heartbeat timeout
+        assert server.metrics.disconnects >= 1
+        assert server.metrics.reconnects >= 1
+        drive(server, 10)
+        rq = next(iter(server.registry.queries.values()))
+        assert client.display_at() == rq.cq.current()
+        session = next(iter(server.sessions.values()))
+        assert session.connected
+
+
+class TestShedding:
+    def test_round_robin_budget_refreshes_all_eventually(self):
+        db, network, server, _ = build_world()
+        texts = [
+            QUERY,
+            QUERY.replace("60", "40"),
+            QUERY.replace("60", "20"),
+        ]
+        for i, text in enumerate(texts):
+            server.registry.register(
+                SubscribeMsg(client_id=f"c{i}", text=text, horizon=100)
+            )
+        counts = {}
+        for epoch in range(3):
+            server.registry.refresh_round(now=0, budget=1)
+        assert server.metrics.refreshes == 3
+        assert server.metrics.shed_refreshes == 6  # 2 skipped per round

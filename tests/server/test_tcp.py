@@ -1,0 +1,139 @@
+"""TCP transport smoke tests: the epoch loop over real sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.core.database import MostDatabase
+from repro.core.objects import ObjectClass
+from repro.geometry import Point
+from repro.server.epoch import CQServer
+from repro.server.protocol import (
+    DELTA,
+    DELTA_ACK,
+    INGEST_BATCH,
+    SUBSCRIBE,
+    SUBSCRIBED,
+    DeltaAck,
+    IngestBatch,
+    SubscribeMsg,
+    decode_line,
+    encode_line,
+)
+from repro.server.tcp import TcpTransport
+from repro.distributed.updates import MotionUpdate
+
+QUERY = "RETRIEVE v FROM trackers v, beacons b WHERE DIST(v, b) <= 60"
+
+
+def make_server():
+    db = MostDatabase()
+    db.create_class(ObjectClass("trackers", spatial_dimensions=2))
+    db.create_class(ObjectClass("beacons", spatial_dimensions=2))
+    db.add_moving_object("beacons", "beacon", Point(0.0, 0.0))
+    db.add_moving_object("trackers", "t0", Point(5.0, 0.0), Point(0.0, 0.0))
+    db.track("t0")
+    return CQServer(db)
+
+
+async def _subscribe_and_collect(port):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        encode_line(
+            SUBSCRIBE,
+            SubscribeMsg(client_id="c1", text=QUERY, horizon=100),
+        )
+    )
+    await writer.drain()
+    got = {"subscribed": None, "deltas": []}
+    try:
+        while len(got["deltas"]) < 1:
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            if not line:
+                break
+            kind, payload = decode_line(line)
+            if kind == SUBSCRIBED:
+                got["subscribed"] = payload
+            elif kind == DELTA:
+                got["deltas"].append(payload)
+                writer.write(
+                    encode_line(
+                        DELTA_ACK,
+                        DeltaAck(
+                            "c1", payload.query_id, payload.incarnation,
+                            payload.seq,
+                        ),
+                    )
+                )
+                await writer.drain()
+    finally:
+        writer.close()
+    return got
+
+
+async def _run_smoke():
+    server = make_server()
+    transport = TcpTransport(server)
+    try:
+        await transport.start()
+    except OSError:
+        pytest.skip("cannot bind a loopback socket in this environment")
+    try:
+        client = asyncio.create_task(_subscribe_and_collect(transport.port))
+        # Feed one batch over a second connection while epochs run.
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", transport.port
+        )
+        writer.write(
+            encode_line(
+                INGEST_BATCH,
+                IngestBatch(
+                    "r0",
+                    0,
+                    (
+                        MotionUpdate(
+                            "t0", 0, 0, Point(3.0, 0.0), Point(0.0, 0.0)
+                        ),
+                    ),
+                ),
+            )
+        )
+        await writer.drain()
+        serve = asyncio.create_task(server.serve(epochs=20, interval=0.01))
+        got = await asyncio.wait_for(client, timeout=10.0)
+        await serve
+        writer.close()
+        return server, got
+    finally:
+        await transport.stop()
+
+
+class TestTcpSmoke:
+    def test_subscribe_snapshot_and_ingest_over_sockets(self):
+        server, got = asyncio.run(_run_smoke())
+        assert got["subscribed"] is not None and not got["subscribed"].error
+        assert got["deltas"] and got["deltas"][0].snapshot
+        values = {t.values[0] for t in got["deltas"][0].adds}
+        assert values == {"t0"}
+        assert server.metrics.updates_applied >= 1
+
+    def test_malformed_line_drops_connection_not_server(self):
+        async def run():
+            server = make_server()
+            transport = TcpTransport(server)
+            try:
+                await transport.start()
+            except OSError:
+                pytest.skip("cannot bind a loopback socket")
+            try:
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", transport.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                await server.serve(epochs=3, interval=0.01)
+                return transport.bad_lines
+            finally:
+                await transport.stop()
+
+        assert asyncio.run(run()) == 1
