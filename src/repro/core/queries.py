@@ -21,6 +21,7 @@ from repro.core.database import MostDatabase, MostUpdate
 from repro.core.history import FutureHistory, RecordedHistory
 from repro.errors import FtlSemanticsError, QueryError, SchemaError
 from repro.ftl.analysis import AnalysisResult, CostModel, Diagnostic
+from repro.ftl.analysis.deps import Dep, DepAnalysis, update_footprint
 from repro.ftl.analysis.plan import EvalPlan
 from repro.ftl.context import EvalContext
 from repro.ftl.incremental import (
@@ -228,6 +229,13 @@ class ContinuousQuery:
     is the static-analysis diagnostic (FTL401/FTL403) naming the
     disqualifying subformula, ``None`` when incremental maintenance is
     in effect.
+
+    Update relevance is decided by :meth:`affects` against a static
+    *read-set* (DESIGN.md §10): updates whose (class, kind) footprint
+    the query provably never reads are dropped (:attr:`skipped_by_deps`),
+    and within an incremental refresh, cached subtrees whose read-sets
+    are disjoint from the accumulated dirty footprints are reused
+    without recomputation (:attr:`subtrees_skipped`).
     """
 
     _METHODS = ("interval", "naive", "incremental")
@@ -330,9 +338,33 @@ class ContinuousQuery:
             method == "incremental" and not self.incremental_rejections
         )
         self._eval_method = "interval" if method == "incremental" else method
+        #: Static update-impact analysis (DESIGN.md §10): the read-set of
+        #: every plan node, keyed over the tree the evaluators actually
+        #: walk (the plan's ordered tree when there is one).  ``None``
+        #: disables dependency pruning — every update stays relevant.
+        self._deps: DepAnalysis | None = None
+        try:
+            if self.plan is not None:
+                self._deps = self.plan.dependency_analysis(schema=db)
+            else:
+                from repro.ftl.analysis.deps import analyze_query_deps
+
+                self._deps = analyze_query_deps(query, schema=db)
+        except Exception:
+            self._deps = None
+        #: Updates ignored because their (class, kind) footprint lies
+        #: outside the query's inferred read-set.
+        self.skipped_by_deps = 0
+        #: Plan subtrees the incremental evaluator skipped because their
+        #: read-set was disjoint from the dirty updates' footprints.
+        self.subtrees_skipped = 0
         self._dirty = False
         self._needs_full = False
         self._dirty_objects: set[object] = set()
+        #: Footprints of the updates accumulated since the last refresh;
+        #: ``None`` when some accepted update could not be attributed
+        #: (subtree skipping then stands down for that refresh).
+        self._dirty_deps: set[Dep] | None = set()
         self._rf: FtlRelation | None = None
         self._cache: QueryCache | None = None
         self._target_positions: list[int] = []
@@ -428,9 +460,16 @@ class ContinuousQuery:
             index_pruning=self.index_pruning,
             solve_cache=self.solve_cache,
             batch_solver=self.batch_solver,
+            deps=self._deps,
+            dirty_deps=(
+                frozenset(self._dirty_deps)
+                if self._dirty_deps is not None
+                else None
+            ),
         )
         self._rf = evaluator.refresh(self.query.where)
         self.rows_recomputed += evaluator.rows_recomputed
+        self.subtrees_skipped += evaluator.subtrees_skipped
         self._last_refresh = now
         self._answer = None
 
@@ -449,6 +488,12 @@ class ContinuousQuery:
             self._needs_full = True
         else:
             self._dirty_objects.add(update.object_id)
+            if self._dirty_deps is not None:
+                footprint = update_footprint(update, self.db)
+                if footprint is None:
+                    self._dirty_deps = None
+                else:
+                    self._dirty_deps.add(footprint)
 
     def _ensure_fresh(self) -> None:
         if self._dirty and self.db.clock.now <= self.expires_at:
@@ -459,6 +504,7 @@ class ContinuousQuery:
         self._dirty = False
         self._needs_full = False
         self._dirty_objects.clear()
+        self._dirty_deps = set()
 
     def _can_refresh_incrementally(self) -> bool:
         return (
@@ -483,21 +529,67 @@ class ContinuousQuery:
         except SchemaError:
             return None
 
+    def _known_object(self, object_id: object) -> bool:
+        """Whether ``object_id`` names a live object in the database."""
+        try:
+            self.db.get(object_id)
+        except SchemaError:
+            return False
+        return True
+
     def affects(self, update: MostUpdate) -> bool:
         """Whether an update may change ``Answer(CQ)``.
 
-        Conservative test: the updated object belongs to one of the
-        classes the query ranges over.  An update that cannot be
-        attributed to any live object (no class metadata, id not in the
-        database) is conservatively assumed relevant.
+        Two-stage test.  First the class gate: the updated object must
+        belong to a class the query ranges over, and — when the update
+        carries class metadata — must actually be a live object of this
+        database (an update for a known class but an id the database has
+        never seen cannot appear in any instantiation).  An update that
+        carries no class metadata *and* names an unknown id stays
+        conservatively relevant.
+
+        Then the dependency gate (DESIGN.md §10): the update's
+        (class, kind) footprint — position, attribute, or static — must
+        intersect the query's statically inferred read-set; updates the
+        read-set provably ignores are counted in :attr:`skipped_by_deps`
+        and dropped without dirtying the answer.
         """
         cls = self._resolve_class(update)
         if cls is None:
             return True
-        return cls in self._bound_classes
+        if cls not in self._bound_classes:
+            return False
+        if update.class_name is not None and not self._known_object(
+            update.object_id
+        ):
+            # The class is bound, but the id never entered the database:
+            # no instantiation can mention it, so the update is inert.
+            return False
+        if self._deps is None:
+            return True
+        footprint = update_footprint(update, self.db)
+        if footprint is None:
+            return True
+        if not self._deps.query_reads.covers(footprint):
+            self.skipped_by_deps += 1
+            return False
+        return True
 
     # Backwards-compatible alias (the method predates the public name).
     _affects = affects
+
+    @property
+    def needs_refresh(self) -> bool:
+        """Whether the next read will recompute ``Answer(CQ)``.
+
+        The subscription registry polls this to skip refresh work for
+        queries no relevant update has touched since their last read.
+        """
+        return (
+            self._dirty
+            and not self._cancelled
+            and self.db.clock.now <= self.expires_at
+        )
 
     # ------------------------------------------------------------------
     def refresh(self) -> None:

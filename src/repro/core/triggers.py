@@ -63,9 +63,11 @@ class TemporalTrigger:
         if isinstance(self.query, ContinuousQuery) and not self.query.affects(
             update
         ):
-            # Updates the continuous query provably cannot observe (objects
-            # of unbound classes) leave the answer untouched — skip the
-            # recheck rather than force a spurious reevaluation.
+            # Updates the continuous query provably cannot observe —
+            # objects of unbound classes, ids the database never admitted,
+            # or (class, kind) footprints outside the query's static
+            # read-set (DESIGN.md §10) — leave the answer untouched: skip
+            # the recheck rather than force a spurious reevaluation.
             return
         self._check(self.db.clock.now)
 

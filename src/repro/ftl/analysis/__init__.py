@@ -21,7 +21,17 @@ touches the database:
    orderer reorders commutative conjuncts and assignment chains
    (``order.py``), and blowups are flagged: cross-product conjunctions,
    multi-variable negation complements, unbounded ``Until`` enumeration,
-   re-evaluated common subformulas.
+   re-evaluated common subformulas;
+7. **update-impact / read-set analysis** (FTL7xx, ``deps.py``) — every
+   plan node gets a ``ReadSet`` of ``(kind, class, detail)`` dependencies
+   propagated bottom-up; ``update_footprint`` maps a database update to
+   the dep it writes, and the runtime prunes provably irrelevant work at
+   the listener (``ContinuousQuery.affects``), inside incremental
+   refreshes (subtree skipping) and in the server's refresh round.
+   Report-only diagnostics: FTL701 (maximal read-set nodes), FTL702
+   (per-class insensitivity); surfaced via the plan JSON ``dependencies``
+   block and ``python -m repro.ftl.lint --deps`` — never in the default
+   analyzer passes, never gating evaluation.
 
 Entry points: :func:`analyze_query` / :func:`analyze_formula`,
 :func:`plan_query` / :func:`plan_formula`, the
@@ -31,6 +41,14 @@ Entry points: :func:`analyze_query` / :func:`analyze_formula`,
 
 from repro.ftl.analysis.analyzer import analyze_formula, analyze_query
 from repro.ftl.analysis.cost import CostEstimate, CostModel, drift_report
+from repro.ftl.analysis.deps import (
+    Dep,
+    DepAnalysis,
+    ReadSet,
+    analyze_formula_deps,
+    analyze_query_deps,
+    update_footprint,
+)
 from repro.ftl.analysis.diagnostics import (
     ERROR,
     INFO,
@@ -47,7 +65,13 @@ from repro.ftl.analysis.schema import SchemaInfo
 __all__ = [
     "analyze_query",
     "analyze_formula",
+    "analyze_formula_deps",
+    "analyze_query_deps",
+    "update_footprint",
     "AnalysisResult",
+    "Dep",
+    "DepAnalysis",
+    "ReadSet",
     "CostEstimate",
     "CostModel",
     "Diagnostic",

@@ -1,0 +1,528 @@
+"""Static update-impact analysis: per-node read-sets over the FTL AST.
+
+For every subformula the analyzer computes its *read-set* — the set of
+:class:`Dep` dependencies ``(kind, class, detail)`` the subformula's
+relation can observe:
+
+* ``position`` — a kinetic read of the class's position attributes
+  (``DIST``, ``INSIDE``/``OUTSIDE``, ``WITHIN_SPHERE``, or a direct
+  ``o.x_position`` access); ``detail`` names one axis attribute, or is
+  empty for "all axes";
+* ``attribute`` — a non-spatial dynamic attribute (``o.fuel``);
+* ``static`` — a static attribute (``o.fuel_type``);
+* ``region`` — the geometry of a named region (immutable after
+  :meth:`~repro.core.database.MostDatabase.define_region`, so no
+  explicit update ever invalidates it — reported for completeness);
+* ``population`` — membership of the class extent (which objects exist
+  and are enumerated into the variable's domain).
+
+Read-sets propagate bottom-up: every connective, temporal operator and
+the assignment quantifier unions its children's sets, so a node's
+read-set is monotone in its subtree and a *disjoint* node is maximal.
+Hash-consed shared plan nodes are scope-independent by construction
+(:mod:`repro.ftl.analysis.plan` only shares formulas with no
+assignment-bound free variable), and value variables bound by ``[x :=
+q]`` carry no class of their own — the deps of ``q`` are charged where
+``q`` occurs — so one read-set per node is correct in every scope.
+
+The soundness contract consumed by :class:`~repro.core.queries.
+ContinuousQuery`, the trigger layer and :class:`~repro.ftl.incremental.
+PartialIntervalEvaluator`: an explicit update whose
+:func:`update_footprint` is not covered by a node's read-set can never
+change that node's relation.  When a term cannot be statically
+attributed to a class (an attribute access on a non-variable term, say)
+the read-set is flagged ``conservative`` and covers everything.
+
+Like the rest of the analysis package this module must not import
+:mod:`repro.core`; databases and object classes are duck-typed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.ftl.analysis.diagnostics import Diagnostic, make
+from repro.ftl.analysis.schema import SchemaInfo
+from repro.ftl.ast import (
+    Arith,
+    Assign,
+    Attr,
+    Compare,
+    Const,
+    Dist,
+    Formula,
+    Inside,
+    Outside,
+    SubAttr,
+    Term,
+    TimeTerm,
+    Var,
+    WithinSphere,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.query import FtlQuery
+
+# Dependency kinds.
+POSITION = "position"
+ATTRIBUTE = "attribute"
+STATIC = "static"
+REGION = "region"
+POPULATION = "population"
+
+#: The kinds an explicit :class:`~repro.core.database.MostUpdate` can
+#: carry (region geometry is immutable and population changes do not go
+#: through the update stream — see ``_population_counts`` in queries.py).
+UPDATE_SENSITIVE_KINDS = (POSITION, ATTRIBUTE, STATIC)
+
+#: Canonical spatial attribute names (mirrors ``repro.core.objects``,
+#: which this module must not import).
+_POSITION_NAMES = frozenset(("x_position", "y_position", "z_position"))
+
+
+@dataclass(frozen=True)
+class Dep:
+    """One dependency: what a subformula reads, or what an update writes.
+
+    ``detail`` is the attribute name (``position``/``attribute``/
+    ``static``) or the region name (``region``); an empty detail on a
+    *read* means "any attribute of this kind" (``DIST`` reads every
+    position axis).
+    """
+
+    kind: str
+    cls: str | None = None
+    detail: str = ""
+
+    def matches(self, footprint: "Dep") -> bool:
+        """Whether this read dependency covers an update footprint."""
+        if self.kind != footprint.kind or self.cls != footprint.cls:
+            return False
+        return (
+            self.detail == ""
+            or footprint.detail == ""
+            or self.detail == footprint.detail
+        )
+
+    def to_json(self) -> dict:
+        out: dict = {"kind": self.kind}
+        if self.cls is not None:
+            out["class"] = self.cls
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+def _dep_sort_key(d: Dep) -> tuple:
+    return (d.cls or "", d.kind, d.detail)
+
+
+@dataclass(frozen=True)
+class ReadSet:
+    """A set of dependencies with covering semantics.
+
+    ``conservative`` marks read-sets containing a term the analyzer
+    could not attribute to a class; a conservative set covers every
+    footprint (no pruning), which keeps the analysis sound for
+    programmatically built formulas outside the parsed grammar.
+    """
+
+    deps: frozenset[Dep] = frozenset()
+    conservative: bool = False
+
+    @staticmethod
+    def union(sets: Iterable["ReadSet"]) -> "ReadSet":
+        deps: set[Dep] = set()
+        conservative = False
+        for s in sets:
+            deps |= s.deps
+            conservative = conservative or s.conservative
+        return ReadSet(frozenset(deps), conservative)
+
+    def covers(self, footprint: Dep) -> bool:
+        """Whether an update with this footprint may change the node."""
+        if self.conservative:
+            return True
+        return any(d.matches(footprint) for d in self.deps)
+
+    def disjoint_from(self, footprints: Iterable[Dep]) -> bool:
+        """Whether no footprint in the batch is covered (safe to skip)."""
+        return not any(self.covers(f) for f in footprints)
+
+    @property
+    def update_sensitive(self) -> bool:
+        """Whether any explicit update can change this node's relation."""
+        if self.conservative:
+            return True
+        return any(d.kind in UPDATE_SENSITIVE_KINDS for d in self.deps)
+
+    def classes(self) -> list[str]:
+        """Class names read, sorted."""
+        return sorted({d.cls for d in self.deps if d.cls is not None})
+
+    def kinds_for(self, cls: str) -> list[str]:
+        """The dependency kinds read from one class, sorted."""
+        return sorted({d.kind for d in self.deps if d.cls == cls})
+
+    def insensitive_kinds_for(self, cls: str) -> list[str]:
+        """Update kinds of ``cls`` that provably cannot change the node."""
+        if self.conservative:
+            return []
+        present = set(self.kinds_for(cls))
+        return [k for k in UPDATE_SENSITIVE_KINDS if k not in present]
+
+    def to_json(self) -> dict:
+        out: dict = {
+            "deps": [d.to_json() for d in sorted(self.deps, key=_dep_sort_key)]
+        }
+        if self.conservative:
+            out["conservative"] = True
+        return out
+
+
+EMPTY_READ_SET = ReadSet()
+
+
+# ---------------------------------------------------------------------------
+# The bottom-up walker
+# ---------------------------------------------------------------------------
+
+
+class _DepWalker:
+    """One analysis run: formula tree → per-node read-sets.
+
+    Memoized by node identity so the hash-consed DAG of a plan's ordered
+    tree is walked once per shared node.
+    """
+
+    def __init__(
+        self, bindings: Mapping[str, str], schema: SchemaInfo
+    ) -> None:
+        self.bindings = dict(bindings)
+        self.schema = schema
+        self.reads: dict[int, ReadSet] = {}
+
+    # -- terms ---------------------------------------------------------
+    def _object_class_of(self, term: Term) -> str | None:
+        """The bound class a term denotes an object of, if statically
+        known (only FROM-bound variables denote objects)."""
+        if isinstance(term, Var):
+            return self.bindings.get(term.name)
+        return None
+
+    def _attr_deps(self, cls: str, attr: str) -> ReadSet:
+        """Classify one attribute read against the schema."""
+        oc = self.schema.object_class(cls)
+        if oc is not None:
+            if attr in getattr(oc, "position_attributes", ()):
+                return ReadSet(frozenset({Dep(POSITION, cls, attr)}))
+            if oc.is_dynamic(attr):
+                return ReadSet(frozenset({Dep(ATTRIBUTE, cls, attr)}))
+            if oc.has_attribute(attr):
+                return ReadSet(frozenset({Dep(STATIC, cls, attr)}))
+            # Unknown attribute: sort checking reports FTL202; stay sound.
+            return ReadSet(
+                frozenset(
+                    {Dep(ATTRIBUTE, cls, attr), Dep(STATIC, cls, attr)}
+                )
+            )
+        # Schema-less: the canonical position names are recognisable,
+        # anything else could be dynamic or static.
+        if attr in _POSITION_NAMES:
+            return ReadSet(frozenset({Dep(POSITION, cls, attr)}))
+        return ReadSet(
+            frozenset({Dep(ATTRIBUTE, cls, attr), Dep(STATIC, cls, attr)})
+        )
+
+    def _position_deps(self, term: Term) -> ReadSet:
+        """A whole-position (all axes) read of the object a term names."""
+        cls = self._object_class_of(term)
+        if cls is None:
+            # Not a FROM-bound variable: an assignment-bound value (the
+            # analyzer rejects spatial reads of those) or a term shape
+            # outside the grammar — cover everything.
+            return ReadSet(frozenset(), conservative=True)
+        return ReadSet(
+            frozenset({Dep(POSITION, cls), Dep(POPULATION, cls)})
+        )
+
+    def term_deps(self, term: Term) -> ReadSet:
+        if isinstance(term, Var):
+            cls = self.bindings.get(term.name)
+            if cls is None:
+                return EMPTY_READ_SET  # assignment-bound value variable
+            return ReadSet(frozenset({Dep(POPULATION, cls)}))
+        if isinstance(term, (Const, TimeTerm)):
+            # ``time`` reads the clock, which no explicit update writes.
+            return EMPTY_READ_SET
+        if isinstance(term, (Attr, SubAttr)):
+            base = self.term_deps(term.obj)
+            cls = self._object_class_of(term.obj)
+            if cls is None:
+                return ReadSet(base.deps, conservative=True)
+            return ReadSet.union((base, self._attr_deps(cls, term.attr)))
+        if isinstance(term, Arith):
+            return ReadSet.union(
+                (self.term_deps(term.left), self.term_deps(term.right))
+            )
+        if isinstance(term, Dist):
+            return ReadSet.union(
+                (
+                    self._position_deps(term.left),
+                    self._position_deps(term.right),
+                )
+            )
+        return ReadSet(frozenset(), conservative=True)
+
+    # -- formulas ------------------------------------------------------
+    def walk(self, f: Formula) -> ReadSet:
+        hit = self.reads.get(id(f))
+        if hit is not None:
+            return hit
+        rs = self._node(f)
+        self.reads[id(f)] = rs
+        return rs
+
+    def _node(self, f: Formula) -> ReadSet:
+        if isinstance(f, Compare):
+            return ReadSet.union(
+                (self.term_deps(f.left), self.term_deps(f.right))
+            )
+        if isinstance(f, (Inside, Outside)):
+            region = ReadSet(frozenset({Dep(REGION, None, f.region)}))
+            return ReadSet.union((self._position_deps(f.obj), region))
+        if isinstance(f, WithinSphere):
+            return ReadSet.union(
+                self._position_deps(o) for o in f.objs
+            )
+        if isinstance(f, Assign):
+            return ReadSet.union(
+                (self.term_deps(f.term), self.walk(f.body))
+            )
+        children = _child_formulas(f)
+        if children:
+            return ReadSet.union(self.walk(c) for c in children)
+        # Unknown formula shape: never prune.
+        return ReadSet(frozenset(), conservative=True)
+
+
+def _child_formulas(f: Formula) -> tuple[Formula, ...]:
+    left = getattr(f, "left", None)
+    right = getattr(f, "right", None)
+    if isinstance(left, Formula) and isinstance(right, Formula):
+        return (left, right)
+    operand = getattr(f, "operand", None)
+    if isinstance(operand, Formula):
+        return (operand,)
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# Analysis result + diagnostics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DepAnalysis:
+    """Read-sets of one formula tree plus the query-level roll-up.
+
+    ``reads`` is keyed by ``id(subformula)`` over the analyzed tree —
+    the same keying as :class:`~repro.ftl.incremental.QueryCache`, so
+    the incremental evaluator can look a node's read-set up directly.
+    ``query_reads`` additionally includes the population dependency of
+    every FROM binding (free-ranging targets are enumerated from the
+    class extent even when they never occur in WHERE).
+    """
+
+    root: Formula
+    bindings: dict[str, str]
+    reads: dict[int, ReadSet]
+    root_reads: ReadSet
+    query_reads: ReadSet
+    diagnostics: tuple[Diagnostic, ...] = ()
+    _insensitive: dict[str, list[str]] = field(default_factory=dict)
+
+    def reads_for(self, f: Formula) -> ReadSet | None:
+        """The read-set of one node of the analyzed tree (None when the
+        node belongs to a different tree)."""
+        return self.reads.get(id(f))
+
+    def covers(self, footprint: Dep) -> bool:
+        """Whether an update with this footprint may change the query."""
+        return self.query_reads.covers(footprint)
+
+    @property
+    def insensitive_kinds(self) -> dict[str, list[str]]:
+        """Per bound class, the update kinds that provably cannot change
+        the answer (the FTL702 payload)."""
+        return dict(self._insensitive)
+
+    def to_json(self) -> dict:
+        classes = sorted(set(self.bindings.values()))
+        out: dict = {
+            "query": self.query_reads.to_json(),
+            "by_class": {
+                cls: {
+                    "reads": self.query_reads.kinds_for(cls),
+                    "insensitive_to": self._insensitive.get(cls, []),
+                }
+                for cls in classes
+            },
+            "regions": sorted(
+                {
+                    d.detail
+                    for d in self.query_reads.deps
+                    if d.kind == REGION
+                }
+            ),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+        return out
+
+
+def _dep_diagnostics(
+    root: Formula,
+    bindings: Mapping[str, str],
+    reads: dict[int, ReadSet],
+    query_reads: ReadSet,
+) -> tuple[tuple[Diagnostic, ...], dict[str, list[str]]]:
+    """FTL701 (constant subtrees) and FTL702 (insensitive update kinds).
+
+    FTL701 fires on *maximal* insensitive nodes only — reporting every
+    constant leaf under an already-constant parent would drown the
+    finding.
+    """
+    diagnostics: list[Diagnostic] = []
+
+    def walk(f: Formula) -> None:
+        rs = reads.get(id(f))
+        if rs is not None and not rs.update_sensitive:
+            diagnostics.append(
+                make(
+                    "FTL701",
+                    "subformula reads no update-sensitive state; its "
+                    "relation is constant under explicit updates",
+                    span=f.span,
+                    subformula=f,
+                )
+            )
+            return
+        for child in _subformulas(f):
+            walk(child)
+
+    walk(root)
+
+    insensitive: dict[str, list[str]] = {}
+    for cls in sorted(set(bindings.values())):
+        absent = query_reads.insensitive_kinds_for(cls)
+        if absent:
+            insensitive[cls] = absent
+            kinds = ", ".join(absent)
+            diagnostics.append(
+                make(
+                    "FTL702",
+                    f"query is insensitive to {kinds} updates of class "
+                    f"{cls!r}; such updates never change Answer(CQ)",
+                    span=root.span,
+                    subformula=None,
+                )
+            )
+    return tuple(diagnostics), insensitive
+
+
+def _subformulas(f: Formula) -> tuple[Formula, ...]:
+    if isinstance(f, Assign):
+        return (f.body,)
+    return _child_formulas(f)
+
+
+def analyze_formula_deps(
+    formula: Formula,
+    bindings: Mapping[str, str] | None = None,
+    schema: object = None,
+) -> DepAnalysis:
+    """Compute per-node read-sets of a bare formula under ``bindings``."""
+    schema_info = SchemaInfo.coerce(schema)
+    binding_map = dict(bindings or {})
+    walker = _DepWalker(binding_map, schema_info)
+    root_reads = walker.walk(formula)
+    population = ReadSet(
+        frozenset(
+            Dep(POPULATION, cls) for cls in binding_map.values()
+        )
+    )
+    query_reads = ReadSet.union((root_reads, population))
+    diagnostics, insensitive = _dep_diagnostics(
+        formula, binding_map, walker.reads, query_reads
+    )
+    return DepAnalysis(
+        root=formula,
+        bindings=binding_map,
+        reads=walker.reads,
+        root_reads=root_reads,
+        query_reads=query_reads,
+        diagnostics=diagnostics,
+        _insensitive=insensitive,
+    )
+
+
+def analyze_query_deps(
+    query: "FtlQuery",
+    schema: object = None,
+    formula: Formula | None = None,
+) -> DepAnalysis:
+    """Compute read-sets for a query's WHERE clause.
+
+    ``formula`` substitutes the analyzed tree — continuous queries pass
+    their plan's *ordered* tree so the per-node keys match the evaluator
+    caches; the read-sets themselves are identical either way (ordering
+    permutes conjuncts, it never changes what a subtree reads).
+    """
+    return analyze_formula_deps(
+        formula if formula is not None else query.where,
+        bindings=query.bindings,
+        schema=schema,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Update footprints
+# ---------------------------------------------------------------------------
+
+
+def update_footprint(update: object, db: object = None) -> Dep | None:
+    """The :class:`Dep` one explicit update writes, or ``None`` when the
+    update cannot be attributed to a class.
+
+    ``update`` is duck-typed as a :class:`~repro.core.database.
+    MostUpdate` (``class_name``/``kind``/``attribute``/``object_id``);
+    ``db`` as a :class:`~repro.core.database.MostDatabase`, used to
+    resolve a missing class name and to classify position attributes
+    precisely (falling back to the canonical axis names without it).
+    """
+    cls = getattr(update, "class_name", None)
+    object_id = getattr(update, "object_id", None)
+    attribute = getattr(update, "attribute", "")
+    if cls is None and db is not None:
+        try:
+            cls = db.get(object_id).object_class.name
+        except Exception:
+            return None
+    if cls is None:
+        return None
+    if getattr(update, "kind", "dynamic") == "static":
+        return Dep(STATIC, cls, attribute)
+    oc = None
+    if db is not None:
+        try:
+            oc = db.object_class(cls)
+        except Exception:
+            oc = None
+    if oc is not None:
+        if attribute in getattr(oc, "position_attributes", ()):
+            return Dep(POSITION, cls, attribute)
+        return Dep(ATTRIBUTE, cls, attribute)
+    if attribute in _POSITION_NAMES:
+        return Dep(POSITION, cls, attribute)
+    return Dep(ATTRIBUTE, cls, attribute)

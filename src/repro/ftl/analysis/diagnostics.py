@@ -76,6 +76,14 @@ RULES: dict[str, tuple[str, str]] = {
                      "than once; the plan shares one evaluation"),
     "FTL605": (WARNING, "derived-operator rewrite rule is quarantined "
                         "as unsound"),
+    # -- pass 7: update-impact (dependency) analysis -------------------
+    # Reported through the EXPLAIN ``dependencies`` block and the lint
+    # CLI's ``--deps`` report, not the default analyzer passes: they
+    # describe refresh behaviour, not query validity.
+    "FTL701": (INFO, "subformula reads no update-sensitive state; its "
+                     "relation is constant under explicit updates"),
+    "FTL702": (INFO, "query is insensitive to an update kind of a bound "
+                     "class; such updates never trigger a refresh"),
 }
 
 

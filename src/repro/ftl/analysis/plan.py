@@ -30,7 +30,7 @@ stay valid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.errors import FtlSemanticsError
@@ -133,8 +133,14 @@ class PlanNode:
     #: The orderer changed this node's operand order vs the source.
     reordered: bool = False
 
-    def to_json(self) -> dict:
-        """JSON-shaped node (one entry of the ``explain --json`` tree)."""
+    def to_json(self, reads: Mapping[int, object] | None = None) -> dict:
+        """JSON-shaped node (one entry of the ``explain --json`` tree).
+
+        ``reads`` maps ``id(subformula)`` to the node's
+        :class:`~repro.ftl.analysis.deps.ReadSet`; when given, each node
+        gains a ``reads`` entry (new key — every pre-existing key is
+        unchanged, old consumers keep parsing).
+        """
         out: dict = {
             "op": self.op,
             "formula": str(self.formula),
@@ -148,8 +154,12 @@ class PlanNode:
             out["shared"] = True
         if self.reordered:
             out["reordered"] = True
+        if reads is not None:
+            read_set = reads.get(id(self.formula))
+            if read_set is not None:
+                out["reads"] = read_set.to_json()
         if self.children:
-            out["children"] = [c.to_json() for c in self.children]
+            out["children"] = [c.to_json(reads) for c in self.children]
         return out
 
 
@@ -168,6 +178,9 @@ class EvalPlan:
     diagnostics: tuple[Diagnostic, ...]
     model: CostModel
     ordered: bool
+    #: FROM-clause bindings the plan was lowered under (drives the
+    #: update-impact analysis of :meth:`dependency_analysis`).
+    bindings: dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def resolve(self, formula: Formula) -> Formula:
@@ -205,6 +218,26 @@ class EvalPlan:
     def estimates(self) -> dict[str, CostEstimate]:
         """Per-node estimates keyed by plan path (``root``, ``root.0``, ...)."""
         return {path: node.estimate for path, node in self.nodes_with_paths()}
+
+    def dependency_analysis(self, schema: object = None):
+        """The update-impact analysis of the plan's *ordered* tree.
+
+        Keyed by the ordered formula nodes, so incremental evaluators
+        can look read-sets up by the same ``id`` that keys their caches.
+        Memoized per schema identity (the common callers — EXPLAIN,
+        continuous queries — ask with one schema for the plan's life).
+        """
+        from repro.ftl.analysis.deps import analyze_formula_deps
+
+        if not hasattr(self, "_deps_memo"):
+            self._deps_memo: dict[int, object] = {}
+        cached = self._deps_memo.get(id(schema))
+        if cached is None:
+            cached = analyze_formula_deps(
+                self.ordered_where, bindings=self.bindings, schema=schema
+            )
+            self._deps_memo[id(schema)] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def render(self) -> str:
@@ -252,6 +285,7 @@ class EvalPlan:
 
     def to_json(self) -> dict:
         """JSON-shaped plan report (the ``explain --json`` payload)."""
+        deps = self.dependency_analysis()
         return {
             "ordered": self.ordered,
             "reordered": self.reordered,
@@ -267,7 +301,11 @@ class EvalPlan:
             },
             "shared_subformulas": len(self.shared_ids),
             "diagnostics": [d.to_json() for d in self.diagnostics],
-            "root": self.root.to_json(),
+            # New in the dependency-analysis revision: the query-level
+            # read-set roll-up plus per-node ``reads`` entries below.
+            # Strictly additive — every pre-existing key keeps its shape.
+            "dependencies": deps.to_json(),
+            "root": self.root.to_json(deps.reads),
         }
 
 
@@ -332,6 +370,7 @@ class _Lowerer:
             diagnostics=tuple(self.diagnostics),
             model=self.model,
             ordered=self.order,
+            bindings=dict(self.bindings),
         )
 
     def _diag(self, code: str, message: str, f: Formula) -> None:

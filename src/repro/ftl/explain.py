@@ -215,6 +215,19 @@ def _print_human(report: dict) -> None:
             f"atoms: ~{accel['estimated_solves']:g} kinetic solve(s), "
             f"index pruning {'on' if accel['index_pruning'] else 'off'}"
         )
+    deps = plan.get("dependencies")
+    if deps is not None:
+        parts = []
+        for cls, info in deps["by_class"].items():
+            reads = ", ".join(info["reads"]) or "nothing"
+            part = f"{cls} reads {reads}"
+            if info["insensitive_to"]:
+                part += (
+                    f" (insensitive to {', '.join(info['insensitive_to'])})"
+                )
+            parts.append(part)
+        if parts:
+            print("deps: " + "; ".join(parts))
     print(report["_render"])
     execution = report.get("execution")
     if execution is not None:
@@ -230,6 +243,9 @@ def _print_human(report: dict) -> None:
                 "cache hit(s)"
             )
     for diag in plan["diagnostics"]:
+        print(f"  {diag['severity']}[{diag['code']}]: {diag['message']}")
+    deps_diags = (plan.get("dependencies") or {}).get("diagnostics", [])
+    for diag in deps_diags:
         print(f"  {diag['severity']}[{diag['code']}]: {diag['message']}")
 
 

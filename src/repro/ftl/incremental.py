@@ -36,6 +36,15 @@ The assignment quantifier is the one construct whose value domains couple
 instantiations (the candidate values of ``[y := q] g`` are pooled across
 all objects), so formulas containing ``Assign`` fall back to full
 reevaluation — see :func:`supports_incremental` and DESIGN.md.
+
+With a static update-impact analysis
+(:mod:`repro.ftl.analysis.deps`), whole subtrees of the recompute are
+skipped: a node whose *read-set* — the (class, kind) state it can
+observe — is disjoint from the footprints of every dirty update has a
+cached relation that recomputation would reproduce bit-for-bit, even
+for rows mentioning dirty objects (nothing those rows read was
+touched).  Its delta is the cached dirty frontier verbatim, so parent
+joins still re-derive their own stale rows (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -177,6 +186,8 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         index_pruning: bool = True,
         solve_cache: bool = True,
         batch_solver: bool = True,
+        deps: "object | None" = None,
+        dirty_deps: "frozenset | None" = None,
     ) -> None:
         super().__init__(
             ctx,
@@ -188,6 +199,15 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         )
         self.cache = cache
         self.dirty_values = frozenset(dirty_objects)
+        #: Per-node read-sets from the static update-impact analysis
+        #: (:class:`~repro.ftl.analysis.deps.DepAnalysis`), keyed over the
+        #: same tree the cache is keyed over.  ``None`` disables subtree
+        #: skipping.
+        self.deps = deps
+        #: The (class, kind) footprints of the updates being refreshed
+        #: over; ``None`` means some update could not be attributed and
+        #: subtree skipping stands down for this refresh.
+        self.dirty_deps = dirty_deps
         self._clean_domain: dict[str, list[object]] = {}
         self._dirty_domain: dict[str, list[object]] = {}
         self._done: dict[int, FtlRelation] = {}
@@ -197,6 +217,10 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         #: (bench instrumentation; a full reevaluation walks every
         #: instantiation of every node instead).
         self.rows_recomputed = 0
+        #: Subtrees whose read-set was disjoint from every dirty footprint
+        #: and whose cached rows were therefore reused without
+        #: recomputation (DESIGN.md §10).
+        self.subtrees_skipped = 0
 
     # ------------------------------------------------------------------
     def refresh(self, formula: Formula) -> FtlRelation:
@@ -218,10 +242,42 @@ class PartialIntervalEvaluator(IntervalEvaluator):
                 "no cached relation for subformula; a full evaluation must "
                 "precede incremental refresh"
             )
+        skipped = self._skip_delta(f, cached)
+        if skipped is not None:
+            self._done[key] = skipped
+            return skipped
         delta = self._delta_node(f)
         stale = cached.rows_touching(self.dirty_values)
         cached.patch(stale, delta)
         self._done[key] = delta
+        return delta
+
+    def _skip_delta(
+        self, f: Formula, cached: FtlRelation
+    ) -> FtlRelation | None:
+        """The no-recompute delta for a dependency-clean subtree, or None.
+
+        When the subtree's statically inferred read-set is disjoint from
+        every dirty update's (class, kind) footprint, a recomputation
+        would reproduce the cached interval sets exactly — even for rows
+        that mention dirty objects, because nothing those rows *read* was
+        touched.  The delta is then the cached rows of the dirty frontier
+        verbatim (so parent joins still re-derive their own stale rows),
+        and the cached relation needs no patch.
+        """
+        if self.deps is None or self.dirty_deps is None:
+            return None
+        reads = self.deps.reads_for(f)
+        if (
+            reads is None
+            or reads.conservative
+            or not reads.disjoint_from(self.dirty_deps)
+        ):
+            return None
+        self.subtrees_skipped += 1
+        delta = FtlRelation(cached.variables)
+        for inst in cached.rows_touching(self.dirty_values):
+            delta.set(inst, cached.get(inst))
         return delta
 
     def _full(self, f: Formula) -> FtlRelation:

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.ftl.lint [--json] [--strict] query-file [query-file ...]
+    python -m repro.ftl.lint [--json] [--strict] [--deps] query-file ...
 
 Each file holds one FTL query (``RETRIEVE ... FROM ... WHERE ...``);
 blank lines and ``--`` comment lines are ignored.  Diagnostics print one
@@ -10,6 +10,11 @@ per line in the conventional ``file:line:col: severity[CODE]: message``
 shape, or as one JSON object per file with ``--json``.  The exit status
 is 1 when any file has an error-severity diagnostic (or fails to parse),
 else 0.  ``--strict`` also fails on warnings.
+
+``--deps`` appends the static update-impact report (DESIGN.md §10): the
+query's per-class read-set, the update kinds it is provably insensitive
+to, and the FTL701/FTL702 informational findings.  The report never
+affects the exit status — it describes refresh behaviour, not validity.
 
 The CLI is schema-less: checks that need the database schema (attribute
 existence, region names) are skipped, so a clean lint run does not
@@ -86,7 +91,24 @@ def _human_line(path: str, diag_json: dict) -> str:
     )
 
 
-def lint_file(path: str) -> dict:
+def deps_report(text: str) -> dict | None:
+    """The update-impact report of one query text (None on parse failure).
+
+    Schema-less like the rest of the CLI: attribute reads the schema
+    could classify precisely come back as both ``attribute`` and
+    ``static`` dependencies (sound either way), and the canonical
+    position axes are still recognised.
+    """
+    from repro.ftl.analysis.deps import analyze_query_deps
+
+    try:
+        query = parse_query(strip_comments(text))
+    except (FtlSyntaxError, FtlSemanticsError):
+        return None
+    return analyze_query_deps(query).to_json()
+
+
+def lint_file(path: str, deps: bool = False) -> dict:
     """Lint one file; returns its JSON report."""
     try:
         with open(path, encoding="utf-8") as fh:
@@ -104,6 +126,8 @@ def lint_file(path: str) -> dict:
         return {"file": path, "ok": False, "diagnostics": extra}
     report = analysis.to_json()
     report["file"] = path
+    if deps:
+        report["dependencies"] = deps_report(text)
     return report
 
 
@@ -120,12 +144,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--strict", action="store_true", help="fail on warnings too"
     )
+    parser.add_argument(
+        "--deps",
+        action="store_true",
+        help="also report the update-impact (read-set) analysis",
+    )
     opts = parser.parse_args(argv)
 
     status = 0
     reports = []
     for path in opts.files:
-        report = lint_file(path)
+        report = lint_file(path, deps=opts.deps)
         reports.append(report)
         severities = {d["severity"] for d in report["diagnostics"]}
         if "error" in severities or (opts.strict and "warning" in severities):
@@ -141,9 +170,26 @@ def main(argv: list[str] | None = None) -> int:
             clean += 1
         for diag in report["diagnostics"]:
             print(_human_line(report["file"], diag))
+        if opts.deps and report.get("dependencies") is not None:
+            _print_deps(report["file"], report["dependencies"])
     checked = len(reports)
     print(f"{checked} file(s) checked, {checked - clean} with findings")
     return status
+
+
+def _print_deps(path: str, deps: dict) -> None:
+    """Human-readable update-impact block for one file."""
+    print(f"{path}: dependencies:")
+    for cls, info in deps["by_class"].items():
+        reads = ", ".join(info["reads"]) or "nothing"
+        line = f"  {cls}: reads {reads}"
+        if info["insensitive_to"]:
+            line += f"; insensitive to {', '.join(info['insensitive_to'])}"
+        print(line)
+    if deps["regions"]:
+        print(f"  regions: {', '.join(deps['regions'])}")
+    for diag in deps["diagnostics"]:
+        print("  " + _human_line(path, diag))
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ import argparse
 import asyncio
 import json
 import random
+from typing import Any
 
 from repro.core.database import MostDatabase
 from repro.core.objects import ObjectClass
@@ -30,9 +31,12 @@ from repro.server.protocol import (
     INGEST_BATCH,
     SUBSCRIBED,
     DeltaAck,
+    DeltaMsg,
     HeartbeatMsg,
     IngestBatch,
     SubscribeMsg,
+    SubscribedMsg,
+    WireTuple,
     decode_line,
     encode_line,
 )
@@ -97,8 +101,8 @@ async def _subscriber(host: str, port: int, stop: asyncio.Event) -> None:
     )
     await writer.drain()
     query_id, incarnation, last_seq = "", 0, 0
-    display: dict = {}
-    shown: set = set()
+    display: dict[tuple[Any, ...], WireTuple] = {}
+    shown: set[str] = set()
     while not stop.is_set():
         try:
             line = await asyncio.wait_for(reader.readline(), timeout=0.5)
@@ -108,6 +112,7 @@ async def _subscriber(host: str, port: int, stop: asyncio.Event) -> None:
             break
         kind, payload = decode_line(line)
         if kind == SUBSCRIBED:
+            assert isinstance(payload, SubscribedMsg)
             query_id = payload.query_id
             incarnation = payload.incarnation
             if payload.error:
@@ -116,6 +121,7 @@ async def _subscriber(host: str, port: int, stop: asyncio.Event) -> None:
             continue
         if kind != DELTA:
             continue
+        assert isinstance(payload, DeltaMsg)
         msg = payload
         if msg.snapshot:
             display = {t.key(): t for t in msg.adds}

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 import zlib
+from typing import Any
 
 from repro.distributed.backoff import RetrySchedule
 from repro.distributed.network import Message, SimNetwork
@@ -51,6 +52,7 @@ from repro.server.protocol import (
     IngestBusy,
     ResumeMsg,
     SubscribeMsg,
+    SubscribedMsg,
     WireTuple,
 )
 from repro.server.transport import ProtocolNode
@@ -95,7 +97,7 @@ class SubscriberClient:
         #: Highest contiguous delta seq applied (the resumable cursor).
         self.last_seq = 0
         #: key -> (WireTuple, aged_from): what the display holds.
-        self.display: dict[tuple, tuple[WireTuple, int]] = {}
+        self.display: dict[tuple[Any, ...], tuple[WireTuple, int]] = {}
         self.subscribed = False
         #: Refusal diagnostic from the server (subscription given up).
         self.error: str | None = None
@@ -151,6 +153,7 @@ class SubscriberClient:
     # ------------------------------------------------------------------
     def _on_subscribed(self, message: Message) -> None:
         msg = message.payload
+        assert isinstance(msg, SubscribedMsg)
         if msg.error is not None:
             # Fail-fast refusal (e.g. SchemaError for an unknown class):
             # record the diagnostic and stop retrying a hopeless query.
@@ -162,7 +165,8 @@ class SubscriberClient:
         self.subscribed = True
 
     def _on_delta(self, message: Message) -> None:
-        msg: DeltaMsg = message.payload
+        msg = message.payload
+        assert isinstance(msg, DeltaMsg)
         if self.query_id is not None and msg.query_id != self.query_id:
             return
         if msg.incarnation < self.incarnation:
@@ -254,7 +258,7 @@ class SubscriberClient:
             )
 
     # ------------------------------------------------------------------
-    def flagged(self, key: tuple, now: int | None = None) -> bool:
+    def flagged(self, key: tuple[Any, ...], now: int | None = None) -> bool:
         """Whether a held tuple is displayed with the *degraded* flag."""
         if self.staleness_bound is None:
             return False
@@ -262,7 +266,7 @@ class SubscriberClient:
         tup, aged_from = self.display[key]
         return tup.max_age + (t - aged_from) > self.staleness_bound
 
-    def display_at(self, now: int | None = None) -> set:
+    def display_at(self, now: int | None = None) -> set[tuple[Any, ...]]:
         """Values displayed unflagged at ``now`` (default: current tick)."""
         t = self.clock.now if now is None else now
         return {
@@ -271,7 +275,7 @@ class SubscriberClient:
             if tup.active_at(t) and not self.flagged(key, t)
         }
 
-    def displayable(self, now: int | None = None) -> set:
+    def displayable(self, now: int | None = None) -> set[tuple[Any, ...]]:
         """Every held ``(values, begin, end)`` still meaningful at ``now``
         (convergence comparisons ignore the flag and pending expiry)."""
         t = self.clock.now if now is None else now
@@ -326,7 +330,7 @@ class BatchingReporter:
         # seq -> MotionUpdate, insertion-ordered (dict preserves it).
         self._unacked: dict[int, MotionUpdate] = {}
         # [batch_seq, updates, next retry tick, attempts] or None.
-        self._outstanding: list | None = None
+        self._outstanding: list[Any] | None = None
         self._was_connected = self.network.is_connected(node.node_id)
         node.on_kind(INGEST_ACK, self._on_ack)
         node.on_kind(INGEST_BUSY, self._on_busy)
@@ -398,7 +402,8 @@ class BatchingReporter:
         )
 
     def _on_ack(self, message: Message) -> None:
-        msg: IngestAck = message.payload
+        msg = message.payload
+        assert isinstance(msg, IngestAck)
         self.credits = msg.credits
         for _object_id, seq in msg.acked:
             # Cumulative per object (this reporter carries one object).
@@ -414,7 +419,8 @@ class BatchingReporter:
     def _on_busy(self, message: Message) -> None:
         """The server refused the batch: hold it and come back later,
         jittered so a herd of refused reporters does not return at once."""
-        msg: IngestBusy = message.payload
+        msg = message.payload
+        assert isinstance(msg, IngestBusy)
         if (
             self._outstanding is None
             or msg.batch_seq != self._outstanding[0].batch_seq

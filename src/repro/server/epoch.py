@@ -40,6 +40,7 @@ import asyncio
 import time
 import zlib
 from collections import deque
+from typing import Any
 
 from repro.core.database import MostDatabase
 from repro.distributed.backoff import RetrySchedule
@@ -80,7 +81,7 @@ from repro.server.protocol import (
 )
 from repro.server.registry import SubscriptionRegistry
 from repro.server.session import ClientSession
-from repro.server.transport import SimTransport
+from repro.server.transport import SimTransport, Transport
 
 
 class CQServer:
@@ -142,13 +143,13 @@ class CQServer:
         self.sessions: dict[tuple[str, str], ClientSession] = {}
         #: Queued ``("batch", src, IngestBatch)`` / ``("single", src,
         #: MotionUpdate)`` entries; :attr:`inbox_depth` counts updates.
-        self._inbox: deque = deque()
+        self._inbox: deque[tuple[str, str, Any]] = deque()
         self.inbox_depth = 0
         self._reporters: set[str] = set()
         self.incarnation = 1
         self.crashed = False
         self.level = NORMAL
-        self.transport = (
+        self.transport: Transport | None = (
             SimTransport(network, server_id, self._dispatch)
             if network is not None
             else None
@@ -161,17 +162,20 @@ class CQServer:
         """Route one inbound message (called by any transport)."""
         if self.crashed:
             return
-        if kind == INGEST_BATCH:
+        # The isinstance guards double as payload validation: a kind
+        # carrying the wrong payload class is ignored like an unknown
+        # kind, never crashed on.
+        if kind == INGEST_BATCH and isinstance(payload, IngestBatch):
             self._on_batch(src, payload)
-        elif kind == UPDATE_KIND:
+        elif kind == UPDATE_KIND and isinstance(payload, MotionUpdate):
             self._on_single(src, payload)
-        elif kind == SUBSCRIBE:
+        elif kind == SUBSCRIBE and isinstance(payload, SubscribeMsg):
             self._on_subscribe(src, payload)
-        elif kind == DELTA_ACK:
+        elif kind == DELTA_ACK and isinstance(payload, DeltaAck):
             self._on_delta_ack(payload)
-        elif kind == RESUME:
+        elif kind == RESUME and isinstance(payload, ResumeMsg):
             self._on_resume(payload)
-        elif kind == HEARTBEAT:
+        elif kind == HEARTBEAT and isinstance(payload, HeartbeatMsg):
             self._on_heartbeat(payload)
         # Unknown kinds are ignored: the server talks several protocol
         # generations and must not crash on a newer client's extras.

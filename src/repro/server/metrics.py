@@ -9,6 +9,7 @@ latency distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 # Degradation-ladder levels (DESIGN.md §9).
 NORMAL = "normal"
@@ -52,7 +53,7 @@ class LatencyWindow:
         """Mean over *all* recorded samples (not just the window)."""
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, float]:
         """p50/p95/p99/mean/count as a JSON-ready dict."""
         return {
             "count": self.count,
@@ -81,12 +82,15 @@ class ServerMetrics:
     #: High-water mark of the epoch inbox depth.
     inbox_high_water: int = 0
     #: Epochs spent at each degradation-ladder level.
-    epochs_at_level: dict = field(
+    epochs_at_level: dict[str, int] = field(
         default_factory=lambda: {NORMAL: 0, BACKPRESSURE: 0, SHEDDING: 0}
     )
     #: Query refreshes actually executed / skipped by shedding.
     refreshes: int = 0
     shed_refreshes: int = 0
+    #: Refreshes skipped because no relevant update dirtied the query
+    #: since its last read (static update-impact analysis, DESIGN.md §10).
+    deps_skipped_refreshes: int = 0
     #: Delta messages (and tuples) fanned out to subscribers.
     deltas_sent: int = 0
     tuples_sent: int = 0
@@ -110,7 +114,7 @@ class ServerMetrics:
         if depth > self.inbox_high_water:
             self.inbox_high_water = depth
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Everything, JSON-ready (the bench artifact embeds this)."""
         return {
             "epochs": self.epochs,
@@ -123,6 +127,7 @@ class ServerMetrics:
             "epochs_at_level": dict(self.epochs_at_level),
             "refreshes": self.refreshes,
             "shed_refreshes": self.shed_refreshes,
+            "deps_skipped_refreshes": self.deps_skipped_refreshes,
             "deltas_sent": self.deltas_sent,
             "tuples_sent": self.tuples_sent,
             "retract_tuples_sent": self.retract_tuples_sent,

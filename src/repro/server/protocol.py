@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.distributed.updates import MotionUpdate
 from repro.errors import DistributedError
@@ -55,17 +56,17 @@ class WireTuple:
     the answer refresh that produced this tuple.
     """
 
-    values: tuple
+    values: tuple[Any, ...]
     begin: float
     end: float
-    support: tuple
+    support: tuple[Any, ...]
     max_age: float = field(default=0.0, compare=False)
 
     def active_at(self, t: float) -> bool:
         """Whether this tuple is displayed at clock tick ``t``."""
         return self.begin <= t <= self.end
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[Any, ...]:
         """The identity the delta stream deduplicates on."""
         return (self.values, self.begin, self.end, self.support)
 
@@ -190,7 +191,7 @@ def _point_to_list(p: Point) -> list[float]:
     return list(p.coords)
 
 
-def _tuple_to_obj(t: WireTuple) -> dict:
+def _tuple_to_obj(t: WireTuple) -> dict[str, Any]:
     return {
         "values": [str(v) for v in t.values],
         "begin": t.begin,
@@ -200,7 +201,7 @@ def _tuple_to_obj(t: WireTuple) -> dict:
     }
 
 
-def _tuple_from_obj(o: dict) -> WireTuple:
+def _tuple_from_obj(o: dict[str, Any]) -> WireTuple:
     return WireTuple(
         values=tuple(o["values"]),
         begin=float(o["begin"]),
@@ -210,7 +211,7 @@ def _tuple_from_obj(o: dict) -> WireTuple:
     )
 
 
-def _update_to_obj(u: MotionUpdate) -> dict:
+def _update_to_obj(u: MotionUpdate) -> dict[str, Any]:
     return {
         "object_id": str(u.object_id),
         "seq": u.seq,
@@ -220,7 +221,7 @@ def _update_to_obj(u: MotionUpdate) -> dict:
     }
 
 
-def _update_from_obj(o: dict) -> MotionUpdate:
+def _update_from_obj(o: dict[str, Any]) -> MotionUpdate:
     return MotionUpdate(
         object_id=o["object_id"],
         seq=int(o["seq"]),
@@ -230,9 +231,9 @@ def _update_from_obj(o: dict) -> MotionUpdate:
     )
 
 
-def to_wire(kind: str, payload: object) -> dict:
+def to_wire(kind: str, payload: object) -> dict[str, Any]:
     """Flatten one (kind, payload) pair into a JSON-ready dict."""
-    obj: dict = {"kind": kind}
+    obj: dict[str, Any] = {"kind": kind}
     if kind == INGEST_BATCH:
         assert isinstance(payload, IngestBatch)
         obj.update(
@@ -314,7 +315,7 @@ def to_wire(kind: str, payload: object) -> dict:
     return obj
 
 
-def from_wire(obj: dict) -> tuple[str, object]:
+def from_wire(obj: dict[str, Any]) -> tuple[str, object]:
     """Rebuild the (kind, payload) pair from a decoded JSON dict."""
     kind = obj.get("kind")
     if kind == INGEST_BATCH:

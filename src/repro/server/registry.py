@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.database import MostDatabase
 from repro.core.queries import ContinuousQuery
@@ -37,7 +38,7 @@ class AnswerState:
 
     computed_at: int
     tuples: tuple[WireTuple, ...]
-    keys: frozenset = field(default_factory=frozenset)
+    keys: frozenset[tuple[Any, ...]] = field(default_factory=frozenset)
 
     @staticmethod
     def capture(cq: ContinuousQuery, now: int) -> "AnswerState":
@@ -70,7 +71,7 @@ class RegisteredQuery:
     cq: ContinuousQuery
     state: AnswerState
     #: Client ids subscribed to this query.
-    subscribers: set = field(default_factory=set)
+    subscribers: set[str] = field(default_factory=set)
     _last_evaluations: int = 0
 
 
@@ -94,7 +95,7 @@ class SubscriptionRegistry:
         self.metrics = metrics
         self.queries: dict[str, RegisteredQuery] = {}
         self.records: dict[tuple[str, str], SubscriberRecord] = {}
-        self._by_spec: dict[tuple, str] = {}
+        self._by_spec: dict[tuple[str, int, str], str] = {}
         self._next_id = 0
         self._rr: list[str] = []  # round-robin refresh order under shedding
         self._rr_pos = 0
@@ -180,16 +181,28 @@ class SubscriptionRegistry:
     def refresh_round(self, now: int, budget: int | None = None) -> int:
         """Refresh queries for this epoch.
 
-        With ``budget=None`` every query refreshes.  Under load shedding
-        a bounded number refresh per epoch, round-robin so no query
-        starves; the rest keep serving their last answer state, whose
-        staleness flags age honestly (degradation ladder, DESIGN.md §9).
-        Returns the number refreshed.
+        Queries no relevant update has dirtied since their last read are
+        skipped outright (``ContinuousQuery.needs_refresh`` — the
+        dependency analysis already filtered irrelevant updates at the
+        listener, so a clean query provably has an unchanged answer);
+        skips are counted in ``metrics.deps_skipped_refreshes`` and do
+        not consume refresh budget.
+
+        With ``budget=None`` every dirty query refreshes.  Under load
+        shedding a bounded number refresh per epoch, round-robin so no
+        query starves; the rest keep serving their last answer state,
+        whose staleness flags age honestly (degradation ladder,
+        DESIGN.md §9).  Returns the number refreshed.
         """
         if budget is None or budget >= len(self._rr):
+            refreshed = 0
             for rq in list(self.queries.values()):
+                if not rq.cq.needs_refresh:
+                    self.metrics.deps_skipped_refreshes += 1
+                    continue
                 self.refresh(rq, now)
-            return len(self.queries)
+                refreshed += 1
+            return refreshed
         refreshed = 0
         skipped = 0
         n = len(self._rr)
@@ -198,6 +211,9 @@ class SubscriptionRegistry:
             self._rr_pos += 1
             rq = self.queries.get(query_id)
             if rq is None:
+                continue
+            if not rq.cq.needs_refresh:
+                self.metrics.deps_skipped_refreshes += 1
                 continue
             if refreshed < budget:
                 self.refresh(rq, now)

@@ -22,7 +22,7 @@ incarnation number.
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Any, Callable
 
 from repro.distributed.backoff import RetrySchedule
 from repro.distributed.transmission import (
@@ -59,7 +59,7 @@ def make_policy(name: str, period: int = 1) -> TransmissionPolicy:
     raise DistributedError(f"unknown transmission policy {name!r}")
 
 
-def _key_tuple(key: tuple) -> WireTuple:
+def _key_tuple(key: tuple[Any, ...]) -> WireTuple:
     """Rebuild the identity-only tuple a retraction names."""
     values, begin, end, support = key
     return WireTuple(values=values, begin=begin, end=end, support=support)
@@ -96,9 +96,9 @@ class ClientSession:
         self.heartbeat_timeout = heartbeat_timeout
         self.max_log = max_log
         #: Keys the client will hold once the log drains.
-        self.delivered: set[tuple] = set()
+        self.delivered: set[tuple[Any, ...]] = set()
         # seq -> [DeltaMsg, next retry tick, attempts]
-        self.log: dict[int, list] = {}
+        self.log: dict[int, list[Any]] = {}
         self.next_seq = 1
         self.acked_through = 0
         self.free_slots: int | None = record.window

@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 from repro.core.database import MostDatabase
 from repro.core.objects import ObjectClass
@@ -104,7 +105,7 @@ class ClientOutcome:
     client_id: str
     policy: str
     converged: bool
-    display: frozenset
+    display: frozenset[tuple[Any, ...]]
     deltas: int
     snapshots: int
     duplicates: int
@@ -125,8 +126,8 @@ class SoakResult:
     #: Clean immediate client vs the server's own answer.
     truth_match: bool
     clients: list[ClientOutcome] = field(default_factory=list)
-    metrics: dict = field(default_factory=dict)
-    clean_metrics: dict = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    clean_metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def converged(self) -> bool:
@@ -353,9 +354,11 @@ async def _drive(
     return world.clock.now, _quiescent(world)
 
 
-def _clip(tuples, lo: float, hi: float) -> frozenset:
+def _clip(
+    tuples: Iterable[tuple[Any, float, float]], lo: float, hi: float
+) -> frozenset[tuple[Any, float, float]]:
     """``(values, begin, end)`` triples clipped to the comparison window."""
-    out = set()
+    out: set[tuple[Any, float, float]] = set()
     for values, begin, end in tuples:
         b, e = max(begin, lo), min(end, hi)
         if b <= e:
@@ -363,16 +366,16 @@ def _clip(tuples, lo: float, hi: float) -> frozenset:
     return frozenset(out)
 
 
-def _client_tuples(client: SubscriberClient) -> list[tuple]:
+def _client_tuples(client: SubscriberClient) -> list[tuple[Any, float, float]]:
     return [
         (tup.values, tup.begin, tup.end) for tup, _ in client.display.values()
     ]
 
 
-def _server_tuples(world: _World) -> list[tuple]:
+def _server_tuples(world: _World) -> list[tuple[Any, float, float]]:
     """The server's own converged answer (degraded tuples included —
     after drain nothing is stale, so the flag distinction is moot)."""
-    out = []
+    out: list[tuple[Any, float, float]] = []
     for rq in world.server.registry.queries.values():
         for s in rq.cq.stamped_tuples():
             out.append((s.values, s.begin, s.end))
@@ -436,9 +439,9 @@ def run_soak(config: SoakConfig | None = None) -> SoakResult:
     return asyncio.run(_run(config if config is not None else SoakConfig()))
 
 
-def soak_sweep(seeds, **overrides) -> list[SoakResult]:
+def soak_sweep(seeds: Iterable[int], **overrides: Any) -> list[SoakResult]:
     """One soak per seed, varying the fault mix with the seed."""
-    results = []
+    results: list[SoakResult] = []
     for seed in seeds:
         rng = random.Random(seed * 31337 + 14)
         config = SoakConfig(

@@ -15,6 +15,7 @@ self-contained demo over this transport.
 from __future__ import annotations
 
 import asyncio
+from typing import TYPE_CHECKING
 
 from repro.distributed.updates import UPDATE_KIND, MotionUpdate
 from repro.errors import DistributedError
@@ -30,6 +31,9 @@ from repro.server.protocol import (
 )
 from repro.server.transport import Transport
 
+if TYPE_CHECKING:
+    from repro.server.epoch import CQServer
+
 
 def source_of(kind: str, payload: object) -> str | None:
     """The sender's endpoint id, as carried inside the message itself."""
@@ -38,7 +42,8 @@ def source_of(kind: str, payload: object) -> str | None:
     if kind == UPDATE_KIND and isinstance(payload, MotionUpdate):
         return str(payload.object_id)
     if kind in (SUBSCRIBE, DELTA_ACK, RESUME, HEARTBEAT):
-        return getattr(payload, "client_id", None)
+        client_id = getattr(payload, "client_id", None)
+        return client_id if isinstance(client_id, str) else None
     return None
 
 
@@ -51,7 +56,7 @@ class TcpTransport(Transport):
     """
 
     def __init__(
-        self, server, host: str = "127.0.0.1", port: int = 0
+        self, server: "CQServer", host: str = "127.0.0.1", port: int = 0
     ) -> None:
         self.server = server
         self.host = host

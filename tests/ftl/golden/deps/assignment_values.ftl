@@ -1,0 +1,5 @@
+-- The assignment-bound value variable m carries no class; the deps of
+-- t.x_position are charged to trucks where the term occurs.
+RETRIEVE c
+FROM cars c, trucks t
+WHERE [m := t.x_position] EVENTUALLY c.x_position > m

@@ -1,0 +1,5 @@
+-- The left conjunct reads no update-sensitive state (FTL701): its
+-- relation is constant under explicit updates.
+RETRIEVE o
+FROM cars o
+WHERE 1 < 2 AND INSIDE(o, P)

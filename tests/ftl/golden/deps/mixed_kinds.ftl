@@ -1,0 +1,5 @@
+-- Mixed read kinds: a (schema-less ambiguous) fuel attribute plus a
+-- spatial atom — sensitive to every update kind of cars.
+RETRIEVE o
+FROM cars o
+WHERE o.fuel < 10 AND INSIDE(o, P)

@@ -1,0 +1,5 @@
+-- A purely kinetic query: reads positions and the region geometry
+-- only, so attribute and static updates are provably irrelevant.
+RETRIEVE o
+FROM cars o
+WHERE EVENTUALLY WITHIN 8 INSIDE(o, P)

@@ -1,0 +1,293 @@
+"""Unit tests for the static update-impact (read-set) analysis.
+
+Covers the dependency taxonomy over terms and formulas, covering
+semantics of :class:`Dep`/:class:`ReadSet`, schema-aware vs schema-less
+attribute classification, conservative fallbacks, the FTL701/FTL702
+diagnostics, update footprints, and the EXPLAIN ``dependencies`` block.
+"""
+
+import pytest
+
+from repro.core import DynamicAttribute, MostDatabase, ObjectClass
+from repro.ftl import parse_formula, parse_query
+from repro.ftl.analysis import (
+    Dep,
+    ReadSet,
+    analyze_formula_deps,
+    analyze_query_deps,
+    update_footprint,
+)
+from repro.ftl.analysis.deps import (
+    ATTRIBUTE,
+    EMPTY_READ_SET,
+    POPULATION,
+    POSITION,
+    REGION,
+    STATIC,
+    UPDATE_SENSITIVE_KINDS,
+)
+from repro.ftl.ast import Const, Var
+from repro.geometry import Point
+from repro.spatial import Polygon
+
+
+def build_db() -> MostDatabase:
+    db = MostDatabase()
+    db.create_class(
+        ObjectClass(
+            "cars",
+            static_attributes=("price",),
+            dynamic_attributes=("fuel",),
+            spatial_dimensions=2,
+        )
+    )
+    db.create_class(ObjectClass("motels", static_attributes=("rating",)))
+    db.define_region("P", Polygon.rectangle(0, 0, 10, 10))
+    db.add_moving_object(
+        "cars",
+        "c0",
+        Point(0, 0),
+        Point(1, 0),
+        static={"price": 100.0},
+        dynamic_extra={"fuel": DynamicAttribute.linear(50.0, -1.0)},
+    )
+    return db
+
+
+def kinds(rs: ReadSet, cls: str) -> set:
+    return set(rs.kinds_for(cls))
+
+
+class TestDepCovering:
+    def test_exact_match(self):
+        read = Dep(POSITION, "cars", "x_position")
+        assert read.matches(Dep(POSITION, "cars", "x_position"))
+        assert not read.matches(Dep(POSITION, "cars", "y_position"))
+        assert not read.matches(Dep(POSITION, "vans", "x_position"))
+        assert not read.matches(Dep(ATTRIBUTE, "cars", "x_position"))
+
+    def test_empty_detail_is_wildcard(self):
+        read = Dep(POSITION, "cars")
+        assert read.matches(Dep(POSITION, "cars", "x_position"))
+        write_all = Dep(POSITION, "cars")
+        assert Dep(POSITION, "cars", "x_position").matches(write_all)
+
+    def test_conservative_covers_everything(self):
+        rs = ReadSet(frozenset(), conservative=True)
+        assert rs.covers(Dep(STATIC, "anything", "whatever"))
+        assert not rs.disjoint_from([Dep(ATTRIBUTE, "x", "y")])
+        assert rs.update_sensitive
+
+    def test_disjoint_from(self):
+        rs = ReadSet(frozenset({Dep(POSITION, "cars")}))
+        assert rs.disjoint_from([Dep(ATTRIBUTE, "cars", "fuel")])
+        assert not rs.disjoint_from(
+            [Dep(ATTRIBUTE, "cars", "fuel"), Dep(POSITION, "cars", "y_position")]
+        )
+
+    def test_insensitive_kinds(self):
+        rs = ReadSet(frozenset({Dep(POSITION, "cars"), Dep(POPULATION, "cars")}))
+        assert rs.insensitive_kinds_for("cars") == [ATTRIBUTE, STATIC]
+        assert set(UPDATE_SENSITIVE_KINDS) == {POSITION, ATTRIBUTE, STATIC}
+
+
+class TestFormulaReadSets:
+    def test_spatial_atom(self):
+        deps = analyze_formula_deps(
+            parse_formula("INSIDE(o, P)"), bindings={"o": "cars"},
+            schema=build_db(),
+        )
+        assert kinds(deps.root_reads, "cars") == {POSITION, POPULATION}
+        assert Dep(REGION, None, "P") in deps.root_reads.deps
+
+    def test_attribute_classification_with_schema(self):
+        db = build_db()
+        fuel = analyze_formula_deps(
+            parse_formula("o.fuel < 10"), bindings={"o": "cars"}, schema=db
+        )
+        assert kinds(fuel.root_reads, "cars") == {ATTRIBUTE, POPULATION}
+        price = analyze_formula_deps(
+            parse_formula("o.price < 10"), bindings={"o": "cars"}, schema=db
+        )
+        assert kinds(price.root_reads, "cars") == {STATIC, POPULATION}
+        axis = analyze_formula_deps(
+            parse_formula("o.x_position < 10"), bindings={"o": "cars"},
+            schema=db,
+        )
+        assert kinds(axis.root_reads, "cars") == {POSITION, POPULATION}
+
+    def test_schema_less_is_sound_both_ways(self):
+        deps = analyze_formula_deps(
+            parse_formula("o.fuel < 10"), bindings={"o": "cars"}
+        )
+        # Without a schema, a non-axis attribute could be dynamic or
+        # static — the read-set must cover both update kinds.
+        assert deps.root_reads.covers(Dep(ATTRIBUTE, "cars", "fuel"))
+        assert deps.root_reads.covers(Dep(STATIC, "cars", "fuel"))
+        assert not deps.root_reads.covers(Dep(POSITION, "cars", "x_position"))
+
+    def test_dist_reads_both_positions(self):
+        deps = analyze_formula_deps(
+            parse_formula("DIST(v, b) <= 60"),
+            bindings={"v": "trackers", "b": "beacons"},
+        )
+        assert kinds(deps.root_reads, "trackers") == {POSITION, POPULATION}
+        assert kinds(deps.root_reads, "beacons") == {POSITION, POPULATION}
+
+    def test_connectives_union(self):
+        deps = analyze_formula_deps(
+            parse_formula("EVENTUALLY (o.fuel < 10 AND INSIDE(o, P))"),
+            bindings={"o": "cars"},
+            schema=build_db(),
+        )
+        assert kinds(deps.root_reads, "cars") == {
+            POSITION, ATTRIBUTE, POPULATION,
+        }
+
+    def test_assignment_value_variable_carries_no_class(self):
+        deps = analyze_formula_deps(
+            parse_formula(
+                "EVENTUALLY [m := t.x_position] (c.x_position > m)"
+            ),
+            bindings={"c": "cars", "t": "trucks"},
+        )
+        # m is a value variable: the deps of t.x_position are charged to
+        # trucks, and m itself contributes nothing.
+        assert kinds(deps.root_reads, "cars") == {POSITION, POPULATION}
+        assert kinds(deps.root_reads, "trucks") == {POSITION, POPULATION}
+
+    def test_unattributable_term_is_conservative(self):
+        from repro.ftl.ast import Attr, Compare
+
+        f = Compare(">", Attr(Var("x"), "speed"), Const(1.0))
+        deps = analyze_formula_deps(f, bindings={})
+        assert deps.root_reads.conservative
+
+    def test_per_node_reads_are_monotone(self):
+        f = parse_formula("o.fuel < 10 AND INSIDE(o, P)")
+        deps = analyze_formula_deps(
+            f, bindings={"o": "cars"}, schema=build_db()
+        )
+        for child in (f.left, f.right):
+            child_reads = deps.reads_for(child)
+            assert child_reads is not None
+            assert child_reads.deps <= deps.reads_for(f).deps
+
+
+class TestQueryLevel:
+    def test_query_reads_include_population_of_every_binding(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o, motels m WHERE INSIDE(o, P)"
+        )
+        deps = analyze_query_deps(q, schema=build_db())
+        # m never occurs in WHERE, but the target enumeration still
+        # reads the motels extent.
+        assert Dep(POPULATION, "motels") in deps.query_reads.deps
+
+    def test_ftl702_lists_insensitive_kinds(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        deps = analyze_query_deps(q, schema=build_db())
+        assert deps.insensitive_kinds == {"cars": [ATTRIBUTE, STATIC]}
+        codes = [d.code for d in deps.diagnostics]
+        assert "FTL702" in codes
+
+    def test_ftl701_fires_on_maximal_constant_subtree(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE 1 < 2 AND INSIDE(o, P)")
+        deps = analyze_query_deps(q, schema=build_db())
+        f701 = [d for d in deps.diagnostics if d.code == "FTL701"]
+        assert len(f701) == 1
+        assert "1 < 2" in (f701[0].subformula or "")
+
+    def test_no_ftl701_when_everything_is_sensitive(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE o.fuel < 10")
+        deps = analyze_query_deps(q, schema=build_db())
+        assert not [d for d in deps.diagnostics if d.code == "FTL701"]
+
+    def test_to_json_shape(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        out = analyze_query_deps(q, schema=build_db()).to_json()
+        assert set(out) == {"query", "by_class", "regions", "diagnostics"}
+        assert out["regions"] == ["P"]
+        assert out["by_class"]["cars"]["reads"] == [POPULATION, POSITION]
+        assert out["by_class"]["cars"]["insensitive_to"] == [ATTRIBUTE, STATIC]
+
+
+class TestUpdateFootprint:
+    def test_kinds(self):
+        db = build_db()
+        db.clock.tick()
+        db.update_dynamic("c0", "fuel", value=40.0)
+        db.update_static("c0", "price", 90.0)
+        db.update_motion("c0", Point(2.0, 0.0))
+        log = db.log
+        fuel = next(u for u in log if u.attribute == "fuel")
+        price = next(u for u in log if u.attribute == "price")
+        axis = next(u for u in log if u.attribute == "x_position")
+        assert update_footprint(fuel, db) == Dep(ATTRIBUTE, "cars", "fuel")
+        assert update_footprint(price, db) == Dep(STATIC, "cars", "price")
+        assert update_footprint(axis, db) == Dep(
+            POSITION, "cars", "x_position"
+        )
+
+    def test_unattributable_update_is_none(self):
+        class Unknown:
+            class_name = None
+            object_id = "ghost"
+            attribute = "fuel"
+            kind = "dynamic"
+
+        assert update_footprint(Unknown(), build_db()) is None
+        # Without a database the canonical axis names still classify.
+        class Bare:
+            class_name = "cars"
+            object_id = "c0"
+            attribute = "y_position"
+            kind = "dynamic"
+
+        assert update_footprint(Bare()) == Dep(
+            POSITION, "cars", "y_position"
+        )
+
+
+class TestPlanIntegration:
+    def test_plan_json_has_dependencies_and_node_reads(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        plan = q.plan_for()
+        out = plan.to_json()
+        assert out["dependencies"]["by_class"]["cars"]["reads"]
+        assert "reads" in out["root"]
+
+    def test_plan_analysis_keys_match_ordered_tree(self):
+        q = parse_query(
+            "RETRIEVE o FROM cars o WHERE o.fuel < 10 AND INSIDE(o, P)"
+        )
+        plan = q.plan_for()
+        deps = plan.dependency_analysis(schema=build_db())
+        ordered = plan.resolve(q.where)
+        assert deps.reads_for(ordered) is not None
+        assert deps.reads_for(ordered.left) is not None
+        assert deps.reads_for(ordered.right) is not None
+
+    def test_dependency_analysis_memoized_per_schema(self):
+        q = parse_query("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+        plan = q.plan_for()
+        assert plan.dependency_analysis() is plan.dependency_analysis()
+        db = build_db()
+        with_schema = plan.dependency_analysis(schema=db)
+        assert with_schema is not plan.dependency_analysis()
+        assert plan.dependency_analysis(schema=db) is with_schema
+
+
+class TestEmptyReadSet:
+    def test_constants(self):
+        assert EMPTY_READ_SET.deps == frozenset()
+        assert not EMPTY_READ_SET.update_sensitive
+        assert EMPTY_READ_SET.disjoint_from(
+            [Dep(k, "cars", "a") for k in UPDATE_SENSITIVE_KINDS]
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

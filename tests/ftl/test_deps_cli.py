@@ -1,0 +1,90 @@
+"""Golden-file tests for the lint CLI's ``--deps`` update-impact report.
+
+Each ``golden/deps/*.ftl`` fixture has a ``*.deps.json`` sibling pinning
+the schema-less dependency report — per-class read kinds, insensitive
+update kinds, region reads, and the FTL701/FTL702 findings.  The golden
+files pin the analysis' user-visible contract: a read-set gaining or
+losing a kind, or a finding drifting, fails here.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python tests/ftl/test_deps_cli.py --update
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ftl.lint import deps_report, lint_file, main
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "deps"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.ftl"))
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[p.stem for p in FIXTURES]
+)
+def test_golden_deps_report(fixture):
+    expected = json.loads(fixture.with_suffix(".deps.json").read_text())
+    actual = deps_report(fixture.read_text())
+    assert actual == expected
+
+
+def test_fixtures_exist():
+    assert FIXTURES, "golden/deps fixtures are missing"
+
+
+def test_lint_file_embeds_report_only_with_flag():
+    fixture = str(FIXTURES[0])
+    assert "dependencies" not in lint_file(fixture)
+    assert lint_file(fixture, deps=True)["dependencies"] is not None
+
+
+def test_cli_json_roundtrip(capsys):
+    status = main(["--json", "--deps", str(FIXTURES[0])])
+    assert status == 0
+    reports = json.loads(capsys.readouterr().out)
+    deps = reports[0]["dependencies"]
+    assert set(deps) == {"query", "by_class", "regions", "diagnostics"}
+
+
+def test_cli_human_output_mentions_reads(capsys):
+    status = main(["--deps", str(FIXTURES[0])])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "dependencies:" in out
+    assert "reads" in out
+
+
+def test_deps_never_affect_exit_status(tmp_path, capsys):
+    bad = tmp_path / "bad.ftl"
+    bad.write_text("RETRIEVE o FROM cars o WHERE INSIDE(o,")
+    assert main(["--deps", str(bad)]) == 1
+    capsys.readouterr()
+    good = tmp_path / "good.ftl"
+    good.write_text("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+    # FTL702 info findings in the report leave the status at 0.
+    assert main(["--deps", "--strict", str(good)]) == 0
+    capsys.readouterr()
+
+
+def test_parse_failure_yields_none_report():
+    assert deps_report("RETRIEVE o FROM") is None
+
+
+def _update() -> None:
+    for fixture in FIXTURES:
+        report = deps_report(fixture.read_text())
+        fixture.with_suffix(".deps.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+        print(f"updated {fixture.with_suffix('.deps.json')}")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(__doc__)

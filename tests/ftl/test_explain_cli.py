@@ -129,6 +129,38 @@ def test_golden_explain_render(example):
     assert normalized_report(example)["_render"] + "\n" == expected
 
 
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_plan_json_keeps_legacy_keys(example):
+    """The ``dependencies`` block is additive: every pre-existing key of
+    the plan report survives with its original shape, so older consumers
+    of the ``--json`` output keep parsing."""
+    plan = normalized_report(example)["plan"]
+    for key in (
+        "ordered",
+        "reordered",
+        "formula",
+        "total",
+        "atom_acceleration",
+        "shared_subformulas",
+        "diagnostics",
+        "root",
+    ):
+        assert key in plan, key
+    assert set(plan["dependencies"]) == {
+        "query", "by_class", "regions", "diagnostics",
+    }
+
+    def walk(node):
+        for key in ("op", "formula", "routine", "free_vars", "estimate"):
+            assert key in node, key
+        for child in node.get("children", []):
+            walk(child)
+
+    walk(plan["root"])
+
+
 def test_module_entry_point():
     """``python -m repro.ftl.explain`` runs as a module."""
     result = subprocess.run(

@@ -1,0 +1,148 @@
+"""Dependency-pruned refresh rounds at the subscription-registry layer.
+
+An E14-style mixed-workload soak: position and attribute updates
+interleave while the registry refreshes every epoch.  With the static
+update-impact analysis in place, the registry must (a) skip refresh
+work for queries no relevant update dirtied — counted in
+``metrics.deps_skipped_refreshes`` — while (b) every served answer
+stays tuple-for-tuple identical to an unpruned continuous query
+maintained side by side.
+"""
+
+import random
+
+from repro.core import ContinuousQuery, DynamicAttribute, MostDatabase, ObjectClass
+from repro.ftl import parse_query
+from repro.geometry import Point
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import SubscribeMsg
+from repro.server.registry import SubscriptionRegistry
+from repro.temporal import SimulationClock
+
+POSITION_QUERY = (
+    "RETRIEVE v FROM trackers v, beacons b WHERE DIST(v, b) <= 60"
+)
+BATTERY_QUERY = (
+    "RETRIEVE v FROM trackers v WHERE EVENTUALLY WITHIN 10 v.battery < 20"
+)
+HORIZON = 400
+
+
+def build_world(n_trackers: int = 3):
+    clock = SimulationClock()
+    db = MostDatabase(clock)
+    db.create_class(
+        ObjectClass(
+            "trackers",
+            dynamic_attributes=("battery",),
+            spatial_dimensions=2,
+        )
+    )
+    db.create_class(ObjectClass("beacons", spatial_dimensions=2))
+    db.add_moving_object("beacons", "beacon", Point(0.0, 0.0))
+    for i in range(n_trackers):
+        db.add_moving_object(
+            "trackers",
+            f"tracker-{i}",
+            Point(10.0 * i, 0.0),
+            Point(1.0, 0.0),
+            dynamic_extra={"battery": DynamicAttribute.linear(80.0, -0.5)},
+        )
+    metrics = ServerMetrics()
+    registry = SubscriptionRegistry(db, metrics)
+    return db, registry, metrics
+
+
+def register(registry, client_id, text):
+    return registry.register(
+        SubscribeMsg(client_id=client_id, text=text, horizon=HORIZON)
+    )
+
+
+class TestDepsRefreshRounds:
+    def test_clean_queries_are_skipped_not_refreshed(self):
+        db, registry, metrics = build_world()
+        register(registry, "c1", POSITION_QUERY)
+        register(registry, "c2", BATTERY_QUERY)
+        registry.refresh_round(now=db.clock.now)
+        assert metrics.refreshes == 0
+        assert metrics.deps_skipped_refreshes == 2
+
+    def test_kind_routed_refreshes(self):
+        db, registry, metrics = build_world()
+        register(registry, "c1", POSITION_QUERY)
+        register(registry, "c2", BATTERY_QUERY)
+        db.clock.tick()
+        # A battery update dirties only the battery query.
+        db.update_dynamic("tracker-0", "battery", value=10.0)
+        refreshed = registry.refresh_round(now=db.clock.now)
+        assert refreshed == 1
+        assert metrics.deps_skipped_refreshes == 1
+        db.clock.tick()
+        # A motion update dirties only the position query.
+        db.update_motion("tracker-0", Point(2.0, 0.0))
+        refreshed = registry.refresh_round(now=db.clock.now)
+        assert refreshed == 1
+        assert metrics.deps_skipped_refreshes == 2
+
+    def test_mixed_soak_converges_tuple_for_tuple(self):
+        db, registry, metrics = build_world()
+        rq_pos = register(registry, "c1", POSITION_QUERY)
+        rq_bat = register(registry, "c2", BATTERY_QUERY)
+        # Unpruned twins maintained outside the registry: they accept
+        # every class-relevant update and refresh eagerly.
+        twins = {}
+        for key, text in (("pos", POSITION_QUERY), ("bat", BATTERY_QUERY)):
+            cq = ContinuousQuery(db, parse_query(text), horizon=HORIZON)
+            cq._deps = None
+            twins[key] = cq
+
+        rng = random.Random(42)
+        epochs = 40
+        for _ in range(epochs):
+            db.clock.tick()
+            roll = rng.random()
+            tracker = f"tracker-{rng.randrange(3)}"
+            if roll < 0.4:
+                db.update_motion(
+                    tracker,
+                    Point(rng.uniform(-2, 2), rng.uniform(-2, 2)),
+                    position=Point(rng.uniform(-50, 50), rng.uniform(-50, 50)),
+                )
+            elif roll < 0.8:
+                db.update_dynamic(
+                    tracker, "battery", value=rng.uniform(0.0, 100.0)
+                )
+            # else: a quiet epoch — nothing changed at all.
+            registry.refresh_round(now=db.clock.now)
+            assert rq_pos.cq.current() == twins["pos"].current()
+            assert rq_bat.cq.current() == twins["bat"].current()
+
+        # The mixed workload never dirtied both queries at once, so the
+        # registry skipped a substantial share of the refresh work.
+        assert metrics.deps_skipped_refreshes > 0
+        assert metrics.refreshes < epochs * len(registry.queries)
+        assert (
+            metrics.refreshes + metrics.deps_skipped_refreshes
+            == epochs * len(registry.queries)
+        )
+
+    def test_budget_not_consumed_by_clean_queries(self):
+        db, registry, metrics = build_world()
+        register(registry, "c1", POSITION_QUERY)
+        register(registry, "c2", BATTERY_QUERY)
+        register(registry, "c3", POSITION_QUERY.replace("60", "40"))
+        db.clock.tick()
+        db.update_motion("tracker-0", Point(2.0, 0.0))
+        # Budget 1 with two dirty position queries and one clean battery
+        # query: the clean one is skipped for free, one dirty refreshes,
+        # one is shed.
+        refreshed = registry.refresh_round(now=db.clock.now, budget=1)
+        assert refreshed == 1
+        assert metrics.deps_skipped_refreshes == 1
+        assert metrics.shed_refreshes == 1
+
+    def test_metrics_dict_exposes_deps_skips(self):
+        _, _, metrics = build_world()
+        metrics.deps_skipped_refreshes = 5
+        assert metrics.to_dict()["deps_skipped_refreshes"] == 5

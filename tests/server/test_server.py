@@ -260,8 +260,15 @@ class TestShedding:
             server.registry.register(
                 SubscribeMsg(client_id=f"c{i}", text=text, horizon=100)
             )
-        counts = {}
         for epoch in range(3):
+            # Dirty every query (a position update is in every DIST
+            # query's read-set) so the budget, not dependency pruning,
+            # decides who refreshes this round.
+            db.update_motion(
+                "tracker-0", Point(1.0, 0.0), position=Point(float(epoch), 0.0)
+            )
             server.registry.refresh_round(now=0, budget=1)
         assert server.metrics.refreshes == 3
+        # Each round: 1 refreshed within budget; the other two dirty
+        # queries are shed (they stay dirty and would refresh next).
         assert server.metrics.shed_refreshes == 6  # 2 skipped per round
