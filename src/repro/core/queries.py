@@ -22,6 +22,12 @@ from repro.core.history import FutureHistory, RecordedHistory
 from repro.errors import FtlSemanticsError, QueryError, SchemaError
 from repro.ftl.analysis import AnalysisResult, CostModel, Diagnostic
 from repro.ftl.analysis.deps import Dep, DepAnalysis, update_footprint
+from repro.ftl.analysis.validity import (
+    ValidityAnalysis,
+    analyze_query_validity,
+    class_motion_events,
+    update_divergence,
+)
 from repro.ftl.analysis.plan import EvalPlan
 from repro.ftl.context import EvalContext
 from repro.ftl.incremental import (
@@ -236,6 +242,20 @@ class ContinuousQuery:
     and within an incremental refresh, cached subtrees whose read-sets
     are disjoint from the accumulated dirty footprints are reused
     without recomputation (:attr:`subtrees_skipped`).
+
+    On top of the read-set gate sits the *temporal-validity* gate
+    (pass 8, DESIGN.md §11): when the static analysis proves the whole
+    condition's answer valid through the query's expiration horizon
+    (no read class has a motion event before it), a covered update
+    whose kinetic consequences provably lie beyond the horizon — a
+    pure re-anchor "heartbeat", say — is dropped without dirtying the
+    answer (:attr:`horizon_skipped`); within an incremental refresh,
+    touched subtrees whose validity stamp and dirty divergence times
+    both reach the window end are reused
+    (:attr:`horizon_subtrees_skipped`); and the kinetic-solve cache
+    serves pure time advance by clipping horizon-stamped entries
+    instead of re-solving.  ``validity_horizons=False`` disables all
+    three (the differential twin of the soundness wall).
     """
 
     _METHODS = ("interval", "naive", "incremental")
@@ -251,6 +271,7 @@ class ContinuousQuery:
         index_pruning: bool = True,
         solve_cache: bool = True,
         batch_solver: bool = True,
+        validity_horizons: bool = True,
     ) -> None:
         if horizon < 0:
             raise QueryError("horizon must be non-negative")
@@ -358,6 +379,39 @@ class ContinuousQuery:
         #: Plan subtrees the incremental evaluator skipped because their
         #: read-set was disjoint from the dirty updates' footprints.
         self.subtrees_skipped = 0
+        #: Temporal-validity analysis (pass 8, DESIGN.md §11): symbolic
+        #: per-node horizons over the same tree ``_deps`` is keyed on.
+        #: ``None`` disables horizon skipping and stamped solve reuse.
+        self.validity_horizons = validity_horizons
+        self._validity: ValidityAnalysis | None = None
+        if validity_horizons and self._deps is not None:
+            try:
+                if self.plan is not None:
+                    self._validity = self.plan.validity_analysis(schema=db)
+                else:
+                    self._validity = analyze_query_validity(
+                        query, schema=db, deps=self._deps
+                    )
+            except Exception:
+                self._validity = None
+        #: Covered updates dropped because their kinetic consequences
+        #: provably lie beyond the query's validity horizon.
+        self.horizon_skipped = 0
+        #: Plan subtrees the incremental evaluator reused because the
+        #: dirty updates' divergence times lie beyond the window end.
+        self.horizon_subtrees_skipped = 0
+        #: Concrete per-node expiry stamps of the last refresh, keyed by
+        #: ``id(subformula)`` over the evaluated tree.
+        self._validity_stamps: dict[int, float] | None = None
+        #: The whole condition's concrete ``t_expire`` at the last
+        #: refresh (clamped to the expiration horizon).
+        self._valid_until: float = float(db.clock.now)
+        #: Whether the last refresh proved the root horizon reaches the
+        #: expiration horizon — the static gate for update skipping.
+        self._horizon_eligible = False
+        #: Per dirty footprint, the earliest divergence time of its
+        #: accumulated updates; ``None`` when tracking stands down.
+        self._dirty_divergence: dict[Dep, float] | None = {}
         self._dirty = False
         self._needs_full = False
         self._dirty_objects: set[object] = set()
@@ -410,6 +464,7 @@ class ContinuousQuery:
         now = self.db.clock.now
         history = FutureHistory(self.db)
         remaining = max(0, self.expires_at - now)
+        self._compute_validity_stamps(now)
         if self._use_incremental:
             rf, cache, _evaluator = evaluate_with_cache(
                 self.query,
@@ -419,6 +474,7 @@ class ContinuousQuery:
                 index_pruning=self.index_pruning,
                 solve_cache=self.solve_cache,
                 batch_solver=self.batch_solver,
+                validity=self._validity_stamps,
             )
             self._rf = rf
             self._cache = cache
@@ -436,6 +492,7 @@ class ContinuousQuery:
                 index_pruning=self.index_pruning,
                 solve_cache=self.solve_cache,
                 batch_solver=self.batch_solver,
+                validity=self._validity_stamps,
             )
             self._cache = None
         self._target_positions = [
@@ -452,6 +509,7 @@ class ContinuousQuery:
         remaining = max(0, self.expires_at - now)
         history = FutureHistory(self.db, snapshot=False)
         ctx = EvalContext(history, remaining, self.query.bindings)
+        self._compute_validity_stamps(now)
         evaluator = PartialIntervalEvaluator(
             ctx,
             self._cache,
@@ -466,17 +524,82 @@ class ContinuousQuery:
                 if self._dirty_deps is not None
                 else None
             ),
+            validity=self._validity_stamps,
+            dirty_divergence=(
+                dict(self._dirty_divergence)
+                if self._dirty_divergence is not None
+                else None
+            ),
         )
         self._rf = evaluator.refresh(self.query.where)
         self.rows_recomputed += evaluator.rows_recomputed
         self.subtrees_skipped += evaluator.subtrees_skipped
+        self.horizon_subtrees_skipped += evaluator.horizon_subtrees_skipped
         self._last_refresh = now
         self._answer = None
+
+    def _compute_validity_stamps(self, now: int) -> None:
+        """Concretize the static validity horizons at refresh time.
+
+        Scans the bound classes' dynamic attributes for the earliest
+        future motion event (leg boundary or scheduled expiry) and turns
+        the symbolic per-node horizons into absolute expiry stamps.  The
+        stamps flow into the evaluator (window-shifted cache reuse and
+        horizon-pruned incremental refresh) and into the update-stream
+        gate (:meth:`_beyond_validity_horizon`).  Any failure degrades
+        to "no stamps" — every consumer treats that as "never skip".
+        """
+        if self._validity is None:
+            return
+        end = float(self.expires_at)
+        t_eval = float(now)
+        try:
+            events = class_motion_events(
+                self.db, self._validity.dynamic_classes(), t_eval, end
+            )
+            self._validity_stamps = self._validity.concretize(
+                events, t_eval, end
+            )
+            root_expiry = self._validity.root_horizon.concretize(
+                events, t_eval, end
+            )
+        except Exception:
+            self._validity_stamps = None
+            self._valid_until = t_eval
+            self._horizon_eligible = False
+            return
+        self._valid_until = min(root_expiry, end)
+        self._horizon_eligible = (
+            not self._validity.root_horizon.bottom and root_expiry >= end
+        )
+
+    def _beyond_validity_horizon(self, update: MostUpdate) -> bool:
+        """Whether ``update`` provably cannot change the answer before
+        the query expires (the temporal-validity gate).
+
+        Requires (a) the whole formula's concrete horizon — computed at
+        the last refresh — to cover the remaining lifetime, and (b) the
+        update to leave its attribute's trajectory pointwise unchanged
+        on the remaining window.  Staleness of (a) is harmless: the
+        divergence test (b) alone proves the database state the cached
+        answer was derived from persists through ``expires_at``.
+        """
+        if self._validity is None or not self._horizon_eligible:
+            return False
+        end = float(self.expires_at)
+        return update_divergence(update, end) >= end
 
     def _on_update(self, update: MostUpdate) -> None:
         if self._cancelled or self.db.clock.now > self.expires_at:
             return
         if not self.affects(update):
+            return
+        if self._beyond_validity_horizon(update):
+            # The update is covered by the read-set but provably leaves
+            # every read trajectory unchanged through expiry (e.g. a
+            # heartbeat re-anchoring the same motion law): the cached
+            # answer stays exact, so don't even mark the query dirty.
+            self.horizon_skipped += 1
             return
         # Lazy revalidation: a motion-vector change touches several
         # axis attributes in one logical update; recomputing on the
@@ -492,8 +615,17 @@ class ContinuousQuery:
                 footprint = update_footprint(update, self.db)
                 if footprint is None:
                     self._dirty_deps = None
+                    self._dirty_divergence = None
                 else:
                     self._dirty_deps.add(footprint)
+                    if self._dirty_divergence is not None:
+                        div = update_divergence(
+                            update, float(self.expires_at)
+                        )
+                        prev = self._dirty_divergence.get(footprint)
+                        self._dirty_divergence[footprint] = (
+                            div if prev is None else min(prev, div)
+                        )
 
     def _ensure_fresh(self) -> None:
         if self._dirty and self.db.clock.now <= self.expires_at:
@@ -505,6 +637,7 @@ class ContinuousQuery:
         self._needs_full = False
         self._dirty_objects.clear()
         self._dirty_deps = set()
+        self._dirty_divergence = {}
 
     def _can_refresh_incrementally(self) -> bool:
         return (
@@ -590,6 +723,14 @@ class ContinuousQuery:
             and not self._cancelled
             and self.db.clock.now <= self.expires_at
         )
+
+    @property
+    def valid_until(self) -> float:
+        """Absolute time through which the current answer is statically
+        guaranteed exact absent updates (the concrete root horizon from
+        the last refresh, clamped to :attr:`expires_at`).  Equal to the
+        last refresh time when the analyzer bottomed out."""
+        return self._valid_until
 
     # ------------------------------------------------------------------
     def refresh(self) -> None:

@@ -32,6 +32,19 @@ touches the database:
    (per-class insensitivity); surfaced via the plan JSON ``dependencies``
    block and ``python -m repro.ftl.lint --deps`` — never in the default
    analyzer passes, never gating evaluation.
+8. **temporal-validity analysis** (FTL8xx, ``validity.py``) — every
+   plan node gets a symbolic validity :class:`~repro.ftl.analysis.
+   validity.Horizon` describing the interval of evaluation times
+   ``[t_eval, t_expire)`` over which its cached relation stays provably
+   reusable, derived from the motion functions reachable through its
+   pass-7 read-set with window arithmetic for temporal operators;
+   :func:`~repro.ftl.analysis.validity.class_motion_events` and
+   :func:`~repro.ftl.analysis.validity.update_divergence` concretize
+   the horizons at refresh time so continuous queries, the incremental
+   evaluator and the kinetic-solve cache can skip provably redundant
+   work.  Report-only diagnostics: FTL801 (finite horizon), FTL802
+   (constant answer), FTL803 (bottom nodes); surfaced via the plan JSON
+   ``validity`` block and ``python -m repro.ftl.lint --validity``.
 
 Entry points: :func:`analyze_query` / :func:`analyze_formula`,
 :func:`plan_query` / :func:`plan_formula`, the
@@ -61,20 +74,36 @@ from repro.ftl.analysis.diagnostics import (
 from repro.ftl.analysis.fragment import FragmentInfo, incremental_blockers
 from repro.ftl.analysis.plan import EvalPlan, PlanNode, plan_formula, plan_query
 from repro.ftl.analysis.schema import SchemaInfo
+from repro.ftl.analysis.validity import (
+    Constraint,
+    Horizon,
+    ValidityAnalysis,
+    analyze_formula_validity,
+    analyze_query_validity,
+    class_motion_events,
+    update_divergence,
+)
 
 __all__ = [
     "analyze_query",
     "analyze_formula",
     "analyze_formula_deps",
     "analyze_query_deps",
+    "analyze_formula_validity",
+    "analyze_query_validity",
+    "class_motion_events",
+    "update_divergence",
     "update_footprint",
     "AnalysisResult",
     "Dep",
     "DepAnalysis",
     "ReadSet",
+    "Constraint",
     "CostEstimate",
     "CostModel",
     "Diagnostic",
+    "Horizon",
+    "ValidityAnalysis",
     "EvalPlan",
     "FtlLintWarning",
     "FragmentInfo",

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
 def analyze_formula(
     formula: Formula,
     bindings: dict[str, str] | None = None,
-    schema=None,
+    schema: object = None,
 ) -> AnalysisResult:
     """Analyze a bare formula under FROM-clause ``bindings``."""
     schema_info = SchemaInfo.coerce(schema)
@@ -48,7 +48,7 @@ def analyze_formula(
     return result.sorted()
 
 
-def _plan_lints(formula: Formula, bindings: dict[str, str]) -> list:
+def _plan_lints(formula: Formula, bindings: dict[str, str]) -> "list[Diagnostic]":
     """Pass 6: lower to an evaluation plan and collect FTL6xx findings.
 
     Lowering fails only on constructs no evaluator supports — those are
@@ -64,7 +64,7 @@ def _plan_lints(formula: Formula, bindings: dict[str, str]) -> list:
     return list(plan.diagnostics)
 
 
-def analyze_query(query: "FtlQuery", schema=None) -> AnalysisResult:
+def analyze_query(query: "FtlQuery", schema: object = None) -> AnalysisResult:
     """Analyze a full query: clause-level checks plus the formula passes."""
     schema_info = SchemaInfo.coerce(schema)
     result = AnalysisResult()

@@ -124,7 +124,7 @@ class CostEstimate:
     #: one per solve.  Like ``solves``, kept out of ``cost``.
     solve_batches: float = 0.0
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         """JSON-shaped estimate (rounded for stable golden files)."""
         return {
             "tuples": round(self.tuples, 3),

@@ -105,8 +105,8 @@ class Dep:
             or self.detail == footprint.detail
         )
 
-    def to_json(self) -> dict:
-        out: dict = {"kind": self.kind}
+    def to_json(self) -> dict[str, object]:
+        out: dict[str, object] = {"kind": self.kind}
         if self.cls is not None:
             out["class"] = self.cls
         if self.detail:
@@ -114,7 +114,7 @@ class Dep:
         return out
 
 
-def _dep_sort_key(d: Dep) -> tuple:
+def _dep_sort_key(d: Dep) -> tuple[str, str, str]:
     return (d.cls or "", d.kind, d.detail)
 
 
@@ -172,8 +172,8 @@ class ReadSet:
         present = set(self.kinds_for(cls))
         return [k for k in UPDATE_SENSITIVE_KINDS if k not in present]
 
-    def to_json(self) -> dict:
-        out: dict = {
+    def to_json(self) -> dict[str, object]:
+        out: dict[str, object] = {
             "deps": [d.to_json() for d in sorted(self.deps, key=_dep_sort_key)]
         }
         if self.conservative:
@@ -358,9 +358,9 @@ class DepAnalysis:
         the answer (the FTL702 payload)."""
         return dict(self._insensitive)
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         classes = sorted(set(self.bindings.values()))
-        out: dict = {
+        out: dict[str, object] = {
             "query": self.query_reads.to_json(),
             "by_class": {
                 cls: {

@@ -84,6 +84,18 @@ RULES: dict[str, tuple[str, str]] = {
                      "relation is constant under explicit updates"),
     "FTL702": (INFO, "query is insensitive to an update kind of a bound "
                      "class; such updates never trigger a refresh"),
+    # -- pass 8: temporal-validity analysis ----------------------------
+    # Reported through the EXPLAIN ``validity`` block and the lint CLI's
+    # ``--validity`` report, not the default analyzer passes: they
+    # describe answer-reuse behaviour, not query validity.
+    "FTL801": (INFO, "condition has a finite validity horizon driven by "
+                     "motion events; cached answers are reusable until "
+                     "the earliest such event"),
+    "FTL802": (INFO, "condition reads no time-varying state; its cached "
+                     "answer stays valid through the query's expiration "
+                     "horizon"),
+    "FTL803": (INFO, "no provable validity horizon for a subformula; "
+                     "t_expire conservatively falls back to t_eval"),
 }
 
 
@@ -111,9 +123,9 @@ class Diagnostic:
         where = f" at {self.span}" if self.span is not None else ""
         return f"{self.severity}[{self.code}]{where}: {self.message}"
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         """JSON-serialisable form (the lint CLI's ``--json`` output)."""
-        out: dict = {
+        out: dict[str, object] = {
             "code": self.code,
             "severity": self.severity,
             "message": self.message,
@@ -143,7 +155,7 @@ def make(code: str, message: str, span: Span | None = None,
     )
 
 
-def _sort_key(d: Diagnostic) -> tuple:
+def _sort_key(d: Diagnostic) -> "tuple[int, str, str]":
     start = d.span.start if d.span is not None else -1
     return (start, d.code, d.message)
 
@@ -198,9 +210,9 @@ class AnalysisResult:
         """The rule codes of every diagnostic, in sorted order."""
         return [d.code for d in self.diagnostics]
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         """JSON-serialisable form (the lint CLI's ``--json`` output)."""
-        out: dict = {
+        out: dict[str, object] = {
             "ok": self.ok,
             "diagnostics": [d.to_json() for d in self.diagnostics],
         }

@@ -75,7 +75,7 @@ class FragmentInfo:
         )
         return "/".join(parts)
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         """JSON-serialisable form (the lint CLI's ``--json`` output)."""
         return {
             "temporal_depth": self.temporal_depth,

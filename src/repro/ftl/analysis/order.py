@@ -62,14 +62,14 @@ def order_conjuncts(
         return list(range(n))
     remaining = set(range(n))
 
-    def start_key(i: int) -> tuple:
+    def start_key(i: int) -> tuple[float, float, int]:
         _vs, e = entries[i]
         return (e.tuples, e.cost, i)
 
     first = min(remaining, key=start_key)
     order = [first]
     remaining.discard(first)
-    vars_acc: set = set(entries[first][0])
+    vars_acc: set[str] = set(entries[first][0])
     sel_acc = entries[first][1].selectivity
 
     while remaining:
@@ -79,7 +79,7 @@ def order_conjuncts(
         ]
         pool = connected if connected else sorted(remaining)
 
-        def growth_key(i: int) -> tuple:
+        def growth_key(i: int) -> tuple[float, float, int]:
             vs, e = entries[i]
             joined = sel_acc * e.selectivity * domain_product(
                 vars_acc | set(vs), widths

@@ -31,7 +31,7 @@ stay valid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.errors import FtlSemanticsError
 from repro.ftl.analysis.cost import (
@@ -75,6 +75,8 @@ from repro.ftl.ast import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.analysis.deps import DepAnalysis
+    from repro.ftl.analysis.validity import ValidityAnalysis
     from repro.ftl.query import FtlQuery
 
 # Operator kinds (one per appendix evaluation rule).
@@ -133,15 +135,21 @@ class PlanNode:
     #: The orderer changed this node's operand order vs the source.
     reordered: bool = False
 
-    def to_json(self, reads: Mapping[int, object] | None = None) -> dict:
+    def to_json(
+        self,
+        reads: Mapping[int, Any] | None = None,
+        horizons: Mapping[int, Any] | None = None,
+    ) -> dict[str, object]:
         """JSON-shaped node (one entry of the ``explain --json`` tree).
 
         ``reads`` maps ``id(subformula)`` to the node's
-        :class:`~repro.ftl.analysis.deps.ReadSet`; when given, each node
-        gains a ``reads`` entry (new key — every pre-existing key is
-        unchanged, old consumers keep parsing).
+        :class:`~repro.ftl.analysis.deps.ReadSet`; ``horizons`` maps it
+        to the node's :class:`~repro.ftl.analysis.validity.Horizon`.
+        When given, each node gains a ``reads`` / ``validity`` entry
+        (new keys — every pre-existing key is unchanged, old consumers
+        keep parsing).
         """
-        out: dict = {
+        out: dict[str, object] = {
             "op": self.op,
             "formula": str(self.formula),
             "routine": self.routine,
@@ -158,8 +166,14 @@ class PlanNode:
             read_set = reads.get(id(self.formula))
             if read_set is not None:
                 out["reads"] = read_set.to_json()
+        if horizons is not None:
+            horizon = horizons.get(id(self.formula))
+            if horizon is not None:
+                out["validity"] = horizon.to_json()
         if self.children:
-            out["children"] = [c.to_json(reads) for c in self.children]
+            out["children"] = [
+                c.to_json(reads, horizons) for c in self.children
+            ]
         return out
 
 
@@ -219,7 +233,7 @@ class EvalPlan:
         """Per-node estimates keyed by plan path (``root``, ``root.0``, ...)."""
         return {path: node.estimate for path, node in self.nodes_with_paths()}
 
-    def dependency_analysis(self, schema: object = None):
+    def dependency_analysis(self, schema: object = None) -> "DepAnalysis":
         """The update-impact analysis of the plan's *ordered* tree.
 
         Keyed by the ordered formula nodes, so incremental evaluators
@@ -230,13 +244,36 @@ class EvalPlan:
         from repro.ftl.analysis.deps import analyze_formula_deps
 
         if not hasattr(self, "_deps_memo"):
-            self._deps_memo: dict[int, object] = {}
+            self._deps_memo: dict[int, DepAnalysis] = {}
         cached = self._deps_memo.get(id(schema))
         if cached is None:
             cached = analyze_formula_deps(
                 self.ordered_where, bindings=self.bindings, schema=schema
             )
             self._deps_memo[id(schema)] = cached
+        return cached
+
+    def validity_analysis(self, schema: object = None) -> "ValidityAnalysis":
+        """The temporal-validity analysis of the plan's *ordered* tree.
+
+        Keyed by the ordered formula nodes like
+        :meth:`dependency_analysis` (whose read-sets it reuses), so
+        runtime consumers can look horizons up by the same ``id`` that
+        keys their caches.  Memoized per schema identity.
+        """
+        from repro.ftl.analysis.validity import analyze_formula_validity
+
+        if not hasattr(self, "_validity_memo"):
+            self._validity_memo: dict[int, ValidityAnalysis] = {}
+        cached = self._validity_memo.get(id(schema))
+        if cached is None:
+            cached = analyze_formula_validity(
+                self.ordered_where,
+                bindings=self.bindings,
+                schema=schema,
+                deps=self.dependency_analysis(schema),
+            )
+            self._validity_memo[id(schema)] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -283,9 +320,10 @@ class EvalPlan:
         walk(self.root, "", "")
         return "\n".join(lines)
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         """JSON-shaped plan report (the ``explain --json`` payload)."""
         deps = self.dependency_analysis()
+        validity = self.validity_analysis()
         return {
             "ordered": self.ordered,
             "reordered": self.reordered,
@@ -305,7 +343,11 @@ class EvalPlan:
             # read-set roll-up plus per-node ``reads`` entries below.
             # Strictly additive — every pre-existing key keeps its shape.
             "dependencies": deps.to_json(),
-            "root": self.root.to_json(deps.reads),
+            # New in the temporal-validity revision (pass 8): the
+            # symbolic horizon roll-up plus per-node ``validity``
+            # entries below.  Strictly additive as well.
+            "validity": validity.to_json(),
+            "root": self.root.to_json(deps.reads, validity.horizons),
         }
 
 

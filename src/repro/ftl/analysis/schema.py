@@ -13,7 +13,7 @@ Only duck typing is used — this module must not import :mod:`repro.core`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -32,7 +32,7 @@ class SchemaInfo:
     regions: frozenset[str] | None = None
 
     @classmethod
-    def from_database(cls, db) -> "SchemaInfo":
+    def from_database(cls, db: Any) -> "SchemaInfo":
         """Extract the full schema of a ``MostDatabase``."""
         return cls(
             classes={
@@ -42,7 +42,7 @@ class SchemaInfo:
         )
 
     @classmethod
-    def coerce(cls, schema) -> "SchemaInfo":
+    def coerce(cls, schema: object) -> "SchemaInfo":
         """Accept ``None``, a :class:`SchemaInfo`, or a database."""
         if schema is None:
             return cls()
@@ -63,7 +63,7 @@ class SchemaInfo:
         """Whether the region universe is known (enables FTL206)."""
         return self.regions is not None
 
-    def object_class(self, name: str):
+    def object_class(self, name: str) -> object | None:
         """The class by name, or ``None`` when absent/unknown."""
         if self.classes is None:
             return None

@@ -111,7 +111,7 @@ class SortChecker:
             return _NUMBER
         return _UNKNOWN  # unknown node types are pass 3's FTL304
 
-    def _object_class(self, sort: Sort):
+    def _object_class(self, sort: Sort) -> object | None:
         if sort.kind != OBJECT or sort.class_name is None:
             return None
         return self.schema.object_class(sort.class_name)

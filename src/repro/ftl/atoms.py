@@ -75,15 +75,34 @@ class KineticSolveCache:
     the interval evaluator would have computed them (discretized and
     clipped to the window baked into the key), so a hit is
     indistinguishable — tuple-for-tuple — from a fresh solve.
+
+    **Window-shifted reuse** (pass 8).  Exact-window keying makes a pure
+    time advance — same motion triples, same horizon end, later start —
+    a guaranteed miss.  When the evaluator *proves* an entry
+    shift-reusable (the atom's validity horizon is non-bottom, i.e.
+    every read trajectory is piecewise-linear and solved analytically,
+    so the dense answer is window-independent and clipping commutes with
+    discretization), it stamps the ``put`` with the solved window and
+    the horizon's concrete expiry.  A later exact miss whose key differs
+    *only* in the window may then be answered by clipping the stamped
+    entry, provided the requested window is contained in the stored one
+    and starts before the stamp expires.  Unstamped entries (numeric
+    fallback solvers sample a window-dependent grid) never shift.
     """
 
     def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
         self.max_entries = max_entries
         self._entries: "OrderedDict[object, IntervalSet]" = OrderedDict()
+        #: Window-erased index of stamped entries: ``key[:1] + key[2:]``
+        #: → (solved window, full key, validity expiry).
+        self._stamped: "OrderedDict[object, tuple[tuple[float, float], object, float]]" = (
+            OrderedDict()
+        )
         #: Cumulative lookup stats across every evaluator sharing this
         #: cache (per-evaluator counts live on the evaluators).
         self.hits = 0
         self.misses = 0
+        self.shift_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -101,18 +120,64 @@ class KineticSolveCache:
                 self.hits += 1
         return value
 
-    def put(self, key: object, value: IntervalSet) -> None:
-        """Store one solved answer, evicting FIFO beyond the bound."""
+    def put(
+        self,
+        key: object,
+        value: IntervalSet,
+        stamp: tuple[tuple[float, float], float] | None = None,
+    ) -> None:
+        """Store one solved answer, evicting FIFO beyond the bound.
+
+        ``stamp`` is ``(solved_window, t_expire)``; only the evaluator
+        passes it, and only when the atom's validity horizon proves the
+        answer window-independent (see the class docstring).
+        """
         entries = self._entries
         if key in entries:
             return
         entries[key] = value
+        if stamp is not None and isinstance(key, tuple) and len(key) >= 2:
+            window, expire = stamp
+            self._stamped[key[:1] + key[2:]] = (window, key, expire)
+            while len(self._stamped) > self.max_entries:
+                self._stamped.popitem(last=False)
         while len(entries) > self.max_entries:
             entries.popitem(last=False)
+
+    def shifted_get(self, key: object) -> IntervalSet | None:
+        """Window-shifted reuse probe, tried after an exact miss.
+
+        Answers from a stamped entry whose key differs only in the
+        window, clipped to the requested window — exact because stamped
+        answers are dense analytic solutions discretized per tick, so
+        ``solve([s,e]).clip(s',e') == solve([s',e'])`` whenever
+        ``[s',e'] ⊆ [s,e]`` and the motion triples (in the key) match.
+        The stamp's expiry additionally ties reuse to the static
+        validity horizon: a requested start at or beyond it refuses.
+        """
+        if not (isinstance(key, tuple) and len(key) >= 2):
+            return None
+        window = key[1]
+        if not (isinstance(window, tuple) and len(window) == 2):
+            return None
+        entry = self._stamped.get(key[:1] + key[2:])
+        if entry is None:
+            return None
+        stored_window, full_key, expire = entry
+        lo, hi = stored_window
+        req_lo, req_hi = window
+        if not (lo <= req_lo and req_hi <= hi and req_lo < expire):
+            return None
+        value = self._entries.get(full_key)
+        if value is None:
+            return None  # the backing entry was evicted
+        self.shift_hits += 1
+        return value.clip(float(req_lo), float(req_hi))
 
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""
         self._entries.clear()
+        self._stamped.clear()
 
 
 # ---------------------------------------------------------------------------

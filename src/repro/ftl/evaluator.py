@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from itertools import product
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import FtlSemanticsError
 from repro.ftl.ast import (
@@ -142,6 +142,7 @@ class IntervalEvaluator:
         index_pruning: bool = True,
         solve_cache: bool = True,
         batch_solver: bool = True,
+        validity: "Mapping[int, float] | None" = None,
     ) -> None:
         self.ctx = ctx
         #: When False, every atom is evaluated by per-tick sampling instead
@@ -168,6 +169,14 @@ class IntervalEvaluator:
         #: one batch instead of solving row-at-a-time.  Requires numpy;
         #: silently degrades to the scalar path without it.
         self.batch_solver = batch_solver
+        #: Pass-8 concrete validity stamps, keyed by ``id(subformula)``
+        #: over the evaluated (plan-ordered) tree: the absolute time at
+        #: which each node's cached answer stops being provably
+        #: reusable.  An atom with a stamp beyond ``ctx.start`` is
+        #: provably piecewise-linear/analytic, so its solve-cache
+        #: entries are stamped for window-shifted reuse across
+        #: refreshes (see :class:`~repro.ftl.atoms.KineticSolveCache`).
+        self.validity = validity
         self._shared_memo: dict[int, FtlRelation] = {}
         self._naive: "object | None" = None
         #: Count of per-tick atom evaluations (benchmark instrumentation).
@@ -179,6 +188,9 @@ class IntervalEvaluator:
         #: Solve-cache lookups served / missed by this evaluator.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Exact misses answered by clipping a stamped entry solved for
+        #: an earlier (containing) window — pass-8 shifted reuse.
+        self.cache_shift_hits = 0
         #: Per-atom accounting keyed by ``id(formula)`` — feeds the
         #: estimate-vs-observed drift report of analysis/cost.py.
         self.atom_stats: dict[int, dict[str, object]] = {}
@@ -191,6 +203,7 @@ class IntervalEvaluator:
             "pruned_instantiations": self.pruned_instantiations,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_shift_hits": self.cache_shift_hits,
         }
 
     # ------------------------------------------------------------------
@@ -324,6 +337,7 @@ class IntervalEvaluator:
         scalar path tuple-for-tuple.
         """
         cache = self._solve_cache
+        stamp = self._stamp_for(f)
         kbatch = KineticBatch(self.ctx)
         ordered: list[tuple] = []
         results: list[IntervalSet | None] = []
@@ -364,6 +378,13 @@ class IntervalEvaluator:
                     stats["cache_hits"] += 1
                     results.append(req.finish(hit))
                     continue
+                if self.validity is not None:
+                    shifted = cache.shifted_get(key)
+                    if shifted is not None:
+                        self.cache_shift_hits += 1
+                        cache.put(key, shifted, stamp)
+                        results.append(req.finish(shifted))
+                        continue
                 self.cache_misses += 1
             self.kinetic_solves += 1
             stats["solves"] += 1
@@ -371,7 +392,7 @@ class IntervalEvaluator:
             if handle is None:  # not vectorizable: solve inline, as scalar
                 value = req.solve()
                 if cacheable:
-                    cache.put(key, value)
+                    cache.put(key, value, stamp)
                 results.append(req.finish(value))
                 continue
             if cacheable:
@@ -382,7 +403,7 @@ class IntervalEvaluator:
         for idx, req, handle in queued:
             value = kbatch.result(handle)
             if cache is not None and req.key is not None:
-                cache.put(req.key, value)
+                cache.put(req.key, value, stamp)
             results[idx] = req.finish(value)
         for idx, req in deferred:
             hit = cache.get(req.key)  # records the hit, as scalar would
@@ -391,7 +412,7 @@ class IntervalEvaluator:
                 self.kinetic_solves += 1
                 stats["solves"] += 1
                 hit = req.solve()
-                cache.put(req.key, hit)
+                cache.put(req.key, hit, stamp)
             else:
                 self.cache_hits += 1
                 stats["cache_hits"] += 1
@@ -443,7 +464,30 @@ class IntervalEvaluator:
         stats["cache_hits"] += self.cache_hits - hits0
         return iset
 
-    def _cached_solve(self, key, solve: "Callable[[], IntervalSet]") -> IntervalSet:
+    def _stamp_for(
+        self, f: Formula
+    ) -> tuple[tuple[float, float], float] | None:
+        """The pass-8 cache stamp for one atom, or ``None``.
+
+        A stamp exists only when the atom's concrete validity expiry
+        lies strictly beyond the window start — which (by construction
+        of :func:`~repro.ftl.analysis.validity.class_motion_events`)
+        proves every trajectory the atom reads is piecewise-linear, so
+        its solves are analytic and window-shift reuse is exact.
+        """
+        if self.validity is None:
+            return None
+        expire = self.validity.get(id(f))
+        if expire is None or expire <= self.ctx.start:
+            return None
+        return ((self.ctx.start, self.ctx.end), expire)
+
+    def _cached_solve(
+        self,
+        key,
+        solve: "Callable[[], IntervalSet]",
+        stamp: tuple[tuple[float, float], float] | None = None,
+    ) -> IntervalSet:
         """Run one kinetic solve through the shared memo table."""
         cache = self._solve_cache
         if cache is None or key is None:
@@ -453,17 +497,25 @@ class IntervalEvaluator:
         if hit is not None:
             self.cache_hits += 1
             return hit
+        if self.validity is not None:
+            shifted = cache.shifted_get(key)
+            if shifted is not None:
+                self.cache_shift_hits += 1
+                cache.put(key, shifted, stamp)
+                return shifted
         self.cache_misses += 1
         self.kinetic_solves += 1
         result = solve()
-        cache.put(key, result)
+        cache.put(key, result, stamp)
         return result
 
     def _atom_intervals(self, f: Formula, env: Env) -> IntervalSet:
         req = self._atom_request(f, env)
         if isinstance(req, IntervalSet):
             return req
-        return req.finish(self._cached_solve(req.key, req.solve))
+        return req.finish(
+            self._cached_solve(req.key, req.solve, self._stamp_for(f))
+        )
 
     def _atom_request(
         self, f: Formula, env: Env

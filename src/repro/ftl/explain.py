@@ -228,6 +228,11 @@ def _print_human(report: dict) -> None:
             parts.append(part)
         if parts:
             print("deps: " + "; ".join(parts))
+    validity = plan.get("validity")
+    if validity is not None:
+        from repro.ftl.lint import horizon_phrase
+
+        print("validity: " + horizon_phrase(validity["root"]))
     print(report["_render"])
     execution = report.get("execution")
     if execution is not None:
@@ -246,6 +251,9 @@ def _print_human(report: dict) -> None:
         print(f"  {diag['severity']}[{diag['code']}]: {diag['message']}")
     deps_diags = (plan.get("dependencies") or {}).get("diagnostics", [])
     for diag in deps_diags:
+        print(f"  {diag['severity']}[{diag['code']}]: {diag['message']}")
+    validity_diags = (plan.get("validity") or {}).get("diagnostics", [])
+    for diag in validity_diags:
         print(f"  {diag['severity']}[{diag['code']}]: {diag['message']}")
 
 

@@ -141,6 +141,7 @@ def evaluate_with_cache(
     index_pruning: bool = True,
     solve_cache: bool = True,
     batch_solver: bool = True,
+    validity: "dict[int, float] | None" = None,
 ) -> tuple[FtlRelation, QueryCache, IntervalEvaluator]:
     """Full appendix evaluation that also captures the subformula cache.
 
@@ -161,6 +162,7 @@ def evaluate_with_cache(
         index_pruning=index_pruning,
         solve_cache=solve_cache,
         batch_solver=batch_solver,
+        validity=validity,
     )
     relation = evaluator.evaluate(query.where)
     return relation, cache, evaluator
@@ -188,6 +190,8 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         batch_solver: bool = True,
         deps: "object | None" = None,
         dirty_deps: "frozenset | None" = None,
+        validity: "dict[int, float] | None" = None,
+        dirty_divergence: "dict | None" = None,
     ) -> None:
         super().__init__(
             ctx,
@@ -196,6 +200,7 @@ class PartialIntervalEvaluator(IntervalEvaluator):
             index_pruning=index_pruning,
             solve_cache=solve_cache,
             batch_solver=batch_solver,
+            validity=validity,
         )
         self.cache = cache
         self.dirty_values = frozenset(dirty_objects)
@@ -208,6 +213,12 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         #: over; ``None`` means some update could not be attributed and
         #: subtree skipping stands down for this refresh.
         self.dirty_deps = dirty_deps
+        #: Per dirty footprint, the earliest time any update carrying it
+        #: observably diverges from the pre-update state
+        #: (:func:`~repro.ftl.analysis.validity.update_divergence`,
+        #: min-folded per footprint by the continuous query).  ``None``
+        #: disables horizon-based subtree skipping.
+        self.dirty_divergence = dirty_divergence
         self._clean_domain: dict[str, list[object]] = {}
         self._dirty_domain: dict[str, list[object]] = {}
         self._done: dict[int, FtlRelation] = {}
@@ -221,6 +232,11 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         #: and whose cached rows were therefore reused without
         #: recomputation (DESIGN.md §10).
         self.subtrees_skipped = 0
+        #: Subtrees whose read-set *was* touched by a dirty footprint but
+        #: whose validity stamp and the updates' divergence times both
+        #: reach the window end, proving recomputation would reproduce
+        #: the cache (pass 8, DESIGN.md §11).
+        self.horizon_subtrees_skipped = 0
 
     # ------------------------------------------------------------------
     def refresh(self, formula: Formula) -> FtlRelation:
@@ -264,21 +280,45 @@ class PartialIntervalEvaluator(IntervalEvaluator):
         touched.  The delta is then the cached rows of the dirty frontier
         verbatim (so parent joins still re-derive their own stale rows),
         and the cached relation needs no patch.
+
+        A second, pass-8 skip applies when the read-set *is* touched:
+        if the node's validity stamp reaches the window end and every
+        covered dirty update's divergence time does too (the new motion
+        provably equals the old everywhere the remaining window can
+        look), recomputation would still reproduce the cache bit-for-bit
+        (DESIGN.md §11).
         """
         if self.deps is None or self.dirty_deps is None:
             return None
         reads = self.deps.reads_for(f)
-        if (
-            reads is None
-            or reads.conservative
-            or not reads.disjoint_from(self.dirty_deps)
-        ):
+        if reads is None or reads.conservative:
             return None
-        self.subtrees_skipped += 1
+        if reads.disjoint_from(self.dirty_deps):
+            self.subtrees_skipped += 1
+        elif self._beyond_horizon(f, reads):
+            self.horizon_subtrees_skipped += 1
+        else:
+            return None
         delta = FtlRelation(cached.variables)
         for inst in cached.rows_touching(self.dirty_values):
             delta.set(inst, cached.get(inst))
         return delta
+
+    def _beyond_horizon(self, f: Formula, reads) -> bool:
+        """Whether the node's stamp and every covered dirty update's
+        divergence time all reach the window end."""
+        if self.validity is None or self.dirty_divergence is None:
+            return False
+        stamp = self.validity.get(id(f))
+        if stamp is None or stamp < self.ctx.end:
+            return False
+        for dep in self.dirty_deps:
+            if not reads.covers(dep):
+                continue
+            divergence = self.dirty_divergence.get(dep)
+            if divergence is None or divergence < self.ctx.end:
+                return False
+        return True
 
     def _full(self, f: Formula) -> FtlRelation:
         """The child's patched (fully refreshed) relation."""

@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro.ftl.lint [--json] [--strict] [--deps] query-file ...
+    python -m repro.ftl.lint [--json] [--strict] [--deps] [--validity]
+                             [--strict-deps] query-file ...
 
 Each file holds one FTL query (``RETRIEVE ... FROM ... WHERE ...``);
 blank lines and ``--`` comment lines are ignored.  Diagnostics print one
@@ -13,8 +14,19 @@ else 0.  ``--strict`` also fails on warnings.
 
 ``--deps`` appends the static update-impact report (DESIGN.md §10): the
 query's per-class read-set, the update kinds it is provably insensitive
-to, and the FTL701/FTL702 informational findings.  The report never
-affects the exit status — it describes refresh behaviour, not validity.
+to, and the FTL701/FTL702 informational findings.  ``--validity``
+appends the temporal-validity report (DESIGN.md §11): the condition's
+symbolic horizon, the classes whose motion events bound it, and the
+FTL801–FTL803 findings.  Both compose — each report is a separate key
+of the same per-file JSON document — and neither affects the exit
+status: they describe refresh behaviour, not query validity.
+
+``--strict-deps`` (implies ``--deps``) promotes the FTL701/FTL702
+update-impact findings from report-only to failures: a query with a
+constant subcondition (FTL701) or one provably insensitive to an
+update kind of a bound class (FTL702) exits 1.  Both usually indicate
+a condition that asks less than its FROM clause suggests — the strict
+gate surfaces them in CI the way ``--strict`` surfaces warnings.
 
 The CLI is schema-less: checks that need the database schema (attribute
 existence, region names) are skipped, so a clean lint run does not
@@ -108,8 +120,29 @@ def deps_report(text: str) -> dict | None:
     return analyze_query_deps(query).to_json()
 
 
-def lint_file(path: str, deps: bool = False) -> dict:
-    """Lint one file; returns its JSON report."""
+def validity_report(text: str) -> dict | None:
+    """The temporal-validity report of one query text (None on parse
+    failure).
+
+    Schema-less like :func:`deps_report`; the horizons are *symbolic*
+    (mode, offset, classes) — concretization against motion events
+    happens at refresh time, not here.
+    """
+    from repro.ftl.analysis.validity import analyze_query_validity
+
+    try:
+        query = parse_query(strip_comments(text))
+    except (FtlSyntaxError, FtlSemanticsError):
+        return None
+    return analyze_query_validity(query).to_json()
+
+
+def lint_file(path: str, deps: bool = False, validity: bool = False) -> dict:
+    """Lint one file; returns its JSON report.
+
+    ``deps`` and ``validity`` compose: each attaches its report under
+    its own key (``dependencies`` / ``validity``) of the same document.
+    """
     try:
         with open(path, encoding="utf-8") as fh:
             text = fh.read()
@@ -128,6 +161,8 @@ def lint_file(path: str, deps: bool = False) -> dict:
     report["file"] = path
     if deps:
         report["dependencies"] = deps_report(text)
+    if validity:
+        report["validity"] = validity_report(text)
     return report
 
 
@@ -149,15 +184,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also report the update-impact (read-set) analysis",
     )
+    parser.add_argument(
+        "--validity",
+        action="store_true",
+        help="also report the temporal-validity (horizon) analysis",
+    )
+    parser.add_argument(
+        "--strict-deps",
+        action="store_true",
+        help="fail on FTL701/FTL702 update-impact findings (implies --deps)",
+    )
     opts = parser.parse_args(argv)
+    if opts.strict_deps:
+        opts.deps = True
 
     status = 0
     reports = []
     for path in opts.files:
-        report = lint_file(path, deps=opts.deps)
+        report = lint_file(path, deps=opts.deps, validity=opts.validity)
         reports.append(report)
         severities = {d["severity"] for d in report["diagnostics"]}
         if "error" in severities or (opts.strict and "warning" in severities):
+            status = 1
+        if opts.strict_deps and _deps_findings(report):
             status = 1
 
     if opts.json:
@@ -172,9 +221,23 @@ def main(argv: list[str] | None = None) -> int:
             print(_human_line(report["file"], diag))
         if opts.deps and report.get("dependencies") is not None:
             _print_deps(report["file"], report["dependencies"])
+        if opts.validity and report.get("validity") is not None:
+            _print_validity(report["file"], report["validity"])
     checked = len(reports)
     print(f"{checked} file(s) checked, {checked - clean} with findings")
     return status
+
+
+def _deps_findings(report: dict) -> list[dict]:
+    """The FTL701/FTL702 findings of one file report (strict-deps gate)."""
+    deps = report.get("dependencies")
+    if not deps:
+        return []
+    return [
+        d
+        for d in deps.get("diagnostics", ())
+        if d.get("code") in ("FTL701", "FTL702")
+    ]
 
 
 def _print_deps(path: str, deps: dict) -> None:
@@ -190,6 +253,42 @@ def _print_deps(path: str, deps: dict) -> None:
         print(f"  regions: {', '.join(deps['regions'])}")
     for diag in deps["diagnostics"]:
         print("  " + _human_line(path, diag))
+
+
+def _print_validity(path: str, validity: dict) -> None:
+    """Human-readable temporal-validity block for one file."""
+    print(f"{path}: validity:")
+    print("  horizon: " + horizon_phrase(validity["root"]))
+    if validity["classes"]:
+        print(f"  event classes: {', '.join(validity['classes'])}")
+    nodes = validity["nodes"]
+    print(
+        f"  nodes: {nodes['total']} total"
+        f" ({nodes['constant']} constant, {nodes['sliding']} sliding,"
+        f" {nodes['guarded']} guarded, {nodes['bottom']} bottom)"
+    )
+    for diag in validity["diagnostics"]:
+        print("  " + _human_line(path, diag))
+
+
+def horizon_phrase(root: dict) -> str:
+    """One-line human rendering of a symbolic horizon JSON object."""
+    if root.get("kind") == "bottom":
+        reason = root.get("reason", "")
+        return f"none ({reason})" if reason else "none"
+    constraints = root.get("constraints", [])
+    if not constraints:
+        return "unbounded (condition reads no time-varying state)"
+    parts = []
+    for c in constraints:
+        classes = ", ".join(c["classes"])
+        if c["mode"] == "guarded":
+            parts.append(f"guarded by events of {classes}")
+        elif c["offset"]:
+            parts.append(f"events of {classes} minus {c['offset']:g}")
+        else:
+            parts.append(f"events of {classes}")
+    return "min of " + "; ".join(parts) if len(parts) > 1 else parts[0]
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ query types of section 2.3 are all answered.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import FtlSemanticsError
 from repro.ftl.ast import Formula
@@ -130,6 +130,7 @@ class FtlQuery:
         index_pruning: bool = True,
         solve_cache: bool = True,
         batch_solver: bool = True,
+        validity: "Mapping[int, float] | None" = None,
     ) -> FtlRelation:
         """The *unprojected* (but target-completed) ``R_f`` relation.
 
@@ -154,6 +155,7 @@ class FtlQuery:
                 index_pruning=index_pruning,
                 solve_cache=solve_cache,
                 batch_solver=batch_solver,
+                validity=validity,
             ).evaluate(self.where)
         elif method == "naive":
             from repro.ftl.naive import NaiveEvaluator

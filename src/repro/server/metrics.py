@@ -91,6 +91,9 @@ class ServerMetrics:
     #: Refreshes skipped because no relevant update dirtied the query
     #: since its last read (static update-impact analysis, DESIGN.md §10).
     deps_skipped_refreshes: int = 0
+    #: Refreshes skipped because every covered update's consequences
+    #: provably lie beyond the query's validity horizon (DESIGN.md §11).
+    horizon_skipped_refreshes: int = 0
     #: Delta messages (and tuples) fanned out to subscribers.
     deltas_sent: int = 0
     tuples_sent: int = 0
@@ -128,6 +131,7 @@ class ServerMetrics:
             "refreshes": self.refreshes,
             "shed_refreshes": self.shed_refreshes,
             "deps_skipped_refreshes": self.deps_skipped_refreshes,
+            "horizon_skipped_refreshes": self.horizon_skipped_refreshes,
             "deltas_sent": self.deltas_sent,
             "tuples_sent": self.tuples_sent,
             "retract_tuples_sent": self.retract_tuples_sent,

@@ -73,6 +73,10 @@ class RegisteredQuery:
     #: Client ids subscribed to this query.
     subscribers: set[str] = field(default_factory=set)
     _last_evaluations: int = 0
+    #: ``cq.horizon_skipped`` as of the last refresh round — lets the
+    #: round attribute a clean query to the temporal-validity gate
+    #: rather than the plain dependency gate.
+    _last_horizon_skipped: int = 0
 
 
 @dataclass(frozen=True)
@@ -186,7 +190,10 @@ class SubscriptionRegistry:
         dependency analysis already filtered irrelevant updates at the
         listener, so a clean query provably has an unchanged answer);
         skips are counted in ``metrics.deps_skipped_refreshes`` and do
-        not consume refresh budget.
+        not consume refresh budget.  A clean query that dropped covered
+        updates through its temporal-validity gate since the previous
+        round is credited to ``metrics.horizon_skipped_refreshes``
+        instead (DESIGN.md §11).
 
         With ``budget=None`` every dirty query refreshes.  Under load
         shedding a bounded number refresh per epoch, round-robin so no
@@ -198,7 +205,7 @@ class SubscriptionRegistry:
             refreshed = 0
             for rq in list(self.queries.values()):
                 if not rq.cq.needs_refresh:
-                    self.metrics.deps_skipped_refreshes += 1
+                    self._count_skip(rq)
                     continue
                 self.refresh(rq, now)
                 refreshed += 1
@@ -213,7 +220,7 @@ class SubscriptionRegistry:
             if rq is None:
                 continue
             if not rq.cq.needs_refresh:
-                self.metrics.deps_skipped_refreshes += 1
+                self._count_skip(rq)
                 continue
             if refreshed < budget:
                 self.refresh(rq, now)
@@ -222,6 +229,14 @@ class SubscriptionRegistry:
                 skipped += 1
         self.metrics.shed_refreshes += skipped
         return refreshed
+
+    def _count_skip(self, rq: RegisteredQuery) -> None:
+        """Attribute one clean-query skip to the gate that earned it."""
+        if rq.cq.horizon_skipped > rq._last_horizon_skipped:
+            self.metrics.horizon_skipped_refreshes += 1
+        else:
+            self.metrics.deps_skipped_refreshes += 1
+        rq._last_horizon_skipped = rq.cq.horizon_skipped
 
     # ------------------------------------------------------------------
     def crash(self) -> None:
@@ -251,6 +266,7 @@ class SubscriptionRegistry:
                 continue
             rq.cq = cq
             rq._last_evaluations = cq.evaluations
+            rq._last_horizon_skipped = cq.horizon_skipped
             rq.state = AnswerState.capture(cq, now)
 
     def cached_relations(self) -> int:

@@ -163,7 +163,9 @@ class TestDegradedContinuousQuery:
             staleness_bound=5,
         )
         db.clock.tick(6)
-        db.update_motion("fresh", Point(0.0, 0.0))
+        # A genuine velocity change: a same-vector heartbeat would be
+        # dropped by the temporal-validity gate without refreshing.
+        db.update_motion("fresh", Point(0.5, 0.0))
         assert cq.current() == {("fresh",)}
         assert cq.incremental_refreshes >= 1
 

@@ -1,0 +1,5 @@
+-- The left conjunct reads no time-varying state at all: its horizon is
+-- constant (valid forever) and the query horizon comes from the atom.
+RETRIEVE o
+FROM cars o
+WHERE 1 < 2 AND INSIDE(o, P)

@@ -1,0 +1,5 @@
+-- Unbounded EVENTUALLY reads to the evaluation horizon: the validity
+-- claim is all-or-nothing (guarded on no event before the window end).
+RETRIEVE o
+FROM cars o
+WHERE EVENTUALLY INSIDE(o, P)

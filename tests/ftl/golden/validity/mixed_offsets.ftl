@@ -1,0 +1,5 @@
+-- A conjunction of windows: the present-state atom (offset 0) unions
+-- with the NEXT-shifted attribute read (offset 1).
+RETRIEVE o
+FROM cars o
+WHERE INSIDE(o, P) AND NEXTTIME (o.fuel < 10)

@@ -1,0 +1,5 @@
+-- A bounded temporal window: the whole-query horizon slides with the
+-- fleet's motion events, offset by the WITHIN bound.
+RETRIEVE o
+FROM cars o
+WHERE EVENTUALLY WITHIN 8 INSIDE(o, P)

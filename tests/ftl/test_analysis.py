@@ -493,7 +493,7 @@ class TestRegistry:
     def test_rule_codes_partition_by_pass(self):
         for code in RULES:
             assert code.startswith("FTL") and len(code) == 6
-            assert code[3] in "1234567"
+            assert code[3] in "12345678"
 
     def test_schema_info_coercion(self):
         db = build_db()

@@ -255,6 +255,7 @@ def test_counters_account_for_pruning_and_caching():
         "pruned_instantiations",
         "cache_hits",
         "cache_misses",
+        "cache_shift_hits",
     }
     # Same evaluation twice through the db-wide cache: the second run's
     # surviving instantiations are all hits, with zero fresh solves.

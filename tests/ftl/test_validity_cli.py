@@ -1,0 +1,138 @@
+"""Golden-file tests for the lint CLI's ``--validity`` horizon report.
+
+Each ``golden/validity/*.ftl`` fixture has a ``*.validity.json`` sibling
+pinning the schema-less validity report — the root horizon shape, the
+event classes and the per-kind node counts.  The goldens pin the
+analysis' user-visible contract: a horizon changing kind, gaining an
+offset, or a diagnostic drifting, fails here.
+
+Also covers the flag-composition contract: ``--deps --validity`` merges
+both reports into ONE per-file JSON document, and ``--strict-deps``
+promotes the FTL701/FTL702 advisory findings to an exit-1 gate.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python tests/ftl/test_validity_cli.py --update
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ftl.lint import lint_file, main, validity_report
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "validity"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.ftl"))
+
+DEPS_DIR = Path(__file__).parent / "golden" / "deps"
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[p.stem for p in FIXTURES]
+)
+def test_golden_validity_report(fixture):
+    expected = json.loads(fixture.with_suffix(".validity.json").read_text())
+    actual = validity_report(fixture.read_text())
+    assert actual == expected
+
+
+def test_fixtures_exist():
+    assert FIXTURES, "golden/validity fixtures are missing"
+
+
+def test_lint_file_embeds_report_only_with_flag():
+    fixture = str(FIXTURES[0])
+    assert "validity" not in lint_file(fixture)
+    assert lint_file(fixture, validity=True)["validity"] is not None
+
+
+def test_cli_json_shape(capsys):
+    status = main(["--json", "--validity", str(FIXTURES[0])])
+    assert status == 0
+    reports = json.loads(capsys.readouterr().out)
+    validity = reports[0]["validity"]
+    assert set(validity) == {"root", "classes", "nodes", "diagnostics"}
+    assert set(validity["nodes"]) == {
+        "total", "bottom", "constant", "sliding", "guarded",
+    }
+
+
+def test_deps_and_validity_merge_into_one_document(capsys):
+    """``--deps --validity --json`` emits a single per-file report
+    carrying BOTH analysis blocks — not two documents."""
+    status = main(["--json", "--deps", "--validity", str(FIXTURES[0])])
+    assert status == 0
+    out = capsys.readouterr().out
+    reports = json.loads(out)  # one JSON document
+    assert len(reports) == 1
+    report = reports[0]
+    assert set(report) >= {"file", "dependencies", "validity"}
+    assert set(report["dependencies"]) == {
+        "query", "by_class", "regions", "diagnostics",
+    }
+    assert report["validity"]["root"]["kind"] in (
+        "bottom", "constant", "sliding", "guarded",
+    )
+
+
+def test_cli_human_output_mentions_horizon(capsys):
+    status = main(["--validity", str(FIXTURES[0])])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "validity:" in out
+
+
+def test_validity_never_affects_exit_status(tmp_path, capsys):
+    bad = tmp_path / "bad.ftl"
+    bad.write_text("RETRIEVE o FROM cars o WHERE INSIDE(o,")
+    assert main(["--validity", str(bad)]) == 1
+    capsys.readouterr()
+    good = tmp_path / "good.ftl"
+    good.write_text("RETRIEVE o FROM cars o WHERE INSIDE(o, P)")
+    assert main(["--validity", "--strict", str(good)]) == 0
+    capsys.readouterr()
+
+
+def test_strict_deps_gates_on_ftl70x(capsys):
+    """FTL701/FTL702 are advisory under ``--deps`` but an exit-1 gate
+    under ``--strict-deps`` (which implies ``--deps``)."""
+    fixture = str(DEPS_DIR / "position_only.ftl")  # carries FTL702 info
+    assert main(["--deps", fixture]) == 0
+    capsys.readouterr()
+    assert main(["--strict-deps", fixture]) == 1
+    out = capsys.readouterr().out
+    assert "FTL70" in out
+
+
+def test_strict_deps_passes_clean_queries(tmp_path, capsys):
+    """A query sensitive to every update kind of its classes has no
+    FTL701/FTL702 findings, so the strict gate stays green."""
+    clean = tmp_path / "clean.ftl"
+    clean.write_text(
+        "RETRIEVE o FROM cars o WHERE o.fuel < 10 AND "
+        "o.price < 50 AND INSIDE(o, P)"
+    )
+    assert main(["--strict-deps", str(clean)]) == 0
+    capsys.readouterr()
+
+
+def test_parse_failure_yields_none_report():
+    assert validity_report("RETRIEVE o FROM") is None
+
+
+def _update() -> None:
+    for fixture in FIXTURES:
+        report = validity_report(fixture.read_text())
+        fixture.with_suffix(".validity.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+        print(f"updated {fixture.with_suffix('.validity.json')}")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(__doc__)

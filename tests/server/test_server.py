@@ -171,6 +171,61 @@ class TestBackpressure:
         }
 
 
+class TestHorizonAttribution:
+    """Clean-query skips are credited to the gate that earned them:
+    the temporal-validity gate when covered updates were dropped beyond
+    the horizon since the last round, the dependency gate otherwise."""
+
+    def test_clean_skips_attributed_to_their_gate(self):
+        db, network, server, _ = build_world()
+        rq = server.registry.register(
+            SubscribeMsg(client_id="c0", text=QUERY, horizon=100)
+        )
+        # Round 1: no update arrived at all — the plain dependency gate.
+        server.registry.refresh_round(now=0)
+        assert server.metrics.deps_skipped_refreshes == 1
+        assert server.metrics.horizon_skipped_refreshes == 0
+        # Heartbeat: re-issues the exact current motion law, which the
+        # validity gate proves a no-op inside the query window.
+        db.update_motion(
+            "tracker-0", Point(1.0, 0.0), position=Point(0.0, 0.0)
+        )
+        assert rq.cq.horizon_skipped > 0
+        server.registry.refresh_round(now=0)
+        assert server.metrics.horizon_skipped_refreshes == 1
+        assert server.metrics.deps_skipped_refreshes == 1
+        # A genuinely new motion vector dirties and refreshes: neither
+        # skip counter moves.
+        refreshes_before = server.metrics.refreshes
+        db.update_motion("tracker-0", Point(2.0, 0.0))
+        server.registry.refresh_round(now=0)
+        assert server.metrics.refreshes == refreshes_before + 1
+        assert server.metrics.horizon_skipped_refreshes == 1
+        assert server.metrics.deps_skipped_refreshes == 1
+
+    def test_metrics_export_horizon_counter(self):
+        from repro.server.metrics import ServerMetrics
+
+        assert ServerMetrics().to_dict()["horizon_skipped_refreshes"] == 0
+
+    def test_rebuild_reanchors_the_attribution_baseline(self):
+        db, network, server, _ = build_world()
+        rq = server.registry.register(
+            SubscribeMsg(client_id="c0", text=QUERY, horizon=100)
+        )
+        db.update_motion(
+            "tracker-0", Point(1.0, 0.0), position=Point(0.0, 0.0)
+        )
+        assert rq.cq.horizon_skipped > 0
+        server.registry.crash()
+        server.registry.rebuild()
+        # The rebuilt query starts with a fresh skip counter; without
+        # re-anchoring, the next clean round would be mis-credited.
+        server.registry.refresh_round(now=0)
+        assert server.metrics.horizon_skipped_refreshes == 0
+        assert server.metrics.deps_skipped_refreshes == 1
+
+
 class TestLegacyIngest:
     def test_motion_reporter_singles_are_served_and_acked(self):
         db, network, server, _ = build_world(n_trackers=0)
@@ -263,9 +318,13 @@ class TestShedding:
         for epoch in range(3):
             # Dirty every query (a position update is in every DIST
             # query's read-set) so the budget, not dependency pruning,
-            # decides who refreshes this round.
+            # decides who refreshes this round.  The half-tick position
+            # jump breaks the motion law, so the temporal-validity gate
+            # cannot prove the update a no-op either.
             db.update_motion(
-                "tracker-0", Point(1.0, 0.0), position=Point(float(epoch), 0.0)
+                "tracker-0",
+                Point(1.0, 0.0),
+                position=Point(float(epoch) + 0.5, 0.0),
             )
             server.registry.refresh_round(now=0, budget=1)
         assert server.metrics.refreshes == 3
