@@ -87,14 +87,16 @@ class MostDatabase:
         are part of every key (see :mod:`repro.ftl.atoms`).
         """
         if self._kinetic_cache is None:
+            from repro.config import kinetic_cache_entries
             from repro.ftl.atoms import KineticSolveCache  # avoid cycle
 
-            if self.kinetic_cache_size is None:
+            size = self.kinetic_cache_size
+            if size is None:
+                size = kinetic_cache_entries()
+            if size is None:
                 self._kinetic_cache = KineticSolveCache()
             else:
-                self._kinetic_cache = KineticSolveCache(
-                    max_entries=self.kinetic_cache_size
-                )
+                self._kinetic_cache = KineticSolveCache(max_entries=size)
         return self._kinetic_cache
 
     # ------------------------------------------------------------------

@@ -272,6 +272,7 @@ class ContinuousQuery:
         solve_cache: bool = True,
         batch_solver: bool = True,
         validity_horizons: bool = True,
+        parallel: object = None,
     ) -> None:
         if horizon < 0:
             raise QueryError("horizon must be non-negative")
@@ -279,6 +280,21 @@ class ContinuousQuery:
             raise QueryError(f"unknown method {method!r}")
         if staleness_bound is not None and staleness_bound < 0:
             raise QueryError("staleness bound must be non-negative")
+        #: Worker count for sharded full refreshes (DESIGN.md §12); 1
+        #: keeps everything in-process.  Incremental *patch* refreshes
+        #: stay serial either way — their dirty frontier is small by
+        #: construction — but the initial evaluation and every full
+        #: fallback shard across the pool.
+        self.parallel_workers = 1
+        if parallel is not None:
+            from repro.parallel import resolve_workers
+
+            self.parallel_workers = resolve_workers(parallel)
+            if self.parallel_workers > 1 and method == "naive":
+                raise QueryError(
+                    "parallel evaluation requires the interval method "
+                    "(got method='naive')"
+                )
         self.db = db
         self.query = query
         self.horizon = horizon
@@ -466,18 +482,45 @@ class ContinuousQuery:
         remaining = max(0, self.expires_at - now)
         self._compute_validity_stamps(now)
         if self._use_incremental:
-            rf, cache, _evaluator = evaluate_with_cache(
-                self.query,
-                history,
-                remaining,
-                plan=self.plan,
-                index_pruning=self.index_pruning,
-                solve_cache=self.solve_cache,
-                batch_solver=self.batch_solver,
-                validity=self._validity_stamps,
-            )
-            self._rf = rf
-            self._cache = cache
+            if self.parallel_workers > 1:
+                # Sharded initial evaluation: the merged per-subformula
+                # trace equals the serial trace bit for bit (keyed union
+                # per node — see repro.parallel.evaluator), so it seeds
+                # the incremental cache exactly like evaluate_with_cache.
+                from repro.parallel.evaluator import (
+                    ShardedIntervalEvaluator,
+                )
+
+                sharded = ShardedIntervalEvaluator(
+                    self.query,
+                    history,
+                    remaining,
+                    self.parallel_workers,
+                    plan=self.plan,
+                    ordered=self.plan is not None,
+                    index_pruning=self.index_pruning,
+                    solve_cache=self.solve_cache,
+                    batch_solver=self.batch_solver,
+                    validity=self._validity_stamps,
+                    want_trace=True,
+                )
+                self._rf = sharded.evaluate()
+                cache = QueryCache()
+                cache.relations = sharded.trace or {}
+                self._cache = cache
+            else:
+                rf, cache, _evaluator = evaluate_with_cache(
+                    self.query,
+                    history,
+                    remaining,
+                    plan=self.plan,
+                    index_pruning=self.index_pruning,
+                    solve_cache=self.solve_cache,
+                    batch_solver=self.batch_solver,
+                    validity=self._validity_stamps,
+                )
+                self._rf = rf
+                self._cache = cache
         else:
             # The unprojected relation is the maintained object for every
             # method: its instantiations name the objects each tuple's
@@ -493,6 +536,7 @@ class ContinuousQuery:
                 solve_cache=self.solve_cache,
                 batch_solver=self.batch_solver,
                 validity=self._validity_stamps,
+                parallel=self.parallel_workers,
             )
             self._cache = None
         self._target_positions = [

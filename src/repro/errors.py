@@ -75,3 +75,7 @@ class DistributedError(ReproError):
 
 class QueryError(ReproError):
     """Invalid MOST query construction or evaluation request."""
+
+
+class ConfigError(ReproError):
+    """Invalid environment configuration (``REPRO_*`` variables)."""

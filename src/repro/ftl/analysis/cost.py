@@ -92,6 +92,17 @@ class CostModel:
     #: batching changes how many solver invocations amortise them, which
     #: ``CostEstimate.solve_batches`` tracks.
     batch_solver: bool = True
+    #: Worker processes of sharded evaluation (DESIGN.md §12).  Atom
+    #: scans enumerate the split variable's domain shard-locally, so
+    #: their *wall-clock* cost divides by the worker count while total
+    #: work (``solves``) is unchanged; 1 (the default) models serial
+    #: evaluation and leaves every estimate byte-identical.
+    parallel_workers: int = 1
+
+    @property
+    def shard_factor(self) -> float:
+        """Wall-clock divisor for work that shards across workers."""
+        return max(1.0, float(self.parallel_workers))
 
     @property
     def ticks(self) -> int:
@@ -229,7 +240,10 @@ def atom_estimate(
     return CostEstimate(
         tuples=sel * product,
         intervals=1.0 if invariant else 2.0,
-        cost=product * per_inst,
+        # Atom scans enumerate shard-locally under sharded evaluation,
+        # so wall-clock cost divides by the worker count; total work
+        # (``solves``) does not — the shards partition it, not shrink it.
+        cost=product * per_inst / model.shard_factor,
         selectivity=sel,
         solves=solves,
         solve_batches=batches,

@@ -275,6 +275,18 @@ def region_token(region: object) -> object | None:
     return token
 
 
+def clear_region_tokens() -> None:
+    """Drop the module-level region-token memo.
+
+    A freshly forked shard worker inherits the parent's memo by memory
+    copy; the entries are keyed by the *parent's* object identities and
+    pin the parent's region objects alive in the child for no benefit.
+    Workers clear the memo on startup and repopulate it against their own
+    replica (see :func:`repro.parallel.worker.reset_worker_caches`).
+    """
+    _REGION_TOKENS.clear()
+
+
 def _ctx_motion_token(
     ctx: "EvalContext", object_id: object
 ) -> "_SolveToken | None":

@@ -39,6 +39,7 @@ class EvalContext:
         history: "History",
         horizon: int,
         bindings: dict[str, str],
+        domain_restrictions: dict[str, list[object]] | None = None,
     ) -> None:
         if horizon < 0:
             raise FtlSemanticsError("horizon must be non-negative")
@@ -49,9 +50,33 @@ class EvalContext:
         self._domains: dict[str, list[object]] = {
             var: history.object_ids(cls) for var, cls in bindings.items()
         }
+        if domain_restrictions:
+            for var, values in domain_restrictions.items():
+                full = set(self.domain(var))
+                bad = [v for v in values if v not in full]
+                if bad:
+                    raise FtlSemanticsError(
+                        f"domain restriction for {var!r} names values "
+                        f"outside the class population: {bad[:3]!r}"
+                    )
+                self._domains[var] = list(values)
         self._movers: dict[object, "MovingPoint"] = {}
         self._motion_tokens: dict[object, object] = {}
         self._pruner: "AtomIndexPruner | None" = None
+
+    # ------------------------------------------------------------------
+    def reset_memos(self) -> None:
+        """Drop the per-context mover/motion-token memos and the lazy
+        atom-index pruner.
+
+        The memos hold references into the parent process's object graph;
+        a context shipped to (or inherited by, under ``fork``) a worker
+        process must rebuild them against its own database replica rather
+        than trust another address space's snapshots.
+        """
+        self._movers.clear()
+        self._motion_tokens.clear()
+        self._pruner = None
 
     # ------------------------------------------------------------------
     def moving_point(self, object_id: object) -> "MovingPoint":

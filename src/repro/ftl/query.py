@@ -87,6 +87,7 @@ class FtlQuery:
         index_pruning: bool = True,
         solve_cache: bool = True,
         batch_solver: bool = True,
+        parallel: object = None,
     ) -> FtlRelation:
         """Compute the full ``R_f`` relation, projected onto the targets.
 
@@ -108,6 +109,12 @@ class FtlQuery:
             batch_solver: submit each atom's surviving instantiations to
                 the vectorized kinetic backend as one batch (DESIGN.md
                 §8; answers are identical either way).
+            parallel: shard the evaluation across worker processes
+                (DESIGN.md §12; answers are identical either way).
+                ``None`` / ``0`` / ``1`` evaluate serially; an integer
+                ``N >= 2`` uses N workers; ``"auto"`` sizes from
+                ``REPRO_PARALLEL_WORKERS`` or the CPU count.  Requires
+                ``method="interval"`` and a future history.
         """
         return self.evaluate_full(
             history,
@@ -118,6 +125,7 @@ class FtlQuery:
             index_pruning=index_pruning,
             solve_cache=solve_cache,
             batch_solver=batch_solver,
+            parallel=parallel,
         ).project(self.targets)
 
     def evaluate_full(
@@ -131,6 +139,7 @@ class FtlQuery:
         solve_cache: bool = True,
         batch_solver: bool = True,
         validity: "Mapping[int, float] | None" = None,
+        parallel: object = None,
     ) -> FtlRelation:
         """The *unprojected* (but target-completed) ``R_f`` relation.
 
@@ -140,6 +149,34 @@ class FtlQuery:
         intervals were computed from — the dependency information
         staleness-aware degradation needs.
         """
+        workers = 1
+        if parallel is not None:
+            from repro.parallel import resolve_workers
+
+            workers = resolve_workers(parallel)
+        if workers > 1:
+            from repro.errors import QueryError
+
+            if method != "interval":
+                raise QueryError(
+                    "parallel evaluation requires the interval method "
+                    f"(got method={method!r})"
+                )
+            from repro.parallel.evaluator import ShardedIntervalEvaluator
+
+            sharded = ShardedIntervalEvaluator(
+                self,
+                history,
+                horizon,
+                workers,
+                plan=plan,
+                ordered=ordered,
+                index_pruning=index_pruning,
+                solve_cache=solve_cache,
+                batch_solver=batch_solver,
+                validity=validity,
+            )
+            return self._complete(sharded.evaluate(), sharded.ctx)
         if plan is None and ordered:
             try:
                 plan = self.plan_for(history=history, horizon=horizon)

@@ -617,6 +617,134 @@ class PolygonBatch:
 
 
 # ---------------------------------------------------------------------------
+# Coefficient/breakpoint array export (sharded evaluation transport)
+# ---------------------------------------------------------------------------
+class MotionRows:
+    """Flattened dynamic-attribute triples as coefficient arrays.
+
+    One row per ``(object, attribute)`` triple, in caller order:
+    ``value`` / ``updatetime`` / ``slope`` float64 columns plus a ``kind``
+    code (0 = linear, 1 = piecewise-linear with breakpoints in the ragged
+    ``pw_*`` pool, 2 = exact per-row fallback in :attr:`fallback`) and an
+    ``intflags`` bitmask recording which fields were ``int``-typed so the
+    consumer can restore exact value types.  This is the wire format the
+    sharded evaluator ships through shared memory
+    (:mod:`repro.parallel.motion`), and the same single-leg coefficients
+    the :class:`LinearTable` gathers — built once per epoch instead of
+    once per candidate row.
+    """
+
+    def __init__(
+        self,
+        value,
+        updatetime,
+        slope,
+        kind,
+        intflags,
+        pw_offsets,
+        pw_starts,
+        pw_slopes,
+        fallback: dict,
+    ) -> None:
+        self.value = value
+        self.updatetime = updatetime
+        self.slope = slope
+        self.kind = kind
+        self.intflags = intflags
+        self.pw_offsets = pw_offsets
+        self.pw_starts = pw_starts
+        self.pw_slopes = pw_slopes
+        #: Row index → original triple, for rows the arrays cannot carry
+        #: exactly (nonlinear functions, non-numeric or non-float64-exact
+        #: values).
+        self.fallback = fallback
+
+
+def _exact_numeric(x: object) -> bool:
+    """Whether ``x`` is an int/float that round-trips through float64."""
+    if type(x) is float:
+        return True
+    if type(x) is int:
+        try:
+            return int(float(x)) == x
+        except (OverflowError, ValueError):
+            return False
+    return False
+
+
+def export_motion_rows(triples) -> MotionRows:
+    """Flatten dynamic-attribute triples into :class:`MotionRows`.
+
+    Requires numpy (the sharded backend is unavailable without it, unlike
+    the batch solvers which silently degrade to scalar).
+    """
+    from repro.motion.functions import (
+        LinearFunction,
+        PiecewiseLinearFunction,
+    )
+
+    if np is None:  # pragma: no cover - numpy is a hard dep of sharding
+        raise RuntimeError("export_motion_rows requires numpy")
+    n = len(triples)
+    value = np.zeros(n)
+    updatetime = np.zeros(n)
+    slope = np.zeros(n)
+    kind = np.zeros(n, dtype=np.int8)
+    intflags = np.zeros(n, dtype=np.int8)
+    pw_offsets: list[int] = [0]
+    pw_starts: list[float] = []
+    pw_slopes: list[float] = []
+    fallback: dict[int, object] = {}
+
+    for row, triple in enumerate(triples):
+        fn = triple.function
+        fn_type = type(fn)
+        if not (
+            _exact_numeric(triple.value)
+            and _exact_numeric(triple.updatetime)
+            and fn_type in (LinearFunction, PiecewiseLinearFunction)
+        ):
+            kind[row] = 2
+            fallback[row] = triple
+            continue
+        flags = 0
+        if type(triple.value) is int:
+            flags |= 1
+        if type(triple.updatetime) is int:
+            flags |= 2
+        value[row] = float(triple.value)
+        updatetime[row] = float(triple.updatetime)
+        if fn_type is LinearFunction:
+            if not _exact_numeric(fn.slope):
+                kind[row] = 2
+                fallback[row] = triple
+                continue
+            if type(fn.slope) is int:
+                flags |= 4
+            slope[row] = float(fn.slope)
+            kind[row] = 0
+        else:  # PiecewiseLinearFunction: pieces are floats by construction
+            kind[row] = 1
+            for s, k in fn.pieces:
+                pw_starts.append(s)
+                pw_slopes.append(k)
+            pw_offsets.append(len(pw_starts))
+        intflags[row] = flags
+
+    return MotionRows(
+        value=value,
+        updatetime=updatetime,
+        slope=slope,
+        kind=kind,
+        intflags=intflags,
+        pw_offsets=np.asarray(pw_offsets, dtype=np.int64),
+        pw_starts=np.asarray(pw_starts, dtype=np.float64),
+        pw_slopes=np.asarray(pw_slopes, dtype=np.float64),
+        fallback=fallback,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Scalar-oracle shims for the property tests
 # ---------------------------------------------------------------------------
 def segment_crossings_batch(

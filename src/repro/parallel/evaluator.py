@@ -1,0 +1,445 @@
+"""Sharded interval evaluation: shard-local evaluators plus the merge.
+
+Soundness (DESIGN.md §12, proven by ``tests/parallel/``): every row of an
+``R_g`` relation keys a variable instantiation whose interval content
+depends only on the instantiated objects and the frozen history — never
+on which *other* values populate a domain.  Restricting the split
+variable's domain to a shard therefore yields exactly the serial
+relation's rows whose split value lies in the shard; the keyed union of
+the per-shard relations *is* the serial relation, bit for bit.  The
+union is associative, commutative and idempotent (``IntervalSet.union``
+on normalised sets), so merge order is irrelevant —
+``tests/parallel/test_merge_laws.py`` property-checks the laws.
+
+Three pieces live here:
+
+* :func:`enumerate_formula_nodes` — the deterministic node ordering that
+  lets ``id()``-keyed traces, validity stamps and atom stats cross
+  process boundaries as tree *paths*;
+* :class:`ShardedWorkerEvaluator` — the in-worker evaluator: a plain
+  :class:`~repro.ftl.evaluator.IntervalEvaluator` over a
+  domain-restricted context, plus the halo fast path for distance atoms
+  (a shard-level candidate superset answers far pairs with one set probe
+  instead of a per-row index probe — returning exactly the rows the
+  base gate would, so counters stay shard-exact);
+* :class:`ShardedIntervalEvaluator` — the parent orchestrator: splits,
+  dispatches to the persistent pool, merges relations / counters /
+  traces, and degrades to in-process serial evaluation whenever sharding
+  cannot help (no splittable variable, tiny domain, no numpy).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import FtlSemanticsError, QueryError
+from repro.ftl.ast import (
+    AndF,
+    Assign,
+    Compare,
+    Formula,
+    NotF,
+    OrF,
+    Until,
+    UntilWithin,
+    Var,
+)
+from repro.ftl.atoms import _DIST_OPS
+from repro.ftl.context import EvalContext
+from repro.ftl.evaluator import IntervalEvaluator
+from repro.ftl.relations import EMPTY_SET, FtlRelation
+from repro.parallel.partition import ShardPlan, halo_members
+from repro.temporal import DISCRETE, IntervalSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.history import History
+    from repro.ftl.analysis.plan import EvalPlan
+    from repro.ftl.query import FtlQuery
+    from repro.parallel.pool import ShardWorkerPool
+
+__all__ = [
+    "ShardedIntervalEvaluator",
+    "ShardedWorkerEvaluator",
+    "enumerate_formula_nodes",
+    "merge_relations",
+]
+
+#: Temporal counter names summed across shards.
+_COUNTER_KEYS = (
+    "kinetic_solves",
+    "sampled_atom_evals",
+    "pruned_instantiations",
+    "cache_hits",
+    "cache_misses",
+    "cache_shift_hits",
+)
+
+_ATOM_STAT_KEYS = ("instantiations", "pruned", "solves", "cache_hits")
+
+
+def enumerate_formula_nodes(root: Formula) -> list[Formula]:
+    """Every formula node of a tree, in deterministic preorder.
+
+    Shared (hash-consed) nodes appear once, at their first occurrence —
+    matching how ``id()``-keyed traces store them.  Because evaluation
+    plans are deterministic functions of (query, cost model), the parent
+    and every worker enumerate *structurally identical* trees: a node's
+    position in this list (its *path*) is the cross-process name for the
+    ``id()``-keyed entries of traces, validity stamps and atom stats.
+    """
+    nodes: list[Formula] = []
+    seen: set[int] = set()
+    stack: list[Formula] = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        nodes.append(node)
+        if isinstance(node, (AndF, OrF, Until, UntilWithin)):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, Assign):
+            stack.append(node.body)
+        else:
+            operand = getattr(node, "operand", None)
+            if isinstance(operand, Formula):
+                stack.append(operand)
+    return nodes
+
+
+def merge_relations(parts: Iterable[FtlRelation]) -> FtlRelation:
+    """The keyed union of per-shard relations over identical variables.
+
+    Rows keyed by instantiations appearing in exactly one shard (the
+    common case: the instantiation mentions the split variable) are
+    adopted as-is; rows appearing in several shards (the instantiation
+    only mentions unsplit variables, so every shard computed the full —
+    identical — answer) union their interval sets, which is idempotent
+    on normalised sets.  The operation is associative and commutative.
+    """
+    parts = list(parts)
+    if not parts:
+        raise FtlSemanticsError("cannot merge zero shard relations")
+    variables = parts[0].variables
+    out = FtlRelation(variables)
+    for part in parts:
+        if part.variables != variables:
+            raise FtlSemanticsError(
+                f"shard relations disagree on variables: "
+                f"{part.variables} != {variables}"
+            )
+        for inst, iset in part.rows():
+            out.add(inst, iset)
+    return out
+
+
+class ShardedWorkerEvaluator(IntervalEvaluator):
+    """The in-worker evaluator: serial semantics + the halo fast path.
+
+    Evaluation itself is exactly :class:`IntervalEvaluator` over a
+    context whose split-variable domain is restricted to the shard.  The
+    only override is the distance-atom gate: when the split variable is
+    the *left* leg of a ``DIST(split, other) op bound`` atom, the shard's
+    radius-inflated halo (the union of every member's trajectory-MBR
+    candidates, :func:`~repro.parallel.partition.halo_members`) answers
+    far partners with one frozenset probe.  ``other ∉ halo`` implies
+    ``other ∉ pair_candidates(member, bound)`` for every member, so the
+    fast path fires only on rows the base gate would answer — with the
+    identical answer — and falls through to the base gate otherwise:
+    relations *and* counters are bit-identical with the halo on or off.
+    """
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        *,
+        split_var: str,
+        shard_ids: Sequence[object],
+        halo: bool = True,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(ctx, **kwargs)
+        self.split_var = split_var
+        self.shard_ids = tuple(shard_ids)
+        self.halo = halo
+        #: Rows answered via the halo probe (instead of a per-row index
+        #: probe) — diagnostics only; they are a subset of
+        #: ``pruned_instantiations``.
+        self.halo_prunes = 0
+        self._halos: dict[float, frozenset[object] | None] = {}
+
+    def _halo_for(self, radius: float) -> frozenset[object] | None:
+        halo = self._halos.get(radius)
+        if radius not in self._halos:
+            halo = halo_members(
+                self.ctx.atom_pruner(), self.shard_ids, radius
+            )
+            self._halos[radius] = halo
+        return halo
+
+    def _atom_gate(
+        self, f: Formula
+    ) -> "Callable[[dict[str, object]], IntervalSet | None] | None":
+        gate: Callable[[dict[str, object]], IntervalSet | None] | None = (
+            super()._atom_gate(f)
+        )
+        if gate is None or not self.halo or not isinstance(f, Compare):
+            return gate
+        pruner = self.ctx.atom_pruner()
+        spec = pruner._dist_spec(f)
+        if spec is None:
+            return gate
+        dist_term, bound_term, op = spec
+        left = dist_term.left
+        if not (isinstance(left, Var) and left.name == self.split_var):
+            return gate
+        other_leg = dist_term.right
+        holds_when_far = _DIST_OPS[op]
+        base_gate = gate
+        ctx = self.ctx
+        full = IntervalSet.span(ctx.start, ctx.end, DISCRETE)
+
+        def halo_gate(env: dict[str, object]) -> IntervalSet | None:
+            bound = ctx.eval_term(bound_term, env, ctx.start)
+            if isinstance(bound, (int, float)) and bound >= 0:
+                halo = self._halo_for(float(bound))
+                if halo is not None:
+                    partner = ctx.eval_term(other_leg, env, ctx.start)
+                    if partner not in halo and partner in pruner._boxes:
+                        # Disjoint from every member's inflated boxes:
+                        # the base gate would answer identically.
+                        self.halo_prunes += 1
+                        return full if holds_when_far else EMPTY_SET
+            return base_gate(env)
+
+        return halo_gate
+
+
+class ShardedIntervalEvaluator:
+    """Parent-side orchestration of one sharded evaluation.
+
+    Build one per :meth:`~repro.ftl.query.FtlQuery.evaluate_full` call
+    with ``parallel=N``; :meth:`evaluate` returns the (uncompleted,
+    unprojected) ``R_where`` relation exactly as a serial
+    :class:`IntervalEvaluator` would.  After it returns, merged
+    :attr:`counters`, :attr:`atom_stats`, per-shard :attr:`shard_times`
+    and the (optionally merged) :attr:`trace` are available; when
+    sharding could not apply, :attr:`sharded` is False and the numbers
+    are the in-process serial evaluator's.
+    """
+
+    def __init__(
+        self,
+        query: "FtlQuery",
+        history: "History",
+        horizon: int,
+        workers: int,
+        *,
+        plan: "EvalPlan | None" = None,
+        ordered: bool = True,
+        index_pruning: bool = True,
+        solve_cache: bool = True,
+        batch_solver: bool = True,
+        analytic_atoms: bool = True,
+        validity: "Mapping[int, float] | None" = None,
+        want_trace: bool = False,
+        halo: bool = True,
+        start_method: str | None = None,
+        pool: "ShardWorkerPool | None" = None,
+    ) -> None:
+        from repro.core.history import FutureHistory
+
+        if not isinstance(history, FutureHistory):
+            raise QueryError(
+                "parallel evaluation requires a future (MOST) history; "
+                "recorded histories replay an update log that has no "
+                "shared-memory snapshot form"
+            )
+        if workers < 1:
+            raise QueryError(f"worker count must be >= 1, got {workers}")
+        self.query = query
+        self.history = history
+        self.horizon = int(horizon)
+        self.workers = int(workers)
+        if plan is None and ordered:
+            try:
+                plan = query.plan_for(history=history, horizon=horizon)
+            except FtlSemanticsError:
+                plan = None
+        self.plan = plan
+        self.index_pruning = index_pruning
+        self.solve_cache = solve_cache
+        self.batch_solver = batch_solver
+        self.analytic_atoms = analytic_atoms
+        self.validity = validity
+        self.want_trace = want_trace
+        self.halo = halo
+        self.start_method = start_method
+        self._pool = pool
+        #: Full-domain context — the merge target and ``_complete`` input.
+        self.ctx = EvalContext(history, self.horizon, query.bindings)
+        self.split_var = self._choose_split_var()
+        #: Filled by :meth:`evaluate`.
+        self.sharded = False
+        self.shard_plan: ShardPlan | None = None
+        self.counters: dict[str, int] = {k: 0 for k in _COUNTER_KEYS}
+        self.atom_stats: dict[int, dict[str, object]] = {}
+        self.trace: dict[int, FtlRelation] | None = (
+            {} if want_trace else None
+        )
+        #: Per-shard in-worker evaluation seconds (critical-path metric).
+        self.shard_times: list[float] = []
+        #: Per-shard in-worker CPU seconds — contention-immune work
+        #: measure for critical-path estimates on time-sliced hosts.
+        self.shard_cpu_times: list[float] = []
+        #: Rows the workers answered through the halo probe.
+        self.halo_prunes = 0
+
+    # ------------------------------------------------------------------
+    def _choose_split_var(self) -> str | None:
+        """The FROM-bound variable to shard on: largest domain, name as
+        tie-break — deterministic for a given query and history."""
+        free = self.query.where.free_vars()
+        best: tuple[int, str] | None = None
+        for var in sorted(self.query.bindings):
+            if var not in free:
+                continue
+            size = len(self.ctx.domain(var))
+            if best is None or size > best[0]:
+                best = (size, var)
+        return None if best is None else best[1]
+
+    @property
+    def viable(self) -> bool:
+        """Whether sharding can apply (enough workers, a splittable
+        variable with at least two values, numpy present)."""
+        from repro.motion.batch import available
+
+        return (
+            self.workers >= 2
+            and self.split_var is not None
+            and len(self.ctx.domain(self.split_var)) >= 2
+            and available()
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> FtlRelation:
+        """The merged ``R_where`` (falls back to in-process serial
+        evaluation — same answers, same trace keys — when not viable)."""
+        if not self.viable:
+            return self._evaluate_serial()
+        return self._evaluate_sharded()
+
+    def _evaluate_serial(self) -> FtlRelation:
+        evaluator = IntervalEvaluator(
+            self.ctx,
+            analytic_atoms=self.analytic_atoms,
+            trace=self.trace,
+            plan=self.plan,
+            index_pruning=self.index_pruning,
+            solve_cache=self.solve_cache,
+            batch_solver=self.batch_solver,
+            validity=dict(self.validity) if self.validity else None,
+        )
+        relation = evaluator.evaluate(self.query.where)
+        self.sharded = False
+        self.counters = evaluator.counters()
+        self.atom_stats = evaluator.atom_stats
+        return relation
+
+    def _parent_nodes(self) -> list[Formula]:
+        root = (
+            self.plan.resolve(self.query.where)
+            if self.plan is not None
+            else self.query.where
+        )
+        return enumerate_formula_nodes(root)
+
+    def _evaluate_sharded(self) -> FtlRelation:
+        from repro.parallel.pool import get_pool
+
+        assert self.split_var is not None
+        class_name = self.query.bindings[self.split_var]
+        shard_count = min(
+            self.workers, len(self.ctx.domain(self.split_var))
+        )
+        shard_plan = ShardPlan.build(
+            self.history,
+            self.split_var,
+            class_name,
+            shard_count,
+            self.ctx.start,
+            self.ctx.end,
+        )
+        self.shard_plan = shard_plan
+        nodes = self._parent_nodes()
+        id_to_path = {id(node): path for path, node in enumerate(nodes)}
+        validity_paths = None
+        if self.validity:
+            validity_paths = {
+                id_to_path[node_id]: stamp
+                for node_id, stamp in self.validity.items()
+                if node_id in id_to_path
+            }
+        spec_base: dict[str, Any] = {
+            "query": self.query,
+            "horizon": self.horizon,
+            "split_var": self.split_var,
+            "model": None if self.plan is None else self.plan.model,
+            "ordered": True if self.plan is None else self.plan.ordered,
+            "index_pruning": self.index_pruning,
+            "solve_cache": self.solve_cache,
+            "batch_solver": self.batch_solver,
+            "analytic_atoms": self.analytic_atoms,
+            "want_trace": self.want_trace,
+            "validity_paths": validity_paths,
+            "halo": self.halo,
+        }
+        specs = [
+            dict(spec_base, shard_ids=shard)
+            for shard in shard_plan.shards
+        ]
+        pool = self._pool or get_pool(
+            self.workers, start_method=self.start_method
+        )
+        pool.ensure_snapshot(self.history)
+        payloads = pool.run(specs)
+
+        relation = merge_relations(
+            FtlRelation(variables, rows)
+            for variables, rows in (p["relation"] for p in payloads)
+        )
+        self.sharded = True
+        self.shard_times = [float(p["eval_time"]) for p in payloads]
+        self.shard_cpu_times = [
+            float(p.get("eval_cpu", p["eval_time"])) for p in payloads
+        ]
+        self.halo_prunes = sum(int(p["halo_prunes"]) for p in payloads)
+        counters = {key: 0 for key in _COUNTER_KEYS}
+        for payload in payloads:
+            for key in _COUNTER_KEYS:
+                counters[key] += int(payload["counters"].get(key, 0))
+        self.counters = counters
+        for payload in payloads:
+            for path, stats in payload["atom_stats"].items():
+                node = nodes[path]
+                merged = self.atom_stats.get(id(node))
+                if merged is None:
+                    merged = self.atom_stats[id(node)] = {
+                        "formula": node,
+                        **{key: 0 for key in _ATOM_STAT_KEYS},
+                    }
+                for key in _ATOM_STAT_KEYS:
+                    merged[key] += int(stats[key])
+        if self.trace is not None:
+            merged_trace: dict[int, list[FtlRelation]] = {}
+            for payload in payloads:
+                shipped = payload["trace"] or {}
+                for path, (variables, rows) in shipped.items():
+                    merged_trace.setdefault(path, []).append(
+                        FtlRelation(variables, rows)
+                    )
+            for path, parts in merged_trace.items():
+                self.trace[id(nodes[path])] = merge_relations(parts)
+        return relation

@@ -101,6 +101,9 @@ class CQServer:
         retry: backoff schedule for delta retransmission (jittered).
         busy_retry_after: hold-off, in epochs, a refused reporter is told.
         seed: base RNG seed for per-session jitter decorrelation.
+        parallel: sharded-evaluation worker knob forwarded to every
+            registered query (``None``/``1`` serial, ``N`` workers,
+            ``"auto"``; DESIGN.md §12).
     """
 
     def __init__(
@@ -117,6 +120,7 @@ class CQServer:
         busy_retry_after: int = 2,
         max_log: int = 256,
         seed: int = 0,
+        parallel: object = None,
     ) -> None:
         if inbox_capacity < 1:
             raise DistributedError("inbox must hold at least one update")
@@ -139,7 +143,7 @@ class CQServer:
         self.max_log = max_log
         self.seed = seed
         self.metrics = ServerMetrics()
-        self.registry = SubscriptionRegistry(db, self.metrics)
+        self.registry = SubscriptionRegistry(db, self.metrics, parallel=parallel)
         self.sessions: dict[tuple[str, str], ClientSession] = {}
         #: Queued ``("batch", src, IngestBatch)`` / ``("single", src,
         #: MotionUpdate)`` entries; :attr:`inbox_depth` counts updates.

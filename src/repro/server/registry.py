@@ -94,9 +94,19 @@ class SubscriberRecord:
 class SubscriptionRegistry:
     """Registered queries, their answers, and the subscriber table."""
 
-    def __init__(self, db: MostDatabase, metrics: ServerMetrics) -> None:
+    def __init__(
+        self,
+        db: MostDatabase,
+        metrics: ServerMetrics,
+        parallel: object = None,
+    ) -> None:
         self.db = db
         self.metrics = metrics
+        #: Forwarded to every registered :class:`ContinuousQuery` — the
+        #: ``parallel=`` knob of sharded evaluation (DESIGN.md §12).
+        #: All queries share one worker pool, so refresh rounds ship the
+        #: motion snapshot once per database epoch.
+        self.parallel = parallel
         self.queries: dict[str, RegisteredQuery] = {}
         self.records: dict[tuple[str, str], SubscriberRecord] = {}
         self._by_spec: dict[tuple[str, int, str], str] = {}
@@ -148,7 +158,13 @@ class SubscriptionRegistry:
         self, text: str, horizon: int, method: str
     ) -> ContinuousQuery:
         query = parse_query(text)
-        return ContinuousQuery(self.db, query, horizon=horizon, method=method)
+        return ContinuousQuery(
+            self.db,
+            query,
+            horizon=horizon,
+            method=method,
+            parallel=self.parallel,
+        )
 
     def drop_subscriber(self, client_id: str, query_id: str) -> None:
         """Remove one subscriber; cancel the query when none remain."""

@@ -1,0 +1,1 @@
+"""Sharded parallel evaluation (DESIGN.md §12)."""

@@ -1,0 +1,17 @@
+"""Shared fixtures: one worker-pool lifetime per test session.
+
+Pools are process-global (``repro.parallel.get_pool``) so every test in
+the session reuses the same workers — spawning processes per test would
+dominate the suite's runtime.  The session teardown closes them so the
+test process exits promptly even when atexit ordering is unlucky.
+"""
+
+import pytest
+
+from repro.parallel import shutdown_pools
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shutdown_pools_at_exit():
+    yield
+    shutdown_pools()

@@ -1,0 +1,111 @@
+"""Property tests: the shard halo is a conservative candidate superset.
+
+The halo fast path answers a ``DIST(m, b) ⋈ r`` atom without consulting
+the base gate whenever the partner object is outside the shard's halo
+(DESIGN.md §12).  That is sound only if the halo — the union of the
+shard members' radius-inflated candidate sets — contains every object
+that ever comes within ``r`` of any shard member during the window.
+Mirrors ``tests/index/test_candidate_soundness.py``: false positives are
+fine, one false negative would silently flip an atom's answer.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MostDatabase, ObjectClass
+from repro.core.history import FutureHistory
+from repro.ftl.context import EvalContext
+from repro.geometry import Point
+from repro.parallel import halo_members, partition_ids
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+HORIZON = 12
+
+coord = st.integers(min_value=-40, max_value=40)
+speed = st.integers(min_value=-4, max_value=4)
+fleet = st.lists(
+    st.tuples(coord, coord, speed, speed), min_size=2, max_size=10
+)
+
+
+def _build(objects):
+    db = MostDatabase()
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    for i, (x, y, vx, vy) in enumerate(objects):
+        db.add_moving_object("cars", f"c{i}", Point(x, y), Point(vx, vy))
+    return db, EvalContext(FutureHistory(db), HORIZON, {"c": "cars"})
+
+
+def _positions(objects, t):
+    return {
+        f"c{i}": (x + vx * t, y + vy * t)
+        for i, (x, y, vx, vy) in enumerate(objects)
+    }
+
+
+@SETTINGS
+@given(
+    objects=fleet,
+    radius=st.integers(min_value=0, max_value=15),
+    shard_count=st.integers(min_value=2, max_value=4),
+)
+def test_halo_contains_every_close_approach(objects, radius, shard_count):
+    db, ctx = _build(objects)
+    pruner = ctx.atom_pruner()
+    history = FutureHistory(db)
+    ids = history.object_ids("cars")
+    shards = partition_ids(history, ids, shard_count, 0.0, HORIZON)
+    for shard_ids in shards:
+        halo = halo_members(pruner, shard_ids, float(radius))
+        if halo is None:
+            # Pruner declined (no boxes): the gate falls back to exact
+            # solving, which is trivially sound.
+            continue
+        # Dense integer+quarter-tick sampling catches every crossing of
+        # linear motion against an integer radius.
+        for t4 in range(0, HORIZON * 4 + 1):
+            t = t4 / 4
+            pos = _positions(objects, t)
+            for member in shard_ids:
+                mx, my = pos[member]
+                for other, (ox, oy) in pos.items():
+                    if other == member:
+                        continue
+                    if math.hypot(mx - ox, my - oy) <= radius:
+                        assert other in halo, (
+                            f"{other} is within {radius} of shard member "
+                            f"{member} at t={t} but missing from the halo"
+                        )
+
+
+@SETTINGS
+@given(objects=fleet, shard_count=st.integers(min_value=2, max_value=4))
+def test_halo_always_contains_shard_members(objects, shard_count):
+    """At radius 0 every member is within distance 0 of itself, so the
+    halo must at least cover the shard."""
+    db, ctx = _build(objects)
+    pruner = ctx.atom_pruner()
+    history = FutureHistory(db)
+    ids = history.object_ids("cars")
+    for shard_ids in partition_ids(history, ids, shard_count, 0.0, HORIZON):
+        halo = halo_members(pruner, shard_ids, 0.0)
+        if halo is not None:
+            assert set(shard_ids) <= halo
+
+
+@SETTINGS
+@given(objects=fleet)
+def test_halo_rejects_bad_radius(objects):
+    db, ctx = _build(objects)
+    pruner = ctx.atom_pruner()
+    ids = [f"c{i}" for i in range(len(objects))]
+    assert halo_members(pruner, ids, -1.0) is None
+    assert halo_members(pruner, ids, float("nan")) is None
+    assert halo_members(pruner, ids, float("inf")) is None

@@ -1,0 +1,125 @@
+"""Property tests: shard-merge is a lawful union (DESIGN.md §12).
+
+Sharded evaluation is only sound if combining per-shard relations is
+order- and grouping-insensitive: the pool returns shard results in
+arbitrary arrival order, and a rebalanced shard plan regroups rows.  So
+the merge operation — keyed union of ``IntervalSet`` rows — must be
+associative, commutative and idempotent, and incremental ``patch``
+application must commute with union on disjoint keys (the property that
+lets a merged trace seed the incremental cache).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ftl.relations import FtlRelation
+from repro.parallel import merge_relations
+from repro.temporal import DISCRETE, IntervalSet
+
+SETTINGS = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+tick = st.integers(min_value=0, max_value=30)
+interval = st.tuples(tick, tick).map(lambda p: (min(p), max(p)))
+iset = st.lists(interval, max_size=4).map(
+    lambda pairs: IntervalSet.from_pairs(pairs, DISCRETE)
+)
+key = st.sampled_from([("a",), ("b",), ("c",), ("d",), ("e",)])
+relation = st.dictionaries(key, iset, max_size=5).map(
+    lambda rows: FtlRelation(("x",), rows)
+)
+
+
+def as_dict(rel):
+    return {inst: iset.intervals for inst, iset in rel.rows()}
+
+
+# ---------------------------------------------------------------------------
+# IntervalSet union laws
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(a=iset, b=iset, c=iset)
+def test_interval_union_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@SETTINGS
+@given(a=iset, b=iset)
+def test_interval_union_commutative(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@SETTINGS
+@given(a=iset)
+def test_interval_union_idempotent(a):
+    assert a.union(a) == a
+
+
+# ---------------------------------------------------------------------------
+# merge_relations laws
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(a=relation, b=relation, c=relation)
+def test_merge_associative(a, b, c):
+    left = merge_relations([merge_relations([a, b]), c])
+    right = merge_relations([a, merge_relations([b, c])])
+    assert as_dict(left) == as_dict(right)
+
+
+@SETTINGS
+@given(a=relation, b=relation)
+def test_merge_commutative(a, b):
+    assert as_dict(merge_relations([a, b])) == as_dict(
+        merge_relations([b, a])
+    )
+
+
+@SETTINGS
+@given(a=relation)
+def test_merge_idempotent(a):
+    assert as_dict(merge_relations([a, a])) == as_dict(a)
+
+
+@SETTINGS
+@given(a=relation, b=relation, c=relation)
+def test_merge_flat_equals_nested(a, b, c):
+    """One three-way merge equals any nesting — shard arrival order and
+    pool topology cannot change the result."""
+    flat = merge_relations([a, b, c])
+    nested = merge_relations([c, merge_relations([b, a])])
+    assert as_dict(flat) == as_dict(nested)
+
+
+# ---------------------------------------------------------------------------
+# patch ∘ union commutation on disjoint keys
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(a=relation, b=relation, patch_rows=st.dictionaries(key, iset, max_size=3))
+def test_patch_commutes_with_union_on_disjoint_keys(a, b, patch_rows):
+    """Patching rows of one shard then merging equals merging then
+    patching, provided the patched keys belong to that shard alone —
+    exactly the split-variable partition guarantee."""
+    b_keys = {inst for inst, _ in b.rows()}
+    stale = [inst for inst in patch_rows if inst not in b_keys]
+    fresh = {inst: patch_rows[inst] for inst in stale}
+
+    def rebuild(rel, rows):
+        out = FtlRelation(rel.variables)
+        for inst, iv in rel.rows():
+            out.add(inst, iv)
+        for inst, iv in rows.items():
+            out.set(inst, iv)
+        return out
+
+    patched_then_merged = merge_relations([rebuild(a, fresh), b])
+    merged_then_patched = rebuild(merge_relations([a, b]), fresh)
+    assert as_dict(patched_then_merged) == as_dict(merged_then_patched)

@@ -1,0 +1,102 @@
+"""Partitioner contract: exact cover, ±1 balance, determinism.
+
+Correctness never depends on *which* shard an object lands in
+(DESIGN.md §12) — but the evaluator does rely on the partition being a
+partition, and reproducible runs rely on it being deterministic.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MostDatabase, ObjectClass
+from repro.core.history import FutureHistory
+from repro.errors import QueryError
+from repro.geometry import Point
+from repro.parallel import ShardPlan, partition_ids
+
+HORIZON = 12
+
+
+def build_db(n, seed=0):
+    rng = random.Random(seed)
+    db = MostDatabase()
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    for i in range(n):
+        db.add_moving_object(
+            "cars",
+            f"c{i}",
+            Point(rng.randint(-30, 30), rng.randint(-30, 30)),
+            Point(rng.randint(-3, 3), rng.randint(-3, 3)),
+        )
+    return db
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 25])
+@pytest.mark.parametrize("shard_count", [1, 2, 3, 4, 8])
+def test_partition_is_exact_and_balanced(n, shard_count):
+    db = build_db(n)
+    history = FutureHistory(db)
+    ids = history.object_ids("cars")
+    shards = partition_ids(history, ids, shard_count, 0.0, HORIZON)
+    flat = [oid for shard in shards for oid in shard]
+    assert sorted(flat, key=str) == sorted(ids, key=str)
+    assert len(flat) == len(set(flat)) == n
+    assert all(shard for shard in shards), "no empty shards"
+    if shards:
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(shards) == min(shard_count, n)
+
+
+def test_partition_is_deterministic():
+    db = build_db(25, seed=3)
+    history = FutureHistory(db)
+    ids = history.object_ids("cars")
+    first = partition_ids(history, ids, 4, 0.0, HORIZON)
+    for _ in range(5):
+        assert partition_ids(history, ids, 4, 0.0, HORIZON) == first
+    # And across a rebuilt but identical world.
+    other = FutureHistory(build_db(25, seed=3))
+    assert partition_ids(other, other.object_ids("cars"), 4, 0.0, HORIZON) == first
+
+
+def test_partition_rejects_bad_shard_count():
+    history = FutureHistory(build_db(4))
+    with pytest.raises(QueryError):
+        partition_ids(history, history.object_ids("cars"), 0, 0.0, HORIZON)
+
+
+def test_shard_plan_lookup():
+    db = build_db(9, seed=1)
+    history = FutureHistory(db)
+    plan = ShardPlan.build(history, "c", "cars", 3, 0.0, HORIZON)
+    assert plan.shard_count == 3
+    for oid in history.object_ids("cars"):
+        idx = plan.shard_of(oid)
+        assert idx is not None
+        assert oid in plan.shards[idx]
+    assert plan.shard_of("ghost") is None
+
+
+def test_spatial_locality_for_two_clusters():
+    """Two far-apart clusters of equal size should land in different
+    shards — the grid heuristic, not a correctness requirement, but the
+    whole point of spatial partitioning for the halo."""
+    db = MostDatabase()
+    db.create_class(ObjectClass("cars", spatial_dimensions=2))
+    for i in range(4):
+        db.add_moving_object(
+            "cars", f"w{i}", Point(-100 + i, 0), Point(0, 0)
+        )
+    for i in range(4):
+        db.add_moving_object(
+            "cars", f"e{i}", Point(100 + i, 0), Point(0, 0)
+        )
+    history = FutureHistory(db)
+    shards = partition_ids(
+        history, history.object_ids("cars"), 2, 0.0, HORIZON
+    )
+    assert len(shards) == 2
+    sides = [{str(oid)[0] for oid in shard} for shard in shards]
+    assert sides in ([{"w"}, {"e"}], [{"e"}, {"w"}])

@@ -1,0 +1,263 @@
+"""Differential harness: sharded evaluation ≡ serial evaluation.
+
+The merge-soundness argument (DESIGN.md §12) says restricting the split
+variable's domain per shard and taking the keyed union of the shard
+relations reproduces the serial ``R_f`` bit for bit.  These tests check
+that claim on the same randomized worlds, formulas and update sequences
+the method-differential suite uses — including the halo fast path, the
+incremental continuous-query seeding, and the error paths.
+"""
+
+import random
+
+import pytest
+
+from repro.core.history import FutureHistory
+from repro.core.queries import ContinuousQuery
+from repro.errors import QueryError
+from repro.ftl import Compare, Const, Dist, FtlQuery, Inside, Var
+from repro.parallel import resolve_workers
+from repro.parallel.evaluator import ShardedIntervalEvaluator
+
+from tests.ftl.test_differential import (
+    HORIZON,
+    STEPS,
+    apply_random_updates,
+    build_world,
+    random_query,
+)
+
+
+def rows_of(relation):
+    """Canonical, comparison-stable view of an FtlRelation."""
+    return sorted(
+        (inst, iset.intervals) for inst, iset in relation.rows()
+    )
+
+
+# ---------------------------------------------------------------------------
+# One-shot evaluation: parallel ≡ serial, bit for bit
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("workers", [2, 4])
+def test_sharded_matches_serial(seed, workers):
+    rng = random.Random(seed)
+    db = build_world(rng)
+    query = random_query(rng)
+    serial = query.evaluate_full(FutureHistory(db), HORIZON)
+    parallel = query.evaluate_full(
+        FutureHistory(db), HORIZON, parallel=workers
+    )
+    assert parallel.variables == serial.variables
+    assert rows_of(parallel) == rows_of(serial)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_sharded_matches_serial_after_updates(seed):
+    rng = random.Random(10_000 + seed)
+    world_bits = rng.getstate()
+    dbs = []
+    for _ in range(2):
+        rng.setstate(world_bits)
+        dbs.append(build_world(rng))
+    query = random_query(rng)
+    for _ in range(STEPS):
+        for db in dbs:
+            db.clock.tick()
+        apply_random_updates(rng, dbs)
+        serial = query.evaluate_full(FutureHistory(dbs[0]), HORIZON)
+        parallel = query.evaluate_full(
+            FutureHistory(dbs[1]), HORIZON, parallel=2
+        )
+        assert rows_of(parallel) == rows_of(serial)
+
+
+def test_halo_off_matches_halo_on():
+    # Twin worlds: each evaluation ships its own snapshot, so the
+    # workers' per-replica solve caches start cold both times and the
+    # counters are comparable.
+    rng = random.Random(7)
+    world_bits = rng.getstate()
+    dbs = []
+    for _ in range(2):
+        rng.setstate(world_bits)
+        dbs.append(build_world(rng))
+    query = FtlQuery(
+        targets=("c",),
+        bindings={"c": "cars", "v": "vans"},
+        where=Compare("<=", Dist(Var("c"), Var("v")), Const(6)),
+    )
+    on = ShardedIntervalEvaluator(
+        query, FutureHistory(dbs[0]), HORIZON, 2, halo=True
+    )
+    off = ShardedIntervalEvaluator(
+        query, FutureHistory(dbs[1]), HORIZON, 2, halo=False
+    )
+    r_on, r_off = on.evaluate(), off.evaluate()
+    assert rows_of(r_on) == rows_of(r_off)
+    # Gate answers are part of the pruner contract, so the halo fast
+    # path must leave every counter — not just the answers — untouched.
+    assert on.counters == off.counters
+
+
+# ---------------------------------------------------------------------------
+# Counter semantics under sharding
+# ---------------------------------------------------------------------------
+
+
+def test_counters_coherent_and_exact_for_single_atom():
+    """A single region atom gives per-object solve keys that never
+    collide across shards, so the summed counters equal serial exactly."""
+    rng = random.Random(11)
+    db = build_world(rng)
+    query = FtlQuery(
+        targets=("c",),
+        bindings={"c": "cars"},
+        where=Inside(Var("c"), "P"),
+    )
+    history = FutureHistory(db)
+    sharded = ShardedIntervalEvaluator(query, history, HORIZON, 2)
+    merged = sharded.evaluate()
+    assert sharded.sharded, "2 cars minimum: sharding must engage"
+    serial = ShardedIntervalEvaluator(query, history, HORIZON, 1)
+    assert rows_of(merged) == rows_of(serial.evaluate())
+    assert not serial.sharded
+    assert sharded.counters == serial.counters
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_counter_coherence_random(seed):
+    """Solve caches are per-worker, so sharded solves can only exceed
+    the serial count; pruning and sampling totals stay non-negative."""
+    rng = random.Random(20_000 + seed)
+    db = build_world(rng)
+    query = random_query(rng)
+    history = FutureHistory(db)
+    serial = ShardedIntervalEvaluator(query, history, HORIZON, 1)
+    sharded = ShardedIntervalEvaluator(query, history, HORIZON, 2)
+    assert rows_of(sharded.evaluate()) == rows_of(serial.evaluate())
+    if not sharded.sharded:
+        return
+    assert sharded.counters["kinetic_solves"] >= serial.counters[
+        "kinetic_solves"
+    ]
+    assert all(v >= 0 for v in sharded.counters.values())
+
+
+# ---------------------------------------------------------------------------
+# Continuous queries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize(
+    "method,workers", [("interval", 2), ("incremental", 2), ("incremental", 4)]
+)
+def test_continuous_query_parallel_differential(seed, method, workers):
+    rng = random.Random(30_000 + seed)
+    world_bits = rng.getstate()
+    dbs = []
+    for _ in range(2):
+        rng.setstate(world_bits)
+        dbs.append(build_world(rng))
+    query = random_query(rng)
+    serial_cq = ContinuousQuery(dbs[0], query, horizon=HORIZON)
+    parallel_cq = ContinuousQuery(
+        dbs[1], query, horizon=HORIZON, method=method, parallel=workers
+    )
+    for step in range(STEPS):
+        for db in dbs:
+            db.clock.tick()
+        apply_random_updates(rng, dbs)
+        assert serial_cq.current() == parallel_cq.current(), (
+            f"seed {seed} step {step}: {query.where}"
+        )
+    serial_tuples = sorted(
+        (t.values, t.begin, t.end) for t in serial_cq.answer_tuples()
+    )
+    parallel_tuples = sorted(
+        (t.values, t.begin, t.end) for t in parallel_cq.answer_tuples()
+    )
+    assert serial_tuples == parallel_tuples
+
+
+# ---------------------------------------------------------------------------
+# Error parity and knob validation
+# ---------------------------------------------------------------------------
+
+
+def test_naive_method_rejects_parallel():
+    rng = random.Random(3)
+    db = build_world(rng)
+    query = random_query(rng)
+    with pytest.raises(QueryError, match="interval method"):
+        query.evaluate(FutureHistory(db), HORIZON, method="naive", parallel=2)
+    with pytest.raises(QueryError, match="naive"):
+        ContinuousQuery(
+            db, query, horizon=HORIZON, method="naive", parallel=2
+        )
+
+
+def test_non_future_history_rejected():
+    rng = random.Random(3)
+    db = build_world(rng)
+    query = random_query(rng)
+    with pytest.raises(QueryError, match="future"):
+        ShardedIntervalEvaluator(query, object(), HORIZON, 2)
+
+
+def test_worker_errors_match_serial_errors():
+    """A query that fails in a worker surfaces the same exception the
+    serial evaluator raises — type and message."""
+    rng = random.Random(5)
+    db = build_world(rng)
+    # Unknown region: serial evaluation raises on first atom touch.
+    query = FtlQuery(
+        targets=("c",),
+        bindings={"c": "cars"},
+        where=Inside(Var("c"), "NO_SUCH_REGION"),
+    )
+    history = FutureHistory(db)
+    try:
+        query.evaluate_full(history, HORIZON)
+        pytest.fail("serial evaluation should have raised")
+    except Exception as serial_exc:  # noqa: BLE001 - capturing for parity
+        serial_type, serial_msg = type(serial_exc), str(serial_exc)
+    with pytest.raises(serial_type, match=serial_msg):
+        query.evaluate_full(history, HORIZON, parallel=2)
+
+
+def test_resolve_workers():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(False) == 1
+    assert resolve_workers(0) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(3) == 3
+    assert resolve_workers("auto") >= 1
+    with pytest.raises(QueryError):
+        resolve_workers(True)
+    with pytest.raises(QueryError):
+        resolve_workers(-2)
+    with pytest.raises(QueryError):
+        resolve_workers("three")
+
+
+def test_unviable_falls_back_to_serial_in_process():
+    """A single-object class cannot shard; evaluation must silently run
+    serially in-process and still answer correctly."""
+    rng = random.Random(9)
+    db = build_world(rng)
+    query = FtlQuery(
+        targets=("b",),
+        bindings={"b": "birds"},
+        where=Inside(Var("b"), "P"),
+    )
+    history = FutureHistory(db)
+    ev = ShardedIntervalEvaluator(query, history, HORIZON, 4)
+    assert not ev.viable  # birds has exactly one object
+    merged = ev.evaluate()
+    assert not ev.sharded
+    serial = query.evaluate_full(history, HORIZON)
+    assert rows_of(merged) == rows_of(serial)
